@@ -1,0 +1,60 @@
+// Ablation: A* search vs generic search vs greedy-only on the workflow
+// scheduling problem — states evaluated, wall time, and solution cost.
+//
+// DESIGN.md design choice under test: the paper claims A* prunes the space
+// when the user supplies g/h heuristics ("we can efficiently prune the
+// solution space by not placing the states with high g and h scores into
+// the candidate list").
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace deco;
+  using bench::env;
+  bench::print_header(
+      "Ablation: search strategies",
+      "Generic (BFS) vs A* (cost heuristic + pruning) vs greedy-only on the\n"
+      "scheduling problem (Montage-1/4, medium deadline, 96%)");
+
+  util::Table table({"workflow", "strategy", "states", "pruned", "time ms",
+                     "cost $", "feasible"});
+  for (const int degree : {1, 4}) {
+    util::Rng rng(7 + static_cast<std::uint64_t>(degree));
+    const workflow::Workflow wf = workflow::make_montage(degree, rng);
+    const auto bounds = bench::deadline_bounds(wf);
+    const core::ProbDeadline req{0.96, bounds.medium()};
+
+    core::TaskTimeEstimator estimator(env().catalog, env().store);
+    vgpu::VirtualGpuBackend backend;
+    core::SchedulingProblem problem(wf, estimator, backend);
+
+    // Greedy only.
+    {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto r = problem.greedy_feasible(req);
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      table.add_row({wf.name(), "greedy",
+                     std::to_string(r.stats.states_evaluated), "-",
+                     util::Table::num(ms, 1),
+                     util::Table::num(r.evaluation.mean_cost, 4),
+                     r.found ? "yes" : "no"});
+    }
+    // Generic and A*.
+    for (const bool astar : {false, true}) {
+      core::SchedulingOptions options;
+      options.use_astar = astar;
+      const auto r = problem.solve(req, options);
+      table.add_row({wf.name(), astar ? "A*" : "generic",
+                     std::to_string(r.stats.states_evaluated),
+                     std::to_string(r.stats.states_pruned),
+                     util::Table::num(r.stats.elapsed_ms, 1),
+                     util::Table::num(r.evaluation.mean_cost, 4),
+                     r.found ? "yes" : "no"});
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nShape check: A* reaches comparable cost with fewer or\n"
+              "equally many evaluated states thanks to bound pruning.\n");
+  return 0;
+}

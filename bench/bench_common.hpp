@@ -1,0 +1,101 @@
+// Shared setup for the experiment-reproduction benches: the calibrated EC2
+// cloud, deadline derivation per Section 6.1, and run helpers.
+//
+// Every bench regenerates one table or figure of the paper's evaluation
+// section and prints the same rows/series the paper reports (normalized the
+// same way).  Absolute numbers come from the simulator, not the authors'
+// testbed; the *shape* (who wins, by what factor, where crossovers sit) is
+// the reproduction target — see EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cloud/calibration.hpp"
+#include "core/deco.hpp"
+#include "sim/executor.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workflow/generators.hpp"
+
+namespace deco::bench {
+
+struct Env {
+  cloud::Catalog catalog;
+  cloud::MetadataStore store;
+};
+
+inline const Env& env() {
+  static const Env e = [] {
+    Env out;
+    out.catalog = cloud::make_ec2_catalog();
+    out.store = core::make_store_from_catalog(out.catalog, "ec2", 6000, 24, 7);
+    return out;
+  }();
+  return e;
+}
+
+/// D_min / D_max per Section 6.1: expected makespans with every task on
+/// m1.xlarge / m1.small.  The paper uses tight = 1.5 Dmin and loose = 0.75
+/// Dmax against an ~8x ECU speed range; single-threaded tasks cap our range
+/// near 2x, so the coefficients are adapted (1.25 / 0.95) to keep the three
+/// settings ordered and the tight one genuinely near the feasible frontier.
+struct DeadlineBounds {
+  double d_min = 0;
+  double d_max = 0;
+  double tight() const { return 1.25 * d_min; }
+  double medium() const { return 0.5 * (d_min + d_max); }
+  double loose() const { return 0.95 * d_max; }
+};
+
+inline DeadlineBounds deadline_bounds(const workflow::Workflow& wf) {
+  core::TaskTimeEstimator estimator(env().catalog, env().store);
+  vgpu::VirtualGpuBackend backend;
+  core::PlanEvaluator evaluator(wf, estimator, backend);
+  DeadlineBounds bounds;
+  bounds.d_min =
+      evaluator
+          .evaluate(sim::Plan::uniform(wf.task_count(),
+                                       static_cast<cloud::TypeId>(
+                                           env().catalog.type_count() - 1)),
+                    {0.5, 1e12})
+          .mean_makespan;
+  bounds.d_max =
+      evaluator
+          .evaluate(sim::Plan::uniform(wf.task_count(), 0), {0.5, 1e12})
+          .mean_makespan;
+  return bounds;
+}
+
+struct RunStats {
+  double avg_cost = 0;
+  double avg_makespan = 0;
+  double met_fraction = 0;
+  std::vector<double> makespans;
+  std::vector<double> costs;
+};
+
+/// Executes `plan` on the simulator `runs` times.
+inline RunStats run_plan(const workflow::Workflow& wf, const sim::Plan& plan,
+                         double deadline_s, int runs, std::uint64_t seed) {
+  RunStats stats;
+  util::Rng rng(seed);
+  int met = 0;
+  for (int i = 0; i < runs; ++i) {
+    const auto r = sim::simulate_execution(wf, plan, env().catalog, rng);
+    stats.makespans.push_back(r.makespan);
+    stats.costs.push_back(r.total_cost);
+    if (r.makespan <= deadline_s) ++met;
+  }
+  stats.avg_cost = util::mean(stats.costs);
+  stats.avg_makespan = util::mean(stats.makespans);
+  stats.met_fraction = runs > 0 ? static_cast<double>(met) / runs : 0;
+  return stats;
+}
+
+inline void print_header(const char* id, const char* caption) {
+  std::printf("=== %s ===\n%s\n\n", id, caption);
+}
+
+}  // namespace deco::bench

@@ -1,0 +1,52 @@
+// Figure 7: pairwise network bandwidth histograms —
+//   (a) m1.large <-> m1.large and (b) m1.medium <-> m1.large.
+//
+// Paper shape: the m1.medium pair varies much more than the m1.large pair
+// ("users can achieve better cloud performance by purchasing better types").
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace deco;
+  using bench::env;
+  bench::print_header(
+      "Figure 7",
+      "Network bandwidth histograms of instance-type pairs (10000 samples)");
+
+  cloud::MetadataStore store;
+  cloud::CalibrationOptions options;
+  options.samples_per_setting = 10000;
+  util::Rng rng(77);
+  const auto report = cloud::calibrate(env().catalog, store, options, rng);
+
+  struct PairSpec {
+    const char* label;
+    const char* a;
+    const char* b;
+  };
+  const PairSpec pairs[] = {
+      {"(a) m1.large <-> m1.large", "m1.large", "m1.large"},
+      {"(b) m1.medium <-> m1.large", "m1.medium", "m1.large"},
+  };
+
+  double spread[2] = {0, 0};
+  int idx = 0;
+  for (const auto& pair : pairs) {
+    const auto* rec =
+        report.find(cloud::MetadataStore::net_key("ec2", pair.a, pair.b));
+    if (rec == nullptr) continue;
+    std::printf("%s: mean %.1f Mbit/s, stddev %.1f\n", pair.label,
+                util::mean(rec->samples), util::stddev(rec->samples));
+    const auto hist = util::Histogram::from_samples(rec->samples, 14);
+    for (std::size_t b = 0; b < hist.bin_count(); ++b) {
+      const int bar = static_cast<int>(hist.masses()[b] * 240);
+      std::printf("  %7.1f | %s\n", hist.centers()[b],
+                  std::string(static_cast<std::size_t>(bar), '#').c_str());
+    }
+    spread[idx++] = util::stddev(rec->samples) / util::mean(rec->samples);
+    std::printf("\n");
+  }
+  std::printf("coefficient of variation: medium-large %.3f vs large-large "
+              "%.3f (paper: the medium pair is far noisier)\n",
+              spread[1], spread[0]);
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Figure 9: workflow ensembles — normalized score of Deco vs SPSS across the
+// five ensemble types under budgets Bgt1..Bgt5 (deadline fixed at D3), plus
+// the Section 6.3.2 sensitivity sweep over the probabilistic deadline
+// requirement.
+//
+// Paper shape: equal scores at Bgt1 and Bgt5 (only one / all workflows fit),
+// Deco ahead in between; SPSS's average per-workflow cost ~1.4x Deco's.
+#include "bench/bench_common.hpp"
+
+#include "baselines/spss.hpp"
+
+#include "workflow/analysis.hpp"
+
+namespace {
+
+/// Per-member deadline D3: ~2.2x the member's critical path on a mid-tier
+/// instance.  Tight enough that serializing a whole member onto one instance
+/// violates it — the regime where the transformation operations trade off
+/// against the deadline, as in the paper.
+double member_deadline(const deco::workflow::Workflow& wf) {
+  std::vector<double> weights(wf.task_count());
+  for (deco::workflow::TaskId t = 0; t < wf.task_count(); ++t) {
+    weights[t] = wf.task(t).cpu_seconds / 2.0 + 30.0;  // medium CPU + IO slack
+  }
+  return 2.2 * deco::workflow::critical_path(wf, weights).length;
+}
+
+deco::workflow::Ensemble build_ensemble(deco::workflow::EnsembleType type) {
+  deco::util::Rng rng(9);
+  deco::workflow::EnsembleOptions opt;
+  opt.app = deco::workflow::AppType::kLigo;
+  opt.type = type;
+  opt.num_workflows = 12;      // scaled from the paper's 30-50 for runtime
+  opt.sizes = {20, 100, 300};  // scaled from {20, 100, 1000}
+  auto ensemble = deco::workflow::make_ensemble(opt, rng);
+  for (auto& m : ensemble.members) {
+    m.deadline_s = member_deadline(m.workflow);
+    m.deadline_q = 96;
+  }
+  return ensemble;
+}
+
+}  // namespace
+
+int main() {
+  using namespace deco;
+  using bench::env;
+  bench::print_header(
+      "Figure 9",
+      "Ensemble scores, Deco vs SPSS, five ensemble types x budgets\n"
+      "Bgt1..Bgt5 (LIGO, deadline D3; scores normalized to SPSS)");
+
+  vgpu::VirtualGpuBackend backend;
+  core::Deco engine(env().catalog, env().store);
+
+  util::Table table({"ensemble type", "budget", "SPSS score", "Deco score",
+                     "Deco/SPSS"});
+  double spss_cost_per_wf = 0;
+  double deco_cost_per_wf = 0;
+  std::size_t spss_admitted = 0;
+  std::size_t deco_admitted = 0;
+
+  for (const auto type : workflow::kAllEnsembleTypes) {
+    // Deadline D3: the middle of [MinDeadline, MaxDeadline]; approximated by
+    // a bound generous for mid-size members.
+    workflow::Ensemble ensemble = build_ensemble(type);
+
+    // MinBudget/MaxBudget per Section 6.1: the cost of the single cheapest
+    // member / of everything (probe with an unconstrained SPSS pass).
+    baselines::Spss spss(env().catalog, env().store, backend);
+    auto probe = ensemble;
+    probe.budget = 1e9;
+    const auto all = spss.plan(probe);
+    double min_cost = 1e18;
+    for (double c : all.member_costs) {
+      if (c > 0) min_cost = std::min(min_cost, c);
+    }
+    const double max_budget = all.total_cost;
+
+    for (int b = 1; b <= 5; ++b) {
+      const double budget =
+          min_cost + (max_budget - min_cost) * (b - 1) / 4.0;
+      ensemble.budget = budget;
+      const auto spss_result = spss.plan(ensemble);
+      const auto deco_result = engine.plan_ensemble(ensemble);
+      table.add_row(
+          {workflow::to_string(type), "Bgt" + std::to_string(b),
+           util::Table::num(spss_result.score, 3),
+           util::Table::num(deco_result.score, 3),
+           spss_result.score > 0
+               ? util::Table::num(deco_result.score / spss_result.score, 2)
+               : "-"});
+      for (std::size_t i = 0; i < ensemble.members.size(); ++i) {
+        if (spss_result.admitted[i]) {
+          spss_cost_per_wf += spss_result.member_costs[i];
+          ++spss_admitted;
+        }
+        if (deco_result.admitted[i]) {
+          deco_cost_per_wf += deco_result.member_costs[i];
+          ++deco_admitted;
+        }
+      }
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  if (spss_admitted > 0 && deco_admitted > 0) {
+    std::printf("\nAverage per-workflow cost: SPSS $%.3f vs Deco $%.3f "
+                "(ratio %.2f; paper: ~1.4)\n",
+                spss_cost_per_wf / spss_admitted,
+                deco_cost_per_wf / deco_admitted,
+                (spss_cost_per_wf / spss_admitted) /
+                    (deco_cost_per_wf / deco_admitted));
+  }
+
+  // Section 6.3.2: probabilistic-requirement sweep at Bgt3.
+  std::printf("\nProbabilistic deadline sweep (UniformUnsorted, Bgt3):\n");
+  util::Table sweep({"p%", "SPSS score", "Deco score", "Deco/SPSS"});
+  workflow::Ensemble ensemble =
+      build_ensemble(workflow::EnsembleType::kUniformUnsorted);
+  baselines::Spss spss(env().catalog, env().store, backend);
+  auto probe = ensemble;
+  probe.budget = 1e9;
+  const auto all = spss.plan(probe);
+  ensemble.budget = 0.5 * all.total_cost;
+  for (const double p : {90.0, 96.0, 99.9}) {
+    for (auto& m : ensemble.members) m.deadline_q = p;
+    const auto spss_result = spss.plan(ensemble);
+    const auto deco_result = engine.plan_ensemble(ensemble);
+    sweep.add_row({util::Table::num(p, 1),
+                   util::Table::num(spss_result.score, 3),
+                   util::Table::num(deco_result.score, 3),
+                   spss_result.score > 0
+                       ? util::Table::num(deco_result.score / spss_result.score, 2)
+                       : "-"});
+  }
+  std::printf("%s", sweep.to_string().c_str());
+  std::printf("\nShape check: ratios ~1 at Bgt1/Bgt5, >= 1 in between.\n");
+  return 0;
+}

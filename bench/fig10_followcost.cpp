@@ -1,0 +1,133 @@
+// Figure 10: follow-the-cost — total monetary cost of Deco vs the Heuristic
+// baseline: (a) across workflow sizes (Montage-1/4/8) and (b) across the
+// heuristic's runtime-adjustment threshold (10%..90%), Montage-8.
+//
+// Paper shape: Deco is cheapest for every size, with a growing gap on larger
+// workflows; Deco stays below the heuristic at every threshold setting.
+#include "bench/bench_common.hpp"
+
+#include <functional>
+#include <map>
+
+#include "baselines/migration_heuristic.hpp"
+
+#include "workflow/analysis.hpp"
+
+namespace {
+
+// Workflows join the optimization *mid-run* (the paper migrates partially
+// executed workflows): a varying fraction of each DAG is already finished,
+// so migrating means paying for the frontier's intermediate data, and each
+// workflow runs ahead of or behind its estimate — the signals that separate
+// Deco's per-period re-optimization from the price-only heuristic.
+std::vector<deco::core::MigrationWorkflowState> make_states(
+    const std::vector<deco::workflow::Workflow>& workflows,
+    deco::core::TaskTimeEstimator& estimator) {
+  std::vector<deco::core::MigrationWorkflowState> states;
+  for (std::size_t i = 0; i < workflows.size(); ++i) {
+    deco::core::MigrationWorkflowState s;
+    s.wf = &workflows[i];
+    s.finished.assign(workflows[i].task_count(), false);
+    s.region = i % 2 == 0 ? 1 : 0;  // half start in the pricier region
+    s.vm_type = 1;
+    s.deadline_s = 72 * 3600;
+    // Progress: 30-50% of the levels are done.
+    const auto levels = deco::workflow::levels(workflows[i]);
+    int max_level = 0;
+    for (int l : levels) max_level = std::max(max_level, l);
+    const double frac = 0.3 + 0.1 * static_cast<double>(i % 3);
+    std::map<int, double> level_time;
+    for (deco::workflow::TaskId t = 0; t < workflows[i].task_count(); ++t) {
+      if (levels[t] < frac * (max_level + 1)) {
+        s.finished[t] = true;
+        auto& slot = level_time[levels[t]];
+        slot = std::max(slot,
+                        estimator.mean_time(workflows[i], t, s.vm_type));
+      }
+    }
+    double expected = 0;
+    for (const auto& [level, time] : level_time) expected += time;
+    // Observed progress deviates from the estimate per workflow (the paper's
+    // runtime dynamics): some run late, some early.
+    const double lateness = 0.7 + 0.3 * static_cast<double>(i % 4);
+    s.elapsed_s = expected * lateness;
+    states.push_back(std::move(s));
+  }
+  return states;
+}
+
+}  // namespace
+
+int main() {
+  using namespace deco;
+  using bench::env;
+  bench::print_header(
+      "Figure 10",
+      "Follow-the-cost: total monetary cost, Deco vs Heuristic\n"
+      "(costs normalized to Heuristic)");
+
+  core::TaskTimeEstimator estimator(env().catalog, env().store);
+  core::MigrationOptimizer optimizer(env().catalog, estimator);
+  const core::MigrationPolicy deco_policy =
+      [&](const std::vector<core::MigrationWorkflowState>& states) {
+        return optimizer.optimize(states).targets;
+      };
+
+  // (a) workflow sizes.
+  std::printf("(a) by workflow size (8 workflows each):\n");
+  util::Table by_size({"workflow", "Heuristic $", "Deco $", "normalized",
+                       "Deco moves"});
+  for (const int degree : {1, 4, 8}) {
+    util::Rng gen_rng(40 + static_cast<std::uint64_t>(degree));
+    std::vector<workflow::Workflow> workflows;
+    for (int i = 0; i < 8; ++i) {
+      workflows.push_back(workflow::make_montage(degree, gen_rng));
+    }
+    util::Rng r1(51);
+    const auto deco_report = core::run_followcost_scenario(
+        make_states(workflows, estimator), env().catalog, deco_policy, r1);
+    baselines::MigrationHeuristic heuristic(env().catalog, estimator);
+    util::Rng r2(51);
+    const auto heuristic_report = core::run_followcost_scenario(
+        make_states(workflows, estimator), env().catalog, std::ref(heuristic), r2);
+    by_size.add_row(
+        {"Montage-" + std::to_string(degree),
+         util::Table::num(heuristic_report.total_cost, 3),
+         util::Table::num(deco_report.total_cost, 3),
+         util::Table::num(deco_report.total_cost / heuristic_report.total_cost,
+                          3),
+         std::to_string(deco_report.migrations)});
+  }
+  std::printf("%s\n", by_size.to_string().c_str());
+
+  // (b) threshold sweep on Montage-8.
+  std::printf("(b) by heuristic threshold (Montage-8, 6 workflows):\n");
+  util::Rng gen_rng(48);
+  std::vector<workflow::Workflow> workflows;
+  for (int i = 0; i < 6; ++i) {
+    workflows.push_back(workflow::make_montage(8, gen_rng));
+  }
+  util::Rng r1(53);
+  const auto deco_report = core::run_followcost_scenario(
+      make_states(workflows, estimator), env().catalog, deco_policy, r1);
+  util::Table by_threshold({"threshold", "Heuristic $", "Deco $",
+                            "normalized"});
+  for (const double threshold : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    baselines::MigrationHeuristicOptions opt;
+    opt.threshold = threshold;
+    baselines::MigrationHeuristic heuristic(env().catalog, estimator, opt);
+    util::Rng r2(53);
+    const auto heuristic_report = core::run_followcost_scenario(
+        make_states(workflows, estimator), env().catalog, std::ref(heuristic), r2);
+    by_threshold.add_row(
+        {util::Table::num(threshold * 100, 0) + "%",
+         util::Table::num(heuristic_report.total_cost, 3),
+         util::Table::num(deco_report.total_cost, 3),
+         util::Table::num(deco_report.total_cost / heuristic_report.total_cost,
+                          3)});
+  }
+  std::printf("%s", by_threshold.to_string().c_str());
+  std::printf("\nShape check: normalized <= 1 everywhere; the gap grows with "
+              "workflow size.\n");
+  return 0;
+}

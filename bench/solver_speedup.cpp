@@ -1,0 +1,93 @@
+// Solver performance (Sections 6.3.1 / 6.3.2 text): parallel "virtual GPU"
+// evaluation vs the serial CPU baseline, and the per-task optimization
+// overhead.
+//
+// Paper numbers for context: on an NVIDIA K40 vs a 6-core CPU, 12X/10X/20X
+// speed-ups on Montage-1/4/8 scheduling and 36X/22X/18X on 20/100/1000-task
+// ensembles; optimization overhead of 4.3-63.17 ms per task.  This host has
+// no GPU (and may have a single core), so the *absolute* speed-up is
+// hardware-bound — the bench demonstrates that the identical kernel
+// decomposition runs on both backends and reports the measured ratio and the
+// per-task overhead.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hpp"
+
+namespace {
+
+using namespace deco;
+
+const workflow::Workflow& montage(int degree) {
+  static std::map<int, workflow::Workflow> cache;
+  auto it = cache.find(degree);
+  if (it == cache.end()) {
+    util::Rng rng(7 + static_cast<std::uint64_t>(degree));
+    it = cache.emplace(degree, workflow::make_montage(degree, rng)).first;
+  }
+  return it->second;
+}
+
+void evaluate_batch(const workflow::Workflow& wf, vgpu::ComputeBackend& backend,
+                    std::size_t batch) {
+  core::TaskTimeEstimator estimator(bench::env().catalog, bench::env().store);
+  core::PlanEvaluator evaluator(wf, estimator, backend);
+  std::vector<sim::Plan> plans;
+  for (std::size_t i = 0; i < batch; ++i) {
+    sim::Plan plan = sim::Plan::uniform(wf.task_count(), 0);
+    for (std::size_t t = 0; t < plan.size(); ++t) {
+      plan[t].vm_type = static_cast<cloud::TypeId>((t + i) % 4);
+    }
+    plans.push_back(std::move(plan));
+  }
+  const auto results = evaluator.evaluate_batch(plans, {0.96, 1e6});
+  benchmark::DoNotOptimize(results.data());
+}
+
+void BM_EvalSerial(benchmark::State& state) {
+  const auto& wf = montage(static_cast<int>(state.range(0)));
+  vgpu::SerialBackend backend;
+  for (auto _ : state) evaluate_batch(wf, backend, 16);
+  state.counters["tasks"] = static_cast<double>(wf.task_count());
+}
+
+void BM_EvalVirtualGpu(benchmark::State& state) {
+  const auto& wf = montage(static_cast<int>(state.range(0)));
+  vgpu::VirtualGpuBackend backend;
+  for (auto _ : state) evaluate_batch(wf, backend, 16);
+  state.counters["tasks"] = static_cast<double>(wf.task_count());
+}
+
+void BM_ScheduleOverheadPerTask(benchmark::State& state) {
+  // End-to-end optimization time divided by task count: the paper's
+  // "4.3-63.17 ms per task for a workflow with 20-1000 tasks".
+  const auto& wf = montage(static_cast<int>(state.range(0)));
+  const auto bounds = bench::deadline_bounds(wf);
+  core::Deco engine(bench::env().catalog, bench::env().store);
+  double total_ms = 0;
+  std::size_t solves = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = engine.schedule(wf, {0.96, bounds.medium()});
+    total_ms += std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    ++solves;
+    benchmark::DoNotOptimize(result.found);
+  }
+  state.counters["ms_per_task"] =
+      total_ms / static_cast<double>(solves) /
+      static_cast<double>(wf.task_count());
+}
+
+BENCHMARK(BM_EvalSerial)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EvalVirtualGpu)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ScheduleOverheadPerTask)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

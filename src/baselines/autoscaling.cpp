@@ -1,0 +1,98 @@
+#include "baselines/autoscaling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workflow/analysis.hpp"
+
+namespace deco::baselines {
+
+Autoscaling::Autoscaling(const workflow::Workflow& wf,
+                         core::TaskTimeEstimator& estimator)
+    : wf_(&wf), estimator_(&estimator) {}
+
+AutoscalingResult Autoscaling::solve(double deadline_s,
+                                     const AutoscalingOptions& options) {
+  AutoscalingResult result;
+  const std::size_t n = wf_->task_count();
+  const cloud::Catalog& catalog = estimator_->catalog();
+  result.plan = sim::Plan::uniform(n, 0, options.region);
+  result.subdeadlines.assign(n, 0);
+  if (n == 0) return result;
+
+  // Step 1 — deadline assignment: each task receives a share of the deadline
+  // proportional to its fastest achievable time along the longest path
+  // *through* it.  Tasks on short branches get generous slices; tasks on the
+  // critical path split the deadline exactly.
+  const cloud::TypeId fastest =
+      static_cast<cloud::TypeId>(catalog.type_count() - 1);
+  std::vector<double> fast(n);
+  for (workflow::TaskId t = 0; t < n; ++t) {
+    fast[t] = estimator_->mean_time(*wf_, t, fastest);
+  }
+  const auto topo = wf_->topological_order();
+  std::vector<double> up(n, 0);    // longest fast path ending at t (incl. t)
+  std::vector<double> down(n, 0);  // longest fast path starting at t (incl. t)
+  if (topo) {
+    for (workflow::TaskId t : *topo) {
+      up[t] = fast[t];
+      for (workflow::TaskId p : wf_->parents(t)) {
+        up[t] = std::max(up[t], up[p] + fast[t]);
+      }
+    }
+    for (auto it = topo->rbegin(); it != topo->rend(); ++it) {
+      const workflow::TaskId t = *it;
+      down[t] = fast[t];
+      for (workflow::TaskId c : wf_->children(t)) {
+        down[t] = std::max(down[t], down[c] + fast[t]);
+      }
+    }
+  }
+  for (workflow::TaskId t = 0; t < n; ++t) {
+    const double through = up[t] + down[t] - fast[t];
+    result.subdeadlines[t] =
+        through > 0 ? deadline_s * fast[t] / through : deadline_s;
+  }
+
+  // Step 2 — most cost-efficient type meeting each task's subdeadline.
+  for (workflow::TaskId t = 0; t < n; ++t) {
+    cloud::TypeId chosen = fastest;
+    double chosen_cost = std::numeric_limits<double>::infinity();
+    bool met = false;
+    for (cloud::TypeId v = 0; v < catalog.type_count(); ++v) {
+      const double time = estimator_->mean_time(*wf_, t, v);
+      if (time > result.subdeadlines[t]) continue;
+      const double cost = time * catalog.price(v, options.region);
+      if (!met || cost < chosen_cost) {
+        chosen = v;
+        chosen_cost = cost;
+        met = true;
+      }
+    }
+    // No type meets the subdeadline: take the fastest (the heuristic's
+    // "scale up" move).
+    result.plan[t].vm_type = met ? chosen : fastest;
+  }
+
+  // Step 3 — consolidation: chain same-type parent/child pairs onto shared
+  // instances to pack partial hours.
+  if (options.consolidate) {
+    std::int32_t next_group = 0;
+    for (const workflow::Edge& e : wf_->edges()) {
+      auto& pp = result.plan[e.parent];
+      auto& pc = result.plan[e.child];
+      if (pp.vm_type != pc.vm_type) continue;
+      if (pc.group >= 0) continue;
+      if (pp.group >= 0) {
+        pc.group = pp.group;
+      } else {
+        pp.group = next_group;
+        pc.group = next_group;
+        ++next_group;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace deco::baselines

@@ -1,0 +1,47 @@
+// Autoscaling baseline — Mao & Humphrey, "Auto-scaling to Minimize Cost and
+// Meet Application Deadlines in Cloud Workflows" (SC'11), the comparison
+// algorithm for the workflow scheduling problem (Section 6.1).
+//
+// The reproduction follows the published heuristic pipeline:
+//   1. Deadline assignment: the workflow deadline is distributed over tasks
+//      in proportion to their minimum expected execution times along levels.
+//   2. Instance-type selection: each task takes the most cost-efficient type
+//      whose expected time meets the task's subdeadline.
+//   3. Consolidation: same-type parent/child pairs share instances to pack
+//      partial hours.
+// The approach is *deterministic* — it plans against expected times; when the
+// caller's requirement is a probabilistic deadline p%, the paper sets
+// Autoscaling's deadline to the p-th percentile target (Section 6.1,
+// "Parameter setting"), which is what `solve` implements.
+#pragma once
+
+#include "core/estimator.hpp"
+#include "core/evaluator.hpp"
+#include "sim/plan.hpp"
+
+namespace deco::baselines {
+
+struct AutoscalingOptions {
+  cloud::RegionId region = 0;
+  bool consolidate = true;
+};
+
+struct AutoscalingResult {
+  sim::Plan plan;
+  std::vector<double> subdeadlines;  ///< per task, seconds
+};
+
+class Autoscaling {
+ public:
+  Autoscaling(const workflow::Workflow& wf, core::TaskTimeEstimator& estimator);
+
+  /// Plans for `deadline_s` (already the percentile-adjusted target).
+  AutoscalingResult solve(double deadline_s,
+                          const AutoscalingOptions& options = {});
+
+ private:
+  const workflow::Workflow* wf_;
+  core::TaskTimeEstimator* estimator_;
+};
+
+}  // namespace deco::baselines

@@ -1,0 +1,70 @@
+#include "baselines/migration_heuristic.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "workflow/analysis.hpp"
+
+namespace deco::baselines {
+
+MigrationHeuristic::MigrationHeuristic(const cloud::Catalog& catalog,
+                                       core::TaskTimeEstimator& estimator,
+                                       MigrationHeuristicOptions options)
+    : catalog_(&catalog), estimator_(&estimator), options_(options) {}
+
+std::vector<cloud::RegionId> MigrationHeuristic::offline_plan(
+    const std::vector<core::MigrationWorkflowState>& states) const {
+  std::vector<cloud::RegionId> plan(states.size());
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    cloud::RegionId best = states[i].region;
+    double best_price = catalog_->price(states[i].vm_type, best);
+    for (cloud::RegionId r = 0; r < catalog_->region_count(); ++r) {
+      const double price = catalog_->price(states[i].vm_type, r);
+      if (price < best_price) {
+        best = r;
+        best_price = price;
+      }
+    }
+    plan[i] = best;
+  }
+  return plan;
+}
+
+std::vector<cloud::RegionId> MigrationHeuristic::operator()(
+    const std::vector<core::MigrationWorkflowState>& states) {
+  if (plan_.empty()) {
+    plan_ = offline_plan(states);
+    estimated_elapsed_.assign(states.size(), 0);
+  }
+  std::vector<cloud::RegionId> targets(states.size());
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    targets[i] = plan_[i];
+    // Expected progress: levels execute in parallel, so the estimate is the
+    // sum over finished levels of the slowest finished task in each level.
+    const auto levels = workflow::levels(*states[i].wf);
+    std::map<int, double> level_time;
+    for (workflow::TaskId t = 0; t < states[i].wf->task_count(); ++t) {
+      if (states[i].finished[t]) {
+        auto& slot = level_time[levels[t]];
+        slot = std::max(slot, estimator_->mean_time(*states[i].wf, t,
+                                                    states[i].vm_type));
+      }
+    }
+    double expected = 0;
+    for (const auto& [level, time] : level_time) expected += time;
+    estimated_elapsed_[i] = expected;
+    const double observed = states[i].elapsed_s;
+    if (expected > 0 &&
+        std::abs(observed - expected) / expected > options_.threshold) {
+      // Deviation beyond the threshold: re-adjust.  If the workflow is
+      // running late, cancel a pending migration (the transfer time would
+      // endanger the deadline); if early, stick with the cheap region.
+      if (observed > expected && plan_[i] != states[i].region) {
+        targets[i] = states[i].region;
+      }
+    }
+  }
+  return targets;
+}
+
+}  // namespace deco::baselines

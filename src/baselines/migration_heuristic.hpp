@@ -1,0 +1,44 @@
+// Heuristic baseline for follow-the-cost (Section 6.1).
+//
+// "At the offline stage, we consider the price differences among cloud data
+// centers and determine the plan of migrating the workflows from their
+// initial deployed data center to the more cost-efficient one.  At runtime,
+// we monitor the task execution time and make migration adjustments when the
+// monitored execution time differs from the estimation by a threshold."
+#pragma once
+
+#include "core/followcost.hpp"
+
+namespace deco::baselines {
+
+struct MigrationHeuristicOptions {
+  double threshold = 0.5;  ///< relative deviation triggering re-adjustment
+};
+
+/// Stateful policy usable with core::run_followcost_scenario.
+class MigrationHeuristic {
+ public:
+  MigrationHeuristic(const cloud::Catalog& catalog,
+                     core::TaskTimeEstimator& estimator,
+                     MigrationHeuristicOptions options = {});
+
+  /// The offline plan: for each workflow, the cheapest region by price alone
+  /// (ignoring migration cost and dynamics — the heuristic's blind spot).
+  std::vector<cloud::RegionId> offline_plan(
+      const std::vector<core::MigrationWorkflowState>& states) const;
+
+  /// The runtime policy: follows the offline plan; when a workflow's
+  /// observed progress deviates from the estimate by more than the
+  /// threshold, re-evaluates whether migrating still pays off.
+  std::vector<cloud::RegionId> operator()(
+      const std::vector<core::MigrationWorkflowState>& states);
+
+ private:
+  const cloud::Catalog* catalog_;
+  core::TaskTimeEstimator* estimator_;
+  MigrationHeuristicOptions options_;
+  std::vector<cloud::RegionId> plan_;     // lazily initialized offline plan
+  std::vector<double> estimated_elapsed_; // per workflow, expected progress
+};
+
+}  // namespace deco::baselines

@@ -1,0 +1,61 @@
+#include "baselines/spss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace deco::baselines {
+
+Spss::Spss(const cloud::Catalog& catalog, const cloud::MetadataStore& store,
+           vgpu::ComputeBackend& backend, SpssOptions options)
+    : catalog_(&catalog),
+      store_(&store),
+      backend_(&backend),
+      options_(options) {}
+
+SpssResult Spss::plan(const workflow::Ensemble& ensemble) {
+  SpssResult result;
+  const std::size_t n = ensemble.members.size();
+  result.admitted.assign(n, false);
+  result.plans.resize(n);
+  result.member_costs.assign(n, 0);
+
+  // Process in priority order (0 = highest first).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return ensemble.members[a].priority < ensemble.members[b].priority;
+  });
+
+  double spent = 0;
+  for (std::size_t idx : order) {
+    const auto& member = ensemble.members[idx];
+    core::TaskTimeEstimator estimator(*catalog_, *store_, options_.estimator);
+    // Static plan: Autoscaling-style deadline distribution, no
+    // transformation operations (the gap Deco exploits).
+    Autoscaling planner(member.workflow, estimator);
+    AutoscalingOptions aopt;
+    aopt.region = options_.region;
+    const AutoscalingResult plan = planner.solve(member.deadline_s, aopt);
+
+    // Planned cost and deadline check against the probabilistic evaluator
+    // (the plan itself was made with deterministic estimates — SPSS's model).
+    core::PlanEvaluator evaluator(member.workflow, estimator, *backend_,
+                                  options_.eval);
+    core::ProbDeadline req;
+    req.quantile = member.deadline_q / 100.0;
+    req.deadline_s = member.deadline_s;
+    const core::PlanEvaluation eval = evaluator.evaluate(plan.plan, req);
+    if (!eval.feasible) continue;  // cannot complete: don't waste budget
+    if (spent + eval.mean_cost > ensemble.budget) continue;
+    spent += eval.mean_cost;
+    result.admitted[idx] = true;
+    result.plans[idx] = plan.plan;
+    result.member_costs[idx] = eval.mean_cost;
+    result.score += std::pow(2.0, -member.priority);
+  }
+  result.total_cost = spent;
+  return result;
+}
+
+}  // namespace deco::baselines

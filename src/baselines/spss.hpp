@@ -1,0 +1,54 @@
+// SPSS baseline — Malawski, Juve, Deelman, Nabrzyski, "Cost- and
+// Deadline-constrained Provisioning for Scientific Workflow Ensembles in IaaS
+// Clouds" (SC'12): Static Provisioning Static Scheduling, the comparison for
+// the workflow ensemble problem (Section 6.1).
+//
+// SPSS plans the whole ensemble offline: it iterates workflows in priority
+// order, computes a static schedule and cost for each (deadline-distributed
+// over levels, cheapest type meeting each task's slice — no workflow
+// transformations), and admits a workflow only if the cumulative planned
+// cost stays within the ensemble budget and the plan meets the workflow's
+// deadline.  "SPSS ... with heuristics to reduce resource waste on workflows
+// that cannot be completed."
+#pragma once
+
+#include "baselines/autoscaling.hpp"
+#include "core/evaluator.hpp"
+#include "workflow/ensemble.hpp"
+
+namespace deco::baselines {
+
+struct SpssOptions {
+  cloud::RegionId region = 0;
+  core::EvalOptions eval;
+  core::EstimatorOptions estimator;
+
+  SpssOptions() {
+    // Ensemble budgets are spent in real instance hours (Eq. 5).
+    eval.cost_model = core::CostModel::kBilledHours;
+  }
+};
+
+struct SpssResult {
+  std::vector<bool> admitted;
+  std::vector<sim::Plan> plans;
+  std::vector<double> member_costs;  ///< expected plan cost per member
+  double total_cost = 0;
+  double score = 0;
+};
+
+class Spss {
+ public:
+  Spss(const cloud::Catalog& catalog, const cloud::MetadataStore& store,
+       vgpu::ComputeBackend& backend, SpssOptions options = {});
+
+  SpssResult plan(const workflow::Ensemble& ensemble);
+
+ private:
+  const cloud::Catalog* catalog_;
+  const cloud::MetadataStore* store_;
+  vgpu::ComputeBackend* backend_;
+  SpssOptions options_;
+};
+
+}  // namespace deco::baselines

@@ -1,0 +1,69 @@
+#include "cloud/calibration.hpp"
+
+#include <algorithm>
+
+#include "util/histogram.hpp"
+
+namespace deco::cloud {
+namespace {
+
+CalibrationRecord measure(const std::string& key,
+                          const util::Distribution& ground_truth,
+                          const CalibrationOptions& options, util::Rng& rng) {
+  CalibrationRecord rec;
+  rec.key = key;
+  rec.samples.reserve(options.samples_per_setting);
+  for (std::size_t i = 0; i < options.samples_per_setting; ++i) {
+    rec.samples.push_back(sample_rate(ground_truth, rng));
+  }
+  rec.fitted_gamma = util::Gamma::fit(rec.samples);
+  rec.fitted_normal = util::Normal::fit(rec.samples);
+  const util::Normal fitted = rec.fitted_normal;
+  rec.ks_normal = util::ks_test(rec.samples,
+                                [fitted](double x) { return fitted.cdf(x); });
+  const double mx = util::max_of(rec.samples);
+  const double mn = util::min_of(rec.samples);
+  rec.max_relative_variance = mx > 0 ? (mx - mn) / mx : 0;
+  return rec;
+}
+
+}  // namespace
+
+const CalibrationRecord* CalibrationReport::find(const std::string& key) const {
+  for (const auto& r : records) {
+    if (r.key == key) return &r;
+  }
+  return nullptr;
+}
+
+CalibrationReport calibrate(const Catalog& catalog, MetadataStore& store,
+                            const CalibrationOptions& options,
+                            util::Rng& rng) {
+  CalibrationReport report;
+  auto publish = [&](const std::string& key, const util::Distribution& truth) {
+    CalibrationRecord rec = measure(key, truth, options, rng);
+    store.put(key, util::Histogram::from_samples(rec.samples,
+                                                 options.histogram_bins));
+    report.records.push_back(std::move(rec));
+  };
+
+  for (TypeId t = 0; t < catalog.type_count(); ++t) {
+    const InstanceType& type = catalog.type(t);
+    publish(MetadataStore::seq_io_key(options.provider, type.name),
+            type.seq_io_mbps);
+    publish(MetadataStore::rand_io_key(options.provider, type.name),
+            type.rand_io_iops);
+  }
+  for (TypeId a = 0; a < catalog.type_count(); ++a) {
+    for (TypeId b = a; b < catalog.type_count(); ++b) {
+      publish(MetadataStore::net_key(options.provider, catalog.type(a).name,
+                                     catalog.type(b).name),
+              catalog.network_pair(a, b));
+    }
+  }
+  publish(MetadataStore::inter_region_net_key(options.provider),
+          catalog.inter_region_net());
+  return report;
+}
+
+}  // namespace deco::cloud

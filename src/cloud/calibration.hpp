@@ -1,0 +1,53 @@
+// Cloud-performance calibration micro-benchmarks.
+//
+// The paper measures CPU, sequential I/O (hdparm), random I/O (512-byte
+// reads) and pairwise network bandwidth (iperf) once a minute for 7 days
+// (10,000 samples per setting) on Amazon EC2, then fits distributions
+// (Table 2) and discretizes them into metadata-store histograms.
+//
+// Here the "target cloud" is the catalog's ground-truth model; calibration
+// draws the same number of samples from it, fits Gamma/Normal by moments,
+// runs a KS normality check (Fig. 6b's null-hypothesis verification), and
+// publishes histograms to the metadata store.  The rest of the engine only
+// ever sees the store — exactly the paper's information boundary.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/instance_type.hpp"
+#include "cloud/metadata_store.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace deco::cloud {
+
+struct CalibrationOptions {
+  std::size_t samples_per_setting = 10000;  ///< 7 days @ 1/min in the paper
+  std::size_t histogram_bins = 24;
+  std::string provider = "ec2";
+};
+
+/// Per-setting calibration record (one Table 2 row / Fig. 6-7 series).
+struct CalibrationRecord {
+  std::string key;
+  std::vector<double> samples;
+  util::Gamma fitted_gamma;    ///< moment fit (meaningful for seq I/O)
+  util::Normal fitted_normal;  ///< moment fit (meaningful for rand I/O, net)
+  util::KsResult ks_normal;    ///< KS test against the fitted Normal
+  double max_relative_variance = 0;  ///< (max-min)/max over the trace
+};
+
+struct CalibrationReport {
+  std::vector<CalibrationRecord> records;
+
+  const CalibrationRecord* find(const std::string& key) const;
+};
+
+/// Runs the full calibration pass and fills `store` with histograms for every
+/// instance type's seq/rand I/O, every type pair's bandwidth, and the
+/// inter-region link.  Returns the fitted-parameter report.
+CalibrationReport calibrate(const Catalog& catalog, MetadataStore& store,
+                            const CalibrationOptions& options, util::Rng& rng);
+
+}  // namespace deco::cloud

@@ -1,0 +1,102 @@
+#include "cloud/instance_type.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace deco::cloud {
+
+TypeId Catalog::add_type(InstanceType type) {
+  types_.push_back(std::move(type));
+  return static_cast<TypeId>(types_.size() - 1);
+}
+
+RegionId Catalog::add_region(Region region) {
+  regions_.push_back(std::move(region));
+  return static_cast<RegionId>(regions_.size() - 1);
+}
+
+std::optional<TypeId> Catalog::find_type(const std::string& name) const {
+  for (TypeId i = 0; i < types_.size(); ++i) {
+    if (types_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<RegionId> Catalog::find_region(const std::string& name) const {
+  for (RegionId i = 0; i < regions_.size(); ++i) {
+    if (regions_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+double Catalog::price(TypeId type, RegionId region) const {
+  return types_[type].price_per_hour * regions_[region].price_multiplier;
+}
+
+util::Distribution Catalog::network_pair(TypeId a, TypeId b) const {
+  const auto& na = types_[a].net_mbps;
+  const auto& nb = types_[b].net_mbps;
+  const double mu = std::min(na.a, nb.a);
+  // The noisier endpoint dominates observed jitter; add in quadrature.
+  const double sigma = std::sqrt(na.b * na.b + nb.b * nb.b) / std::numbers::sqrt2;
+  return util::Distribution::normal(mu, sigma);
+}
+
+Catalog make_ec2_catalog() {
+  Catalog catalog;
+
+  InstanceType small;
+  small.name = "m1.small";
+  small.price_per_hour = 0.044;
+  small.compute_units = 1.0;
+  small.per_core_units = 1.0;
+  small.mem_gb = 1.7;
+  small.seq_io_mbps = util::Distribution::gamma(129.3, 0.79);   // Table 2
+  small.rand_io_iops = util::Distribution::normal(150.3, 50.0); // Table 2
+  small.net_mbps = util::Distribution::normal(300, 90);
+  catalog.add_type(small);
+
+  InstanceType medium;
+  medium.name = "m1.medium";
+  medium.price_per_hour = 0.087;
+  medium.compute_units = 2.0;
+  medium.per_core_units = 2.0;
+  medium.mem_gb = 3.75;
+  medium.seq_io_mbps = util::Distribution::gamma(127.1, 0.80);
+  medium.rand_io_iops = util::Distribution::normal(128.9, 8.4);
+  medium.net_mbps = util::Distribution::normal(500, 125);  // Fig. 6: ~50% swings
+  catalog.add_type(medium);
+
+  InstanceType large;
+  large.name = "m1.large";
+  large.price_per_hour = 0.175;
+  large.compute_units = 4.0;
+  large.per_core_units = 2.0;
+  large.mem_gb = 7.5;
+  large.seq_io_mbps = util::Distribution::gamma(376.6, 0.28);
+  large.rand_io_iops = util::Distribution::normal(172.9, 34.8);
+  large.net_mbps = util::Distribution::normal(700, 60);    // Fig. 7: tight
+  catalog.add_type(large);
+
+  InstanceType xlarge;
+  xlarge.name = "m1.xlarge";
+  xlarge.price_per_hour = 0.350;
+  xlarge.compute_units = 8.0;
+  xlarge.per_core_units = 2.0;
+  xlarge.mem_gb = 15.0;
+  xlarge.seq_io_mbps = util::Distribution::gamma(408.1, 0.26);
+  xlarge.rand_io_iops = util::Distribution::normal(1034.0, 146.4);
+  xlarge.net_mbps = util::Distribution::normal(1000, 70);
+  catalog.add_type(xlarge);
+
+  // Home region plus the paper's second region.  Section 3.3: "prices of
+  // instances in the Singapore region are higher ... the price difference of
+  // the m1.small instances is 33%".  EC2 data-transfer-out ~ $0.12/GB.
+  catalog.add_region(Region{"us-east-1", 1.0, 0.12});
+  catalog.add_region(Region{"ap-southeast-1", 1.33, 0.19});
+  catalog.set_inter_region_net(util::Distribution::normal(80, 20));
+  return catalog;
+}
+
+}  // namespace deco::cloud

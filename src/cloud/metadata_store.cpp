@@ -1,0 +1,89 @@
+#include "cloud/metadata_store.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace deco::cloud {
+
+void MetadataStore::put(const std::string& key, util::Histogram histogram) {
+  histograms_[key] = std::move(histogram);
+}
+
+std::optional<util::Histogram> MetadataStore::get(const std::string& key) const {
+  const auto it = histograms_.find(key);
+  if (it == histograms_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool MetadataStore::contains(const std::string& key) const {
+  return histograms_.count(key) > 0;
+}
+
+std::string MetadataStore::serialize() const {
+  std::ostringstream os;
+  os.precision(17);
+  for (const auto& [key, hist] : histograms_) {
+    os << key << '\n' << hist.bin_count() << '\n';
+    for (std::size_t i = 0; i < hist.bin_count(); ++i) {
+      os << hist.centers()[i] << ' ' << hist.masses()[i] << '\n';
+    }
+  }
+  return os.str();
+}
+
+MetadataStore MetadataStore::deserialize(const std::string& text) {
+  MetadataStore store;
+  std::istringstream is(text);
+  std::string key;
+  while (std::getline(is, key)) {
+    if (key.empty()) continue;
+    std::size_t bins = 0;
+    if (!(is >> bins)) break;
+    std::vector<double> centers(bins);
+    std::vector<double> masses(bins);
+    for (std::size_t i = 0; i < bins; ++i) is >> centers[i] >> masses[i];
+    is.ignore(1, '\n');
+    store.put(key, util::Histogram::from_bins(std::move(centers), std::move(masses)));
+  }
+  return store;
+}
+
+bool MetadataStore::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << serialize();
+  return static_cast<bool>(out);
+}
+
+std::optional<MetadataStore> MetadataStore::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return deserialize(buffer.str());
+}
+
+std::string MetadataStore::seq_io_key(const std::string& provider,
+                                      const std::string& type) {
+  return provider + "/" + type + "/seq_io";
+}
+
+std::string MetadataStore::rand_io_key(const std::string& provider,
+                                       const std::string& type) {
+  return provider + "/" + type + "/rand_io";
+}
+
+std::string MetadataStore::net_key(const std::string& provider,
+                                   const std::string& type_a,
+                                   const std::string& type_b) {
+  // Order-insensitive key.
+  if (type_b < type_a) return net_key(provider, type_b, type_a);
+  return provider + "/net/" + type_a + "/" + type_b;
+}
+
+std::string MetadataStore::inter_region_net_key(const std::string& provider) {
+  return provider + "/net/inter_region";
+}
+
+}  // namespace deco::cloud

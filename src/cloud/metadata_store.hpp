@@ -1,0 +1,46 @@
+// Metadata store of calibrated cloud-performance histograms.
+//
+// Section 4.2: "we discretize the probabilistic performance distributions as
+// histograms, and store the histograms in the metadata store.  We have
+// developed some micro-benchmarks and periodically perform calibrations on
+// the target cloud, which is totally transparent to users."  WLog's
+// import(cloud) and the probabilistic IR translation both read from here.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "util/histogram.hpp"
+
+namespace deco::cloud {
+
+/// Canonical keys, e.g. "ec2/m1.medium/seq_io", "ec2/net/m1.large/m1.medium".
+class MetadataStore {
+ public:
+  void put(const std::string& key, util::Histogram histogram);
+  std::optional<util::Histogram> get(const std::string& key) const;
+  bool contains(const std::string& key) const;
+  std::size_t size() const { return histograms_.size(); }
+
+  /// Serialization: line-oriented text format (key, bins, center/mass pairs).
+  std::string serialize() const;
+  static MetadataStore deserialize(const std::string& text);
+
+  bool save(const std::string& path) const;
+  static std::optional<MetadataStore> load(const std::string& path);
+
+  static std::string seq_io_key(const std::string& provider,
+                                const std::string& type);
+  static std::string rand_io_key(const std::string& provider,
+                                 const std::string& type);
+  static std::string net_key(const std::string& provider,
+                             const std::string& type_a,
+                             const std::string& type_b);
+  static std::string inter_region_net_key(const std::string& provider);
+
+ private:
+  std::map<std::string, util::Histogram> histograms_;
+};
+
+}  // namespace deco::cloud

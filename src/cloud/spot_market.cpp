@@ -1,0 +1,84 @@
+#include "cloud/spot_market.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/distributions.hpp"
+
+namespace deco::cloud {
+
+SpotPriceTrace SpotPriceTrace::simulate(double on_demand,
+                                        const SpotModel& model,
+                                        std::size_t steps, util::Rng& rng) {
+  SpotPriceTrace trace;
+  trace.step_seconds_ = model.step_seconds;
+  trace.prices_.reserve(steps);
+  const double mean_log = std::log(on_demand * model.base_fraction);
+  double x = mean_log;
+  const util::Normal noise{0.0, model.volatility};
+  for (std::size_t i = 0; i < steps; ++i) {
+    x += model.reversion * (mean_log - x) + noise.sample(rng);
+    if (rng.chance(model.spike_prob)) x += model.spike_magnitude;
+    // Spot never exceeds on-demand for long: providers cap at on-demand.
+    const double price = std::min(std::exp(x), on_demand);
+    trace.prices_.push_back(price);
+  }
+  return trace;
+}
+
+double SpotPriceTrace::price_at(double t_seconds) const {
+  if (prices_.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      std::clamp(t_seconds / step_seconds_, 0.0,
+                 static_cast<double>(prices_.size() - 1)));
+  return prices_[idx];
+}
+
+double SpotPriceTrace::next_revocation(double t_seconds, double bid) const {
+  if (prices_.empty()) return -1;
+  auto idx = static_cast<std::size_t>(
+      std::clamp(t_seconds / step_seconds_, 0.0,
+                 static_cast<double>(prices_.size() - 1)));
+  for (; idx < prices_.size(); ++idx) {
+    if (prices_[idx] > bid) return static_cast<double>(idx) * step_seconds_;
+  }
+  return -1;
+}
+
+double SpotPriceTrace::availability(double bid) const {
+  if (prices_.empty()) return 0;
+  std::size_t ok = 0;
+  for (double p : prices_) {
+    if (p <= bid) ++ok;
+  }
+  return static_cast<double>(ok) / static_cast<double>(prices_.size());
+}
+
+SpotQuote quote(const SpotPriceTrace& trace, double bid) {
+  SpotQuote q;
+  if (trace.size() == 0) return q;
+  double sum = 0;
+  for (double p : trace.prices()) sum += p;
+  q.mean_price = sum / static_cast<double>(trace.size());
+  // Hazard: fraction of hour-long windows containing a price above the bid.
+  const auto steps_per_hour = static_cast<std::size_t>(
+      std::max(1.0, 3600.0 / trace.step_seconds()));
+  std::size_t windows = 0;
+  std::size_t revoked = 0;
+  for (std::size_t begin = 0; begin + steps_per_hour <= trace.size();
+       begin += steps_per_hour) {
+    ++windows;
+    for (std::size_t i = begin; i < begin + steps_per_hour; ++i) {
+      if (trace.prices()[i] > bid) {
+        ++revoked;
+        break;
+      }
+    }
+  }
+  q.hourly_revocation_prob =
+      windows > 0 ? static_cast<double>(revoked) / static_cast<double>(windows)
+                  : 0;
+  return q;
+}
+
+}  // namespace deco::cloud

@@ -1,0 +1,75 @@
+// Spot-market pricing model (extension).
+//
+// The paper's introduction motivates Deco with clouds offering "different
+// types of instances and pricing models"; its evaluation uses on-demand
+// pricing only.  This module adds the other major IaaS pricing model of the
+// era — the EC2 spot market — as an engine extension:
+//
+//   * a mean-reverting stochastic spot-price process per instance type
+//     (Ornstein-Uhlenbeck in log-space, the standard fit to historical EC2
+//     spot traces), discretized per minute;
+//   * bid semantics: a spot instance runs while the market price stays at or
+//     below the bid and is *revoked* the minute it rises above it; revoked
+//     work is lost and must be re-executed (EC2 did not charge the last
+//     partial hour of a revoked instance, which the billing model honours);
+//   * histograms of the price process feed the metadata store, so the
+//     estimator/evaluator can reason about revocation risk the same way
+//     they reason about performance dynamics.
+//
+// The sim::simulate_execution extension (SpotExecution) and the
+// `ablation_spot` bench quantify the cost/risk trade-off.
+#pragma once
+
+#include <vector>
+
+#include "cloud/instance_type.hpp"
+#include "util/rng.hpp"
+
+namespace deco::cloud {
+
+struct SpotModel {
+  double base_fraction = 0.3;   ///< long-run mean spot price / on-demand
+  double reversion = 0.08;      ///< OU mean-reversion speed (per step)
+  double volatility = 0.12;     ///< OU volatility (per sqrt step)
+  double spike_prob = 0.01;     ///< per-step probability of a demand spike
+  double spike_magnitude = 1.2; ///< log-price jump on a spike
+  double step_seconds = 60;     ///< price update granularity
+};
+
+/// A sampled spot-price trace for one instance type.
+class SpotPriceTrace {
+ public:
+  /// Simulates `steps` price updates for a type with on-demand price
+  /// `on_demand` under `model`.
+  static SpotPriceTrace simulate(double on_demand, const SpotModel& model,
+                                 std::size_t steps, util::Rng& rng);
+
+  double step_seconds() const { return step_seconds_; }
+  std::size_t size() const { return prices_.size(); }
+  const std::vector<double>& prices() const { return prices_; }
+
+  /// Price in effect at absolute time t (clamped to the trace).
+  double price_at(double t_seconds) const;
+
+  /// First time >= t at which the price exceeds `bid`; returns a negative
+  /// value if the bid is never exceeded within the trace.
+  double next_revocation(double t_seconds, double bid) const;
+
+  /// Fraction of the trace spent at or below `bid` (availability).
+  double availability(double bid) const;
+
+ private:
+  std::vector<double> prices_;
+  double step_seconds_ = 60;
+};
+
+/// Expected spot statistics used by planners: mean price and the revocation
+/// hazard (probability that a one-hour window contains a price > bid).
+struct SpotQuote {
+  double mean_price = 0;
+  double hourly_revocation_prob = 0;
+};
+
+SpotQuote quote(const SpotPriceTrace& trace, double bid);
+
+}  // namespace deco::cloud

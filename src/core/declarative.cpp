@@ -1,0 +1,275 @@
+#include "core/declarative.hpp"
+
+#include <functional>
+#include <unordered_map>
+
+#include "util/stats.hpp"
+
+namespace deco::core {
+namespace {
+
+/// One solution of a generator: the substitution for its variables.
+struct GeneratorSolution {
+  std::string key;  // rendered, e.g. "task(t3)"
+  std::unordered_map<std::int64_t, wlog::TermPtr> substitution;
+};
+
+/// Enumerates the solutions of a generator term against the IR's base.
+std::vector<GeneratorSolution> enumerate_generator(
+    const wlog::Database& base, const wlog::TermPtr& generator) {
+  std::vector<GeneratorSolution> out;
+  wlog::Interpreter interp(base);
+  wlog::Bindings bindings;
+
+  // Collect the generator's variable ids.
+  std::vector<std::int64_t> var_ids;
+  std::function<void(const wlog::TermPtr&)> collect =
+      [&](const wlog::TermPtr& t) {
+        if (t->kind == wlog::TermKind::kVar) {
+          var_ids.push_back(t->ival);
+          return;
+        }
+        for (const auto& a : t->args) collect(a);
+      };
+  collect(generator);
+
+  interp.solve(generator, bindings, [&](wlog::Bindings& b) {
+    GeneratorSolution sol;
+    for (std::int64_t id : var_ids) {
+      sol.substitution[id] = b.deep_resolve(wlog::make_var(id));
+    }
+    sol.key = wlog::to_string(b.deep_resolve(generator));
+    out.push_back(std::move(sol));
+    return out.size() >= 4096;  // hard cap against runaway generators
+  });
+  return out;
+}
+
+/// Substitutes a solution into `term`; remaining free variables become the
+/// integer `flag` (the decision marker, e.g. Con = 1).
+wlog::TermPtr instantiate(const wlog::TermPtr& term,
+                          const std::unordered_map<std::int64_t, wlog::TermPtr>&
+                              substitution,
+                          std::int64_t flag) {
+  switch (term->kind) {
+    case wlog::TermKind::kVar: {
+      const auto it = substitution.find(term->ival);
+      if (it != substitution.end()) return it->second;
+      return wlog::make_int(flag);
+    }
+    case wlog::TermKind::kCompound: {
+      std::vector<wlog::TermPtr> args;
+      args.reserve(term->args.size());
+      for (const auto& a : term->args) {
+        args.push_back(instantiate(a, substitution, flag));
+      }
+      return wlog::make_compound(term->text, std::move(args));
+    }
+    default:
+      return term;
+  }
+}
+
+std::uint64_t assignment_hash(const std::vector<int>& assignment) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (int v : assignment) {
+    h = (h ^ static_cast<std::uint64_t>(v + 1)) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+DeclarativeResult DeclarativeSolver::solve(const wlog::Program& program,
+                                           const wlog::ProbProgram& ir) {
+  DeclarativeResult result;
+  if (!program.goal) {
+    result.error = "program has no goal directive";
+    return result;
+  }
+  if (program.vars.empty()) {
+    result.error = "program has no var directive";
+    return result;
+  }
+  const wlog::VarDecl& decl = program.vars.front();
+  if (decl.generators.empty() || decl.generators.size() > 2) {
+    result.error = "var directive must have one or two generators";
+    return result;
+  }
+
+  // Enumerate entities (generator 1) and choices (generator 2 / boolean).
+  const auto entities = enumerate_generator(ir.base(), decl.generators[0]);
+  if (entities.empty()) {
+    result.error = "the first generator has no solutions (missing facts?)";
+    return result;
+  }
+  const bool boolean_form = decl.generators.size() == 1;
+  std::vector<GeneratorSolution> choices;
+  if (!boolean_form) {
+    choices = enumerate_generator(ir.base(), decl.generators[1]);
+    if (choices.empty()) {
+      result.error = "the second generator has no solutions (missing facts?)";
+      return result;
+    }
+  }
+  for (const auto& e : entities) result.entities.push_back(e.key);
+  if (boolean_form) {
+    result.choices = {"0", "1"};
+  } else {
+    for (const auto& c : choices) result.choices.push_back(c.key);
+  }
+
+  const std::size_t n = entities.size();
+  const std::size_t k = boolean_form ? 2 : choices.size();
+
+  // Bind a state: assert the decision facts for the assignment.
+  auto bind_state = [&](const std::vector<int>& assignment) {
+    wlog::ProbProgram bound = ir;
+    for (std::size_t e = 0; e < n; ++e) {
+      if (boolean_form) {
+        // Assert the flag both ways so rules can test 1 or 0.
+        bound.base().add_fact(instantiate(decl.template_term,
+                                          entities[e].substitution,
+                                          assignment[e] ? 1 : 0));
+      } else {
+        auto substitution = entities[e].substitution;
+        for (const auto& [id, term] :
+             choices[static_cast<std::size_t>(assignment[e])].substitution) {
+          substitution[id] = term;
+        }
+        bound.base().add_fact(
+            instantiate(decl.template_term, substitution, 1));
+      }
+    }
+    return bound;
+  };
+
+  wlog::McOptions mc;
+  mc.max_iterations = options_.mc_iterations;
+  util::Rng rng(options_.seed);
+
+  auto evaluate_state = [&](const std::vector<int>& assignment) -> Scored {
+    const wlog::ProbProgram bound = bind_state(assignment);
+    Scored scored;
+    scored.feasible = true;
+    for (const wlog::ConstraintSpec& cons : program.constraints) {
+      switch (cons.kind) {
+        case wlog::ConstraintSpec::Kind::kDeadline:
+        case wlog::ConstraintSpec::Kind::kBudget: {
+          const auto values =
+              wlog::mc_sample_values(bound, cons.query, cons.variable, rng, mc);
+          if (values.empty()) {
+            scored.feasible = false;
+            break;
+          }
+          scored.feasible = util::percentile(values, cons.quantile * 100.0) <=
+                            cons.bound;
+          break;
+        }
+        case wlog::ConstraintSpec::Kind::kCompare: {
+          const auto values =
+              wlog::mc_sample_values(bound, cons.query, cons.variable, rng, mc);
+          if (values.empty()) {
+            scored.feasible = false;
+            break;
+          }
+          const double mean = util::mean(values);
+          double rhs = 0;
+          {
+            const wlog::Database modal = bound.modal_world();
+            wlog::Interpreter interp(modal);
+            wlog::Bindings bindings;
+            if (!interp.eval_arith(cons.cmp_rhs, bindings, rhs)) {
+              scored.feasible = false;
+              break;
+            }
+          }
+          bool ok = true;
+          if (cons.cmp_op == "=<") ok = mean <= rhs;
+          if (cons.cmp_op == "<") ok = mean < rhs;
+          if (cons.cmp_op == ">=") ok = mean >= rhs;
+          if (cons.cmp_op == ">") ok = mean > rhs;
+          scored.feasible = ok;
+          break;
+        }
+        case wlog::ConstraintSpec::Kind::kHolds: {
+          const auto mcres =
+              wlog::mc_eval_constraint(bound, cons.query, rng, mc);
+          scored.feasible = mcres.probability >= 0.5;
+          break;
+        }
+      }
+      if (!scored.feasible) break;
+    }
+    const auto goal = wlog::mc_eval_goal(bound, program.goal->query,
+                                         program.goal->variable, rng, mc);
+    scored.feasible = scored.feasible && goal.probability > 0;
+    scored.objective = goal.value;
+    return scored;
+  };
+
+  SearchCallbacks<std::vector<int>> cb;
+  cb.hash = assignment_hash;
+  cb.children = [&](const std::vector<int>& assignment) {
+    std::vector<std::vector<int>> children;
+    for (std::size_t e = 0; e < n; ++e) {
+      if (assignment[e] + 1 < static_cast<int>(k)) {
+        std::vector<int> child = assignment;
+        ++child[e];
+        children.push_back(std::move(child));
+      }
+    }
+    return children;
+  };
+  cb.evaluate = [&](std::span<const std::vector<int>> states) {
+    std::vector<Scored> out(states.size());
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      out[i] = evaluate_state(states[i]);
+    }
+    return out;
+  };
+
+  SearchOptions sopt;
+  sopt.max_states = options_.max_states;
+  sopt.batch_size = options_.batch_size;
+  sopt.minimize = program.goal->minimize;
+  sopt.stale_wave_limit = options_.stale_wave_limit;
+
+  const std::vector<int> initial(n, 0);
+  SearchResult<std::vector<int>> found;
+  if (program.astar_enabled) {
+    auto score_via = [&](const char* predicate,
+                         const std::vector<int>& assignment) {
+      const wlog::ProbProgram bound = bind_state(assignment);
+      const wlog::Database modal = bound.modal_world();
+      wlog::Interpreter interp(modal);
+      const auto solutions =
+          interp.query(std::string(predicate) + "(Score)", 1);
+      if (solutions.empty()) return 0.0;
+      return solutions[0].number("Score");
+    };
+    cb.g_score = [&](const std::vector<int>& a) {
+      return score_via("cal_g_score", a);
+    };
+    cb.h_score = [&](const std::vector<int>& a) {
+      return score_via("est_h_score", a);
+    };
+    sopt.monotone_objective = sopt.minimize;
+    found = astar_search(initial, cb, sopt);
+  } else {
+    found = generic_search(initial, cb, sopt);
+  }
+
+  result.stats = found.stats;
+  if (!found.best) {
+    result.error = "no feasible solution found within the search budget";
+    return result;
+  }
+  result.ok = true;
+  result.assignment = *found.best;
+  result.goal_value = found.best_score.objective;
+  result.feasible = found.best_score.feasible;
+  return result;
+}
+
+}  // namespace deco::core

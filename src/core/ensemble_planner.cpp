@@ -1,0 +1,114 @@
+#include "core/ensemble_planner.hpp"
+
+#include <cmath>
+
+namespace deco::core {
+namespace {
+
+std::uint64_t bitmask_hash(const std::vector<bool>& bits) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) h ^= 0x100000001b3ULL * (i + 1);
+  }
+  return h;
+}
+
+}  // namespace
+
+EnsemblePlanner::EnsemblePlanner(const cloud::Catalog& catalog,
+                                 const cloud::MetadataStore& store,
+                                 vgpu::ComputeBackend& backend,
+                                 EvalOptions eval, EstimatorOptions estimator)
+    : catalog_(&catalog),
+      store_(&store),
+      backend_(&backend),
+      eval_(eval),
+      estimator_options_(estimator) {}
+
+EnsemblePlanResult EnsemblePlanner::plan(const workflow::Ensemble& ensemble,
+                                         const EnsemblePlanOptions& options) {
+  EnsemblePlanResult result;
+  const std::size_t n = ensemble.members.size();
+  result.admitted.assign(n, false);
+  result.plans.resize(n);
+  result.member_costs.assign(n, 0);
+
+  // Per-member cheapest deadline-feasible plan (once per member).
+  std::vector<bool> feasible(n, false);
+  std::vector<double> scores(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& member = ensemble.members[i];
+    scores[i] = std::pow(2.0, -member.priority);
+    TaskTimeEstimator estimator(*catalog_, *store_, estimator_options_);
+    SchedulingProblem problem(member.workflow, estimator, *backend_, eval_);
+    ProbDeadline req;
+    req.quantile = member.deadline_q / 100.0;
+    req.deadline_s = member.deadline_s;
+    const SchedulingResult sr = problem.solve(req, options.per_workflow);
+    feasible[i] = sr.found;
+    if (sr.found) {
+      result.plans[i] = sr.plan;
+      result.member_costs[i] = sr.evaluation.mean_cost;
+    }
+  }
+
+  // Admission search: maximize score subject to the budget.
+  SearchCallbacks<std::vector<bool>> cb;
+  cb.hash = bitmask_hash;
+  auto cost_of = [&](const std::vector<bool>& bits) {
+    double cost = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (bits[i]) cost += result.member_costs[i];
+    }
+    return cost;
+  };
+  auto score_of = [&](const std::vector<bool>& bits) {
+    double score = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (bits[i]) score += scores[i];
+    }
+    return score;
+  };
+  cb.children = [&](const std::vector<bool>& bits) {
+    std::vector<std::vector<bool>> children;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (bits[i] || !feasible[i]) continue;
+      std::vector<bool> child = bits;
+      child[i] = true;
+      // Children that already blow the budget are not generated at all
+      // (cost is monotone in admissions).
+      if (cost_of(child) <= ensemble.budget) children.push_back(std::move(child));
+    }
+    return children;
+  };
+  cb.evaluate = [&](std::span<const std::vector<bool>> states) {
+    std::vector<Scored> out(states.size());
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      out[i].feasible = cost_of(states[i]) <= ensemble.budget;
+      out[i].objective = score_of(states[i]);
+    }
+    return out;
+  };
+  // A* per the paper: g = h = Score of the state.
+  cb.g_score = score_of;
+  cb.h_score = score_of;
+
+  SearchOptions sopt = options.search;
+  sopt.minimize = false;
+  const auto found =
+      astar_search(std::vector<bool>(n, false), cb, sopt);
+  result.stats = found.stats;
+  if (found.best) {
+    result.admitted = *found.best;
+  }
+  result.total_cost = cost_of(result.admitted);
+  result.score = score_of(result.admitted);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!result.admitted[i]) {
+      result.plans[i] = sim::Plan{};
+    }
+  }
+  return result;
+}
+
+}  // namespace deco::core

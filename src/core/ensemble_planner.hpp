@@ -1,0 +1,74 @@
+// Use case 2 — workflow ensembles (Section 3.2).
+//
+// Maximize the total score sum(2^-priority) of completed workflows (Eq. 4)
+// subject to an ensemble-wide budget (Eq. 5) and per-workflow probabilistic
+// deadlines (Eq. 6).
+//
+// Implementation per Section 6.3.2: "a state in the search space is
+// implemented as an array of boolean values, where each dimension indicates
+// whether to execute a workflow in the ensemble.  We enable the A* search by
+// specifying the g and h score of a search state s as the Score metric of s.
+// Initially, all dimensions are set to false ...  For state transitions, we
+// consider executing each of the uncompleted workflows."  Each admitted
+// workflow runs under its cheapest deadline-feasible plan found by the
+// workflow-scheduling solver (which applies the transformation operations —
+// the source of Deco's cost advantage over SPSS).
+#pragma once
+
+#include <vector>
+
+#include "core/scheduling.hpp"
+#include "workflow/ensemble.hpp"
+
+namespace deco::core {
+
+struct EnsemblePlanOptions {
+  SearchOptions search;
+  SchedulingOptions per_workflow;  ///< options for each member's plan search
+  EnsemblePlanOptions() {
+    search.max_states = 4096;
+    search.batch_size = 64;
+    search.minimize = false;  // maximize score
+    per_workflow.search.max_states = 64;
+    per_workflow.search.stale_wave_limit = 6;
+  }
+};
+
+struct EnsemblePlanResult {
+  std::vector<bool> admitted;        ///< per member
+  std::vector<sim::Plan> plans;      ///< per member (empty if not admitted)
+  std::vector<double> member_costs;  ///< expected cost of each member's plan
+  double total_cost = 0;             ///< expected cost of admitted members
+  double score = 0;                  ///< Eq. 4
+  SearchStats stats;
+};
+
+class EnsemblePlanner {
+ public:
+  /// Defaults to the billed-hours cost model: the ensemble budget (Eq. 5)
+  /// is spent in real instance hours, which is exactly where the workflow
+  /// transformations (Merge / Co-Scheduling packing partial hours) create
+  /// Deco's advantage over SPSS.
+  EnsemblePlanner(const cloud::Catalog& catalog,
+                  const cloud::MetadataStore& store,
+                  vgpu::ComputeBackend& backend,
+                  EvalOptions eval =
+                      [] {
+                        EvalOptions e;
+                        e.cost_model = CostModel::kBilledHours;
+                        return e;
+                      }(),
+                  EstimatorOptions estimator = {});
+
+  EnsemblePlanResult plan(const workflow::Ensemble& ensemble,
+                          const EnsemblePlanOptions& options = {});
+
+ private:
+  const cloud::Catalog* catalog_;
+  const cloud::MetadataStore* store_;
+  vgpu::ComputeBackend* backend_;
+  EvalOptions eval_;
+  EstimatorOptions estimator_options_;
+};
+
+}  // namespace deco::core

@@ -1,0 +1,133 @@
+#include "core/estimator.hpp"
+
+#include <algorithm>
+
+#include "cloud/calibration.hpp"
+
+namespace deco::core {
+namespace {
+
+constexpr double kMB = 1024.0 * 1024.0;
+
+double mbps_to_bytes_per_s(double mbps) {
+  return std::max(mbps, 1.0) * 1e6 / 8.0;
+}
+
+}  // namespace
+
+TaskTimeEstimator::TaskTimeEstimator(const cloud::Catalog& catalog,
+                                     const cloud::MetadataStore& store,
+                                     EstimatorOptions options)
+    : catalog_(&catalog), store_(&store), options_(std::move(options)) {}
+
+namespace {
+std::uint64_t cache_key(workflow::TaskId task, cloud::TypeId type) {
+  return (static_cast<std::uint64_t>(task) << 8) |
+         static_cast<std::uint64_t>(type);
+}
+}  // namespace
+
+const util::Histogram& TaskTimeEstimator::distribution(
+    const workflow::Workflow& wf, workflow::TaskId task, cloud::TypeId type) {
+  const std::uint64_t key = cache_key(task, type);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  build(wf, task, type);
+  return cache_.at(key);
+}
+
+const util::Histogram& TaskTimeEstimator::dynamic_distribution(
+    const workflow::Workflow& wf, workflow::TaskId task, cloud::TypeId type) {
+  const std::uint64_t key = cache_key(task, type);
+  const auto it = dyn_cache_.find(key);
+  if (it != dyn_cache_.end()) return it->second;
+  build(wf, task, type);
+  return dyn_cache_.at(key);
+}
+
+double TaskTimeEstimator::cpu_time(const workflow::Workflow& wf,
+                                   workflow::TaskId task,
+                                   cloud::TypeId type) const {
+  return wf.task(task).cpu_seconds /
+         std::max(catalog_->type(type).per_core_units, 0.1);
+}
+
+double TaskTimeEstimator::mean_time(const workflow::Workflow& wf,
+                                    workflow::TaskId task,
+                                    cloud::TypeId type) {
+  return distribution(wf, task, type).mean();
+}
+
+double TaskTimeEstimator::percentile_time(const workflow::Workflow& wf,
+                                          workflow::TaskId task,
+                                          cloud::TypeId type, double q) {
+  return distribution(wf, task, type).percentile(q);
+}
+
+void TaskTimeEstimator::build(const workflow::Workflow& wf,
+                              workflow::TaskId task, cloud::TypeId type) {
+  const workflow::Task& t = wf.task(task);
+  const cloud::InstanceType& vm = catalog_->type(type);
+  const double cpu = cpu_time(wf, task, type);
+
+  const auto seq =
+      store_->get(cloud::MetadataStore::seq_io_key(options_.provider, vm.name));
+  const auto rnd =
+      store_->get(cloud::MetadataStore::rand_io_key(options_.provider, vm.name));
+  // Network: the parents' instance types are unknown at estimation time, so
+  // assume the *slowest* possible partner NIC (the pair with the cheapest
+  // type).  Conservative by design: plans promise deadlines they can keep.
+  const auto net = store_->get(cloud::MetadataStore::net_key(
+      options_.provider, vm.name, catalog_->type(0).name));
+
+  double net_bytes = 0;
+  if (options_.include_network) {
+    for (const workflow::Edge& e : wf.edges()) {
+      if (e.child == task) net_bytes += e.bytes;
+    }
+  }
+  const double io_bytes = t.input_bytes + t.output_bytes;
+
+  // Seed per (task, type) so the cache content does not depend on call order.
+  util::Rng rng(options_.seed ^ (static_cast<std::uint64_t>(task) * 0x9E37 +
+                                 static_cast<std::uint64_t>(type)));
+  std::vector<double> dynamic;
+  std::vector<double> total;
+  dynamic.reserve(options_.convolution_samples);
+  total.reserve(options_.convolution_samples);
+  for (std::size_t i = 0; i < options_.convolution_samples; ++i) {
+    double dyn = 0;
+    if (seq && io_bytes > 0) {
+      dyn += io_bytes / (std::max(seq->sample(rng), 1.0) * kMB);
+    }
+    if (rnd && options_.rand_io_ops_per_task > 0) {
+      dyn += options_.rand_io_ops_per_task / std::max(rnd->sample(rng), 1.0);
+    }
+    if (net && net_bytes > 0) {
+      dyn += net_bytes / mbps_to_bytes_per_s(net->sample(rng));
+    }
+    dynamic.push_back(dyn);
+    total.push_back(cpu + dyn);
+  }
+  const std::uint64_t key = cache_key(task, type);
+  cache_[key] = util::Histogram::from_samples(total, options_.histogram_bins);
+  dyn_cache_[key] =
+      util::Histogram::from_samples(dynamic, options_.histogram_bins);
+}
+
+cloud::MetadataStore make_store_from_catalog(const cloud::Catalog& catalog,
+                                             const std::string& provider,
+                                             std::size_t samples,
+                                             std::size_t bins,
+                                             std::uint64_t seed) {
+  cloud::MetadataStore store;
+  cloud::CalibrationOptions opt;
+  opt.provider = provider;
+  opt.samples_per_setting = samples;
+  opt.histogram_bins = bins;
+  util::Rng rng(seed);
+  cloud::calibrate(catalog, store, opt, rng);
+  return store;
+}
+
+}  // namespace deco::core

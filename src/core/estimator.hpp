@@ -1,0 +1,96 @@
+// Task execution-time estimation (Section 5.1).
+//
+// "Given the input data size, the CPU execution time ... and the output data
+// size of a task, the overall execution time of the task on a cloud instance
+// can be estimated with the sum of the CPU, I/O and network time of running
+// the task on this instance.  Note, since the I/O and network performance of
+// the cloud are dynamic, the estimated task execution time is also a
+// probabilistic distribution."
+//
+// The estimator reads the calibrated histograms from the metadata store
+// (never the catalog's ground truth) and composes, per (task, vm type), the
+// execution-time distribution by Monte Carlo convolution of:
+//   cpu   = cpu_seconds / compute_units                  (constant)
+//   io    = (in+out bytes) / seq_io_rate + ops / iops    (random rates)
+//   net   = incoming edge bytes / pair bandwidth         (random rate)
+// discretized back into a histogram the evaluator and the WLog bridge share.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "cloud/instance_type.hpp"
+#include "cloud/metadata_store.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "workflow/dag.hpp"
+
+namespace deco::core {
+
+struct EstimatorOptions {
+  std::string provider = "ec2";
+  std::size_t convolution_samples = 512;  ///< MC draws per (task, type)
+  std::size_t histogram_bins = 16;
+  double rand_io_ops_per_task = 50;
+  /// Model network fetch of parent outputs (assumes remote parents, the
+  /// conservative estimate; the simulator charges only cross-instance edges).
+  bool include_network = true;
+  std::uint64_t seed = 2015;
+};
+
+class TaskTimeEstimator {
+ public:
+  TaskTimeEstimator(const cloud::Catalog& catalog,
+                    const cloud::MetadataStore& store,
+                    EstimatorOptions options = {});
+
+  /// Execution-time distribution of `task` of `wf` on instance type `type`.
+  /// Cached; the cache key is (task id, type), so use one estimator per
+  /// workflow.
+  const util::Histogram& distribution(const workflow::Workflow& wf,
+                                      workflow::TaskId task,
+                                      cloud::TypeId type);
+
+  /// The *dynamic* part only (I/O + network seconds; CPU excluded).  The
+  /// evaluator scales this component by a correlated per-world interference
+  /// factor — congestion persists across a run, so sampling it per task
+  /// would understate makespan spread.
+  const util::Histogram& dynamic_distribution(const workflow::Workflow& wf,
+                                              workflow::TaskId task,
+                                              cloud::TypeId type);
+
+  /// The constant CPU component (reference seconds / per-core units).
+  double cpu_time(const workflow::Workflow& wf, workflow::TaskId task,
+                  cloud::TypeId type) const;
+
+  /// Mean execution time (M_ij in Eq. 2).
+  double mean_time(const workflow::Workflow& wf, workflow::TaskId task,
+                   cloud::TypeId type);
+
+  /// q-th percentile (q in [0,100]) of the task's time on `type`.
+  double percentile_time(const workflow::Workflow& wf, workflow::TaskId task,
+                         cloud::TypeId type, double q);
+
+  const cloud::Catalog& catalog() const { return *catalog_; }
+  const EstimatorOptions& options() const { return options_; }
+
+ private:
+  void build(const workflow::Workflow& wf, workflow::TaskId task,
+             cloud::TypeId type);
+
+  const cloud::Catalog* catalog_;
+  const cloud::MetadataStore* store_;
+  EstimatorOptions options_;
+  std::unordered_map<std::uint64_t, util::Histogram> cache_;      // total
+  std::unordered_map<std::uint64_t, util::Histogram> dyn_cache_;  // io+net
+};
+
+/// Builds a metadata store directly from the catalog's distributions without
+/// a sampling pass (convenience for tests and engine setup).
+cloud::MetadataStore make_store_from_catalog(const cloud::Catalog& catalog,
+                                             const std::string& provider = "ec2",
+                                             std::size_t samples = 4000,
+                                             std::size_t bins = 24,
+                                             std::uint64_t seed = 7);
+
+}  // namespace deco::core

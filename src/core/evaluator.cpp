@@ -1,0 +1,220 @@
+#include "core/evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/stats.hpp"
+
+namespace deco::core {
+
+PlanEvaluator::PlanEvaluator(const workflow::Workflow& wf,
+                             TaskTimeEstimator& estimator,
+                             vgpu::ComputeBackend& backend,
+                             EvalOptions options)
+    : wf_(&wf),
+      estimator_(&estimator),
+      backend_(&backend),
+      options_(options) {
+  const auto topo = wf.topological_order();
+  topo_ = topo.value_or(std::vector<workflow::TaskId>{});
+  parent_offsets_.assign(wf.task_count() + 1, 0);
+  for (workflow::TaskId t = 0; t < wf.task_count(); ++t) {
+    parent_offsets_[t + 1] = parent_offsets_[t] + wf.parents(t).size();
+  }
+  parents_.reserve(parent_offsets_.back());
+  for (workflow::TaskId t = 0; t < wf.task_count(); ++t) {
+    for (workflow::TaskId p : wf.parents(t)) parents_.push_back(p);
+  }
+}
+
+PlanEvaluator::DevicePlan PlanEvaluator::stage(const sim::Plan& plan) {
+  DevicePlan dev;
+  const std::size_t n = wf_->task_count();
+  dev.bin_offsets.assign(n + 1, 0);
+  dev.cpu.resize(n);
+  dev.price_per_s.resize(n);
+  dev.group.resize(n);
+  for (workflow::TaskId t = 0; t < n; ++t) {
+    const auto& hist =
+        estimator_->dynamic_distribution(*wf_, t, plan[t].vm_type);
+    dev.bin_offsets[t + 1] = dev.bin_offsets[t] + hist.bin_count();
+    dev.cpu[t] = estimator_->cpu_time(*wf_, t, plan[t].vm_type);
+    dev.price_per_s[t] =
+        estimator_->catalog().price(plan[t].vm_type, plan[t].region) / 3600.0;
+    dev.group[t] = plan[t].group;
+    dev.group_slots = std::max(dev.group_slots,
+                               static_cast<std::size_t>(plan[t].group + 1));
+  }
+  dev.centers.reserve(dev.bin_offsets.back());
+  dev.cdf.reserve(dev.bin_offsets.back());
+  for (workflow::TaskId t = 0; t < n; ++t) {
+    const auto& hist =
+        estimator_->dynamic_distribution(*wf_, t, plan[t].vm_type);
+    dev.centers.insert(dev.centers.end(), hist.centers().begin(),
+                       hist.centers().end());
+    dev.cdf.insert(dev.cdf.end(), hist.cdf().begin(), hist.cdf().end());
+  }
+  return dev;
+}
+
+PlanEvaluation PlanEvaluator::reduce(std::span<const double> makespans,
+                                     std::span<const double> costs,
+                                     const ProbDeadline& req) const {
+  PlanEvaluation out;
+  out.mean_cost = util::mean(costs);
+  out.mean_makespan = util::mean(makespans);
+  out.makespan_quantile =
+      util::percentile(makespans, req.quantile * 100.0);
+  std::size_t within = 0;
+  const double derated =
+      req.deadline_s / std::max(options_.quantile_safety, 1.0);
+  for (double m : makespans) {
+    if (m <= derated) ++within;
+  }
+  out.deadline_prob = makespans.empty()
+                          ? 0
+                          : static_cast<double>(within) /
+                                static_cast<double>(makespans.size());
+  const double required =
+      std::min(req.quantile + options_.feasibility_margin, 1.0);
+  out.feasible = out.deadline_prob >= required - 1e-12;
+  return out;
+}
+
+PlanEvaluation PlanEvaluator::evaluate(const sim::Plan& plan,
+                                       const ProbDeadline& req) {
+  const sim::Plan* one = &plan;
+  return evaluate_batch(std::span<const sim::Plan>(one, 1), req)[0];
+}
+
+std::vector<PlanEvaluation> PlanEvaluator::evaluate_batch(
+    std::span<const sim::Plan> plans, const ProbDeadline& req) {
+  const std::size_t n = wf_->task_count();
+  const std::size_t iters = options_.mc_iterations;
+  std::vector<PlanEvaluation> results(plans.size());
+  if (plans.empty()) return results;
+  if (n == 0) {
+    for (auto& r : results) {
+      r.feasible = true;
+      r.deadline_prob = 1;
+    }
+    return results;
+  }
+
+  // Stage all plans on the host (the "global memory" image).  Staging uses
+  // the estimator cache and is done serially; kernels then run in parallel.
+  std::vector<DevicePlan> staged;
+  staged.reserve(plans.size());
+  for (const sim::Plan& p : plans) staged.push_back(stage(p));
+
+  // Output arrays: per block, `iters` makespans and costs.
+  std::vector<std::vector<double>> makespans(plans.size());
+  std::vector<std::vector<double>> costs(plans.size());
+
+  vgpu::LaunchConfig config;
+  config.blocks = plans.size();
+  config.lanes_per_block = iters;
+  config.shared_doubles = 2 * iters;
+  config.seed = options_.seed;
+  // Seed each block by its plan so a plan's score does not depend on which
+  // batch it was evaluated in.
+  config.block_seeds.reserve(plans.size());
+  for (const sim::Plan& p : plans) {
+    std::uint64_t h = 0xcbf29ce484222325ULL ^ options_.seed;
+    for (const auto& placement : p.placements) {
+      h = (h ^ placement.vm_type) * 0x100000001b3ULL;
+      h = (h ^ placement.region) * 0x100000001b3ULL;
+      h = (h ^ static_cast<std::uint64_t>(
+                   static_cast<std::int64_t>(placement.group) + 9)) *
+          0x100000001b3ULL;
+    }
+    config.block_seeds.push_back(h);
+  }
+
+  const CostModel cost_model = options_.cost_model;
+  const double interference_cv = options_.interference_cv;
+  backend_->launch(config, [&](vgpu::BlockContext& ctx) {
+    const DevicePlan& dev = staged[ctx.block_index()];
+    auto shared = ctx.shared();
+    ctx.for_each_lane([&](std::size_t lane, util::Rng& rng) {
+      // One correlated interference factor per possible world: congestion
+      // persists across a run, scaling every dynamic component together.
+      double interference = 1.0;
+      if (interference_cv > 0) {
+        interference = std::clamp(util::Normal{1.0, interference_cv}.sample(rng),
+                                  1.0 - 3 * interference_cv,
+                                  1.0 + 3 * interference_cv);
+        interference = std::max(interference, 0.1);
+      }
+      // Per-lane scratch: sampled durations and finish times.  Tasks in the
+      // same instance group serialize on that instance (Merge/CoSchedule
+      // semantics), so finish = max(parents, group available) + duration.
+      std::vector<double> sampled(n);
+      std::vector<double> finish(n);
+      std::vector<double> group_avail(dev.group_slots, 0.0);
+      for (std::size_t idx = 0; idx < n; ++idx) {
+        const workflow::TaskId t = topo_[idx];
+        // Inverse-CDF sample of this task's dynamic time.
+        const std::size_t lo = dev.bin_offsets[t];
+        const std::size_t hi = dev.bin_offsets[t + 1];
+        const double u = rng.uniform();
+        const auto it = std::upper_bound(dev.cdf.begin() + static_cast<std::ptrdiff_t>(lo),
+                                         dev.cdf.begin() + static_cast<std::ptrdiff_t>(hi), u);
+        const std::size_t bin = std::min(
+            static_cast<std::size_t>(it - dev.cdf.begin()), hi - 1);
+        sampled[t] = dev.cpu[t] + dev.centers[bin] / interference;
+        double start = 0;
+        for (std::size_t e = parent_offsets_[t]; e < parent_offsets_[t + 1];
+             ++e) {
+          start = std::max(start, finish[parents_[e]]);
+        }
+        if (dev.group[t] >= 0) {
+          auto& avail = group_avail[static_cast<std::size_t>(dev.group[t])];
+          start = std::max(start, avail);
+          finish[t] = start + sampled[t];
+          avail = finish[t];
+        } else {
+          finish[t] = start + sampled[t];
+        }
+      }
+      const double makespan = *std::max_element(finish.begin(), finish.end());
+
+      double cost = 0;
+      if (cost_model == CostModel::kProrated) {
+        for (std::size_t t = 0; t < n; ++t) cost += sampled[t] * dev.price_per_s[t];
+      } else {
+        // Billed hours: tasks in the same group share one instance; ungrouped
+        // tasks are billed individually.
+        std::unordered_map<std::int32_t, double> group_time;
+        std::unordered_map<std::int32_t, double> group_price;
+        for (std::size_t t = 0; t < n; ++t) {
+          if (dev.group[t] >= 0) {
+            group_time[dev.group[t]] += sampled[t];
+            group_price[dev.group[t]] = dev.price_per_s[t] * 3600.0;
+          } else {
+            cost += std::ceil(std::max(sampled[t], 1.0) / 3600.0) *
+                    dev.price_per_s[t] * 3600.0;
+          }
+        }
+        for (const auto& [g, time] : group_time) {
+          cost += std::ceil(std::max(time, 1.0) / 3600.0) * group_price[g];
+        }
+      }
+      shared[lane] = makespan;
+      shared[iters + lane] = cost;
+    });
+    // Block reduction: copy lane results out for host-side aggregation.
+    makespans[ctx.block_index()].assign(shared.begin(),
+                                        shared.begin() + static_cast<std::ptrdiff_t>(iters));
+    costs[ctx.block_index()].assign(shared.begin() + static_cast<std::ptrdiff_t>(iters),
+                                    shared.begin() + static_cast<std::ptrdiff_t>(2 * iters));
+  });
+
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    results[i] = reduce(makespans[i], costs[i], req);
+  }
+  return results;
+}
+
+}  // namespace deco::core

@@ -1,0 +1,113 @@
+// Native probabilistic plan evaluation — the compiled counterpart of the
+// WLog probabilistic IR (what the paper's GPU kernels compute).
+//
+// A candidate plan is scored by Monte Carlo over the per-task execution-time
+// histograms: each lane samples one "possible world" (one time per task),
+// takes the DAG longest path as the workflow makespan (the distributional
+// version of Eq. 3) and a monetary cost (Eq. 1).  Kernel decomposition per
+// Section 5.3: one block per evaluated plan, one lane per Monte Carlo
+// iteration, lane results reduced through block shared memory.  The histogram
+// data is laid out as flat SoA arrays (offsets + centers + cdf) so the kernel
+// touches contiguous memory — the paper's "memory-optimized" implementation.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "sim/plan.hpp"
+#include "vgpu/device.hpp"
+#include "workflow/dag.hpp"
+
+namespace deco::core {
+
+/// Probabilistic deadline requirement: P(makespan <= deadline) >= quantile.
+struct ProbDeadline {
+  double quantile = 0.96;  ///< the paper's default QoS setting
+  double deadline_s = 0;
+};
+
+enum class CostModel {
+  kProrated,     ///< Eq. 1: sum of mean task time x unit price (fractional h)
+  kBilledHours,  ///< per-instance ceil-to-hour, groups share instances
+};
+
+struct EvalOptions {
+  std::size_t mc_iterations = 128;
+  CostModel cost_model = CostModel::kProrated;
+  std::uint64_t seed = 99;
+  /// Correlated interference (matches sim::ExecutorOptions::interference_cv):
+  /// each Monte Carlo world samples one factor that scales every task's
+  /// dynamic (I/O + network) time, because congestion persists across a run.
+  double interference_cv = 0.15;
+  /// Guard band on the probabilistic requirement: with Max_iter Monte Carlo
+  /// lanes the quantile estimate carries ~sqrt(p(1-p)/Max_iter) noise, so a
+  /// plan is declared feasible only if P(makespan <= D) clears the required
+  /// quantile by this margin.  Keeps the paper's "results guarantee the
+  /// probabilistic deadline requirement" property on the simulator.
+  double feasibility_margin = 0.02;
+  /// Deadline de-rating for the feasibility check: the 16-bin histograms
+  /// compress the extreme right tail (a bin center averages its bin), so the
+  /// estimated makespan quantile runs a few percent light.  Feasibility is
+  /// checked against deadline / quantile_safety.
+  double quantile_safety = 1.05;
+};
+
+struct PlanEvaluation {
+  double mean_cost = 0;          ///< USD
+  double mean_makespan = 0;      ///< seconds
+  double makespan_quantile = 0;  ///< the requirement's quantile of makespan
+  double deadline_prob = 0;      ///< P(makespan <= deadline)
+  bool feasible = false;         ///< deadline_prob >= quantile
+};
+
+class PlanEvaluator {
+ public:
+  /// The evaluator borrows the workflow, estimator and backend; they must
+  /// outlive it.
+  PlanEvaluator(const workflow::Workflow& wf, TaskTimeEstimator& estimator,
+                vgpu::ComputeBackend& backend, EvalOptions options = {});
+
+  /// Evaluates one plan against a probabilistic deadline.
+  PlanEvaluation evaluate(const sim::Plan& plan, const ProbDeadline& req);
+
+  /// Evaluates many plans concurrently: one block per plan.
+  std::vector<PlanEvaluation> evaluate_batch(std::span<const sim::Plan> plans,
+                                             const ProbDeadline& req);
+
+  const workflow::Workflow& workflow() const { return *wf_; }
+  TaskTimeEstimator& estimator() { return *estimator_; }
+  const EvalOptions& options() const { return options_; }
+
+ private:
+  /// Flat SoA image of one plan's histograms, prices and grouping.  The
+  /// histograms cover the dynamic (I/O + network) component; CPU time is a
+  /// constant per task added after interference scaling.
+  struct DevicePlan {
+    std::vector<std::size_t> bin_offsets;  // N+1
+    std::vector<double> centers;
+    std::vector<double> cdf;
+    std::vector<double> cpu;          // constant CPU seconds per task
+    std::vector<double> price_per_s;  // assigned unit price / 3600
+    std::vector<std::int32_t> group;
+    std::size_t group_slots = 0;      // max group id + 1
+  };
+
+  DevicePlan stage(const sim::Plan& plan);
+  PlanEvaluation reduce(std::span<const double> makespans,
+                        std::span<const double> costs,
+                        const ProbDeadline& req) const;
+
+  const workflow::Workflow* wf_;
+  TaskTimeEstimator* estimator_;
+  vgpu::ComputeBackend* backend_;
+  EvalOptions options_;
+
+  // DAG image shared by all plans (CSR parents + topological order).
+  std::vector<workflow::TaskId> topo_;
+  std::vector<std::size_t> parent_offsets_;
+  std::vector<workflow::TaskId> parents_;
+};
+
+}  // namespace deco::core

@@ -1,0 +1,260 @@
+#include "core/scheduling.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "workflow/analysis.hpp"
+
+namespace deco::core {
+
+SchedulingProblem::SchedulingProblem(const workflow::Workflow& wf,
+                                     TaskTimeEstimator& estimator,
+                                     vgpu::ComputeBackend& backend,
+                                     EvalOptions eval)
+    : wf_(&wf),
+      estimator_(&estimator),
+      evaluator_(wf, estimator, backend, eval) {}
+
+sim::Plan SchedulingProblem::initial_plan(cloud::RegionId region) const {
+  return sim::Plan::uniform(wf_->task_count(), 0, region);
+}
+
+std::vector<workflow::TaskId> SchedulingProblem::critical_tasks(
+    const sim::Plan& plan) {
+  std::vector<double> weights(wf_->task_count());
+  for (workflow::TaskId t = 0; t < wf_->task_count(); ++t) {
+    weights[t] = estimator_->mean_time(*wf_, t, plan[t].vm_type);
+  }
+  return workflow::critical_path(*wf_, weights).tasks;
+}
+
+sim::Plan SchedulingProblem::polish(sim::Plan plan, const ProbDeadline& req) {
+  const cloud::Catalog& catalog = estimator_->catalog();
+  const std::size_t n = wf_->task_count();
+  if (n == 0) return plan;
+
+  auto task_cost = [&](workflow::TaskId t, cloud::TypeId v,
+                       cloud::RegionId region) {
+    return estimator_->mean_time(*wf_, t, v) * catalog.price(v, region) /
+           3600.0;
+  };
+
+  // Pass 1 — cheapest type that is not slower: never hurts the makespan.
+  for (workflow::TaskId t = 0; t < n; ++t) {
+    const double cur_time = estimator_->mean_time(*wf_, t, plan[t].vm_type);
+    cloud::TypeId best = plan[t].vm_type;
+    double best_cost = task_cost(t, best, plan[t].region);
+    for (cloud::TypeId v = 0; v < catalog.type_count(); ++v) {
+      if (estimator_->mean_time(*wf_, t, v) > cur_time) continue;
+      const double cost = task_cost(t, v, plan[t].region);
+      if (cost < best_cost) {
+        best = v;
+        best_cost = cost;
+      }
+    }
+    plan[t].vm_type = best;
+  }
+
+  // Pass 2 — slower-but-cheaper switches, largest savings first, each
+  // verified against the probabilistic deadline (bounded number of evals).
+  struct Candidate {
+    workflow::TaskId task;
+    cloud::TypeId type;
+    double saving;
+  };
+  std::vector<Candidate> candidates;
+  for (workflow::TaskId t = 0; t < n; ++t) {
+    const double cur_cost = task_cost(t, plan[t].vm_type, plan[t].region);
+    cloud::TypeId best = plan[t].vm_type;
+    double best_cost = cur_cost;
+    for (cloud::TypeId v = 0; v < catalog.type_count(); ++v) {
+      const double cost = task_cost(t, v, plan[t].region);
+      if (cost < best_cost) {
+        best = v;
+        best_cost = cost;
+      }
+    }
+    if (best != plan[t].vm_type) {
+      candidates.push_back(Candidate{t, best, cur_cost - best_cost});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.saving > b.saving;
+            });
+  // Try accepting all, then halve the accepted prefix until feasible.
+  std::size_t accept = candidates.size();
+  constexpr int kMaxEvals = 8;
+  for (int evals = 0; accept > 0 && evals < kMaxEvals; ++evals) {
+    sim::Plan trial = plan;
+    for (std::size_t i = 0; i < accept; ++i) {
+      trial[candidates[i].task].vm_type = candidates[i].type;
+    }
+    if (evaluator_.evaluate(trial, req).feasible) {
+      plan = std::move(trial);
+      break;
+    }
+    accept /= 2;
+  }
+  return plan;
+}
+
+sim::Plan SchedulingProblem::consolidate(sim::Plan plan,
+                                         const ProbDeadline& req) {
+  const std::size_t n = wf_->task_count();
+  if (n == 0) return plan;
+  const auto topo = wf_->topological_order();
+  if (!topo) return plan;
+
+  // Bucket tasks by (type, region) in topological order.
+  std::map<std::pair<cloud::TypeId, cloud::RegionId>,
+           std::vector<workflow::TaskId>>
+      buckets;
+  for (workflow::TaskId t : *topo) {
+    buckets[{plan[t].vm_type, plan[t].region}].push_back(t);
+  }
+  std::size_t largest = 0;
+  for (const auto& [key, tasks] : buckets) {
+    largest = std::max(largest, tasks.size());
+  }
+
+  const double unpacked_cost = evaluator_.evaluate(plan, req).mean_cost;
+  for (std::size_t instances = 1; instances <= largest; instances *= 2) {
+    sim::Plan trial = plan;
+    std::int32_t next_group = 0;
+    for (const auto& [key, tasks] : buckets) {
+      const auto k = std::min(instances, tasks.size());
+      const std::int32_t base = next_group;
+      next_group += static_cast<std::int32_t>(k);
+      // Round-robin so parallel stages spread across the k instances.
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        trial[tasks[i]].group = base + static_cast<std::int32_t>(i % k);
+      }
+    }
+    const PlanEvaluation eval = evaluator_.evaluate(trial, req);
+    if (eval.feasible) {
+      return eval.mean_cost < unpacked_cost ? trial : plan;
+    }
+  }
+  return plan;
+}
+
+SchedulingResult SchedulingProblem::greedy_feasible(const ProbDeadline& req,
+                                                    cloud::RegionId region) {
+  SchedulingResult result;
+  const cloud::Catalog& catalog = estimator_->catalog();
+  sim::Plan plan = initial_plan(region);
+  PlanEvaluation eval = evaluator_.evaluate(plan, req);
+  std::size_t iterations = 0;
+  const std::size_t max_iterations = wf_->task_count() * catalog.type_count();
+  while (!eval.feasible && iterations++ < max_iterations) {
+    // Promote the critical-path task with the largest mean time that still
+    // has headroom.
+    const auto cp = critical_tasks(plan);
+    workflow::TaskId best = workflow::kInvalidTask;
+    double best_time = -1;
+    for (workflow::TaskId t : cp) {
+      if (plan[t].vm_type + 1 >= catalog.type_count()) continue;
+      const double mt = estimator_->mean_time(*wf_, t, plan[t].vm_type);
+      if (mt > best_time) {
+        best_time = mt;
+        best = t;
+      }
+    }
+    if (best == workflow::kInvalidTask) {
+      // The mean critical path is maxed but the quantile still violates the
+      // deadline: promote the slowest promotable task anywhere.
+      for (workflow::TaskId t = 0; t < wf_->task_count(); ++t) {
+        if (plan[t].vm_type + 1 >= catalog.type_count()) continue;
+        const double mt = estimator_->mean_time(*wf_, t, plan[t].vm_type);
+        if (mt > best_time) {
+          best_time = mt;
+          best = t;
+        }
+      }
+    }
+    if (best == workflow::kInvalidTask) break;  // everything is maxed
+    ++plan[best].vm_type;
+    eval = evaluator_.evaluate(plan, req);
+  }
+  result.plan = std::move(plan);
+  result.evaluation = eval;
+  result.found = eval.feasible;
+  result.stats.states_evaluated = iterations + 1;
+  return result;
+}
+
+SchedulingResult SchedulingProblem::solve(const ProbDeadline& req,
+                                          const SchedulingOptions& options) {
+  SchedulingResult result;
+  if (wf_->task_count() == 0) {
+    result.found = true;
+    result.evaluation.feasible = true;
+    return result;
+  }
+  const cloud::Catalog& catalog = estimator_->catalog();
+
+  SearchCallbacks<sim::Plan> cb;
+  cb.hash = plan_hash;
+  cb.children = [this, &catalog, &options](const sim::Plan& plan) {
+    TransformOptions topt;
+    topt.focus_tasks = critical_tasks(plan);
+    std::vector<TransformOp> ops{TransformOp::kPromote};
+    if (options.allow_merge) ops.push_back(TransformOp::kMerge);
+    return generate_children(plan, *wf_, catalog, ops, topt);
+  };
+  cb.evaluate = [this, &req](std::span<const sim::Plan> plans) {
+    const auto evals = evaluator_.evaluate_batch(plans, req);
+    std::vector<Scored> scores(evals.size());
+    for (std::size_t i = 0; i < evals.size(); ++i) {
+      scores[i] = Scored{evals[i].feasible, evals[i].mean_cost};
+    }
+    return scores;
+  };
+
+  SearchOptions sopt = options.search;
+  sopt.minimize = true;
+  SearchResult<sim::Plan> found;
+  if (options.use_astar) {
+    // g = h = estimated monetary cost of the state (Section 5.3's example).
+    auto cost_estimate = [this](const sim::Plan& plan) {
+      double cost = 0;
+      for (workflow::TaskId t = 0; t < wf_->task_count(); ++t) {
+        cost += estimator_->mean_time(*wf_, t, plan[t].vm_type) *
+                estimator_->catalog().price(plan[t].vm_type, plan[t].region) /
+                3600.0;
+      }
+      return cost;
+    };
+    cb.g_score = cost_estimate;
+    cb.h_score = [](const sim::Plan&) { return 0.0; };
+    sopt.monotone_objective = true;
+    found = astar_search(initial_plan(options.region), cb, sopt);
+  } else {
+    found = generic_search(initial_plan(options.region), cb, sopt);
+  }
+
+  result.stats = found.stats;
+  // The search competes with the greedy incumbent; take the cheaper feasible.
+  SchedulingResult greedy = greedy_feasible(req, options.region);
+  result.stats.states_evaluated += greedy.stats.states_evaluated;
+  if (found.best &&
+      (!greedy.found || found.best_score.objective <=
+                            greedy.evaluation.mean_cost)) {
+    result.found = true;
+    result.plan = *found.best;
+  } else {
+    result.found = greedy.found;
+    result.plan = std::move(greedy.plan);
+  }
+  if (result.found) {
+    result.plan = polish(std::move(result.plan), req);
+    if (evaluator_.options().cost_model == CostModel::kBilledHours) {
+      result.plan = consolidate(std::move(result.plan), req);
+    }
+  }
+  result.evaluation = evaluator_.evaluate(result.plan, req);
+  return result;
+}
+
+}  // namespace deco::core

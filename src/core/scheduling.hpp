@@ -1,0 +1,84 @@
+// Use case 1 — the workflow scheduling problem (Section 3.1).
+//
+// Select an instance type per task minimizing the expected monetary cost
+// (Eq. 1) subject to a probabilistic deadline (Eq. 3): the p-th percentile of
+// the makespan distribution must not exceed D.
+//
+// Search shape (Fig. 5): the initial state configures every task with the
+// cheapest type; children promote tasks to better types.  Children are
+// generated for tasks on the *current critical path* (by mean times), which
+// keeps the branching factor proportional to the path length; Merge children
+// exploit instance partial hours when the billed cost model is active.
+#pragma once
+
+#include "core/evaluator.hpp"
+#include "core/search.hpp"
+#include "core/transform_ops.hpp"
+
+namespace deco::core {
+
+struct SchedulingOptions {
+  SearchOptions search;
+  bool use_astar = false;        ///< enabled(astar) in WLog
+  bool allow_merge = false;      ///< also generate Merge children
+  cloud::RegionId region = 0;
+  SchedulingOptions() {
+    search.max_states = 2048;
+    search.batch_size = 32;
+    search.minimize = true;
+    search.stale_wave_limit = 24;
+  }
+};
+
+struct SchedulingResult {
+  sim::Plan plan;
+  PlanEvaluation evaluation;
+  SearchStats stats;
+  bool found = false;  ///< a feasible plan was found
+};
+
+class SchedulingProblem {
+ public:
+  SchedulingProblem(const workflow::Workflow& wf, TaskTimeEstimator& estimator,
+                    vgpu::ComputeBackend& backend, EvalOptions eval = {});
+
+  SchedulingResult solve(const ProbDeadline& req,
+                         const SchedulingOptions& options = {});
+
+  /// The all-cheapest initial plan (Fig. 5's state "0 -> 0").
+  sim::Plan initial_plan(cloud::RegionId region = 0) const;
+
+  /// Critical-path tasks of `plan` under mean task times.
+  std::vector<workflow::TaskId> critical_tasks(const sim::Plan& plan);
+
+  /// Greedy feasibility pass: promote the slowest critical-path task until
+  /// the probabilistic deadline holds (or every task is maxed out).  Used as
+  /// the incumbent the search must beat, so tight deadlines on large
+  /// workflows always yield a feasible answer.
+  SchedulingResult greedy_feasible(const ProbDeadline& req,
+                                   cloud::RegionId region = 0);
+
+  /// Cost polish: per task, switch to the cheapest type that is not slower
+  /// (feasibility-safe, applied blindly), then greedily try slower-but-
+  /// cheaper switches with feasibility re-checks.  Under Eq. 1's prorated
+  /// cost the per-task terms are separable, so this is a cheap descent the
+  /// transformation search composes with.
+  sim::Plan polish(sim::Plan plan, const ProbDeadline& req);
+
+  /// Instance-hour consolidation (the Merge / Move / Co-Scheduling
+  /// transformations applied greedily): packs same-(type, region) tasks onto
+  /// shared instances — starting from one instance per bucket and doubling
+  /// the instance count until the probabilistic deadline holds.  Only
+  /// meaningful under CostModel::kBilledHours, where partial hours are the
+  /// dominant waste; solve() runs it automatically in that mode.
+  sim::Plan consolidate(sim::Plan plan, const ProbDeadline& req);
+
+  PlanEvaluator& evaluator() { return evaluator_; }
+
+ private:
+  const workflow::Workflow* wf_;
+  TaskTimeEstimator* estimator_;
+  PlanEvaluator evaluator_;
+};
+
+}  // namespace deco::core

@@ -1,0 +1,229 @@
+// Parallel solver: generic search (Algorithm 2) and A* search (Section 5.3).
+//
+// The solver is generic over the state type: the workflow-scheduling problem
+// searches instance-configuration plans, the ensemble problem searches
+// admission vectors, follow-the-cost searches migration vectors.  States are
+// evaluated in *batches* so the backend can assign one block per state —
+// "we use N thread blocks to search the solution space at the same time".
+// Exploration (breadth-first) is chosen over exploitation for parallelism,
+// exactly as Section 5.3 argues.
+//
+// A* mode: when the user supplies g/h scores (cal_g_score / est_h_score in
+// WLog, or native callbacks here), states are expanded best-first and any
+// state whose g score already exceeds the best found feasible objective is
+// pruned — valid whenever children cannot improve on their parent (the
+// monotone-cost property the paper exploits: "child states configure tasks
+// with better instance types and thus always generate higher cost").
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+namespace deco::core {
+
+struct Scored {
+  bool feasible = false;
+  double objective = 0;
+};
+
+struct SearchOptions {
+  std::size_t max_states = 4096;   ///< evaluation budget
+  std::size_t batch_size = 32;     ///< states per backend launch
+  bool minimize = true;
+  /// Children never have a better objective than their parent; enables
+  /// bound pruning against the incumbent.
+  bool monotone_objective = false;
+  /// Stop as soon as `early_stop_depth` consecutive expansion waves bring no
+  /// incumbent improvement (0 = run the full budget).
+  std::size_t stale_wave_limit = 0;
+};
+
+struct SearchStats {
+  std::size_t states_evaluated = 0;
+  std::size_t states_pruned = 0;
+  std::size_t waves = 0;
+  double elapsed_ms = 0;
+};
+
+template <typename State>
+struct SearchCallbacks {
+  std::function<std::vector<State>(const State&)> children;
+  std::function<std::uint64_t(const State&)> hash;
+  std::function<std::vector<Scored>(std::span<const State>)> evaluate;
+  /// A* heuristics; both null selects the generic search.
+  std::function<double(const State&)> g_score;
+  std::function<double(const State&)> h_score;
+};
+
+template <typename State>
+struct SearchResult {
+  std::optional<State> best;
+  Scored best_score;
+  SearchStats stats;
+};
+
+namespace detail {
+
+inline bool better(double candidate, double incumbent, bool minimize) {
+  return minimize ? candidate < incumbent : candidate > incumbent;
+}
+
+}  // namespace detail
+
+/// Breadth-first generic search with batched evaluation (Algorithm 2).
+template <typename State>
+SearchResult<State> generic_search(const State& initial,
+                                   const SearchCallbacks<State>& cb,
+                                   const SearchOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  SearchResult<State> result;
+  std::unordered_set<std::uint64_t> visited;
+  std::queue<State> frontier;
+  frontier.push(initial);
+  visited.insert(cb.hash(initial));
+
+  double bound = options.minimize ? std::numeric_limits<double>::infinity()
+                                  : -std::numeric_limits<double>::infinity();
+  std::size_t stale_waves = 0;
+
+  while (!frontier.empty() &&
+         result.stats.states_evaluated < options.max_states) {
+    // Pull one batch off the FIFO queue.
+    std::vector<State> batch;
+    while (!frontier.empty() && batch.size() < options.batch_size &&
+           result.stats.states_evaluated + batch.size() < options.max_states) {
+      batch.push_back(std::move(frontier.front()));
+      frontier.pop();
+    }
+    const std::vector<Scored> scores = cb.evaluate(batch);
+    result.stats.states_evaluated += batch.size();
+    ++result.stats.waves;
+    bool improved = false;
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const Scored& s = scores[i];
+      if (s.feasible &&
+          (!result.best || detail::better(s.objective, bound, options.minimize))) {
+        result.best = batch[i];
+        result.best_score = s;
+        bound = s.objective;
+        improved = true;
+      }
+      // Bound prune: with a monotone objective, a state already worse than
+      // the incumbent cannot lead to a better feasible descendant.
+      if (options.monotone_objective && result.best &&
+          !detail::better(s.objective, bound, options.minimize)) {
+        ++result.stats.states_pruned;
+        continue;
+      }
+      for (State& child : cb.children(batch[i])) {
+        if (visited.insert(cb.hash(child)).second) {
+          frontier.push(std::move(child));
+        }
+      }
+    }
+    stale_waves = improved ? 0 : stale_waves + 1;
+    if (options.stale_wave_limit > 0 && result.best &&
+        stale_waves >= options.stale_wave_limit) {
+      break;
+    }
+  }
+  result.stats.elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+/// Best-first A* search using the user's g/h scores for ordering + pruning.
+template <typename State>
+SearchResult<State> astar_search(const State& initial,
+                                 const SearchCallbacks<State>& cb,
+                                 const SearchOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  SearchResult<State> result;
+
+  struct Entry {
+    State state;
+    double f;
+  };
+  const double sign = options.minimize ? 1.0 : -1.0;
+  auto worse = [sign](const Entry& a, const Entry& b) {
+    return sign * a.f > sign * b.f;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(worse)> open(worse);
+  std::unordered_set<std::uint64_t> visited;
+
+  auto f_of = [&](const State& s) {
+    const double g = cb.g_score ? cb.g_score(s) : 0;
+    const double h = cb.h_score ? cb.h_score(s) : 0;
+    return g + h;
+  };
+  open.push(Entry{initial, f_of(initial)});
+  visited.insert(cb.hash(initial));
+
+  double bound = options.minimize ? std::numeric_limits<double>::infinity()
+                                  : -std::numeric_limits<double>::infinity();
+  std::size_t stale_waves = 0;
+
+  while (!open.empty() && result.stats.states_evaluated < options.max_states) {
+    std::vector<State> batch;
+    while (!open.empty() && batch.size() < options.batch_size &&
+           result.stats.states_evaluated + batch.size() < options.max_states) {
+      Entry e = open.top();
+      open.pop();
+      // Prune against the incumbent: "by not placing the states with high g
+      // and h scores into the candidate list".
+      if (result.best && !detail::better(e.f, bound, options.minimize)) {
+        ++result.stats.states_pruned;
+        continue;
+      }
+      batch.push_back(std::move(e.state));
+    }
+    if (batch.empty()) break;
+    const std::vector<Scored> scores = cb.evaluate(batch);
+    result.stats.states_evaluated += batch.size();
+    ++result.stats.waves;
+    bool improved = false;
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const Scored& s = scores[i];
+      if (s.feasible &&
+          (!result.best || detail::better(s.objective, bound, options.minimize))) {
+        result.best = batch[i];
+        result.best_score = s;
+        bound = s.objective;
+        improved = true;
+      }
+      for (State& child : cb.children(batch[i])) {
+        if (visited.insert(cb.hash(child)).second) {
+          const double f = f_of(child);
+          if (result.best && options.monotone_objective &&
+              !detail::better(f, bound, options.minimize)) {
+            ++result.stats.states_pruned;
+            continue;
+          }
+          open.push(Entry{std::move(child), f});
+        }
+      }
+    }
+    stale_waves = improved ? 0 : stale_waves + 1;
+    if (options.stale_wave_limit > 0 && result.best &&
+        stale_waves >= options.stale_wave_limit) {
+      break;
+    }
+  }
+  result.stats.elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace deco::core

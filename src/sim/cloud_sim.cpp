@@ -1,0 +1,73 @@
+#include "sim/cloud_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deco::sim {
+
+double billed_hours(double acquired_at, double released_at) {
+  const double uptime = std::max(released_at - acquired_at, 0.0);
+  return std::max(1.0, std::ceil(uptime / 3600.0));
+}
+
+InstanceId CloudPool::acquire(cloud::TypeId type, cloud::RegionId region,
+                              double now, std::int32_t group) {
+  Instance inst;
+  inst.type = type;
+  inst.region = region;
+  inst.acquired_at = now;
+  inst.busy_until = now;
+  inst.group = group;
+  instances_.push_back(inst);
+  return static_cast<InstanceId>(instances_.size() - 1);
+}
+
+void CloudPool::release(InstanceId id, double now) {
+  Instance& inst = instances_[id];
+  if (inst.running()) inst.released_at = std::max(now, inst.acquired_at);
+}
+
+void CloudPool::release_all(double now) {
+  for (InstanceId id = 0; id < instances_.size(); ++id) release(id, now);
+}
+
+InstanceId CloudPool::find_idle(cloud::TypeId type, cloud::RegionId region,
+                                double now) const {
+  for (InstanceId id = 0; id < instances_.size(); ++id) {
+    const Instance& inst = instances_[id];
+    if (inst.running() && inst.type == type && inst.region == region &&
+        inst.group < 0 && inst.busy_until <= now) {
+      return id;
+    }
+  }
+  return kNone;
+}
+
+InstanceId CloudPool::find_group(std::int32_t group) const {
+  if (group < 0) return kNone;
+  for (InstanceId id = 0; id < instances_.size(); ++id) {
+    if (instances_[id].running() && instances_[id].group == group) return id;
+  }
+  return kNone;
+}
+
+double CloudPool::billed_cost() const {
+  double total = 0;
+  for (const Instance& inst : instances_) {
+    const double end = inst.running() ? inst.busy_until : inst.released_at;
+    total += billed_hours(inst.acquired_at, end) *
+             catalog_->price(inst.type, inst.region);
+  }
+  return total;
+}
+
+double CloudPool::used_hours() const {
+  double total = 0;
+  for (const Instance& inst : instances_) {
+    const double end = inst.running() ? inst.busy_until : inst.released_at;
+    total += std::max(end - inst.acquired_at, 0.0) / 3600.0;
+  }
+  return total;
+}
+
+}  // namespace deco::sim

@@ -1,0 +1,74 @@
+// Cloud resource pool: the "Cloud" and "Instance" components of the
+// CloudSim-based simulator (Section 6.1).
+//
+// The pool supports acquisition and release of instances, tracks busy/idle
+// state, and bills by full instance-hours from acquisition to release — the
+// partial-hour semantics that the Merge/Co-Scheduling transformations exploit.
+// Instances sample their I/O and network performance from the catalog's
+// ground-truth dynamics (per-task draws of the sustained rate).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cloud/instance_type.hpp"
+#include "util/rng.hpp"
+
+namespace deco::sim {
+
+using InstanceId = std::uint32_t;
+
+struct Instance {
+  cloud::TypeId type = 0;
+  cloud::RegionId region = 0;
+  double acquired_at = 0;
+  double released_at = -1;   ///< -1 while running
+  double busy_until = 0;     ///< next time the instance is free
+  std::int32_t group = -1;   ///< plan group bound to this instance, if any
+
+  bool running() const { return released_at < 0; }
+};
+
+/// Simulated IaaS cloud holding acquired instances and computing charges.
+class CloudPool {
+ public:
+  explicit CloudPool(const cloud::Catalog& catalog) : catalog_(&catalog) {}
+
+  /// Acquires a fresh instance at `now`; optionally pinned to a plan group.
+  InstanceId acquire(cloud::TypeId type, cloud::RegionId region, double now,
+                     std::int32_t group = -1);
+
+  /// Marks the instance released at `now` (bills ceil hours of uptime).
+  void release(InstanceId id, double now);
+
+  /// Releases every instance still running at `now`.
+  void release_all(double now);
+
+  /// An idle running instance of the given type/region, or an invalid id.
+  static constexpr InstanceId kNone = static_cast<InstanceId>(-1);
+  InstanceId find_idle(cloud::TypeId type, cloud::RegionId region,
+                       double now) const;
+  /// The running instance bound to `group`, or kNone.
+  InstanceId find_group(std::int32_t group) const;
+
+  Instance& instance(InstanceId id) { return instances_[id]; }
+  const Instance& instance(InstanceId id) const { return instances_[id]; }
+  std::size_t instance_count() const { return instances_.size(); }
+
+  /// Total instance-hour charges for all (released) instances.
+  double billed_cost() const;
+
+  /// Instance-hours actually consumed (before rounding), for utilization.
+  double used_hours() const;
+
+  const cloud::Catalog& catalog() const { return *catalog_; }
+
+ private:
+  const cloud::Catalog* catalog_;
+  std::vector<Instance> instances_;
+};
+
+/// Ceil-to-the-hour billing for one instance's lifetime.
+double billed_hours(double acquired_at, double released_at);
+
+}  // namespace deco::sim

@@ -1,0 +1,33 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+namespace deco::sim {
+
+void EventQueue::schedule(double time, Callback fn) {
+  events_.push(Event{std::max(time, now_), next_seq_++, std::move(fn)});
+}
+
+double EventQueue::run() {
+  while (!events_.empty()) {
+    // Copy out: the callback may schedule more events.
+    Event ev = events_.top();
+    events_.pop();
+    now_ = ev.time;
+    ev.fn(now_);
+  }
+  return now_;
+}
+
+double EventQueue::run_until(double horizon) {
+  while (!events_.empty() && events_.top().time <= horizon) {
+    Event ev = events_.top();
+    events_.pop();
+    now_ = ev.time;
+    ev.fn(now_);
+  }
+  now_ = std::max(now_, horizon);
+  return now_;
+}
+
+}  // namespace deco::sim

@@ -1,0 +1,50 @@
+// Generic discrete-event simulation core (the CloudSim-like substrate).
+//
+// Events are (time, callback) pairs; ties break by insertion order so the
+// simulation is deterministic.  Components schedule future work against the
+// queue and the loop advances virtual time monotonically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace deco::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void(double now)>;
+
+  /// Schedules `fn` at absolute virtual time `time` (must be >= now()).
+  void schedule(double time, Callback fn);
+
+  /// Runs until the queue drains; returns the time of the last event.
+  double run();
+
+  /// Runs events with time <= horizon; later events stay queued.
+  double run_until(double horizon);
+
+  double now() const { return now_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t pending() const { return events_.size(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  std::uint64_t next_seq_ = 0;
+  double now_ = 0;
+};
+
+}  // namespace deco::sim

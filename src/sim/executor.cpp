@@ -1,0 +1,152 @@
+#include "sim/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/event_queue.hpp"
+
+namespace deco::sim {
+namespace {
+
+constexpr double kMB = 1024.0 * 1024.0;
+constexpr double kGB = 1024.0 * kMB;
+
+/// Converts a megabit-per-second bandwidth to bytes per second.
+double mbps_to_bytes_per_s(double mbps) {
+  return std::max(mbps, 1.0) * 1e6 / 8.0;
+}
+
+/// Converts an MB/s disk rate to bytes per second.
+double disk_rate_bytes_per_s(double mb_per_s) {
+  return std::max(mb_per_s, 1.0) * kMB;
+}
+
+}  // namespace
+
+ExecutionResult simulate_execution(const workflow::Workflow& wf,
+                                   const Plan& plan,
+                                   const cloud::Catalog& catalog,
+                                   util::Rng& rng,
+                                   const ExecutorOptions& options) {
+  ExecutionResult result;
+  result.tasks.resize(wf.task_count());
+  if (wf.task_count() == 0) return result;
+
+  CloudPool pool(catalog);
+  EventQueue queue;
+  std::vector<std::size_t> waiting_parents(wf.task_count());
+  for (workflow::TaskId t = 0; t < wf.task_count(); ++t) {
+    waiting_parents[t] = wf.parents(t).size();
+  }
+
+  double transfer_cost = 0;
+
+  // Correlated interference: one factor for the whole run scales every I/O
+  // and network rate (congestion persists across a workflow execution).
+  double interference = 1.0;
+  if (options.sample_dynamics && options.interference_cv > 0) {
+    const util::Normal weather{1.0, options.interference_cv};
+    interference = std::clamp(weather.sample(rng),
+                              1.0 - 3 * options.interference_cv,
+                              1.0 + 3 * options.interference_cv);
+    interference = std::max(interference, 0.1);
+  }
+
+  // Draw a rate from a distribution (floored per cloud::sample_rate), or
+  // take the mean when dynamics are off.
+  auto rate = [&](const util::Distribution& dist) {
+    return options.sample_dynamics
+               ? cloud::sample_rate(dist, rng) * interference
+               : dist.mean();
+  };
+
+  // Forward declaration pattern: the lambda is stored so completion events
+  // can make children ready.
+  std::function<void(workflow::TaskId, double)> start_task;
+
+  auto on_ready = [&](workflow::TaskId tid, double now) {
+    start_task(tid, now);
+  };
+
+  start_task = [&](workflow::TaskId tid, double now) {
+    const TaskPlacement& placement = plan[tid];
+    const cloud::InstanceType& type = catalog.type(placement.vm_type);
+
+    // Locate or acquire the executing instance.
+    InstanceId inst_id = CloudPool::kNone;
+    if (placement.group >= 0) {
+      inst_id = pool.find_group(placement.group);
+    } else {
+      inst_id = pool.find_idle(placement.vm_type, placement.region, now);
+    }
+    double start = now;
+    if (inst_id == CloudPool::kNone) {
+      inst_id = pool.acquire(placement.vm_type, placement.region, now,
+                             placement.group);
+      start = now + options.boot_seconds;
+      pool.instance(inst_id).acquired_at = now;
+    } else {
+      start = std::max(now, pool.instance(inst_id).busy_until);
+    }
+
+    // CPU component: reference seconds scaled by compute units.
+    const double cpu_time = wf.task(tid).cpu_seconds /
+                            std::max(type.per_core_units, 0.1);
+
+    // Disk I/O component: bulk reads/writes at the sampled sequential rate
+    // plus metadata-style random operations at the sampled IOPS.
+    const double seq_rate = disk_rate_bytes_per_s(rate(type.seq_io_mbps));
+    double io_time =
+        (wf.task(tid).input_bytes + wf.task(tid).output_bytes) / seq_rate;
+    const double iops = std::max(rate(type.rand_io_iops), 1.0);
+    io_time += options.rand_io_ops_per_task / iops;
+
+    // Network component: parent outputs fetched from other instances.
+    double net_time = 0;
+    for (const workflow::Edge& e : wf.edges()) {
+      if (e.child != tid || e.bytes <= 0) continue;
+      const TaskTrace& parent_trace = result.tasks[e.parent];
+      if (parent_trace.instance == inst_id) continue;  // data is local
+      const TaskPlacement& pp = plan[e.parent];
+      if (pp.region != placement.region) {
+        const double bw = mbps_to_bytes_per_s(rate(catalog.inter_region_net()));
+        net_time += e.bytes / bw;
+        transfer_cost += e.bytes / kGB * catalog.egress_price(pp.region);
+      } else {
+        const double bw = mbps_to_bytes_per_s(
+            rate(catalog.network_pair(pp.vm_type, placement.vm_type)));
+        net_time += e.bytes / bw;
+      }
+    }
+
+    const double finish = start + cpu_time + io_time + net_time;
+    result.tasks[tid] = TaskTrace{start, finish, inst_id};
+    pool.instance(inst_id).busy_until = finish;
+
+    queue.schedule(finish, [&, tid](double done_time) {
+      for (workflow::TaskId child : wf.children(tid)) {
+        if (--waiting_parents[child] == 0) on_ready(child, done_time);
+      }
+    });
+  };
+
+  for (workflow::TaskId root : wf.roots()) {
+    queue.schedule(0, [&, root](double now) { on_ready(root, now); });
+  }
+  queue.run();
+
+  double makespan = 0;
+  for (const TaskTrace& trace : result.tasks) {
+    makespan = std::max(makespan, trace.finish);
+  }
+  pool.release_all(makespan);
+
+  result.makespan = makespan;
+  result.instance_cost = pool.billed_cost();
+  result.transfer_cost = transfer_cost;
+  result.total_cost = result.instance_cost + result.transfer_cost;
+  result.instances_used = pool.instance_count();
+  return result;
+}
+
+}  // namespace deco::sim

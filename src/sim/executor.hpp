@@ -1,0 +1,58 @@
+// Workflow execution on the simulated cloud.
+//
+// Implements the "Workflow component" of Section 6.1: it manages workflow
+// structure and the scheduling of tasks onto simulated instances, honouring a
+// provisioning Plan.  A task's duration is the sum of its CPU, I/O and
+// network components (the estimation model of Section 5.1), with the I/O and
+// network rates drawn per task from the catalog's ground-truth dynamics —
+// the simulator-side counterpart of "the average I/O and network performance
+// per second conform the distributions from calibration".
+#pragma once
+
+#include <vector>
+
+#include "cloud/instance_type.hpp"
+#include "sim/cloud_sim.hpp"
+#include "sim/plan.hpp"
+#include "util/rng.hpp"
+#include "workflow/dag.hpp"
+
+namespace deco::sim {
+
+struct ExecutorOptions {
+  double boot_seconds = 0;        ///< provisioning latency for new instances
+  bool sample_dynamics = true;    ///< false = deterministic means (for tests)
+  double rand_io_ops_per_task = 50;  ///< metadata-style random reads per task
+  /// Coefficient of variation of the *correlated* interference component:
+  /// one factor per run scales every I/O and network rate.  Cloud
+  /// interference is strongly time-correlated (Schad et al., the paper's
+  /// [33]) — a congested disk or network stays congested across a workflow
+  /// run, which is what makes whole-workflow execution times vary
+  /// significantly (Fig. 2) even though per-task noise averages out.
+  double interference_cv = 0.15;
+};
+
+struct TaskTrace {
+  double start = 0;
+  double finish = 0;
+  InstanceId instance = CloudPool::kNone;
+};
+
+struct ExecutionResult {
+  double makespan = 0;        ///< seconds from submission to last finish
+  double instance_cost = 0;   ///< billed instance-hours, USD
+  double transfer_cost = 0;   ///< inter-region egress, USD
+  double total_cost = 0;
+  std::size_t instances_used = 0;
+  std::vector<TaskTrace> tasks;
+};
+
+/// Simulates one execution of `wf` under `plan`.  Each call consumes RNG
+/// state, so repeated calls give the execution-time distribution (Fig. 2).
+ExecutionResult simulate_execution(const workflow::Workflow& wf,
+                                   const Plan& plan,
+                                   const cloud::Catalog& catalog,
+                                   util::Rng& rng,
+                                   const ExecutorOptions& options = {});
+
+}  // namespace deco::sim

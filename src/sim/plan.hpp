@@ -1,0 +1,46 @@
+// Resource provisioning plan: the output of Deco and the input to the
+// simulator / WMS execution engine.
+//
+// Section 2: "Deco returns the found resource provisioning plan (indicating
+// the selected execution site for each task in the workflow)".  A site is an
+// (instance type, region) pair plus an optional co-scheduling group: tasks
+// sharing a group id run on the same instance (the Merge / Co-Scheduling
+// transformation operations).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cloud/instance_type.hpp"
+#include "workflow/dag.hpp"
+
+namespace deco::sim {
+
+inline constexpr std::int32_t kNoGroup = -1;
+
+struct TaskPlacement {
+  cloud::TypeId vm_type = 0;
+  cloud::RegionId region = 0;
+  std::int32_t group = kNoGroup;  ///< tasks with equal group share an instance
+
+  bool operator==(const TaskPlacement&) const = default;
+};
+
+struct Plan {
+  std::vector<TaskPlacement> placements;  ///< indexed by TaskId
+
+  static Plan uniform(std::size_t tasks, cloud::TypeId type,
+                      cloud::RegionId region = 0) {
+    Plan plan;
+    plan.placements.assign(tasks, TaskPlacement{type, region, kNoGroup});
+    return plan;
+  }
+
+  std::size_t size() const { return placements.size(); }
+  TaskPlacement& operator[](std::size_t i) { return placements[i]; }
+  const TaskPlacement& operator[](std::size_t i) const { return placements[i]; }
+
+  bool operator==(const Plan&) const = default;
+};
+
+}  // namespace deco::sim

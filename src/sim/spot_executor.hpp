@@ -1,0 +1,42 @@
+// Workflow execution with spot instances (pricing-model extension).
+//
+// Tasks flagged for spot execution run on spot instances bid at a fraction
+// of the on-demand price.  When the market price rises above the bid while
+// a task runs, the instance is revoked: the attempt's work is lost, the
+// partial hour is not charged (EC2 semantics), and the task is retried once
+// the price falls back to the bid (up to a retry cap, after which it falls
+// back to an on-demand instance).  On-demand tasks behave exactly as in
+// sim::simulate_execution.
+#pragma once
+
+#include "cloud/spot_market.hpp"
+#include "sim/executor.hpp"
+
+namespace deco::sim {
+
+struct SpotPolicy {
+  /// Per task: run on a spot instance?  (empty = all on-demand)
+  std::vector<bool> use_spot;
+  /// Bid as a fraction of the type's on-demand price.
+  double bid_fraction = 0.6;
+  /// Revocations tolerated per task before falling back to on-demand.
+  std::size_t max_retries = 4;
+};
+
+struct SpotExecutionResult {
+  ExecutionResult base;          ///< makespan / costs / per-task traces
+  std::size_t revocations = 0;   ///< total revoked attempts
+  std::size_t fallbacks = 0;     ///< tasks that gave up on spot
+  double spot_cost = 0;          ///< spot share of the instance cost
+  double on_demand_cost = 0;     ///< on-demand share
+};
+
+/// Simulates one execution under `policy`, with one spot-price trace per
+/// instance type (indexed by TypeId).
+SpotExecutionResult simulate_spot_execution(
+    const workflow::Workflow& wf, const Plan& plan, const SpotPolicy& policy,
+    const std::vector<cloud::SpotPriceTrace>& traces,
+    const cloud::Catalog& catalog, util::Rng& rng,
+    const ExecutorOptions& options = {});
+
+}  // namespace deco::sim

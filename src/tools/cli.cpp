@@ -1,0 +1,337 @@
+#include "tools/cli.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <variant>
+
+#include "baselines/autoscaling.hpp"
+#include "cloud/calibration.hpp"
+#include "core/deco.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "wms/pegasus.hpp"
+#include "workflow/dax.hpp"
+#include "workflow/generators.hpp"
+#include "workflow/stats.hpp"
+
+namespace deco::tools {
+namespace {
+
+constexpr const char* kUsage = R"(deco — declarative workflow provisioning for IaaS clouds
+
+usage: deco <command> [options]
+
+commands:
+  calibrate  --out store.txt [--samples 10000] [--seed 7]
+      Run the micro-benchmark calibration against the simulated EC2 cloud
+      and save the metadata store of performance histograms.
+
+  generate   --app montage|ligo|epigenomics|cybershake|pipeline
+             --out wf.dax [--tasks 100 | --degree 4] [--seed 7]
+      Synthesize a workflow and write it as a Pegasus DAX file.
+
+  plan       --dax wf.dax --deadline 3600 [--quantile 96]
+             [--scheduler deco|autoscaling|random|<type name>]
+             [--store store.txt] [--seed 7]
+      Compute a provisioning plan and report the estimated cost and
+      makespan distribution.
+
+  run        --dax wf.dax --deadline 3600 [--quantile 96] [--runs 20]
+             [--scheduler ...] [--store store.txt] [--seed 7]
+      Plan, then execute on the simulated cloud; report statistics.
+
+  solve      --dax wf.dax --program prog.wlog [--store store.txt]
+      Solve a WLog program against the workflow (declarative path).
+
+  info       --dax wf.dax
+      Summarize a workflow: structure, task mix, data volumes.
+
+  help
+      Show this text.
+)";
+
+struct CloudSetup {
+  cloud::Catalog catalog;
+  cloud::MetadataStore store;
+};
+
+CloudSetup load_cloud(const CliArgs& args) {
+  CloudSetup setup;
+  setup.catalog = cloud::make_ec2_catalog();
+  if (const auto path = args.get("store")) {
+    if (auto loaded = cloud::MetadataStore::load(*path)) {
+      setup.store = std::move(*loaded);
+      return setup;
+    }
+  }
+  setup.store = core::make_store_from_catalog(
+      setup.catalog, "ec2", 4000, 24,
+      static_cast<std::uint64_t>(args.number_or("seed", 7)));
+  return setup;
+}
+
+std::optional<workflow::Workflow> load_dax(const CliArgs& args,
+                                           std::ostream& out) {
+  const auto path = args.get("dax");
+  if (!path) {
+    out << "error: --dax <file> is required\n";
+    return std::nullopt;
+  }
+  auto parsed = workflow::load_dax_file(*path);
+  if (std::holds_alternative<workflow::DaxError>(parsed)) {
+    out << "error: " << std::get<workflow::DaxError>(parsed).message << "\n";
+    return std::nullopt;
+  }
+  return std::get<workflow::Workflow>(std::move(parsed));
+}
+
+std::unique_ptr<wms::Scheduler> make_scheduler(const std::string& name,
+                                               core::Deco& engine,
+                                               const cloud::Catalog& catalog) {
+  if (name == "deco") return std::make_unique<wms::DecoScheduler>(engine);
+  if (name == "autoscaling") {
+    return std::make_unique<wms::AutoscalingScheduler>();
+  }
+  if (name == "random") return std::make_unique<wms::RandomScheduler>();
+  if (const auto type = catalog.find_type(name)) {
+    return std::make_unique<wms::FixedTypeScheduler>(*type);
+  }
+  return nullptr;
+}
+
+int cmd_calibrate(const CliArgs& args, std::ostream& out) {
+  const cloud::Catalog catalog = cloud::make_ec2_catalog();
+  cloud::MetadataStore store;
+  cloud::CalibrationOptions options;
+  options.samples_per_setting =
+      static_cast<std::size_t>(args.number_or("samples", 10000));
+  util::Rng rng(static_cast<std::uint64_t>(args.number_or("seed", 2015)));
+  const auto report = cloud::calibrate(catalog, store, options, rng);
+
+  util::Table table({"setting", "mean", "stddev", "KS p(Normal)"});
+  for (const auto& rec : report.records) {
+    table.add_row({rec.key, util::Table::num(util::mean(rec.samples), 1),
+                   util::Table::num(util::stddev(rec.samples), 1),
+                   util::Table::num(rec.ks_normal.p_value, 3)});
+  }
+  out << table.to_string();
+
+  const std::string path = args.get_or("out", "metadata_store.txt");
+  if (!store.save(path)) {
+    out << "error: cannot write " << path << "\n";
+    return 1;
+  }
+  out << "saved " << store.size() << " histograms to " << path << "\n";
+  return 0;
+}
+
+int cmd_generate(const CliArgs& args, std::ostream& out) {
+  const std::string app = args.get_or("app", "montage");
+  const auto path = args.get("out");
+  if (!path) {
+    out << "error: --out <file.dax> is required\n";
+    return 1;
+  }
+  util::Rng rng(static_cast<std::uint64_t>(args.number_or("seed", 7)));
+  workflow::Workflow wf;
+  if (app == "montage" && args.get("degree")) {
+    wf = workflow::make_montage(
+        static_cast<int>(args.number_or("degree", 1)), rng);
+  } else {
+    workflow::AppType type;
+    if (app == "montage") type = workflow::AppType::kMontage;
+    else if (app == "ligo") type = workflow::AppType::kLigo;
+    else if (app == "epigenomics") type = workflow::AppType::kEpigenomics;
+    else if (app == "cybershake") type = workflow::AppType::kCyberShake;
+    else if (app == "pipeline") type = workflow::AppType::kPipeline;
+    else {
+      out << "error: unknown app '" << app << "'\n";
+      return 1;
+    }
+    wf = workflow::make_workflow(
+        type, static_cast<std::size_t>(args.number_or("tasks", 100)), rng);
+  }
+  if (!workflow::save_dax_file(wf, *path)) {
+    out << "error: cannot write " << *path << "\n";
+    return 1;
+  }
+  out << "wrote " << wf.name() << ": " << wf.task_count() << " tasks, "
+      << wf.edge_count() << " edges -> " << *path << "\n";
+  return 0;
+}
+
+int cmd_plan(const CliArgs& args, std::ostream& out, bool execute) {
+  const auto wf = load_dax(args, out);
+  if (!wf) return 1;
+  const auto deadline = args.get("deadline");
+  if (!deadline) {
+    out << "error: --deadline <seconds> is required\n";
+    return 1;
+  }
+  const CloudSetup cloud = load_cloud(args);
+  core::ProbDeadline req;
+  req.deadline_s = args.number_or("deadline", 3600);
+  req.quantile = args.number_or("quantile", 96) / 100.0;
+
+  core::Deco engine(cloud.catalog, cloud.store);
+  wms::PegasusWms wms(cloud.catalog, cloud.store);
+  const std::string scheduler_name = args.get_or("scheduler", "deco");
+  auto scheduler = make_scheduler(scheduler_name, engine, cloud.catalog);
+  if (!scheduler) {
+    out << "error: unknown scheduler '" << scheduler_name << "'\n";
+    return 1;
+  }
+  wms.set_scheduler(std::move(scheduler));
+
+  util::Rng rng(static_cast<std::uint64_t>(args.number_or("seed", 7)));
+  auto planned = wms.plan_workflow(*wf, req, rng);
+  if (std::holds_alternative<wms::WmsError>(planned)) {
+    out << "error: " << std::get<wms::WmsError>(planned).message << "\n";
+    return 1;
+  }
+  const auto& exec = std::get<wms::ExecutableWorkflow>(planned);
+
+  // Report the plan.
+  std::map<std::string, int> site_counts;
+  for (const auto& task : exec.tasks) ++site_counts[task.site];
+  out << "plan (" << exec.scheduler << "):\n";
+  for (const auto& [site, count] : site_counts) {
+    out << "  " << count << " tasks -> " << site << "\n";
+  }
+
+  core::TaskTimeEstimator estimator(cloud.catalog, cloud.store);
+  vgpu::VirtualGpuBackend backend;
+  core::PlanEvaluator evaluator(*wf, estimator, backend);
+  const auto eval = evaluator.evaluate(exec.plan, req);
+  out << "estimated cost $" << util::Table::num(eval.mean_cost, 4)
+      << ", mean makespan " << util::Table::num(eval.mean_makespan, 0)
+      << " s, P(makespan <= " << req.deadline_s
+      << " s) = " << util::Table::num(eval.deadline_prob, 3)
+      << (eval.feasible ? " (feasible)" : " (NOT feasible)") << "\n";
+
+  if (execute) {
+    const int runs = static_cast<int>(args.number_or("runs", 20));
+    std::vector<double> costs;
+    std::vector<double> makespans;
+    int met = 0;
+    for (int i = 0; i < runs; ++i) {
+      const auto report = wms.execute(exec, rng, req);
+      costs.push_back(report.total_cost);
+      makespans.push_back(report.makespan);
+      met += report.met_deadline;
+    }
+    out << "executed " << runs << " runs: avg billed cost $"
+        << util::Table::num(util::mean(costs), 4) << ", avg makespan "
+        << util::Table::num(util::mean(makespans), 0) << " s, deadline met "
+        << met << "/" << runs << "\n";
+  }
+  return 0;
+}
+
+int cmd_solve(const CliArgs& args, std::ostream& out) {
+  const auto wf = load_dax(args, out);
+  if (!wf) return 1;
+  const auto program_path = args.get("program");
+  if (!program_path) {
+    out << "error: --program <file.wlog> is required\n";
+    return 1;
+  }
+  std::ifstream in(*program_path);
+  if (!in) {
+    out << "error: cannot open " << *program_path << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  const CloudSetup cloud = load_cloud(args);
+  core::Deco engine(cloud.catalog, cloud.store);
+  const auto result = engine.solve_program(buffer.str(), *wf);
+  if (!result.ok) {
+    out << "error: " << result.error << "\n";
+    return 1;
+  }
+  out << "solved: goal value " << util::Table::num(result.goal_value, 4)
+      << ", feasible " << (result.feasible ? "yes" : "no") << ", "
+      << result.stats.states_evaluated << " states in "
+      << util::Table::num(result.stats.elapsed_ms, 0) << " ms\n";
+  for (workflow::TaskId t = 0; t < wf->task_count(); ++t) {
+    out << "  " << wf->task(t).name << " -> "
+        << cloud.catalog.type(result.plan[t].vm_type).name << "\n";
+  }
+  return 0;
+}
+
+int cmd_info(const CliArgs& args, std::ostream& out) {
+  const auto wf = load_dax(args, out);
+  if (!wf) return 1;
+  out << workflow::describe(workflow::compute_stats(*wf), wf->name());
+  return 0;
+}
+
+}  // namespace
+
+std::optional<std::string> CliArgs::get(const std::string& key) const {
+  const auto it = options.find(key);
+  if (it == options.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliArgs::get_or(const std::string& key,
+                            std::string fallback) const {
+  return get(key).value_or(std::move(fallback));
+}
+
+double CliArgs::number_or(const std::string& key, double fallback) const {
+  const auto value = get(key);
+  if (!value) return fallback;
+  try {
+    return std::stod(*value);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+CliArgs parse_args(const std::vector<std::string>& argv) {
+  CliArgs args;
+  for (std::size_t i = 0; i < argv.size(); ++i) {
+    const std::string& word = argv[i];
+    if (word.rfind("--", 0) == 0) {
+      const std::string key = word.substr(2);
+      if (i + 1 < argv.size() && argv[i + 1].rfind("--", 0) != 0) {
+        args.options[key] = argv[++i];
+      } else {
+        args.options[key] = "true";  // bare flag
+      }
+    } else if (args.command.empty()) {
+      args.command = word;
+    } else {
+      args.positional.push_back(word);
+    }
+  }
+  return args;
+}
+
+int run_cli(const CliArgs& args, std::ostream& out) {
+  if (args.command.empty() || args.command == "help") {
+    out << kUsage;
+    return args.command.empty() ? 1 : 0;
+  }
+  if (args.command == "calibrate") return cmd_calibrate(args, out);
+  if (args.command == "generate") return cmd_generate(args, out);
+  if (args.command == "plan") return cmd_plan(args, out, /*execute=*/false);
+  if (args.command == "run") return cmd_plan(args, out, /*execute=*/true);
+  if (args.command == "solve") return cmd_solve(args, out);
+  if (args.command == "info") return cmd_info(args, out);
+  out << "error: unknown command '" << args.command << "'\n" << kUsage;
+  return 1;
+}
+
+int run_cli(int argc, const char* const* argv, std::ostream& out) {
+  std::vector<std::string> words;
+  for (int i = 1; i < argc; ++i) words.emplace_back(argv[i]);
+  return run_cli(parse_args(words), out);
+}
+
+}  // namespace deco::tools

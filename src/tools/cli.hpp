@@ -1,0 +1,43 @@
+// deco command-line frontend.
+//
+// Subcommands (see `deco help`):
+//   calibrate  — run the micro-benchmark calibration, save the metadata store
+//   generate   — synthesize a workflow (Montage/LIGO/...) as a DAX file
+//   plan       — plan a DAX workflow under a probabilistic deadline
+//   run        — plan + execute on the simulated cloud, report statistics
+//   solve      — run a WLog program against a DAX workflow
+//
+// The command implementations are a library so tests can drive them
+// directly; src/tools/deco_main.cpp is the thin binary wrapper.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace deco::tools {
+
+/// Parsed command line: subcommand, --key value options, positionals.
+struct CliArgs {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::vector<std::string> positional;
+
+  std::optional<std::string> get(const std::string& key) const;
+  std::string get_or(const std::string& key, std::string fallback) const;
+  double number_or(const std::string& key, double fallback) const;
+};
+
+/// Parses argv-style input ("--key value" or "--flag"; bare words are
+/// positional; the first bare word is the subcommand).
+CliArgs parse_args(const std::vector<std::string>& argv);
+
+/// Runs one subcommand; output goes to `out`.  Returns the exit code.
+int run_cli(const CliArgs& args, std::ostream& out);
+
+/// Convenience overload for main().
+int run_cli(int argc, const char* const* argv, std::ostream& out);
+
+}  // namespace deco::tools

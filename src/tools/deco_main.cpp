@@ -1,0 +1,8 @@
+// The `deco` binary: thin wrapper over tools::run_cli.
+#include <iostream>
+
+#include "tools/cli.hpp"
+
+int main(int argc, char** argv) {
+  return deco::tools::run_cli(argc, argv, std::cout);
+}

@@ -1,0 +1,204 @@
+#include "util/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/stats.hpp"
+
+namespace deco::util {
+namespace {
+
+// Marsaglia-Tsang squeeze method for Gamma(k >= 1, 1); boosted for k < 1.
+double sample_standard_gamma(Rng& rng, double k) {
+  if (k < 1.0) {
+    const double u = std::max(rng.uniform(), 1e-300);
+    return sample_standard_gamma(rng, k + 1.0) * std::pow(u, 1.0 / k);
+  }
+  const double d = k - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = Normal{0, 1}.sample(rng);
+      v = 1.0 + c * x;
+    } while (v <= 0);
+    v = v * v * v;
+    const double u = std::max(rng.uniform(), 1e-300);
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v;
+  }
+}
+
+}  // namespace
+
+double Normal::sample(Rng& rng) const {
+  // Box-Muller; one value per call keeps lanes stateless.
+  const double u1 = std::max(rng.uniform(), 1e-300);
+  const double u2 = rng.uniform();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  return mu + sigma * z;
+}
+
+double Normal::pdf(double x) const {
+  const double z = (x - mu) / sigma;
+  return std::exp(-0.5 * z * z) /
+         (sigma * std::sqrt(2.0 * std::numbers::pi));
+}
+
+double Normal::cdf(double x) const {
+  return 0.5 * std::erfc(-(x - mu) / (sigma * std::numbers::sqrt2));
+}
+
+Normal Normal::fit(std::span<const double> xs) {
+  return Normal{mean(xs), stddev(xs)};
+}
+
+double Gamma::sample(Rng& rng) const {
+  return theta * sample_standard_gamma(rng, k);
+}
+
+double Gamma::pdf(double x) const {
+  if (x <= 0) return 0;
+  const double logp = (k - 1) * std::log(x) - x / theta - log_gamma(k) -
+                      k * std::log(theta);
+  return std::exp(logp);
+}
+
+double Gamma::cdf(double x) const {
+  if (x <= 0) return 0;
+  return regularized_gamma_p(k, x / theta);
+}
+
+Gamma Gamma::fit(std::span<const double> xs) {
+  const double m = deco::util::mean(xs);
+  const double v = deco::util::variance(xs);
+  if (m <= 0 || v <= 0) return Gamma{1, std::max(m, 1e-9)};
+  return Gamma{m * m / v, v / m};
+}
+
+double Pareto::sample(Rng& rng) const {
+  const double u = std::max(1.0 - rng.uniform(), 1e-300);
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+double Pareto::pdf(double x) const {
+  if (x < xm) return 0;
+  return alpha * std::pow(xm, alpha) / std::pow(x, alpha + 1);
+}
+
+double Pareto::cdf(double x) const {
+  if (x < xm) return 0;
+  return 1.0 - std::pow(xm / x, alpha);
+}
+
+double log_gamma(double x) { return std::lgamma(x); }
+
+double regularized_gamma_p(double a, double x) {
+  if (x <= 0 || a <= 0) return 0;
+  if (x < a + 1.0) {
+    // Series representation.
+    double ap = a;
+    double sum = 1.0 / a;
+    double del = sum;
+    for (int n = 0; n < 500; ++n) {
+      ap += 1.0;
+      del *= x / ap;
+      sum += del;
+      if (std::abs(del) < std::abs(sum) * 1e-14) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - log_gamma(a));
+  }
+  // Continued fraction for Q(a, x); P = 1 - Q.
+  double b = x + 1.0 - a;
+  double c = 1e300;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < 1e-300) d = 1e-300;
+    c = b + an / c;
+    if (std::abs(c) < 1e-300) c = 1e-300;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < 1e-14) break;
+  }
+  const double q = std::exp(-x + a * std::log(x) - log_gamma(a)) * h;
+  return 1.0 - q;
+}
+
+double Distribution::sample(Rng& rng) const {
+  switch (kind) {
+    case Kind::kNormal:
+      return Normal{a, b}.sample(rng);
+    case Kind::kGamma:
+      return Gamma{a, b}.sample(rng);
+    case Kind::kUniform:
+      return Uniform{a, b}.sample(rng);
+    case Kind::kPareto:
+      return Pareto{a, b}.sample(rng);
+  }
+  return 0;
+}
+
+double Distribution::cdf(double x) const {
+  switch (kind) {
+    case Kind::kNormal:
+      return Normal{a, b}.cdf(x);
+    case Kind::kGamma:
+      return Gamma{a, b}.cdf(x);
+    case Kind::kUniform:
+      return Uniform{a, b}.cdf(x);
+    case Kind::kPareto:
+      return Pareto{a, b}.cdf(x);
+  }
+  return 0;
+}
+
+double Distribution::mean() const {
+  switch (kind) {
+    case Kind::kNormal:
+      return a;
+    case Kind::kGamma:
+      return a * b;
+    case Kind::kUniform:
+      return 0.5 * (a + b);
+    case Kind::kPareto:
+      return b > 1 ? b * a / (b - 1) : a;
+  }
+  return 0;
+}
+
+double Distribution::sample_truncated(Rng& rng, double lo) const {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double x = sample(rng);
+    if (x >= lo) return x;
+  }
+  return lo;
+}
+
+std::string Distribution::describe() const {
+  char buf[96];
+  switch (kind) {
+    case Kind::kNormal:
+      std::snprintf(buf, sizeof buf, "Normal(mu=%.2f, sigma=%.2f)", a, b);
+      break;
+    case Kind::kGamma:
+      std::snprintf(buf, sizeof buf, "Gamma(k=%.2f, theta=%.3f)", a, b);
+      break;
+    case Kind::kUniform:
+      std::snprintf(buf, sizeof buf, "Uniform(%.2f, %.2f)", a, b);
+      break;
+    case Kind::kPareto:
+      std::snprintf(buf, sizeof buf, "Pareto(xm=%.2f, alpha=%.2f)", a, b);
+      break;
+  }
+  return buf;
+}
+
+}  // namespace deco::util

@@ -1,0 +1,106 @@
+// Deterministic pseudo-random number generation for the Deco reproduction.
+//
+// All stochastic behaviour in the repository (cloud performance dynamics,
+// Monte Carlo inference, workload generation) flows through Rng so that
+// experiments are reproducible from a single seed.  The generator is
+// xoshiro256** (Blackman & Vigna), seeded through splitmix64, with jump()
+// support so that parallel Monte Carlo lanes can own non-overlapping
+// subsequences of a common stream.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace deco::util {
+
+/// xoshiro256** PRNG.  Satisfies std::uniform_random_bit_generator so it can
+/// be used with <random> distributions, although the repository's own
+/// distribution code (distributions.hpp) is preferred in hot paths.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) word = splitmix64(x);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire's nearly-divisionless bounded generation.
+    auto wide = static_cast<unsigned __int128>(operator()()) * n;
+    return static_cast<std::uint64_t>(wide >> 64);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Advances the stream by 2^128 steps; used to derive per-lane streams.
+  void jump() {
+    static constexpr std::array<std::uint64_t, 4> kJump = {
+        0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL, 0xA9582618E03FC9AAULL,
+        0x39ABDC4529B1661CULL};
+    std::array<std::uint64_t, 4> acc{};
+    for (std::uint64_t word : kJump) {
+      for (int bit = 0; bit < 64; ++bit) {
+        if (word & (1ULL << bit)) {
+          for (int i = 0; i < 4; ++i) acc[static_cast<std::size_t>(i)] ^= state_[static_cast<std::size_t>(i)];
+        }
+        operator()();
+      }
+    }
+    state_ = acc;
+  }
+
+  /// Returns an independent generator: a copy jumped `lane + 1` times.
+  Rng fork(unsigned lane) const {
+    Rng child = *this;
+    for (unsigned i = 0; i <= lane; ++i) child.jump();
+    return child;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  static std::uint64_t splitmix64(std::uint64_t& x) {
+    std::uint64_t z = (x += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace deco::util

@@ -1,0 +1,78 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace deco::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0;
+  const double m = mean(xs);
+  double acc = 0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double percentile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(q, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double min_of(std::span<const double> xs) {
+  if (xs.empty()) return 0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  if (xs.empty()) return 0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+FiveNumberSummary five_number_summary(std::span<const double> xs) {
+  FiveNumberSummary s;
+  if (xs.empty()) return s;
+  s.min = min_of(xs);
+  s.q25 = percentile(xs, 25);
+  s.median = percentile(xs, 50);
+  s.q75 = percentile(xs, 75);
+  s.max = max_of(xs);
+  return s;
+}
+
+std::vector<double> normalized(std::span<const double> xs, double base) {
+  std::vector<double> out(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    out[i] = base != 0 ? xs[i] / base : 0;
+  return out;
+}
+
+double kolmogorov_tail(double t) {
+  if (t <= 0) return 1.0;
+  // Two-term alternating series is accurate past the 1e-3 level we need.
+  double sum = 0;
+  for (int k = 1; k <= 100; ++k) {
+    const double sign = (k % 2 == 1) ? 1.0 : -1.0;
+    const double term = sign * std::exp(-2.0 * k * k * t * t);
+    sum += term;
+    if (std::abs(term) < 1e-12) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+}  // namespace deco::util

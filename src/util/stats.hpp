@@ -1,0 +1,79 @@
+// Small descriptive-statistics helpers shared by calibration, evaluation and
+// the benchmark harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace deco::util {
+
+/// Arithmetic mean; returns 0 for an empty range.
+double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (n-1 denominator); returns 0 for n < 2.
+double variance(std::span<const double> xs);
+
+/// Sample standard deviation.
+double stddev(std::span<const double> xs);
+
+/// q-th percentile (q in [0, 100]) by linear interpolation between closest
+/// ranks.  The input need not be sorted.  Returns 0 for an empty range.
+double percentile(std::span<const double> xs, double q);
+
+/// Minimum / maximum; return 0 for an empty range.
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Summary of a sample used in bench output (quantile plots, Fig. 2 style).
+struct FiveNumberSummary {
+  double min = 0;
+  double q25 = 0;
+  double median = 0;
+  double q75 = 0;
+  double max = 0;
+};
+
+FiveNumberSummary five_number_summary(std::span<const double> xs);
+
+/// Divides every element by `base`; used for the paper's normalized metrics.
+std::vector<double> normalized(std::span<const double> xs, double base);
+
+/// Kolmogorov-Smirnov test statistic of a sample against a CDF, plus the
+/// asymptotic p-value approximation.  Used to "verify with null hypothesis"
+/// that calibrated network performance is Normal (Fig. 6b).
+struct KsResult {
+  double statistic = 0;  ///< sup |F_n(x) - F(x)|
+  double p_value = 0;    ///< asymptotic Kolmogorov distribution tail
+};
+
+template <typename Cdf>
+KsResult ks_test(std::vector<double> sample, Cdf&& cdf);
+
+/// Kolmogorov distribution complementary CDF approximation.
+double kolmogorov_tail(double t);
+
+// --- implementation of the templated entry point ---------------------------
+
+template <typename Cdf>
+KsResult ks_test(std::vector<double> sample, Cdf&& cdf) {
+  KsResult out;
+  if (sample.empty()) return out;
+  std::sort(sample.begin(), sample.end());
+  const auto n = static_cast<double>(sample.size());
+  double d = 0;
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    const double f = cdf(sample[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, f - lo, hi - f});
+  }
+  out.statistic = d;
+  const double t = (std::sqrt(n) + 0.12 + 0.11 / std::sqrt(n)) * d;
+  out.p_value = kolmogorov_tail(t);
+  return out;
+}
+
+}  // namespace deco::util

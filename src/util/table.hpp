@@ -1,0 +1,32 @@
+// Aligned plain-text table printer used by the bench harnesses so that every
+// figure/table of the paper is regenerated as a readable report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace deco::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; missing cells render empty, extra cells are kept.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 3);
+
+  /// Renders with column alignment and a header separator.
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace deco::util

@@ -1,0 +1,53 @@
+// A small fixed-size thread pool with a parallel_for helper.
+//
+// This is the execution substrate of the "virtual GPU" backend (src/vgpu):
+// thread-pool workers play the role of streaming multiprocessors executing
+// thread blocks.  The pool follows CP.* guidelines: no detached threads, all
+// joins in the destructor, tasks communicate only through futures/atomics.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace deco::util {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (defaults to hardware_concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; the returned future reports completion/exceptions.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [0, n) split into roughly size() contiguous chunks,
+  /// blocking until all complete.  fn must be safe to call concurrently.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Runs fn(chunk_begin, chunk_end, chunk_index) over contiguous chunks.
+  void parallel_chunks(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace deco::util

@@ -1,0 +1,247 @@
+#include "util/xml.hpp"
+
+#include <cctype>
+
+namespace deco::util {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  XmlParseResult run() {
+    XmlParseResult result;
+    skip_prolog();
+    auto root = parse_element();
+    if (!root) {
+      result.error = XmlParseError{pos_, error_.empty() ? "no root element" : error_};
+      return result;
+    }
+    result.root = std::move(root);
+    return result;
+  }
+
+ private:
+  bool eof() const { return pos_ >= input_.size(); }
+  char peek() const { return input_[pos_]; }
+  bool starts_with(std::string_view s) const {
+    return input_.substr(pos_, s.size()) == s;
+  }
+
+  void skip_ws() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+  }
+
+  bool skip_until(std::string_view terminator) {
+    const auto found = input_.find(terminator, pos_);
+    if (found == std::string_view::npos) return false;
+    pos_ = found + terminator.size();
+    return true;
+  }
+
+  void skip_prolog() {
+    for (;;) {
+      skip_ws();
+      if (starts_with("<?")) {
+        if (!skip_until("?>")) { fail("unterminated processing instruction"); return; }
+      } else if (starts_with("<!--")) {
+        if (!skip_until("-->")) { fail("unterminated comment"); return; }
+      } else if (starts_with("<!DOCTYPE")) {
+        if (!skip_until(">")) { fail("unterminated DOCTYPE"); return; }
+      } else {
+        return;
+      }
+    }
+  }
+
+  void fail(std::string msg) {
+    if (error_.empty()) error_ = std::move(msg);
+  }
+
+  std::string parse_name() {
+    const std::size_t start = pos_;
+    while (!eof()) {
+      const char c = peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+          c == ':' || c == '.') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  std::string decode_entities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i]);
+        continue;
+      }
+      const auto end = raw.find(';', i);
+      if (end == std::string_view::npos) {
+        out.push_back('&');
+        continue;
+      }
+      const std::string_view entity = raw.substr(i + 1, end - i - 1);
+      if (entity == "amp") out.push_back('&');
+      else if (entity == "lt") out.push_back('<');
+      else if (entity == "gt") out.push_back('>');
+      else if (entity == "quot") out.push_back('"');
+      else if (entity == "apos") out.push_back('\'');
+      else if (!entity.empty() && entity[0] == '#') {
+        const int base = entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X') ? 16 : 10;
+        const auto digits = base == 16 ? entity.substr(2) : entity.substr(1);
+        long code = 0;
+        for (char c : digits) {
+          code = code * base + (std::isdigit(static_cast<unsigned char>(c))
+                                    ? c - '0'
+                                    : std::tolower(c) - 'a' + 10);
+        }
+        if (code > 0 && code < 128) out.push_back(static_cast<char>(code));
+      } else {
+        out.append("&").append(entity).append(";");
+      }
+      i = end;
+    }
+    return out;
+  }
+
+  bool parse_attributes(XmlNode& node) {
+    for (;;) {
+      skip_ws();
+      if (eof()) { fail("unexpected end inside tag"); return false; }
+      if (peek() == '>' || peek() == '/') return true;
+      const std::string key = parse_name();
+      if (key.empty()) { fail("expected attribute name"); return false; }
+      skip_ws();
+      if (eof() || peek() != '=') { fail("expected '=' after attribute name"); return false; }
+      ++pos_;
+      skip_ws();
+      if (eof() || (peek() != '"' && peek() != '\'')) {
+        fail("expected quoted attribute value");
+        return false;
+      }
+      const char quote = peek();
+      ++pos_;
+      const auto end = input_.find(quote, pos_);
+      if (end == std::string_view::npos) { fail("unterminated attribute value"); return false; }
+      node.attributes[key] = decode_entities(input_.substr(pos_, end - pos_));
+      pos_ = end + 1;
+    }
+  }
+
+  std::unique_ptr<XmlNode> parse_element() {
+    skip_ws();
+    if (eof() || peek() != '<') { fail("expected '<'"); return nullptr; }
+    ++pos_;
+    auto node = std::make_unique<XmlNode>();
+    node->name = parse_name();
+    if (node->name.empty()) { fail("expected element name"); return nullptr; }
+    if (!parse_attributes(*node)) return nullptr;
+    if (peek() == '/') {
+      ++pos_;
+      if (eof() || peek() != '>') { fail("malformed self-closing tag"); return nullptr; }
+      ++pos_;
+      return node;
+    }
+    ++pos_;  // consume '>'
+    if (!parse_content(*node)) return nullptr;
+    return node;
+  }
+
+  bool parse_content(XmlNode& node) {
+    for (;;) {
+      const std::size_t text_start = pos_;
+      while (!eof() && peek() != '<') ++pos_;
+      if (pos_ > text_start) {
+        node.text += decode_entities(input_.substr(text_start, pos_ - text_start));
+      }
+      if (eof()) { fail("unexpected end; missing closing tag for <" + node.name + ">"); return false; }
+      if (starts_with("<!--")) {
+        if (!skip_until("-->")) { fail("unterminated comment"); return false; }
+        continue;
+      }
+      if (starts_with("<![CDATA[")) {
+        pos_ += 9;
+        const auto end = input_.find("]]>", pos_);
+        if (end == std::string_view::npos) { fail("unterminated CDATA"); return false; }
+        node.text += std::string(input_.substr(pos_, end - pos_));
+        pos_ = end + 3;
+        continue;
+      }
+      if (starts_with("<?")) {
+        if (!skip_until("?>")) { fail("unterminated processing instruction"); return false; }
+        continue;
+      }
+      if (starts_with("</")) {
+        pos_ += 2;
+        const std::string closing = parse_name();
+        skip_ws();
+        if (eof() || peek() != '>') { fail("malformed closing tag"); return false; }
+        ++pos_;
+        if (closing != node.name) {
+          fail("mismatched closing tag </" + closing + "> for <" + node.name + ">");
+          return false;
+        }
+        return true;
+      }
+      auto child = parse_element();
+      if (!child) return false;
+      node.children.push_back(std::move(child));
+    }
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<std::string> XmlNode::attr(std::string_view key) const {
+  const auto it = attributes.find(std::string(key));
+  if (it == attributes.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string XmlNode::attr_or(std::string_view key, std::string fallback) const {
+  return attr(key).value_or(std::move(fallback));
+}
+
+const XmlNode* XmlNode::child(std::string_view tag) const {
+  for (const auto& c : children) {
+    if (c->name == tag) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::children_named(std::string_view tag) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& c : children) {
+    if (c->name == tag) out.push_back(c.get());
+  }
+  return out;
+}
+
+XmlParseResult parse_xml(std::string_view input) { return Parser(input).run(); }
+
+std::string xml_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace deco::util

@@ -1,0 +1,52 @@
+// Minimal non-validating XML parser, sufficient for Pegasus DAX files.
+//
+// Supports elements, attributes (single/double quoted), text nodes, comments,
+// processing instructions, XML declarations, CDATA and the five predefined
+// entities.  It does not support DTDs or namespaces beyond treating "ns:name"
+// as an opaque tag name — DAX files need none of that.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace deco::util {
+
+struct XmlNode {
+  std::string name;
+  std::map<std::string, std::string> attributes;
+  std::vector<std::unique_ptr<XmlNode>> children;
+  std::string text;  ///< concatenated character data directly inside this node
+
+  /// Attribute value or std::nullopt.
+  std::optional<std::string> attr(std::string_view key) const;
+  /// Attribute value or `fallback`.
+  std::string attr_or(std::string_view key, std::string fallback) const;
+  /// First child element with the given tag name, or nullptr.
+  const XmlNode* child(std::string_view tag) const;
+  /// All child elements with the given tag name.
+  std::vector<const XmlNode*> children_named(std::string_view tag) const;
+};
+
+struct XmlParseError {
+  std::size_t offset = 0;
+  std::string message;
+};
+
+/// Parses a document; returns the root element or an error.
+struct XmlParseResult {
+  std::unique_ptr<XmlNode> root;
+  std::optional<XmlParseError> error;
+
+  bool ok() const { return root != nullptr && !error.has_value(); }
+};
+
+XmlParseResult parse_xml(std::string_view input);
+
+/// Escapes &, <, >, ", ' for attribute/text serialization.
+std::string xml_escape(std::string_view raw);
+
+}  // namespace deco::util

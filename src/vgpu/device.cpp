@@ -1,0 +1,30 @@
+#include "vgpu/device.hpp"
+
+namespace deco::vgpu {
+
+void SerialBackend::launch(const LaunchConfig& config, const Kernel& kernel) {
+  for (std::size_t b = 0; b < config.blocks; ++b) {
+    BlockContext ctx(b, config.lanes_per_block, config.shared_doubles,
+                     block_rng(config, b));
+    kernel(ctx);
+  }
+}
+
+VirtualGpuBackend::VirtualGpuBackend(std::size_t workers) : pool_(workers) {}
+
+void VirtualGpuBackend::launch(const LaunchConfig& config,
+                               const Kernel& kernel) {
+  pool_.parallel_for(config.blocks, [&](std::size_t b) {
+    BlockContext ctx(b, config.lanes_per_block, config.shared_doubles,
+                     block_rng(config, b));
+    kernel(ctx);
+  });
+}
+
+std::unique_ptr<ComputeBackend> make_backend(const std::string& name,
+                                             std::size_t workers) {
+  if (name == "vgpu") return std::make_unique<VirtualGpuBackend>(workers);
+  return std::make_unique<SerialBackend>();
+}
+
+}  // namespace deco::vgpu

@@ -1,0 +1,133 @@
+// Virtual-GPU compute backend.
+//
+// The paper accelerates probabilistic evaluation on an NVIDIA K40 with a
+// specific decomposition (Section 5.2/5.3): one thread *block* per searched
+// state, one *thread* per Monte Carlo iteration, temporary results in
+// per-block *shared memory*, no cross-block communication.  This module
+// reproduces that execution model on the host so the same kernel code runs
+// with identical semantics:
+//
+//   * a Block is a cooperative group of `lane_count` lanes with a private
+//     shared-memory scratch buffer;
+//   * blocks never communicate; lanes within a block reduce via shared();
+//   * VirtualGpuBackend schedules blocks over a thread pool (workers play the
+//     role of streaming multiprocessors); SerialBackend runs everything on
+//     the calling thread and is the baseline for the paper's speed-up
+//     comparisons (GPU vs CPU search).
+//
+// Substitution note (DESIGN.md): no CUDA device is available in this
+// environment; the backend preserves the paper's kernel decomposition and
+// memory layout so the parallel-vs-serial comparison exercises the same code
+// structure the GPU implementation would.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace deco::vgpu {
+
+/// Execution context handed to a kernel, one per block.
+class BlockContext {
+ public:
+  BlockContext(std::size_t block_index, std::size_t lane_count,
+               std::size_t shared_doubles, util::Rng block_rng)
+      : block_index_(block_index),
+        lane_count_(lane_count),
+        shared_(shared_doubles, 0.0),
+        rng_(block_rng) {}
+
+  std::size_t block_index() const { return block_index_; }
+  std::size_t lane_count() const { return lane_count_; }
+
+  /// Per-block shared-memory scratch (zero-initialized at block start).
+  std::span<double> shared() { return shared_; }
+
+  /// Runs fn(lane, rng) for every lane with a deterministic per-lane RNG
+  /// stream derived from the block stream.  Lanes may be executed in any
+  /// order; they must only communicate through shared() after the loop.
+  void for_each_lane(const std::function<void(std::size_t, util::Rng&)>& fn) {
+    for (std::size_t lane = 0; lane < lane_count_; ++lane) {
+      util::Rng lane_rng = rng_;
+      lane_rng.reseed(mix(lane));
+      fn(lane, lane_rng);
+    }
+  }
+
+ private:
+  std::uint64_t mix(std::size_t lane) {
+    // Derive a lane seed from the block stream without consuming it.
+    util::Rng copy = rng_;
+    const std::uint64_t base = copy();
+    return base ^ (0x9E3779B97F4A7C15ULL * (lane + 1));
+  }
+
+  std::size_t block_index_;
+  std::size_t lane_count_;
+  std::vector<double> shared_;
+  util::Rng rng_;
+};
+
+/// Kernel: executed once per block.
+using Kernel = std::function<void(BlockContext&)>;
+
+struct LaunchConfig {
+  std::size_t blocks = 1;
+  std::size_t lanes_per_block = 32;
+  std::size_t shared_doubles = 64;  ///< shared-memory scratch per block
+  std::uint64_t seed = 42;          ///< base seed; block b uses seed ^ f(b)
+  /// Optional explicit per-block seeds (size == blocks).  Lets callers make a
+  /// block's stream a function of its *payload* rather than its index, so the
+  /// same work item gives identical results whether evaluated alone or
+  /// batched with others.
+  std::vector<std::uint64_t> block_seeds;
+};
+
+/// Abstract device.
+class ComputeBackend {
+ public:
+  virtual ~ComputeBackend() = default;
+  virtual std::string name() const = 0;
+  /// Runs `kernel` for every block in the config; returns after all blocks.
+  virtual void launch(const LaunchConfig& config, const Kernel& kernel) = 0;
+
+ protected:
+  static util::Rng block_rng(const LaunchConfig& config, std::size_t block) {
+    if (block < config.block_seeds.size()) {
+      return util::Rng(config.block_seeds[block]);
+    }
+    return util::Rng(config.seed ^ (0xD5A61266F0C9392CULL * (block + 1)));
+  }
+};
+
+/// Runs every block on the calling thread (the paper's CPU baseline shape).
+class SerialBackend final : public ComputeBackend {
+ public:
+  std::string name() const override { return "serial"; }
+  void launch(const LaunchConfig& config, const Kernel& kernel) override;
+};
+
+/// Schedules blocks over a worker pool; semantics identical to SerialBackend.
+class VirtualGpuBackend final : public ComputeBackend {
+ public:
+  /// `workers` = number of simulated multiprocessors (0 = hardware threads).
+  explicit VirtualGpuBackend(std::size_t workers = 0);
+  std::string name() const override { return "vgpu"; }
+  void launch(const LaunchConfig& config, const Kernel& kernel) override;
+  std::size_t worker_count() const { return pool_.size(); }
+
+ private:
+  util::ThreadPool pool_;
+};
+
+/// Factory used by engine options ("serial" | "vgpu").
+std::unique_ptr<ComputeBackend> make_backend(const std::string& name,
+                                             std::size_t workers = 0);
+
+}  // namespace deco::vgpu

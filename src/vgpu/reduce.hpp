@@ -1,0 +1,60 @@
+// Block-level reductions over shared memory.
+//
+// The paper's kernels store per-lane temporaries in shared memory and reduce
+// within the block ("we store the temporary results of each thread into the
+// shared memory for fast synchronization").  These helpers implement the
+// reduction step of that pattern; they run after all lanes of a block have
+// written their slots (for_each_lane returns), mirroring a __syncthreads()
+// boundary.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+
+namespace deco::vgpu {
+
+/// Sum of the first `n` shared-memory slots.
+inline double block_reduce_sum(std::span<const double> shared, std::size_t n) {
+  double acc = 0;
+  n = std::min(n, shared.size());
+  for (std::size_t i = 0; i < n; ++i) acc += shared[i];
+  return acc;
+}
+
+/// Mean of the first `n` slots (0 for n == 0).
+inline double block_reduce_mean(std::span<const double> shared,
+                                std::size_t n) {
+  n = std::min(n, shared.size());
+  return n == 0 ? 0.0 : block_reduce_sum(shared, n) / static_cast<double>(n);
+}
+
+inline double block_reduce_max(std::span<const double> shared,
+                               std::size_t n) {
+  n = std::min(n, shared.size());
+  double acc = n > 0 ? shared[0] : 0.0;
+  for (std::size_t i = 1; i < n; ++i) acc = std::max(acc, shared[i]);
+  return acc;
+}
+
+inline double block_reduce_min(std::span<const double> shared,
+                               std::size_t n) {
+  n = std::min(n, shared.size());
+  double acc = n > 0 ? shared[0] : 0.0;
+  for (std::size_t i = 1; i < n; ++i) acc = std::min(acc, shared[i]);
+  return acc;
+}
+
+/// Number of slots in [0, n) satisfying value <= bound — the kernel-side
+/// form of the probabilistic-deadline count P(makespan <= D).
+inline std::size_t block_count_within(std::span<const double> shared,
+                                      std::size_t n, double bound) {
+  std::size_t count = 0;
+  n = std::min(n, shared.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (shared[i] <= bound) ++count;
+  }
+  return count;
+}
+
+}  // namespace deco::vgpu

@@ -1,0 +1,35 @@
+#include "wlog/database.hpp"
+
+namespace deco::wlog {
+
+const std::vector<Clause> Database::kEmpty;
+
+void Database::add_program(const Program& program) {
+  for (const Clause& clause : program.clauses) add_clause(clause);
+}
+
+void Database::add_clause(Clause clause) {
+  by_indicator_[indicator(*clause.head)].push_back(std::move(clause));
+}
+
+void Database::add_fact(TermPtr fact) {
+  add_clause(Clause{std::move(fact), {}});
+}
+
+void Database::retract_all(const std::string& functor, std::size_t arity) {
+  by_indicator_.erase(functor + "/" + std::to_string(arity));
+}
+
+const std::vector<Clause>& Database::clauses_for(const std::string& functor,
+                                                 std::size_t arity) const {
+  const auto it = by_indicator_.find(functor + "/" + std::to_string(arity));
+  return it == by_indicator_.end() ? kEmpty : it->second;
+}
+
+std::size_t Database::clause_count() const {
+  std::size_t n = 0;
+  for (const auto& [key, clauses] : by_indicator_) n += clauses.size();
+  return n;
+}
+
+}  // namespace deco::wlog

@@ -1,0 +1,37 @@
+// Clause database indexed by functor/arity, with assert/retract support so
+// the solver can bind a candidate plan (configs/3 facts) before evaluation.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "wlog/program.hpp"
+
+namespace deco::wlog {
+
+class Database {
+ public:
+  Database() = default;
+
+  /// Appends all clauses of a parsed program.
+  void add_program(const Program& program);
+  void add_clause(Clause clause);
+  /// Adds a fact (clause with empty body).
+  void add_fact(TermPtr fact);
+
+  /// Removes all clauses whose head matches functor/arity.
+  void retract_all(const std::string& functor, std::size_t arity);
+
+  /// Clauses for a predicate indicator, in assertion order.
+  const std::vector<Clause>& clauses_for(const std::string& functor,
+                                         std::size_t arity) const;
+
+  std::size_t clause_count() const;
+
+ private:
+  std::unordered_map<std::string, std::vector<Clause>> by_indicator_;
+  static const std::vector<Clause> kEmpty;
+};
+
+}  // namespace deco::wlog

@@ -1,0 +1,736 @@
+#include "wlog/interp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "wlog/program.hpp"
+
+namespace deco::wlog {
+
+double Solution::number(const std::string& name) const {
+  const TermPtr* t = find(name);
+  if (!t || !*t) return 0;
+  if ((*t)->kind == TermKind::kInt || (*t)->kind == TermKind::kFloat) {
+    return (*t)->number();
+  }
+  return 0;
+}
+
+bool Interpreter::eval_arith(const TermPtr& expr, const Bindings& bindings,
+                             double& out) const {
+  const TermPtr t = bindings.resolve(expr);
+  switch (t->kind) {
+    case TermKind::kInt:
+    case TermKind::kFloat:
+      out = t->number();
+      return true;
+    case TermKind::kCompound: {
+      auto unary = [&](double& v) {
+        return t->args.size() == 1 && eval_arith(t->args[0], bindings, v);
+      };
+      auto binary = [&](double& a, double& b) {
+        return t->args.size() == 2 && eval_arith(t->args[0], bindings, a) &&
+               eval_arith(t->args[1], bindings, b);
+      };
+      double a = 0;
+      double b = 0;
+      if (t->text == "+" && binary(a, b)) { out = a + b; return true; }
+      if (t->text == "-" && binary(a, b)) { out = a - b; return true; }
+      if (t->text == "-" && unary(a)) { out = -a; return true; }
+      if (t->text == "*" && binary(a, b)) { out = a * b; return true; }
+      if (t->text == "/" && binary(a, b)) {
+        if (b == 0) return false;
+        out = a / b;
+        return true;
+      }
+      if (t->text == "mod" && binary(a, b)) {
+        if (b == 0) return false;
+        out = a - b * std::floor(a / b);
+        return true;
+      }
+      if (t->text == "min" && binary(a, b)) { out = std::min(a, b); return true; }
+      if (t->text == "max" && binary(a, b)) { out = std::max(a, b); return true; }
+      if (t->text == "abs" && unary(a)) { out = std::abs(a); return true; }
+      if (t->text == "sqrt" && unary(a)) {
+        if (a < 0) return false;
+        out = std::sqrt(a);
+        return true;
+      }
+      if (t->text == "floor" && unary(a)) { out = std::floor(a); return true; }
+      if (t->text == "ceiling" && unary(a)) { out = std::ceil(a); return true; }
+      if (t->text == "log" && unary(a)) {
+        if (a <= 0) return false;
+        out = std::log(a);
+        return true;
+      }
+      if (t->text == "exp" && unary(a)) { out = std::exp(a); return true; }
+      if (t->text == "pow" && binary(a, b)) { out = std::pow(a, b); return true; }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+bool Interpreter::solve(const TermPtr& goal, Bindings& bindings,
+                        const std::function<bool(Bindings&)>& on_solution) {
+  steps_ = 0;
+  found_ = false;
+  Frame frame;
+  std::vector<TermPtr> goals{goal};
+  solve_goals(goals, 0, bindings, frame, on_solution, 0);
+  return found_;
+}
+
+Interpreter::Outcome Interpreter::solve_goals(
+    const std::vector<TermPtr>& goals, std::size_t index, Bindings& bindings,
+    Frame& frame, const std::function<bool(Bindings&)>& on_solution,
+    std::size_t depth) {
+  // The depth cap bounds native-stack growth (each WLog recursion level costs
+  // a handful of C++ frames); programs needing deeper recursion should use
+  // the native evaluator instead of the interpreter.
+  if (++steps_ > step_limit_ || depth > 2'000) return Outcome::kStop;
+  if (index >= goals.size()) {
+    found_ = true;
+    return on_solution(bindings) ? Outcome::kStop : Outcome::kContinue;
+  }
+  const TermPtr goal = bindings.resolve(goals[index]);
+  if (!goal->is_callable()) return Outcome::kContinue;  // cannot call numbers
+  const std::string& f = goal->text;
+  const std::size_t n = goal->arity();
+
+  auto continue_rest = [&]() {
+    return solve_goals(goals, index + 1, bindings, frame, on_solution, depth);
+  };
+
+  // Control constructs.
+  if (f == "true" && n == 0) return continue_rest();
+  if ((f == "fail" || f == "false") && n == 0) return Outcome::kContinue;
+  if (f == "," && n == 2) {
+    // Inline conjunction (from parenthesized bodies).
+    std::vector<TermPtr> expanded(goals.begin(),
+                                  goals.begin() + static_cast<std::ptrdiff_t>(index));
+    expanded.push_back(goal->args[0]);
+    expanded.push_back(goal->args[1]);
+    expanded.insert(expanded.end(),
+                    goals.begin() + static_cast<std::ptrdiff_t>(index) + 1,
+                    goals.end());
+    return solve_goals(expanded, index, bindings, frame, on_solution, depth);
+  }
+  if (f == "!" && n == 0) {
+    const Outcome out = continue_rest();
+    frame.cut = true;
+    return out;
+  }
+  if (f == ";" && n == 2) {
+    const TermPtr left = bindings.resolve(goal->args[0]);
+    // If-then-else: (Cond -> Then ; Else).
+    if (left->kind == TermKind::kCompound && left->text == "->" &&
+        left->args.size() == 2) {
+      Frame cond_frame;
+      bool cond_held = false;
+      const std::size_t mark = bindings.mark();
+      std::vector<TermPtr> cond_goals{left->args[0]};
+      Outcome out = Outcome::kContinue;
+      solve_goals(cond_goals, 0, bindings, cond_frame,
+                  [&](Bindings& b) {
+                    cond_held = true;
+                    // Commit to the first condition solution, then Then.
+                    std::vector<TermPtr> then_goals{left->args[1]};
+                    Frame then_frame;
+                    out = solve_goals(
+                        then_goals, 0, b, then_frame,
+                        [&](Bindings& b2) {
+                          return solve_goals(goals, index + 1, b2, frame,
+                                             on_solution,
+                                             depth + 1) == Outcome::kStop;
+                        },
+                        depth + 1);
+                    return true;  // no backtracking into the condition
+                  },
+                  depth + 1);
+      if (out == Outcome::kStop) return out;
+      bindings.undo_to(mark);
+      if (cond_held) return Outcome::kContinue;
+      // Condition failed: run Else.
+      std::vector<TermPtr> else_goals{goal->args[1]};
+      Frame else_frame;
+      return solve_goals(
+          else_goals, 0, bindings, else_frame,
+          [&](Bindings& b) {
+            return solve_goals(goals, index + 1, b, frame, on_solution,
+                               depth + 1) == Outcome::kStop;
+          },
+          depth + 1);
+    }
+    // Plain disjunction: try left, then right.
+    for (const TermPtr& branch : {goal->args[0], goal->args[1]}) {
+      const std::size_t mark = bindings.mark();
+      std::vector<TermPtr> branch_goals{branch};
+      Frame branch_frame;
+      const Outcome out = solve_goals(
+          branch_goals, 0, bindings, branch_frame,
+          [&](Bindings& b) {
+            return solve_goals(goals, index + 1, b, frame, on_solution,
+                               depth + 1) == Outcome::kStop;
+          },
+          depth + 1);
+      if (out == Outcome::kStop) return out;
+      bindings.undo_to(mark);
+      if (branch_frame.cut || frame.cut) break;
+    }
+    return Outcome::kContinue;
+  }
+  if (f == "->" && n == 2) {
+    // Bare if-then == (Cond -> Then ; fail).
+    const TermPtr ite = make_compound(
+        ";", {goal, make_atom("fail")});
+    std::vector<TermPtr> rewritten(goals.begin(),
+                                   goals.begin() + static_cast<std::ptrdiff_t>(index));
+    rewritten.push_back(ite);
+    rewritten.insert(rewritten.end(),
+                     goals.begin() + static_cast<std::ptrdiff_t>(index) + 1,
+                     goals.end());
+    return solve_goals(rewritten, index, bindings, frame, on_solution, depth);
+  }
+  if (f == "forall" && n == 2) {
+    // forall(Cond, Action) == \+ (Cond, \+ Action).
+    const TermPtr rewritten = make_compound(
+        "\\+", {make_compound(",", {goal->args[0],
+                                    make_compound("\\+", {goal->args[1]})})});
+    std::vector<TermPtr> expanded(goals.begin(),
+                                  goals.begin() + static_cast<std::ptrdiff_t>(index));
+    expanded.push_back(rewritten);
+    expanded.insert(expanded.end(),
+                    goals.begin() + static_cast<std::ptrdiff_t>(index) + 1,
+                    goals.end());
+    return solve_goals(expanded, index, bindings, frame, on_solution, depth);
+  }
+  if ((f == "\\+" || f == "not") && n == 1) {
+    Frame sub;
+    bool proven = false;
+    const std::size_t mark = bindings.mark();
+    std::vector<TermPtr> sub_goals{goal->args[0]};
+    solve_goals(sub_goals, 0, bindings, sub,
+                [&proven](Bindings&) {
+                  proven = true;
+                  return true;  // first proof is enough
+                },
+                depth + 1);
+    bindings.undo_to(mark);
+    if (proven) return Outcome::kContinue;
+    return continue_rest();
+  }
+
+  // Unification & comparison built-ins.
+  if (f == "=" && n == 2) {
+    const std::size_t mark = bindings.mark();
+    if (unify(goal->args[0], goal->args[1], bindings)) {
+      const Outcome out = continue_rest();
+      if (out == Outcome::kStop) return out;
+    }
+    bindings.undo_to(mark);
+    return Outcome::kContinue;
+  }
+  if (f == "\\=" && n == 2) {
+    const std::size_t mark = bindings.mark();
+    const bool unifies = unify(goal->args[0], goal->args[1], bindings);
+    bindings.undo_to(mark);
+    return unifies ? Outcome::kContinue : continue_rest();
+  }
+  if (f == "==" && n == 2) {
+    return term_equal(goal->args[0], goal->args[1], bindings) ? continue_rest()
+                                                              : Outcome::kContinue;
+  }
+  if (f == "\\==" && n == 2) {
+    return !term_equal(goal->args[0], goal->args[1], bindings)
+               ? continue_rest()
+               : Outcome::kContinue;
+  }
+  if (f == "is" && n == 2) {
+    double value = 0;
+    if (!eval_arith(goal->args[1], bindings, value)) return Outcome::kContinue;
+    const std::size_t mark = bindings.mark();
+    if (unify(goal->args[0], make_number(value), bindings)) {
+      const Outcome out = continue_rest();
+      if (out == Outcome::kStop) return out;
+    }
+    bindings.undo_to(mark);
+    return Outcome::kContinue;
+  }
+  if ((f == "<" || f == ">" || f == "=<" || f == ">=" || f == "=:=" ||
+       f == "=\\=") &&
+      n == 2) {
+    double a = 0;
+    double b = 0;
+    if (!eval_arith(goal->args[0], bindings, a) ||
+        !eval_arith(goal->args[1], bindings, b)) {
+      return Outcome::kContinue;
+    }
+    const bool ok = (f == "<" && a < b) || (f == ">" && a > b) ||
+                    (f == "=<" && a <= b) || (f == ">=" && a >= b) ||
+                    (f == "=:=" && a == b) || (f == "=\\=" && a != b);
+    return ok ? continue_rest() : Outcome::kContinue;
+  }
+
+  // Type tests.
+  if (n == 1 && (f == "var" || f == "nonvar" || f == "atom" || f == "number" ||
+                 f == "integer" || f == "float" || f == "is_list")) {
+    const TermPtr t = bindings.resolve(goal->args[0]);
+    bool ok = false;
+    if (f == "var") ok = t->kind == TermKind::kVar;
+    if (f == "nonvar") ok = t->kind != TermKind::kVar;
+    if (f == "atom") ok = t->kind == TermKind::kAtom;
+    if (f == "number")
+      ok = t->kind == TermKind::kInt || t->kind == TermKind::kFloat;
+    if (f == "integer") ok = t->kind == TermKind::kInt;
+    if (f == "float") ok = t->kind == TermKind::kFloat;
+    if (f == "is_list") ok = list_elements(t, bindings).has_value();
+    return ok ? continue_rest() : Outcome::kContinue;
+  }
+
+  // All-solutions built-ins.
+  if ((f == "findall" || f == "setof" || f == "bagof") && n == 3) {
+    std::vector<TermPtr> collected;
+    Frame sub;
+    const std::size_t mark = bindings.mark();
+    std::vector<TermPtr> sub_goals{goal->args[1]};
+    solve_goals(sub_goals, 0, bindings, sub,
+                [&](Bindings& b) {
+                  collected.push_back(b.deep_resolve(goal->args[0]));
+                  return false;  // enumerate everything
+                },
+                depth + 1);
+    bindings.undo_to(mark);
+    if (f == "setof" || f == "bagof") {
+      if (collected.empty()) return Outcome::kContinue;  // setof/bagof fail
+      if (f == "setof") {
+        std::sort(collected.begin(), collected.end(),
+                  [&](const TermPtr& a, const TermPtr& b) {
+                    return term_compare(a, b, bindings) < 0;
+                  });
+        collected.erase(std::unique(collected.begin(), collected.end(),
+                                    [&](const TermPtr& a, const TermPtr& b) {
+                                      return term_compare(a, b, bindings) == 0;
+                                    }),
+                        collected.end());
+      }
+    }
+    const std::size_t mark2 = bindings.mark();
+    if (unify(goal->args[2], make_list(std::move(collected)), bindings)) {
+      const Outcome out = continue_rest();
+      if (out == Outcome::kStop) return out;
+    }
+    bindings.undo_to(mark2);
+    return Outcome::kContinue;
+  }
+
+  // List built-ins.
+  if (f == "member" && n == 2) {
+    const auto elems = list_elements(goal->args[1], bindings);
+    if (!elems) return Outcome::kContinue;
+    for (const TermPtr& e : *elems) {
+      const std::size_t mark = bindings.mark();
+      if (unify(goal->args[0], e, bindings)) {
+        const Outcome out = continue_rest();
+        if (out == Outcome::kStop) return out;
+      }
+      bindings.undo_to(mark);
+      if (frame.cut) return Outcome::kContinue;
+    }
+    return Outcome::kContinue;
+  }
+  if (f == "length" && n == 2) {
+    const auto elems = list_elements(goal->args[0], bindings);
+    if (!elems) return Outcome::kContinue;
+    const std::size_t mark = bindings.mark();
+    if (unify(goal->args[1], make_int(static_cast<std::int64_t>(elems->size())),
+              bindings)) {
+      const Outcome out = continue_rest();
+      if (out == Outcome::kStop) return out;
+    }
+    bindings.undo_to(mark);
+    return Outcome::kContinue;
+  }
+  if (f == "append" && n == 3) {
+    // Mode (+,+,-): concatenate; mode (-,-,+): enumerate splits.
+    const auto a = list_elements(goal->args[0], bindings);
+    const auto b = list_elements(goal->args[1], bindings);
+    if (a && b) {
+      std::vector<TermPtr> joined = *a;
+      joined.insert(joined.end(), b->begin(), b->end());
+      const std::size_t mark = bindings.mark();
+      if (unify(goal->args[2], make_list(std::move(joined)), bindings)) {
+        const Outcome out = continue_rest();
+        if (out == Outcome::kStop) return out;
+      }
+      bindings.undo_to(mark);
+      return Outcome::kContinue;
+    }
+    const auto c = list_elements(goal->args[2], bindings);
+    if (!c) return Outcome::kContinue;
+    for (std::size_t split = 0; split <= c->size(); ++split) {
+      const std::size_t mark = bindings.mark();
+      std::vector<TermPtr> left(c->begin(),
+                                c->begin() + static_cast<std::ptrdiff_t>(split));
+      std::vector<TermPtr> right(c->begin() + static_cast<std::ptrdiff_t>(split),
+                                 c->end());
+      if (unify(goal->args[0], make_list(std::move(left)), bindings) &&
+          unify(goal->args[1], make_list(std::move(right)), bindings)) {
+        const Outcome out = continue_rest();
+        if (out == Outcome::kStop) return out;
+      }
+      bindings.undo_to(mark);
+      if (frame.cut) return Outcome::kContinue;
+    }
+    return Outcome::kContinue;
+  }
+  if (f == "nth0" && n == 3) {
+    const auto elems = list_elements(goal->args[1], bindings);
+    if (!elems) return Outcome::kContinue;
+    const TermPtr idx = bindings.resolve(goal->args[0]);
+    for (std::size_t i = 0; i < elems->size(); ++i) {
+      if (idx->kind == TermKind::kInt &&
+          idx->ival != static_cast<std::int64_t>(i)) {
+        continue;
+      }
+      const std::size_t mark = bindings.mark();
+      if (unify(goal->args[0], make_int(static_cast<std::int64_t>(i)),
+                bindings) &&
+          unify(goal->args[2], (*elems)[i], bindings)) {
+        const Outcome out = continue_rest();
+        if (out == Outcome::kStop) return out;
+      }
+      bindings.undo_to(mark);
+      if (frame.cut) return Outcome::kContinue;
+    }
+    return Outcome::kContinue;
+  }
+  // Aggregations over lists (the paper uses sum(Bag,Ct) and max(Set,Best)).
+  if ((f == "sum" || f == "max" || f == "min") && n == 2) {
+    const auto elems = list_elements(goal->args[0], bindings);
+    if (!elems) return Outcome::kContinue;
+    TermPtr result;
+    if (f == "sum") {
+      double acc = 0;
+      for (const TermPtr& e : *elems) {
+        double v = 0;
+        if (!eval_arith(e, bindings, v)) return Outcome::kContinue;
+        acc += v;
+      }
+      result = make_number(acc);
+    } else {
+      if (elems->empty()) return Outcome::kContinue;
+      // Elements may be plain numbers, or tuples [.., Key] compared by their
+      // last element (e.g. max(Set, [Path,T]) picks the longest path).
+      auto key_of = [&](const TermPtr& e, double& v) {
+        const TermPtr r = bindings.resolve(e);
+        if (r->kind == TermKind::kInt || r->kind == TermKind::kFloat) {
+          v = r->number();
+          return true;
+        }
+        const auto tuple = list_elements(r, bindings);
+        if (!tuple || tuple->empty()) return false;
+        return eval_arith(tuple->back(), bindings, v);
+      };
+      std::size_t best = 0;
+      double best_key = 0;
+      if (!key_of((*elems)[0], best_key)) return Outcome::kContinue;
+      for (std::size_t i = 1; i < elems->size(); ++i) {
+        double k = 0;
+        if (!key_of((*elems)[i], k)) return Outcome::kContinue;
+        const bool better = f == "max" ? k > best_key : k < best_key;
+        if (better) {
+          best = i;
+          best_key = k;
+        }
+      }
+      result = (*elems)[best];
+    }
+    const std::size_t mark = bindings.mark();
+    if (unify(goal->args[1], result, bindings)) {
+      const Outcome out = continue_rest();
+      if (out == Outcome::kStop) return out;
+    }
+    bindings.undo_to(mark);
+    return Outcome::kContinue;
+  }
+  if ((f == "msort" || f == "sort" || f == "reverse") && n == 2) {
+    const auto elems = list_elements(goal->args[0], bindings);
+    if (!elems) return Outcome::kContinue;
+    std::vector<TermPtr> out;
+    out.reserve(elems->size());
+    for (const TermPtr& e : *elems) out.push_back(bindings.deep_resolve(e));
+    if (f == "reverse") {
+      std::reverse(out.begin(), out.end());
+    } else {
+      std::stable_sort(out.begin(), out.end(),
+                       [&](const TermPtr& a, const TermPtr& b) {
+                         return term_compare(a, b, bindings) < 0;
+                       });
+      if (f == "sort") {
+        out.erase(std::unique(out.begin(), out.end(),
+                              [&](const TermPtr& a, const TermPtr& b) {
+                                return term_compare(a, b, bindings) == 0;
+                              }),
+                  out.end());
+      }
+    }
+    const std::size_t mark = bindings.mark();
+    if (unify(goal->args[1], make_list(std::move(out)), bindings)) {
+      const Outcome out2 = continue_rest();
+      if (out2 == Outcome::kStop) return out2;
+    }
+    bindings.undo_to(mark);
+    return Outcome::kContinue;
+  }
+  if (f == "last" && n == 2) {
+    const auto elems = list_elements(goal->args[0], bindings);
+    if (!elems || elems->empty()) return Outcome::kContinue;
+    const std::size_t mark = bindings.mark();
+    if (unify(goal->args[1], elems->back(), bindings)) {
+      const Outcome out = continue_rest();
+      if (out == Outcome::kStop) return out;
+    }
+    bindings.undo_to(mark);
+    return Outcome::kContinue;
+  }
+  if ((f == "sum_list" || f == "max_list" || f == "min_list") && n == 2) {
+    // Aliases of the aggregate built-ins restricted to numeric lists.
+    const auto elems = list_elements(goal->args[0], bindings);
+    if (!elems) return Outcome::kContinue;
+    if (f != "sum_list" && elems->empty()) return Outcome::kContinue;
+    double acc = f == "sum_list" ? 0
+                 : f == "max_list" ? -std::numeric_limits<double>::infinity()
+                                   : std::numeric_limits<double>::infinity();
+    for (const TermPtr& e : *elems) {
+      double v = 0;
+      if (!eval_arith(e, bindings, v)) return Outcome::kContinue;
+      if (f == "sum_list") acc += v;
+      if (f == "max_list") acc = std::max(acc, v);
+      if (f == "min_list") acc = std::min(acc, v);
+    }
+    const std::size_t mark = bindings.mark();
+    if (unify(goal->args[1], make_number(acc), bindings)) {
+      const Outcome out = continue_rest();
+      if (out == Outcome::kStop) return out;
+    }
+    bindings.undo_to(mark);
+    return Outcome::kContinue;
+  }
+  if (f == "numlist" && n == 3) {
+    double lo = 0;
+    double hi = 0;
+    if (!eval_arith(goal->args[0], bindings, lo) ||
+        !eval_arith(goal->args[1], bindings, hi)) {
+      return Outcome::kContinue;
+    }
+    std::vector<TermPtr> items;
+    for (std::int64_t v = static_cast<std::int64_t>(lo);
+         v <= static_cast<std::int64_t>(hi); ++v) {
+      items.push_back(make_int(v));
+    }
+    const std::size_t mark = bindings.mark();
+    if (unify(goal->args[2], make_list(std::move(items)), bindings)) {
+      const Outcome out = continue_rest();
+      if (out == Outcome::kStop) return out;
+    }
+    bindings.undo_to(mark);
+    return Outcome::kContinue;
+  }
+  if (f == "succ" && n == 2) {
+    const TermPtr a = bindings.resolve(goal->args[0]);
+    const TermPtr b = bindings.resolve(goal->args[1]);
+    const std::size_t mark = bindings.mark();
+    bool ok = false;
+    if (a->kind == TermKind::kInt) {
+      ok = unify(goal->args[1], make_int(a->ival + 1), bindings);
+    } else if (b->kind == TermKind::kInt && b->ival > 0) {
+      ok = unify(goal->args[0], make_int(b->ival - 1), bindings);
+    }
+    if (ok) {
+      const Outcome out = continue_rest();
+      if (out == Outcome::kStop) return out;
+    }
+    bindings.undo_to(mark);
+    return Outcome::kContinue;
+  }
+  if (f == "atom_concat" && n == 3) {
+    const TermPtr a = bindings.resolve(goal->args[0]);
+    const TermPtr b = bindings.resolve(goal->args[1]);
+    if (a->kind != TermKind::kAtom || b->kind != TermKind::kAtom) {
+      return Outcome::kContinue;
+    }
+    const std::size_t mark = bindings.mark();
+    if (unify(goal->args[2], make_atom(a->text + b->text), bindings)) {
+      const Outcome out = continue_rest();
+      if (out == Outcome::kStop) return out;
+    }
+    bindings.undo_to(mark);
+    return Outcome::kContinue;
+  }
+  if (f == "atom_length" && n == 2) {
+    const TermPtr a = bindings.resolve(goal->args[0]);
+    if (a->kind != TermKind::kAtom) return Outcome::kContinue;
+    const std::size_t mark = bindings.mark();
+    if (unify(goal->args[1],
+              make_int(static_cast<std::int64_t>(a->text.size())), bindings)) {
+      const Outcome out = continue_rest();
+      if (out == Outcome::kStop) return out;
+    }
+    bindings.undo_to(mark);
+    return Outcome::kContinue;
+  }
+  if (f == "copy_term" && n == 2) {
+    std::unordered_map<std::int64_t, TermPtr> mapping;
+    const TermPtr copy =
+        rename(bindings.deep_resolve(goal->args[0]), bindings, mapping);
+    const std::size_t mark = bindings.mark();
+    if (unify(goal->args[1], copy, bindings)) {
+      const Outcome out = continue_rest();
+      if (out == Outcome::kStop) return out;
+    }
+    bindings.undo_to(mark);
+    return Outcome::kContinue;
+  }
+  if (f == "aggregate_all" && n == 3) {
+    // aggregate_all(count|sum(E)|max(E)|min(E)|bag(E), Goal, Result).
+    const TermPtr spec = bindings.resolve(goal->args[0]);
+    std::vector<TermPtr> collected;
+    Frame sub;
+    const std::size_t mark = bindings.mark();
+    const TermPtr witness =
+        spec->kind == TermKind::kCompound ? spec->args[0] : kNil;
+    std::vector<TermPtr> sub_goals{goal->args[1]};
+    solve_goals(sub_goals, 0, bindings, sub,
+                [&](Bindings& b) {
+                  collected.push_back(b.deep_resolve(witness));
+                  return false;
+                },
+                depth + 1);
+    bindings.undo_to(mark);
+    TermPtr result;
+    if (spec->is_atom("count")) {
+      result = make_int(static_cast<std::int64_t>(collected.size()));
+    } else if (spec->kind == TermKind::kCompound && spec->args.size() == 1 &&
+               (spec->text == "sum" || spec->text == "max" ||
+                spec->text == "min")) {
+      if (spec->text != "sum" && collected.empty()) return Outcome::kContinue;
+      double acc = spec->text == "sum" ? 0
+                   : spec->text == "max"
+                       ? -std::numeric_limits<double>::infinity()
+                       : std::numeric_limits<double>::infinity();
+      for (const TermPtr& e : collected) {
+        double v = 0;
+        if (!eval_arith(e, bindings, v)) return Outcome::kContinue;
+        if (spec->text == "sum") acc += v;
+        if (spec->text == "max") acc = std::max(acc, v);
+        if (spec->text == "min") acc = std::min(acc, v);
+      }
+      result = make_number(acc);
+    } else if (spec->kind == TermKind::kCompound && spec->text == "bag" &&
+               spec->args.size() == 1) {
+      result = make_list(std::move(collected));
+    } else {
+      return Outcome::kContinue;
+    }
+    const std::size_t mark2 = bindings.mark();
+    if (unify(goal->args[2], result, bindings)) {
+      const Outcome out = continue_rest();
+      if (out == Outcome::kStop) return out;
+    }
+    bindings.undo_to(mark2);
+    return Outcome::kContinue;
+  }
+  if (f == "between" && n == 3) {
+    double lo = 0;
+    double hi = 0;
+    if (!eval_arith(goal->args[0], bindings, lo) ||
+        !eval_arith(goal->args[1], bindings, hi)) {
+      return Outcome::kContinue;
+    }
+    for (std::int64_t v = static_cast<std::int64_t>(lo);
+         v <= static_cast<std::int64_t>(hi); ++v) {
+      const std::size_t mark = bindings.mark();
+      if (unify(goal->args[2], make_int(v), bindings)) {
+        const Outcome out = continue_rest();
+        if (out == Outcome::kStop) return out;
+      }
+      bindings.undo_to(mark);
+      if (frame.cut) return Outcome::kContinue;
+    }
+    return Outcome::kContinue;
+  }
+  if ((f == "write" && n == 1) || (f == "nl" && n == 0)) {
+    return continue_rest();  // I/O built-ins are no-ops in the engine
+  }
+
+  return solve_user(goal, goals, index + 1, bindings, frame, on_solution,
+                    depth);
+}
+
+Interpreter::Outcome Interpreter::solve_user(
+    const TermPtr& goal, const std::vector<TermPtr>& rest,
+    std::size_t rest_index, Bindings& bindings, Frame& frame,
+    const std::function<bool(Bindings&)>& on_solution, std::size_t depth) {
+  const auto& clauses = db_->clauses_for(goal->text, goal->arity());
+  for (const Clause& clause : clauses) {
+    const std::size_t mark = bindings.mark();
+    std::unordered_map<std::int64_t, TermPtr> mapping;
+    const TermPtr head = rename(clause.head, bindings, mapping);
+    if (unify(goal, head, bindings)) {
+      std::vector<TermPtr> body;
+      body.reserve(clause.body.size());
+      for (const TermPtr& g : clause.body) {
+        body.push_back(rename(g, bindings, mapping));
+      }
+      Frame body_frame;
+      const Outcome out = solve_goals(
+          body, 0, bindings, body_frame,
+          [&](Bindings& b) {
+            return solve_goals(rest, rest_index, b, frame, on_solution,
+                               depth + 1) == Outcome::kStop;
+          },
+          depth + 1);
+      if (out == Outcome::kStop) return Outcome::kStop;
+      bindings.undo_to(mark);
+      if (body_frame.cut) break;  // cut commits to this clause
+    } else {
+      bindings.undo_to(mark);
+    }
+    if (frame.cut) break;
+  }
+  return Outcome::kContinue;
+}
+
+std::vector<Solution> Interpreter::query(const std::string& query_text,
+                                         std::size_t max_solutions) {
+  std::vector<Solution> solutions;
+  const TermParseResult parsed = parse_term(query_text);
+  if (!parsed.ok() || !parsed.term) return solutions;
+  Bindings bindings;
+  solve(parsed.term, bindings, [&](Bindings& b) {
+    Solution s;
+    for (const auto& [name, id] : parsed.variables) {
+      s.bindings.emplace_back(name, b.deep_resolve(make_var(id, name)));
+    }
+    solutions.push_back(std::move(s));
+    return solutions.size() >= max_solutions;
+  });
+  return solutions;
+}
+
+bool Interpreter::holds(const std::string& query_text) {
+  const TermParseResult parsed = parse_term(query_text);
+  if (!parsed.ok() || !parsed.term) return false;
+  Bindings bindings;
+  bool proven = false;
+  solve(parsed.term, bindings, [&proven](Bindings&) {
+    proven = true;
+    return true;
+  });
+  return proven;
+}
+
+}  // namespace deco::wlog

@@ -1,0 +1,76 @@
+// WLog interpreter: SLD resolution with backtracking, cut, and the ProLog
+// built-ins the paper's programs use (`is`, comparisons, findall, setof,
+// sum, max, ...).  Section 5.2's WLogInterp answers solver queries with this
+// machinery (probabilistically, via problog.hpp's possible-world sampling).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "wlog/database.hpp"
+#include "wlog/term.hpp"
+
+namespace deco::wlog {
+
+struct Solution {
+  /// Variable name -> fully resolved term, for the query's named variables.
+  std::vector<std::pair<std::string, TermPtr>> bindings;
+
+  const TermPtr* find(const std::string& name) const {
+    for (const auto& [n, t] : bindings) {
+      if (n == name) return &t;
+    }
+    return nullptr;
+  }
+  /// Numeric value of a bound variable (0 when absent / non-numeric).
+  double number(const std::string& name) const;
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(const Database& db) : db_(&db) {}
+
+  /// Iteration budget guarding against runaway recursion (per query).
+  void set_step_limit(std::size_t limit) { step_limit_ = limit; }
+
+  /// Proves `goal`; invokes `on_solution` per proof.  Returning true from the
+  /// callback stops the search.  Returns true if at least one proof exists.
+  bool solve(const TermPtr& goal, Bindings& bindings,
+             const std::function<bool(Bindings&)>& on_solution);
+
+  /// Convenience: parses `query`, returns up to `max_solutions` solutions.
+  std::vector<Solution> query(const std::string& query_text,
+                              std::size_t max_solutions = 16);
+
+  /// True if the parsed query has at least one proof.
+  bool holds(const std::string& query_text);
+
+  /// Evaluates an arithmetic expression term (the `is` evaluator); returns
+  /// false on non-numeric input.
+  bool eval_arith(const TermPtr& expr, const Bindings& bindings,
+                  double& out) const;
+
+ private:
+  enum class Outcome { kContinue, kStop };
+  struct Frame {
+    bool cut = false;
+  };
+
+  Outcome solve_goals(const std::vector<TermPtr>& goals, std::size_t index,
+                      Bindings& bindings, Frame& frame,
+                      const std::function<bool(Bindings&)>& on_solution,
+                      std::size_t depth);
+
+  Outcome solve_user(const TermPtr& goal, const std::vector<TermPtr>& rest,
+                     std::size_t rest_index, Bindings& bindings, Frame& frame,
+                     const std::function<bool(Bindings&)>& on_solution,
+                     std::size_t depth);
+
+  const Database* db_;
+  std::size_t step_limit_ = 5'000'000;
+  std::size_t steps_ = 0;
+  bool found_ = false;
+};
+
+}  // namespace deco::wlog

@@ -1,0 +1,186 @@
+#include "wlog/lexer.hpp"
+
+#include <cctype>
+#include <cmath>
+
+namespace deco::wlog {
+namespace {
+
+bool is_atom_start(char c) {
+  return std::islower(static_cast<unsigned char>(c)) != 0;
+}
+bool is_var_start(char c) {
+  return std::isupper(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_symbol_char(char c) {
+  return std::string_view("+-*/\\^<>=~:.?@#&").find(c) !=
+         std::string_view::npos;
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  std::size_t line = 1;
+
+  auto error = [&](std::string msg) {
+    out.push_back(Token{TokenKind::kError, std::move(msg), 0, 0, line});
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '%') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= src.size()) {
+        error("unterminated block comment");
+        return out;
+      }
+      i += 2;
+      continue;
+    }
+    // Numbers (with percent / duration suffixes).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      bool is_float = false;
+      while (j < src.size() && std::isdigit(static_cast<unsigned char>(src[j])))
+        ++j;
+      if (j + 1 < src.size() && src[j] == '.' &&
+          std::isdigit(static_cast<unsigned char>(src[j + 1]))) {
+        is_float = true;
+        ++j;
+        while (j < src.size() &&
+               std::isdigit(static_cast<unsigned char>(src[j])))
+          ++j;
+      }
+      double value = std::stod(std::string(src.substr(i, j - i)));
+      // Suffixes: % (percent), h/m/s/d (durations), ms (milliseconds).
+      if (j < src.size() && src[j] == '%') {
+        ++j;
+        Token t;
+        t.kind = TokenKind::kFloat;
+        t.fval = value / 100.0;
+        t.line = line;
+        out.push_back(t);
+        i = j;
+        continue;
+      }
+      double scale = 1.0;
+      bool has_suffix = false;
+      if (j + 1 < src.size() && src[j] == 'm' && src[j + 1] == 's' &&
+          (j + 2 >= src.size() || !is_ident(src[j + 2]))) {
+        scale = 1e-3;
+        has_suffix = true;
+        j += 2;
+      } else if (j < src.size() && (j + 1 >= src.size() || !is_ident(src[j + 1]))) {
+        switch (src[j]) {
+          case 'h': scale = 3600; has_suffix = true; ++j; break;
+          case 'm': scale = 60; has_suffix = true; ++j; break;
+          case 's': scale = 1; has_suffix = true; ++j; break;
+          case 'd': scale = 86400; has_suffix = true; ++j; break;
+          default: break;
+        }
+      }
+      Token t;
+      if (has_suffix) {
+        value *= scale;
+        is_float = is_float || scale != 1.0;
+      }
+      if (is_float || value != std::floor(value)) {
+        t.kind = TokenKind::kFloat;
+        t.fval = value;
+      } else {
+        t.kind = TokenKind::kInt;
+        t.ival = static_cast<std::int64_t>(value);
+      }
+      t.line = line;
+      out.push_back(t);
+      i = j;
+      continue;
+    }
+    // Quoted atoms.
+    if (c == '\'') {
+      std::size_t j = i + 1;
+      std::string text;
+      while (j < src.size() && src[j] != '\'') {
+        if (src[j] == '\\' && j + 1 < src.size()) ++j;
+        if (src[j] == '\n') ++line;
+        text.push_back(src[j]);
+        ++j;
+      }
+      if (j >= src.size()) {
+        error("unterminated quoted atom");
+        return out;
+      }
+      out.push_back(Token{TokenKind::kAtom, std::move(text), 0, 0, line});
+      i = j + 1;
+      continue;
+    }
+    // Identifiers.
+    if (is_atom_start(c) || is_var_start(c)) {
+      std::size_t j = i;
+      while (j < src.size() && is_ident(src[j])) ++j;
+      std::string text(src.substr(i, j - i));
+      out.push_back(Token{is_atom_start(c) ? TokenKind::kAtom : TokenKind::kVar,
+                          std::move(text), 0, 0, line});
+      i = j;
+      continue;
+    }
+    // Single-char structural punctuation.
+    if (c == '(' || c == ')' || c == '[' || c == ']' || c == ',' || c == '|' ||
+        c == '!' || c == ';' || c == '{' || c == '}') {
+      out.push_back(Token{TokenKind::kPunct, std::string(1, c), 0, 0, line});
+      ++i;
+      continue;
+    }
+    // Symbolic operators, longest-match over the known set.
+    if (is_symbol_char(c)) {
+      static constexpr std::string_view kOps[] = {
+          ":-", "?-", "\\==", "==", "=<", ">=", "=:=", "=\\=", "\\=", "\\+",
+          "->", "=", "<", ">", "+", "-", "*", "/", ".",
+      };
+      std::string_view best;
+      for (std::string_view op : kOps) {
+        if (src.substr(i, op.size()) == op && op.size() > best.size()) {
+          best = op;
+        }
+      }
+      if (best.empty()) {
+        error(std::string("unexpected character '") + c + "'");
+        return out;
+      }
+      // A '.' is end-of-clause when followed by layout/EOF; else cons dot
+      // (we do not support infix '.'; treat as error later).
+      out.push_back(Token{TokenKind::kPunct, std::string(best), 0, 0, line});
+      i += best.size();
+      continue;
+    }
+    error(std::string("unexpected character '") + c + "'");
+    return out;
+  }
+  out.push_back(Token{TokenKind::kEnd, "", 0, 0, line});
+  return out;
+}
+
+}  // namespace deco::wlog

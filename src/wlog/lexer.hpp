@@ -1,0 +1,39 @@
+// WLog lexer.
+//
+// Token-level extensions over ProLog (Section 4.2):
+//   * percent literals  — `95%` lexes as the number 0.95;
+//   * duration literals — `10h` / `30m` / `45s` / `2d` lex as seconds.
+// Comments: /* ... */ block comments and `%` line comments (a `%` glued to a
+// number is the percent literal, anything else starts a comment).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace deco::wlog {
+
+enum class TokenKind {
+  kAtom,    ///< lowercase identifier or quoted atom
+  kVar,     ///< Uppercase/_ identifier
+  kInt,
+  kFloat,
+  kPunct,   ///< punctuation / operators, text holds the symbol
+  kEnd,     ///< end of input
+  kError,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       ///< atom/var name or punct symbol
+  std::int64_t ival = 0;  ///< kInt payload
+  double fval = 0;        ///< kFloat payload
+  std::size_t line = 1;   ///< 1-based source line
+};
+
+/// Tokenizes a full program; the final token is kEnd (or kError with the
+/// message in text).
+std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace deco::wlog

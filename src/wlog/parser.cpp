@@ -1,0 +1,406 @@
+#include <map>
+
+#include "wlog/lexer.hpp"
+#include "wlog/program.hpp"
+
+namespace deco::wlog {
+namespace {
+
+/// Recursive-descent Prolog term parser with the usual operator precedences:
+/// 700 comparisons (xfx), 500 +/- (yfx), 400 * / mod (yfx), 200 unary minus.
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : tokens_(tokenize(source)) {}
+
+  ParseResult parse_program() {
+    ParseResult result;
+    while (!failed_ && !at(TokenKind::kEnd)) {
+      if (at(TokenKind::kError)) {
+        fail(cur().text);
+        break;
+      }
+      parse_item(result.program);
+    }
+    if (failed_) result.error = ParseError{error_line_, error_};
+    return result;
+  }
+
+  TermParseResult parse_single_term() {
+    TermParseResult result;
+    var_ids_.clear();
+    result.term = parse_expr(1200);
+    if (!failed_ && !at(TokenKind::kEnd) && !is_punct(".")) {
+      fail("trailing input after term");
+    }
+    if (failed_) {
+      result.error = ParseError{error_line_, error_};
+      return result;
+    }
+    for (const auto& [name, id] : var_ids_) result.variables.emplace_back(name, id);
+    return result;
+  }
+
+ private:
+  const Token& cur() const { return tokens_[pos_]; }
+  const Token& peek(std::size_t ahead = 1) const {
+    return tokens_[std::min(pos_ + ahead, tokens_.size() - 1)];
+  }
+  bool at(TokenKind kind) const { return cur().kind == kind; }
+  bool is_punct(std::string_view text) const {
+    return cur().kind == TokenKind::kPunct && cur().text == text;
+  }
+  bool is_atom(std::string_view text) const {
+    return cur().kind == TokenKind::kAtom && cur().text == text;
+  }
+  void advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  void fail(std::string message) {
+    if (!failed_) {
+      failed_ = true;
+      error_ = std::move(message);
+      error_line_ = cur().line;
+    }
+  }
+  bool expect_punct(std::string_view text) {
+    if (!is_punct(text)) {
+      fail("expected '" + std::string(text) + "', found '" + cur().text + "'");
+      return false;
+    }
+    advance();
+    return true;
+  }
+  bool expect_atom(std::string_view text) {
+    if (!is_atom(text)) {
+      fail("expected '" + std::string(text) + "', found '" + cur().text + "'");
+      return false;
+    }
+    advance();
+    return true;
+  }
+
+  TermPtr var_term(const std::string& name) {
+    if (name == "_") return make_var(next_var_id_++, "_");
+    const auto it = var_ids_.find(name);
+    if (it != var_ids_.end()) return make_var(it->second, name);
+    const std::int64_t id = next_var_id_++;
+    var_ids_.emplace(name, id);
+    return make_var(id, name);
+  }
+
+  // --- term grammar ---------------------------------------------------
+
+  TermPtr parse_primary() {
+    if (failed_) return kNil;
+    switch (cur().kind) {
+      case TokenKind::kInt: {
+        const auto v = cur().ival;
+        advance();
+        return make_int(v);
+      }
+      case TokenKind::kFloat: {
+        const double v = cur().fval;
+        advance();
+        return make_float(v);
+      }
+      case TokenKind::kVar: {
+        const std::string name = cur().text;
+        advance();
+        return var_term(name);
+      }
+      case TokenKind::kAtom: {
+        const std::string name = cur().text;
+        advance();
+        if (is_punct("(")) {
+          advance();
+          std::vector<TermPtr> args;
+          args.push_back(parse_expr(999));
+          while (is_punct(",")) {
+            advance();
+            args.push_back(parse_expr(999));
+          }
+          expect_punct(")");
+          return make_compound(name, std::move(args));
+        }
+        return make_atom(name);
+      }
+      case TokenKind::kPunct: {
+        if (cur().text == "(") {
+          advance();
+          TermPtr inner = parse_expr(1200);
+          expect_punct(")");
+          return inner;
+        }
+        if (cur().text == "[") {
+          advance();
+          if (is_punct("]")) {
+            advance();
+            return kNil;
+          }
+          std::vector<TermPtr> items;
+          items.push_back(parse_expr(999));
+          while (is_punct(",")) {
+            advance();
+            items.push_back(parse_expr(999));
+          }
+          TermPtr tail = kNil;
+          if (is_punct("|")) {
+            advance();
+            tail = parse_expr(999);
+          }
+          expect_punct("]");
+          return make_list(std::move(items), std::move(tail));
+        }
+        if (cur().text == "!") {
+          advance();
+          return make_atom("!");
+        }
+        if (cur().text == "-") {
+          advance();
+          TermPtr operand = parse_expr(200);
+          if (operand->kind == TermKind::kInt) return make_int(-operand->ival);
+          if (operand->kind == TermKind::kFloat) return make_float(-operand->fval);
+          return make_compound("-", {operand});
+        }
+        if (cur().text == "\\+") {
+          advance();
+          TermPtr operand = parse_expr(900);
+          return make_compound("\\+", {operand});
+        }
+        fail("unexpected token '" + cur().text + "'");
+        return kNil;
+      }
+      default:
+        fail("unexpected end of input");
+        return kNil;
+    }
+  }
+
+  static int punct_precedence(const std::string& op) {
+    if (op == ";") return 1100;
+    if (op == "->") return 1050;
+    if (op == "," ) return 1000;
+    if (op == "==" || op == "\\==" || op == "=" || op == "\\=" || op == "<" ||
+        op == ">" || op == "=<" || op == ">=" || op == "=:=" || op == "=\\=") {
+      return 700;
+    }
+    if (op == "+" || op == "-") return 500;
+    if (op == "*" || op == "/") return 400;
+    return 0;
+  }
+
+  TermPtr parse_expr(int max_prec) {
+    TermPtr left = parse_primary();
+    for (;;) {
+      if (failed_) return left;
+      // `is` and `mod` are atom-shaped infix operators.
+      if (cur().kind == TokenKind::kAtom &&
+          (cur().text == "is" || cur().text == "mod")) {
+        const int prec = cur().text == "is" ? 700 : 400;
+        if (prec > max_prec) return left;
+        const std::string op = cur().text;
+        advance();
+        TermPtr right = parse_expr(prec - 1);
+        left = make_compound(op, {left, right});
+        continue;
+      }
+      if (cur().kind != TokenKind::kPunct) return left;
+      const std::string op = cur().text;
+      if (op == "," && max_prec >= 1000) {
+        advance();
+        TermPtr right = parse_expr(1000);
+        left = make_compound(",", {left, right});
+        continue;
+      }
+      const int prec = punct_precedence(op);
+      if (prec == 0 || op == "," || prec > max_prec) return left;
+      advance();
+      // 700-level operators are xfx (non-associative).
+      TermPtr right = parse_expr(prec == 700 ? prec - 1 : prec);
+      left = make_compound(op, {left, right});
+    }
+  }
+
+  // Flattens ','/2 chains into a goal list.
+  static void flatten_conjunction(const TermPtr& term,
+                                  std::vector<TermPtr>& out) {
+    if (term->kind == TermKind::kCompound && term->text == "," &&
+        term->args.size() == 2) {
+      flatten_conjunction(term->args[0], out);
+      flatten_conjunction(term->args[1], out);
+      return;
+    }
+    out.push_back(term);
+  }
+
+  // --- program items ----------------------------------------------------
+
+  void parse_item(Program& program) {
+    var_ids_.clear();
+    if (is_atom("import") && peek().kind == TokenKind::kPunct &&
+        peek().text == "(") {
+      advance();
+      advance();
+      if (!at(TokenKind::kAtom)) {
+        fail("import() expects an atom");
+        return;
+      }
+      program.imports.push_back(cur().text);
+      advance();
+      expect_punct(")");
+      expect_punct(".");
+      return;
+    }
+    if (is_atom("enabled") && peek().kind == TokenKind::kPunct &&
+        peek().text == "(") {
+      advance();
+      advance();
+      if (is_atom("astar")) {
+        program.astar_enabled = true;
+        advance();
+      } else {
+        fail("enabled() supports only 'astar'");
+        return;
+      }
+      expect_punct(")");
+      expect_punct(".");
+      return;
+    }
+    if (is_atom("goal") &&
+        (peek().kind == TokenKind::kAtom &&
+         (peek().text == "minimize" || peek().text == "maximize"))) {
+      advance();
+      GoalSpec spec;
+      spec.minimize = cur().text == "minimize";
+      advance();
+      spec.variable = parse_expr(200);
+      expect_atom("in");
+      spec.query = parse_expr(999);
+      expect_punct(".");
+      program.goal = spec;
+      return;
+    }
+    if (is_atom("cons") && peek().kind != TokenKind::kPunct) {
+      advance();
+      parse_constraint(program);
+      return;
+    }
+    if (is_atom("var") && peek().kind == TokenKind::kAtom) {
+      advance();
+      VarDecl decl;
+      decl.template_term = parse_expr(699);
+      expect_atom("forall");
+      decl.generators.push_back(parse_expr(699));
+      while (is_atom("and")) {
+        advance();
+        decl.generators.push_back(parse_expr(699));
+      }
+      expect_punct(".");
+      program.vars.push_back(std::move(decl));
+      return;
+    }
+    // Regular clause: Head [:- Body] .
+    Clause clause;
+    clause.head = parse_expr(999);
+    if (is_punct(":-")) {
+      advance();
+      TermPtr body = parse_expr(1200);
+      flatten_conjunction(body, clause.body);
+    }
+    expect_punct(".");
+    if (!failed_) {
+      if (!clause.head->is_callable()) {
+        fail("clause head must be an atom or compound term");
+        return;
+      }
+      program.clauses.push_back(std::move(clause));
+    }
+  }
+
+  void parse_constraint(Program& program) {
+    ConstraintSpec spec;
+    // Two shapes:  `cons V in Query satisfies ...` | `cons Query.`
+    const std::size_t rollback = pos_;
+    if (at(TokenKind::kVar) && peek().kind == TokenKind::kAtom &&
+        peek().text == "in") {
+      spec.variable = parse_expr(200);
+      advance();  // 'in'
+      spec.query = parse_expr(699);
+      if (is_atom("satisfies")) {
+        advance();
+        // deadline(p, d) | budget(p, b) | comparison
+        if (is_atom("deadline") || is_atom("budget")) {
+          const bool is_deadline = cur().text == "deadline";
+          advance();
+          expect_punct("(");
+          TermPtr p = parse_expr(999);
+          expect_punct(",");
+          TermPtr bound = parse_expr(999);
+          expect_punct(")");
+          expect_punct(".");
+          if (failed_) return;
+          if (p->kind != TermKind::kInt && p->kind != TermKind::kFloat) {
+            fail("deadline/budget percentile must be numeric");
+            return;
+          }
+          if (bound->kind != TermKind::kInt && bound->kind != TermKind::kFloat) {
+            fail("deadline/budget bound must be numeric");
+            return;
+          }
+          spec.kind = is_deadline ? ConstraintSpec::Kind::kDeadline
+                                  : ConstraintSpec::Kind::kBudget;
+          spec.quantile = p->number();
+          if (spec.quantile > 1.0) spec.quantile /= 100.0;  // allow `95`
+          spec.bound = bound->number();
+          program.constraints.push_back(std::move(spec));
+          return;
+        }
+        // Comparison form: V =< Expr  (the variable restated on the left).
+        if (at(TokenKind::kVar)) {
+          advance();  // the restated variable
+        }
+        if (cur().kind == TokenKind::kPunct &&
+            (cur().text == "=<" || cur().text == "<" || cur().text == ">=" ||
+             cur().text == ">")) {
+          spec.kind = ConstraintSpec::Kind::kCompare;
+          spec.cmp_op = cur().text;
+          advance();
+          spec.cmp_rhs = parse_expr(699);
+          expect_punct(".");
+          if (!failed_) program.constraints.push_back(std::move(spec));
+          return;
+        }
+        fail("expected deadline(...), budget(...) or a comparison after 'satisfies'");
+        return;
+      }
+      // No 'satisfies': treat the whole thing as a holds-query.
+      pos_ = rollback;
+      var_ids_.clear();
+    }
+    spec = ConstraintSpec{};
+    spec.kind = ConstraintSpec::Kind::kHolds;
+    spec.query = parse_expr(999);
+    expect_punct(".");
+    if (!failed_) program.constraints.push_back(std::move(spec));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+  std::string error_;
+  std::size_t error_line_ = 0;
+  std::map<std::string, std::int64_t> var_ids_;
+  std::int64_t next_var_id_ = 1;
+};
+
+}  // namespace
+
+ParseResult parse_program(std::string_view source) {
+  return Parser(source).parse_program();
+}
+
+TermParseResult parse_term(std::string_view source) {
+  return Parser(source).parse_single_term();
+}
+
+}  // namespace deco::wlog

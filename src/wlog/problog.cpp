@@ -1,0 +1,124 @@
+#include "wlog/problog.hpp"
+
+#include <algorithm>
+
+namespace deco::wlog {
+
+void ProbProgram::add_group(ProbGroup group) {
+  // Normalize defensively; histogram masses already sum to 1.
+  double total = 0;
+  for (double p : group.probs) total += p;
+  if (total > 0 && std::abs(total - 1.0) > 1e-9) {
+    for (double& p : group.probs) p /= total;
+  }
+  groups_.push_back(std::move(group));
+}
+
+Database ProbProgram::sample_world(util::Rng& rng) const {
+  Database world = base_;
+  for (const ProbGroup& group : groups_) {
+    if (group.facts.empty()) continue;
+    const double u = rng.uniform();
+    double acc = 0;
+    std::size_t chosen = group.facts.size() - 1;
+    for (std::size_t i = 0; i < group.probs.size(); ++i) {
+      acc += group.probs[i];
+      if (u < acc) {
+        chosen = i;
+        break;
+      }
+    }
+    world.add_fact(group.facts[chosen]);
+  }
+  return world;
+}
+
+Database ProbProgram::modal_world() const {
+  Database world = base_;
+  for (const ProbGroup& group : groups_) {
+    if (group.facts.empty()) continue;
+    const std::size_t modal = static_cast<std::size_t>(
+        std::max_element(group.probs.begin(), group.probs.end()) -
+        group.probs.begin());
+    world.add_fact(group.facts[modal]);
+  }
+  return world;
+}
+
+ProbProgram translate_rules(const Program& program) {
+  ProbProgram ir;
+  ir.base().add_program(program);
+  return ir;
+}
+
+namespace {
+
+/// One Monte Carlo iteration: prove `query` in a sampled world; reports the
+/// first proof's variable binding (goal queries are functional per world).
+bool run_world(const ProbProgram& program, const TermPtr& query,
+               const TermPtr& variable, util::Rng& rng,
+               const McOptions& options, double& value_out) {
+  const Database world = program.sample_world(rng);
+  Interpreter interp(world);
+  interp.set_step_limit(options.step_limit);
+  Bindings bindings;
+  bool proven = false;
+  double value = 0;
+  interp.solve(query, bindings, [&](Bindings& b) {
+    proven = true;
+    if (variable) {
+      const TermPtr v = b.deep_resolve(variable);
+      if (v->kind == TermKind::kInt || v->kind == TermKind::kFloat) {
+        value = v->number();
+      }
+    }
+    return true;  // first proof per world
+  });
+  value_out = value;
+  return proven;
+}
+
+}  // namespace
+
+McResult mc_eval_goal(const ProbProgram& program, const TermPtr& query,
+                      const TermPtr& variable, util::Rng& rng,
+                      const McOptions& options) {
+  McResult result;
+  result.iterations = options.max_iterations;
+  double sum = 0;
+  std::size_t proven_count = 0;
+  for (std::size_t i = 0; i < options.max_iterations; ++i) {
+    double value = 0;
+    if (run_world(program, query, variable, rng, options, value)) {
+      ++proven_count;
+      sum += value;
+    }
+  }
+  result.probability =
+      static_cast<double>(proven_count) /
+      static_cast<double>(std::max<std::size_t>(1, options.max_iterations));
+  result.value = proven_count > 0 ? sum / static_cast<double>(proven_count) : 0;
+  return result;
+}
+
+McResult mc_eval_constraint(const ProbProgram& program, const TermPtr& query,
+                            util::Rng& rng, const McOptions& options) {
+  return mc_eval_goal(program, query, nullptr, rng, options);
+}
+
+std::vector<double> mc_sample_values(const ProbProgram& program,
+                                     const TermPtr& query,
+                                     const TermPtr& variable, util::Rng& rng,
+                                     const McOptions& options) {
+  std::vector<double> values;
+  values.reserve(options.max_iterations);
+  for (std::size_t i = 0; i < options.max_iterations; ++i) {
+    double value = 0;
+    if (run_world(program, query, variable, rng, options, value)) {
+      values.push_back(value);
+    }
+  }
+  return values;
+}
+
+}  // namespace deco::wlog

@@ -1,0 +1,80 @@
+// WLog program AST: clauses plus the declarative directives of Table 1.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wlog/term.hpp"
+
+namespace deco::wlog {
+
+/// h :- c1, ..., cn.  A fact has an empty body.
+struct Clause {
+  TermPtr head;
+  std::vector<TermPtr> body;
+};
+
+/// goal minimize Ct in totalcost(Ct).
+struct GoalSpec {
+  bool minimize = true;
+  TermPtr variable;  ///< the objective variable inside the query
+  TermPtr query;     ///< goal query, e.g. totalcost(Ct)
+};
+
+/// cons T in maxtime(P,T) satisfies deadline(95%, 10h).
+/// cons C in totalcost(C) satisfies budget(90%, 50).
+/// cons T in maxtime(P,T) satisfies T =< 100.
+/// cons reachable(root, tail).                      (plain satisfiability)
+struct ConstraintSpec {
+  enum class Kind { kDeadline, kBudget, kCompare, kHolds };
+
+  Kind kind = Kind::kHolds;
+  TermPtr variable;  ///< bound variable (null for kHolds)
+  TermPtr query;     ///< the query producing the variable
+  double quantile = 1.0;   ///< p for deadline/budget (0..1]
+  double bound = 0;        ///< D or B for deadline/budget
+  std::string cmp_op;      ///< "=<", "<", ">=", ">" for kCompare
+  TermPtr cmp_rhs;         ///< RHS expression for kCompare
+};
+
+/// var configs(Tid,Vid,Con) forall task(Tid) and vm(Vid).
+struct VarDecl {
+  TermPtr template_term;            ///< e.g. configs(Tid,Vid,Con)
+  std::vector<TermPtr> generators;  ///< e.g. task(Tid), vm(Vid)
+};
+
+struct Program {
+  std::vector<std::string> imports;  ///< import(montage). import(amazonec2).
+  std::optional<GoalSpec> goal;
+  std::vector<ConstraintSpec> constraints;
+  std::vector<VarDecl> vars;
+  bool astar_enabled = false;  ///< enabled(astar).
+  std::vector<Clause> clauses;
+};
+
+struct ParseError {
+  std::size_t line = 0;
+  std::string message;
+};
+
+struct ParseResult {
+  Program program;
+  std::optional<ParseError> error;
+  bool ok() const { return !error.has_value(); }
+};
+
+/// Parses WLog source text.
+ParseResult parse_program(std::string_view source);
+
+/// Parses a single term (for queries in tests / the interpreter API).
+/// Variable names map to ids consistently within the call.
+struct TermParseResult {
+  TermPtr term;
+  std::optional<ParseError> error;
+  std::vector<std::pair<std::string, std::int64_t>> variables;
+  bool ok() const { return !error.has_value(); }
+};
+TermParseResult parse_term(std::string_view source);
+
+}  // namespace deco::wlog

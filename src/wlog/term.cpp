@@ -1,0 +1,285 @@
+#include "wlog/term.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace deco::wlog {
+
+const TermPtr kNil = make_atom("[]");
+const TermPtr kTrue = make_atom("true");
+
+TermPtr make_atom(std::string name) {
+  auto t = std::make_shared<Term>();
+  t->kind = TermKind::kAtom;
+  t->text = std::move(name);
+  return t;
+}
+
+TermPtr make_int(std::int64_t value) {
+  auto t = std::make_shared<Term>();
+  t->kind = TermKind::kInt;
+  t->ival = value;
+  return t;
+}
+
+TermPtr make_float(double value) {
+  auto t = std::make_shared<Term>();
+  t->kind = TermKind::kFloat;
+  t->fval = value;
+  return t;
+}
+
+TermPtr make_number(double value) {
+  if (std::abs(value) < 9e15 && value == std::floor(value)) {
+    return make_int(static_cast<std::int64_t>(value));
+  }
+  return make_float(value);
+}
+
+TermPtr make_var(std::int64_t id, std::string name) {
+  auto t = std::make_shared<Term>();
+  t->kind = TermKind::kVar;
+  t->ival = id;
+  t->text = std::move(name);
+  return t;
+}
+
+TermPtr make_compound(std::string functor, std::vector<TermPtr> args) {
+  if (args.empty()) return make_atom(std::move(functor));
+  auto t = std::make_shared<Term>();
+  t->kind = TermKind::kCompound;
+  t->text = std::move(functor);
+  t->args = std::move(args);
+  return t;
+}
+
+TermPtr make_list(std::vector<TermPtr> items, TermPtr tail) {
+  TermPtr acc = tail ? std::move(tail) : kNil;
+  for (auto it = items.rbegin(); it != items.rend(); ++it) {
+    acc = make_compound(".", {*it, acc});
+  }
+  return acc;
+}
+
+std::string indicator(const Term& term) {
+  return term.text + "/" + std::to_string(term.arity());
+}
+
+TermPtr Bindings::resolve(const TermPtr& term) const {
+  TermPtr current = term;
+  while (current && current->kind == TermKind::kVar) {
+    const auto it = map_.find(current->ival);
+    if (it == map_.end()) return current;
+    current = it->second;
+  }
+  return current;
+}
+
+TermPtr Bindings::deep_resolve(const TermPtr& term) const {
+  const TermPtr r = resolve(term);
+  if (!r || r->kind != TermKind::kCompound) return r;
+  std::vector<TermPtr> args;
+  args.reserve(r->args.size());
+  bool changed = false;
+  for (const auto& a : r->args) {
+    args.push_back(deep_resolve(a));
+    changed = changed || args.back() != a;
+  }
+  if (!changed) return r;
+  return make_compound(r->text, std::move(args));
+}
+
+void Bindings::bind(std::int64_t var, TermPtr value) {
+  map_[var] = std::move(value);
+  trail_.push_back(var);
+}
+
+void Bindings::undo_to(std::size_t mark) {
+  while (trail_.size() > mark) {
+    map_.erase(trail_.back());
+    trail_.pop_back();
+  }
+}
+
+bool unify(const TermPtr& a, const TermPtr& b, Bindings& bindings) {
+  const TermPtr x = bindings.resolve(a);
+  const TermPtr y = bindings.resolve(b);
+  if (x->kind == TermKind::kVar && y->kind == TermKind::kVar &&
+      x->ival == y->ival) {
+    return true;
+  }
+  if (x->kind == TermKind::kVar) {
+    bindings.bind(x->ival, y);
+    return true;
+  }
+  if (y->kind == TermKind::kVar) {
+    bindings.bind(y->ival, x);
+    return true;
+  }
+  if (x->kind != y->kind) {
+    // Allow 3 == 3.0 to unify as numbers?  Standard Prolog does not; we
+    // follow the standard: distinct kinds never unify.
+    return false;
+  }
+  switch (x->kind) {
+    case TermKind::kAtom:
+      return x->text == y->text;
+    case TermKind::kInt:
+      return x->ival == y->ival;
+    case TermKind::kFloat:
+      return x->fval == y->fval;
+    case TermKind::kCompound: {
+      if (x->text != y->text || x->args.size() != y->args.size()) return false;
+      for (std::size_t i = 0; i < x->args.size(); ++i) {
+        if (!unify(x->args[i], y->args[i], bindings)) return false;
+      }
+      return true;
+    }
+    case TermKind::kVar:
+      return false;  // unreachable
+  }
+  return false;
+}
+
+bool term_equal(const TermPtr& a, const TermPtr& b, const Bindings& bindings) {
+  return term_compare(a, b, bindings) == 0;
+}
+
+int term_compare(const TermPtr& a, const TermPtr& b, const Bindings& bindings) {
+  const TermPtr x = bindings.resolve(a);
+  const TermPtr y = bindings.resolve(b);
+  auto rank = [](const TermPtr& t) {
+    switch (t->kind) {
+      case TermKind::kVar: return 0;
+      case TermKind::kFloat: return 1;
+      case TermKind::kInt: return 1;
+      case TermKind::kAtom: return 2;
+      case TermKind::kCompound: return 3;
+    }
+    return 4;
+  };
+  if (rank(x) != rank(y)) return rank(x) < rank(y) ? -1 : 1;
+  switch (x->kind) {
+    case TermKind::kVar:
+      return x->ival < y->ival ? -1 : (x->ival > y->ival ? 1 : 0);
+    case TermKind::kInt:
+    case TermKind::kFloat: {
+      const double dx = x->number();
+      const double dy = y->number();
+      return dx < dy ? -1 : (dx > dy ? 1 : 0);
+    }
+    case TermKind::kAtom:
+      return x->text.compare(y->text) < 0 ? -1
+             : (x->text == y->text ? 0 : 1);
+    case TermKind::kCompound: {
+      if (x->args.size() != y->args.size()) {
+        return x->args.size() < y->args.size() ? -1 : 1;
+      }
+      if (const int c = x->text.compare(y->text); c != 0) return c < 0 ? -1 : 1;
+      for (std::size_t i = 0; i < x->args.size(); ++i) {
+        const int c = term_compare(x->args[i], y->args[i], bindings);
+        if (c != 0) return c;
+      }
+      return 0;
+    }
+  }
+  return 0;
+}
+
+TermPtr rename(const TermPtr& term, Bindings& bindings,
+               std::unordered_map<std::int64_t, TermPtr>& mapping) {
+  switch (term->kind) {
+    case TermKind::kVar: {
+      const auto it = mapping.find(term->ival);
+      if (it != mapping.end()) return it->second;
+      TermPtr fresh = make_var(bindings.fresh_var(), term->text);
+      mapping.emplace(term->ival, fresh);
+      return fresh;
+    }
+    case TermKind::kCompound: {
+      std::vector<TermPtr> args;
+      args.reserve(term->args.size());
+      for (const auto& a : term->args) args.push_back(rename(a, bindings, mapping));
+      return make_compound(term->text, std::move(args));
+    }
+    default:
+      return term;
+  }
+}
+
+std::optional<std::vector<TermPtr>> list_elements(const TermPtr& term,
+                                                  const Bindings& bindings) {
+  std::vector<TermPtr> out;
+  TermPtr current = bindings.resolve(term);
+  while (current->is_cons()) {
+    out.push_back(bindings.resolve(current->args[0]));
+    current = bindings.resolve(current->args[1]);
+  }
+  if (!current->is_nil()) return std::nullopt;
+  return out;
+}
+
+namespace {
+
+void print(std::ostringstream& os, const TermPtr& term,
+           const Bindings* bindings) {
+  TermPtr t = bindings ? bindings->resolve(term) : term;
+  switch (t->kind) {
+    case TermKind::kAtom:
+      os << t->text;
+      return;
+    case TermKind::kInt:
+      os << t->ival;
+      return;
+    case TermKind::kFloat:
+      os << t->fval;
+      return;
+    case TermKind::kVar:
+      os << (t->text == "_" || t->text.empty()
+                 ? "_G" + std::to_string(t->ival)
+                 : t->text);
+      return;
+    case TermKind::kCompound: {
+      if (t->is_cons()) {
+        os << '[';
+        bool first = true;
+        TermPtr cur = t;
+        while (cur->is_cons()) {
+          if (!first) os << ',';
+          print(os, cur->args[0], bindings);
+          first = false;
+          cur = bindings ? bindings->resolve(cur->args[1]) : cur->args[1];
+        }
+        if (!cur->is_nil()) {
+          os << '|';
+          print(os, cur, bindings);
+        }
+        os << ']';
+        return;
+      }
+      os << t->text << '(';
+      for (std::size_t i = 0; i < t->args.size(); ++i) {
+        if (i) os << ',';
+        print(os, t->args[i], bindings);
+      }
+      os << ')';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_string(const TermPtr& term, const Bindings& bindings) {
+  std::ostringstream os;
+  print(os, term, &bindings);
+  return os.str();
+}
+
+std::string to_string(const TermPtr& term) {
+  std::ostringstream os;
+  print(os, term, nullptr);
+  return os.str();
+}
+
+}  // namespace deco::wlog

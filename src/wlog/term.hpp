@@ -1,0 +1,113 @@
+// Term representation for WLog (a ProLog dialect, Section 4).
+//
+// Terms are immutable and shared (structure sharing); variables are numbered
+// and resolved through a Bindings store with a trail so unification can be
+// undone on backtracking.  Lists are the usual '.'(Head, Tail) / '[]' sugar.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace deco::wlog {
+
+enum class TermKind { kAtom, kInt, kFloat, kVar, kCompound };
+
+struct Term;
+using TermPtr = std::shared_ptr<const Term>;
+
+struct Term {
+  TermKind kind = TermKind::kAtom;
+  std::string text;           ///< atom name / functor / variable name
+  std::int64_t ival = 0;      ///< integer value, or variable id for kVar
+  double fval = 0;            ///< float value
+  std::vector<TermPtr> args;  ///< compound arguments
+
+  bool is_atom(std::string_view name) const {
+    return kind == TermKind::kAtom && text == name;
+  }
+  bool is_nil() const { return is_atom("[]"); }
+  bool is_cons() const {
+    return kind == TermKind::kCompound && text == "." && args.size() == 2;
+  }
+  bool is_callable() const {
+    return kind == TermKind::kAtom || kind == TermKind::kCompound;
+  }
+  std::size_t arity() const {
+    return kind == TermKind::kCompound ? args.size() : 0;
+  }
+  /// Numeric value for kInt / kFloat terms.
+  double number() const {
+    return kind == TermKind::kInt ? static_cast<double>(ival) : fval;
+  }
+};
+
+TermPtr make_atom(std::string name);
+TermPtr make_int(std::int64_t value);
+TermPtr make_float(double value);
+TermPtr make_var(std::int64_t id, std::string name = "_");
+TermPtr make_compound(std::string functor, std::vector<TermPtr> args);
+/// Builds a proper list; `tail` defaults to [].
+TermPtr make_list(std::vector<TermPtr> items, TermPtr tail = nullptr);
+/// Makes a numeric term, integral when the value is a whole number.
+TermPtr make_number(double value);
+
+extern const TermPtr kNil;
+extern const TermPtr kTrue;
+
+/// "functor/arity" indicator used as the database key.
+std::string indicator(const Term& term);
+
+/// Variable bindings with a trail for backtracking.
+class Bindings {
+ public:
+  /// Follows variable bindings until a non-variable or unbound variable.
+  TermPtr resolve(const TermPtr& term) const;
+
+  /// Fully substitutes bound variables, recursively.
+  TermPtr deep_resolve(const TermPtr& term) const;
+
+  bool bound(std::int64_t var) const { return map_.count(var) > 0; }
+  void bind(std::int64_t var, TermPtr value);
+
+  /// Trail mark / undo for backtracking.
+  std::size_t mark() const { return trail_.size(); }
+  void undo_to(std::size_t mark);
+
+  std::int64_t fresh_var() { return next_var_++; }
+  /// Reserves ids below `floor` (used after parsing assigns clause-local ids).
+  void reserve_ids(std::int64_t floor) {
+    if (next_var_ < floor) next_var_ = floor;
+  }
+
+ private:
+  std::unordered_map<std::int64_t, TermPtr> map_;
+  std::vector<std::int64_t> trail_;
+  std::int64_t next_var_ = 1'000'000;  // parser ids stay far below
+};
+
+/// Unifies a and b (no occurs check, standard Prolog behaviour).
+bool unify(const TermPtr& a, const TermPtr& b, Bindings& bindings);
+
+/// Structural equality after resolution (== / \== builtins).
+bool term_equal(const TermPtr& a, const TermPtr& b, const Bindings& bindings);
+
+/// Standard order of terms comparison (Var < Num < Atom < Compound).
+int term_compare(const TermPtr& a, const TermPtr& b, const Bindings& bindings);
+
+/// Renames all variables in `term` to fresh ones (clause renaming).
+TermPtr rename(const TermPtr& term, Bindings& bindings,
+               std::unordered_map<std::int64_t, TermPtr>& mapping);
+
+/// Pretty-prints a term with variables resolved.
+std::string to_string(const TermPtr& term, const Bindings& bindings);
+std::string to_string(const TermPtr& term);
+
+/// Reads a ./2 chain into a vector; returns nullopt for improper lists.
+std::optional<std::vector<TermPtr>> list_elements(const TermPtr& term,
+                                                  const Bindings& bindings);
+
+}  // namespace deco::wlog

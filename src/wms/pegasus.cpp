@@ -1,0 +1,79 @@
+#include "wms/pegasus.hpp"
+
+namespace deco::wms {
+
+SiteCatalog::SiteCatalog(const cloud::Catalog& catalog) : catalog_(&catalog) {}
+
+std::string SiteCatalog::site_name(cloud::TypeId type,
+                                   cloud::RegionId region) const {
+  return "ec2::" + catalog_->type(type).name + "@" +
+         catalog_->region(region).name;
+}
+
+std::size_t SiteCatalog::site_count() const {
+  return catalog_->type_count() * catalog_->region_count();
+}
+
+PegasusWms::PegasusWms(const cloud::Catalog& catalog,
+                       const cloud::MetadataStore& store)
+    : catalog_(&catalog), store_(&store), sites_(catalog) {
+  set_scheduler(std::make_unique<RandomScheduler>());
+}
+
+void PegasusWms::set_scheduler(std::unique_ptr<Scheduler> scheduler) {
+  scheduler_ = std::move(scheduler);
+  scheduler_name_ = scheduler_->name();
+}
+
+std::variant<ExecutableWorkflow, WmsError> PegasusWms::plan_dax(
+    const std::string& dax_xml, const core::ProbDeadline& requirement,
+    util::Rng& rng) {
+  workflow::DaxResult parsed = workflow::parse_dax(dax_xml);
+  if (std::holds_alternative<workflow::DaxError>(parsed)) {
+    return WmsError{std::get<workflow::DaxError>(parsed).message};
+  }
+  return plan_workflow(std::get<workflow::Workflow>(parsed), requirement, rng);
+}
+
+std::variant<ExecutableWorkflow, WmsError> PegasusWms::plan_workflow(
+    const workflow::Workflow& wf, const core::ProbDeadline& requirement,
+    util::Rng& rng) {
+  if (!wf.is_acyclic()) return WmsError{"workflow contains a cycle"};
+  SchedulerContext ctx;
+  ctx.catalog = catalog_;
+  ctx.store = store_;
+  ctx.requirement = requirement;
+  ctx.rng = &rng;
+
+  ExecutableWorkflow executable;
+  executable.workflow = wf;
+  executable.plan = scheduler_->schedule(wf, ctx);
+  executable.scheduler = scheduler_->name();
+  if (executable.plan.size() != wf.task_count()) {
+    return WmsError{"scheduler returned a plan of the wrong size"};
+  }
+  executable.tasks.reserve(wf.task_count());
+  for (workflow::TaskId t = 0; t < wf.task_count(); ++t) {
+    const auto& placement = executable.plan[t];
+    executable.tasks.push_back(ExecutableTask{
+        wf.task(t).executable,
+        sites_.site_name(placement.vm_type, placement.region)});
+  }
+  return executable;
+}
+
+WmsRunReport PegasusWms::execute(const ExecutableWorkflow& executable,
+                                 util::Rng& rng,
+                                 const core::ProbDeadline& requirement,
+                                 const sim::ExecutorOptions& options) {
+  const sim::ExecutionResult result = sim::simulate_execution(
+      executable.workflow, executable.plan, *catalog_, rng, options);
+  WmsRunReport report;
+  report.makespan = result.makespan;
+  report.total_cost = result.total_cost;
+  report.instances_used = result.instances_used;
+  report.met_deadline = result.makespan <= requirement.deadline_s;
+  return report;
+}
+
+}  // namespace deco::wms

@@ -1,0 +1,94 @@
+// Pegasus-like workflow management system (Figure 3).
+//
+// The WMS pipeline reproduced here:
+//   1. submit: a DAX file (or an in-memory workflow) enters the system;
+//   2. mapper: the chosen scheduler produces a provisioning plan, and the
+//      mapper binds each task to an execution site ("an executable workflow
+//      contains information such as where to find the executable file of a
+//      task and which site the task should execute on");
+//   3. execution engine: the executable workflow runs on the simulated cloud
+//      ("the execution engine of Pegasus distributes executable workflows to
+//      the cloud resources for execution").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "sim/executor.hpp"
+#include "wms/scheduler.hpp"
+#include "workflow/dax.hpp"
+
+namespace deco::wms {
+
+/// Site catalog: symbolic execution sites, one per (type, region) pair.
+class SiteCatalog {
+ public:
+  explicit SiteCatalog(const cloud::Catalog& catalog);
+
+  /// e.g. "ec2::m1.large@us-east-1".
+  std::string site_name(cloud::TypeId type, cloud::RegionId region) const;
+  std::size_t site_count() const;
+
+ private:
+  const cloud::Catalog* catalog_;
+};
+
+struct ExecutableTask {
+  std::string executable;  ///< resolved executable file
+  std::string site;        ///< execution site name
+};
+
+struct ExecutableWorkflow {
+  workflow::Workflow workflow;
+  sim::Plan plan;
+  std::vector<ExecutableTask> tasks;
+  std::string scheduler;  ///< which scheduler produced the plan
+};
+
+struct WmsRunReport {
+  double makespan = 0;
+  double total_cost = 0;
+  bool met_deadline = false;
+  std::size_t instances_used = 0;
+};
+
+struct WmsError {
+  std::string message;
+};
+
+class PegasusWms {
+ public:
+  PegasusWms(const cloud::Catalog& catalog, const cloud::MetadataStore& store);
+
+  /// Installs the scheduler used by the mapper (default: Random).
+  void set_scheduler(std::unique_ptr<Scheduler> scheduler);
+  const std::string& scheduler_name() const { return scheduler_name_; }
+
+  /// Mapper over a DAX document.
+  std::variant<ExecutableWorkflow, WmsError> plan_dax(
+      const std::string& dax_xml, const core::ProbDeadline& requirement,
+      util::Rng& rng);
+
+  /// Mapper over an in-memory workflow.
+  std::variant<ExecutableWorkflow, WmsError> plan_workflow(
+      const workflow::Workflow& wf, const core::ProbDeadline& requirement,
+      util::Rng& rng);
+
+  /// Execution engine: runs the executable workflow on the simulated cloud.
+  WmsRunReport execute(const ExecutableWorkflow& executable, util::Rng& rng,
+                       const core::ProbDeadline& requirement,
+                       const sim::ExecutorOptions& options = {});
+
+  const SiteCatalog& sites() const { return sites_; }
+
+ private:
+  const cloud::Catalog* catalog_;
+  const cloud::MetadataStore* store_;
+  SiteCatalog sites_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::string scheduler_name_;
+};
+
+}  // namespace deco::wms

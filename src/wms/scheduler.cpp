@@ -1,0 +1,40 @@
+#include "wms/scheduler.hpp"
+
+namespace deco::wms {
+
+sim::Plan RandomScheduler::schedule(const workflow::Workflow& wf,
+                                    const SchedulerContext& ctx) {
+  sim::Plan plan = sim::Plan::uniform(wf.task_count(), 0, ctx.region);
+  for (auto& p : plan.placements) {
+    p.vm_type = static_cast<cloud::TypeId>(
+        ctx.rng->below(ctx.catalog->type_count()));
+  }
+  return plan;
+}
+
+std::string FixedTypeScheduler::name() const {
+  return "Fixed";
+}
+
+sim::Plan FixedTypeScheduler::schedule(const workflow::Workflow& wf,
+                                       const SchedulerContext& ctx) {
+  return sim::Plan::uniform(wf.task_count(), type_, ctx.region);
+}
+
+sim::Plan AutoscalingScheduler::schedule(const workflow::Workflow& wf,
+                                         const SchedulerContext& ctx) {
+  core::TaskTimeEstimator estimator(*ctx.catalog, *ctx.store);
+  baselines::Autoscaling autoscaling(wf, estimator);
+  baselines::AutoscalingOptions options;
+  options.region = ctx.region;
+  return autoscaling.solve(ctx.requirement.deadline_s, options).plan;
+}
+
+sim::Plan DecoScheduler::schedule(const workflow::Workflow& wf,
+                                  const SchedulerContext& ctx) {
+  core::SchedulingOptions options = options_;
+  options.region = ctx.region;
+  return engine_->schedule(wf, ctx.requirement, options).plan;
+}
+
+}  // namespace deco::wms

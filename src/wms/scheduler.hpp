@@ -1,0 +1,80 @@
+// Scheduler callout interface of the WMS (Figure 3).
+//
+// "In order to schedule the workflows in the cloud, users can alternatively
+// choose from several traditional schedulers provided by Pegasus and our
+// proposed Deco.  For example, Pegasus provides a Random scheduler by
+// default."  A scheduler maps a workflow to a provisioning plan; the mapper
+// turns that into an executable workflow.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "baselines/autoscaling.hpp"
+#include "core/deco.hpp"
+#include "sim/plan.hpp"
+#include "util/rng.hpp"
+
+namespace deco::wms {
+
+struct SchedulerContext {
+  const cloud::Catalog* catalog = nullptr;
+  const cloud::MetadataStore* store = nullptr;
+  core::ProbDeadline requirement;
+  cloud::RegionId region = 0;
+  util::Rng* rng = nullptr;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual std::string name() const = 0;
+  virtual sim::Plan schedule(const workflow::Workflow& wf,
+                             const SchedulerContext& ctx) = 0;
+};
+
+/// Pegasus' default: a uniformly random instance type per task.
+class RandomScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "Random"; }
+  sim::Plan schedule(const workflow::Workflow& wf,
+                     const SchedulerContext& ctx) override;
+};
+
+/// Every task on one fixed type (the m1.* single-type baselines of Fig. 1).
+class FixedTypeScheduler final : public Scheduler {
+ public:
+  explicit FixedTypeScheduler(cloud::TypeId type) : type_(type) {}
+  std::string name() const override;
+  sim::Plan schedule(const workflow::Workflow& wf,
+                     const SchedulerContext& ctx) override;
+
+ private:
+  cloud::TypeId type_;
+};
+
+/// The Autoscaling baseline as a WMS scheduler.
+class AutoscalingScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "Autoscaling"; }
+  sim::Plan schedule(const workflow::Workflow& wf,
+                     const SchedulerContext& ctx) override;
+};
+
+/// Deco as a WMS scheduler ("Deco works as an alternative to the
+/// user-defined callouts inside the WMS").
+class DecoScheduler final : public Scheduler {
+ public:
+  explicit DecoScheduler(core::Deco& engine,
+                         core::SchedulingOptions options = {})
+      : engine_(&engine), options_(options) {}
+  std::string name() const override { return "Deco"; }
+  sim::Plan schedule(const workflow::Workflow& wf,
+                     const SchedulerContext& ctx) override;
+
+ private:
+  core::Deco* engine_;
+  core::SchedulingOptions options_;
+};
+
+}  // namespace deco::wms

@@ -1,0 +1,188 @@
+#include "workflow/dax.hpp"
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/xml.hpp"
+
+namespace deco::workflow {
+namespace {
+
+double parse_double(const std::string& s, double fallback) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    return used > 0 ? v : fallback;
+  } catch (...) {
+    return fallback;
+  }
+}
+
+}  // namespace
+
+DaxResult parse_dax(std::string_view xml, bool infer_file_edges) {
+  const auto parsed = util::parse_xml(xml);
+  if (!parsed.ok()) {
+    return DaxError{"XML error at offset " +
+                    std::to_string(parsed.error ? parsed.error->offset : 0) +
+                    ": " + (parsed.error ? parsed.error->message : "unknown")};
+  }
+  const util::XmlNode& root = *parsed.root;
+  if (root.name != "adag") {
+    return DaxError{"root element is <" + root.name + ">, expected <adag>"};
+  }
+
+  Workflow wf(root.attr_or("name", "workflow"));
+  std::map<std::string, TaskId> by_dax_id;
+  // file name -> producer tasks / consumer tasks with byte counts
+  std::map<std::string, std::vector<std::pair<TaskId, double>>> producers;
+  std::map<std::string, std::vector<std::pair<TaskId, double>>> consumers;
+
+  for (const util::XmlNode* job : root.children_named("job")) {
+    Task task;
+    const auto id = job->attr("id");
+    if (!id) return DaxError{"<job> missing id attribute"};
+    task.name = *id;
+    task.executable = job->attr_or("name", "unknown");
+    task.cpu_seconds = parse_double(job->attr_or("runtime", "0"), 0);
+    for (const util::XmlNode* uses : job->children_named("uses")) {
+      const std::string link = uses->attr_or("link", "");
+      const std::string file = uses->attr_or("file", "");
+      const double size = parse_double(uses->attr_or("size", "0"), 0);
+      if (link == "input") {
+        task.input_bytes += size;
+      } else if (link == "output") {
+        task.output_bytes += size;
+      }
+      if (file.empty()) continue;
+      // Registered after the task id is known, below.
+    }
+    const TaskId tid = wf.add_task(task);
+    if (!by_dax_id.emplace(*id, tid).second) {
+      return DaxError{"duplicate job id " + *id};
+    }
+    for (const util::XmlNode* uses : job->children_named("uses")) {
+      const std::string link = uses->attr_or("link", "");
+      const std::string file = uses->attr_or("file", "");
+      const double size = parse_double(uses->attr_or("size", "0"), 0);
+      if (file.empty()) continue;
+      if (link == "input") consumers[file].emplace_back(tid, size);
+      if (link == "output") producers[file].emplace_back(tid, size);
+    }
+  }
+
+  std::set<std::pair<TaskId, TaskId>> declared;
+  for (const util::XmlNode* child : root.children_named("child")) {
+    const auto ref = child->attr("ref");
+    if (!ref) return DaxError{"<child> missing ref attribute"};
+    const auto child_it = by_dax_id.find(*ref);
+    if (child_it == by_dax_id.end()) {
+      return DaxError{"<child ref=\"" + *ref + "\"> refers to unknown job"};
+    }
+    for (const util::XmlNode* parent : child->children_named("parent")) {
+      const auto pref = parent->attr("ref");
+      if (!pref) return DaxError{"<parent> missing ref attribute"};
+      const auto parent_it = by_dax_id.find(*pref);
+      if (parent_it == by_dax_id.end()) {
+        return DaxError{"<parent ref=\"" + *pref + "\"> refers to unknown job"};
+      }
+      // Edge bytes: an explicit bytes attribute wins (our writer emits it;
+      // Pegasus ignores it); otherwise data flowing through files produced
+      // by the parent and consumed by the child.
+      double bytes = 0;
+      if (const auto explicit_bytes = parent->attr("bytes")) {
+        bytes = parse_double(*explicit_bytes, 0);
+      } else {
+        for (const auto& [file, prods] : producers) {
+          bool produced = false;
+          for (const auto& [t, sz] : prods) {
+            if (t == parent_it->second) produced = true;
+          }
+          if (!produced) continue;
+          for (const auto& [t, sz] : consumers[file]) {
+            if (t == child_it->second) bytes += sz;
+          }
+        }
+      }
+      wf.add_edge(parent_it->second, child_it->second, bytes);
+      declared.emplace(parent_it->second, child_it->second);
+    }
+  }
+
+  if (infer_file_edges) {
+    for (const auto& [file, prods] : producers) {
+      const auto cons_it = consumers.find(file);
+      if (cons_it == consumers.end()) continue;
+      for (const auto& [p, psz] : prods) {
+        for (const auto& [c, csz] : cons_it->second) {
+          if (p == c) continue;
+          if (declared.count({p, c})) continue;
+          wf.add_edge(p, c, csz);
+          declared.emplace(p, c);
+        }
+      }
+    }
+  }
+
+  if (!wf.is_acyclic()) return DaxError{"workflow contains a cycle"};
+  return wf;
+}
+
+DaxResult load_dax_file(const std::string& path, bool infer_file_edges) {
+  std::ifstream in(path);
+  if (!in) return DaxError{"cannot open " + path};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_dax(buffer.str(), infer_file_edges);
+}
+
+std::string to_dax(const Workflow& wf) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  os << "<adag name=\"" << util::xml_escape(wf.name()) << "\" jobCount=\""
+     << wf.task_count() << "\">\n";
+  for (TaskId i = 0; i < wf.task_count(); ++i) {
+    const Task& t = wf.task(i);
+    os << "  <job id=\"" << util::xml_escape(t.name) << "\" name=\""
+       << util::xml_escape(t.executable) << "\" runtime=\"" << t.cpu_seconds
+       << "\">\n";
+    // The DAG model aggregates file sizes; emit one synthetic file per
+    // direction so a round trip preserves the totals.
+    if (t.input_bytes > 0) {
+      os << "    <uses file=\"" << util::xml_escape(t.name)
+         << ".in\" link=\"input\" size=\"" << t.input_bytes << "\"/>\n";
+    }
+    if (t.output_bytes > 0) {
+      os << "    <uses file=\"" << util::xml_escape(t.name)
+         << ".out\" link=\"output\" size=\"" << t.output_bytes << "\"/>\n";
+    }
+    os << "  </job>\n";
+  }
+  for (TaskId i = 0; i < wf.task_count(); ++i) {
+    if (wf.parents(i).empty()) continue;
+    os << "  <child ref=\"" << util::xml_escape(wf.task(i).name) << "\">\n";
+    for (TaskId p : wf.parents(i)) {
+      double bytes = 0;
+      for (const Edge& e : wf.edges()) {
+        if (e.parent == p && e.child == i) bytes = e.bytes;
+      }
+      os << "    <parent ref=\"" << util::xml_escape(wf.task(p).name)
+         << "\" bytes=\"" << bytes << "\"/>\n";
+    }
+    os << "  </child>\n";
+  }
+  os << "</adag>\n";
+  return os.str();
+}
+
+bool save_dax_file(const Workflow& wf, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_dax(wf);
+  return static_cast<bool>(out);
+}
+
+}  // namespace deco::workflow

@@ -1,0 +1,39 @@
+// Pegasus DAX (Directed Acyclic graph in XML) reader and writer.
+//
+// Supports the format of the paper's Figure 4: <adag> with <job> elements
+// (id, name, optional runtime attribute) containing <uses file=.. link=in/out
+// size=..> children, followed by <child ref=..><parent ref=../></child>
+// dependency declarations.  Dependency edges may also be inferred from shared
+// files (a job that reads a file another job writes becomes its child), which
+// is how Pegasus' own mapper treats DAX files without explicit child lists.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "workflow/dag.hpp"
+
+namespace deco::workflow {
+
+struct DaxError {
+  std::string message;
+};
+
+using DaxResult = std::variant<Workflow, DaxError>;
+
+/// Parses DAX XML text.  When `infer_file_edges` is true, adds edges implied
+/// by producer/consumer file relationships that are not declared explicitly.
+DaxResult parse_dax(std::string_view xml, bool infer_file_edges = true);
+
+/// Reads a DAX file from disk.
+DaxResult load_dax_file(const std::string& path, bool infer_file_edges = true);
+
+/// Serializes a workflow back to DAX XML (with runtime/size attributes so the
+/// round trip preserves the profile information Deco needs).
+std::string to_dax(const Workflow& wf);
+
+/// Writes to_dax() output to a file; returns false on I/O failure.
+bool save_dax_file(const Workflow& wf, const std::string& path);
+
+}  // namespace deco::workflow

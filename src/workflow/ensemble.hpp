@@ -1,0 +1,66 @@
+// Workflow ensembles (Section 3.2, following Malawski et al. SC'12).
+//
+// An ensemble is a prioritized group of structurally similar workflows with
+// per-workflow deadlines and an ensemble-wide budget.  Five ensemble types
+// control how workflow sizes relate to priorities: constant (all the same
+// size), uniform sorted/unsorted (sizes uniform over the size set, sorted =
+// largest first by priority), and Pareto sorted/unsorted (heavy-tailed sizes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workflow/dag.hpp"
+#include "workflow/generators.hpp"
+
+namespace deco::workflow {
+
+enum class EnsembleType {
+  kConstant,
+  kUniformSorted,
+  kUniformUnsorted,
+  kParetoSorted,
+  kParetoUnsorted,
+};
+
+std::string to_string(EnsembleType type);
+inline constexpr EnsembleType kAllEnsembleTypes[] = {
+    EnsembleType::kConstant,        EnsembleType::kUniformSorted,
+    EnsembleType::kUniformUnsorted, EnsembleType::kParetoSorted,
+    EnsembleType::kParetoUnsorted,
+};
+
+struct EnsembleMember {
+  Workflow workflow;
+  int priority = 0;        ///< 0 is highest; score contribution is 2^-priority
+  double deadline_s = 0;   ///< per-workflow deadline D_w
+  double deadline_q = 96;  ///< probabilistic deadline percentile p_w
+};
+
+struct Ensemble {
+  std::string name;
+  EnsembleType type = EnsembleType::kConstant;
+  std::vector<EnsembleMember> members;
+  double budget = 0;  ///< ensemble-wide budget B
+
+  /// Score of a completed set: sum of 2^-priority over completed members
+  /// (Eq. 4 of the paper).
+  double score(const std::vector<bool>& completed) const;
+  /// Score if every member completes.
+  double max_score() const;
+};
+
+struct EnsembleOptions {
+  AppType app = AppType::kLigo;
+  EnsembleType type = EnsembleType::kUniformUnsorted;
+  std::size_t num_workflows = 30;             ///< paper: 30-50
+  std::vector<std::size_t> sizes = {20, 100, 1000};  ///< candidate task counts
+};
+
+/// Generates an ensemble; priorities are 0..n-1.  For "sorted" types the
+/// largest workflows receive the highest priorities (smallest priority
+/// number); for "unsorted" priorities are assigned randomly.
+Ensemble make_ensemble(const EnsembleOptions& options, util::Rng& rng);
+
+}  // namespace deco::workflow

@@ -1,0 +1,289 @@
+#include "workflow/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/distributions.hpp"
+
+namespace deco::workflow {
+namespace {
+
+constexpr double kKB = 1024.0;
+constexpr double kMB = 1024.0 * kKB;
+
+/// Mean runtime/data profile of one task type (Juve et al., FGCS 2013).
+struct Profile {
+  const char* executable;
+  double runtime_s;
+  double input_mb;
+  double output_mb;
+};
+
+// Montage (Table 4 of the characterization paper, rounded).
+constexpr Profile kMProject{"mProjectPP", 1.73, 4.2, 8.1};
+constexpr Profile kMDiffFit{"mDiffFit", 0.66, 16.3, 0.6};
+constexpr Profile kMConcatFit{"mConcatFit", 143.26, 1.2, 1.2};
+constexpr Profile kMBgModel{"mBgModel", 384.49, 1.1, 0.1};
+constexpr Profile kMBackground{"mBackground", 1.72, 8.5, 8.1};
+constexpr Profile kMImgtbl{"mImgtbl", 2.78, 409.0, 0.01};
+constexpr Profile kMAdd{"mAdd", 282.37, 1040.0, 775.0};
+constexpr Profile kMShrink{"mShrink", 66.10, 775.0, 0.25};
+constexpr Profile kMJPEG{"mJPEG", 0.64, 25.3, 0.39};
+
+// LIGO Inspiral.
+constexpr Profile kTmpltBank{"TmpltBank", 18.14, 224.0, 0.9};
+constexpr Profile kInspiral{"Inspiral", 460.21, 225.0, 0.3};
+constexpr Profile kThinca{"Thinca", 5.37, 0.9, 0.03};
+constexpr Profile kTrigBank{"TrigBank", 5.11, 0.03, 0.0002};
+
+// Epigenomics.
+constexpr Profile kFastQSplit{"fastQSplit", 34.32, 1777.0, 1777.0};
+constexpr Profile kFilterContams{"filterContams", 2.47, 27.8, 27.7};
+constexpr Profile kSol2Sanger{"sol2sanger", 0.48, 13.0, 10.1};
+constexpr Profile kFastq2Bfq{"fast2bfq", 1.40, 10.1, 2.2};
+constexpr Profile kMap{"map", 201.89, 140.0, 0.9};
+constexpr Profile kMapMerge{"mapMerge", 11.01, 57.9, 57.9};
+constexpr Profile kMaqIndex{"maqIndex", 43.57, 107.0, 107.0};
+constexpr Profile kPileup{"pileup", 55.95, 107.0, 84.0};
+
+// CyberShake.
+constexpr Profile kExtractSGT{"ExtractSGT", 110.58, 40960.0, 155.0};
+constexpr Profile kSeisSynth{"SeismogramSynthesis", 79.47, 156.0, 0.02};
+constexpr Profile kZipSeis{"ZipSeis", 265.73, 101.0, 101.0};
+constexpr Profile kPeakValCalc{"PeakValCalc", 0.55, 0.02, 0.0001};
+constexpr Profile kZipPSA{"ZipPSA", 195.80, 4.5, 4.5};
+
+/// Multiplicative jitter around the profile mean: truncated normal with 20%
+/// coefficient of variation, matching the generator's per-instance variation.
+double jitter(util::Rng& rng) {
+  const double z = util::Normal{1.0, 0.2}.sample(rng);
+  return std::clamp(z, 0.25, 2.5);
+}
+
+TaskId add(Workflow& wf, const Profile& p, std::size_t index, util::Rng& rng) {
+  Task t;
+  t.name = std::string(p.executable) + "_" + std::to_string(index);
+  t.executable = p.executable;
+  const double j = jitter(rng);
+  t.cpu_seconds = p.runtime_s * j;
+  t.input_bytes = p.input_mb * kMB * j;
+  t.output_bytes = p.output_mb * kMB * j;
+  return wf.add_task(t);
+}
+
+/// Edge bytes default to the child's share of the parent's output.
+void link(Workflow& wf, TaskId parent, TaskId child) {
+  const double share =
+      wf.task(parent).output_bytes /
+      std::max<std::size_t>(1, wf.children(parent).size() + 1);
+  wf.add_edge(parent, child, share);
+}
+
+}  // namespace
+
+std::string to_string(AppType type) {
+  switch (type) {
+    case AppType::kMontage: return "Montage";
+    case AppType::kLigo: return "Ligo";
+    case AppType::kEpigenomics: return "Epigenomics";
+    case AppType::kCyberShake: return "CyberShake";
+    case AppType::kPipeline: return "Pipeline";
+  }
+  return "Unknown";
+}
+
+Workflow make_montage_by_width(std::size_t projects, util::Rng& rng) {
+  projects = std::max<std::size_t>(projects, 2);
+  Workflow wf("Montage");
+
+  std::vector<TaskId> project_ids;
+  project_ids.reserve(projects);
+  for (std::size_t i = 0; i < projects; ++i) {
+    project_ids.push_back(add(wf, kMProject, i, rng));
+  }
+
+  // Each mDiffFit compares an overlapping pair of projected images; the
+  // characterization gives roughly 3 overlaps per image interiorly.  We link
+  // consecutive pairs plus a stride-2 pair, capped to available images.
+  std::vector<TaskId> diff_ids;
+  std::size_t diff_index = 0;
+  auto add_diff = [&](std::size_t a, std::size_t b) {
+    const TaskId d = add(wf, kMDiffFit, diff_index++, rng);
+    link(wf, project_ids[a], d);
+    link(wf, project_ids[b], d);
+    diff_ids.push_back(d);
+  };
+  for (std::size_t i = 0; i + 1 < projects; ++i) add_diff(i, i + 1);
+  for (std::size_t i = 0; i + 2 < projects; i += 2) add_diff(i, i + 2);
+
+  const TaskId concat = add(wf, kMConcatFit, 0, rng);
+  for (TaskId d : diff_ids) link(wf, d, concat);
+
+  const TaskId bgmodel = add(wf, kMBgModel, 0, rng);
+  link(wf, concat, bgmodel);
+
+  std::vector<TaskId> background_ids;
+  background_ids.reserve(projects);
+  for (std::size_t i = 0; i < projects; ++i) {
+    const TaskId b = add(wf, kMBackground, i, rng);
+    link(wf, project_ids[i], b);
+    link(wf, bgmodel, b);
+    background_ids.push_back(b);
+  }
+
+  const TaskId imgtbl = add(wf, kMImgtbl, 0, rng);
+  for (TaskId b : background_ids) link(wf, b, imgtbl);
+
+  const TaskId madd = add(wf, kMAdd, 0, rng);
+  link(wf, imgtbl, madd);
+
+  const TaskId shrink = add(wf, kMShrink, 0, rng);
+  link(wf, madd, shrink);
+
+  const TaskId jpeg = add(wf, kMJPEG, 0, rng);
+  link(wf, shrink, jpeg);
+
+  return wf;
+}
+
+Workflow make_montage(int degree, util::Rng& rng) {
+  // Degree d covers ~d^2 square degrees; with 2MASS J-band plate coverage the
+  // projection width grows quadratically.  Calibrated so Montage-1 ~ 80
+  // tasks, Montage-4 ~ 300, Montage-8 ~ 1000 (the paper's 20-1000 task range).
+  const int d = std::max(degree, 1);
+  const auto projects = static_cast<std::size_t>(std::lround(14.0 + 4.4 * d * d));
+  Workflow wf = make_montage_by_width(projects, rng);
+  wf.set_name("Montage-" + std::to_string(d));
+  return wf;
+}
+
+Workflow make_ligo(std::size_t num_tasks, util::Rng& rng) {
+  // Structure: TmpltBank (n) -> Inspiral (n) -> Thinca (per group) ->
+  // TrigBank (n2) -> Inspiral (n2) -> Thinca.  Roughly 4 tasks per channel.
+  Workflow wf("Ligo");
+  const std::size_t channels = std::max<std::size_t>(2, num_tasks / 4);
+  const std::size_t group = 5;
+
+  std::vector<TaskId> thinca1;
+  std::size_t idx = 0;
+  for (std::size_t g = 0; g * group < channels; ++g) {
+    const std::size_t begin = g * group;
+    const std::size_t end = std::min(channels, begin + group);
+    std::vector<TaskId> inspirals;
+    for (std::size_t c = begin; c < end; ++c) {
+      const TaskId bank = add(wf, kTmpltBank, idx, rng);
+      const TaskId insp = add(wf, kInspiral, idx, rng);
+      ++idx;
+      link(wf, bank, insp);
+      inspirals.push_back(insp);
+    }
+    const TaskId th = add(wf, kThinca, g, rng);
+    for (TaskId i2 : inspirals) link(wf, i2, th);
+    thinca1.push_back(th);
+  }
+
+  // Second stage: each first-stage Thinca seeds a TrigBank -> Inspiral pair,
+  // all merged by a final Thinca.
+  const TaskId final_thinca = add(wf, kThinca, 9000, rng);
+  for (std::size_t g = 0; g < thinca1.size(); ++g) {
+    const TaskId trig = add(wf, kTrigBank, g, rng);
+    link(wf, thinca1[g], trig);
+    const TaskId insp = add(wf, kInspiral, 9000 + g, rng);
+    link(wf, trig, insp);
+    link(wf, insp, final_thinca);
+  }
+  return wf;
+}
+
+Workflow make_epigenomics(std::size_t num_tasks, util::Rng& rng) {
+  // fastQSplit -> n lanes of (filterContams -> sol2sanger -> fast2bfq -> map)
+  // -> mapMerge -> maqIndex -> pileup.  4 tasks per lane + 4 fixed.
+  Workflow wf("Epigenomics");
+  const std::size_t lanes =
+      std::max<std::size_t>(1, (std::max<std::size_t>(num_tasks, 8) - 4) / 4);
+
+  const TaskId split = add(wf, kFastQSplit, 0, rng);
+  const TaskId merge = add(wf, kMapMerge, 0, rng);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const TaskId filter = add(wf, kFilterContams, l, rng);
+    link(wf, split, filter);
+    const TaskId sol = add(wf, kSol2Sanger, l, rng);
+    link(wf, filter, sol);
+    const TaskId bfq = add(wf, kFastq2Bfq, l, rng);
+    link(wf, sol, bfq);
+    const TaskId map = add(wf, kMap, l, rng);
+    link(wf, bfq, map);
+    link(wf, map, merge);
+  }
+  const TaskId index = add(wf, kMaqIndex, 0, rng);
+  link(wf, merge, index);
+  const TaskId pileup = add(wf, kPileup, 0, rng);
+  link(wf, index, pileup);
+  return wf;
+}
+
+Workflow make_cybershake(std::size_t num_tasks, util::Rng& rng) {
+  // ExtractSGT (s) each fanning to k SeismogramSynthesis -> PeakValCalc
+  // pairs; Zip tasks collect both stages.
+  Workflow wf("CyberShake");
+  const std::size_t pairs =
+      std::max<std::size_t>(2, (std::max<std::size_t>(num_tasks, 8) - 4) / 2);
+  const std::size_t sgts = std::max<std::size_t>(2, pairs / 10);
+
+  std::vector<TaskId> sgt_ids;
+  for (std::size_t s = 0; s < sgts; ++s) sgt_ids.push_back(add(wf, kExtractSGT, s, rng));
+  const TaskId zip_seis = add(wf, kZipSeis, 0, rng);
+  const TaskId zip_psa = add(wf, kZipPSA, 0, rng);
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const TaskId synth = add(wf, kSeisSynth, p, rng);
+    link(wf, sgt_ids[p % sgts], synth);
+    const TaskId peak = add(wf, kPeakValCalc, p, rng);
+    link(wf, synth, peak);
+    link(wf, synth, zip_seis);
+    link(wf, peak, zip_psa);
+  }
+  return wf;
+}
+
+Workflow make_pipeline(std::size_t num_tasks, util::Rng& rng) {
+  Workflow wf("Pipeline");
+  num_tasks = std::max<std::size_t>(num_tasks, 1);
+  TaskId prev = kInvalidTask;
+  for (std::size_t i = 0; i < num_tasks; ++i) {
+    Task t;
+    t.name = "ID" + std::to_string(i);
+    t.executable = "process" + std::to_string(i);
+    t.cpu_seconds = 60.0 * jitter(rng);
+    t.input_bytes = 64.0 * kMB * jitter(rng);
+    t.output_bytes = 64.0 * kMB * jitter(rng);
+    const TaskId id = wf.add_task(t);
+    if (prev != kInvalidTask) wf.add_edge(prev, id, wf.task(prev).output_bytes);
+    prev = id;
+  }
+  return wf;
+}
+
+Workflow make_workflow(AppType type, std::size_t num_tasks, util::Rng& rng) {
+  switch (type) {
+    case AppType::kMontage: {
+      // Total tasks ~= 3.5 * projects + 6; solve for the project width.
+      const auto p = static_cast<std::size_t>(
+          std::max(2.0, (static_cast<double>(num_tasks) - 6.0) / 3.5));
+      Workflow wf = make_montage_by_width(p, rng);
+      wf.set_name("Montage");
+      return wf;
+    }
+    case AppType::kLigo:
+      return make_ligo(num_tasks, rng);
+    case AppType::kEpigenomics:
+      return make_epigenomics(num_tasks, rng);
+    case AppType::kCyberShake:
+      return make_cybershake(num_tasks, rng);
+    case AppType::kPipeline:
+      return make_pipeline(num_tasks, rng);
+  }
+  return Workflow("empty");
+}
+
+}  // namespace deco::workflow

@@ -1,0 +1,50 @@
+// Synthetic scientific-workflow generators.
+//
+// The paper builds Montage instances from the Montage source and synthesizes
+// LIGO and Epigenomics with the Pegasus WorkflowGenerator, whose structure and
+// per-task runtime/data profiles come from the Bharathi/Juve characterization
+// ("Characterizing and Profiling Scientific Workflows", FGCS 2013 — the
+// paper's [18]).  We reproduce those generators here: the same task types,
+// fan-in/fan-out structure, and published mean runtimes and data sizes, with
+// lognormal-ish jitter drawn from a seeded RNG so instances differ.
+//
+// Montage-1/4/8 follow the paper's naming: mosaics of 1/4/8-degree sky areas;
+// the degree sets the number of mProjectPP tasks (and thus overlaps/diffs).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/rng.hpp"
+#include "workflow/dag.hpp"
+
+namespace deco::workflow {
+
+enum class AppType { kMontage, kLigo, kEpigenomics, kCyberShake, kPipeline };
+
+std::string to_string(AppType type);
+
+/// Montage mosaic workflow for a `degree`-by-`degree` area (1, 4 or 8 in the
+/// paper).  Task count grows roughly quadratically with the degree.
+Workflow make_montage(int degree, util::Rng& rng);
+
+/// Montage variant parameterized directly by the number of mProjectPP tasks.
+Workflow make_montage_by_width(std::size_t projects, util::Rng& rng);
+
+/// LIGO Inspiral analysis workflow with approximately `num_tasks` tasks.
+Workflow make_ligo(std::size_t num_tasks, util::Rng& rng);
+
+/// USC Epigenomics workflow with approximately `num_tasks` tasks.
+Workflow make_epigenomics(std::size_t num_tasks, util::Rng& rng);
+
+/// SCEC CyberShake workflow with approximately `num_tasks` tasks.
+Workflow make_cybershake(std::size_t num_tasks, util::Rng& rng);
+
+/// Linear pipeline of `num_tasks` tasks (the paper's Figure 4 example shape).
+Workflow make_pipeline(std::size_t num_tasks, util::Rng& rng);
+
+/// Dispatch by application type with a target task count (the ensemble
+/// experiments use 20/100/1000-task instances of each application).
+Workflow make_workflow(AppType type, std::size_t num_tasks, util::Rng& rng);
+
+}  // namespace deco::workflow

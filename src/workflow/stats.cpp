@@ -1,0 +1,77 @@
+#include "workflow/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "workflow/analysis.hpp"
+
+namespace deco::workflow {
+
+WorkflowStats compute_stats(const Workflow& wf) {
+  WorkflowStats stats;
+  stats.tasks = wf.task_count();
+  stats.edges = wf.edge_count();
+  stats.roots = wf.roots().size();
+  stats.leaves = wf.leaves().size();
+
+  const auto widths = width_profile(wf);
+  stats.depth = widths.size();
+  for (std::size_t w : widths) stats.max_width = std::max(stats.max_width, w);
+
+  std::vector<double> cpu_weights(wf.task_count());
+  for (TaskId t = 0; t < wf.task_count(); ++t) {
+    const Task& task = wf.task(t);
+    cpu_weights[t] = task.cpu_seconds;
+    stats.total_cpu_seconds += task.cpu_seconds;
+    stats.total_io_bytes += task.input_bytes + task.output_bytes;
+    auto& exe = stats.by_executable[task.executable];
+    ++exe.count;
+    exe.total_cpu_seconds += task.cpu_seconds;
+    exe.total_input_bytes += task.input_bytes;
+    exe.total_output_bytes += task.output_bytes;
+  }
+  for (const Edge& e : wf.edges()) stats.total_edge_bytes += e.bytes;
+  stats.critical_path_cpu_s = critical_path(wf, cpu_weights).length;
+  return stats;
+}
+
+namespace {
+
+std::string human_bytes(double bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 4) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f %s", bytes, units[unit]);
+  return buf;
+}
+
+}  // namespace
+
+std::string describe(const WorkflowStats& stats, const std::string& name) {
+  std::ostringstream os;
+  os << name << ": " << stats.tasks << " tasks, " << stats.edges
+     << " edges\n";
+  os << "  structure: " << stats.roots << " roots, " << stats.leaves
+     << " leaves, depth " << stats.depth << ", max width "
+     << stats.max_width << "\n";
+  os << "  compute: " << static_cast<long long>(stats.total_cpu_seconds)
+     << " CPU-seconds total, critical path "
+     << static_cast<long long>(stats.critical_path_cpu_s) << " s\n";
+  os << "  data: " << human_bytes(stats.total_io_bytes) << " task I/O, "
+     << human_bytes(stats.total_edge_bytes) << " over edges\n";
+  os << "  task mix:\n";
+  for (const auto& [exe, info] : stats.by_executable) {
+    os << "    " << exe << " x" << info.count << " ("
+       << static_cast<long long>(info.total_cpu_seconds) << " cpu-s, in "
+       << human_bytes(info.total_input_bytes) << ", out "
+       << human_bytes(info.total_output_bytes) << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace deco::workflow

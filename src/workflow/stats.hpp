@@ -1,0 +1,38 @@
+// Workflow statistics: the summary a user inspects before provisioning
+// (task mix, data volumes, structure) — also backs `deco info`.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "workflow/dag.hpp"
+
+namespace deco::workflow {
+
+struct ExecutableStats {
+  std::size_t count = 0;
+  double total_cpu_seconds = 0;
+  double total_input_bytes = 0;
+  double total_output_bytes = 0;
+};
+
+struct WorkflowStats {
+  std::size_t tasks = 0;
+  std::size_t edges = 0;
+  std::size_t roots = 0;
+  std::size_t leaves = 0;
+  std::size_t depth = 0;          ///< number of levels
+  std::size_t max_width = 0;      ///< widest level (parallelism)
+  double total_cpu_seconds = 0;
+  double total_io_bytes = 0;      ///< input + output
+  double total_edge_bytes = 0;    ///< data flowing along edges
+  double critical_path_cpu_s = 0; ///< CP length under raw CPU weights
+  std::map<std::string, ExecutableStats> by_executable;
+};
+
+WorkflowStats compute_stats(const Workflow& wf);
+
+/// Multi-line human-readable rendering (used by `deco info`).
+std::string describe(const WorkflowStats& stats, const std::string& name);
+
+}  // namespace deco::workflow

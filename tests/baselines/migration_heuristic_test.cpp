@@ -1,0 +1,95 @@
+#include "baselines/migration_heuristic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_fixtures.hpp"
+#include "workflow/generators.hpp"
+
+namespace deco::baselines {
+namespace {
+
+using core::testing::ec2;
+using core::testing::store;
+
+core::MigrationWorkflowState make_state(const workflow::Workflow& wf,
+                                         cloud::RegionId region) {
+  core::MigrationWorkflowState s;
+  s.wf = &wf;
+  s.finished.assign(wf.task_count(), false);
+  s.region = region;
+  s.vm_type = 1;
+  s.deadline_s = 1e7;
+  return s;
+}
+
+TEST(MigrationHeuristicTest, OfflinePlanPicksCheapestRegion) {
+  util::Rng rng(1);
+  const auto wf = workflow::make_pipeline(5, rng);
+  core::TaskTimeEstimator est(ec2(), store());
+  MigrationHeuristic heuristic(ec2(), est);
+  std::vector<core::MigrationWorkflowState> states{make_state(wf, 1),
+                                                   make_state(wf, 0)};
+  const auto plan = heuristic.offline_plan(states);
+  EXPECT_EQ(plan[0], 0u);  // Singapore -> us-east
+  EXPECT_EQ(plan[1], 0u);  // already cheapest
+}
+
+TEST(MigrationHeuristicTest, PolicyFollowsOfflinePlanInitially) {
+  util::Rng rng(2);
+  const auto wf = workflow::make_pipeline(5, rng);
+  core::TaskTimeEstimator est(ec2(), store());
+  MigrationHeuristic heuristic(ec2(), est);
+  std::vector<core::MigrationWorkflowState> states{make_state(wf, 1)};
+  const auto targets = heuristic(states);
+  EXPECT_EQ(targets[0], 0u);
+}
+
+TEST(MigrationHeuristicTest, LateWorkflowCancelsMigration) {
+  util::Rng rng(3);
+  const auto wf = workflow::make_pipeline(5, rng);
+  core::TaskTimeEstimator est(ec2(), store());
+  MigrationHeuristicOptions opt;
+  opt.threshold = 0.5;
+  MigrationHeuristic heuristic(ec2(), est, opt);
+  auto s = make_state(wf, 1);
+  // Half the tasks finished, but observed time far beyond the estimate.
+  s.finished[0] = true;
+  s.finished[1] = true;
+  double expected = est.mean_time(wf, 0, 1) + est.mean_time(wf, 1, 1);
+  s.elapsed_s = expected * 3;
+  std::vector<core::MigrationWorkflowState> states{s};
+  heuristic(states);  // first call initializes the offline plan
+  const auto targets = heuristic(states);
+  EXPECT_EQ(targets[0], 1u);  // stays put
+}
+
+TEST(MigrationHeuristicTest, OnTimeWorkflowMigrates) {
+  util::Rng rng(4);
+  const auto wf = workflow::make_pipeline(5, rng);
+  core::TaskTimeEstimator est(ec2(), store());
+  MigrationHeuristic heuristic(ec2(), est);
+  auto s = make_state(wf, 1);
+  s.finished[0] = true;
+  s.elapsed_s = est.mean_time(wf, 0, 1);  // exactly on estimate
+  std::vector<core::MigrationWorkflowState> states{s};
+  const auto targets = heuristic(states);
+  EXPECT_EQ(targets[0], 0u);
+}
+
+TEST(MigrationHeuristicTest, ScenarioEndToEnd) {
+  util::Rng rng(5);
+  const auto wf1 = workflow::make_pipeline(6, rng);
+  const auto wf2 = workflow::make_pipeline(6, rng);
+  core::TaskTimeEstimator est(ec2(), store());
+  MigrationHeuristic heuristic(ec2(), est);
+  std::vector<core::MigrationWorkflowState> states{make_state(wf1, 1),
+                                                   make_state(wf2, 0)};
+  util::Rng scenario_rng(6);
+  const auto report = core::run_followcost_scenario(
+      states, ec2(), std::ref(heuristic), scenario_rng);
+  EXPECT_GT(report.total_cost, 0.0);
+  EXPECT_GE(report.migrations, 1u);  // the Singapore workflow moves
+}
+
+}  // namespace
+}  // namespace deco::baselines

@@ -1,0 +1,99 @@
+#include "baselines/spss.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ensemble_planner.hpp"
+#include "tests/core/test_fixtures.hpp"
+
+namespace deco::baselines {
+namespace {
+
+using core::testing::ec2;
+using core::testing::store;
+
+workflow::Ensemble ensemble(std::size_t members, double budget,
+                            double deadline) {
+  util::Rng rng(11);
+  workflow::EnsembleOptions opt;
+  opt.app = workflow::AppType::kLigo;
+  opt.type = workflow::EnsembleType::kConstant;
+  opt.num_workflows = members;
+  opt.sizes = {20};
+  workflow::Ensemble e = workflow::make_ensemble(opt, rng);
+  e.budget = budget;
+  for (auto& m : e.members) {
+    m.deadline_s = deadline;
+    m.deadline_q = 90;
+  }
+  return e;
+}
+
+TEST(SpssTest, GenerousBudgetAdmitsAll) {
+  const auto e = ensemble(4, 1e9, 1e7);
+  vgpu::SerialBackend backend;
+  Spss spss(ec2(), store(), backend);
+  const auto r = spss.plan(e);
+  for (bool a : r.admitted) EXPECT_TRUE(a);
+  EXPECT_DOUBLE_EQ(r.score, e.max_score());
+}
+
+TEST(SpssTest, ZeroBudgetAdmitsNone) {
+  const auto e = ensemble(4, 0, 1e7);
+  vgpu::SerialBackend backend;
+  Spss spss(ec2(), store(), backend);
+  const auto r = spss.plan(e);
+  for (bool a : r.admitted) EXPECT_FALSE(a);
+}
+
+TEST(SpssTest, AdmitsInPriorityOrder) {
+  auto e = ensemble(5, 1e9, 1e7);
+  vgpu::SerialBackend backend;
+  Spss spss(ec2(), store(), backend);
+  const auto probe = spss.plan(e);
+  // Budget for ~2 members.
+  e.budget = probe.member_costs[0] + probe.member_costs[1] + 1e-9;
+  const auto r = spss.plan(e);
+  EXPECT_TRUE(r.admitted[0]);
+  EXPECT_TRUE(r.admitted[1]);
+  EXPECT_FALSE(r.admitted[4]);
+}
+
+TEST(SpssTest, InfeasibleDeadlineSkipsWorkflow) {
+  const auto e = ensemble(3, 1e9, 0.001);
+  vgpu::SerialBackend backend;
+  Spss spss(ec2(), store(), backend);
+  const auto r = spss.plan(e);
+  for (bool a : r.admitted) EXPECT_FALSE(a);
+  EXPECT_DOUBLE_EQ(r.total_cost, 0.0);
+}
+
+TEST(SpssTest, BudgetNeverExceeded) {
+  auto e = ensemble(6, 1e9, 1e7);
+  vgpu::SerialBackend backend;
+  Spss spss(ec2(), store(), backend);
+  const auto probe = spss.plan(e);
+  e.budget = 0.4 * probe.total_cost;
+  const auto r = spss.plan(e);
+  EXPECT_LE(r.total_cost, e.budget + 1e-9);
+}
+
+TEST(SpssTest, DecoScoresAtLeastSpss) {
+  // Fig. 9's direction: under mid-range budgets Deco completes at least as
+  // many (weighted) workflows as SPSS.
+  auto e = ensemble(6, 1e9, 1e7);
+  vgpu::SerialBackend backend;
+  Spss spss(ec2(), store(), backend);
+  const auto probe = spss.plan(e);
+  e.budget = 0.5 * probe.total_cost;
+
+  const auto spss_result = spss.plan(e);
+  core::EnsemblePlanner planner(ec2(), store(), backend);
+  core::EnsemblePlanOptions popt;
+  popt.per_workflow.search.max_states = 16;
+  popt.per_workflow.search.stale_wave_limit = 2;
+  const auto deco_result = planner.plan(e, popt);
+  EXPECT_GE(deco_result.score, spss_result.score - 1e-9);
+}
+
+}  // namespace
+}  // namespace deco::baselines

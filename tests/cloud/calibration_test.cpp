@@ -1,0 +1,118 @@
+#include "cloud/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+namespace deco::cloud {
+namespace {
+
+CalibrationOptions fast_options() {
+  CalibrationOptions opt;
+  opt.samples_per_setting = 4000;  // keep the test quick
+  return opt;
+}
+
+TEST(CalibrationTest, PublishesAllKeys) {
+  const Catalog catalog = make_ec2_catalog();
+  MetadataStore store;
+  util::Rng rng(1);
+  calibrate(catalog, store, fast_options(), rng);
+  for (const auto& t : catalog.types()) {
+    EXPECT_TRUE(store.contains(MetadataStore::seq_io_key("ec2", t.name)));
+    EXPECT_TRUE(store.contains(MetadataStore::rand_io_key("ec2", t.name)));
+  }
+  EXPECT_TRUE(store.contains(
+      MetadataStore::net_key("ec2", "m1.small", "m1.xlarge")));
+  EXPECT_TRUE(store.contains(MetadataStore::inter_region_net_key("ec2")));
+  // 4 types * 2 IO keys + 10 pair keys + 1 inter-region = 19.
+  EXPECT_EQ(store.size(), 19u);
+}
+
+TEST(CalibrationTest, RecoversTable2GammaParameters) {
+  const Catalog catalog = make_ec2_catalog();
+  MetadataStore store;
+  util::Rng rng(2);
+  CalibrationOptions opt;
+  opt.samples_per_setting = 10000;  // the paper's sample count
+  const auto report = calibrate(catalog, store, opt, rng);
+  const auto* rec = report.find(MetadataStore::seq_io_key("ec2", "m1.small"));
+  ASSERT_NE(rec, nullptr);
+  // Table 2: m1.small sequential I/O ~ Gamma(k=129.3, theta=0.79).
+  EXPECT_NEAR(rec->fitted_gamma.k, 129.3, 13.0);
+  EXPECT_NEAR(rec->fitted_gamma.theta, 0.79, 0.08);
+}
+
+TEST(CalibrationTest, RecoversTable2NormalParameters) {
+  const Catalog catalog = make_ec2_catalog();
+  MetadataStore store;
+  util::Rng rng(3);
+  CalibrationOptions opt;
+  opt.samples_per_setting = 10000;
+  const auto report = calibrate(catalog, store, opt, rng);
+  const auto* rec = report.find(MetadataStore::rand_io_key("ec2", "m1.medium"));
+  ASSERT_NE(rec, nullptr);
+  // Table 2: m1.medium random I/O ~ Normal(mu=128.9, sigma=8.4).
+  EXPECT_NEAR(rec->fitted_normal.mu, 128.9, 1.0);
+  EXPECT_NEAR(rec->fitted_normal.sigma, 8.4, 0.5);
+}
+
+TEST(CalibrationTest, NetworkPassesNormalityCheck) {
+  // Fig. 6b: network performance "can be modeled with a normal distribution"
+  // (verified with a null-hypothesis test).
+  const Catalog catalog = make_ec2_catalog();
+  MetadataStore store;
+  util::Rng rng(4);
+  const auto report = calibrate(catalog, store, fast_options(), rng);
+  const auto* rec = report.find(
+      MetadataStore::net_key("ec2", "m1.medium", "m1.medium"));
+  ASSERT_NE(rec, nullptr);
+  EXPECT_GT(rec->ks_normal.p_value, 0.01);
+}
+
+TEST(CalibrationTest, SequentialIoFailsNormalityLessThanGammaFits) {
+  const Catalog catalog = make_ec2_catalog();
+  MetadataStore store;
+  util::Rng rng(5);
+  const auto report = calibrate(catalog, store, fast_options(), rng);
+  const auto* rec = report.find(MetadataStore::seq_io_key("ec2", "m1.large"));
+  ASSERT_NE(rec, nullptr);
+  // Gamma(376.6, 0.28) is nearly symmetric, so the Normal fit is also close;
+  // just confirm the fitted Gamma mean matches the sample mean.
+  EXPECT_NEAR(rec->fitted_gamma.k * rec->fitted_gamma.theta,
+              rec->fitted_normal.mu, 1.0);
+}
+
+TEST(CalibrationTest, MediumNetworkVarianceIsLarge) {
+  // Fig. 6a: the maximum variance of m1.medium network performance ~ 50%.
+  const Catalog catalog = make_ec2_catalog();
+  MetadataStore store;
+  util::Rng rng(6);
+  const auto report = calibrate(catalog, store, fast_options(), rng);
+  const auto* rec = report.find(
+      MetadataStore::net_key("ec2", "m1.medium", "m1.medium"));
+  ASSERT_NE(rec, nullptr);
+  EXPECT_GT(rec->max_relative_variance, 0.35);
+}
+
+TEST(CalibrationTest, HistogramMeanTracksGroundTruth) {
+  const Catalog catalog = make_ec2_catalog();
+  MetadataStore store;
+  util::Rng rng(7);
+  calibrate(catalog, store, fast_options(), rng);
+  const auto h = store.get(MetadataStore::seq_io_key("ec2", "m1.xlarge"));
+  ASSERT_TRUE(h.has_value());
+  EXPECT_NEAR(h->mean(), 408.1 * 0.26, 2.0);
+}
+
+TEST(CalibrationTest, DeterministicGivenSeed) {
+  const Catalog catalog = make_ec2_catalog();
+  MetadataStore s1;
+  MetadataStore s2;
+  util::Rng r1(8);
+  util::Rng r2(8);
+  calibrate(catalog, s1, fast_options(), r1);
+  calibrate(catalog, s2, fast_options(), r2);
+  EXPECT_EQ(s1.serialize(), s2.serialize());
+}
+
+}  // namespace
+}  // namespace deco::cloud

@@ -1,0 +1,90 @@
+#include "cloud/instance_type.hpp"
+
+#include <gtest/gtest.h>
+
+namespace deco::cloud {
+namespace {
+
+TEST(CatalogTest, Ec2HasFourTypesTwoRegions) {
+  const Catalog c = make_ec2_catalog();
+  EXPECT_EQ(c.type_count(), 4u);
+  EXPECT_EQ(c.region_count(), 2u);
+}
+
+TEST(CatalogTest, TypeLookupByName) {
+  const Catalog c = make_ec2_catalog();
+  ASSERT_TRUE(c.find_type("m1.small").has_value());
+  ASSERT_TRUE(c.find_type("m1.xlarge").has_value());
+  EXPECT_FALSE(c.find_type("m1.nano").has_value());
+}
+
+TEST(CatalogTest, PricesAscendWithSize) {
+  const Catalog c = make_ec2_catalog();
+  double prev = 0;
+  for (const auto& t : c.types()) {
+    EXPECT_GT(t.price_per_hour, prev);
+    prev = t.price_per_hour;
+  }
+}
+
+TEST(CatalogTest, PaperSmallPrice) {
+  const Catalog c = make_ec2_catalog();
+  EXPECT_DOUBLE_EQ(c.type(*c.find_type("m1.small")).price_per_hour, 0.044);
+}
+
+TEST(CatalogTest, ComputeUnitsDouble) {
+  const Catalog c = make_ec2_catalog();
+  EXPECT_DOUBLE_EQ(c.type(0).compute_units, 1.0);
+  EXPECT_DOUBLE_EQ(c.type(1).compute_units, 2.0);
+  EXPECT_DOUBLE_EQ(c.type(2).compute_units, 4.0);
+  EXPECT_DOUBLE_EQ(c.type(3).compute_units, 8.0);
+}
+
+TEST(CatalogTest, SingaporePricesHigher) {
+  const Catalog c = make_ec2_catalog();
+  const RegionId sg = *c.find_region("ap-southeast-1");
+  const RegionId us = *c.find_region("us-east-1");
+  // Section 3.3: the m1.small price gap between the regions is 33%.
+  const TypeId small = *c.find_type("m1.small");
+  EXPECT_NEAR(c.price(small, sg) / c.price(small, us), 1.33, 1e-9);
+}
+
+TEST(CatalogTest, Table2ParametersEncoded) {
+  const Catalog c = make_ec2_catalog();
+  const auto& small = c.type(*c.find_type("m1.small"));
+  EXPECT_DOUBLE_EQ(small.seq_io_mbps.a, 129.3);   // Gamma k
+  EXPECT_DOUBLE_EQ(small.seq_io_mbps.b, 0.79);    // Gamma theta
+  EXPECT_DOUBLE_EQ(small.rand_io_iops.a, 150.3);  // Normal mu
+  EXPECT_DOUBLE_EQ(small.rand_io_iops.b, 50.0);   // Normal sigma
+  const auto& xlarge = c.type(*c.find_type("m1.xlarge"));
+  EXPECT_DOUBLE_EQ(xlarge.rand_io_iops.a, 1034.0);
+  EXPECT_DOUBLE_EQ(xlarge.rand_io_iops.b, 146.4);
+}
+
+TEST(CatalogTest, NetworkPairBoundedByNarrowerNic) {
+  const Catalog c = make_ec2_catalog();
+  const TypeId medium = *c.find_type("m1.medium");
+  const TypeId large = *c.find_type("m1.large");
+  const auto pair = c.network_pair(medium, large);
+  EXPECT_DOUBLE_EQ(pair.a, std::min(c.type(medium).net_mbps.a,
+                                    c.type(large).net_mbps.a));
+}
+
+TEST(CatalogTest, MediumNoisierThanLargePairs) {
+  // Fig. 7: m1.medium <-> m1.large bandwidth varies much more than
+  // m1.large <-> m1.large.
+  const Catalog c = make_ec2_catalog();
+  const TypeId medium = *c.find_type("m1.medium");
+  const TypeId large = *c.find_type("m1.large");
+  EXPECT_GT(c.network_pair(medium, large).b, c.network_pair(large, large).b);
+}
+
+TEST(CatalogTest, EgressPricesPositive) {
+  const Catalog c = make_ec2_catalog();
+  for (RegionId r = 0; r < c.region_count(); ++r) {
+    EXPECT_GT(c.egress_price(r), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace deco::cloud

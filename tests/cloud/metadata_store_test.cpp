@@ -1,0 +1,68 @@
+#include "cloud/metadata_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace deco::cloud {
+namespace {
+
+util::Histogram sample_hist() {
+  return util::Histogram::from_bins({10, 20, 30}, {0.2, 0.5, 0.3});
+}
+
+TEST(MetadataStoreTest, PutGetRoundTrip) {
+  MetadataStore store;
+  store.put("k", sample_hist());
+  ASSERT_TRUE(store.get("k").has_value());
+  EXPECT_EQ(store.get("k")->bin_count(), 3u);
+  EXPECT_FALSE(store.get("missing").has_value());
+  EXPECT_TRUE(store.contains("k"));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(MetadataStoreTest, OverwriteReplaces) {
+  MetadataStore store;
+  store.put("k", sample_hist());
+  store.put("k", util::Histogram::from_bins({1}, {1}));
+  EXPECT_EQ(store.get("k")->bin_count(), 1u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(MetadataStoreTest, SerializeDeserializePreservesHistograms) {
+  MetadataStore store;
+  store.put("a/b/c", sample_hist());
+  store.put("x", util::Histogram::from_bins({1.5, 2.5}, {0.4, 0.6}));
+  const MetadataStore restored = MetadataStore::deserialize(store.serialize());
+  ASSERT_TRUE(restored.get("a/b/c").has_value());
+  ASSERT_TRUE(restored.get("x").has_value());
+  const auto h = *restored.get("a/b/c");
+  EXPECT_EQ(h.bin_count(), 3u);
+  EXPECT_NEAR(h.masses()[1], 0.5, 1e-12);
+  EXPECT_NEAR(h.centers()[2], 30.0, 1e-12);
+}
+
+TEST(MetadataStoreTest, SaveLoadFile) {
+  MetadataStore store;
+  store.put("k", sample_hist());
+  const std::string path = testing::TempDir() + "/meta_test.txt";
+  ASSERT_TRUE(store.save(path));
+  const auto loaded = MetadataStore::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->contains("k"));
+}
+
+TEST(MetadataStoreTest, LoadMissingFileFails) {
+  EXPECT_FALSE(MetadataStore::load("/nonexistent/meta.txt").has_value());
+}
+
+TEST(MetadataStoreTest, KeyHelpersAreCanonical) {
+  EXPECT_EQ(MetadataStore::seq_io_key("ec2", "m1.small"),
+            "ec2/m1.small/seq_io");
+  EXPECT_EQ(MetadataStore::rand_io_key("ec2", "m1.large"),
+            "ec2/m1.large/rand_io");
+  // Pair keys are order-insensitive.
+  EXPECT_EQ(MetadataStore::net_key("ec2", "m1.large", "m1.medium"),
+            MetadataStore::net_key("ec2", "m1.medium", "m1.large"));
+}
+
+}  // namespace
+}  // namespace deco::cloud

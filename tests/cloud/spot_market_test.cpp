@@ -1,0 +1,93 @@
+#include "cloud/spot_market.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace deco::cloud {
+namespace {
+
+SpotPriceTrace trace_for(double on_demand, std::size_t steps,
+                         std::uint64_t seed) {
+  SpotModel model;
+  util::Rng rng(seed);
+  return SpotPriceTrace::simulate(on_demand, model, steps, rng);
+}
+
+TEST(SpotMarketTest, PricesBoundedByOnDemand) {
+  const auto trace = trace_for(0.35, 5000, 1);
+  for (double p : trace.prices()) {
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, 0.35 + 1e-12);
+  }
+}
+
+TEST(SpotMarketTest, MeanNearBaseFraction) {
+  const auto trace = trace_for(0.35, 20000, 2);
+  const double mean = util::mean(trace.prices());
+  // Long-run mean ~ base_fraction (0.3) of on-demand, within the OU spread
+  // and the spike skew.
+  EXPECT_GT(mean, 0.35 * 0.2);
+  EXPECT_LT(mean, 0.35 * 0.6);
+}
+
+TEST(SpotMarketTest, PriceAtClampsToTrace) {
+  const auto trace = trace_for(0.1, 100, 3);
+  EXPECT_DOUBLE_EQ(trace.price_at(-100), trace.prices().front());
+  EXPECT_DOUBLE_EQ(trace.price_at(1e9), trace.prices().back());
+  EXPECT_DOUBLE_EQ(trace.price_at(60 * 5), trace.prices()[5]);
+}
+
+TEST(SpotMarketTest, NextRevocationFindsFirstExceedance) {
+  const auto trace = trace_for(0.35, 5000, 4);
+  // A bid below the minimum price is revoked immediately.
+  const double low_bid = 0;
+  EXPECT_DOUBLE_EQ(trace.next_revocation(0, low_bid), 0.0);
+  // A bid above the maximum is never revoked.
+  const double high_bid = 1.0;
+  EXPECT_LT(trace.next_revocation(0, high_bid), 0.0);
+  // A mid bid: the revocation instant must actually exceed the bid.
+  const double mid = util::percentile(
+      std::vector<double>(trace.prices().begin(), trace.prices().end()), 70);
+  const double at = trace.next_revocation(0, mid);
+  if (at >= 0) {
+    EXPECT_GT(trace.price_at(at), mid);
+  }
+}
+
+TEST(SpotMarketTest, AvailabilityMonotoneInBid) {
+  const auto trace = trace_for(0.35, 5000, 5);
+  double prev = 0;
+  for (double bid : {0.05, 0.1, 0.15, 0.2, 0.3, 0.4}) {
+    const double a = trace.availability(bid);
+    EXPECT_GE(a, prev - 1e-12);
+    prev = a;
+  }
+  EXPECT_DOUBLE_EQ(trace.availability(10.0), 1.0);
+}
+
+TEST(SpotMarketTest, QuoteHazardMonotoneInBid) {
+  const auto trace = trace_for(0.35, 20000, 6);
+  const auto low = quote(trace, 0.35 * 0.35);
+  const auto high = quote(trace, 0.35 * 0.95);
+  EXPECT_GE(low.hourly_revocation_prob, high.hourly_revocation_prob);
+  EXPECT_GT(low.mean_price, 0.0);
+}
+
+TEST(SpotMarketTest, SpikesCreateRevocationRisk) {
+  // With the default spike probability (~1%/min), an hour window almost
+  // always sees some risk at a modest bid.
+  const auto trace = trace_for(0.35, 20000, 7);
+  const auto q = quote(trace, 0.35 * 0.6);
+  EXPECT_GT(q.hourly_revocation_prob, 0.05);
+  EXPECT_LT(q.hourly_revocation_prob, 1.0);
+}
+
+TEST(SpotMarketTest, DeterministicPerSeed) {
+  const auto a = trace_for(0.35, 1000, 8);
+  const auto b = trace_for(0.35, 1000, 8);
+  EXPECT_EQ(a.prices(), b.prices());
+}
+
+}  // namespace
+}  // namespace deco::cloud

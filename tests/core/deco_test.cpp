@@ -1,0 +1,146 @@
+#include "core/deco.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_fixtures.hpp"
+#include "workflow/generators.hpp"
+
+namespace deco::core {
+namespace {
+
+using testing::ec2;
+using testing::store;
+
+// Example 1's program (workflow scheduling), parameterized by deadline.
+std::string scheduling_program(const std::string& deadline_args) {
+  return R"(
+    import(amazonec2).
+    import(workflow).
+    goal minimize Ct in totalcost(Ct).
+    cons T in maxtime(Path,T) satisfies deadline()" +
+         deadline_args + R"().
+    var configs(Tid,Vid,Con) forall task(Tid) and vm(Vid).
+
+    path(X,Y,Y,Tp) :- edge(X,Y), exetime(X,Vid,T),
+        configs(X,Vid,Con), Con == 1, Tp is T.
+    path(X,Y,Z,Tp) :- edge(X,Z), Z \== Y, path(Z,Y,Z2,T1),
+        exetime(X,Vid,T), configs(X,Vid,Con), Con == 1, Tp is T+T1.
+    maxtime(Path,T) :- setof([Z,T1], path(root,tail,Z,T1), Set),
+        max(Set, [Path,T]).
+    cost(Tid,Vid,C) :- price(Vid,Up), exetime(Tid,Vid,T),
+        configs(Tid,Vid,Con), C is T*Up*Con.
+    totalcost(Ct) :- findall(C, cost(Tid,Vid,C), Bag), sum(Bag, Ct).
+  )";
+}
+
+DecoOptions fast_options() {
+  DecoOptions opt;
+  opt.backend = "serial";
+  opt.wlog_max_states = 64;
+  opt.wlog_mc_iterations = 24;
+  return opt;
+}
+
+TEST(DecoTest, SolveProgramLooseDeadlineKeepsCheapTypes) {
+  util::Rng rng(3);
+  const auto wf = workflow::make_pipeline(3, rng);
+  Deco engine(ec2(), store(), fast_options());
+  // Extremely loose deadline: cheapest configuration wins.
+  const auto r = engine.solve_program(scheduling_program("99%, 1000h"), wf);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.feasible);
+  for (const auto& p : r.plan.placements) EXPECT_EQ(p.vm_type, 0u);
+  EXPECT_GT(r.goal_value, 0.0);
+}
+
+TEST(DecoTest, SolveProgramTightDeadlinePromotes) {
+  util::Rng rng(4);
+  workflow::Workflow wf("cpu");
+  // Three CPU-heavy chained tasks: 1200 s each on m1.small.
+  workflow::TaskId prev = workflow::kInvalidTask;
+  for (int i = 0; i < 3; ++i) {
+    const auto id = wf.add_task({"t" + std::to_string(i), "p", 1200, 0, 0});
+    if (i > 0) wf.add_edge(prev, id, 0);
+    prev = id;
+  }
+  Deco engine(ec2(), store(), fast_options());
+  // 3600s total on m1.small; the 2000s deadline needs ~2x speedups, i.e.
+  // promotions (the per-core cap makes anything under 1800s unreachable).
+  const auto r = engine.solve_program(scheduling_program("90%, 2000"), wf);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.feasible);
+  std::size_t promoted = 0;
+  for (const auto& p : r.plan.placements) {
+    if (p.vm_type > 0) ++promoted;
+  }
+  EXPECT_GT(promoted, 0u);
+}
+
+TEST(DecoTest, SolveProgramReportsParseErrors) {
+  util::Rng rng(5);
+  const auto wf = workflow::make_pipeline(2, rng);
+  Deco engine(ec2(), store(), fast_options());
+  const auto r = engine.solve_program("goal minimize X in", wf);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("parse error"), std::string::npos);
+}
+
+TEST(DecoTest, SolveProgramRequiresGoal) {
+  util::Rng rng(6);
+  const auto wf = workflow::make_pipeline(2, rng);
+  Deco engine(ec2(), store(), fast_options());
+  const auto r = engine.solve_program("task(x).", wf);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("goal"), std::string::npos);
+}
+
+TEST(DecoTest, SolveProgramRequiresVarDecl) {
+  util::Rng rng(7);
+  const auto wf = workflow::make_pipeline(2, rng);
+  Deco engine(ec2(), store(), fast_options());
+  const auto r = engine.solve_program(
+      "goal minimize C in totalcost(C).\n totalcost(0).", wf);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("var"), std::string::npos);
+}
+
+TEST(DecoTest, AstarProgramMatchesGeneric) {
+  util::Rng rng(8);
+  const auto wf = workflow::make_pipeline(2, rng);
+  Deco engine(ec2(), store(), fast_options());
+  const std::string base = scheduling_program("90%, 1000h");
+  const std::string astar = base + R"(
+    enabled(astar).
+    cal_g_score(C) :- totalcost(C).
+    est_h_score(0).
+  )";
+  const auto g = engine.solve_program(base, wf);
+  const auto a = engine.solve_program(astar, wf);
+  ASSERT_TRUE(g.ok) << g.error;
+  ASSERT_TRUE(a.ok) << a.error;
+  // Loose deadline: both settle on the all-cheapest plan.
+  EXPECT_EQ(g.plan, a.plan);
+}
+
+TEST(DecoTest, NativeScheduleFacade) {
+  util::Rng rng(9);
+  const auto wf = workflow::make_montage(1, rng);
+  Deco engine(ec2(), store(), fast_options());
+  const auto r = engine.schedule(wf, {0.9, 1e7});
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.plan.size(), wf.task_count());
+}
+
+TEST(DecoTest, BackendSelectionWorks) {
+  DecoOptions opt;
+  opt.backend = "vgpu";
+  Deco engine(ec2(), store(), opt);
+  EXPECT_EQ(engine.backend().name(), "vgpu");
+  DecoOptions serial;
+  serial.backend = "serial";
+  Deco engine2(ec2(), store(), serial);
+  EXPECT_EQ(engine2.backend().name(), "serial");
+}
+
+}  // namespace
+}  // namespace deco::core

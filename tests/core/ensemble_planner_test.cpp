@@ -1,0 +1,117 @@
+#include "core/ensemble_planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_fixtures.hpp"
+
+namespace deco::core {
+namespace {
+
+using testing::ec2;
+using testing::store;
+
+/// A small ensemble with controlled deadlines.
+workflow::Ensemble small_ensemble(std::size_t members, double budget,
+                                  double deadline_s) {
+  util::Rng rng(7);
+  workflow::EnsembleOptions opt;
+  opt.app = workflow::AppType::kLigo;
+  opt.type = workflow::EnsembleType::kConstant;
+  opt.num_workflows = members;
+  opt.sizes = {20};
+  workflow::Ensemble e = workflow::make_ensemble(opt, rng);
+  e.budget = budget;
+  for (auto& m : e.members) {
+    m.deadline_s = deadline_s;
+    m.deadline_q = 90;
+  }
+  return e;
+}
+
+EnsemblePlanOptions fast_options() {
+  EnsemblePlanOptions opt;
+  opt.per_workflow.search.max_states = 16;
+  opt.per_workflow.search.stale_wave_limit = 2;
+  return opt;
+}
+
+TEST(EnsemblePlannerTest, GenerousBudgetAdmitsEverything) {
+  const auto e = small_ensemble(5, 1e9, 1e7);
+  vgpu::SerialBackend backend;
+  EnsemblePlanner planner(ec2(), store(), backend);
+  const auto r = planner.plan(e, fast_options());
+  for (bool admitted : r.admitted) EXPECT_TRUE(admitted);
+  EXPECT_DOUBLE_EQ(r.score, e.max_score());
+}
+
+TEST(EnsemblePlannerTest, ZeroBudgetAdmitsNothing) {
+  const auto e = small_ensemble(5, 0, 1e7);
+  vgpu::SerialBackend backend;
+  EnsemblePlanner planner(ec2(), store(), backend);
+  const auto r = planner.plan(e, fast_options());
+  for (bool admitted : r.admitted) EXPECT_FALSE(admitted);
+  EXPECT_DOUBLE_EQ(r.score, 0.0);
+}
+
+TEST(EnsemblePlannerTest, TightBudgetPrefersHighPriority) {
+  auto e = small_ensemble(6, 0, 1e7);
+  vgpu::SerialBackend backend;
+  EnsemblePlanner planner(ec2(), store(), backend);
+  // First find the per-member cost with an unconstrained pass.
+  auto probe = e;
+  probe.budget = 1e9;
+  const auto full = planner.plan(probe, fast_options());
+  const double one_cost = full.member_costs[0];
+  // Budget for roughly two members.
+  e.budget = 2.2 * one_cost;
+  const auto r = planner.plan(e, fast_options());
+  EXPECT_TRUE(r.admitted[0]);  // priority 0 (score 1.0) must be in
+  std::size_t count = 0;
+  for (bool a : r.admitted) count += a;
+  EXPECT_GE(count, 2u);
+  EXPECT_LE(r.total_cost, e.budget + 1e-9);
+}
+
+TEST(EnsemblePlannerTest, ImpossibleDeadlinesAdmitNothing) {
+  const auto e = small_ensemble(3, 1e9, 0.0001);
+  vgpu::SerialBackend backend;
+  EnsemblePlanner planner(ec2(), store(), backend);
+  const auto r = planner.plan(e, fast_options());
+  for (bool admitted : r.admitted) EXPECT_FALSE(admitted);
+}
+
+TEST(EnsemblePlannerTest, BudgetConstraintHolds) {
+  auto e = small_ensemble(8, 0, 1e7);
+  vgpu::SerialBackend backend;
+  EnsemblePlanner planner(ec2(), store(), backend);
+  auto probe = e;
+  probe.budget = 1e9;
+  const auto full = planner.plan(probe, fast_options());
+  e.budget = 0.5 * full.total_cost;
+  const auto r = planner.plan(e, fast_options());
+  EXPECT_LE(r.total_cost, e.budget + 1e-9);
+  EXPECT_GT(r.score, 0.0);
+}
+
+TEST(EnsemblePlannerTest, AdmittedMembersHavePlans) {
+  const auto e = small_ensemble(4, 1e9, 1e7);
+  vgpu::SerialBackend backend;
+  EnsemblePlanner planner(ec2(), store(), backend);
+  const auto r = planner.plan(e, fast_options());
+  for (std::size_t i = 0; i < e.members.size(); ++i) {
+    if (r.admitted[i]) {
+      EXPECT_EQ(r.plans[i].size(), e.members[i].workflow.task_count());
+    }
+  }
+}
+
+TEST(EnsemblePlannerTest, ScoreMatchesAdmissionVector) {
+  const auto e = small_ensemble(5, 1e9, 1e7);
+  vgpu::SerialBackend backend;
+  EnsemblePlanner planner(ec2(), store(), backend);
+  const auto r = planner.plan(e, fast_options());
+  EXPECT_DOUBLE_EQ(r.score, e.score(r.admitted));
+}
+
+}  // namespace
+}  // namespace deco::core

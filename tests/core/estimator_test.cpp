@@ -1,0 +1,115 @@
+#include "core/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_fixtures.hpp"
+#include "workflow/generators.hpp"
+
+namespace deco::core {
+namespace {
+
+using testing::ec2;
+using testing::store;
+
+workflow::Workflow cpu_task(double cpu_seconds) {
+  workflow::Workflow wf("one");
+  wf.add_task({"t", "p", cpu_seconds, 0, 0});
+  return wf;
+}
+
+EstimatorOptions no_extras() {
+  EstimatorOptions opt;
+  opt.rand_io_ops_per_task = 0;
+  opt.include_network = false;
+  return opt;
+}
+
+TEST(EstimatorTest, CpuOnlyTaskScalesWithComputeUnits) {
+  const auto wf = cpu_task(800);
+  TaskTimeEstimator est(ec2(), store(), no_extras());
+  // Tasks are single-threaded: CPU time scales with per-core ECU (1 vs 2).
+  EXPECT_NEAR(est.mean_time(wf, 0, 0), 800.0, 1.0);
+  EXPECT_NEAR(est.mean_time(wf, 0, 1), 400.0, 1.0);
+  EXPECT_NEAR(est.mean_time(wf, 0, 3), 400.0, 1.0);
+}
+
+TEST(EstimatorTest, IoBoundTaskTracksSeqIoDistribution) {
+  workflow::Workflow wf("io");
+  const double mb = 1024.0 * 1024.0;
+  wf.add_task({"t", "p", 0, 1000 * mb, 0});
+  TaskTimeEstimator est(ec2(), store(), no_extras());
+  // m1.small mean seq I/O ~ 102.1 MB/s.
+  EXPECT_NEAR(est.mean_time(wf, 0, 0), 1000.0 / 102.1, 0.5);
+}
+
+TEST(EstimatorTest, DistributionHasSpread) {
+  workflow::Workflow wf("io");
+  const double mb = 1024.0 * 1024.0;
+  wf.add_task({"t", "p", 10, 2000 * mb, 0});
+  TaskTimeEstimator est(ec2(), store(), no_extras());
+  const auto& hist = est.distribution(wf, 0, 0);
+  EXPECT_GT(hist.variance(), 0.0);
+  EXPECT_LT(hist.percentile(5), hist.percentile(95));
+}
+
+TEST(EstimatorTest, PercentileAboveMeanForRightTail) {
+  workflow::Workflow wf("io");
+  const double mb = 1024.0 * 1024.0;
+  wf.add_task({"t", "p", 0, 3000 * mb, 0});
+  TaskTimeEstimator est(ec2(), store(), no_extras());
+  EXPECT_GE(est.percentile_time(wf, 0, 0, 96), est.mean_time(wf, 0, 0));
+}
+
+TEST(EstimatorTest, NetworkComponentAddsTime) {
+  workflow::Workflow wf("net");
+  const double mb = 1024.0 * 1024.0;
+  wf.add_task({"a", "p", 10, 0, 0});
+  wf.add_task({"b", "p", 10, 0, 0});
+  wf.add_edge(0, 1, 500 * mb);
+  EstimatorOptions with_net = no_extras();
+  with_net.include_network = true;
+  EstimatorOptions without_net = no_extras();
+  TaskTimeEstimator with(ec2(), store(), with_net);
+  TaskTimeEstimator without(ec2(), store(), without_net);
+  EXPECT_GT(with.mean_time(wf, 1, 0), without.mean_time(wf, 1, 0) + 1.0);
+  // The parent has no incoming edges; equal either way.
+  EXPECT_NEAR(with.mean_time(wf, 0, 0), without.mean_time(wf, 0, 0), 1e-9);
+}
+
+TEST(EstimatorTest, CacheReturnsSameObject) {
+  const auto wf = cpu_task(100);
+  TaskTimeEstimator est(ec2(), store(), no_extras());
+  const auto& a = est.distribution(wf, 0, 1);
+  const auto& b = est.distribution(wf, 0, 1);
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(EstimatorTest, DeterministicAcrossInstances) {
+  const auto wf = cpu_task(100);
+  TaskTimeEstimator a(ec2(), store(), no_extras());
+  TaskTimeEstimator b(ec2(), store(), no_extras());
+  EXPECT_DOUBLE_EQ(a.mean_time(wf, 0, 2), b.mean_time(wf, 0, 2));
+}
+
+TEST(EstimatorTest, FasterTypeNeverSlowerOnCpuBoundTasks) {
+  util::Rng rng(5);
+  const auto wf = workflow::make_montage(1, rng);
+  TaskTimeEstimator est(ec2(), store(), no_extras());
+  for (workflow::TaskId t = 0; t < wf.task_count(); t += 7) {
+    double prev = est.mean_time(wf, t, 0);
+    for (cloud::TypeId v = 1; v < ec2().type_count(); ++v) {
+      const double cur = est.mean_time(wf, t, v);
+      EXPECT_LT(cur, prev * 1.3) << "task " << t << " type " << v;
+      prev = cur;
+    }
+  }
+}
+
+TEST(MakeStoreTest, ProducesUsableStore) {
+  const auto s = make_store_from_catalog(ec2(), "ec2", 500, 12, 3);
+  EXPECT_EQ(s.size(), 19u);
+  EXPECT_TRUE(s.contains(cloud::MetadataStore::seq_io_key("ec2", "m1.large")));
+}
+
+}  // namespace
+}  // namespace deco::core

@@ -1,0 +1,164 @@
+#include "core/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_fixtures.hpp"
+#include "workflow/generators.hpp"
+
+namespace deco::core {
+namespace {
+
+using testing::ec2;
+using testing::store;
+
+EstimatorOptions lean() {
+  EstimatorOptions opt;
+  opt.rand_io_ops_per_task = 0;
+  opt.include_network = false;
+  return opt;
+}
+
+workflow::Workflow chain(double a, double b) {
+  workflow::Workflow wf("chain");
+  wf.add_task({"a", "p", a, 0, 0});
+  wf.add_task({"b", "p", b, 0, 0});
+  wf.add_edge(0, 1, 0);
+  return wf;
+}
+
+TEST(EvaluatorTest, ChainMakespanIsSum) {
+  const auto wf = chain(100, 200);
+  TaskTimeEstimator est(ec2(), store(), lean());
+  vgpu::SerialBackend backend;
+  PlanEvaluator eval(wf, est, backend);
+  const auto r = eval.evaluate(sim::Plan::uniform(2, 0), {0.95, 1000});
+  EXPECT_NEAR(r.mean_makespan, 300.0, 3.0);
+}
+
+TEST(EvaluatorTest, ParallelBranchesTakeMax) {
+  workflow::Workflow wf("fan");
+  wf.add_task({"a", "p", 100, 0, 0});
+  wf.add_task({"b", "p", 400, 0, 0});
+  TaskTimeEstimator est(ec2(), store(), lean());
+  vgpu::SerialBackend backend;
+  PlanEvaluator eval(wf, est, backend);
+  const auto r = eval.evaluate(sim::Plan::uniform(2, 0), {0.95, 1000});
+  EXPECT_NEAR(r.mean_makespan, 400.0, 4.0);
+}
+
+TEST(EvaluatorTest, FeasibilityRespectsQuantile) {
+  const auto wf = chain(100, 100);
+  TaskTimeEstimator est(ec2(), store(), lean());
+  vgpu::SerialBackend backend;
+  PlanEvaluator eval(wf, est, backend);
+  // Generous deadline: feasible; impossible deadline: not.
+  EXPECT_TRUE(eval.evaluate(sim::Plan::uniform(2, 0), {0.96, 1000}).feasible);
+  EXPECT_FALSE(eval.evaluate(sim::Plan::uniform(2, 0), {0.96, 50}).feasible);
+}
+
+TEST(EvaluatorTest, DeadlineProbMonotoneInDeadline) {
+  util::Rng rng(3);
+  const auto wf = workflow::make_montage(1, rng);
+  TaskTimeEstimator est(ec2(), store());
+  vgpu::SerialBackend backend;
+  PlanEvaluator eval(wf, est, backend);
+  const sim::Plan plan = sim::Plan::uniform(wf.task_count(), 1);
+  const double base = eval.evaluate(plan, {0.9, 100}).mean_makespan;
+  double prev = 0;
+  for (double d : {0.5 * base, 0.9 * base, 1.0 * base, 1.2 * base, 2 * base}) {
+    const double p = eval.evaluate(plan, {0.9, d}).deadline_prob;
+    EXPECT_GE(p, prev - 1e-9);
+    prev = p;
+  }
+}
+
+TEST(EvaluatorTest, ProratedCostMatchesEq1) {
+  const auto wf = chain(3600, 3600);
+  TaskTimeEstimator est(ec2(), store(), lean());
+  vgpu::SerialBackend backend;
+  EvalOptions opt;
+  opt.cost_model = CostModel::kProrated;
+  PlanEvaluator eval(wf, est, backend, opt);
+  const auto r = eval.evaluate(sim::Plan::uniform(2, 0), {0.95, 1e9});
+  // Two 1-hour tasks on m1.small: 2 * 0.044.
+  EXPECT_NEAR(r.mean_cost, 2 * 0.044, 0.002);
+}
+
+TEST(EvaluatorTest, BilledCostCeilsPartialHours) {
+  const auto wf = chain(600, 600);  // 10 minutes each
+  TaskTimeEstimator est(ec2(), store(), lean());
+  vgpu::SerialBackend backend;
+  EvalOptions opt;
+  opt.cost_model = CostModel::kBilledHours;
+  PlanEvaluator eval(wf, est, backend, opt);
+  // Ungrouped: 2 instances, 1 billed hour each.
+  const auto ungrouped = eval.evaluate(sim::Plan::uniform(2, 0), {0.95, 1e9});
+  EXPECT_NEAR(ungrouped.mean_cost, 2 * 0.044, 0.002);
+  // Merged into one group: a single billed hour.
+  sim::Plan merged = sim::Plan::uniform(2, 0);
+  merged[0].group = 0;
+  merged[1].group = 0;
+  const auto shared = eval.evaluate(merged, {0.95, 1e9});
+  EXPECT_NEAR(shared.mean_cost, 0.044, 0.002);
+}
+
+TEST(EvaluatorTest, FasterPlanCostsMoreOnIoBoundTasks) {
+  workflow::Workflow wf("io");
+  const double mb = 1024.0 * 1024.0;
+  wf.add_task({"t", "p", 10, 4000 * mb, 0});
+  TaskTimeEstimator est(ec2(), store(), lean());
+  vgpu::SerialBackend backend;
+  PlanEvaluator eval(wf, est, backend);
+  const auto small = eval.evaluate(sim::Plan::uniform(1, 0), {0.9, 1e9});
+  const auto xlarge = eval.evaluate(sim::Plan::uniform(1, 3), {0.9, 1e9});
+  // I/O-bound: xlarge barely faster but ~8x the price.
+  EXPECT_GT(xlarge.mean_cost, small.mean_cost * 2);
+}
+
+TEST(EvaluatorTest, BatchMatchesSingleEvaluation) {
+  util::Rng rng(7);
+  const auto wf = workflow::make_epigenomics(30, rng);
+  TaskTimeEstimator est(ec2(), store(), lean());
+  vgpu::SerialBackend backend;
+  PlanEvaluator eval(wf, est, backend);
+  std::vector<sim::Plan> plans{sim::Plan::uniform(wf.task_count(), 0),
+                               sim::Plan::uniform(wf.task_count(), 1),
+                               sim::Plan::uniform(wf.task_count(), 2)};
+  const ProbDeadline req{0.9, 5000};
+  const auto batch = eval.evaluate_batch(plans, req);
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    const auto single = eval.evaluate(plans[i], req);
+    EXPECT_DOUBLE_EQ(batch[i].mean_cost, single.mean_cost);
+    EXPECT_DOUBLE_EQ(batch[i].mean_makespan, single.mean_makespan);
+  }
+}
+
+TEST(EvaluatorTest, SerialAndVgpuBackendsAgree) {
+  util::Rng rng(9);
+  const auto wf = workflow::make_ligo(40, rng);
+  TaskTimeEstimator est1(ec2(), store(), lean());
+  TaskTimeEstimator est2(ec2(), store(), lean());
+  vgpu::SerialBackend serial;
+  vgpu::VirtualGpuBackend parallel(4);
+  PlanEvaluator e1(wf, est1, serial);
+  PlanEvaluator e2(wf, est2, parallel);
+  const sim::Plan plan = sim::Plan::uniform(wf.task_count(), 1);
+  const ProbDeadline req{0.96, 4000};
+  const auto r1 = e1.evaluate(plan, req);
+  const auto r2 = e2.evaluate(plan, req);
+  EXPECT_DOUBLE_EQ(r1.mean_cost, r2.mean_cost);
+  EXPECT_DOUBLE_EQ(r1.mean_makespan, r2.mean_makespan);
+  EXPECT_DOUBLE_EQ(r1.deadline_prob, r2.deadline_prob);
+}
+
+TEST(EvaluatorTest, EmptyWorkflowIsTriviallyFeasible) {
+  workflow::Workflow wf("empty");
+  TaskTimeEstimator est(ec2(), store(), lean());
+  vgpu::SerialBackend backend;
+  PlanEvaluator eval(wf, est, backend);
+  const auto r = eval.evaluate(sim::Plan{}, {0.9, 10});
+  EXPECT_TRUE(r.feasible);
+}
+
+}  // namespace
+}  // namespace deco::core

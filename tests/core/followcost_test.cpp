@@ -1,0 +1,152 @@
+#include "core/followcost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_fixtures.hpp"
+#include "workflow/generators.hpp"
+
+namespace deco::core {
+namespace {
+
+using testing::ec2;
+using testing::store;
+
+MigrationWorkflowState make_state(const workflow::Workflow& wf,
+                                  cloud::RegionId region, double deadline) {
+  MigrationWorkflowState s;
+  s.wf = &wf;
+  s.finished.assign(wf.task_count(), false);
+  s.region = region;
+  s.vm_type = 1;
+  s.deadline_s = deadline;
+  return s;
+}
+
+TEST(MigrationStateTest, FrontierBytesCountsCrossingEdges) {
+  workflow::Workflow wf("chain");
+  wf.add_task({"a", "p", 10, 0, 0});
+  wf.add_task({"b", "p", 10, 0, 0});
+  wf.add_task({"c", "p", 10, 0, 0});
+  wf.add_edge(0, 1, 100);
+  wf.add_edge(1, 2, 200);
+  auto s = make_state(wf, 0, 1e6);
+  EXPECT_DOUBLE_EQ(s.frontier_bytes(), 0.0);  // nothing finished yet
+  s.finished[0] = true;
+  EXPECT_DOUBLE_EQ(s.frontier_bytes(), 100.0);
+  s.finished[1] = true;
+  EXPECT_DOUBLE_EQ(s.frontier_bytes(), 200.0);
+}
+
+TEST(MigrationOptimizerTest, MigratesExpensiveRegionToCheap) {
+  util::Rng rng(3);
+  const auto wf = workflow::make_pipeline(10, rng);
+  TaskTimeEstimator est(ec2(), store());
+  MigrationOptimizer optimizer(ec2(), est);
+  // Workflow sits in Singapore (region 1, 33% pricier), loose deadline,
+  // no data produced yet -> free migration to us-east.
+  std::vector<MigrationWorkflowState> states{make_state(wf, 1, 1e7)};
+  const auto decision = optimizer.optimize(states);
+  ASSERT_EQ(decision.targets.size(), 1u);
+  EXPECT_EQ(decision.targets[0], 0u);
+}
+
+TEST(MigrationOptimizerTest, StaysWhenMigrationCostDominates) {
+  util::Rng rng(4);
+  auto wf = workflow::make_pipeline(4, rng);
+  // One cheap remaining task but a huge frontier payload.
+  const double gb = 1024.0 * 1024.0 * 1024.0;
+  wf.add_task({"big", "p", 1, 0, 0});
+  wf.add_edge(2, 4, 500 * gb);
+  TaskTimeEstimator est(ec2(), store());
+  MigrationOptimizer optimizer(ec2(), est);
+  auto s = make_state(wf, 1, 1e7);
+  for (workflow::TaskId t = 0; t < 3; ++t) s.finished[t] = true;
+  std::vector<MigrationWorkflowState> states{std::move(s)};
+  const auto decision = optimizer.optimize(states);
+  // 500 GB egress (~$95) dwarfs the price gap on the remaining tasks.
+  EXPECT_EQ(decision.targets[0], 1u);
+}
+
+TEST(MigrationOptimizerTest, DeadlinePreventsMigration) {
+  util::Rng rng(5);
+  const auto wf = workflow::make_pipeline(5, rng);
+  TaskTimeEstimator est(ec2(), store());
+  MigrationOptimizer optimizer(ec2(), est);
+  auto s = make_state(wf, 1, 1e7);
+  s.finished[0] = true;
+  // Remaining deadline barely covers staying put; the inter-region transfer
+  // of the frontier data would blow it.
+  const double exec_time = optimizer.remaining_time(s, 1);
+  s.elapsed_s = s.deadline_s - 1.05 * exec_time;
+  std::vector<MigrationWorkflowState> states{s};
+  EXPECT_GE(optimizer.remaining_time(states[0], 0),
+            optimizer.remaining_time(states[0], 1));
+  const auto decision = optimizer.optimize(states);
+  // The chosen target must satisfy the remaining deadline.
+  EXPECT_LE(optimizer.remaining_time(states[0], decision.targets[0]),
+            states[0].remaining_deadline() + 1e-6);
+}
+
+TEST(MigrationOptimizerTest, CostComponentsMatchDefinitions) {
+  util::Rng rng(6);
+  const auto wf = workflow::make_pipeline(3, rng);
+  TaskTimeEstimator est(ec2(), store());
+  MigrationOptimizer optimizer(ec2(), est);
+  auto s = make_state(wf, 0, 1e7);
+  // Migration to the same region is free (Eq. 9 with G = 0).
+  EXPECT_DOUBLE_EQ(optimizer.migration_cost(s, 0), 0.0);
+  // Execution cost scales with the region multiplier (Eq. 8).
+  const double us = optimizer.execution_cost(s, 0);
+  const double sg = optimizer.execution_cost(s, 1);
+  EXPECT_NEAR(sg / us, 1.33, 0.01);
+}
+
+TEST(FollowCostScenarioTest, StayPolicyRunsToCompletion) {
+  util::Rng rng(8);
+  const auto wf = workflow::make_pipeline(6, rng);
+  std::vector<MigrationWorkflowState> states{make_state(wf, 0, 1e7)};
+  util::Rng scenario_rng(9);
+  const auto report = run_followcost_scenario(
+      states, ec2(),
+      [](const std::vector<MigrationWorkflowState>& ss) {
+        std::vector<cloud::RegionId> t(ss.size());
+        for (std::size_t i = 0; i < ss.size(); ++i) t[i] = ss[i].region;
+        return t;
+      },
+      scenario_rng);
+  EXPECT_EQ(report.migrations, 0u);
+  EXPECT_GT(report.execution_cost, 0.0);
+  EXPECT_DOUBLE_EQ(report.migration_cost, 0.0);
+  EXPECT_GT(report.periods, 0u);
+}
+
+TEST(FollowCostScenarioTest, MigrationPolicyIsCheaperFromExpensiveRegion) {
+  util::Rng rng(10);
+  const auto wf = workflow::make_pipeline(12, rng);
+  auto mk = [&]() {
+    std::vector<MigrationWorkflowState> states{make_state(wf, 1, 1e7)};
+    return states;
+  };
+  util::Rng r1(11);
+  const auto stay = run_followcost_scenario(
+      mk(), ec2(),
+      [](const std::vector<MigrationWorkflowState>& ss) {
+        std::vector<cloud::RegionId> t(ss.size());
+        for (std::size_t i = 0; i < ss.size(); ++i) t[i] = ss[i].region;
+        return t;
+      },
+      r1);
+  util::Rng r2(11);
+  const auto move = run_followcost_scenario(
+      mk(), ec2(),
+      [](const std::vector<MigrationWorkflowState>& ss) {
+        // Always target us-east (cheap).
+        return std::vector<cloud::RegionId>(ss.size(), 0);
+      },
+      r2);
+  EXPECT_LT(move.total_cost, stay.total_cost);
+  EXPECT_EQ(move.migrations, 1u);
+}
+
+}  // namespace
+}  // namespace deco::core

@@ -1,0 +1,161 @@
+#include "core/scheduling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/executor.hpp"
+#include "tests/core/test_fixtures.hpp"
+#include "workflow/generators.hpp"
+
+namespace deco::core {
+namespace {
+
+using testing::ec2;
+using testing::store;
+
+struct SchedEnv {
+  workflow::Workflow wf;
+  TaskTimeEstimator estimator;
+  vgpu::VirtualGpuBackend backend;
+  SchedulingProblem problem;
+
+  explicit SchedEnv(workflow::Workflow w, EvalOptions eval = {})
+      : wf(std::move(w)),
+        estimator(ec2(), store()),
+        backend(2),
+        problem(wf, estimator, backend, eval) {}
+};
+
+workflow::Workflow montage1() {
+  util::Rng rng(42);
+  return workflow::make_montage(1, rng);
+}
+
+TEST(SchedulingTest, InitialPlanIsAllCheapest) {
+  SchedEnv s(montage1());
+  const sim::Plan plan = s.problem.initial_plan();
+  for (const auto& p : plan.placements) {
+    EXPECT_EQ(p.vm_type, 0u);
+    EXPECT_EQ(p.group, sim::kNoGroup);
+  }
+}
+
+TEST(SchedulingTest, LooseDeadlineCostsNoMoreThanAllSmall) {
+  SchedEnv s(montage1());
+  // A very loose deadline: the result must cost at most the all-cheapest
+  // plan.  (It may differ per task — on CPU-bound tasks m1.medium's per-ECU
+  // price actually undercuts m1.small's under the prorated Eq. 1 model.)
+  const ProbDeadline req{0.9, 1e7};
+  const auto r = s.problem.solve(req);
+  ASSERT_TRUE(r.found);
+  const auto all_small = s.problem.evaluator().evaluate(
+      s.problem.initial_plan(), req);
+  EXPECT_LE(r.evaluation.mean_cost, all_small.mean_cost * 1.001);
+}
+
+TEST(SchedulingTest, TightDeadlinePromotesTasks) {
+  SchedEnv s(montage1());
+  // Deadline at ~70% of the all-cheapest plan's makespan forces promotions.
+  const double cheap_makespan =
+      s.problem.evaluator()
+          .evaluate(s.problem.initial_plan(), {0.9, 1e7})
+          .mean_makespan;
+  const auto tight = s.problem.solve({0.9, 0.7 * cheap_makespan});
+  ASSERT_TRUE(tight.found);
+  std::size_t promoted = 0;
+  for (const auto& p : tight.plan.placements) {
+    if (p.vm_type > 0) ++promoted;
+  }
+  EXPECT_GT(promoted, 0u);
+  EXPECT_LE(tight.evaluation.makespan_quantile, 0.7 * cheap_makespan * 1.02);
+}
+
+TEST(SchedulingTest, ResultRespectsProbabilisticDeadline) {
+  SchedEnv s(montage1());
+  const auto all_small = s.problem.evaluator().evaluate(
+      s.problem.initial_plan(), {0.9, 1e7});
+  const ProbDeadline req{0.96, 0.75 * all_small.mean_makespan};
+  const auto r = s.problem.solve(req);
+  ASSERT_TRUE(r.found);
+  EXPECT_GE(r.evaluation.deadline_prob, req.quantile - 0.02);
+}
+
+TEST(SchedulingTest, GreedyFeasibleFindsFeasiblePlan) {
+  SchedEnv s(montage1());
+  const auto all_small = s.problem.evaluator().evaluate(
+      s.problem.initial_plan(), {0.9, 1e7});
+  // Single-threaded tasks cap the CPU speedup at 2x, so 0.7x of the cheap
+  // makespan is near the feasible frontier without crossing it.
+  const ProbDeadline req{0.9, 0.7 * all_small.mean_makespan};
+  const auto greedy = s.problem.greedy_feasible(req);
+  EXPECT_TRUE(greedy.found);
+  EXPECT_TRUE(greedy.evaluation.feasible);
+}
+
+TEST(SchedulingTest, SearchNeverWorseThanGreedy) {
+  SchedEnv s(montage1());
+  const auto all_small = s.problem.evaluator().evaluate(
+      s.problem.initial_plan(), {0.9, 1e7});
+  const ProbDeadline req{0.9, 0.7 * all_small.mean_makespan};
+  const auto greedy = s.problem.greedy_feasible(req);
+  const auto searched = s.problem.solve(req);
+  ASSERT_TRUE(greedy.found);
+  ASSERT_TRUE(searched.found);
+  EXPECT_LE(searched.evaluation.mean_cost, greedy.evaluation.mean_cost * 1.001);
+}
+
+TEST(SchedulingTest, AstarAgreesWithGenericOnSmallWorkflow) {
+  util::Rng rng(5);
+  SchedEnv s(workflow::make_pipeline(6, rng));
+  const auto loose = s.problem.solve({0.9, 1e7});
+  const ProbDeadline req{0.9, 0.65 * loose.evaluation.mean_makespan};
+  SchedulingOptions generic;
+  SchedulingOptions astar;
+  astar.use_astar = true;
+  const auto g = s.problem.solve(req, generic);
+  const auto a = s.problem.solve(req, astar);
+  ASSERT_TRUE(g.found);
+  ASSERT_TRUE(a.found);
+  EXPECT_NEAR(a.evaluation.mean_cost, g.evaluation.mean_cost,
+              0.25 * g.evaluation.mean_cost + 1e-9);
+}
+
+TEST(SchedulingTest, CriticalTasksFormAPath) {
+  SchedEnv s(montage1());
+  const auto cp = s.problem.critical_tasks(s.problem.initial_plan());
+  ASSERT_FALSE(cp.empty());
+  for (std::size_t i = 0; i + 1 < cp.size(); ++i) {
+    const auto& children = s.wf.children(cp[i]);
+    EXPECT_NE(std::find(children.begin(), children.end(), cp[i + 1]),
+              children.end());
+  }
+}
+
+TEST(SchedulingTest, EmptyWorkflowTriviallySolved) {
+  SchedEnv s(workflow::Workflow("empty"));
+  const auto r = s.problem.solve({0.9, 100});
+  EXPECT_TRUE(r.found);
+}
+
+TEST(SchedulingTest, PlanExecutesWithinDeadlineOnSimulator) {
+  // End-to-end: the optimized plan, executed on the cloud simulator 40
+  // times, should meet the deadline at roughly the required rate.
+  SchedEnv s(montage1());
+  const auto loose = s.problem.solve({0.9, 1e7});
+  const ProbDeadline req{0.9, 0.8 * loose.evaluation.mean_makespan};
+  const auto r = s.problem.solve(req);
+  ASSERT_TRUE(r.found);
+  util::Rng rng(99);
+  sim::ExecutorOptions opt;
+  int met = 0;
+  const int runs = 40;
+  for (int i = 0; i < runs; ++i) {
+    const auto exec = sim::simulate_execution(s.wf, r.plan, ec2(), rng, opt);
+    if (exec.makespan <= req.deadline_s) ++met;
+  }
+  // The estimator is conservative about network, so the simulator should
+  // meet the deadline at least as often as required (allow some slack).
+  EXPECT_GE(met, static_cast<int>(runs * (req.quantile - 0.25)));
+}
+
+}  // namespace
+}  // namespace deco::core

@@ -1,0 +1,21 @@
+// Shared fixtures for core tests: one calibrated EC2 catalog + metadata
+// store per process (calibration is deterministic, so sharing is safe).
+#pragma once
+
+#include "cloud/instance_type.hpp"
+#include "core/estimator.hpp"
+
+namespace deco::core::testing {
+
+inline const cloud::Catalog& ec2() {
+  static const cloud::Catalog catalog = cloud::make_ec2_catalog();
+  return catalog;
+}
+
+inline const cloud::MetadataStore& store() {
+  static const cloud::MetadataStore s =
+      make_store_from_catalog(ec2(), "ec2", 4000, 24, 7);
+  return s;
+}
+
+}  // namespace deco::core::testing

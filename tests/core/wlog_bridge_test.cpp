@@ -1,0 +1,132 @@
+#include "core/wlog_bridge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_fixtures.hpp"
+#include "workflow/generators.hpp"
+
+namespace deco::core {
+namespace {
+
+using testing::ec2;
+using testing::store;
+
+workflow::Workflow tiny_pipeline() {
+  util::Rng rng(3);
+  return workflow::make_pipeline(3, rng);
+}
+
+wlog::Program empty_program() {
+  return wlog::parse_program("").program;
+}
+
+TEST(WlogBridgeTest, AtomNaming) {
+  EXPECT_EQ(WlogBridge::task_atom(0), "t0");
+  EXPECT_EQ(WlogBridge::task_atom(12), "t12");
+  EXPECT_EQ(WlogBridge::vm_atom(3), "v3");
+}
+
+TEST(WlogBridgeTest, ImportsWorkflowFacts) {
+  const auto wf = tiny_pipeline();
+  TaskTimeEstimator est(ec2(), store());
+  WlogBridge bridge(wf, est);
+  const auto ir = bridge.build_ir(empty_program());
+  wlog::Interpreter interp(ir.base());
+  EXPECT_TRUE(interp.holds("task(t0)"));
+  EXPECT_TRUE(interp.holds("task(t2)"));
+  EXPECT_FALSE(interp.holds("task(t3)"));
+  EXPECT_TRUE(interp.holds("edge(t0, t1)"));
+  EXPECT_TRUE(interp.holds("edge(root, t0)"));
+  EXPECT_TRUE(interp.holds("edge(t2, tail)"));
+}
+
+TEST(WlogBridgeTest, ImportsCloudFacts) {
+  const auto wf = tiny_pipeline();
+  TaskTimeEstimator est(ec2(), store());
+  WlogBridge bridge(wf, est);
+  const auto ir = bridge.build_ir(empty_program());
+  wlog::Interpreter interp(ir.base());
+  EXPECT_TRUE(interp.holds("vm(v0)"));
+  EXPECT_TRUE(interp.holds("vm(v3)"));
+  const auto s = interp.query("price(v0, P)");
+  ASSERT_EQ(s.size(), 1u);
+  // m1.small: $0.044/h expressed per second.
+  EXPECT_NEAR(s[0].number("P"), 0.044 / 3600.0, 1e-9);
+}
+
+TEST(WlogBridgeTest, ExetimeGroupsPerTaskTypePair) {
+  const auto wf = tiny_pipeline();
+  TaskTimeEstimator est(ec2(), store());
+  WlogBridgeOptions opt;
+  opt.exetime_bins = 4;
+  WlogBridge bridge(wf, est, opt);
+  const auto ir = bridge.build_ir(empty_program());
+  // 3 tasks x 4 types.
+  EXPECT_EQ(ir.groups().size(), 12u);
+  for (const auto& g : ir.groups()) {
+    EXPECT_EQ(g.facts.size(), 4u);
+    double total = 0;
+    for (double p : g.probs) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(WlogBridgeTest, SampledWorldHasOneExetimePerPair) {
+  const auto wf = tiny_pipeline();
+  TaskTimeEstimator est(ec2(), store());
+  WlogBridge bridge(wf, est);
+  const auto ir = bridge.build_ir(empty_program());
+  util::Rng rng(5);
+  const auto world = ir.sample_world(rng);
+  wlog::Interpreter interp(world);
+  const auto times = interp.query("exetime(t1, v2, T)", 10);
+  EXPECT_EQ(times.size(), 1u);
+  EXPECT_GT(times[0].number("T"), 0.0);
+}
+
+TEST(WlogBridgeTest, BindPlanAssertsConfigs) {
+  const auto wf = tiny_pipeline();
+  TaskTimeEstimator est(ec2(), store());
+  WlogBridge bridge(wf, est);
+  const auto ir = bridge.build_ir(empty_program());
+  sim::Plan plan = sim::Plan::uniform(3, 2);
+  plan[1].vm_type = 0;
+  const auto bound = bridge.bind_plan(ir, plan);
+  wlog::Interpreter interp(bound.base());
+  EXPECT_TRUE(interp.holds("configs(t0, v2, 1)"));
+  EXPECT_TRUE(interp.holds("configs(t1, v0, 1)"));
+  EXPECT_FALSE(interp.holds("configs(t1, v2, 1)"));
+  EXPECT_TRUE(interp.holds("configs(root, v0, 1)"));
+  EXPECT_TRUE(interp.holds("configs(tail, v0, 1)"));
+}
+
+TEST(WlogBridgeTest, TotalcostComputableThroughIr) {
+  // The full Example 1 cost pipeline over the bridge facts.
+  const auto wf = tiny_pipeline();
+  TaskTimeEstimator est(ec2(), store());
+  WlogBridge bridge(wf, est);
+  const auto parsed = wlog::parse_program(R"(
+    cost(Tid,Vid,C) :- price(Vid,Up), exetime(Tid,Vid,T),
+        configs(Tid,Vid,Con), C is T*Up*Con.
+    totalcost(Ct) :- findall(C, cost(Tid,Vid,C), Bag), sum(Bag, Ct).
+  )");
+  ASSERT_TRUE(parsed.ok());
+  const auto ir = bridge.build_ir(parsed.program);
+  const auto bound = bridge.bind_plan(ir, sim::Plan::uniform(3, 0));
+  util::Rng rng(7);
+  const auto q = wlog::parse_term("totalcost(Ct)");
+  const auto var = wlog::make_var(q.variables[0].second, "Ct");
+  wlog::McOptions mc;
+  mc.max_iterations = 64;
+  const auto result = wlog::mc_eval_goal(bound, q.term, var, rng, mc);
+  EXPECT_DOUBLE_EQ(result.probability, 1.0);
+  // Cross-check against the native estimate (Eq. 1).
+  double expected = 0;
+  for (workflow::TaskId t = 0; t < 3; ++t) {
+    expected += est.mean_time(wf, t, 0) * 0.044 / 3600.0;
+  }
+  EXPECT_NEAR(result.value, expected, 0.35 * expected);
+}
+
+}  // namespace
+}  // namespace deco::core

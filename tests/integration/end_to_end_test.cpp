@@ -1,0 +1,198 @@
+// Cross-module integration tests: the full DAX -> scheduler -> simulator
+// pipeline, the declarative vs native agreement, metadata-store round trips
+// through the engine, and ensemble plans executed on the simulator.
+#include <gtest/gtest.h>
+
+#include "baselines/spss.hpp"
+#include "cloud/calibration.hpp"
+#include "core/deco.hpp"
+#include "sim/executor.hpp"
+#include "tests/core/test_fixtures.hpp"
+#include "wms/pegasus.hpp"
+#include "workflow/dax.hpp"
+#include "workflow/ensemble.hpp"
+#include "workflow/generators.hpp"
+
+namespace deco {
+namespace {
+
+using core::testing::ec2;
+using core::testing::store;
+
+TEST(EndToEndTest, DaxThroughWmsToSimulator) {
+  // Generate -> serialize -> reparse -> plan with Deco -> execute.
+  util::Rng rng(1);
+  const auto original = workflow::make_epigenomics(40, rng);
+  const std::string xml = workflow::to_dax(original);
+
+  core::DecoOptions opt;
+  opt.backend = "vgpu";
+  core::Deco engine(ec2(), store(), opt);
+  wms::PegasusWms wms(ec2(), store());
+  wms.set_scheduler(std::make_unique<wms::DecoScheduler>(engine));
+
+  const core::ProbDeadline req{0.9, 1e6};
+  util::Rng plan_rng(2);
+  auto planned = wms.plan_dax(xml, req, plan_rng);
+  ASSERT_TRUE(std::holds_alternative<wms::ExecutableWorkflow>(planned));
+  const auto& exec = std::get<wms::ExecutableWorkflow>(planned);
+  EXPECT_EQ(exec.workflow.task_count(), original.task_count());
+
+  util::Rng run_rng(3);
+  const auto report = wms.execute(exec, run_rng, req);
+  EXPECT_GT(report.makespan, 0.0);
+  EXPECT_TRUE(report.met_deadline);
+}
+
+TEST(EndToEndTest, DeclarativeAndNativePathsAgree) {
+  // On a small pipeline with a loose deadline, solve_program (through the
+  // WLog interpreter + Monte Carlo IR) and schedule() (native kernels) must
+  // pick plans of equivalent cost.
+  util::Rng rng(4);
+  const auto wf = workflow::make_pipeline(3, rng);
+  core::DecoOptions opt;
+  opt.backend = "serial";
+  opt.wlog_max_states = 40;
+  core::Deco engine(ec2(), store(), opt);
+
+  const char* program = R"(
+    import(amazonec2). import(workflow).
+    goal minimize Ct in totalcost(Ct).
+    cons T in maxtime(Path,T) satisfies deadline(90%, 1000h).
+    var configs(Tid,Vid,Con) forall task(Tid) and vm(Vid).
+    path(X,Y,Y,Tp) :- edge(X,Y), exetime(X,Vid,T),
+        configs(X,Vid,Con), Con == 1, Tp is T.
+    path(X,Y,Z,Tp) :- edge(X,Z), Z \== Y, path(Z,Y,Z2,T1),
+        exetime(X,Vid,T), configs(X,Vid,Con), Con == 1, Tp is T+T1.
+    maxtime(Path,T) :- setof([Z,T1], path(root,tail,Z,T1), Set),
+        max(Set, [Path,T]).
+    cost(Tid,Vid,C) :- price(Vid,Up), exetime(Tid,Vid,T),
+        configs(Tid,Vid,Con), C is T*Up*Con.
+    totalcost(Ct) :- findall(C, cost(Tid,Vid,C), Bag), sum(Bag, Ct).
+  )";
+  const auto declarative = engine.solve_program(program, wf);
+  ASSERT_TRUE(declarative.ok) << declarative.error;
+  const auto native = engine.schedule(wf, {0.9, 3600.0 * 1000});
+  ASSERT_TRUE(native.found);
+
+  // Compare the plans' native costs.
+  core::TaskTimeEstimator estimator(ec2(), store());
+  vgpu::SerialBackend backend;
+  core::PlanEvaluator evaluator(wf, estimator, backend);
+  const double decl_cost =
+      evaluator.evaluate(declarative.plan, {0.9, 1e9}).mean_cost;
+  const double native_cost =
+      evaluator.evaluate(native.plan, {0.9, 1e9}).mean_cost;
+  EXPECT_NEAR(decl_cost, native_cost, 0.15 * native_cost);
+}
+
+TEST(EndToEndTest, MetadataStoreRoundTripYieldsSamePlans) {
+  // Serialize + reload the metadata store: the engine must produce the same
+  // plan from the persisted histograms.
+  const std::string path = testing::TempDir() + "/integration_store.txt";
+  ASSERT_TRUE(store().save(path));
+  const auto reloaded = cloud::MetadataStore::load(path);
+  ASSERT_TRUE(reloaded.has_value());
+
+  util::Rng rng(5);
+  const auto wf = workflow::make_montage(1, rng);
+  core::DecoOptions opt;
+  opt.backend = "serial";
+  core::Deco engine_a(ec2(), store(), opt);
+  core::Deco engine_b(ec2(), *reloaded, opt);
+  const core::ProbDeadline req{0.9, 1500};
+  const auto plan_a = engine_a.schedule(wf, req);
+  const auto plan_b = engine_b.schedule(wf, req);
+  ASSERT_TRUE(plan_a.found);
+  ASSERT_TRUE(plan_b.found);
+  EXPECT_EQ(plan_a.plan, plan_b.plan);
+}
+
+TEST(EndToEndTest, EnsemblePlansExecuteWithinBudgetAndDeadlines) {
+  util::Rng rng(6);
+  workflow::EnsembleOptions eopt;
+  eopt.app = workflow::AppType::kLigo;
+  eopt.type = workflow::EnsembleType::kConstant;
+  eopt.num_workflows = 4;
+  eopt.sizes = {20};
+  workflow::Ensemble ensemble = workflow::make_ensemble(eopt, rng);
+  for (auto& m : ensemble.members) {
+    m.deadline_s = 3 * 3600;
+    m.deadline_q = 90;
+  }
+  ensemble.budget = 1.0;  // a few billed hours
+
+  core::Deco engine(ec2(), store());
+  core::EnsemblePlanOptions popt;
+  popt.per_workflow.search.max_states = 16;
+  popt.per_workflow.search.stale_wave_limit = 2;
+  const auto result = engine.plan_ensemble(ensemble, popt);
+  EXPECT_LE(result.total_cost, ensemble.budget + 1e-9);
+
+  // Execute every admitted member on the simulator.
+  util::Rng run_rng(7);
+  double billed = 0;
+  for (std::size_t i = 0; i < ensemble.members.size(); ++i) {
+    if (!result.admitted[i]) continue;
+    const auto exec = sim::simulate_execution(
+        ensemble.members[i].workflow, result.plans[i], ec2(), run_rng);
+    billed += exec.total_cost;
+    EXPECT_LE(exec.makespan, ensemble.members[i].deadline_s * 1.1);
+  }
+  // Simulator billing should land near the planner's estimate.
+  if (result.total_cost > 0) {
+    EXPECT_LT(billed, result.total_cost * 2.5);
+  }
+}
+
+TEST(EndToEndTest, SpssAndDecoBothExecutable) {
+  util::Rng rng(8);
+  workflow::EnsembleOptions eopt;
+  eopt.app = workflow::AppType::kLigo;
+  eopt.type = workflow::EnsembleType::kUniformUnsorted;
+  eopt.num_workflows = 4;
+  eopt.sizes = {20};
+  workflow::Ensemble ensemble = workflow::make_ensemble(eopt, rng);
+  for (auto& m : ensemble.members) {
+    m.deadline_s = 3 * 3600;
+    m.deadline_q = 90;
+  }
+  ensemble.budget = 1e9;
+
+  vgpu::SerialBackend backend;
+  baselines::Spss spss(ec2(), store(), backend);
+  const auto spss_result = spss.plan(ensemble);
+  util::Rng run_rng(9);
+  for (std::size_t i = 0; i < ensemble.members.size(); ++i) {
+    if (!spss_result.admitted[i]) continue;
+    const auto exec = sim::simulate_execution(
+        ensemble.members[i].workflow, spss_result.plans[i], ec2(), run_rng);
+    EXPECT_GT(exec.makespan, 0.0);
+  }
+}
+
+TEST(EndToEndTest, CalibrationFeedsEstimatorFeedsSimulator) {
+  // Fresh calibration -> estimator -> plan -> simulator, no shared fixture.
+  const cloud::Catalog catalog = cloud::make_ec2_catalog();
+  cloud::MetadataStore fresh_store;
+  cloud::CalibrationOptions copt;
+  copt.samples_per_setting = 2000;
+  util::Rng cal_rng(10);
+  cloud::calibrate(catalog, fresh_store, copt, cal_rng);
+
+  util::Rng rng(11);
+  const auto wf = workflow::make_cybershake(30, rng);
+  core::TaskTimeEstimator estimator(catalog, fresh_store);
+  vgpu::VirtualGpuBackend backend(2);
+  core::SchedulingProblem problem(wf, estimator, backend);
+  const auto result = problem.solve({0.9, 1e6});
+  ASSERT_TRUE(result.found);
+
+  util::Rng run_rng(12);
+  const auto exec = sim::simulate_execution(wf, result.plan, catalog, run_rng);
+  EXPECT_GT(exec.makespan, 0.0);
+  EXPECT_LE(exec.makespan, 1e6);
+}
+
+}  // namespace
+}  // namespace deco

@@ -1,0 +1,275 @@
+// Property-based tests: invariants that must hold across randomized inputs,
+// swept with parameterized gtest suites.
+#include <gtest/gtest.h>
+
+#include "core/scheduling.hpp"
+#include "sim/executor.hpp"
+#include "tests/core/test_fixtures.hpp"
+#include "util/stats.hpp"
+#include "workflow/analysis.hpp"
+#include "workflow/generators.hpp"
+#include "wlog/interp.hpp"
+
+namespace deco {
+namespace {
+
+using core::testing::ec2;
+using core::testing::store;
+
+// ---------------------------------------------------------------------------
+// Evaluator vs simulator consistency: across applications and plans, the
+// evaluator's mean makespan must track the simulator's (the estimator is
+// deliberately conservative on network, so it may overestimate, but never
+// wildly underestimate).
+class EvalSimConsistency
+    : public ::testing::TestWithParam<
+          std::tuple<workflow::AppType, cloud::TypeId, std::uint64_t>> {};
+
+TEST_P(EvalSimConsistency, MeanMakespanTracksSimulator) {
+  const auto [app, type, seed] = GetParam();
+  util::Rng rng(seed);
+  const auto wf = workflow::make_workflow(app, 30, rng);
+  const sim::Plan plan = sim::Plan::uniform(wf.task_count(), type);
+
+  core::TaskTimeEstimator estimator(ec2(), store());
+  vgpu::SerialBackend backend;
+  core::PlanEvaluator evaluator(wf, estimator, backend);
+  const double est = evaluator.evaluate(plan, {0.9, 1e12}).mean_makespan;
+
+  util::Rng run_rng(seed + 1);
+  std::vector<double> makespans;
+  for (int i = 0; i < 20; ++i) {
+    makespans.push_back(
+        sim::simulate_execution(wf, plan, ec2(), run_rng).makespan);
+  }
+  const double simulated = util::mean(makespans);
+  EXPECT_GE(est, simulated * 0.85) << wf.name();
+  EXPECT_LE(est, simulated * 2.5) << wf.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppsAndTypes, EvalSimConsistency,
+    ::testing::Combine(
+        ::testing::Values(workflow::AppType::kMontage, workflow::AppType::kLigo,
+                          workflow::AppType::kEpigenomics,
+                          workflow::AppType::kPipeline),
+        ::testing::Values(cloud::TypeId{0}, cloud::TypeId{2}),
+        ::testing::Values(std::uint64_t{1}, std::uint64_t{2})));
+
+// ---------------------------------------------------------------------------
+// Search near-optimality: on tiny workflows the whole plan space can be
+// enumerated; the scheduler must land within a small factor of the true
+// cheapest feasible plan.
+class SearchOptimality : public ::testing::TestWithParam<
+                             std::tuple<std::uint64_t, double>> {};
+
+TEST_P(SearchOptimality, WithinFactorOfBruteForce) {
+  const auto [seed, deadline_factor] = GetParam();
+  util::Rng rng(seed);
+  const auto wf = workflow::make_pipeline(3, rng);
+
+  core::TaskTimeEstimator estimator(ec2(), store());
+  vgpu::SerialBackend backend;
+  core::PlanEvaluator evaluator(wf, estimator, backend);
+
+  const double base =
+      evaluator.evaluate(sim::Plan::uniform(3, 0), {0.9, 1e12}).mean_makespan;
+  const core::ProbDeadline req{0.9, deadline_factor * base};
+
+  // Brute force over all 4^3 type assignments (no groups).
+  double best_cost = std::numeric_limits<double>::infinity();
+  bool any_feasible = false;
+  for (cloud::TypeId a = 0; a < 4; ++a) {
+    for (cloud::TypeId b = 0; b < 4; ++b) {
+      for (cloud::TypeId c = 0; c < 4; ++c) {
+        sim::Plan plan = sim::Plan::uniform(3, 0);
+        plan[0].vm_type = a;
+        plan[1].vm_type = b;
+        plan[2].vm_type = c;
+        const auto eval = evaluator.evaluate(plan, req);
+        if (eval.feasible && eval.mean_cost < best_cost) {
+          best_cost = eval.mean_cost;
+          any_feasible = true;
+        }
+      }
+    }
+  }
+
+  core::SchedulingProblem problem(wf, estimator, backend);
+  core::SchedulingOptions options;
+  options.search.max_states = 256;
+  const auto result = problem.solve(req, options);
+  ASSERT_EQ(result.found, any_feasible);
+  if (any_feasible) {
+    EXPECT_LE(result.evaluation.mean_cost, best_cost * 1.1 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndDeadlines, SearchOptimality,
+    ::testing::Combine(::testing::Values(std::uint64_t{3}, std::uint64_t{7},
+                                         std::uint64_t{11}),
+                       ::testing::Values(0.7, 1.0, 5.0)));
+
+// ---------------------------------------------------------------------------
+// Billing invariants on the simulator, across random plans.
+class BillingInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BillingInvariants, HoldAcrossRandomPlans) {
+  util::Rng rng(GetParam());
+  const auto wf = workflow::make_ligo(25, rng);
+  sim::Plan plan = sim::Plan::uniform(wf.task_count(), 0);
+  for (auto& p : plan.placements) {
+    p.vm_type = static_cast<cloud::TypeId>(rng.below(4));
+  }
+  const auto result = sim::simulate_execution(wf, plan, ec2(), rng);
+
+  // Billed cost is positive, at least one instance-hour of the cheapest
+  // type, and bounded by one max-priced hour-rounded instance per task.
+  EXPECT_GT(result.instance_cost, 0.0);
+  EXPECT_GE(result.instance_cost, 0.044 - 1e-9);
+  const double hours = std::ceil(result.makespan / 3600.0);
+  EXPECT_LE(result.instance_cost,
+            static_cast<double>(wf.task_count()) * hours * 0.35 + 1e-9);
+  // Makespan is at least the longest chain of CPU times on the fastest core.
+  std::vector<double> weights(wf.task_count());
+  for (workflow::TaskId t = 0; t < wf.task_count(); ++t) {
+    weights[t] = wf.task(t).cpu_seconds / 2.0;
+  }
+  EXPECT_GE(result.makespan,
+            workflow::critical_path(wf, weights).length * 0.99);
+  // Dependencies respected.
+  for (const workflow::Edge& e : wf.edges()) {
+    EXPECT_GE(result.tasks[e.child].start,
+              result.tasks[e.parent].finish - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BillingInvariants,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------------
+// Unification properties over randomized terms.
+wlog::TermPtr random_term(util::Rng& rng, int depth, int& var_counter) {
+  const double u = rng.uniform();
+  if (depth <= 0 || u < 0.25) {
+    return wlog::make_int(static_cast<std::int64_t>(rng.below(5)));
+  }
+  if (u < 0.45) {
+    return wlog::make_atom("a" + std::to_string(rng.below(3)));
+  }
+  if (u < 0.6) {
+    return wlog::make_var(++var_counter, "V" + std::to_string(var_counter));
+  }
+  std::vector<wlog::TermPtr> args;
+  const std::size_t arity = 1 + rng.below(3);
+  for (std::size_t i = 0; i < arity; ++i) {
+    args.push_back(random_term(rng, depth - 1, var_counter));
+  }
+  return wlog::make_compound("f" + std::to_string(rng.below(2)),
+                             std::move(args));
+}
+
+class UnifyProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UnifyProperties, TermUnifiesWithItsRenaming) {
+  util::Rng rng(GetParam());
+  int var_counter = 0;
+  const auto t = random_term(rng, 4, var_counter);
+  wlog::Bindings bindings;
+  std::unordered_map<std::int64_t, wlog::TermPtr> mapping;
+  const auto renamed = wlog::rename(t, bindings, mapping);
+  EXPECT_TRUE(wlog::unify(t, renamed, bindings)) << wlog::to_string(t);
+}
+
+TEST_P(UnifyProperties, UnificationIsSymmetric) {
+  util::Rng rng(GetParam() + 100);
+  int var_counter = 0;
+  const auto a = random_term(rng, 3, var_counter);
+  const auto b = random_term(rng, 3, var_counter);
+  wlog::Bindings left;
+  wlog::Bindings right;
+  EXPECT_EQ(wlog::unify(a, b, left), wlog::unify(b, a, right))
+      << wlog::to_string(a) << " vs " << wlog::to_string(b);
+}
+
+TEST_P(UnifyProperties, UndoRestoresUnboundState) {
+  util::Rng rng(GetParam() + 200);
+  int var_counter = 0;
+  const auto a = random_term(rng, 3, var_counter);
+  const auto b = random_term(rng, 3, var_counter);
+  wlog::Bindings bindings;
+  const std::size_t mark = bindings.mark();
+  wlog::unify(a, b, bindings);
+  bindings.undo_to(mark);
+  for (int v = 1; v <= var_counter; ++v) {
+    EXPECT_FALSE(bindings.bound(v));
+  }
+}
+
+TEST_P(UnifyProperties, CompareIsTotalOrder) {
+  util::Rng rng(GetParam() + 300);
+  int var_counter = 0;
+  wlog::Bindings bindings;
+  std::vector<wlog::TermPtr> terms;
+  for (int i = 0; i < 6; ++i) {
+    terms.push_back(random_term(rng, 3, var_counter));
+  }
+  for (const auto& x : terms) {
+    EXPECT_EQ(wlog::term_compare(x, x, bindings), 0);
+    for (const auto& y : terms) {
+      EXPECT_EQ(wlog::term_compare(x, y, bindings),
+                -wlog::term_compare(y, x, bindings));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnifyProperties,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// ---------------------------------------------------------------------------
+// Histogram invariants across distribution families.
+class HistogramProperties
+    : public ::testing::TestWithParam<util::Distribution> {};
+
+TEST_P(HistogramProperties, InvariantsHold) {
+  const util::Distribution dist = GetParam();
+  util::Rng rng(99);
+  std::vector<double> samples;
+  for (int i = 0; i < 8000; ++i) samples.push_back(dist.sample(rng));
+  const auto h = util::Histogram::from_samples(samples, 24);
+
+  double total = 0;
+  for (double m : h.masses()) total += m;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Centers strictly inside the sample range and ascending.
+  EXPECT_GE(h.centers().front(), util::min_of(samples));
+  EXPECT_LE(h.centers().back(), util::max_of(samples));
+  for (std::size_t i = 1; i < h.bin_count(); ++i) {
+    EXPECT_LT(h.centers()[i - 1], h.centers()[i]);
+  }
+  // Percentiles bounded by extreme centers and cdf monotone.
+  EXPECT_GE(h.percentile(0), h.centers().front() - 1e-9);
+  EXPECT_LE(h.percentile(100), h.centers().back() + 1e-9);
+  double prev = 0;
+  for (double c : h.cdf()) {
+    EXPECT_GE(c, prev - 1e-12);
+    prev = c;
+  }
+  // The discretized mean tracks the sample mean within a bin width.
+  const double bin_width =
+      (h.centers().back() - h.centers().front()) /
+      static_cast<double>(h.bin_count());
+  EXPECT_NEAR(h.mean(), util::mean(samples), bin_width + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, HistogramProperties,
+    ::testing::Values(util::Distribution::normal(100, 10),
+                      util::Distribution::gamma(129.3, 0.79),
+                      util::Distribution::gamma(2, 5),
+                      util::Distribution::uniform(5, 50),
+                      util::Distribution::pareto(1, 1.16)));
+
+}  // namespace
+}  // namespace deco

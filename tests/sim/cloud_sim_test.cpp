@@ -1,0 +1,95 @@
+#include "sim/cloud_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace deco::sim {
+namespace {
+
+TEST(BilledHoursTest, MinimumOneHour) {
+  EXPECT_DOUBLE_EQ(billed_hours(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(billed_hours(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(billed_hours(0, 3600), 1.0);
+}
+
+TEST(BilledHoursTest, CeilsPartialHours) {
+  EXPECT_DOUBLE_EQ(billed_hours(0, 3601), 2.0);
+  EXPECT_DOUBLE_EQ(billed_hours(0, 7200), 2.0);
+  EXPECT_DOUBLE_EQ(billed_hours(100, 100 + 5400), 2.0);
+}
+
+TEST(CloudPoolTest, AcquireCreatesRunningInstance) {
+  const cloud::Catalog catalog = cloud::make_ec2_catalog();
+  CloudPool pool(catalog);
+  const InstanceId id = pool.acquire(0, 0, 10.0);
+  EXPECT_TRUE(pool.instance(id).running());
+  EXPECT_DOUBLE_EQ(pool.instance(id).acquired_at, 10.0);
+  EXPECT_EQ(pool.instance_count(), 1u);
+}
+
+TEST(CloudPoolTest, ReleaseStopsBilling) {
+  const cloud::Catalog catalog = cloud::make_ec2_catalog();
+  CloudPool pool(catalog);
+  const InstanceId id = pool.acquire(0, 0, 0.0);
+  pool.release(id, 1800.0);
+  EXPECT_FALSE(pool.instance(id).running());
+  // One billed hour of m1.small.
+  EXPECT_NEAR(pool.billed_cost(), 0.044, 1e-9);
+}
+
+TEST(CloudPoolTest, BillingUsesRegionMultiplier) {
+  const cloud::Catalog catalog = cloud::make_ec2_catalog();
+  CloudPool pool(catalog);
+  const InstanceId id = pool.acquire(0, 1, 0.0);  // Singapore
+  pool.release(id, 100.0);
+  EXPECT_NEAR(pool.billed_cost(), 0.044 * 1.33, 1e-9);
+}
+
+TEST(CloudPoolTest, FindIdleSkipsBusyInstances) {
+  const cloud::Catalog catalog = cloud::make_ec2_catalog();
+  CloudPool pool(catalog);
+  const InstanceId id = pool.acquire(1, 0, 0.0);
+  pool.instance(id).busy_until = 50.0;
+  EXPECT_EQ(pool.find_idle(1, 0, 20.0), CloudPool::kNone);
+  EXPECT_EQ(pool.find_idle(1, 0, 60.0), id);
+}
+
+TEST(CloudPoolTest, FindIdleMatchesTypeAndRegion) {
+  const cloud::Catalog catalog = cloud::make_ec2_catalog();
+  CloudPool pool(catalog);
+  pool.acquire(1, 0, 0.0);
+  EXPECT_EQ(pool.find_idle(2, 0, 10.0), CloudPool::kNone);
+  EXPECT_EQ(pool.find_idle(1, 1, 10.0), CloudPool::kNone);
+  EXPECT_NE(pool.find_idle(1, 0, 10.0), CloudPool::kNone);
+}
+
+TEST(CloudPoolTest, GroupInstancesAreReservedAndFindable) {
+  const cloud::Catalog catalog = cloud::make_ec2_catalog();
+  CloudPool pool(catalog);
+  const InstanceId id = pool.acquire(0, 0, 0.0, /*group=*/7);
+  // Group-pinned instances are not handed out as generic idle capacity.
+  EXPECT_EQ(pool.find_idle(0, 0, 10.0), CloudPool::kNone);
+  EXPECT_EQ(pool.find_group(7), id);
+  EXPECT_EQ(pool.find_group(8), CloudPool::kNone);
+  EXPECT_EQ(pool.find_group(-1), CloudPool::kNone);
+}
+
+TEST(CloudPoolTest, ReleaseAllStopsEverything) {
+  const cloud::Catalog catalog = cloud::make_ec2_catalog();
+  CloudPool pool(catalog);
+  pool.acquire(0, 0, 0.0);
+  pool.acquire(1, 0, 0.0);
+  pool.release_all(4000.0);
+  // 2 hours of small + 2 hours of medium.
+  EXPECT_NEAR(pool.billed_cost(), 2 * 0.044 + 2 * 0.087, 1e-9);
+}
+
+TEST(CloudPoolTest, UsedHoursTracksActualUptime) {
+  const cloud::Catalog catalog = cloud::make_ec2_catalog();
+  CloudPool pool(catalog);
+  const InstanceId id = pool.acquire(0, 0, 0.0);
+  pool.release(id, 1800.0);
+  EXPECT_NEAR(pool.used_hours(), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace deco::sim

@@ -1,0 +1,90 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace deco::sim {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3, [&](double) { order.push_back(3); });
+  q.schedule(1, [&](double) { order.push_back(1); });
+  q.schedule(2, [&](double) { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(5, [&](double) { order.push_back(1); });
+  q.schedule(5, [&](double) { order.push_back(2); });
+  q.schedule(5, [&](double) { order.push_back(3); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, CallbackSeesEventTime) {
+  EventQueue q;
+  double seen = -1;
+  q.schedule(7.5, [&](double now) { seen = now; });
+  q.run();
+  EXPECT_DOUBLE_EQ(seen, 7.5);
+  EXPECT_DOUBLE_EQ(q.now(), 7.5);
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1, [&](double now) {
+    ++fired;
+    if (fired < 5) q.schedule(now + 1, [&](double) { ++fired; });
+  });
+  q.run();
+  EXPECT_EQ(fired, 2);  // the nested event fires once and schedules nothing
+}
+
+TEST(EventQueueTest, ChainOfEventsAdvancesClock) {
+  EventQueue q;
+  std::function<void(double)> tick = [&](double now) {
+    if (now < 10) q.schedule(now + 1, tick);
+  };
+  q.schedule(0, tick);
+  q.run();
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+}
+
+TEST(EventQueueTest, PastScheduleClampsToNow) {
+  EventQueue q;
+  double second = -1;
+  q.schedule(5, [&](double now) {
+    // Scheduling "in the past" clamps to the current time.
+    q.schedule(now - 3, [&](double t) { second = t; });
+  });
+  q.run();
+  EXPECT_DOUBLE_EQ(second, 5.0);
+}
+
+TEST(EventQueueTest, RunUntilLeavesLaterEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1, [&](double) { ++fired; });
+  q.schedule(10, [&](double) { ++fired; });
+  q.run_until(5);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, EmptyRunReturnsZero) {
+  EventQueue q;
+  EXPECT_DOUBLE_EQ(q.run(), 0.0);
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace deco::sim

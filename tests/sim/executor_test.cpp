@@ -1,0 +1,184 @@
+#include "sim/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+#include "workflow/generators.hpp"
+
+namespace deco::sim {
+namespace {
+
+ExecutorOptions deterministic() {
+  ExecutorOptions opt;
+  opt.sample_dynamics = false;
+  opt.rand_io_ops_per_task = 0;
+  return opt;
+}
+
+workflow::Workflow two_task_chain(double cpu1, double cpu2) {
+  workflow::Workflow wf("chain");
+  wf.add_task({"t0", "p", cpu1, 0, 0});
+  wf.add_task({"t1", "p", cpu2, 0, 0});
+  wf.add_edge(0, 1, 0);
+  return wf;
+}
+
+TEST(ExecutorTest, EmptyWorkflow) {
+  const cloud::Catalog catalog = cloud::make_ec2_catalog();
+  util::Rng rng(1);
+  const workflow::Workflow wf("empty");
+  const auto r = simulate_execution(wf, Plan{}, catalog, rng, deterministic());
+  EXPECT_DOUBLE_EQ(r.makespan, 0.0);
+  EXPECT_DOUBLE_EQ(r.total_cost, 0.0);
+}
+
+TEST(ExecutorTest, ChainRunsSequentially) {
+  const cloud::Catalog catalog = cloud::make_ec2_catalog();
+  util::Rng rng(2);
+  const auto wf = two_task_chain(100, 200);
+  // m1.small has 1 ECU so CPU seconds pass through unchanged.
+  const Plan plan = Plan::uniform(2, 0);
+  const auto r = simulate_execution(wf, plan, catalog, rng, deterministic());
+  EXPECT_NEAR(r.makespan, 300.0, 1e-6);
+  EXPECT_EQ(r.tasks[1].start, r.tasks[0].finish);
+}
+
+TEST(ExecutorTest, ComputeUnitsSpeedUpCpu) {
+  const cloud::Catalog catalog = cloud::make_ec2_catalog();
+  util::Rng rng(3);
+  const auto wf = two_task_chain(800, 0);
+  const auto small = simulate_execution(wf, Plan::uniform(2, 0), catalog, rng,
+                                        deterministic());
+  const auto xlarge = simulate_execution(wf, Plan::uniform(2, 3), catalog, rng,
+                                         deterministic());
+  // Single-threaded tasks run on one core: 2 ECU/core vs 1 ECU/core.
+  EXPECT_NEAR(small.makespan / xlarge.makespan, 2.0, 1e-6);
+}
+
+TEST(ExecutorTest, ParallelTasksShareNoInstanceByDefault) {
+  const cloud::Catalog catalog = cloud::make_ec2_catalog();
+  util::Rng rng(4);
+  workflow::Workflow wf("fan");
+  wf.add_task({"a", "p", 100, 0, 0});
+  wf.add_task({"b", "p", 100, 0, 0});
+  const auto r = simulate_execution(wf, Plan::uniform(2, 0), catalog, rng,
+                                    deterministic());
+  // Both are roots: they run concurrently on two instances.
+  EXPECT_NEAR(r.makespan, 100.0, 1e-6);
+  EXPECT_EQ(r.instances_used, 2u);
+}
+
+TEST(ExecutorTest, CoSchedulingGroupSerializesOnOneInstance) {
+  const cloud::Catalog catalog = cloud::make_ec2_catalog();
+  util::Rng rng(5);
+  workflow::Workflow wf("fan");
+  wf.add_task({"a", "p", 100, 0, 0});
+  wf.add_task({"b", "p", 100, 0, 0});
+  Plan plan = Plan::uniform(2, 0);
+  plan[0].group = 1;
+  plan[1].group = 1;
+  const auto r = simulate_execution(wf, plan, catalog, rng, deterministic());
+  EXPECT_NEAR(r.makespan, 200.0, 1e-6);
+  EXPECT_EQ(r.instances_used, 1u);
+}
+
+TEST(ExecutorTest, IdleInstanceIsReused) {
+  const cloud::Catalog catalog = cloud::make_ec2_catalog();
+  util::Rng rng(6);
+  const auto wf = two_task_chain(100, 100);
+  const auto r = simulate_execution(wf, Plan::uniform(2, 0), catalog, rng,
+                                    deterministic());
+  // The child reuses the parent's instance: one instance, one billed hour.
+  EXPECT_EQ(r.instances_used, 1u);
+  EXPECT_NEAR(r.instance_cost, 0.044, 1e-9);
+}
+
+TEST(ExecutorTest, IoTimeAddsToMakespan) {
+  const cloud::Catalog catalog = cloud::make_ec2_catalog();
+  util::Rng rng(7);
+  workflow::Workflow wf("io");
+  const double mb = 1024.0 * 1024.0;
+  wf.add_task({"t", "p", 0, 1000 * mb, 0});  // 1000 MB input
+  const auto r = simulate_execution(wf, Plan::uniform(1, 0), catalog, rng,
+                                    deterministic());
+  // m1.small mean seq I/O = 129.3 * 0.79 ~ 102.1 MB/s -> ~9.8 s.
+  EXPECT_NEAR(r.makespan, 1000.0 / (129.3 * 0.79), 0.2);
+}
+
+TEST(ExecutorTest, CrossInstanceEdgeCostsNetworkTime) {
+  const cloud::Catalog catalog = cloud::make_ec2_catalog();
+  util::Rng rng(8);
+  workflow::Workflow wf("net");
+  wf.add_task({"a", "p", 10, 0, 0});
+  wf.add_task({"b", "p", 10, 0, 0});
+  wf.add_task({"c", "p", 10, 0, 0});
+  // b and c are both children of a; c lands on a different instance and pays
+  // for the transfer.
+  const double mb = 1024.0 * 1024.0;
+  wf.add_edge(0, 1, 0);
+  wf.add_edge(0, 2, 100 * mb);
+  Plan plan = Plan::uniform(3, 0);
+  const auto r = simulate_execution(wf, plan, catalog, rng, deterministic());
+  // Task b reuses a's instance (no transfer); c pays 100 MB over the
+  // small<->small pair bandwidth (300 Mbit/s mean -> 37.5e6 bytes/s).
+  const double expected_net = 100 * mb / (300e6 / 8);
+  EXPECT_NEAR(r.tasks[2].finish - r.tasks[2].start, 10 + expected_net, 0.1);
+}
+
+TEST(ExecutorTest, CrossRegionTransferBillsEgress) {
+  const cloud::Catalog catalog = cloud::make_ec2_catalog();
+  util::Rng rng(9);
+  workflow::Workflow wf("regions");
+  wf.add_task({"a", "p", 10, 0, 0});
+  wf.add_task({"b", "p", 10, 0, 0});
+  const double gb = 1024.0 * 1024.0 * 1024.0;
+  wf.add_edge(0, 1, 2 * gb);
+  Plan plan = Plan::uniform(2, 0);
+  plan[1].region = 1;
+  const auto r = simulate_execution(wf, plan, catalog, rng, deterministic());
+  // 2 GB out of us-east at $0.12/GB.
+  EXPECT_NEAR(r.transfer_cost, 0.24, 1e-9);
+  EXPECT_GT(r.makespan, 20.0);
+}
+
+TEST(ExecutorTest, BootDelayShiftsStart) {
+  const cloud::Catalog catalog = cloud::make_ec2_catalog();
+  util::Rng rng(10);
+  const auto wf = two_task_chain(100, 0);
+  ExecutorOptions opt = deterministic();
+  opt.boot_seconds = 60;
+  const auto r = simulate_execution(wf, Plan::uniform(2, 0), catalog, rng, opt);
+  EXPECT_NEAR(r.tasks[0].start, 60.0, 1e-9);
+}
+
+TEST(ExecutorTest, DynamicsCreateVariance) {
+  const cloud::Catalog catalog = cloud::make_ec2_catalog();
+  util::Rng rng(11);
+  workflow::Workflow wf("io");
+  const double mb = 1024.0 * 1024.0;
+  wf.add_task({"t", "p", 10, 2000 * mb, 0});
+  ExecutorOptions opt;  // dynamics on
+  std::vector<double> makespans;
+  for (int i = 0; i < 60; ++i) {
+    makespans.push_back(
+        simulate_execution(wf, Plan::uniform(1, 0), catalog, rng, opt).makespan);
+  }
+  EXPECT_GT(util::stddev(makespans), 0.05);
+}
+
+TEST(ExecutorTest, WholeMontageExecutes) {
+  const cloud::Catalog catalog = cloud::make_ec2_catalog();
+  util::Rng rng(12);
+  const auto wf = workflow::make_montage(1, rng);
+  const Plan plan = Plan::uniform(wf.task_count(), 1);
+  const auto r = simulate_execution(wf, plan, catalog, rng, {});
+  EXPECT_GT(r.makespan, 0.0);
+  EXPECT_GT(r.total_cost, 0.0);
+  // Every task ran and respected dependencies.
+  for (const workflow::Edge& e : wf.edges()) {
+    EXPECT_GE(r.tasks[e.child].start, r.tasks[e.parent].finish - 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace deco::sim

@@ -1,0 +1,171 @@
+#include "sim/spot_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/spot_planner.hpp"
+#include "tests/core/test_fixtures.hpp"
+#include "workflow/generators.hpp"
+
+namespace deco::sim {
+namespace {
+
+using core::testing::ec2;
+using core::testing::store;
+
+std::vector<cloud::SpotPriceTrace> traces(std::uint64_t seed,
+                                          std::size_t steps = 5000) {
+  std::vector<cloud::SpotPriceTrace> out;
+  util::Rng rng(seed);
+  cloud::SpotModel model;
+  for (const auto& type : ec2().types()) {
+    out.push_back(cloud::SpotPriceTrace::simulate(type.price_per_hour, model,
+                                                  steps, rng));
+  }
+  return out;
+}
+
+ExecutorOptions quiet() {
+  ExecutorOptions opt;
+  opt.sample_dynamics = false;
+  opt.rand_io_ops_per_task = 0;
+  return opt;
+}
+
+TEST(SpotExecutorTest, AllOnDemandMatchesPlainSemantics) {
+  util::Rng rng(1);
+  const auto wf = workflow::make_pipeline(4, rng);
+  const Plan plan = Plan::uniform(wf.task_count(), 0);
+  SpotPolicy policy;  // empty use_spot = all on-demand
+  util::Rng run_rng(2);
+  const auto r = simulate_spot_execution(wf, plan, policy, traces(3), ec2(),
+                                         run_rng, quiet());
+  EXPECT_EQ(r.revocations, 0u);
+  EXPECT_DOUBLE_EQ(r.spot_cost, 0.0);
+  EXPECT_GT(r.on_demand_cost, 0.0);
+  for (const workflow::Edge& e : wf.edges()) {
+    EXPECT_GE(r.base.tasks[e.child].start,
+              r.base.tasks[e.parent].finish - 1e-9);
+  }
+}
+
+TEST(SpotExecutorTest, SpotTasksCostLessWhenNotRevoked) {
+  util::Rng rng(4);
+  const auto wf = workflow::make_pipeline(6, rng);
+  const Plan plan = Plan::uniform(wf.task_count(), 1);
+  SpotPolicy all_spot;
+  all_spot.use_spot.assign(wf.task_count(), true);
+  all_spot.bid_fraction = 0.95;  // generous bid: rarely revoked
+
+  util::Rng r1(5);
+  const auto spot = simulate_spot_execution(wf, plan, all_spot, traces(6),
+                                            ec2(), r1, quiet());
+  util::Rng r2(5);
+  const auto od = simulate_spot_execution(wf, plan, SpotPolicy{}, traces(6),
+                                          ec2(), r2, quiet());
+  EXPECT_LT(spot.base.total_cost, od.base.total_cost);
+}
+
+TEST(SpotExecutorTest, RevocationsExtendMakespan) {
+  util::Rng rng(7);
+  const auto wf = workflow::make_pipeline(6, rng);
+  const Plan plan = Plan::uniform(wf.task_count(), 1);
+  SpotPolicy aggressive;
+  aggressive.use_spot.assign(wf.task_count(), true);
+  aggressive.bid_fraction = 0.32;  // tight bid: frequent revocations
+
+  util::Rng r1(8);
+  const auto risky = simulate_spot_execution(wf, plan, aggressive, traces(9),
+                                             ec2(), r1, quiet());
+  util::Rng r2(8);
+  const auto od = simulate_spot_execution(wf, plan, SpotPolicy{}, traces(9),
+                                          ec2(), r2, quiet());
+  EXPECT_GT(risky.revocations + risky.fallbacks, 0u);
+  EXPECT_GE(risky.base.makespan, od.base.makespan);
+}
+
+TEST(SpotExecutorTest, FallbackCapsRetries) {
+  util::Rng rng(10);
+  const auto wf = workflow::make_pipeline(3, rng);
+  const Plan plan = Plan::uniform(wf.task_count(), 0);
+  SpotPolicy impossible;
+  impossible.use_spot.assign(wf.task_count(), true);
+  impossible.bid_fraction = 0.0;  // bid below every possible price
+  impossible.max_retries = 2;
+  util::Rng run_rng(11);
+  const auto r = simulate_spot_execution(wf, plan, impossible, traces(12),
+                                         ec2(), run_rng, quiet());
+  // Every task gives up and falls back to on-demand; the run completes.
+  EXPECT_EQ(r.fallbacks, wf.task_count());
+  EXPECT_GT(r.base.makespan, 0.0);
+  EXPECT_GT(r.on_demand_cost, 0.0);
+}
+
+TEST(SpotPlannerTest, CriticalPathStaysOnDemand) {
+  util::Rng rng(13);
+  const auto wf = workflow::make_montage(1, rng);
+  const Plan plan = Plan::uniform(wf.task_count(), 1);
+  core::TaskTimeEstimator estimator(ec2(), store());
+
+  // A deadline with moderate slack: the *longest* task (it dominates the
+  // critical path, and a lost attempt cannot be absorbed) must stay
+  // on-demand, while short tasks with room for retries go to spot.
+  const auto slack = core::task_slack(wf, plan, estimator, 0);
+  double cp_length = 0;
+  for (double s : slack) cp_length = std::max(cp_length, -s);
+  workflow::TaskId longest = 0;
+  double longest_mean = 0;
+  for (workflow::TaskId t = 0; t < wf.task_count(); ++t) {
+    const double mean = estimator.mean_time(wf, t, plan[t].vm_type);
+    if (mean > longest_mean) {
+      longest_mean = mean;
+      longest = t;
+    }
+  }
+  // Deadline = critical path + 1500 s: short tasks have ~1100 s of slack
+  // (enough for the 900 s revocation allowance plus retries), but the
+  // longest task cannot absorb a lost attempt of its own size.
+  const auto policy =
+      core::plan_spot_policy(wf, plan, estimator, cp_length + 1100);
+  EXPECT_FALSE(policy.use_spot[longest]);
+  // But some off-path tasks have plenty of slack.
+  std::size_t spot_count = 0;
+  for (bool s : policy.use_spot) spot_count += s;
+  EXPECT_GT(spot_count, 0u);
+  EXPECT_LT(spot_count, wf.task_count());
+}
+
+TEST(SpotPlannerTest, LooseDeadlinePutsEverythingOnSpot) {
+  util::Rng rng(14);
+  const auto wf = workflow::make_pipeline(4, rng);
+  const Plan plan = Plan::uniform(wf.task_count(), 0);
+  core::TaskTimeEstimator estimator(ec2(), store());
+  const auto policy = core::plan_spot_policy(wf, plan, estimator, 1e9);
+  for (bool s : policy.use_spot) EXPECT_TRUE(s);
+}
+
+TEST(SpotPlannerTest, ImpossibleDeadlineKeepsEverythingOnDemand) {
+  util::Rng rng(15);
+  const auto wf = workflow::make_pipeline(4, rng);
+  const Plan plan = Plan::uniform(wf.task_count(), 0);
+  core::TaskTimeEstimator estimator(ec2(), store());
+  const auto policy = core::plan_spot_policy(wf, plan, estimator, 0.001);
+  for (bool s : policy.use_spot) EXPECT_FALSE(s);
+}
+
+TEST(SpotPlannerTest, SlackMatchesPathDefinition) {
+  // Chain a(10)->b(20): slack of each = D - 30.
+  workflow::Workflow wf("chain");
+  wf.add_task({"a", "p", 10, 0, 0});
+  wf.add_task({"b", "p", 20, 0, 0});
+  wf.add_edge(0, 1, 0);
+  core::TaskTimeEstimator estimator(ec2(), store());
+  const Plan plan = Plan::uniform(2, 0);
+  const auto slack = core::task_slack(wf, plan, estimator, 100);
+  const double t0 = estimator.mean_time(wf, 0, 0);
+  const double t1 = estimator.mean_time(wf, 1, 0);
+  EXPECT_NEAR(slack[0], 100 - (t0 + t1), 1e-9);
+  EXPECT_NEAR(slack[1], 100 - (t0 + t1), 1e-9);
+}
+
+}  // namespace
+}  // namespace deco::sim

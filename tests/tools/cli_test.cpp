@@ -1,0 +1,264 @@
+#include "tools/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace deco::tools {
+namespace {
+
+CliArgs parse(std::initializer_list<std::string> words) {
+  return parse_args(std::vector<std::string>(words));
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(CliParseTest, CommandAndOptions) {
+  const auto args = parse({"plan", "--dax", "wf.dax", "--deadline", "3600"});
+  EXPECT_EQ(args.command, "plan");
+  EXPECT_EQ(args.get_or("dax", ""), "wf.dax");
+  EXPECT_DOUBLE_EQ(args.number_or("deadline", 0), 3600.0);
+}
+
+TEST(CliParseTest, BareFlagsAndPositionals) {
+  // A word following an option is its value; a trailing option is a flag.
+  const auto args = parse({"run", "extra", "--verbose"});
+  EXPECT_EQ(args.command, "run");
+  EXPECT_EQ(args.get_or("verbose", ""), "true");
+  ASSERT_EQ(args.positional.size(), 1u);
+  EXPECT_EQ(args.positional[0], "extra");
+}
+
+TEST(CliParseTest, MissingOptionFallsBack) {
+  const auto args = parse({"plan"});
+  EXPECT_FALSE(args.get("dax").has_value());
+  EXPECT_DOUBLE_EQ(args.number_or("deadline", 42), 42.0);
+  EXPECT_DOUBLE_EQ(args.number_or("deadline", 0), 0.0);
+}
+
+TEST(CliParseTest, NonNumericOptionFallsBack) {
+  const auto args = parse({"plan", "--deadline", "--quantile"});
+  // "--deadline" immediately followed by another flag is a bare flag.
+  EXPECT_DOUBLE_EQ(args.number_or("deadline", 9), 9.0);
+}
+
+TEST(CliRunTest, HelpPrintsUsage) {
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(parse({"help"}), out), 0);
+  EXPECT_NE(out.str().find("usage: deco"), std::string::npos);
+}
+
+TEST(CliRunTest, NoCommandIsErrorWithUsage) {
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(parse({}), out), 1);
+  EXPECT_NE(out.str().find("usage"), std::string::npos);
+}
+
+TEST(CliRunTest, UnknownCommandFails) {
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(parse({"frobnicate"}), out), 1);
+  EXPECT_NE(out.str().find("unknown command"), std::string::npos);
+}
+
+TEST(CliRunTest, GenerateWritesDax) {
+  const std::string path = temp_path("cli_gen.dax");
+  std::ostringstream out;
+  const int rc = run_cli(parse({"generate", "--app", "pipeline", "--tasks",
+                                "5", "--out", path}),
+                         out);
+  EXPECT_EQ(rc, 0) << out.str();
+  std::ifstream check(path);
+  EXPECT_TRUE(check.good());
+  EXPECT_NE(out.str().find("5 tasks"), std::string::npos);
+}
+
+TEST(CliRunTest, GenerateUnknownAppFails) {
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(parse({"generate", "--app", "nope", "--out",
+                           temp_path("x.dax")}),
+                    out),
+            1);
+}
+
+TEST(CliRunTest, GenerateMontageByDegree) {
+  const std::string path = temp_path("cli_montage.dax");
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(parse({"generate", "--app", "montage", "--degree", "1",
+                           "--out", path}),
+                    out),
+            0);
+  EXPECT_NE(out.str().find("Montage-1"), std::string::npos);
+}
+
+TEST(CliRunTest, CalibrateSavesStore) {
+  const std::string path = temp_path("cli_store.txt");
+  std::ostringstream out;
+  const int rc = run_cli(
+      parse({"calibrate", "--samples", "300", "--out", path}), out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_NE(out.str().find("saved 19 histograms"), std::string::npos);
+}
+
+TEST(CliRunTest, PlanRequiresDax) {
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(parse({"plan", "--deadline", "100"}), out), 1);
+  EXPECT_NE(out.str().find("--dax"), std::string::npos);
+}
+
+TEST(CliRunTest, PlanRequiresDeadline) {
+  const std::string path = temp_path("cli_plan_in.dax");
+  std::ostringstream gen;
+  run_cli(parse({"generate", "--app", "pipeline", "--tasks", "3", "--out",
+                 path}),
+          gen);
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(parse({"plan", "--dax", path}), out), 1);
+  EXPECT_NE(out.str().find("--deadline"), std::string::npos);
+}
+
+TEST(CliRunTest, PlanEndToEnd) {
+  const std::string dax = temp_path("cli_plan.dax");
+  std::ostringstream gen;
+  ASSERT_EQ(run_cli(parse({"generate", "--app", "pipeline", "--tasks", "4",
+                           "--out", dax}),
+                    gen),
+            0);
+  std::ostringstream out;
+  const int rc = run_cli(
+      parse({"plan", "--dax", dax, "--deadline", "100000"}), out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_NE(out.str().find("plan (Deco):"), std::string::npos);
+  EXPECT_NE(out.str().find("estimated cost"), std::string::npos);
+  EXPECT_NE(out.str().find("feasible"), std::string::npos);
+}
+
+TEST(CliRunTest, PlanWithFixedTypeScheduler) {
+  const std::string dax = temp_path("cli_fixed.dax");
+  std::ostringstream gen;
+  run_cli(parse({"generate", "--app", "pipeline", "--tasks", "3", "--out",
+                 dax}),
+          gen);
+  std::ostringstream out;
+  const int rc = run_cli(parse({"plan", "--dax", dax, "--deadline", "100000",
+                                "--scheduler", "m1.large"}),
+                         out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_NE(out.str().find("m1.large"), std::string::npos);
+}
+
+TEST(CliRunTest, PlanUnknownSchedulerFails) {
+  const std::string dax = temp_path("cli_sched.dax");
+  std::ostringstream gen;
+  run_cli(parse({"generate", "--app", "pipeline", "--tasks", "3", "--out",
+                 dax}),
+          gen);
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(parse({"plan", "--dax", dax, "--deadline", "1000",
+                           "--scheduler", "nope"}),
+                    out),
+            1);
+}
+
+TEST(CliRunTest, RunExecutesOnSimulator) {
+  const std::string dax = temp_path("cli_run.dax");
+  std::ostringstream gen;
+  run_cli(parse({"generate", "--app", "pipeline", "--tasks", "3", "--out",
+                 dax}),
+          gen);
+  std::ostringstream out;
+  const int rc = run_cli(parse({"run", "--dax", dax, "--deadline", "100000",
+                                "--runs", "3"}),
+                         out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_NE(out.str().find("executed 3 runs"), std::string::npos);
+}
+
+TEST(CliRunTest, SolveRunsWlogProgram) {
+  const std::string dax = temp_path("cli_solve.dax");
+  std::ostringstream gen;
+  run_cli(parse({"generate", "--app", "pipeline", "--tasks", "3", "--out",
+                 dax}),
+          gen);
+  const std::string program = temp_path("cli_solve.wlog");
+  {
+    std::ofstream p(program);
+    p << R"(
+      import(amazonec2).
+      import(workflow).
+      goal minimize Ct in totalcost(Ct).
+      cons T in maxtime(Path,T) satisfies deadline(90%, 1000h).
+      var configs(Tid,Vid,Con) forall task(Tid) and vm(Vid).
+      path(X,Y,Y,Tp) :- edge(X,Y), exetime(X,Vid,T),
+          configs(X,Vid,Con), Con == 1, Tp is T.
+      path(X,Y,Z,Tp) :- edge(X,Z), Z \== Y, path(Z,Y,Z2,T1),
+          exetime(X,Vid,T), configs(X,Vid,Con), Con == 1, Tp is T+T1.
+      maxtime(Path,T) :- setof([Z,T1], path(root,tail,Z,T1), Set),
+          max(Set, [Path,T]).
+      cost(Tid,Vid,C) :- price(Vid,Up), exetime(Tid,Vid,T),
+          configs(Tid,Vid,Con), C is T*Up*Con.
+      totalcost(Ct) :- findall(C, cost(Tid,Vid,C), Bag), sum(Bag, Ct).
+    )";
+  }
+  std::ostringstream out;
+  const int rc = run_cli(
+      parse({"solve", "--dax", dax, "--program", program}), out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_NE(out.str().find("solved: goal value"), std::string::npos);
+}
+
+TEST(CliRunTest, SolveMissingProgramFails) {
+  const std::string dax = temp_path("cli_noprog.dax");
+  std::ostringstream gen;
+  run_cli(parse({"generate", "--app", "pipeline", "--tasks", "2", "--out",
+                 dax}),
+          gen);
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(parse({"solve", "--dax", dax, "--program",
+                           "/nonexistent.wlog"}),
+                    out),
+            1);
+}
+
+TEST(CliRunTest, InfoSummarizesWorkflow) {
+  const std::string dax = temp_path("cli_info.dax");
+  std::ostringstream gen;
+  ASSERT_EQ(run_cli(parse({"generate", "--app", "epigenomics", "--tasks",
+                           "40", "--out", dax}),
+                    gen),
+            0);
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(parse({"info", "--dax", dax}), out), 0);
+  EXPECT_NE(out.str().find("tasks"), std::string::npos);
+  EXPECT_NE(out.str().find("task mix"), std::string::npos);
+  EXPECT_NE(out.str().find("fastQSplit"), std::string::npos);
+}
+
+TEST(CliRunTest, InfoRequiresDax) {
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(parse({"info"}), out), 1);
+}
+
+TEST(CliRunTest, PlanUsesSavedStore) {
+  const std::string store_path = temp_path("cli_reuse_store.txt");
+  std::ostringstream cal;
+  ASSERT_EQ(run_cli(parse({"calibrate", "--samples", "300", "--out",
+                           store_path}),
+                    cal),
+            0);
+  const std::string dax = temp_path("cli_reuse.dax");
+  std::ostringstream gen;
+  run_cli(parse({"generate", "--app", "pipeline", "--tasks", "3", "--out",
+                 dax}),
+          gen);
+  std::ostringstream out;
+  const int rc = run_cli(parse({"plan", "--dax", dax, "--deadline", "100000",
+                                "--store", store_path}),
+                         out);
+  EXPECT_EQ(rc, 0) << out.str();
+}
+
+}  // namespace
+}  // namespace deco::tools

@@ -1,0 +1,137 @@
+#include "util/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace deco::util {
+namespace {
+
+std::vector<double> draw(const Distribution& dist, std::size_t n,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = dist.sample(rng);
+  return xs;
+}
+
+TEST(NormalTest, SampleMomentsMatch) {
+  const auto xs = draw(Distribution::normal(50, 7), 50000, 1);
+  EXPECT_NEAR(mean(xs), 50, 0.2);
+  EXPECT_NEAR(stddev(xs), 7, 0.2);
+}
+
+TEST(NormalTest, CdfAtMeanIsHalf) {
+  const Normal n{3, 2};
+  EXPECT_NEAR(n.cdf(3), 0.5, 1e-12);
+}
+
+TEST(NormalTest, CdfMonotone) {
+  const Normal n{0, 1};
+  EXPECT_LT(n.cdf(-1), n.cdf(0));
+  EXPECT_LT(n.cdf(0), n.cdf(1));
+}
+
+TEST(NormalTest, PdfSymmetric) {
+  const Normal n{5, 1.5};
+  EXPECT_NEAR(n.pdf(4), n.pdf(6), 1e-12);
+}
+
+TEST(NormalTest, FitRecoversParameters) {
+  const auto xs = draw(Distribution::normal(128.9, 8.4), 20000, 2);
+  const Normal fit = Normal::fit(xs);
+  EXPECT_NEAR(fit.mu, 128.9, 0.5);
+  EXPECT_NEAR(fit.sigma, 8.4, 0.5);
+}
+
+TEST(GammaTest, SampleMomentsMatch) {
+  // Table 2 m1.small sequential I/O parameters.
+  const Gamma g{129.3, 0.79};
+  const auto xs = draw(Distribution::gamma(g.k, g.theta), 50000, 3);
+  EXPECT_NEAR(mean(xs), g.mean(), 0.5);
+  EXPECT_NEAR(variance(xs), g.k * g.theta * g.theta, 2.0);
+}
+
+TEST(GammaTest, SamplesNonNegative) {
+  const auto xs = draw(Distribution::gamma(0.5, 2.0), 10000, 4);
+  for (double x : xs) EXPECT_GE(x, 0.0);
+}
+
+TEST(GammaTest, SmallShapeSupported) {
+  const auto xs = draw(Distribution::gamma(0.3, 1.0), 20000, 5);
+  EXPECT_NEAR(mean(xs), 0.3, 0.05);
+}
+
+TEST(GammaTest, CdfMatchesEmpirical) {
+  const Gamma g{376.6, 0.28};  // Table 2 m1.large
+  const auto xs = draw(Distribution::gamma(g.k, g.theta), 20000, 6);
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  EXPECT_NEAR(g.cdf(median), 0.5, 0.02);
+}
+
+TEST(GammaTest, FitRecoversParameters) {
+  const auto xs = draw(Distribution::gamma(127.1, 0.80), 50000, 7);
+  const Gamma fit = Gamma::fit(xs);
+  EXPECT_NEAR(fit.k, 127.1, 8.0);
+  EXPECT_NEAR(fit.theta, 0.80, 0.06);
+}
+
+TEST(ParetoTest, SamplesAboveScale) {
+  const auto xs = draw(Distribution::pareto(2.0, 1.5), 10000, 8);
+  for (double x : xs) EXPECT_GE(x, 2.0);
+}
+
+TEST(ParetoTest, CdfAtScaleIsZero) {
+  const Pareto p{1.0, 1.16};
+  EXPECT_DOUBLE_EQ(p.cdf(1.0), 0.0);
+  EXPECT_GT(p.cdf(2.0), 0.0);
+}
+
+TEST(ParetoTest, HeavyTail) {
+  const auto xs = draw(Distribution::pareto(1.0, 1.16), 50000, 9);
+  // A nontrivial share of the mass is far above the scale.
+  int large = 0;
+  for (double x : xs) {
+    if (x > 10) ++large;
+  }
+  EXPECT_GT(large, 1000);
+}
+
+TEST(UniformTest, BoundsAndMean) {
+  const auto xs = draw(Distribution::uniform(10, 20), 20000, 10);
+  for (double x : xs) {
+    EXPECT_GE(x, 10.0);
+    EXPECT_LT(x, 20.0);
+  }
+  EXPECT_NEAR(mean(xs), 15.0, 0.1);
+}
+
+TEST(DistributionTest, MeanBySwitch) {
+  EXPECT_DOUBLE_EQ(Distribution::normal(5, 1).mean(), 5.0);
+  EXPECT_DOUBLE_EQ(Distribution::gamma(4, 0.5).mean(), 2.0);
+  EXPECT_DOUBLE_EQ(Distribution::uniform(2, 6).mean(), 4.0);
+}
+
+TEST(DistributionTest, DescribeNamesFamily) {
+  EXPECT_NE(Distribution::normal(1, 2).describe().find("Normal"),
+            std::string::npos);
+  EXPECT_NE(Distribution::gamma(1, 2).describe().find("Gamma"),
+            std::string::npos);
+}
+
+TEST(RegularizedGammaTest, KnownValues) {
+  // P(1, x) = 1 - exp(-x).
+  for (double x : {0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(regularized_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-10);
+  }
+}
+
+TEST(RegularizedGammaTest, LargeShapeStable) {
+  // Median of Gamma(k,1) is close to k for large k.
+  EXPECT_NEAR(regularized_gamma_p(400.0, 400.0), 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace deco::util

@@ -1,0 +1,120 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/distributions.hpp"
+#include "util/stats.hpp"
+
+namespace deco::util {
+namespace {
+
+TEST(HistogramTest, EmptyInput) {
+  const auto h = Histogram::from_samples(std::vector<double>{}, 10);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.bin_count(), 0u);
+}
+
+TEST(HistogramTest, DegenerateSampleCollapsesToOneBin) {
+  const std::vector<double> xs{4.2, 4.2, 4.2};
+  const auto h = Histogram::from_samples(xs, 10);
+  ASSERT_EQ(h.bin_count(), 1u);
+  EXPECT_DOUBLE_EQ(h.centers()[0], 4.2);
+  EXPECT_DOUBLE_EQ(h.masses()[0], 1.0);
+}
+
+TEST(HistogramTest, MassesSumToOne) {
+  Rng rng(31);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.uniform(0, 10));
+  const auto h = Histogram::from_samples(xs, 16);
+  double total = 0;
+  for (double m : h.masses()) total += m;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(h.cdf().back(), 1.0);
+}
+
+TEST(HistogramTest, MeanApproximatesSampleMean) {
+  Rng rng(37);
+  const Normal dist{100, 10};
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(dist.sample(rng));
+  const auto h = Histogram::from_samples(xs, 32);
+  EXPECT_NEAR(h.mean(), mean(xs), 1.0);
+}
+
+TEST(HistogramTest, VarianceApproximatesSampleVariance) {
+  Rng rng(41);
+  const Normal dist{50, 5};
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(dist.sample(rng));
+  const auto h = Histogram::from_samples(xs, 48);
+  EXPECT_NEAR(std::sqrt(h.variance()), stddev(xs), 0.5);
+}
+
+TEST(HistogramTest, PercentileMonotone) {
+  Rng rng(43);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.uniform(0, 100));
+  const auto h = Histogram::from_samples(xs, 20);
+  double prev = h.percentile(0);
+  for (double q = 5; q <= 100; q += 5) {
+    const double v = h.percentile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, PercentileMatchesSamplePercentile) {
+  Rng rng(47);
+  const Gamma dist{10, 2};
+  std::vector<double> xs;
+  for (int i = 0; i < 30000; ++i) xs.push_back(dist.sample(rng));
+  const auto h = Histogram::from_samples(xs, 64);
+  EXPECT_NEAR(h.percentile(95), percentile(xs, 95), 1.5);
+}
+
+TEST(HistogramTest, SamplingReproducesDistribution) {
+  Rng rng(53);
+  const Normal dist{20, 3};
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(dist.sample(rng));
+  const auto h = Histogram::from_samples(xs, 40);
+  Rng rng2(54);
+  std::vector<double> resampled;
+  for (int i = 0; i < 20000; ++i) resampled.push_back(h.sample(rng2));
+  EXPECT_NEAR(mean(resampled), 20, 0.3);
+  EXPECT_NEAR(stddev(resampled), 3, 0.3);
+}
+
+TEST(HistogramTest, ProbLeBoundaries) {
+  const auto h = Histogram::from_bins({1, 2, 3}, {0.2, 0.3, 0.5});
+  EXPECT_DOUBLE_EQ(h.prob_le(0.5), 0.0);
+  EXPECT_NEAR(h.prob_le(1.0), 0.2, 1e-12);
+  EXPECT_NEAR(h.prob_le(2.5), 0.5, 1e-12);
+  EXPECT_NEAR(h.prob_le(10), 1.0, 1e-12);
+}
+
+TEST(HistogramTest, FromBinsNormalizesMasses) {
+  const auto h = Histogram::from_bins({1, 2}, {2, 6});
+  EXPECT_NEAR(h.masses()[0], 0.25, 1e-12);
+  EXPECT_NEAR(h.masses()[1], 0.75, 1e-12);
+}
+
+TEST(HistogramTest, FromBinsSortsCenters) {
+  const auto h = Histogram::from_bins({3, 1, 2}, {0.1, 0.5, 0.4});
+  EXPECT_DOUBLE_EQ(h.centers()[0], 1.0);
+  EXPECT_DOUBLE_EQ(h.centers()[1], 2.0);
+  EXPECT_DOUBLE_EQ(h.centers()[2], 3.0);
+  EXPECT_NEAR(h.masses()[0], 0.5, 1e-12);
+}
+
+TEST(HistogramTest, ScaledMultipliesCentersKeepsMasses) {
+  const auto h = Histogram::from_bins({1, 2}, {0.5, 0.5});
+  const auto s = h.scaled(10);
+  EXPECT_DOUBLE_EQ(s.centers()[0], 10.0);
+  EXPECT_DOUBLE_EQ(s.centers()[1], 20.0);
+  EXPECT_NEAR(s.mean(), 15.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace deco::util

@@ -1,0 +1,108 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+
+namespace deco::util {
+namespace {
+
+TEST(StatsTest, MeanOfKnownValues) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(StatsTest, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(StatsTest, VarianceOfConstantIsZero) {
+  const std::vector<double> xs{5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+}
+
+TEST(StatsTest, VarianceUnbiased) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  // Sample variance with n-1 denominator: 32/7.
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+}
+
+TEST(StatsTest, StddevIsSqrtOfVariance) {
+  const std::vector<double> xs{1, 3};
+  EXPECT_NEAR(stddev(xs), std::sqrt(2.0), 1e-12);
+}
+
+TEST(StatsTest, PercentileEndpoints) {
+  const std::vector<double> xs{3, 1, 2};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 2.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  const std::vector<double> xs{0, 10};
+  EXPECT_NEAR(percentile(xs, 25), 2.5, 1e-12);
+}
+
+TEST(StatsTest, PercentileClampsOutOfRangeQ) {
+  const std::vector<double> xs{1, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(xs, -5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 120), 3.0);
+}
+
+TEST(StatsTest, FiveNumberSummaryOrdering) {
+  Rng rng(17);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.uniform(0, 100));
+  const auto s = five_number_summary(xs);
+  EXPECT_LE(s.min, s.q25);
+  EXPECT_LE(s.q25, s.median);
+  EXPECT_LE(s.median, s.q75);
+  EXPECT_LE(s.q75, s.max);
+}
+
+TEST(StatsTest, NormalizedDividesByBase) {
+  const std::vector<double> xs{2, 4, 8};
+  const auto out = normalized(xs, 2.0);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+  EXPECT_DOUBLE_EQ(out[2], 4.0);
+}
+
+TEST(StatsTest, NormalizedZeroBaseYieldsZeros) {
+  const std::vector<double> xs{2, 4};
+  const auto out = normalized(xs, 0.0);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+}
+
+TEST(StatsTest, KsAcceptsMatchingDistribution) {
+  Rng rng(23);
+  const Normal dist{10, 2};
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(dist.sample(rng));
+  const auto ks = ks_test(xs, [&](double x) { return dist.cdf(x); });
+  EXPECT_GT(ks.p_value, 0.01);  // should not reject the true model
+}
+
+TEST(StatsTest, KsRejectsWrongDistribution) {
+  Rng rng(29);
+  const Gamma dist{2.0, 3.0};
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(dist.sample(rng));
+  const Normal wrong{0, 1};
+  const auto ks = ks_test(xs, [&](double x) { return wrong.cdf(x); });
+  EXPECT_LT(ks.p_value, 1e-6);
+}
+
+TEST(StatsTest, KolmogorovTailMonotone) {
+  double prev = 1.0;
+  for (double t = 0.1; t < 3.0; t += 0.1) {
+    const double v = kolmogorov_tail(t);
+    EXPECT_LE(v, prev + 1e-12);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace deco::util

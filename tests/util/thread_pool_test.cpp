@@ -1,0 +1,88 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace deco::util {
+namespace {
+
+TEST(ThreadPoolTest, DefaultHasAtLeastOneWorker) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  auto fut = pool.submit([&] { counter.fetch_add(1); });
+  fut.get();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, ManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelChunksPartitionIsExact) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_chunks(103, [&](std::size_t b, std::size_t e, std::size_t) {
+    std::lock_guard lock(mu);
+    chunks.emplace_back(b, e);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t expected_begin = 0;
+  for (const auto& [b, e] : chunks) {
+    EXPECT_EQ(b, expected_begin);
+    EXPECT_GT(e, b);
+    expected_begin = e;
+  }
+  EXPECT_EQ(expected_begin, 103u);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(1);
+  auto fut = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelSumMatchesSerial) {
+  ThreadPool pool(4);
+  std::vector<double> xs(10000);
+  std::iota(xs.begin(), xs.end(), 0.0);
+  std::atomic<long long> parallel_sum{0};
+  pool.parallel_for(xs.size(), [&](std::size_t i) {
+    parallel_sum.fetch_add(static_cast<long long>(xs[i]));
+  });
+  const long long serial =
+      static_cast<long long>(std::accumulate(xs.begin(), xs.end(), 0.0));
+  EXPECT_EQ(parallel_sum.load(), serial);
+}
+
+}  // namespace
+}  // namespace deco::util

@@ -1,0 +1,94 @@
+#include "util/xml.hpp"
+
+#include <gtest/gtest.h>
+
+namespace deco::util {
+namespace {
+
+TEST(XmlTest, ParsesSimpleElement) {
+  const auto r = parse_xml("<root/>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.root->name, "root");
+}
+
+TEST(XmlTest, ParsesAttributes) {
+  const auto r = parse_xml(R"(<job id="ID01" name="process1"/>)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.root->attr_or("id", ""), "ID01");
+  EXPECT_EQ(r.root->attr_or("name", ""), "process1");
+  EXPECT_FALSE(r.root->attr("missing").has_value());
+}
+
+TEST(XmlTest, SingleQuotedAttributes) {
+  const auto r = parse_xml("<a x='1'/>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.root->attr_or("x", ""), "1");
+}
+
+TEST(XmlTest, NestedChildren) {
+  const auto r = parse_xml("<a><b/><c><d/></c><b/></a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.root->children.size(), 3u);
+  EXPECT_EQ(r.root->children_named("b").size(), 2u);
+  ASSERT_NE(r.root->child("c"), nullptr);
+  EXPECT_NE(r.root->child("c")->child("d"), nullptr);
+}
+
+TEST(XmlTest, TextContent) {
+  const auto r = parse_xml("<a>hello <b/>world</a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.root->text, "hello world");
+}
+
+TEST(XmlTest, EntityDecoding) {
+  const auto r = parse_xml("<a x=\"&lt;&amp;&gt;\">&quot;q&apos;</a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.root->attr_or("x", ""), "<&>");
+  EXPECT_EQ(r.root->text, "\"q'");
+}
+
+TEST(XmlTest, NumericEntity) {
+  const auto r = parse_xml("<a>&#65;&#x42;</a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.root->text, "AB");
+}
+
+TEST(XmlTest, SkipsDeclarationAndComments) {
+  const auto r = parse_xml(
+      "<?xml version=\"1.0\"?><!-- header --><a><!-- inner --><b/></a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.root->name, "a");
+  EXPECT_EQ(r.root->children.size(), 1u);
+}
+
+TEST(XmlTest, Cdata) {
+  const auto r = parse_xml("<a><![CDATA[<raw & stuff>]]></a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.root->text, "<raw & stuff>");
+}
+
+TEST(XmlTest, MismatchedTagIsError) {
+  const auto r = parse_xml("<a><b></a></b>");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(XmlTest, UnterminatedTagIsError) {
+  const auto r = parse_xml("<a><b>");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(XmlTest, MissingQuoteIsError) {
+  const auto r = parse_xml("<a x=1/>");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(XmlTest, EscapeRoundTrip) {
+  const std::string raw = "a<b>&\"c'";
+  const std::string escaped = xml_escape(raw);
+  const auto r = parse_xml("<t x=\"" + escaped + "\"/>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.root->attr_or("x", ""), raw);
+}
+
+}  // namespace
+}  // namespace deco::util

@@ -1,0 +1,137 @@
+#include "vgpu/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+namespace deco::vgpu {
+namespace {
+
+TEST(BackendTest, FactoryProducesBothBackends) {
+  EXPECT_EQ(make_backend("serial")->name(), "serial");
+  EXPECT_EQ(make_backend("vgpu")->name(), "vgpu");
+  EXPECT_EQ(make_backend("unknown")->name(), "serial");  // safe default
+}
+
+TEST(BackendTest, AllBlocksExecute) {
+  for (const char* name : {"serial", "vgpu"}) {
+    auto backend = make_backend(name, 4);
+    std::vector<std::atomic<int>> hits(37);
+    LaunchConfig config;
+    config.blocks = hits.size();
+    backend->launch(config, [&](BlockContext& ctx) {
+      hits[ctx.block_index()].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << name;
+  }
+}
+
+TEST(BackendTest, AllLanesExecute) {
+  auto backend = make_backend("vgpu", 2);
+  LaunchConfig config;
+  config.blocks = 4;
+  config.lanes_per_block = 16;
+  std::vector<std::atomic<int>> lane_counts(4);
+  backend->launch(config, [&](BlockContext& ctx) {
+    ctx.for_each_lane([&](std::size_t, util::Rng&) {
+      lane_counts[ctx.block_index()].fetch_add(1);
+    });
+  });
+  for (const auto& c : lane_counts) EXPECT_EQ(c.load(), 16);
+}
+
+TEST(BackendTest, SharedMemoryZeroInitialized) {
+  auto backend = make_backend("serial");
+  LaunchConfig config;
+  config.blocks = 2;
+  config.shared_doubles = 8;
+  backend->launch(config, [&](BlockContext& ctx) {
+    for (double v : ctx.shared()) EXPECT_DOUBLE_EQ(v, 0.0);
+  });
+}
+
+TEST(BackendTest, SharedMemoryIsPerBlock) {
+  auto backend = make_backend("vgpu", 4);
+  LaunchConfig config;
+  config.blocks = 8;
+  config.shared_doubles = 4;
+  std::vector<double> first(config.blocks, -1);
+  backend->launch(config, [&](BlockContext& ctx) {
+    ctx.shared()[0] = static_cast<double>(ctx.block_index());
+    first[ctx.block_index()] = ctx.shared()[0];
+  });
+  for (std::size_t b = 0; b < config.blocks; ++b) {
+    EXPECT_DOUBLE_EQ(first[b], static_cast<double>(b));
+  }
+}
+
+TEST(BackendTest, SerialAndVgpuAgreeExactly) {
+  // Same seed, same kernel => bitwise-identical results across backends,
+  // which is what makes the speed-up comparison apples-to-apples.
+  auto run = [](ComputeBackend& backend) {
+    LaunchConfig config;
+    config.blocks = 6;
+    config.lanes_per_block = 32;
+    config.shared_doubles = 32;
+    config.seed = 1234;
+    std::vector<double> sums(config.blocks, 0);
+    backend.launch(config, [&](BlockContext& ctx) {
+      auto shared = ctx.shared();
+      ctx.for_each_lane([&](std::size_t lane, util::Rng& rng) {
+        shared[lane] = rng.uniform();
+      });
+      sums[ctx.block_index()] =
+          std::accumulate(shared.begin(), shared.end(), 0.0);
+    });
+    return sums;
+  };
+  SerialBackend serial;
+  VirtualGpuBackend vgpu(4);
+  EXPECT_EQ(run(serial), run(vgpu));
+}
+
+TEST(BackendTest, LaneRngsAreDecorrelated) {
+  SerialBackend backend;
+  LaunchConfig config;
+  config.blocks = 1;
+  config.lanes_per_block = 64;
+  config.shared_doubles = 64;
+  std::vector<double> values;
+  backend.launch(config, [&](BlockContext& ctx) {
+    ctx.for_each_lane([&](std::size_t lane, util::Rng& rng) {
+      ctx.shared()[lane] = rng.uniform();
+    });
+    values.assign(ctx.shared().begin(), ctx.shared().end());
+  });
+  // All lane draws distinct.
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(std::adjacent_find(values.begin(), values.end()), values.end());
+}
+
+TEST(BackendTest, MonteCarloPiEstimate) {
+  // A classic kernel: each block estimates pi, host averages the blocks.
+  VirtualGpuBackend backend(4);
+  LaunchConfig config;
+  config.blocks = 16;
+  config.lanes_per_block = 2048;
+  config.shared_doubles = 1;
+  std::vector<double> inside(config.blocks, 0);
+  backend.launch(config, [&](BlockContext& ctx) {
+    double count = 0;
+    ctx.for_each_lane([&](std::size_t, util::Rng& rng) {
+      const double x = rng.uniform();
+      const double y = rng.uniform();
+      if (x * x + y * y <= 1.0) count += 1;
+    });
+    inside[ctx.block_index()] = count;
+  });
+  double total = std::accumulate(inside.begin(), inside.end(), 0.0);
+  const double pi =
+      4.0 * total / (config.blocks * config.lanes_per_block);
+  EXPECT_NEAR(pi, 3.14159, 0.05);
+}
+
+}  // namespace
+}  // namespace deco::vgpu

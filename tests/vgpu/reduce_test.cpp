@@ -1,0 +1,61 @@
+#include "vgpu/reduce.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vgpu/device.hpp"
+
+namespace deco::vgpu {
+namespace {
+
+TEST(BlockReduceTest, SumMeanMaxMinCount) {
+  const std::vector<double> shared{3, 1, 4, 1, 5};
+  EXPECT_DOUBLE_EQ(block_reduce_sum(shared, 5), 14.0);
+  EXPECT_DOUBLE_EQ(block_reduce_mean(shared, 5), 2.8);
+  EXPECT_DOUBLE_EQ(block_reduce_max(shared, 5), 5.0);
+  EXPECT_DOUBLE_EQ(block_reduce_min(shared, 5), 1.0);
+  EXPECT_EQ(block_count_within(shared, 5, 3.0), 3u);
+}
+
+TEST(BlockReduceTest, PrefixOnly) {
+  const std::vector<double> shared{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(block_reduce_sum(shared, 2), 30.0);
+  EXPECT_DOUBLE_EQ(block_reduce_max(shared, 3), 30.0);
+}
+
+TEST(BlockReduceTest, EmptyIsSafe) {
+  const std::vector<double> shared;
+  EXPECT_DOUBLE_EQ(block_reduce_sum(shared, 8), 0.0);
+  EXPECT_DOUBLE_EQ(block_reduce_mean(shared, 8), 0.0);
+  EXPECT_EQ(block_count_within(shared, 8, 1.0), 0u);
+}
+
+TEST(BlockReduceTest, NClampedToSharedSize) {
+  const std::vector<double> shared{1, 2};
+  EXPECT_DOUBLE_EQ(block_reduce_sum(shared, 100), 3.0);
+}
+
+TEST(BlockReduceTest, InsideKernelDeadlineCount) {
+  // The paper's pattern end-to-end: lanes sample a value into shared memory,
+  // the block reduces a deadline count.
+  VirtualGpuBackend backend(2);
+  LaunchConfig config;
+  config.blocks = 4;
+  config.lanes_per_block = 256;
+  config.shared_doubles = 256;
+  config.seed = 7;
+  std::vector<double> fractions(config.blocks, 0);
+  backend.launch(config, [&](BlockContext& ctx) {
+    auto shared = ctx.shared();
+    ctx.for_each_lane([&](std::size_t lane, util::Rng& rng) {
+      shared[lane] = rng.uniform();  // "makespan" sample in [0,1)
+    });
+    const auto within =
+        block_count_within(shared, ctx.lane_count(), 0.25);
+    fractions[ctx.block_index()] =
+        static_cast<double>(within) / static_cast<double>(ctx.lane_count());
+  });
+  for (double f : fractions) EXPECT_NEAR(f, 0.25, 0.08);
+}
+
+}  // namespace
+}  // namespace deco::vgpu

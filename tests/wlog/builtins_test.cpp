@@ -1,0 +1,220 @@
+// Tests for the extended built-in library: disjunction, if-then-else,
+// forall, sorting, list aggregates, aggregate_all and friends.
+#include <gtest/gtest.h>
+
+#include "wlog/interp.hpp"
+#include "wlog/program.hpp"
+
+namespace deco::wlog {
+namespace {
+
+Database load(const char* source) {
+  const auto r = parse_program(source);
+  EXPECT_TRUE(r.ok()) << (r.error ? r.error->message : "");
+  Database db;
+  db.add_program(r.program);
+  return db;
+}
+
+TEST(DisjunctionTest, EitherBranchSucceeds) {
+  const Database db = load("p(X) :- X = a ; X = b.");
+  Interpreter interp(db);
+  const auto s = interp.query("p(X)", 10);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_TRUE((*s[0].find("X"))->is_atom("a"));
+  EXPECT_TRUE((*s[1].find("X"))->is_atom("b"));
+}
+
+TEST(DisjunctionTest, FailedLeftFallsThroughToRight) {
+  const Database db = load("p(X) :- fail ; X = b.");
+  Interpreter interp(db);
+  const auto s = interp.query("p(X)", 10);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_TRUE((*s[0].find("X"))->is_atom("b"));
+}
+
+TEST(DisjunctionTest, NestedDisjunctionEnumeratesAll) {
+  const Database db = load("p(X) :- X = 1 ; X = 2 ; X = 3.");
+  Interpreter interp(db);
+  EXPECT_EQ(interp.query("p(X)", 10).size(), 3u);
+}
+
+TEST(IfThenElseTest, ThenBranchWhenConditionHolds) {
+  const Database db = load(R"(
+    sign(X, pos) :- (X > 0 -> true ; fail).
+    classify(X, R) :- (X > 0 -> R = pos ; R = nonpos).
+  )");
+  Interpreter interp(db);
+  auto s = interp.query("classify(5, R)");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_TRUE((*s[0].find("R"))->is_atom("pos"));
+  s = interp.query("classify(-5, R)");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_TRUE((*s[0].find("R"))->is_atom("nonpos"));
+}
+
+TEST(IfThenElseTest, CommitsToFirstConditionSolution) {
+  const Database db = load(R"(
+    n(1). n(2). n(3).
+    first(R) :- (n(X) -> R = X ; R = none).
+  )");
+  Interpreter interp(db);
+  const auto s = interp.query("first(R)", 10);
+  ASSERT_EQ(s.size(), 1u);  // no backtracking into the condition
+  EXPECT_DOUBLE_EQ(s[0].number("R"), 1.0);
+}
+
+TEST(IfThenElseTest, BareIfThenFailsWhenConditionFails) {
+  const Database db = load("p :- (fail -> true).");
+  Interpreter interp(db);
+  EXPECT_FALSE(interp.holds("p"));
+}
+
+TEST(ForallTest, HoldsWhenActionCoversAllSolutions) {
+  const Database db = load("n(2). n(4). n(6).");
+  Interpreter interp(db);
+  EXPECT_TRUE(interp.holds("forall(n(X), 0 =:= X mod 2)"));
+  EXPECT_FALSE(interp.holds("forall(n(X), X > 3)"));
+  EXPECT_TRUE(interp.holds("forall(fail, fail)"));  // vacuous truth
+}
+
+TEST(SortTest, MsortKeepsDuplicates) {
+  const Database db = load("dummy.");
+  Interpreter interp(db);
+  const auto s = interp.query("msort([3,1,2,1], L)");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(to_string(*s[0].find("L")), "[1,1,2,3]");
+}
+
+TEST(SortTest, SortDeduplicates) {
+  const Database db = load("dummy.");
+  Interpreter interp(db);
+  const auto s = interp.query("sort([3,1,2,1], L)");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(to_string(*s[0].find("L")), "[1,2,3]");
+}
+
+TEST(SortTest, ReverseReverses) {
+  const Database db = load("dummy.");
+  Interpreter interp(db);
+  const auto s = interp.query("reverse([1,2,3], L)");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(to_string(*s[0].find("L")), "[3,2,1]");
+}
+
+TEST(ListTest, Last) {
+  const Database db = load("dummy.");
+  Interpreter interp(db);
+  const auto s = interp.query("last([a,b,c], X)");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_TRUE((*s[0].find("X"))->is_atom("c"));
+  EXPECT_FALSE(interp.holds("last([], X)"));
+}
+
+TEST(ListTest, NumericAggregates) {
+  const Database db = load("dummy.");
+  Interpreter interp(db);
+  auto s = interp.query("sum_list([1,2,3], S)");
+  EXPECT_DOUBLE_EQ(s[0].number("S"), 6.0);
+  s = interp.query("max_list([1,9,3], S)");
+  EXPECT_DOUBLE_EQ(s[0].number("S"), 9.0);
+  s = interp.query("min_list([4,2,3], S)");
+  EXPECT_DOUBLE_EQ(s[0].number("S"), 2.0);
+  EXPECT_TRUE(interp.holds("sum_list([], S), S =:= 0"));
+  EXPECT_FALSE(interp.holds("max_list([], S)"));
+}
+
+TEST(ListTest, Numlist) {
+  const Database db = load("dummy.");
+  Interpreter interp(db);
+  const auto s = interp.query("numlist(2, 5, L)");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(to_string(*s[0].find("L")), "[2,3,4,5]");
+}
+
+TEST(ArithTest, SuccBothModes) {
+  const Database db = load("dummy.");
+  Interpreter interp(db);
+  auto s = interp.query("succ(3, X)");
+  EXPECT_DOUBLE_EQ(s[0].number("X"), 4.0);
+  s = interp.query("succ(X, 4)");
+  EXPECT_DOUBLE_EQ(s[0].number("X"), 3.0);
+  EXPECT_FALSE(interp.holds("succ(X, 0)"));
+}
+
+TEST(AtomTest, ConcatAndLength) {
+  const Database db = load("dummy.");
+  Interpreter interp(db);
+  const auto s = interp.query("atom_concat(foo, bar, X)");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_TRUE((*s[0].find("X"))->is_atom("foobar"));
+  EXPECT_TRUE(interp.holds("atom_length(hello, 5)"));
+  EXPECT_FALSE(interp.holds("atom_length(hello, 4)"));
+}
+
+TEST(CopyTermTest, FreshVariables) {
+  const Database db = load("dummy.");
+  Interpreter interp(db);
+  // The copy unifies independently of the original.
+  EXPECT_TRUE(interp.holds("copy_term(f(X, X), f(1, Y)), Y == 1, var(X)"));
+}
+
+TEST(AggregateAllTest, Count) {
+  const Database db = load("n(1). n(2). n(3).");
+  Interpreter interp(db);
+  const auto s = interp.query("aggregate_all(count, n(X), N)");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s[0].number("N"), 3.0);
+}
+
+TEST(AggregateAllTest, CountZeroForNoSolutions) {
+  const Database db = load("n(1).");
+  Interpreter interp(db);
+  const auto s = interp.query("aggregate_all(count, missing(X), N)");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s[0].number("N"), 0.0);
+}
+
+TEST(AggregateAllTest, SumMaxMin) {
+  const Database db = load("v(1.5). v(2.5). v(4.0).");
+  Interpreter interp(db);
+  auto s = interp.query("aggregate_all(sum(X), v(X), S)");
+  EXPECT_DOUBLE_EQ(s[0].number("S"), 8.0);
+  s = interp.query("aggregate_all(max(X), v(X), S)");
+  EXPECT_DOUBLE_EQ(s[0].number("S"), 4.0);
+  s = interp.query("aggregate_all(min(X), v(X), S)");
+  EXPECT_DOUBLE_EQ(s[0].number("S"), 1.5);
+  EXPECT_FALSE(interp.holds("aggregate_all(max(X), missing(X), S)"));
+}
+
+TEST(AggregateAllTest, Bag) {
+  const Database db = load("n(1). n(2).");
+  Interpreter interp(db);
+  const auto s = interp.query("aggregate_all(bag(X), n(X), L)");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(to_string(*s[0].find("L")), "[1,2]");
+}
+
+TEST(CombinedTest, DisjunctionInsideFindall) {
+  const Database db = load("p(X) :- X = 1 ; X = 2.");
+  Interpreter interp(db);
+  const auto s = interp.query("findall(X, p(X), L)");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(to_string(*s[0].find("L")), "[1,2]");
+}
+
+TEST(CombinedTest, WorkflowStyleConditionalCost) {
+  // A realistic WLog snippet: a surcharge applies only to premium types.
+  const Database db = load(R"(
+    premium(v3).
+    surcharge(V, S) :- (premium(V) -> S = 0.1 ; S = 0.0).
+  )");
+  Interpreter interp(db);
+  auto s = interp.query("surcharge(v3, S)");
+  EXPECT_DOUBLE_EQ(s[0].number("S"), 0.1);
+  s = interp.query("surcharge(v0, S)");
+  EXPECT_DOUBLE_EQ(s[0].number("S"), 0.0);
+}
+
+}  // namespace
+}  // namespace deco::wlog

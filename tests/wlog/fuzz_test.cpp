@@ -1,0 +1,128 @@
+// Robustness: malformed and adversarial inputs must produce errors, never
+// crashes, hangs or silent acceptance of garbage.
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "wlog/interp.hpp"
+#include "wlog/lexer.hpp"
+#include "wlog/program.hpp"
+#include "workflow/dax.hpp"
+
+namespace deco {
+namespace {
+
+TEST(WlogFuzzTest, MalformedProgramsReportErrors) {
+  const char* corpus[] = {
+      "",                           // empty is fine (no clauses)
+      ".",                          // bare terminator
+      "p(",                         // unterminated args
+      "p(X",                        // unterminated args
+      "p(X))",                      // extra paren
+      ":- foo.",                    // missing head
+      "p :- .",                     // empty body
+      "p :- q r.",                  // missing comma
+      "goal minimize.",             // truncated directive
+      "goal minimize X totalcost(X).",  // missing 'in'
+      "cons X in q(X) satisfies.",  // truncated satisfies
+      "var t(X) forall.",           // truncated forall
+      "import().",                  // empty import
+      "import(3).",                 // non-atom import
+      "enabled(warp).",             // unknown enabled target
+      "p(X) :- X is 1 +.",          // dangling operator
+      "p([1,2.",                    // unterminated list
+      "p('never closed).",          // unterminated quote
+      "/* never closed",            // unterminated comment
+      "42.",                        // number as clause head
+      "p(X) :- q(X)",               // missing final period
+      "p(X X).",                    // missing comma in args
+      "deadline(95%%, 10h).",       // double percent
+  };
+  for (const char* source : corpus) {
+    const auto result = wlog::parse_program(source);
+    // Either it parses into something structurally sane, or it reports an
+    // error with a line number.  It must never crash.
+    if (!result.ok()) {
+      EXPECT_FALSE(result.error->message.empty()) << source;
+    }
+  }
+}
+
+TEST(WlogFuzzTest, RandomBytesNeverCrashLexerOrParser) {
+  util::Rng rng(99);
+  for (int round = 0; round < 200; ++round) {
+    std::string input;
+    const std::size_t len = rng.below(120);
+    for (std::size_t i = 0; i < len; ++i) {
+      // Printable-ish ASCII plus some newlines.
+      const auto c = static_cast<char>(32 + rng.below(96));
+      input.push_back(rng.chance(0.05) ? '\n' : c);
+    }
+    const auto tokens = wlog::tokenize(input);
+    EXPECT_FALSE(tokens.empty());
+    (void)wlog::parse_program(input);  // must not crash
+  }
+}
+
+TEST(WlogFuzzTest, RandomProgramShapedInputs) {
+  // Random sequences of plausible tokens stress the parser's recovery.
+  util::Rng rng(101);
+  const char* words[] = {"p", "q(X)", ":-", ",", ".", "(", ")", "[", "]",
+                         "1", "2.5", "95%", "10h", "X", "_", "is", "+",
+                         "goal", "cons", "var", "forall", "and", "minimize",
+                         "in", "satisfies", "deadline", "!", ";", "->"};
+  for (int round = 0; round < 300; ++round) {
+    std::string input;
+    const std::size_t len = 1 + rng.below(25);
+    for (std::size_t i = 0; i < len; ++i) {
+      input += words[rng.below(std::size(words))];
+      input += ' ';
+    }
+    (void)wlog::parse_program(input);  // must not crash or hang
+  }
+}
+
+TEST(WlogFuzzTest, DeepNestingIsBounded) {
+  // Deeply nested terms should parse (or fail) without smashing the stack.
+  std::string deep = "p(";
+  for (int i = 0; i < 2000; ++i) deep += "f(";
+  deep += "x";
+  for (int i = 0; i < 2000; ++i) deep += ")";
+  deep += ").";
+  (void)wlog::parse_program(deep);
+}
+
+TEST(WlogFuzzTest, QueriesOnGarbageDatabaseAreSafe) {
+  const auto parsed = wlog::parse_program("p(1). p(2). q(X) :- p(X), p(Y).");
+  ASSERT_TRUE(parsed.ok());
+  wlog::Database db;
+  db.add_program(parsed.program);
+  wlog::Interpreter interp(db);
+  interp.set_step_limit(50'000);
+  // Queries with wrong arities, unknown predicates, unbound arithmetic.
+  EXPECT_FALSE(interp.holds("p(1, 2, 3)"));
+  EXPECT_FALSE(interp.holds("unknown(X)"));
+  EXPECT_FALSE(interp.holds("X is Y + 1"));
+  EXPECT_FALSE(interp.holds("1 < foo"));
+  EXPECT_FALSE(interp.holds("sum([a,b], S)"));
+  EXPECT_FALSE(interp.holds("member(X, not_a_list)"));
+}
+
+TEST(DaxFuzzTest, RandomXmlNeverCrashes) {
+  util::Rng rng(103);
+  const char* fragments[] = {"<adag>", "</adag>", "<job ", "id=\"A\"",
+                             "name=\"p\"", ">", "/>", "<uses ", "file=\"f\"",
+                             "link=\"input\"", "size=\"10\"", "<child ",
+                             "ref=\"A\"", "<parent ", "&amp;", "<!--", "-->",
+                             "<![CDATA[", "]]>", "text"};
+  for (int round = 0; round < 300; ++round) {
+    std::string input;
+    const std::size_t len = 1 + rng.below(30);
+    for (std::size_t i = 0; i < len; ++i) {
+      input += fragments[rng.below(std::size(fragments))];
+    }
+    (void)workflow::parse_dax(input);  // must not crash
+  }
+}
+
+}  // namespace
+}  // namespace deco

@@ -1,0 +1,298 @@
+#include "wlog/interp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wlog/program.hpp"
+
+namespace deco::wlog {
+namespace {
+
+Database load(const char* source) {
+  const auto r = parse_program(source);
+  EXPECT_TRUE(r.ok()) << (r.error ? r.error->message : "");
+  Database db;
+  db.add_program(r.program);
+  return db;
+}
+
+TEST(InterpTest, FactLookup) {
+  const Database db = load("task(a). task(b).");
+  Interpreter interp(db);
+  EXPECT_TRUE(interp.holds("task(a)"));
+  EXPECT_TRUE(interp.holds("task(b)"));
+  EXPECT_FALSE(interp.holds("task(c)"));
+}
+
+TEST(InterpTest, EnumeratesSolutions) {
+  const Database db = load("task(a). task(b). task(c).");
+  Interpreter interp(db);
+  const auto solutions = interp.query("task(X)");
+  ASSERT_EQ(solutions.size(), 3u);
+  EXPECT_TRUE((*solutions[0].find("X"))->is_atom("a"));
+  EXPECT_TRUE((*solutions[2].find("X"))->is_atom("c"));
+}
+
+TEST(InterpTest, RuleChaining) {
+  const Database db = load(R"(
+    parent(tom, bob). parent(bob, ann).
+    grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+  )");
+  Interpreter interp(db);
+  EXPECT_TRUE(interp.holds("grandparent(tom, ann)"));
+  EXPECT_FALSE(interp.holds("grandparent(bob, tom)"));
+}
+
+TEST(InterpTest, RecursiveRules) {
+  const Database db = load(R"(
+    edge(a, b). edge(b, c). edge(c, d).
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+  )");
+  Interpreter interp(db);
+  EXPECT_TRUE(interp.holds("path(a, d)"));
+  EXPECT_FALSE(interp.holds("path(d, a)"));
+}
+
+TEST(InterpTest, ArithmeticIs) {
+  const Database db = load("f(X, Y) :- Y is X * 2 + 1.");
+  Interpreter interp(db);
+  const auto s = interp.query("f(10, Y)");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s[0].number("Y"), 21.0);
+}
+
+TEST(InterpTest, ArithmeticFunctions) {
+  const Database db = load(
+      "g(A,B,C,D) :- A is min(3,5), B is max(3,5), C is abs(-4), D is 7 mod 3.");
+  Interpreter interp(db);
+  const auto s = interp.query("g(A,B,C,D)");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s[0].number("A"), 3);
+  EXPECT_DOUBLE_EQ(s[0].number("B"), 5);
+  EXPECT_DOUBLE_EQ(s[0].number("C"), 4);
+  EXPECT_DOUBLE_EQ(s[0].number("D"), 1);
+}
+
+TEST(InterpTest, DivisionByZeroFails) {
+  const Database db = load("f(Y) :- Y is 1 / 0.");
+  Interpreter interp(db);
+  EXPECT_FALSE(interp.holds("f(Y)"));
+}
+
+TEST(InterpTest, Comparisons) {
+  const Database db = load("dummy.");
+  Interpreter interp(db);
+  EXPECT_TRUE(interp.holds("1 < 2"));
+  EXPECT_FALSE(interp.holds("2 < 1"));
+  EXPECT_TRUE(interp.holds("2 =< 2"));
+  EXPECT_TRUE(interp.holds("3 >= 2"));
+  EXPECT_TRUE(interp.holds("2 + 2 =:= 4"));
+  EXPECT_TRUE(interp.holds("2 =\\= 3"));
+}
+
+TEST(InterpTest, UnificationBuiltins) {
+  const Database db = load("dummy.");
+  Interpreter interp(db);
+  EXPECT_TRUE(interp.holds("X = f(1), X == f(1)"));
+  EXPECT_TRUE(interp.holds("f(X) = f(3), X == 3"));
+  EXPECT_TRUE(interp.holds("a \\= b"));
+  EXPECT_FALSE(interp.holds("a \\= a"));
+  EXPECT_TRUE(interp.holds("X \\== Y"));
+}
+
+TEST(InterpTest, NegationAsFailure) {
+  const Database db = load("task(a).");
+  Interpreter interp(db);
+  EXPECT_TRUE(interp.holds("\\+ task(z)"));
+  EXPECT_FALSE(interp.holds("\\+ task(a)"));
+  EXPECT_TRUE(interp.holds("not(task(z))"));
+}
+
+TEST(InterpTest, CutPrunesAlternatives) {
+  const Database db = load(R"(
+    first(X) :- member(X, [1,2,3]), !.
+  )");
+  Interpreter interp(db);
+  const auto s = interp.query("first(X)", 10);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s[0].number("X"), 1.0);
+}
+
+TEST(InterpTest, CutCommitsToClause) {
+  const Database db = load(R"(
+    classify(X, small) :- X < 10, !.
+    classify(_, large).
+  )");
+  Interpreter interp(db);
+  auto s = interp.query("classify(5, C)", 10);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_TRUE((*s[0].find("C"))->is_atom("small"));
+  s = interp.query("classify(50, C)", 10);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_TRUE((*s[0].find("C"))->is_atom("large"));
+}
+
+TEST(InterpTest, FindallCollectsAll) {
+  const Database db = load("n(1). n(2). n(3).");
+  Interpreter interp(db);
+  const auto s = interp.query("findall(X, n(X), L)");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(to_string(*s[0].find("L")), "[1,2,3]");
+}
+
+TEST(InterpTest, FindallEmptyListOnNoSolutions) {
+  const Database db = load("n(1).");
+  Interpreter interp(db);
+  const auto s = interp.query("findall(X, missing(X), L)");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(to_string(*s[0].find("L")), "[]");
+}
+
+TEST(InterpTest, SetofSortsAndDedupes) {
+  const Database db = load("n(3). n(1). n(3). n(2).");
+  Interpreter interp(db);
+  const auto s = interp.query("setof(X, n(X), L)");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(to_string(*s[0].find("L")), "[1,2,3]");
+}
+
+TEST(InterpTest, SetofFailsOnEmpty) {
+  const Database db = load("n(1).");
+  Interpreter interp(db);
+  EXPECT_FALSE(interp.holds("setof(X, missing(X), L)"));
+}
+
+TEST(InterpTest, MemberEnumerates) {
+  const Database db = load("dummy.");
+  Interpreter interp(db);
+  const auto s = interp.query("member(X, [a,b,c])", 10);
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(InterpTest, AppendConcatenates) {
+  const Database db = load("dummy.");
+  Interpreter interp(db);
+  const auto s = interp.query("append([1,2], [3], L)");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(to_string(*s[0].find("L")), "[1,2,3]");
+}
+
+TEST(InterpTest, AppendEnumeratesSplits) {
+  const Database db = load("dummy.");
+  Interpreter interp(db);
+  const auto s = interp.query("append(A, B, [1,2])", 10);
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(InterpTest, LengthOfList) {
+  const Database db = load("dummy.");
+  Interpreter interp(db);
+  const auto s = interp.query("length([a,b,c,d], N)");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s[0].number("N"), 4.0);
+}
+
+TEST(InterpTest, SumAggregation) {
+  // The paper's totalcost pattern: findall + sum.
+  const Database db = load("c(1.5). c(2.5). c(3.0).");
+  Interpreter interp(db);
+  const auto s = interp.query("findall(X, c(X), L), sum(L, S)");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s[0].number("S"), 7.0);
+}
+
+TEST(InterpTest, MaxOverNumbers) {
+  const Database db = load("dummy.");
+  Interpreter interp(db);
+  const auto s = interp.query("max([3, 9, 2], M)");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s[0].number("M"), 9.0);
+}
+
+TEST(InterpTest, MaxOverKeyedTuples) {
+  // The paper's maxtime pattern: max(Set, [Path,T]) selects the pair with the
+  // largest trailing value.
+  const Database db = load("dummy.");
+  Interpreter interp(db);
+  const auto s = interp.query("max([[a,3],[b,9],[c,2]], [P,T])");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_TRUE((*s[0].find("P"))->is_atom("b"));
+  EXPECT_DOUBLE_EQ(s[0].number("T"), 9.0);
+}
+
+TEST(InterpTest, MinOverKeyedTuples) {
+  const Database db = load("dummy.");
+  Interpreter interp(db);
+  const auto s = interp.query("min([[a,3],[b,9],[c,2]], [P,T])");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_TRUE((*s[0].find("P"))->is_atom("c"));
+}
+
+TEST(InterpTest, BetweenEnumerates) {
+  const Database db = load("dummy.");
+  Interpreter interp(db);
+  const auto s = interp.query("between(1, 5, X)", 10);
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(InterpTest, TypeChecks) {
+  const Database db = load("dummy.");
+  Interpreter interp(db);
+  EXPECT_TRUE(interp.holds("atom(foo)"));
+  EXPECT_TRUE(interp.holds("number(3)"));
+  EXPECT_TRUE(interp.holds("integer(3)"));
+  EXPECT_TRUE(interp.holds("float(3.5)"));
+  EXPECT_TRUE(interp.holds("var(X)"));
+  EXPECT_TRUE(interp.holds("X = 1, nonvar(X)"));
+  EXPECT_TRUE(interp.holds("is_list([1,2])"));
+  EXPECT_FALSE(interp.holds("atom(3)"));
+}
+
+TEST(InterpTest, StepLimitStopsRunawayRecursion) {
+  const Database db = load("loop :- loop.");
+  Interpreter interp(db);
+  interp.set_step_limit(10000);
+  EXPECT_FALSE(interp.holds("loop"));
+}
+
+TEST(InterpTest, Example1CostRule) {
+  // The concrete rule from Section 4.1, with facts standing in for imports.
+  const Database db = load(R"(
+    price(v1, 0.044).
+    exetime(t1, v1, 100).
+    configs(t1, v1, 1).
+    cost(Tid,Vid,C) :- price(Vid,Up), exetime(Tid,Vid,T),
+        configs(Tid,Vid,Con), C is T*Up*Con.
+  )");
+  Interpreter interp(db);
+  const auto s = interp.query("cost(t1, v1, C)");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_NEAR(s[0].number("C"), 4.4, 1e-9);
+}
+
+TEST(InterpTest, Example1CriticalPathRules) {
+  // Critical path of a diamond: root -> a(10)|b(20) -> tail.
+  const Database db = load(R"(
+    edge(root, a). edge(root, b). edge(a, tail). edge(b, tail).
+    exetime(root, v1, 0). exetime(a, v1, 10).
+    exetime(b, v1, 20). exetime(tail, v1, 0).
+    configs(root, v1, 1). configs(a, v1, 1).
+    configs(b, v1, 1). configs(tail, v1, 1).
+    path(X,Y,Y,Tp) :- edge(X,Y), exetime(X,Vid,T),
+        configs(X,Vid,Con), Con == 1, Tp is T.
+    path(X,Y,Z,Tp) :- edge(X,Z), Z \== Y, path(Z,Y,Z2,T1),
+        exetime(X,Vid,T), configs(X,Vid,Con), Con == 1, Tp is T+T1.
+    maxtime(Path,T) :- setof([Z,T1], path(root,tail,Z,T1), Set),
+        max(Set, [Path,T]).
+  )");
+  Interpreter interp(db);
+  const auto s = interp.query("maxtime(P, T)");
+  ASSERT_EQ(s.size(), 1u);
+  // Longest chain: root(0) + b(20) = 20 (tail excluded as the path
+  // accumulates the *source* task times along edges).
+  EXPECT_DOUBLE_EQ(s[0].number("T"), 20.0);
+  EXPECT_TRUE((*s[0].find("P"))->is_atom("b"));
+}
+
+}  // namespace
+}  // namespace deco::wlog

@@ -1,0 +1,116 @@
+#include "wlog/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace deco::wlog {
+namespace {
+
+std::vector<Token> lex(std::string_view s) { return tokenize(s); }
+
+TEST(LexerTest, AtomsAndVars) {
+  const auto t = lex("foo Bar _baz");
+  ASSERT_GE(t.size(), 4u);
+  EXPECT_EQ(t[0].kind, TokenKind::kAtom);
+  EXPECT_EQ(t[0].text, "foo");
+  EXPECT_EQ(t[1].kind, TokenKind::kVar);
+  EXPECT_EQ(t[1].text, "Bar");
+  EXPECT_EQ(t[2].kind, TokenKind::kVar);
+  EXPECT_EQ(t[2].text, "_baz");
+}
+
+TEST(LexerTest, Integers) {
+  const auto t = lex("42");
+  EXPECT_EQ(t[0].kind, TokenKind::kInt);
+  EXPECT_EQ(t[0].ival, 42);
+}
+
+TEST(LexerTest, Floats) {
+  const auto t = lex("3.14");
+  EXPECT_EQ(t[0].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ(t[0].fval, 3.14);
+}
+
+TEST(LexerTest, PercentLiteral) {
+  // `95%` is the probabilistic-requirement literal: 0.95.
+  const auto t = lex("deadline(95%,10)");
+  ASSERT_GE(t.size(), 5u);
+  EXPECT_EQ(t[2].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ(t[2].fval, 0.95);
+}
+
+TEST(LexerTest, DurationLiterals) {
+  const auto t = lex("10h 30m 45s 2d 500ms");
+  EXPECT_DOUBLE_EQ(t[0].fval, 36000.0);
+  EXPECT_DOUBLE_EQ(t[1].fval, 1800.0);
+  EXPECT_EQ(t[2].kind, TokenKind::kInt);
+  EXPECT_EQ(t[2].ival, 45);
+  EXPECT_DOUBLE_EQ(t[3].fval, 172800.0);
+  EXPECT_DOUBLE_EQ(t[4].fval, 0.5);
+}
+
+TEST(LexerTest, DurationNotConfusedWithIdentifier) {
+  // `10meters` is the number 10 followed by the atom `meters`.
+  const auto t = lex("10meters");
+  EXPECT_EQ(t[0].kind, TokenKind::kInt);
+  EXPECT_EQ(t[0].ival, 10);
+  EXPECT_EQ(t[1].kind, TokenKind::kAtom);
+  EXPECT_EQ(t[1].text, "meters");
+}
+
+TEST(LexerTest, LineComments) {
+  const auto t = lex("a % this is a comment\nb");
+  EXPECT_EQ(t[0].text, "a");
+  EXPECT_EQ(t[1].text, "b");
+  EXPECT_EQ(t[2].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, BlockComments) {
+  const auto t = lex("a /* multi\nline */ b");
+  EXPECT_EQ(t[0].text, "a");
+  EXPECT_EQ(t[1].text, "b");
+}
+
+TEST(LexerTest, QuotedAtoms) {
+  const auto t = lex("'hello world'");
+  EXPECT_EQ(t[0].kind, TokenKind::kAtom);
+  EXPECT_EQ(t[0].text, "hello world");
+}
+
+TEST(LexerTest, OperatorsLongestMatch) {
+  const auto t = lex(":- =< >= =:= =\\= \\== \\+ ==");
+  EXPECT_EQ(t[0].text, ":-");
+  EXPECT_EQ(t[1].text, "=<");
+  EXPECT_EQ(t[2].text, ">=");
+  EXPECT_EQ(t[3].text, "=:=");
+  EXPECT_EQ(t[4].text, "=\\=");
+  EXPECT_EQ(t[5].text, "\\==");
+  EXPECT_EQ(t[6].text, "\\+");
+  EXPECT_EQ(t[7].text, "==");
+}
+
+TEST(LexerTest, ClauseTerminator) {
+  const auto t = lex("foo.");
+  EXPECT_EQ(t[0].text, "foo");
+  EXPECT_EQ(t[1].kind, TokenKind::kPunct);
+  EXPECT_EQ(t[1].text, ".");
+}
+
+TEST(LexerTest, LineNumbersTracked) {
+  const auto t = lex("a\nb\n\nc");
+  EXPECT_EQ(t[0].line, 1u);
+  EXPECT_EQ(t[1].line, 2u);
+  EXPECT_EQ(t[2].line, 4u);
+}
+
+TEST(LexerTest, UnterminatedQuoteIsError) {
+  const auto t = lex("'oops");
+  EXPECT_EQ(t.back().kind, TokenKind::kError);
+}
+
+TEST(LexerTest, UnterminatedBlockCommentIsError) {
+  const auto t = lex("/* never closed");
+  EXPECT_EQ(t.back().kind, TokenKind::kError);
+}
+
+}  // namespace
+}  // namespace deco::wlog

@@ -1,0 +1,225 @@
+#include "wlog/program.hpp"
+
+#include <gtest/gtest.h>
+
+namespace deco::wlog {
+namespace {
+
+TEST(ParserTest, ParsesFact) {
+  const auto r = parse_program("task(t1).");
+  ASSERT_TRUE(r.ok()) << r.error->message;
+  ASSERT_EQ(r.program.clauses.size(), 1u);
+  EXPECT_EQ(to_string(r.program.clauses[0].head), "task(t1)");
+  EXPECT_TRUE(r.program.clauses[0].body.empty());
+}
+
+TEST(ParserTest, ParsesRuleWithConjunction) {
+  const auto r = parse_program("p(X) :- q(X), r(X), s(X).");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.program.clauses.size(), 1u);
+  EXPECT_EQ(r.program.clauses[0].body.size(), 3u);
+}
+
+TEST(ParserTest, SharedVariablesHaveSameId) {
+  const auto r = parse_program("p(X, X, Y).");
+  ASSERT_TRUE(r.ok());
+  const auto& head = r.program.clauses[0].head;
+  EXPECT_EQ(head->args[0]->ival, head->args[1]->ival);
+  EXPECT_NE(head->args[0]->ival, head->args[2]->ival);
+}
+
+TEST(ParserTest, VariablesScopedPerClause) {
+  const auto r = parse_program("p(X). q(X).");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r.program.clauses[0].head->args[0]->ival,
+            r.program.clauses[1].head->args[0]->ival);
+}
+
+TEST(ParserTest, AnonymousVarsAlwaysFresh) {
+  const auto r = parse_program("p(_, _).");
+  ASSERT_TRUE(r.ok());
+  const auto& head = r.program.clauses[0].head;
+  EXPECT_NE(head->args[0]->ival, head->args[1]->ival);
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  const auto r = parse_program("p(X) :- X is 1 + 2 * 3.");
+  ASSERT_TRUE(r.ok());
+  const auto& is_goal = r.program.clauses[0].body[0];
+  EXPECT_EQ(to_string(is_goal), "is(X,+(1,*(2,3)))");
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  const auto r = parse_program("p(X) :- X is (1 + 2) * 3.");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(to_string(r.program.clauses[0].body[0]), "is(X,*(+(1,2),3))");
+}
+
+TEST(ParserTest, ComparisonOperators) {
+  const auto r = parse_program("p :- 1 < 2, 3 =< 4, 5 =:= 5, X == Y.");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.program.clauses[0].body.size(), 4u);
+  EXPECT_EQ(r.program.clauses[0].body[0]->text, "<");
+  EXPECT_EQ(r.program.clauses[0].body[3]->text, "==");
+}
+
+TEST(ParserTest, Lists) {
+  const auto r = parse_program("p([1, 2 | T]).");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(to_string(r.program.clauses[0].head), "p([1,2|T])");
+}
+
+TEST(ParserTest, CutAndNegation) {
+  const auto r = parse_program("p(X) :- q(X), !, \\+ r(X).");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.program.clauses[0].body[1]->text, "!");
+  EXPECT_EQ(r.program.clauses[0].body[2]->text, "\\+");
+}
+
+TEST(ParserTest, NegativeNumbers) {
+  const auto r = parse_program("p(-3, -2.5).");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.program.clauses[0].head->args[0]->ival, -3);
+  EXPECT_DOUBLE_EQ(r.program.clauses[0].head->args[1]->fval, -2.5);
+}
+
+TEST(ParserTest, ImportDirective) {
+  const auto r = parse_program("import(amazonec2).\nimport(montage).");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.program.imports.size(), 2u);
+  EXPECT_EQ(r.program.imports[0], "amazonec2");
+  EXPECT_EQ(r.program.imports[1], "montage");
+}
+
+TEST(ParserTest, GoalDirectiveMinimize) {
+  const auto r = parse_program("goal minimize Ct in totalcost(Ct).");
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.program.goal.has_value());
+  EXPECT_TRUE(r.program.goal->minimize);
+  EXPECT_EQ(to_string(r.program.goal->query), "totalcost(Ct)");
+  // The goal variable is the one inside the query.
+  EXPECT_EQ(r.program.goal->variable->ival,
+            r.program.goal->query->args[0]->ival);
+}
+
+TEST(ParserTest, GoalDirectiveMaximize) {
+  const auto r = parse_program("goal maximize S in score(S).");
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.program.goal.has_value());
+  EXPECT_FALSE(r.program.goal->minimize);
+}
+
+TEST(ParserTest, DeadlineConstraint) {
+  const auto r = parse_program(
+      "cons T in maxtime(Path,T) satisfies deadline(95%, 10h).");
+  ASSERT_TRUE(r.ok()) << r.error->message;
+  ASSERT_EQ(r.program.constraints.size(), 1u);
+  const auto& c = r.program.constraints[0];
+  EXPECT_EQ(c.kind, ConstraintSpec::Kind::kDeadline);
+  EXPECT_DOUBLE_EQ(c.quantile, 0.95);
+  EXPECT_DOUBLE_EQ(c.bound, 36000.0);
+  EXPECT_EQ(to_string(c.query), "maxtime(Path,T)");
+}
+
+TEST(ParserTest, BudgetConstraint) {
+  const auto r =
+      parse_program("cons C in totalcost(C) satisfies budget(90%, 50).");
+  ASSERT_TRUE(r.ok());
+  const auto& c = r.program.constraints[0];
+  EXPECT_EQ(c.kind, ConstraintSpec::Kind::kBudget);
+  EXPECT_DOUBLE_EQ(c.quantile, 0.90);
+  EXPECT_DOUBLE_EQ(c.bound, 50.0);
+}
+
+TEST(ParserTest, PercentileAsPlainNumber) {
+  const auto r =
+      parse_program("cons T in t(T) satisfies deadline(0.99, 100).");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.program.constraints[0].quantile, 0.99);
+}
+
+TEST(ParserTest, CompareConstraint) {
+  const auto r = parse_program("cons T in maxtime(P,T) satisfies T =< 3600.");
+  ASSERT_TRUE(r.ok()) << r.error->message;
+  const auto& c = r.program.constraints[0];
+  EXPECT_EQ(c.kind, ConstraintSpec::Kind::kCompare);
+  EXPECT_EQ(c.cmp_op, "=<");
+  EXPECT_EQ(to_string(c.cmp_rhs), "3600");
+}
+
+TEST(ParserTest, HoldsConstraint) {
+  const auto r = parse_program("cons reachable(root, tail).");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.program.constraints[0].kind, ConstraintSpec::Kind::kHolds);
+}
+
+TEST(ParserTest, VarDirective) {
+  const auto r =
+      parse_program("var configs(Tid,Vid,Con) forall task(Tid) and vm(Vid).");
+  ASSERT_TRUE(r.ok()) << r.error->message;
+  ASSERT_EQ(r.program.vars.size(), 1u);
+  EXPECT_EQ(to_string(r.program.vars[0].template_term),
+            "configs(Tid,Vid,Con)");
+  ASSERT_EQ(r.program.vars[0].generators.size(), 2u);
+  EXPECT_EQ(to_string(r.program.vars[0].generators[0]), "task(Tid)");
+  EXPECT_EQ(to_string(r.program.vars[0].generators[1]), "vm(Vid)");
+}
+
+TEST(ParserTest, EnabledAstar) {
+  const auto r = parse_program("enabled(astar).");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.program.astar_enabled);
+}
+
+TEST(ParserTest, FullExample1Program) {
+  // The workflow-scheduling program of Example 1, in WLog concrete syntax.
+  const char* source = R"(
+    import(amazonec2).
+    import(montage).
+    goal minimize Ct in totalcost(Ct).
+    cons T in maxtime(Path,T) satisfies deadline(95%, 10h).
+    var configs(Tid,Vid,Con) forall task(Tid) and vm(Vid).
+
+    /* calculate the time on the edge from X to Y */
+    path(X,Y,Y,Tp) :- edge(X,Y), exetime(X,Vid,T),
+        configs(X,Vid,Con), Con == 1, Tp is T.
+    path(X,Y,Z,Tp) :- edge(X,Z), Z \== Y, path(Z,Y,Z2,T1),
+        exetime(X,Vid,T), configs(X,Vid,Con), Con == 1, Tp is T+T1.
+    maxtime(Path,T) :- setof([Z,T1], path(root,tail,Z,T1), Set),
+        max(Set, [Path,T]).
+    cost(Tid,Vid,C) :- price(Vid,Up), exetime(Tid,Vid,T),
+        configs(Tid,Vid,Con), C is T*Up*Con.
+    totalcost(Ct) :- findall(C, cost(Tid,Vid,C), Bag), sum(Bag, Ct).
+  )";
+  const auto r = parse_program(source);
+  ASSERT_TRUE(r.ok()) << r.error->message;
+  EXPECT_EQ(r.program.imports.size(), 2u);
+  EXPECT_TRUE(r.program.goal.has_value());
+  EXPECT_EQ(r.program.constraints.size(), 1u);
+  EXPECT_EQ(r.program.vars.size(), 1u);
+  EXPECT_EQ(r.program.clauses.size(), 5u);
+}
+
+TEST(ParserTest, ErrorsReportLine) {
+  const auto r = parse_program("ok(1).\nbroken(.");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error->line, 2u);
+}
+
+TEST(ParserTest, MissingPeriodIsError) {
+  EXPECT_FALSE(parse_program("p(X) :- q(X)").ok());
+}
+
+TEST(ParserTest, NumberAsClauseHeadIsError) {
+  EXPECT_FALSE(parse_program("42.").ok());
+}
+
+TEST(ParseTermTest, SingleTermWithVariables) {
+  const auto r = parse_term("cost(Tid, Vid, C)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.variables.size(), 3u);
+  EXPECT_EQ(to_string(r.term), "cost(Tid,Vid,C)");
+}
+
+}  // namespace
+}  // namespace deco::wlog

@@ -1,0 +1,168 @@
+#include "wlog/problog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace deco::wlog {
+namespace {
+
+ProbProgram coin_program() {
+  // A biased coin: heads with probability 0.7.
+  ProbProgram p;
+  ProbGroup g;
+  g.probs = {0.7, 0.3};
+  g.facts = {make_compound("coin", {make_atom("heads")}),
+             make_compound("coin", {make_atom("tails")})};
+  p.add_group(std::move(g));
+  return p;
+}
+
+TEST(ProbProgramTest, SampleWorldHasExactlyOneAlternative) {
+  const ProbProgram p = coin_program();
+  util::Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const Database world = p.sample_world(rng);
+    Interpreter interp(world);
+    const bool heads = interp.holds("coin(heads)");
+    const bool tails = interp.holds("coin(tails)");
+    EXPECT_NE(heads, tails);  // exactly one
+  }
+}
+
+TEST(ProbProgramTest, SamplingFrequencyMatchesProbability) {
+  const ProbProgram p = coin_program();
+  util::Rng rng(2);
+  int heads = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const Database world = p.sample_world(rng);
+    Interpreter interp(world);
+    if (interp.holds("coin(heads)")) ++heads;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.7, 0.03);
+}
+
+TEST(ProbProgramTest, ModalWorldPicksMostProbable) {
+  const ProbProgram p = coin_program();
+  const Database world = p.modal_world();
+  Interpreter interp(world);
+  EXPECT_TRUE(interp.holds("coin(heads)"));
+  EXPECT_FALSE(interp.holds("coin(tails)"));
+}
+
+TEST(ProbProgramTest, GroupProbabilitiesNormalized) {
+  ProbProgram p;
+  ProbGroup g;
+  g.probs = {2, 2};  // unnormalized
+  g.facts = {make_atom("a"), make_atom("b")};
+  p.add_group(std::move(g));
+  EXPECT_NEAR(p.groups()[0].probs[0], 0.5, 1e-12);
+}
+
+TEST(McEvalTest, ConstraintProbability) {
+  const ProbProgram p = coin_program();
+  util::Rng rng(3);
+  McOptions opt;
+  opt.max_iterations = 2000;
+  const auto q = parse_term("coin(heads)");
+  const auto r = mc_eval_constraint(p, q.term, rng, opt);
+  EXPECT_NEAR(r.probability, 0.7, 0.05);
+}
+
+TEST(McEvalTest, GoalMeanOverWorlds) {
+  // value(10) w.p. 0.25, value(20) w.p. 0.75 -> mean 17.5.
+  ProbProgram p;
+  ProbGroup g;
+  g.probs = {0.25, 0.75};
+  g.facts = {make_compound("value", {make_int(10)}),
+             make_compound("value", {make_int(20)})};
+  p.add_group(std::move(g));
+  util::Rng rng(4);
+  McOptions opt;
+  opt.max_iterations = 3000;
+  const auto q = parse_term("value(X)");
+  ASSERT_TRUE(q.ok());
+  const TermPtr var = make_var(q.variables[0].second, "X");
+  const auto r = mc_eval_goal(p, q.term, var, rng, opt);
+  EXPECT_NEAR(r.value, 17.5, 0.5);
+  EXPECT_DOUBLE_EQ(r.probability, 1.0);
+}
+
+TEST(McEvalTest, RulesComposeWithProbabilisticFacts) {
+  // exetime alternatives feed a deterministic cost rule — the paper's
+  // translated IR shape (Section 5.1).
+  ProbProgram p;
+  const auto rules = parse_program(
+      "price(v1, 2).\n"
+      "cost(C) :- exetime(t1, v1, T), price(v1, U), C is T * U.");
+  ASSERT_TRUE(rules.ok());
+  p.base().add_program(rules.program);
+  ProbGroup g;
+  g.probs = {0.5, 0.5};
+  g.facts = {
+      make_compound("exetime", {make_atom("t1"), make_atom("v1"), make_int(100)}),
+      make_compound("exetime", {make_atom("t1"), make_atom("v1"), make_int(300)})};
+  p.add_group(std::move(g));
+  util::Rng rng(5);
+  McOptions opt;
+  opt.max_iterations = 3000;
+  const auto q = parse_term("cost(C)");
+  const TermPtr var = make_var(q.variables[0].second, "C");
+  const auto r = mc_eval_goal(p, q.term, var, rng, opt);
+  EXPECT_NEAR(r.value, 400.0, 15.0);  // E[T]*U = 200*2
+}
+
+TEST(McEvalTest, SampleValuesGiveDistribution) {
+  ProbProgram p;
+  ProbGroup g;
+  g.probs = {0.9, 0.1};
+  g.facts = {make_compound("t", {make_int(10)}),
+             make_compound("t", {make_int(100)})};
+  p.add_group(std::move(g));
+  util::Rng rng(6);
+  McOptions opt;
+  opt.max_iterations = 2000;
+  const auto q = parse_term("t(X)");
+  const TermPtr var = make_var(q.variables[0].second, "X");
+  const auto values = mc_sample_values(p, q.term, var, rng, opt);
+  ASSERT_EQ(values.size(), 2000u);
+  // The 80th percentile is still 10; the 99th is 100.
+  EXPECT_DOUBLE_EQ(util::percentile(values, 80), 10.0);
+  EXPECT_DOUBLE_EQ(util::percentile(values, 99), 100.0);
+}
+
+TEST(McEvalTest, DeterministicProgramIsUniformInterface) {
+  // Section 5.1: deterministic requirements translate with probability 1.0.
+  ProbProgram p;
+  ProbGroup g;
+  g.probs = {1.0};
+  g.facts = {make_compound("t", {make_int(42)})};
+  p.add_group(std::move(g));
+  util::Rng rng(7);
+  const auto q = parse_term("t(X)");
+  const TermPtr var = make_var(q.variables[0].second, "X");
+  const auto r = mc_eval_goal(p, q.term, var, rng, {});
+  EXPECT_DOUBLE_EQ(r.value, 42.0);
+  EXPECT_DOUBLE_EQ(r.probability, 1.0);
+}
+
+TEST(McEvalTest, UnprovableQueryHasZeroProbability) {
+  const ProbProgram p = coin_program();
+  util::Rng rng(8);
+  const auto q = parse_term("coin(edge)");
+  const auto r = mc_eval_constraint(p, q.term, rng, {});
+  EXPECT_DOUBLE_EQ(r.probability, 0.0);
+}
+
+TEST(TranslateRulesTest, CopiesClauses) {
+  const auto parsed = parse_program("a. b :- a.");
+  ASSERT_TRUE(parsed.ok());
+  const ProbProgram ir = translate_rules(parsed.program);
+  EXPECT_EQ(ir.base().clause_count(), 2u);
+  Interpreter interp(ir.base());
+  EXPECT_TRUE(interp.holds("b"));
+}
+
+}  // namespace
+}  // namespace deco::wlog

@@ -1,0 +1,144 @@
+#include "wlog/term.hpp"
+
+#include <gtest/gtest.h>
+
+namespace deco::wlog {
+namespace {
+
+TEST(TermTest, MakersProduceExpectedKinds) {
+  EXPECT_EQ(make_atom("a")->kind, TermKind::kAtom);
+  EXPECT_EQ(make_int(1)->kind, TermKind::kInt);
+  EXPECT_EQ(make_float(1.5)->kind, TermKind::kFloat);
+  EXPECT_EQ(make_var(1)->kind, TermKind::kVar);
+  EXPECT_EQ(make_compound("f", {make_int(1)})->kind, TermKind::kCompound);
+}
+
+TEST(TermTest, CompoundWithNoArgsIsAtom) {
+  EXPECT_EQ(make_compound("f", {})->kind, TermKind::kAtom);
+}
+
+TEST(TermTest, MakeNumberChoosesIntForWholeValues) {
+  EXPECT_EQ(make_number(3.0)->kind, TermKind::kInt);
+  EXPECT_EQ(make_number(3.5)->kind, TermKind::kFloat);
+}
+
+TEST(TermTest, ListConstruction) {
+  const TermPtr list = make_list({make_int(1), make_int(2)});
+  EXPECT_TRUE(list->is_cons());
+  Bindings b;
+  const auto elems = list_elements(list, b);
+  ASSERT_TRUE(elems.has_value());
+  ASSERT_EQ(elems->size(), 2u);
+  EXPECT_EQ((*elems)[0]->ival, 1);
+}
+
+TEST(TermTest, ImproperListDetected) {
+  const TermPtr improper = make_compound(".", {make_int(1), make_int(2)});
+  Bindings b;
+  EXPECT_FALSE(list_elements(improper, b).has_value());
+}
+
+TEST(UnifyTest, AtomsUnifyByName) {
+  Bindings b;
+  EXPECT_TRUE(unify(make_atom("x"), make_atom("x"), b));
+  EXPECT_FALSE(unify(make_atom("x"), make_atom("y"), b));
+}
+
+TEST(UnifyTest, VarBindsToTerm) {
+  Bindings b;
+  const TermPtr v = make_var(1, "X");
+  EXPECT_TRUE(unify(v, make_int(7), b));
+  EXPECT_EQ(b.resolve(v)->ival, 7);
+}
+
+TEST(UnifyTest, TransitiveVarChains) {
+  Bindings b;
+  const TermPtr x = make_var(1, "X");
+  const TermPtr y = make_var(2, "Y");
+  EXPECT_TRUE(unify(x, y, b));
+  EXPECT_TRUE(unify(y, make_atom("z"), b));
+  EXPECT_TRUE(b.resolve(x)->is_atom("z"));
+}
+
+TEST(UnifyTest, CompoundStructural) {
+  Bindings b;
+  const TermPtr t1 = make_compound("f", {make_var(1, "X"), make_int(2)});
+  const TermPtr t2 = make_compound("f", {make_atom("a"), make_int(2)});
+  EXPECT_TRUE(unify(t1, t2, b));
+  EXPECT_TRUE(b.resolve(make_var(1))->is_atom("a"));
+}
+
+TEST(UnifyTest, ArityMismatchFails) {
+  Bindings b;
+  EXPECT_FALSE(unify(make_compound("f", {make_int(1)}),
+                     make_compound("f", {make_int(1), make_int(2)}), b));
+}
+
+TEST(UnifyTest, IntAndFloatDoNotUnify) {
+  Bindings b;
+  EXPECT_FALSE(unify(make_int(3), make_float(3.0), b));
+}
+
+TEST(UnifyTest, TrailUndoRestoresState) {
+  Bindings b;
+  const TermPtr v = make_var(1, "X");
+  const std::size_t mark = b.mark();
+  EXPECT_TRUE(unify(v, make_int(1), b));
+  EXPECT_TRUE(b.bound(1));
+  b.undo_to(mark);
+  EXPECT_FALSE(b.bound(1));
+}
+
+TEST(UnifyTest, SameVarUnifiesWithItself) {
+  Bindings b;
+  const TermPtr v = make_var(1, "X");
+  EXPECT_TRUE(unify(v, v, b));
+  EXPECT_FALSE(b.bound(1));  // no self-binding loop
+}
+
+TEST(TermCompareTest, StandardOrder) {
+  Bindings b;
+  EXPECT_LT(term_compare(make_var(1), make_int(0), b), 0);
+  EXPECT_LT(term_compare(make_int(5), make_atom("a"), b), 0);
+  EXPECT_LT(term_compare(make_atom("z"), make_compound("f", {make_int(1)}), b),
+            0);
+  EXPECT_EQ(term_compare(make_atom("a"), make_atom("a"), b), 0);
+  EXPECT_GT(term_compare(make_atom("b"), make_atom("a"), b), 0);
+}
+
+TEST(TermCompareTest, NumbersCompareByValue) {
+  Bindings b;
+  EXPECT_LT(term_compare(make_int(1), make_float(1.5), b), 0);
+  EXPECT_EQ(term_compare(make_int(2), make_float(2.0), b), 0);
+}
+
+TEST(RenameTest, FreshVariablesConsistent) {
+  Bindings b;
+  std::unordered_map<std::int64_t, TermPtr> mapping;
+  const TermPtr t =
+      make_compound("f", {make_var(1, "X"), make_var(1, "X"), make_var(2, "Y")});
+  const TermPtr r = rename(t, b, mapping);
+  // Same source var maps to the same fresh var; distinct vars stay distinct.
+  EXPECT_EQ(r->args[0]->ival, r->args[1]->ival);
+  EXPECT_NE(r->args[0]->ival, r->args[2]->ival);
+  EXPECT_NE(r->args[0]->ival, 1);
+}
+
+TEST(ToStringTest, PrintsReadableTerms) {
+  EXPECT_EQ(to_string(make_compound("f", {make_int(1), make_atom("a")})),
+            "f(1,a)");
+  EXPECT_EQ(to_string(make_list({make_int(1), make_int(2)})), "[1,2]");
+  EXPECT_EQ(to_string(kNil), "[]");
+}
+
+TEST(DeepResolveTest, SubstitutesNestedBindings) {
+  Bindings b;
+  const TermPtr v = make_var(1, "X");
+  unify(v, make_int(9), b);
+  const TermPtr t = make_compound("f", {make_compound("g", {v})});
+  const TermPtr r = b.deep_resolve(t);
+  EXPECT_EQ(r->args[0]->args[0]->ival, 9);
+}
+
+}  // namespace
+}  // namespace deco::wlog

@@ -1,0 +1,154 @@
+#include "wms/pegasus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_fixtures.hpp"
+#include "workflow/generators.hpp"
+
+namespace deco::wms {
+namespace {
+
+using core::testing::ec2;
+using core::testing::store;
+
+constexpr const char* kPipelineDax = R"(<adag name="pipeline">
+  <job id="ID01" name="process1" runtime="120">
+    <uses file="f.a" link="input" size="1048576"/>
+    <uses file="f.b1" link="output" size="1048576"/>
+  </job>
+  <job id="ID02" name="process2" runtime="240">
+    <uses file="f.b1" link="input" size="1048576"/>
+    <uses file="f.c" link="output" size="1048576"/>
+  </job>
+  <child ref="ID02"><parent ref="ID01"/></child>
+</adag>)";
+
+TEST(SiteCatalogTest, NamesSites) {
+  SiteCatalog sites(ec2());
+  EXPECT_EQ(sites.site_name(0, 0), "ec2::m1.small@us-east-1");
+  EXPECT_EQ(sites.site_name(3, 1), "ec2::m1.xlarge@ap-southeast-1");
+  EXPECT_EQ(sites.site_count(), 8u);
+}
+
+TEST(PegasusTest, DefaultSchedulerIsRandom) {
+  PegasusWms wms(ec2(), store());
+  EXPECT_EQ(wms.scheduler_name(), "Random");
+}
+
+TEST(PegasusTest, PlanDaxProducesExecutableWorkflow) {
+  PegasusWms wms(ec2(), store());
+  util::Rng rng(1);
+  const auto planned = wms.plan_dax(kPipelineDax, {0.9, 1e6}, rng);
+  ASSERT_TRUE(std::holds_alternative<ExecutableWorkflow>(planned));
+  const auto& exec = std::get<ExecutableWorkflow>(planned);
+  EXPECT_EQ(exec.workflow.task_count(), 2u);
+  EXPECT_EQ(exec.tasks.size(), 2u);
+  EXPECT_EQ(exec.tasks[0].executable, "process1");
+  EXPECT_NE(exec.tasks[0].site.find("ec2::"), std::string::npos);
+  EXPECT_EQ(exec.scheduler, "Random");
+}
+
+TEST(PegasusTest, BadDaxReportsError) {
+  PegasusWms wms(ec2(), store());
+  util::Rng rng(2);
+  const auto planned = wms.plan_dax("<broken", {0.9, 1e6}, rng);
+  EXPECT_TRUE(std::holds_alternative<WmsError>(planned));
+}
+
+TEST(PegasusTest, FixedSchedulerPinsType) {
+  PegasusWms wms(ec2(), store());
+  wms.set_scheduler(std::make_unique<FixedTypeScheduler>(2));
+  util::Rng rng(3);
+  const auto planned = wms.plan_dax(kPipelineDax, {0.9, 1e6}, rng);
+  ASSERT_TRUE(std::holds_alternative<ExecutableWorkflow>(planned));
+  for (const auto& p :
+       std::get<ExecutableWorkflow>(planned).plan.placements) {
+    EXPECT_EQ(p.vm_type, 2u);
+  }
+}
+
+TEST(PegasusTest, RandomSchedulerUsesMultipleTypes) {
+  PegasusWms wms(ec2(), store());
+  util::Rng rng(4);
+  workflow::Workflow wf("many");
+  for (int i = 0; i < 40; ++i) {
+    wf.add_task({"t" + std::to_string(i), "p", 10, 0, 0});
+  }
+  const auto planned = wms.plan_workflow(wf, {0.9, 1e6}, rng);
+  ASSERT_TRUE(std::holds_alternative<ExecutableWorkflow>(planned));
+  std::set<cloud::TypeId> types;
+  for (const auto& p : std::get<ExecutableWorkflow>(planned).plan.placements) {
+    types.insert(p.vm_type);
+  }
+  EXPECT_GT(types.size(), 1u);
+}
+
+TEST(PegasusTest, ExecuteReportsCostAndMakespan) {
+  PegasusWms wms(ec2(), store());
+  wms.set_scheduler(std::make_unique<FixedTypeScheduler>(1));
+  util::Rng rng(5);
+  const auto planned = wms.plan_dax(kPipelineDax, {0.9, 1e6}, rng);
+  ASSERT_TRUE(std::holds_alternative<ExecutableWorkflow>(planned));
+  const auto report = wms.execute(std::get<ExecutableWorkflow>(planned), rng,
+                                  {0.9, 1e6});
+  EXPECT_GT(report.makespan, 0.0);
+  EXPECT_GT(report.total_cost, 0.0);
+  EXPECT_TRUE(report.met_deadline);
+  EXPECT_GE(report.instances_used, 1u);
+}
+
+TEST(PegasusTest, AutoscalingSchedulerIntegrates) {
+  PegasusWms wms(ec2(), store());
+  wms.set_scheduler(std::make_unique<AutoscalingScheduler>());
+  util::Rng rng(6);
+  const auto planned = wms.plan_dax(kPipelineDax, {0.9, 1e6}, rng);
+  ASSERT_TRUE(std::holds_alternative<ExecutableWorkflow>(planned));
+  EXPECT_EQ(std::get<ExecutableWorkflow>(planned).scheduler, "Autoscaling");
+}
+
+TEST(PegasusTest, DecoSchedulerIntegrates) {
+  core::DecoOptions opt;
+  opt.backend = "serial";
+  core::Deco engine(ec2(), store(), opt);
+  PegasusWms wms(ec2(), store());
+  wms.set_scheduler(std::make_unique<DecoScheduler>(engine));
+  util::Rng rng(7);
+  const auto planned = wms.plan_dax(kPipelineDax, {0.9, 1e6}, rng);
+  ASSERT_TRUE(std::holds_alternative<ExecutableWorkflow>(planned));
+  const auto& exec = std::get<ExecutableWorkflow>(planned);
+  EXPECT_EQ(exec.scheduler, "Deco");
+  // Loose deadline: Deco stays in the cheap tiers (never the premium types).
+  for (const auto& p : exec.plan.placements) EXPECT_LE(p.vm_type, 1u);
+}
+
+TEST(PegasusTest, EndToEndDecoBeatsXlargeOnCost) {
+  // Miniature Fig. 1: Deco's plan executed on the simulator costs less than
+  // the all-xlarge configuration.
+  util::Rng rng(8);
+  const auto wf = workflow::make_montage(1, rng);
+  core::DecoOptions opt;
+  opt.backend = "serial";
+  core::Deco engine(ec2(), store(), opt);
+
+  PegasusWms wms(ec2(), store());
+  const core::ProbDeadline req{0.9, 1e6};
+
+  wms.set_scheduler(std::make_unique<DecoScheduler>(engine));
+  auto planned = wms.plan_workflow(wf, req, rng);
+  ASSERT_TRUE(std::holds_alternative<ExecutableWorkflow>(planned));
+  util::Rng run_rng(9);
+  const auto deco_run =
+      wms.execute(std::get<ExecutableWorkflow>(planned), run_rng, req);
+
+  wms.set_scheduler(std::make_unique<FixedTypeScheduler>(3));
+  planned = wms.plan_workflow(wf, req, rng);
+  ASSERT_TRUE(std::holds_alternative<ExecutableWorkflow>(planned));
+  util::Rng run_rng2(9);
+  const auto xlarge_run =
+      wms.execute(std::get<ExecutableWorkflow>(planned), run_rng2, req);
+
+  EXPECT_LT(deco_run.total_cost, xlarge_run.total_cost);
+}
+
+}  // namespace
+}  // namespace deco::wms

@@ -1,0 +1,102 @@
+#include "workflow/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "workflow/generators.hpp"
+
+namespace deco::workflow {
+namespace {
+
+Workflow diamond(double wa, double wb, double wc, double wd) {
+  Workflow wf("diamond");
+  wf.add_task({"a", "", wa, 0, 0});
+  wf.add_task({"b", "", wb, 0, 0});
+  wf.add_task({"c", "", wc, 0, 0});
+  wf.add_task({"d", "", wd, 0, 0});
+  wf.add_edge(0, 1, 0);
+  wf.add_edge(0, 2, 0);
+  wf.add_edge(1, 3, 0);
+  wf.add_edge(2, 3, 0);
+  return wf;
+}
+
+TEST(AnalysisTest, CriticalPathPicksHeavierBranch) {
+  const Workflow wf = diamond(1, 10, 2, 1);
+  const std::vector<double> w{1, 10, 2, 1};
+  const auto cp = critical_path(wf, w);
+  EXPECT_DOUBLE_EQ(cp.length, 12.0);
+  ASSERT_EQ(cp.tasks.size(), 3u);
+  EXPECT_EQ(cp.tasks[0], 0u);
+  EXPECT_EQ(cp.tasks[1], 1u);
+  EXPECT_EQ(cp.tasks[2], 3u);
+}
+
+TEST(AnalysisTest, CriticalPathSwitchesWithWeights) {
+  const Workflow wf = diamond(1, 1, 1, 1);
+  const std::vector<double> w{1, 1, 50, 1};
+  const auto cp = critical_path(wf, w);
+  EXPECT_DOUBLE_EQ(cp.length, 52.0);
+  EXPECT_EQ(cp.tasks[1], 2u);
+}
+
+TEST(AnalysisTest, SingleTaskPath) {
+  Workflow wf;
+  wf.add_task({"only", "", 7, 0, 0});
+  const std::vector<double> w{7};
+  const auto cp = critical_path(wf, w);
+  EXPECT_DOUBLE_EQ(cp.length, 7.0);
+  EXPECT_EQ(cp.tasks.size(), 1u);
+}
+
+TEST(AnalysisTest, LongestPathMatchesCriticalPath) {
+  util::Rng rng(71);
+  const Workflow wf = make_montage(1, rng);
+  std::vector<double> w(wf.task_count());
+  for (auto& x : w) x = rng.uniform(1, 100);
+  const auto topo = wf.topological_order();
+  ASSERT_TRUE(topo.has_value());
+  const auto cp = critical_path(wf, w);
+  EXPECT_NEAR(longest_path_length(wf, w, *topo), cp.length, 1e-9);
+}
+
+TEST(AnalysisTest, LevelsMonotoneAlongEdges) {
+  util::Rng rng(73);
+  const Workflow wf = make_ligo(60, rng);
+  const auto lv = levels(wf);
+  for (const Edge& e : wf.edges()) {
+    EXPECT_LT(lv[e.parent], lv[e.child]);
+  }
+}
+
+TEST(AnalysisTest, WidthProfileSumsToTaskCount) {
+  util::Rng rng(79);
+  const Workflow wf = make_epigenomics(80, rng);
+  const auto widths = width_profile(wf);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  EXPECT_EQ(total, wf.task_count());
+}
+
+TEST(AnalysisTest, PipelineIsSingleChain) {
+  util::Rng rng(83);
+  const Workflow wf = make_pipeline(10, rng);
+  const auto widths = width_profile(wf);
+  EXPECT_EQ(widths.size(), 10u);
+  for (std::size_t w : widths) EXPECT_EQ(w, 1u);
+}
+
+TEST(AnalysisTest, CriticalPathIsConnectedChain) {
+  util::Rng rng(89);
+  const Workflow wf = make_montage(1, rng);
+  std::vector<double> w(wf.task_count(), 1.0);
+  const auto cp = critical_path(wf, w);
+  for (std::size_t i = 0; i + 1 < cp.tasks.size(); ++i) {
+    const auto& children = wf.children(cp.tasks[i]);
+    EXPECT_NE(std::find(children.begin(), children.end(), cp.tasks[i + 1]),
+              children.end());
+  }
+}
+
+}  // namespace
+}  // namespace deco::workflow

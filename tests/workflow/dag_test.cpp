@@ -1,0 +1,98 @@
+#include "workflow/dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace deco::workflow {
+namespace {
+
+Workflow diamond() {
+  // a -> b, a -> c, b -> d, c -> d
+  Workflow wf("diamond");
+  const TaskId a = wf.add_task({"a", "exe", 1, 0, 0});
+  const TaskId b = wf.add_task({"b", "exe", 2, 0, 0});
+  const TaskId c = wf.add_task({"c", "exe", 3, 0, 0});
+  const TaskId d = wf.add_task({"d", "exe", 4, 0, 0});
+  wf.add_edge(a, b, 10);
+  wf.add_edge(a, c, 20);
+  wf.add_edge(b, d, 30);
+  wf.add_edge(c, d, 40);
+  return wf;
+}
+
+TEST(DagTest, AddTaskAssignsSequentialIds) {
+  Workflow wf;
+  EXPECT_EQ(wf.add_task({"t0", "", 0, 0, 0}), 0u);
+  EXPECT_EQ(wf.add_task({"t1", "", 0, 0, 0}), 1u);
+  EXPECT_EQ(wf.task_count(), 2u);
+}
+
+TEST(DagTest, EdgesRecordParentsAndChildren) {
+  const Workflow wf = diamond();
+  EXPECT_EQ(wf.children(0).size(), 2u);
+  EXPECT_EQ(wf.parents(3).size(), 2u);
+  EXPECT_TRUE(wf.parents(0).empty());
+  EXPECT_TRUE(wf.children(3).empty());
+}
+
+TEST(DagTest, DuplicateEdgeMergesBytes) {
+  Workflow wf;
+  const TaskId a = wf.add_task({"a", "", 0, 0, 0});
+  const TaskId b = wf.add_task({"b", "", 0, 0, 0});
+  wf.add_edge(a, b, 10);
+  wf.add_edge(a, b, 5);
+  EXPECT_EQ(wf.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(wf.edges()[0].bytes, 15.0);
+  EXPECT_EQ(wf.children(a).size(), 1u);
+}
+
+TEST(DagTest, RootsAndLeaves) {
+  const Workflow wf = diamond();
+  EXPECT_EQ(wf.roots(), std::vector<TaskId>{0});
+  EXPECT_EQ(wf.leaves(), std::vector<TaskId>{3});
+}
+
+TEST(DagTest, TopologicalOrderRespectsEdges) {
+  const Workflow wf = diamond();
+  const auto topo = wf.topological_order();
+  ASSERT_TRUE(topo.has_value());
+  ASSERT_EQ(topo->size(), 4u);
+  auto pos = [&](TaskId id) {
+    return std::find(topo->begin(), topo->end(), id) - topo->begin();
+  };
+  for (const Edge& e : wf.edges()) {
+    EXPECT_LT(pos(e.parent), pos(e.child));
+  }
+}
+
+TEST(DagTest, CycleDetected) {
+  Workflow wf;
+  const TaskId a = wf.add_task({"a", "", 0, 0, 0});
+  const TaskId b = wf.add_task({"b", "", 0, 0, 0});
+  wf.add_edge(a, b, 0);
+  wf.add_edge(b, a, 0);
+  EXPECT_FALSE(wf.topological_order().has_value());
+  EXPECT_FALSE(wf.is_acyclic());
+}
+
+TEST(DagTest, TotalCpuSeconds) {
+  const Workflow wf = diamond();
+  EXPECT_DOUBLE_EQ(wf.total_cpu_seconds(), 10.0);
+}
+
+TEST(DagTest, FindTaskByName) {
+  const Workflow wf = diamond();
+  ASSERT_TRUE(wf.find_task("c").has_value());
+  EXPECT_EQ(*wf.find_task("c"), 2u);
+  EXPECT_FALSE(wf.find_task("nope").has_value());
+}
+
+TEST(DagTest, EmptyWorkflowIsAcyclic) {
+  Workflow wf;
+  EXPECT_TRUE(wf.is_acyclic());
+  EXPECT_TRUE(wf.roots().empty());
+}
+
+}  // namespace
+}  // namespace deco::workflow

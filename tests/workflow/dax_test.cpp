@@ -1,0 +1,144 @@
+#include "workflow/dax.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "workflow/generators.hpp"
+
+namespace deco::workflow {
+namespace {
+
+// The paper's Figure 4 pipeline DAX (ID01 -> ID02), lightly extended with
+// runtime attributes.
+constexpr const char* kPipelineDax = R"(<?xml version="1.0" encoding="UTF-8"?>
+<adag name="pipeline" jobCount="2">
+  <job id="ID01" name="process1" runtime="30">
+    <uses file="f.a" link="input" size="1000"/>
+    <uses file="f.b1" link="output" size="2000"/>
+  </job>
+  <job id="ID02" name="process2" runtime="45">
+    <uses file="f.b1" link="input" size="2000"/>
+    <uses file="f.c" link="output" size="500"/>
+  </job>
+  <child ref="ID02">
+    <parent ref="ID01"/>
+  </child>
+</adag>
+)";
+
+TEST(DaxTest, ParsesFigure4Pipeline) {
+  const auto result = parse_dax(kPipelineDax);
+  ASSERT_TRUE(std::holds_alternative<Workflow>(result));
+  const Workflow& wf = std::get<Workflow>(result);
+  EXPECT_EQ(wf.name(), "pipeline");
+  ASSERT_EQ(wf.task_count(), 2u);
+  EXPECT_EQ(wf.task(0).name, "ID01");
+  EXPECT_EQ(wf.task(0).executable, "process1");
+  EXPECT_DOUBLE_EQ(wf.task(0).cpu_seconds, 30.0);
+  EXPECT_DOUBLE_EQ(wf.task(0).input_bytes, 1000.0);
+  EXPECT_DOUBLE_EQ(wf.task(0).output_bytes, 2000.0);
+  ASSERT_EQ(wf.edge_count(), 1u);
+  EXPECT_EQ(wf.edges()[0].parent, 0u);
+  EXPECT_EQ(wf.edges()[0].child, 1u);
+  EXPECT_DOUBLE_EQ(wf.edges()[0].bytes, 2000.0);
+}
+
+TEST(DaxTest, InfersEdgesFromSharedFiles) {
+  const char* dax = R"(<adag name="x">
+    <job id="A" name="p"><uses file="f1" link="output" size="10"/></job>
+    <job id="B" name="p"><uses file="f1" link="input" size="10"/></job>
+  </adag>)";
+  const auto result = parse_dax(dax, /*infer_file_edges=*/true);
+  ASSERT_TRUE(std::holds_alternative<Workflow>(result));
+  EXPECT_EQ(std::get<Workflow>(result).edge_count(), 1u);
+}
+
+TEST(DaxTest, NoInferenceWhenDisabled) {
+  const char* dax = R"(<adag name="x">
+    <job id="A" name="p"><uses file="f1" link="output" size="10"/></job>
+    <job id="B" name="p"><uses file="f1" link="input" size="10"/></job>
+  </adag>)";
+  const auto result = parse_dax(dax, /*infer_file_edges=*/false);
+  ASSERT_TRUE(std::holds_alternative<Workflow>(result));
+  EXPECT_EQ(std::get<Workflow>(result).edge_count(), 0u);
+}
+
+TEST(DaxTest, DuplicateJobIdIsError) {
+  const char* dax = R"(<adag name="x">
+    <job id="A" name="p"/><job id="A" name="q"/>
+  </adag>)";
+  EXPECT_TRUE(std::holds_alternative<DaxError>(parse_dax(dax)));
+}
+
+TEST(DaxTest, UnknownChildRefIsError) {
+  const char* dax = R"(<adag name="x">
+    <job id="A" name="p"/>
+    <child ref="Z"><parent ref="A"/></child>
+  </adag>)";
+  EXPECT_TRUE(std::holds_alternative<DaxError>(parse_dax(dax)));
+}
+
+TEST(DaxTest, UnknownParentRefIsError) {
+  const char* dax = R"(<adag name="x">
+    <job id="A" name="p"/>
+    <child ref="A"><parent ref="Z"/></child>
+  </adag>)";
+  EXPECT_TRUE(std::holds_alternative<DaxError>(parse_dax(dax)));
+}
+
+TEST(DaxTest, WrongRootElementIsError) {
+  EXPECT_TRUE(std::holds_alternative<DaxError>(parse_dax("<dag/>")));
+}
+
+TEST(DaxTest, MalformedXmlIsError) {
+  EXPECT_TRUE(std::holds_alternative<DaxError>(parse_dax("<adag><job>")));
+}
+
+TEST(DaxTest, CyclicDeclarationIsError) {
+  const char* dax = R"(<adag name="x">
+    <job id="A" name="p"/><job id="B" name="p"/>
+    <child ref="A"><parent ref="B"/></child>
+    <child ref="B"><parent ref="A"/></child>
+  </adag>)";
+  EXPECT_TRUE(std::holds_alternative<DaxError>(parse_dax(dax)));
+}
+
+TEST(DaxTest, RoundTripPreservesStructure) {
+  util::Rng rng(97);
+  const Workflow original = make_montage(1, rng);
+  const std::string xml = to_dax(original);
+  const auto reparsed = parse_dax(xml);
+  ASSERT_TRUE(std::holds_alternative<Workflow>(reparsed));
+  const Workflow& wf = std::get<Workflow>(reparsed);
+  ASSERT_EQ(wf.task_count(), original.task_count());
+  EXPECT_EQ(wf.edge_count(), original.edge_count());
+  for (TaskId i = 0; i < wf.task_count(); ++i) {
+    EXPECT_EQ(wf.task(i).name, original.task(i).name);
+    EXPECT_NEAR(wf.task(i).cpu_seconds, original.task(i).cpu_seconds, 1e-6);
+    EXPECT_EQ(wf.parents(i).size(), original.parents(i).size());
+  }
+  // Edge bytes survive the round trip via the bytes attribute.
+  double original_bytes = 0;
+  double reparsed_bytes = 0;
+  for (const Edge& e : original.edges()) original_bytes += e.bytes;
+  for (const Edge& e : wf.edges()) reparsed_bytes += e.bytes;
+  EXPECT_NEAR(reparsed_bytes, original_bytes, original_bytes * 1e-9 + 1e-6);
+}
+
+TEST(DaxTest, SaveAndLoadFile) {
+  util::Rng rng(101);
+  const Workflow wf = make_pipeline(5, rng);
+  const std::string path = testing::TempDir() + "/pipeline_test.dax";
+  ASSERT_TRUE(save_dax_file(wf, path));
+  const auto loaded = load_dax_file(path);
+  ASSERT_TRUE(std::holds_alternative<Workflow>(loaded));
+  EXPECT_EQ(std::get<Workflow>(loaded).task_count(), 5u);
+}
+
+TEST(DaxTest, MissingFileIsError) {
+  EXPECT_TRUE(std::holds_alternative<DaxError>(
+      load_dax_file("/nonexistent/path.dax")));
+}
+
+}  // namespace
+}  // namespace deco::workflow

@@ -1,0 +1,107 @@
+#include "workflow/ensemble.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace deco::workflow {
+namespace {
+
+EnsembleOptions options(EnsembleType type, std::size_t n = 30) {
+  EnsembleOptions opt;
+  opt.app = AppType::kLigo;
+  opt.type = type;
+  opt.num_workflows = n;
+  opt.sizes = {20, 100, 1000};
+  return opt;
+}
+
+TEST(EnsembleTest, MemberCountMatches) {
+  util::Rng rng(1);
+  const Ensemble e = make_ensemble(options(EnsembleType::kConstant, 40), rng);
+  EXPECT_EQ(e.members.size(), 40u);
+}
+
+TEST(EnsembleTest, ConstantAllSameSize) {
+  util::Rng rng(2);
+  const Ensemble e = make_ensemble(options(EnsembleType::kConstant), rng);
+  std::set<std::size_t> sizes;
+  for (const auto& m : e.members) sizes.insert(m.workflow.task_count());
+  // Jitter never changes the task count for a fixed requested size.
+  EXPECT_EQ(sizes.size(), 1u);
+}
+
+TEST(EnsembleTest, UniformUsesMultipleSizes) {
+  util::Rng rng(3);
+  const Ensemble e = make_ensemble(options(EnsembleType::kUniformUnsorted), rng);
+  std::set<std::size_t> sizes;
+  for (const auto& m : e.members) sizes.insert(m.workflow.task_count());
+  EXPECT_GT(sizes.size(), 1u);
+}
+
+TEST(EnsembleTest, SortedPutsLargestFirst) {
+  util::Rng rng(4);
+  const Ensemble e = make_ensemble(options(EnsembleType::kUniformSorted), rng);
+  for (std::size_t i = 0; i + 1 < e.members.size(); ++i) {
+    EXPECT_GE(e.members[i].workflow.task_count(),
+              e.members[i + 1].workflow.task_count());
+    EXPECT_LT(e.members[i].priority, e.members[i + 1].priority);
+  }
+}
+
+TEST(EnsembleTest, PrioritiesAreAPermutation) {
+  for (const EnsembleType type : kAllEnsembleTypes) {
+    util::Rng rng(5);
+    const Ensemble e = make_ensemble(options(type), rng);
+    std::set<int> priorities;
+    for (const auto& m : e.members) priorities.insert(m.priority);
+    EXPECT_EQ(priorities.size(), e.members.size()) << to_string(type);
+    EXPECT_EQ(*priorities.begin(), 0) << to_string(type);
+  }
+}
+
+TEST(EnsembleTest, ParetoIsSkewedTowardSmall) {
+  util::Rng rng(6);
+  const Ensemble e =
+      make_ensemble(options(EnsembleType::kParetoUnsorted, 50), rng);
+  int small = 0;
+  for (const auto& m : e.members) {
+    if (m.workflow.task_count() < 60) ++small;
+  }
+  EXPECT_GT(small, 25);  // the tail is heavy but most draws are small
+}
+
+TEST(EnsembleTest, ScoreWeightsByPriority) {
+  Ensemble e;
+  for (int p = 0; p < 3; ++p) {
+    EnsembleMember m;
+    m.priority = p;
+    e.members.push_back(std::move(m));
+  }
+  EXPECT_DOUBLE_EQ(e.score({true, false, false}), 1.0);
+  EXPECT_DOUBLE_EQ(e.score({false, true, false}), 0.5);
+  EXPECT_DOUBLE_EQ(e.score({true, true, true}), 1.75);
+  EXPECT_DOUBLE_EQ(e.max_score(), 1.75);
+}
+
+TEST(EnsembleTest, ScoreHandlesShortCompletionVector) {
+  Ensemble e;
+  EnsembleMember m;
+  m.priority = 0;
+  e.members.push_back(std::move(m));
+  e.members.push_back(EnsembleMember{});
+  EXPECT_DOUBLE_EQ(e.score({true}), 1.0);
+}
+
+TEST(EnsembleTest, AllMembersAcyclic) {
+  for (const EnsembleType type : kAllEnsembleTypes) {
+    util::Rng rng(7);
+    const Ensemble e = make_ensemble(options(type, 10), rng);
+    for (const auto& m : e.members) {
+      EXPECT_TRUE(m.workflow.is_acyclic());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace deco::workflow

@@ -1,0 +1,161 @@
+#include "workflow/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workflow/analysis.hpp"
+
+namespace deco::workflow {
+namespace {
+
+std::map<std::string, int> executable_counts(const Workflow& wf) {
+  std::map<std::string, int> counts;
+  for (const Task& t : wf.tasks()) ++counts[t.executable];
+  return counts;
+}
+
+TEST(GeneratorsTest, MontageIsAcyclicAndConnectedEnds) {
+  util::Rng rng(1);
+  const Workflow wf = make_montage(1, rng);
+  EXPECT_TRUE(wf.is_acyclic());
+  EXPECT_FALSE(wf.roots().empty());
+  EXPECT_EQ(wf.leaves().size(), 1u);  // mJPEG is the single sink
+}
+
+TEST(GeneratorsTest, MontageHasAllTaskTypes) {
+  util::Rng rng(2);
+  const auto counts = executable_counts(make_montage(1, rng));
+  for (const char* exe : {"mProjectPP", "mDiffFit", "mConcatFit", "mBgModel",
+                          "mBackground", "mImgtbl", "mAdd", "mShrink", "mJPEG"}) {
+    EXPECT_GT(counts.count(exe), 0u) << exe;
+  }
+}
+
+TEST(GeneratorsTest, MontageSizesScaleWithDegree) {
+  util::Rng rng(3);
+  const std::size_t n1 = make_montage(1, rng).task_count();
+  const std::size_t n4 = make_montage(4, rng).task_count();
+  const std::size_t n8 = make_montage(8, rng).task_count();
+  EXPECT_LT(n1, n4);
+  EXPECT_LT(n4, n8);
+  // The paper's range: Montage-1 tens of tasks, Montage-8 around a thousand.
+  EXPECT_GT(n1, 30u);
+  EXPECT_GT(n8, 700u);
+  EXPECT_LT(n8, 1500u);
+}
+
+TEST(GeneratorsTest, MontageNamesEncodeDegree) {
+  util::Rng rng(4);
+  EXPECT_EQ(make_montage(4, rng).name(), "Montage-4");
+}
+
+TEST(GeneratorsTest, MontageDiffFitDependsOnTwoProjects) {
+  util::Rng rng(5);
+  const Workflow wf = make_montage(1, rng);
+  for (TaskId i = 0; i < wf.task_count(); ++i) {
+    if (wf.task(i).executable == "mDiffFit") {
+      EXPECT_EQ(wf.parents(i).size(), 2u);
+      for (TaskId p : wf.parents(i)) {
+        EXPECT_EQ(wf.task(p).executable, "mProjectPP");
+      }
+    }
+  }
+}
+
+TEST(GeneratorsTest, LigoStructure) {
+  util::Rng rng(6);
+  const Workflow wf = make_ligo(100, rng);
+  EXPECT_TRUE(wf.is_acyclic());
+  const auto counts = executable_counts(wf);
+  EXPECT_GT(counts.at("TmpltBank"), 0);
+  EXPECT_GT(counts.at("Inspiral"), 0);
+  EXPECT_GT(counts.at("Thinca"), 0);
+  EXPECT_GT(counts.at("TrigBank"), 0);
+  // Roughly the requested size.
+  EXPECT_NEAR(static_cast<double>(wf.task_count()), 100.0, 40.0);
+}
+
+TEST(GeneratorsTest, EpigenomicsIsLaneParallel) {
+  util::Rng rng(7);
+  const Workflow wf = make_epigenomics(100, rng);
+  EXPECT_TRUE(wf.is_acyclic());
+  EXPECT_EQ(wf.roots().size(), 1u);   // fastQSplit
+  EXPECT_EQ(wf.leaves().size(), 1u);  // pileup
+  const auto counts = executable_counts(wf);
+  EXPECT_EQ(counts.at("filterContams"), counts.at("map"));
+  EXPECT_NEAR(static_cast<double>(wf.task_count()), 100.0, 15.0);
+}
+
+TEST(GeneratorsTest, CyberShakeStructure) {
+  util::Rng rng(8);
+  const Workflow wf = make_cybershake(100, rng);
+  EXPECT_TRUE(wf.is_acyclic());
+  const auto counts = executable_counts(wf);
+  EXPECT_EQ(counts.at("SeismogramSynthesis"), counts.at("PeakValCalc"));
+  EXPECT_GT(counts.at("ExtractSGT"), 0);
+}
+
+TEST(GeneratorsTest, PipelineExactCount) {
+  util::Rng rng(9);
+  EXPECT_EQ(make_pipeline(17, rng).task_count(), 17u);
+}
+
+TEST(GeneratorsTest, RuntimesArePositiveAndJittered) {
+  util::Rng rng(10);
+  const Workflow a = make_montage(1, rng);
+  const Workflow b = make_montage(1, rng);
+  bool any_differs = false;
+  for (TaskId i = 0; i < a.task_count(); ++i) {
+    EXPECT_GT(a.task(i).cpu_seconds, 0.0);
+    if (i < b.task_count() &&
+        a.task(i).cpu_seconds != b.task(i).cpu_seconds) {
+      any_differs = true;
+    }
+  }
+  EXPECT_TRUE(any_differs);  // instances vary between draws
+}
+
+TEST(GeneratorsTest, DeterministicGivenSeed) {
+  util::Rng rng1(11);
+  util::Rng rng2(11);
+  const Workflow a = make_ligo(50, rng1);
+  const Workflow b = make_ligo(50, rng2);
+  ASSERT_EQ(a.task_count(), b.task_count());
+  for (TaskId i = 0; i < a.task_count(); ++i) {
+    EXPECT_DOUBLE_EQ(a.task(i).cpu_seconds, b.task(i).cpu_seconds);
+  }
+}
+
+class MakeWorkflowSizeTest
+    : public ::testing::TestWithParam<std::tuple<AppType, std::size_t>> {};
+
+TEST_P(MakeWorkflowSizeTest, ApproximatesRequestedTaskCount) {
+  const auto [app, size] = GetParam();
+  util::Rng rng(13);
+  const Workflow wf = make_workflow(app, size, rng);
+  EXPECT_TRUE(wf.is_acyclic());
+  const double actual = static_cast<double>(wf.task_count());
+  const double target = static_cast<double>(size);
+  // Structural constraints allow some slack; stay within 50%.
+  EXPECT_GT(actual, 0.5 * target);
+  EXPECT_LT(actual, 1.6 * target + 12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAppsAndSizes, MakeWorkflowSizeTest,
+    ::testing::Combine(::testing::Values(AppType::kMontage, AppType::kLigo,
+                                         AppType::kEpigenomics,
+                                         AppType::kCyberShake,
+                                         AppType::kPipeline),
+                       ::testing::Values(std::size_t{20}, std::size_t{100},
+                                         std::size_t{1000})));
+
+TEST(GeneratorsTest, ToStringNames) {
+  EXPECT_EQ(to_string(AppType::kMontage), "Montage");
+  EXPECT_EQ(to_string(AppType::kLigo), "Ligo");
+  EXPECT_EQ(to_string(AppType::kEpigenomics), "Epigenomics");
+}
+
+}  // namespace
+}  // namespace deco::workflow

@@ -1,0 +1,65 @@
+#include "workflow/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "workflow/generators.hpp"
+
+namespace deco::workflow {
+namespace {
+
+TEST(StatsTest, DiamondNumbers) {
+  Workflow wf("diamond");
+  wf.add_task({"a", "stage1", 10, 100, 200});
+  wf.add_task({"b", "stage2", 20, 300, 0});
+  wf.add_task({"c", "stage2", 30, 0, 0});
+  wf.add_task({"d", "stage3", 40, 0, 0});
+  wf.add_edge(0, 1, 50);
+  wf.add_edge(0, 2, 60);
+  wf.add_edge(1, 3, 70);
+  wf.add_edge(2, 3, 80);
+  const auto s = compute_stats(wf);
+  EXPECT_EQ(s.tasks, 4u);
+  EXPECT_EQ(s.edges, 4u);
+  EXPECT_EQ(s.roots, 1u);
+  EXPECT_EQ(s.leaves, 1u);
+  EXPECT_EQ(s.depth, 3u);
+  EXPECT_EQ(s.max_width, 2u);
+  EXPECT_DOUBLE_EQ(s.total_cpu_seconds, 100.0);
+  EXPECT_DOUBLE_EQ(s.total_io_bytes, 600.0);
+  EXPECT_DOUBLE_EQ(s.total_edge_bytes, 260.0);
+  EXPECT_DOUBLE_EQ(s.critical_path_cpu_s, 10 + 30 + 40);
+  EXPECT_EQ(s.by_executable.size(), 3u);
+  EXPECT_EQ(s.by_executable.at("stage2").count, 2u);
+  EXPECT_DOUBLE_EQ(s.by_executable.at("stage2").total_cpu_seconds, 50.0);
+}
+
+TEST(StatsTest, EmptyWorkflow) {
+  const auto s = compute_stats(Workflow("empty"));
+  EXPECT_EQ(s.tasks, 0u);
+  EXPECT_EQ(s.depth, 0u);
+  EXPECT_DOUBLE_EQ(s.critical_path_cpu_s, 0.0);
+}
+
+TEST(StatsTest, MontageMixMatchesGenerator) {
+  util::Rng rng(3);
+  const auto wf = make_montage(1, rng);
+  const auto s = compute_stats(wf);
+  EXPECT_EQ(s.tasks, wf.task_count());
+  EXPECT_EQ(s.by_executable.at("mConcatFit").count, 1u);
+  EXPECT_EQ(s.by_executable.at("mProjectPP").count,
+            s.by_executable.at("mBackground").count);
+  EXPECT_NEAR(s.total_cpu_seconds, wf.total_cpu_seconds(), 1e-9);
+}
+
+TEST(StatsTest, DescribeMentionsKeyNumbers) {
+  util::Rng rng(4);
+  const auto wf = make_pipeline(5, rng);
+  const auto text = describe(compute_stats(wf), wf.name());
+  EXPECT_NE(text.find("5 tasks"), std::string::npos);
+  EXPECT_NE(text.find("task mix"), std::string::npos);
+  EXPECT_NE(text.find("critical path"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace deco::workflow
