@@ -1,0 +1,184 @@
+// Evaluator-throughput tracker: samples/sec and states/sec of the Monte
+// Carlo plan evaluator (the hot path of the declarative search, Section 5.3).
+//
+// For Montage (~100 tasks) and CyberShake (100 tasks) the bench evaluates a
+// wave of mostly-overlapping plans — the access pattern BFS/A* search
+// produces — at several Monte Carlo iteration counts on both backends and
+// both cost models.  Results go to stdout and to BENCH_evaluator.json so the
+// perf trajectory is tracked across PRs.
+//
+//   states/sec  = evaluated plans per second (one vgpu block per plan)
+//   samples/sec = task-samples per second (plans x MC lanes x tasks)
+//
+// Usage: evaluator_throughput [output.json]
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "core/evaluator.hpp"
+#include "bench/bench_common.hpp"
+#include "workflow/generators.hpp"
+
+namespace {
+
+using namespace deco;
+
+struct Row {
+  std::string workflow;
+  std::size_t tasks = 0;
+  std::string backend;
+  std::string cost_model;
+  std::size_t mc_iterations = 0;
+  std::size_t plans = 0;
+  double seconds = 0;
+  double states_per_sec = 0;
+  double samples_per_sec = 0;
+};
+
+/// A search-like wave: `count` plans differing from a base placement by a few
+/// single-task mutations (the overlap the staging cache exploits), with some
+/// plans carrying co-scheduling groups (exercising billed-hours grouping).
+std::vector<sim::Plan> make_wave(const workflow::Workflow& wf,
+                                 std::size_t count, std::size_t types,
+                                 util::Rng& rng) {
+  std::vector<sim::Plan> plans;
+  plans.reserve(count);
+  sim::Plan base = sim::Plan::uniform(wf.task_count(), 1);
+  for (std::size_t t = 0; t < wf.task_count(); t += 7) {
+    base[t].group = static_cast<std::int32_t>(t % 5);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    sim::Plan p = base;
+    // One to three single-placement mutations per wave member.
+    const std::size_t mutations = 1 + rng.below(3);
+    for (std::size_t m = 0; m < mutations; ++m) {
+      const std::size_t t = rng.below(wf.task_count());
+      p[t].vm_type = static_cast<cloud::TypeId>(rng.below(types));
+    }
+    plans.push_back(std::move(p));
+  }
+  return plans;
+}
+
+Row run_case(const workflow::Workflow& wf, const std::string& backend_name,
+             core::CostModel cost_model, std::size_t iters,
+             std::span<const sim::Plan> plans) {
+  core::TaskTimeEstimator estimator(bench::env().catalog, bench::env().store);
+  auto backend = vgpu::make_backend(backend_name);
+  core::EvalOptions opt;
+  opt.mc_iterations = iters;
+  opt.cost_model = cost_model;
+  core::PlanEvaluator evaluator(wf, estimator, *backend, opt);
+  const core::ProbDeadline req{0.9, 1e9};
+
+  // Warm the estimator / staging caches, then time steady-state repetitions:
+  // search loops re-evaluate heavily overlapping waves, so steady state is
+  // the representative regime.  Each repetition is timed individually and
+  // the fastest is reported — the standard least-interference estimate on a
+  // shared/noisy host, where a mean would fold scheduler preemption into
+  // the kernel's throughput.
+  (void)evaluator.evaluate_batch(plans, req);
+  double best = 1e300;
+  double elapsed = 0;
+  std::size_t reps = 0;
+  do {
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)evaluator.evaluate_batch(plans, req);
+    const double dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    best = std::min(best, dt);
+    elapsed += dt;
+    ++reps;
+  } while (elapsed < 0.6 && reps < 50);
+
+  Row row;
+  row.workflow = wf.name();
+  row.tasks = wf.task_count();
+  row.backend = backend_name;
+  row.cost_model =
+      cost_model == core::CostModel::kBilledHours ? "billed_hours" : "prorated";
+  row.mc_iterations = iters;
+  row.plans = plans.size();
+  row.seconds = best;
+  const double states = static_cast<double>(plans.size());
+  row.states_per_sec = states / row.seconds;
+  row.samples_per_sec = states * static_cast<double>(iters) *
+                        static_cast<double>(wf.task_count()) / row.seconds;
+  return row;
+}
+
+bool write_json(const std::vector<Row>& rows, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"evaluator_throughput\",\n");
+  std::fprintf(f, "  \"unit\": {\"states_per_sec\": \"plans/s\", "
+                  "\"samples_per_sec\": \"task-samples/s\"},\n");
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"workflow\": \"%s\", \"tasks\": %zu, \"backend\": "
+                 "\"%s\", \"cost_model\": \"%s\", \"mc_iterations\": %zu, "
+                 "\"plans\": %zu, \"seconds\": %.6f, \"states_per_sec\": "
+                 "%.1f, \"samples_per_sec\": %.1f}%s\n",
+                 r.workflow.c_str(), r.tasks, r.backend.c_str(),
+                 r.cost_model.c_str(), r.mc_iterations, r.plans, r.seconds,
+                 r.states_per_sec, r.samples_per_sec,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  return std::fclose(f) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace deco;
+  const std::string out = argc > 1 ? argv[1] : "BENCH_evaluator.json";
+  bench::print_header("evaluator_throughput",
+                      "Monte Carlo evaluator throughput (states/sec and "
+                      "task-samples/sec) across workflows, backends, cost "
+                      "models and MC iteration counts.");
+
+  util::Rng rng(2015);
+  // Montage sized to ~100 tasks (width 28 -> 102 tasks with this generator).
+  std::vector<workflow::Workflow> workflows;
+  workflows.push_back(workflow::make_montage_by_width(28, rng));
+  workflows.push_back(workflow::make_cybershake(100, rng));
+
+  const std::size_t kPlansPerWave = 32;
+  const std::size_t types = bench::env().catalog.type_count();
+
+  std::vector<Row> rows;
+  std::printf("%-12s %6s %-7s %-13s %6s %10s %14s\n", "workflow", "tasks",
+              "backend", "cost_model", "iters", "states/s", "samples/s");
+  for (const auto& wf : workflows) {
+    util::Rng wave_rng(7);
+    const auto wave = make_wave(wf, kPlansPerWave, types, wave_rng);
+    for (const std::size_t iters : {128UL, 1000UL, 4096UL}) {
+      for (const char* backend : {"serial", "vgpu"}) {
+        for (const auto model :
+             {core::CostModel::kBilledHours, core::CostModel::kProrated}) {
+          // Track prorated at the paper's default iteration count only; the
+          // billed-hours model is the acceptance metric at every point.
+          if (model == core::CostModel::kProrated && iters != 1000) continue;
+          const Row row = run_case(wf, backend, model, iters, wave);
+          std::printf("%-12s %6zu %-7s %-13s %6zu %10.0f %14.0f\n",
+                      row.workflow.c_str(), row.tasks, row.backend.c_str(),
+                      row.cost_model.c_str(), row.mc_iterations,
+                      row.states_per_sec, row.samples_per_sec);
+          rows.push_back(row);
+        }
+      }
+    }
+  }
+  if (!write_json(rows, out)) return 1;
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
+}

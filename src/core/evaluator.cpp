@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
+#include "util/alias_table.hpp"
 #include "util/stats.hpp"
 
 namespace deco::core {
@@ -18,43 +18,121 @@ PlanEvaluator::PlanEvaluator(const workflow::Workflow& wf,
       options_(options) {
   const auto topo = wf.topological_order();
   topo_ = topo.value_or(std::vector<workflow::TaskId>{});
+  if (topo_.size() != wf.task_count()) return;  // cyclic: kernel never runs
+  // Position-space CSR: entry e of position p is the *position* of a parent
+  // of task topo_[p], so the kernel indexes its finish array sequentially.
+  std::vector<std::uint32_t> pos_of_task(wf.task_count());
+  for (std::size_t p = 0; p < topo_.size(); ++p) {
+    pos_of_task[topo_[p]] = static_cast<std::uint32_t>(p);
+  }
   parent_offsets_.assign(wf.task_count() + 1, 0);
-  for (workflow::TaskId t = 0; t < wf.task_count(); ++t) {
-    parent_offsets_[t + 1] = parent_offsets_[t] + wf.parents(t).size();
+  for (std::size_t p = 0; p < topo_.size(); ++p) {
+    parent_offsets_[p + 1] = parent_offsets_[p] + wf.parents(topo_[p]).size();
   }
   parents_.reserve(parent_offsets_.back());
-  for (workflow::TaskId t = 0; t < wf.task_count(); ++t) {
-    for (workflow::TaskId p : wf.parents(t)) parents_.push_back(p);
+  for (std::size_t p = 0; p < topo_.size(); ++p) {
+    for (workflow::TaskId parent : wf.parents(topo_[p])) {
+      parents_.push_back(pos_of_task[parent]);
+    }
   }
+  sink_.assign(wf.task_count(), 1);
+  for (std::uint32_t parent : parents_) sink_[parent] = 0;
 }
 
-PlanEvaluator::DevicePlan PlanEvaluator::stage(const sim::Plan& plan) {
-  DevicePlan dev;
+std::size_t PlanEvaluator::PlanKeyHash::operator()(
+    const sim::Plan& plan) const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& placement : plan.placements) {
+    h = (h ^ placement.vm_type) * 0x100000001b3ULL;
+    h = (h ^ placement.region) * 0x100000001b3ULL;
+    h = (h ^ static_cast<std::uint64_t>(
+                 static_cast<std::int64_t>(placement.group) + 9)) *
+        0x100000001b3ULL;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+void PlanEvaluator::clear_staging_cache() {
+  segment_cache_.clear();
+  plan_cache_.clear();
+}
+
+const PlanEvaluator::TaskSegment& PlanEvaluator::segment(
+    workflow::TaskId task, cloud::TypeId type) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(task) << 32) | static_cast<std::uint64_t>(type);
+  if (const auto it = segment_cache_.find(key); it != segment_cache_.end()) {
+    ++cache_stats_.segment_hits;
+    return it->second;
+  }
+  ++cache_stats_.segment_misses;
+  // Single estimator round-trip per (task, type): the histogram is fetched
+  // once and flattened into an alias table here; every later plan touching
+  // this placement reuses the segment.
+  const util::Histogram& hist = estimator_->dynamic_distribution(*wf_, task, type);
+  TaskSegment seg;
+  const util::AliasTable table(hist.masses());
+  const auto centers = hist.centers();
+  seg.columns.resize(table.size());
+  for (std::size_t k = 0; k < table.size(); ++k) {
+    seg.columns[k].prob = table.prob()[k];
+    seg.columns[k].stay_center = centers[k];
+    seg.columns[k].alias_center = centers[table.alias()[k]];
+  }
+  seg.cpu = estimator_->cpu_time(*wf_, task, type);
+  return segment_cache_.emplace(key, std::move(seg)).first->second;
+}
+
+std::shared_ptr<const PlanEvaluator::DevicePlan> PlanEvaluator::stage(
+    const sim::Plan& plan) {
+  if (const auto it = plan_cache_.find(plan); it != plan_cache_.end()) {
+    ++cache_stats_.plan_hits;
+    return it->second;
+  }
+  ++cache_stats_.plan_misses;
+
+  auto dev = std::make_shared<DevicePlan>();
   const std::size_t n = wf_->task_count();
-  dev.bin_offsets.assign(n + 1, 0);
-  dev.cpu.resize(n);
-  dev.price_per_s.resize(n);
-  dev.group.resize(n);
-  for (workflow::TaskId t = 0; t < n; ++t) {
-    const auto& hist =
-        estimator_->dynamic_distribution(*wf_, t, plan[t].vm_type);
-    dev.bin_offsets[t + 1] = dev.bin_offsets[t] + hist.bin_count();
-    dev.cpu[t] = estimator_->cpu_time(*wf_, t, plan[t].vm_type);
-    dev.price_per_s[t] =
-        estimator_->catalog().price(plan[t].vm_type, plan[t].region) / 3600.0;
-    dev.group[t] = plan[t].group;
-    dev.group_slots = std::max(dev.group_slots,
-                               static_cast<std::size_t>(plan[t].group + 1));
+  dev->bin_offsets.assign(n + 1, 0);
+  dev->cpu.resize(n);
+  dev->price_per_s.resize(n);
+  dev->price_hour.resize(n);
+  dev->group.resize(n);
+  // All per-position arrays in topological order: position p = task topo_[p].
+  for (std::size_t p = 0; p < n; ++p) {
+    const workflow::TaskId t = topo_[p];
+    const TaskSegment& seg = segment(t, plan[t].vm_type);
+    dev->bin_offsets[p + 1] = dev->bin_offsets[p] + seg.columns.size();
+    dev->cpu[p] = seg.cpu;
+    dev->price_hour[p] =
+        estimator_->catalog().price(plan[t].vm_type, plan[t].region);
+    dev->price_per_s[p] = dev->price_hour[p] / 3600.0;
+    dev->group[p] = plan[t].group;
+    dev->group_slots = std::max(dev->group_slots,
+                                static_cast<std::size_t>(plan[t].group + 1));
   }
-  dev.centers.reserve(dev.bin_offsets.back());
-  dev.cdf.reserve(dev.bin_offsets.back());
-  for (workflow::TaskId t = 0; t < n; ++t) {
-    const auto& hist =
-        estimator_->dynamic_distribution(*wf_, t, plan[t].vm_type);
-    dev.centers.insert(dev.centers.end(), hist.centers().begin(),
-                       hist.centers().end());
-    dev.cdf.insert(dev.cdf.end(), hist.cdf().begin(), hist.cdf().end());
+  dev->columns.reserve(dev->bin_offsets.back());
+  for (std::size_t p = 0; p < n; ++p) {
+    const TaskSegment& seg = segment(topo_[p], plan[topo_[p]].vm_type);
+    dev->columns.insert(dev->columns.end(), seg.columns.begin(),
+                        seg.columns.end());
   }
+  // Per-group billing constants (billed-hours model): the hourly price slot
+  // is written in ascending task-id order, so the highest-id member's type
+  // wins — matching the pre-cache per-lane map behaviour.
+  dev->group_price_hour.assign(dev->group_slots, 0.0);
+  dev->group_size.assign(dev->group_slots, 0);
+  for (workflow::TaskId t = 0; t < n; ++t) {
+    if (plan[t].group >= 0) {
+      const auto g = static_cast<std::size_t>(plan[t].group);
+      dev->group_price_hour[g] =
+          estimator_->catalog().price(plan[t].vm_type, plan[t].region);
+      ++dev->group_size[g];
+    }
+  }
+
+  if (plan_cache_.size() >= kMaxCachedPlans) plan_cache_.clear();
+  plan_cache_.emplace(plan, dev);
   return dev;
 }
 
@@ -101,16 +179,20 @@ std::vector<PlanEvaluation> PlanEvaluator::evaluate_batch(
     }
     return results;
   }
+  // A cyclic workflow has no topological order and no finite makespan.
+  if (topo_.size() != n) return results;
 
-  // Stage all plans on the host (the "global memory" image).  Staging uses
-  // the estimator cache and is done serially; kernels then run in parallel.
-  std::vector<DevicePlan> staged;
+  // Stage all plans on the host (the "global memory" image).  Staging goes
+  // through the two-level cache and is done serially; kernels then run in
+  // parallel against the shared read-only images.
+  std::vector<std::shared_ptr<const DevicePlan>> staged;
   staged.reserve(plans.size());
   for (const sim::Plan& p : plans) staged.push_back(stage(p));
 
-  // Output arrays: per block, `iters` makespans and costs.
-  std::vector<std::vector<double>> makespans(plans.size());
-  std::vector<std::vector<double>> costs(plans.size());
+  // Output arrays (flat "global memory"): per block, `iters` makespans and
+  // costs written by disjoint slices.
+  std::vector<double> all_makespans(plans.size() * iters);
+  std::vector<double> all_costs(plans.size() * iters);
 
   vgpu::LaunchConfig config;
   config.blocks = plans.size();
@@ -120,99 +202,212 @@ std::vector<PlanEvaluation> PlanEvaluator::evaluate_batch(
   // Seed each block by its plan so a plan's score does not depend on which
   // batch it was evaluated in.
   config.block_seeds.reserve(plans.size());
+  const PlanKeyHash plan_hash;
   for (const sim::Plan& p : plans) {
-    std::uint64_t h = 0xcbf29ce484222325ULL ^ options_.seed;
-    for (const auto& placement : p.placements) {
-      h = (h ^ placement.vm_type) * 0x100000001b3ULL;
-      h = (h ^ placement.region) * 0x100000001b3ULL;
-      h = (h ^ static_cast<std::uint64_t>(
-                   static_cast<std::int64_t>(placement.group) + 9)) *
-          0x100000001b3ULL;
-    }
-    config.block_seeds.push_back(h);
+    config.block_seeds.push_back(plan_hash(p) ^ options_.seed);
   }
 
   const CostModel cost_model = options_.cost_model;
   const double interference_cv = options_.interference_cv;
   backend_->launch(config, [&](vgpu::BlockContext& ctx) {
-    const DevicePlan& dev = staged[ctx.block_index()];
+    const DevicePlan& dev = *staged[ctx.block_index()];
     auto shared = ctx.shared();
-    ctx.for_each_lane([&](std::size_t lane, util::Rng& rng) {
-      // One correlated interference factor per possible world: congestion
-      // persists across a run, scaling every dynamic component together.
-      double interference = 1.0;
-      if (interference_cv > 0) {
-        interference = std::clamp(util::Normal{1.0, interference_cv}.sample(rng),
-                                  1.0 - 3 * interference_cv,
-                                  1.0 + 3 * interference_cv);
-        interference = std::max(interference, 0.1);
-      }
-      // Per-lane scratch: sampled durations and finish times.  Tasks in the
-      // same instance group serialize on that instance (Merge/CoSchedule
-      // semantics), so finish = max(parents, group available) + duration.
-      std::vector<double> sampled(n);
-      std::vector<double> finish(n);
-      std::vector<double> group_avail(dev.group_slots, 0.0);
-      for (std::size_t idx = 0; idx < n; ++idx) {
-        const workflow::TaskId t = topo_[idx];
-        // Inverse-CDF sample of this task's dynamic time.
-        const std::size_t lo = dev.bin_offsets[t];
-        const std::size_t hi = dev.bin_offsets[t + 1];
-        const double u = rng.uniform();
-        const auto it = std::upper_bound(dev.cdf.begin() + static_cast<std::ptrdiff_t>(lo),
-                                         dev.cdf.begin() + static_cast<std::ptrdiff_t>(hi), u);
-        const std::size_t bin = std::min(
-            static_cast<std::size_t>(it - dev.cdf.begin()), hi - 1);
-        sampled[t] = dev.cpu[t] + dev.centers[bin] / interference;
-        double start = 0;
-        for (std::size_t e = parent_offsets_[t]; e < parent_offsets_[t + 1];
-             ++e) {
-          start = std::max(start, finish[parents_[e]]);
-        }
-        if (dev.group[t] >= 0) {
-          auto& avail = group_avail[static_cast<std::size_t>(dev.group[t])];
-          start = std::max(start, avail);
-          finish[t] = start + sampled[t];
-          avail = finish[t];
-        } else {
-          finish[t] = start + sampled[t];
-        }
-      }
-      const double makespan = *std::max_element(finish.begin(), finish.end());
+    const bool billed = cost_model == CostModel::kBilledHours;
+    constexpr double kInvHour = 1.0 / 3600.0;
 
-      double cost = 0;
-      if (cost_model == CostModel::kProrated) {
-        for (std::size_t t = 0; t < n; ++t) cost += sampled[t] * dev.price_per_s[t];
-      } else {
-        // Billed hours: tasks in the same group share one instance; ungrouped
-        // tasks are billed individually.
-        std::unordered_map<std::int32_t, double> group_time;
-        std::unordered_map<std::int32_t, double> group_price;
-        for (std::size_t t = 0; t < n; ++t) {
-          if (dev.group[t] >= 0) {
-            group_time[dev.group[t]] += sampled[t];
-            group_price[dev.group[t]] = dev.price_per_s[t] * 3600.0;
+    // SIMT-style execution: lanes are processed in tiles of kTileLanes, and
+    // within a tile the kernel walks *tasks* in topological position order,
+    // applying each step to every lane of the tile (one row at a time).
+    // Per-task constants (bin window, CPU time, price, group) are
+    // loop-invariant over a row, rows are contiguous, and the only
+    // data-dependent branch left per sample is the alias pick, which
+    // compiles to a select.  Each lane still consumes its own RNG stream in
+    // the same order as a lane-major kernel would (interference factor
+    // first, then one uniform per task in topological order), pre-generated
+    // into the uniforms matrix, so results are bit-identical regardless of
+    // tiling, backend, or batch composition.
+    constexpr std::size_t kTileLanes = 128;
+    const std::size_t tile = std::min(kTileLanes, iters);
+    // Block scratch: uniforms/finish are (n x tile) matrices in row-major
+    // task order; everything else is one row.  All borrowed from the
+    // context's reusable arena — no heap traffic in steady state.
+    auto uniforms = ctx.scratch_doubles(n * tile);
+    auto finish = ctx.scratch_doubles(n * tile);
+    auto inv_inter = ctx.scratch_doubles(tile);
+    auto start = ctx.scratch_doubles(tile);
+    auto zero_row = ctx.scratch_doubles(tile);
+    auto duration = ctx.scratch_doubles(tile);
+    auto makespan_acc = ctx.scratch_doubles(tile);
+    auto cost_acc = ctx.scratch_doubles(tile);
+    auto group_avail = ctx.scratch_doubles(dev.group_slots * tile);
+    auto group_time = ctx.scratch_doubles(dev.group_slots * tile);
+    // Root tasks alias this row as their start times; it is never written.
+    std::fill(zero_row.begin(), zero_row.end(), 0.0);
+
+    for (std::size_t tile_base = 0; tile_base < iters; tile_base += tile) {
+      const std::size_t lanes = std::min(tile, iters - tile_base);
+      // Generation pass (lane-major, RNG state stays in registers): one
+      // correlated interference factor per possible world — congestion
+      // persists across a run, scaling every dynamic component together —
+      // then the lane's per-task uniforms, written down its matrix column.
+      for (std::size_t j = 0; j < lanes; ++j) {
+        util::Rng rng(ctx.lane_seed(tile_base + j));
+        double interference = 1.0;
+        if (interference_cv > 0) {
+          interference =
+              std::clamp(util::Normal{1.0, interference_cv}.sample(rng),
+                         1.0 - 3 * interference_cv, 1.0 + 3 * interference_cv);
+          interference = std::max(interference, 0.1);
+        }
+        inv_inter[j] = 1.0 / interference;
+        makespan_acc[j] = 0;
+        cost_acc[j] = 0;
+        double* column = uniforms.data() + j;
+        for (std::size_t p = 0; p < n; ++p) column[p * tile] = rng.uniform();
+      }
+      std::fill(group_avail.begin(), group_avail.end(), 0.0);
+      std::fill(group_time.begin(), group_time.end(), 0.0);
+
+      // Evaluation pass (task-major rows over the tile's lanes).
+      for (std::size_t p = 0; p < n; ++p) {
+        const std::size_t lo = dev.bin_offsets[p];
+        const std::size_t bins = dev.bin_offsets[p + 1] - lo;
+        const double cpu = dev.cpu[p];
+        const double* u_row = uniforms.data() + p * tile;
+        double* f_row = finish.data() + p * tile;
+        // O(1) alias-table draw per lane: one uniform, one comparison, one
+        // contiguous column read (both candidate centers pre-resolved).
+        if (bins != 0) {
+          const AliasColumn* cols = dev.columns.data() + lo;
+          for (std::size_t j = 0; j < lanes; ++j) {
+            const double scaled = u_row[j] * static_cast<double>(bins);
+            std::size_t col = static_cast<std::size_t>(scaled);
+            if (col >= bins) col = bins - 1;  // u ~ 1 after fp rounding
+            const AliasColumn& c = cols[col];
+            const double center = (scaled - static_cast<double>(col)) < c.prob
+                                      ? c.stay_center
+                                      : c.alias_center;
+            duration[j] = cpu + center * inv_inter[j];
+          }
+        } else {
+          std::fill(duration.begin(), duration.begin() + static_cast<std::ptrdiff_t>(lanes), cpu);
+        }
+        // start = max over parents' finish rows (position-space CSR).  Roots
+        // read a never-written zero row and single-parent tasks read the
+        // parent's finish row in place, so only multi-parent tasks pay for a
+        // reduction into the start row.
+        const std::size_t pb = parent_offsets_[p];
+        const std::size_t pe = parent_offsets_[p + 1];
+        const double* s_row;
+        if (pb == pe) {
+          s_row = zero_row.data();
+        } else if (pe - pb == 1) {
+          s_row = finish.data() + parents_[pb] * tile;
+        } else if (pe - pb == 2) {
+          const double* r0 = finish.data() + parents_[pb] * tile;
+          const double* r1 = finish.data() + parents_[pb + 1] * tile;
+          for (std::size_t j = 0; j < lanes; ++j) {
+            start[j] = std::max(r0[j], r1[j]);
+          }
+          s_row = start.data();
+        } else {
+          const double* parent_row = finish.data() + parents_[pb] * tile;
+          std::copy(parent_row, parent_row + lanes, start.begin());
+          for (std::size_t e = pb + 1; e < pe; ++e) {
+            const double* row = finish.data() + parents_[e] * tile;
+            for (std::size_t j = 0; j < lanes; ++j) {
+              start[j] = std::max(start[j], row[j]);
+            }
+          }
+          s_row = start.data();
+        }
+        // Finish, makespan and cost accumulation fused into one row pass per
+        // task (same arithmetic per lane as the unfused form, so results are
+        // bit-identical — just fewer trips through L1).  Tasks in the same
+        // instance group serialize on that instance (Merge/CoSchedule
+        // semantics): finish = max(start, avail) + dur.  Cost is Eq. 1
+        // prorated, or per-instance ceil-to-hour billing (grouped tasks
+        // accumulate shared instance time, billed in the sweep below).
+        const std::int32_t g = dev.group[p];
+        if (g >= 0) {
+          double* avail = group_avail.data() + static_cast<std::size_t>(g) * tile;
+          if (!billed) {
+            const double price = dev.price_per_s[p];
+            for (std::size_t j = 0; j < lanes; ++j) {
+              const double d = duration[j];
+              const double f = std::max(s_row[j], avail[j]) + d;
+              avail[j] = f;
+              f_row[j] = f;
+              cost_acc[j] += d * price;
+            }
           } else {
-            cost += std::ceil(std::max(sampled[t], 1.0) / 3600.0) *
-                    dev.price_per_s[t] * 3600.0;
+            double* acc = group_time.data() + static_cast<std::size_t>(g) * tile;
+            for (std::size_t j = 0; j < lanes; ++j) {
+              const double d = duration[j];
+              const double f = std::max(s_row[j], avail[j]) + d;
+              avail[j] = f;
+              f_row[j] = f;
+              acc[j] += d;
+            }
+          }
+        } else if (!billed) {
+          const double price = dev.price_per_s[p];
+          for (std::size_t j = 0; j < lanes; ++j) {
+            const double d = duration[j];
+            const double f = s_row[j] + d;
+            f_row[j] = f;
+            cost_acc[j] += d * price;
+          }
+        } else {
+          const double price_hour = dev.price_hour[p];
+          for (std::size_t j = 0; j < lanes; ++j) {
+            const double d = duration[j];
+            const double f = s_row[j] + d;
+            f_row[j] = f;
+            cost_acc[j] +=
+                std::ceil(std::max(d, 1.0) * kInvHour) * price_hour;
           }
         }
-        for (const auto& [g, time] : group_time) {
-          cost += std::ceil(std::max(time, 1.0) / 3600.0) * group_price[g];
+        // Only sink rows can hold the makespan (finish times are monotone
+        // along edges), so the accumulator folds those rows alone — same max
+        // value, bit for bit, as folding every row.
+        if (sink_[p]) {
+          for (std::size_t j = 0; j < lanes; ++j) {
+            makespan_acc[j] = std::max(makespan_acc[j], f_row[j]);
+          }
         }
       }
-      shared[lane] = makespan;
-      shared[iters + lane] = cost;
-    });
-    // Block reduction: copy lane results out for host-side aggregation.
-    makespans[ctx.block_index()].assign(shared.begin(),
-                                        shared.begin() + static_cast<std::ptrdiff_t>(iters));
-    costs[ctx.block_index()].assign(shared.begin() + static_cast<std::ptrdiff_t>(iters),
-                                    shared.begin() + static_cast<std::ptrdiff_t>(2 * iters));
+      if (billed) {
+        // Tasks in the same group share one instance, billed by the ceiling
+        // of their summed hours; slots unused by this plan stay zero-sized.
+        for (std::size_t g = 0; g < dev.group_slots; ++g) {
+          if (dev.group_size[g] == 0) continue;
+          const double* acc = group_time.data() + g * tile;
+          const double price_hour = dev.group_price_hour[g];
+          for (std::size_t j = 0; j < lanes; ++j) {
+            cost_acc[j] +=
+                std::ceil(std::max(acc[j], 1.0) * kInvHour) * price_hour;
+          }
+        }
+      }
+      for (std::size_t j = 0; j < lanes; ++j) {
+        shared[tile_base + j] = makespan_acc[j];
+        shared[iters + tile_base + j] = cost_acc[j];
+      }
+    }
+    // Block reduction: copy lane results to this block's global-memory slice.
+    const std::size_t base = ctx.block_index() * iters;
+    std::copy(shared.begin(), shared.begin() + static_cast<std::ptrdiff_t>(iters),
+              all_makespans.begin() + static_cast<std::ptrdiff_t>(base));
+    std::copy(shared.begin() + static_cast<std::ptrdiff_t>(iters),
+              shared.begin() + static_cast<std::ptrdiff_t>(2 * iters),
+              all_costs.begin() + static_cast<std::ptrdiff_t>(base));
   });
 
   for (std::size_t i = 0; i < plans.size(); ++i) {
-    results[i] = reduce(makespans[i], costs[i], req);
+    results[i] = reduce(
+        std::span<const double>(all_makespans).subspan(i * iters, iters),
+        std::span<const double>(all_costs).subspan(i * iters, iters), req);
   }
   return results;
 }

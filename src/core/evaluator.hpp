@@ -7,12 +7,25 @@
 // version of Eq. 3) and a monetary cost (Eq. 1).  Kernel decomposition per
 // Section 5.3: one block per evaluated plan, one lane per Monte Carlo
 // iteration, lane results reduced through block shared memory.  The histogram
-// data is laid out as flat SoA arrays (offsets + centers + cdf) so the kernel
-// touches contiguous memory — the paper's "memory-optimized" implementation.
+// data is laid out as flat SoA arrays (offsets + centers + alias tables) so
+// the kernel touches contiguous memory — the paper's "memory-optimized"
+// implementation.
+//
+// The hot path is allocation-free and O(1) per task-sample (see
+// docs/performance.md):
+//   * bins are drawn through Walker/Vose alias tables instead of a binary
+//     CDF search;
+//   * per-(task, vm type) staged segments and whole per-plan device images
+//     are cached, so the mostly-overlapping plans a search wave produces are
+//     staged once and reused across batches;
+//   * lane scratch lives in the block context's reusable arena, not in
+//     per-lane heap allocations.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "core/estimator.hpp"
@@ -62,6 +75,15 @@ struct PlanEvaluation {
   bool feasible = false;         ///< deadline_prob >= quantile
 };
 
+/// Hit/miss counters for the two staging cache levels (diagnostics; the
+/// determinism tests also use them to prove the cached path was exercised).
+struct StagingCacheStats {
+  std::size_t plan_hits = 0;
+  std::size_t plan_misses = 0;
+  std::size_t segment_hits = 0;
+  std::size_t segment_misses = 0;
+};
+
 class PlanEvaluator {
  public:
   /// The evaluator borrows the workflow, estimator and backend; they must
@@ -80,21 +102,50 @@ class PlanEvaluator {
   TaskTimeEstimator& estimator() { return *estimator_; }
   const EvalOptions& options() const { return options_; }
 
+  const StagingCacheStats& cache_stats() const { return cache_stats_; }
+  /// Drops both cache levels (e.g. after the estimator was recalibrated).
+  void clear_staging_cache();
+
  private:
-  /// Flat SoA image of one plan's histograms, prices and grouping.  The
-  /// histograms cover the dynamic (I/O + network) component; CPU time is a
-  /// constant per task added after interference scaling.
-  struct DevicePlan {
-    std::vector<std::size_t> bin_offsets;  // N+1
-    std::vector<double> centers;
-    std::vector<double> cdf;
-    std::vector<double> cpu;          // constant CPU seconds per task
-    std::vector<double> price_per_s;  // assigned unit price / 3600
-    std::vector<std::int32_t> group;
-    std::size_t group_slots = 0;      // max group id + 1
+  /// One pre-resolved alias-table column: a draw that lands in this column
+  /// yields `stay_center` with probability `prob`, else `alias_center`.
+  /// Materializing both bin centers in the column removes the dependent
+  /// centers[alias[k]] load from the sampling loop — one contiguous 24-byte
+  /// read per draw.
+  struct AliasColumn {
+    double prob = 1;
+    double stay_center = 0;
+    double alias_center = 0;
   };
 
-  DevicePlan stage(const sim::Plan& plan);
+  /// Flat SoA image of one plan's histograms, prices and grouping.  The
+  /// histograms cover the dynamic (I/O + network) component; CPU time is a
+  /// constant per task added after interference scaling.  All per-task
+  /// arrays are stored in *topological position* order (position p holds
+  /// task topo_[p]), so the kernel's single forward pass walks every array
+  /// sequentially.  Bins are sampled through flat alias columns: column k
+  /// of position p lives at bin_offsets[p] + k.
+  struct DevicePlan {
+    std::vector<std::size_t> bin_offsets;  // N+1
+    std::vector<AliasColumn> columns;
+    std::vector<double> cpu;          // constant CPU seconds per position
+    std::vector<double> price_per_s;  // assigned unit price / 3600
+    std::vector<double> price_hour;   // assigned unit price, USD/h
+    std::vector<std::int32_t> group;
+    std::vector<double> group_price_hour;   // per group slot, USD/h
+    std::vector<std::uint32_t> group_size;  // members per group slot
+    std::size_t group_slots = 0;            // max group id + 1
+  };
+
+  /// One cached (task, vm type) staging unit: the dynamic-time histogram
+  /// flattened into alias columns, plus the constant CPU time.
+  struct TaskSegment {
+    std::vector<AliasColumn> columns;
+    double cpu = 0;
+  };
+
+  const TaskSegment& segment(workflow::TaskId task, cloud::TypeId type);
+  std::shared_ptr<const DevicePlan> stage(const sim::Plan& plan);
   PlanEvaluation reduce(std::span<const double> makespans,
                         std::span<const double> costs,
                         const ProbDeadline& req) const;
@@ -104,10 +155,33 @@ class PlanEvaluator {
   vgpu::ComputeBackend* backend_;
   EvalOptions options_;
 
-  // DAG image shared by all plans (CSR parents + topological order).
+  // DAG image shared by all plans: the topological order plus a CSR parent
+  // list expressed in topological *positions* (parents_[e] is the position,
+  // not the task id, of a parent), so the kernel's finish-time array is
+  // indexed by position and the forward pass is fully sequential.
   std::vector<workflow::TaskId> topo_;
-  std::vector<std::size_t> parent_offsets_;
-  std::vector<workflow::TaskId> parents_;
+  std::vector<std::size_t> parent_offsets_;   // indexed by position, N+1
+  std::vector<std::uint32_t> parents_;        // parent positions
+  // sink_[p] != 0 iff position p has no children.  Finish times are monotone
+  // along DAG edges (durations are >= 0), so the makespan — max finish over
+  // all tasks — equals the max over sinks alone, and the kernel only folds
+  // sink rows into its makespan accumulator.
+  std::vector<std::uint8_t> sink_;
+
+  struct PlanKeyHash {
+    std::size_t operator()(const sim::Plan& plan) const;
+  };
+
+  // Two-level staging cache.  Segments are keyed by (task, vm type) — the
+  // estimator's distributions are deterministic per key, so entries never
+  // invalidate.  Device plans are keyed by the whole placement vector and
+  // evicted wholesale when the map grows past kMaxCachedPlans (search waves
+  // revisit recent plans, so epoch eviction keeps the working set hot).
+  static constexpr std::size_t kMaxCachedPlans = 4096;
+  std::unordered_map<std::uint64_t, TaskSegment> segment_cache_;
+  std::unordered_map<sim::Plan, std::shared_ptr<const DevicePlan>, PlanKeyHash>
+      plan_cache_;
+  StagingCacheStats cache_stats_;
 };
 
 }  // namespace deco::core

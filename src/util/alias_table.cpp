@@ -1,0 +1,49 @@
+#include "util/alias_table.hpp"
+
+#include <algorithm>
+
+namespace deco::util {
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) return;
+  prob_.assign(n, 1.0);
+  alias_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) alias_[i] = static_cast<std::uint32_t>(i);
+
+  double total = 0;
+  for (double w : weights) total += std::max(w, 0.0);
+  if (total <= 0) return;  // uniform: every column keeps its own bin
+
+  // Vose's stable construction: scale each weight so the mean column is 1,
+  // then repeatedly pair an under-full column with an over-full donor.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = std::max(weights[i], 0.0) / total * static_cast<double>(n);
+  }
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    const std::uint32_t l = large.back();
+    small.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    // The donor gave (1 - scaled[s]) of its mass to column s.
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers are exactly-full columns up to floating-point round-off.
+  for (const std::uint32_t i : large) prob_[i] = 1.0;
+  for (const std::uint32_t i : small) prob_[i] = 1.0;
+}
+
+}  // namespace deco::util

@@ -1,0 +1,58 @@
+// Walker/Vose alias method: O(1) sampling from a discrete distribution.
+//
+// The Monte Carlo kernels draw one histogram bin per task per lane; with the
+// inverse-CDF search that is O(log bins) plus a data-dependent branch per
+// probe.  The alias table trades a one-time O(bins) build (done at staging
+// time, amortized across every lane of every batch by the evaluator's
+// staging cache) for a single comparison per draw: split the unit interval
+// into `n` equal columns, each holding its own bin's mass plus an "alias"
+// bin donating the remainder.  A draw maps u in [0,1) to a column and a
+// fractional coordinate; the fraction picks the column's own bin or its
+// alias.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace deco::util {
+
+/// Immutable alias table over bin indices [0, size()).
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds from (possibly unnormalized) non-negative weights.  Negative
+  /// weights are clamped to zero; an all-zero weight vector degrades to the
+  /// uniform distribution over all bins.
+  explicit AliasTable(std::span<const double> weights);
+
+  std::size_t size() const { return prob_.size(); }
+  bool empty() const { return prob_.empty(); }
+
+  /// Stay-probability per column (the fraction of the column owned by its
+  /// own bin).  Exposed so callers can pack tables into flat SoA arrays.
+  std::span<const double> prob() const { return prob_; }
+  /// Alias bin per column (the bin owning the rest of the column).
+  std::span<const std::uint32_t> alias() const { return alias_; }
+
+  /// Maps one uniform draw u in [0,1) to a bin index.  O(1).
+  std::size_t pick(double u) const {
+    const double scaled = u * static_cast<double>(prob_.size());
+    std::size_t col = static_cast<std::size_t>(scaled);
+    if (col >= prob_.size()) col = prob_.size() - 1;  // u ~ 1 after rounding
+    return (scaled - static_cast<double>(col)) < prob_[col] ? col
+                                                            : alias_[col];
+  }
+
+  /// Draws a bin index using one uniform variate from `rng`.  O(1).
+  std::size_t sample(Rng& rng) const { return pick(rng.uniform()); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace deco::util

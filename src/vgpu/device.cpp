@@ -2,23 +2,53 @@
 
 namespace deco::vgpu {
 
-void SerialBackend::launch(const LaunchConfig& config, const Kernel& kernel) {
-  for (std::size_t b = 0; b < config.blocks; ++b) {
-    BlockContext ctx(b, config.lanes_per_block, config.shared_doubles,
-                     block_rng(config, b));
-    kernel(ctx);
+std::unique_ptr<BlockContext> ComputeBackend::acquire_context() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (!pool_.empty()) {
+      auto ctx = std::move(pool_.back());
+      pool_.pop_back();
+      return ctx;
+    }
   }
+  return std::make_unique<BlockContext>();
+}
+
+void ComputeBackend::release_context(std::unique_ptr<BlockContext> ctx) {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  pool_.push_back(std::move(ctx));
+}
+
+void SerialBackend::launch(const LaunchConfig& config, const Kernel& kernel) {
+  // One pooled context serves every block in turn.
+  auto ctx = acquire_context();
+  for (std::size_t b = 0; b < config.blocks; ++b) {
+    ctx->reset(b, config.lanes_per_block, config.shared_doubles,
+               block_rng(config, b));
+    kernel(*ctx);
+  }
+  release_context(std::move(ctx));
 }
 
 VirtualGpuBackend::VirtualGpuBackend(std::size_t workers) : pool_(workers) {}
 
 void VirtualGpuBackend::launch(const LaunchConfig& config,
                                const Kernel& kernel) {
-  pool_.parallel_for(config.blocks, [&](std::size_t b) {
-    BlockContext ctx(b, config.lanes_per_block, config.shared_doubles,
+  // Each worker checks one context out for its contiguous chunk of blocks,
+  // so a launch touches at most worker_count() contexts regardless of block
+  // count, and steady-state launches allocate nothing.
+  pool_.parallel_chunks(
+      config.blocks, [&](std::size_t begin, std::size_t end, std::size_t) {
+        // A throwing kernel drops the context (unique_ptr unwinds) rather
+        // than returning it; the pool simply re-creates one next launch.
+        auto ctx = acquire_context();
+        for (std::size_t b = begin; b < end; ++b) {
+          ctx->reset(b, config.lanes_per_block, config.shared_doubles,
                      block_rng(config, b));
-    kernel(ctx);
-  });
+          kernel(*ctx);
+        }
+        release_context(std::move(ctx));
+      });
 }
 
 std::unique_ptr<ComputeBackend> make_backend(const std::string& name,

@@ -15,6 +15,11 @@
 //     the calling thread and is the baseline for the paper's speed-up
 //     comparisons (GPU vs CPU search).
 //
+// Block contexts are pooled and reused across launches (their shared-memory
+// buffer and scratch arena keep their capacity), mirroring how real shared
+// memory is a fixed hardware resource rather than a per-launch allocation —
+// and keeping the Monte Carlo hot path allocation-free.
+//
 // Substitution note (DESIGN.md): no CUDA device is available in this
 // environment; the backend preserves the paper's kernel decomposition and
 // memory layout so the parallel-vs-serial comparison exercises the same code
@@ -24,6 +29,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -33,15 +39,31 @@
 
 namespace deco::vgpu {
 
-/// Execution context handed to a kernel, one per block.
+/// Execution context handed to a kernel, one per block.  Default-constructed
+/// contexts are inert until reset(); backends reset a pooled context for
+/// every block they run.
 class BlockContext {
  public:
+  BlockContext() = default;
   BlockContext(std::size_t block_index, std::size_t lane_count,
-               std::size_t shared_doubles, util::Rng block_rng)
-      : block_index_(block_index),
-        lane_count_(lane_count),
-        shared_(shared_doubles, 0.0),
-        rng_(block_rng) {}
+               std::size_t shared_doubles, util::Rng block_rng) {
+    reset(block_index, lane_count, shared_doubles, block_rng);
+  }
+
+  /// Re-targets this context at a new block: shared memory is re-zeroed, the
+  /// scratch arena is rewound (capacity retained), and the lane seed base is
+  /// derived once from the block stream.
+  void reset(std::size_t block_index, std::size_t lane_count,
+             std::size_t shared_doubles, util::Rng block_rng) {
+    block_index_ = block_index;
+    lane_count_ = lane_count;
+    shared_.assign(shared_doubles, 0.0);
+    rng_ = block_rng;
+    scratch_cursor_ = 0;
+    // Derive the lane seed base from the block stream without consuming it.
+    util::Rng probe = rng_;
+    lane_base_ = probe();
+  }
 
   std::size_t block_index() const { return block_index_; }
   std::size_t lane_count() const { return lane_count_; }
@@ -49,29 +71,46 @@ class BlockContext {
   /// Per-block shared-memory scratch (zero-initialized at block start).
   std::span<double> shared() { return shared_; }
 
+  /// Borrows `count` doubles from the block's reusable scratch arena — the
+  /// software analogue of statically-sized per-block local arrays.  Buffers
+  /// stay valid until the next reset(); contents are unspecified until
+  /// written, so lane-reset accumulators must be cleared by the kernel.
+  /// Repeated borrows return distinct buffers (stable across arena growth).
+  std::span<double> scratch_doubles(std::size_t count) {
+    if (scratch_cursor_ == scratch_.size()) scratch_.emplace_back();
+    auto& buf = scratch_[scratch_cursor_++];
+    if (buf.size() < count) buf.resize(count);
+    return {buf.data(), count};
+  }
+
   /// Runs fn(lane, rng) for every lane with a deterministic per-lane RNG
   /// stream derived from the block stream.  Lanes may be executed in any
   /// order; they must only communicate through shared() after the loop.
-  void for_each_lane(const std::function<void(std::size_t, util::Rng&)>& fn) {
+  /// Statically dispatched (no std::function) so per-lane Monte Carlo
+  /// kernels pay no indirect-call overhead.
+  template <typename Fn>
+  void for_each_lane(Fn&& fn) {
+    util::Rng lane_rng;
     for (std::size_t lane = 0; lane < lane_count_; ++lane) {
-      util::Rng lane_rng = rng_;
-      lane_rng.reseed(mix(lane));
+      lane_rng.reseed(lane_seed(lane));
       fn(lane, lane_rng);
     }
   }
 
- private:
-  std::uint64_t mix(std::size_t lane) {
-    // Derive a lane seed from the block stream without consuming it.
-    util::Rng copy = rng_;
-    const std::uint64_t base = copy();
-    return base ^ (0x9E3779B97F4A7C15ULL * (lane + 1));
+  /// Seed of lane `lane`'s RNG stream: the block base draw (computed once at
+  /// reset) whitened per lane.
+  std::uint64_t lane_seed(std::size_t lane) const {
+    return lane_base_ ^ (0x9E3779B97F4A7C15ULL * (lane + 1));
   }
 
-  std::size_t block_index_;
-  std::size_t lane_count_;
+ private:
+  std::size_t block_index_ = 0;
+  std::size_t lane_count_ = 0;
   std::vector<double> shared_;
+  std::vector<std::vector<double>> scratch_;
+  std::size_t scratch_cursor_ = 0;
   util::Rng rng_;
+  std::uint64_t lane_base_ = 0;
 };
 
 /// Kernel: executed once per block.
@@ -104,6 +143,16 @@ class ComputeBackend {
     }
     return util::Rng(config.seed ^ (0xD5A61266F0C9392CULL * (block + 1)));
   }
+
+  /// Checks a pooled context out of `pool_`; creates one when the pool runs
+  /// dry (first launch, or more concurrent workers than ever before).
+  std::unique_ptr<BlockContext> acquire_context();
+  /// Returns a context to the pool for reuse by later blocks/launches.
+  void release_context(std::unique_ptr<BlockContext> ctx);
+
+ private:
+  std::mutex pool_mutex_;
+  std::vector<std::unique_ptr<BlockContext>> pool_;
 };
 
 /// Runs every block on the calling thread (the paper's CPU baseline shape).

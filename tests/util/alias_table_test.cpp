@@ -1,0 +1,120 @@
+#include "util/alias_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace deco::util {
+namespace {
+
+// Reconstructs the per-bin probability mass implied by the table: column k
+// contributes prob[k]/n to bin k and (1 - prob[k])/n to alias[k].
+std::vector<double> implied_masses(const AliasTable& table) {
+  const std::size_t n = table.size();
+  std::vector<double> mass(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    mass[k] += table.prob()[k] / static_cast<double>(n);
+    mass[table.alias()[k]] += (1.0 - table.prob()[k]) / static_cast<double>(n);
+  }
+  return mass;
+}
+
+TEST(AliasTableTest, EmptyWeights) {
+  const AliasTable table(std::span<const double>{});
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(AliasTableTest, SingleBinAlwaysPicked) {
+  const std::vector<double> w{3.5};
+  const AliasTable table(w);
+  ASSERT_EQ(table.size(), 1u);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.sample(rng), 0u);
+}
+
+TEST(AliasTableTest, TableStructureIsValid) {
+  const std::vector<double> w{0.5, 3.0, 0.25, 1.0, 2.25};
+  const AliasTable table(w);
+  ASSERT_EQ(table.size(), w.size());
+  for (std::size_t k = 0; k < table.size(); ++k) {
+    EXPECT_GE(table.prob()[k], 0.0);
+    EXPECT_LE(table.prob()[k], 1.0);
+    EXPECT_LT(table.alias()[k], table.size());
+  }
+}
+
+TEST(AliasTableTest, ImpliedMassesMatchNormalizedWeights) {
+  const std::vector<double> w{0.5, 3.0, 0.25, 1.0, 2.25, 0.0, 7.0};
+  const AliasTable table(w);
+  const auto mass = implied_masses(table);
+  const double total = 14.0;
+  for (std::size_t k = 0; k < w.size(); ++k) {
+    EXPECT_NEAR(mass[k], w[k] / total, 1e-12) << "bin " << k;
+  }
+}
+
+TEST(AliasTableTest, NegativeWeightsClampToZero) {
+  const std::vector<double> w{-2.0, 1.0, 3.0};
+  const AliasTable table(w);
+  const auto mass = implied_masses(table);
+  EXPECT_NEAR(mass[0], 0.0, 1e-12);
+  EXPECT_NEAR(mass[1], 0.25, 1e-12);
+  EXPECT_NEAR(mass[2], 0.75, 1e-12);
+}
+
+TEST(AliasTableTest, AllZeroWeightsDegradeToUniform) {
+  const std::vector<double> w{0.0, 0.0, 0.0, 0.0};
+  const AliasTable table(w);
+  const auto mass = implied_masses(table);
+  for (double m : mass) EXPECT_NEAR(m, 0.25, 1e-12);
+}
+
+TEST(AliasTableTest, PickNearOneStaysInRange) {
+  const std::vector<double> w{1.0, 2.0, 3.0};
+  const AliasTable table(w);
+  const double u = std::nextafter(1.0, 0.0);
+  EXPECT_LT(table.pick(u), table.size());
+  EXPECT_LT(table.pick(0.0), table.size());
+}
+
+TEST(AliasTableTest, EmpiricalFrequenciesMatchWeights) {
+  const std::vector<double> w{1.0, 4.0, 2.0, 0.5, 2.5};
+  const AliasTable table(w);
+  const std::size_t draws = 200000;
+  std::vector<std::size_t> count(w.size(), 0);
+  Rng rng(123);
+  for (std::size_t i = 0; i < draws; ++i) ++count[table.sample(rng)];
+  for (std::size_t k = 0; k < w.size(); ++k) {
+    const double p = w[k] / 10.0;
+    const double freq = static_cast<double>(count[k]) / draws;
+    const double sigma = std::sqrt(p * (1 - p) / draws);
+    EXPECT_NEAR(freq, p, 5 * sigma) << "bin " << k;
+  }
+}
+
+// The alias table and the histogram's inverse-CDF search must describe the
+// same distribution: the per-bin masses implied by the table equal the
+// histogram's masses exactly (up to fp summation noise).
+TEST(AliasTableTest, MatchesHistogramMasses) {
+  Rng rng(99);
+  std::vector<double> xs;
+  for (int i = 0; i < 4000; ++i) {
+    xs.push_back(rng.uniform() + rng.uniform() + rng.uniform());
+  }
+  const auto hist = Histogram::from_samples(xs, 16);
+  const AliasTable table(hist.masses());
+  ASSERT_EQ(table.size(), hist.bin_count());
+  const auto mass = implied_masses(table);
+  for (std::size_t k = 0; k < hist.bin_count(); ++k) {
+    EXPECT_NEAR(mass[k], hist.masses()[k], 1e-12) << "bin " << k;
+  }
+}
+
+}  // namespace
+}  // namespace deco::util
