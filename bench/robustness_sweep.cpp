@@ -1,0 +1,251 @@
+// Robustness sweep: how do Deco's plans survive a cloud that actually
+// fails?  Sweeps the failure-injection level (instance crashes, transient
+// task failures, stragglers, boot failures) and compares three provisioning
+// strategies on Montage and CyberShake:
+//
+//   deco-static     Deco's plan executed open-loop with fault-tolerant
+//                   retries but no replanning,
+//   deco-reactive   the same plan under wms::ReactiveEngine, which replans
+//                   the residual DAG after failures / deadline risk,
+//   autoscaling     the Autoscaling baseline executed open-loop.
+//
+// Reported per (workflow, scheduler, level): deadline-miss rate, average
+// cost and its inflation over the failure-free run of the same scheduler,
+// replans per run, and injected disruptions per run.  Results go to stdout
+// and BENCH_robustness.json so the robustness trajectory is tracked across
+// PRs.
+//
+// Usage: robustness_sweep [output.json]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "util/table.hpp"
+#include "wms/reactive.hpp"
+
+namespace {
+
+using namespace deco;
+
+struct Level {
+  std::string name;
+  sim::FailureModelOptions fm;
+};
+
+/// none/low/medium/high presets.  MTBFs of 6h / 2h / 0.5h bracket the
+/// regime where a multi-hour workflow sees zero, a few, or many crashes.
+std::vector<Level> failure_levels() {
+  std::vector<Level> levels;
+  levels.push_back({"none", {}});
+  sim::FailureModelOptions low;
+  low.crash_mtbf_s = 6 * 3600;
+  low.task_failure_prob = 0.01;
+  low.straggler_prob = 0.02;
+  levels.push_back({"low", low});
+  sim::FailureModelOptions medium;
+  medium.crash_mtbf_s = 2 * 3600;
+  medium.task_failure_prob = 0.03;
+  medium.straggler_prob = 0.05;
+  medium.boot_failure_prob = 0.01;
+  levels.push_back({"medium", medium});
+  sim::FailureModelOptions high;
+  high.crash_mtbf_s = 1800;
+  high.task_failure_prob = 0.08;
+  high.straggler_prob = 0.10;
+  high.boot_failure_prob = 0.03;
+  levels.push_back({"high", high});
+  return levels;
+}
+
+struct Row {
+  std::string workflow;
+  std::size_t tasks = 0;
+  std::string scheduler;
+  std::string level;
+  int runs = 0;
+  double deadline_s = 0;
+  double miss_rate = 0;
+  double avg_cost = 0;
+  double cost_inflation = 1;  ///< avg_cost / same scheduler at level "none"
+  double avg_makespan = 0;
+  double avg_replans = 0;
+  double avg_disruptions = 0;
+};
+
+constexpr int kRuns = 15;
+
+/// Open-loop execution: the static plan rides out every failure through the
+/// executor's retry machinery; nobody replans.
+Row run_static(const workflow::Workflow& wf, const sim::Plan& plan,
+               const std::string& scheduler, const Level& level,
+               double deadline_s, std::uint64_t seed) {
+  const sim::FailureModel model(level.fm);
+  sim::ExecutorOptions options;
+  options.failures = &model;
+  util::Rng rng(seed);
+  Row row;
+  row.workflow = wf.name();
+  row.tasks = wf.task_count();
+  row.scheduler = scheduler;
+  row.level = level.name;
+  row.runs = kRuns;
+  row.deadline_s = deadline_s;
+  int missed = 0;
+  for (int i = 0; i < kRuns; ++i) {
+    const auto r = sim::simulate_execution(wf, plan, bench::env().catalog, rng,
+                                           options);
+    if (!r.finished || r.makespan > deadline_s) ++missed;
+    row.avg_cost += r.total_cost;
+    row.avg_makespan += r.makespan;
+    row.avg_disruptions += static_cast<double>(r.failures.total_disruptions());
+  }
+  row.miss_rate = static_cast<double>(missed) / kRuns;
+  row.avg_cost /= kRuns;
+  row.avg_makespan /= kRuns;
+  row.avg_disruptions /= kRuns;
+  return row;
+}
+
+/// Closed-loop execution through the reactive engine (monitor + residual
+/// replanning, graceful fallback on solver trouble).
+Row run_reactive(const workflow::Workflow& wf, wms::Scheduler& primary,
+                 const Level& level, const core::ProbDeadline& req,
+                 std::uint64_t seed) {
+  const sim::FailureModel model(level.fm);
+  Row row;
+  row.workflow = wf.name();
+  row.tasks = wf.task_count();
+  row.scheduler = "deco-reactive";
+  row.level = level.name;
+  row.runs = kRuns;
+  row.deadline_s = req.deadline_s;
+  int missed = 0;
+  for (int i = 0; i < kRuns; ++i) {
+    wms::ReactiveOptions options;
+    options.executor.failures = &model;
+    options.max_replans = 4;
+    options.seed = seed + static_cast<std::uint64_t>(i) * 0x9E3779B9ULL;
+    wms::ReactiveEngine engine(bench::env().catalog, bench::env().store,
+                               primary, options);
+    const wms::ReactiveReport report = engine.run(wf, req);
+    if (!report.met_deadline) ++missed;
+    row.avg_cost += report.total_cost;
+    row.avg_makespan += report.makespan;
+    row.avg_replans += static_cast<double>(report.replans);
+    row.avg_disruptions +=
+        static_cast<double>(report.failures.total_disruptions());
+  }
+  row.miss_rate = static_cast<double>(missed) / kRuns;
+  row.avg_cost /= kRuns;
+  row.avg_makespan /= kRuns;
+  row.avg_replans /= kRuns;
+  row.avg_disruptions /= kRuns;
+  return row;
+}
+
+bool write_json(const std::vector<Row>& rows, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"robustness_sweep\",\n");
+  std::fprintf(f,
+               "  \"unit\": {\"miss_rate\": \"fraction of runs\", "
+               "\"avg_cost\": \"USD\", \"cost_inflation\": "
+               "\"vs failure-free same scheduler\"},\n");
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"workflow\": \"%s\", \"tasks\": %zu, \"scheduler\": \"%s\", "
+        "\"level\": \"%s\", \"runs\": %d, \"deadline_s\": %.1f, "
+        "\"miss_rate\": %.3f, \"avg_cost\": %.4f, \"cost_inflation\": %.3f, "
+        "\"avg_makespan\": %.1f, \"avg_replans\": %.2f, "
+        "\"avg_disruptions\": %.2f}%s\n",
+        r.workflow.c_str(), r.tasks, r.scheduler.c_str(), r.level.c_str(),
+        r.runs, r.deadline_s, r.miss_rate, r.avg_cost, r.cost_inflation,
+        r.avg_makespan, r.avg_replans, r.avg_disruptions,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  return std::fclose(f) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace deco;
+  using bench::env;
+  const std::string out = argc > 1 ? argv[1] : "BENCH_robustness.json";
+  bench::print_header(
+      "robustness_sweep",
+      "Deadline-miss rate, cost inflation and replans/run under injected\n"
+      "failures: Deco static vs Deco reactive vs Autoscaling, 15 runs per\n"
+      "point, failure levels none/low/medium/high.");
+
+  // Reduced search budget: the sweep replans repeatedly, so each solve is
+  // bounded well below the default 2048-state budget.
+  core::SchedulingOptions sched;
+  sched.search.max_states = 192;
+
+  core::Deco engine(env().catalog, env().store);
+  wms::DecoScheduler deco_scheduler(engine, sched);
+
+  const auto levels = failure_levels();
+  std::vector<Row> rows;
+  util::Table table({"workflow", "scheduler", "level", "miss", "cost",
+                     "inflation", "replans", "disrupt"});
+
+  for (const int which : {0, 1}) {
+    util::Rng wf_rng(7);
+    const workflow::Workflow wf = which == 0
+                                      ? workflow::make_montage(1, wf_rng)
+                                      : workflow::make_cybershake(50, wf_rng);
+    const auto bounds = bench::deadline_bounds(wf);
+    const double deadline = bounds.medium();
+    const core::ProbDeadline req{0.9, deadline};
+
+    const sim::Plan deco_plan = engine.schedule(wf, req, sched).plan;
+    core::TaskTimeEstimator estimator(env().catalog, env().store);
+    const sim::Plan as_plan =
+        baselines::Autoscaling(wf, estimator).solve(deadline).plan;
+
+    // Failure-free cost per scheduler, the denominator of cost_inflation.
+    double base_cost[3] = {0, 0, 0};
+    for (const Level& level : levels) {
+      Row per[3];
+      per[0] = run_static(wf, deco_plan, "deco-static", level, deadline,
+                          1000 + static_cast<std::uint64_t>(which));
+      per[1] = run_reactive(wf, deco_scheduler, level, req,
+                            2000 + static_cast<std::uint64_t>(which));
+      per[2] = run_static(wf, as_plan, "autoscaling", level, deadline,
+                          3000 + static_cast<std::uint64_t>(which));
+      for (int s = 0; s < 3; ++s) {
+        if (level.name == "none") base_cost[s] = per[s].avg_cost;
+        per[s].cost_inflation =
+            base_cost[s] > 0 ? per[s].avg_cost / base_cost[s] : 1.0;
+        table.add_row({per[s].workflow, per[s].scheduler, per[s].level,
+                       util::Table::num(per[s].miss_rate * 100, 0) + "%",
+                       util::Table::num(per[s].avg_cost, 2),
+                       util::Table::num(per[s].cost_inflation, 2),
+                       util::Table::num(per[s].avg_replans, 1),
+                       util::Table::num(per[s].avg_disruptions, 1)});
+        rows.push_back(per[s]);
+      }
+    }
+  }
+
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nShape check: miss rate grows with the failure level for every\n"
+      "scheduler.  Where the deadline leaves slack (Montage), deco-reactive\n"
+      "converts static misses into replans and extra spend; where the\n"
+      "deadline is tight even failure-free (CyberShake), replanning buys\n"
+      "little and mostly shows up as cost inflation.\n");
+  if (!write_json(rows, out)) return 1;
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
+}

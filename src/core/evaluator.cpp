@@ -80,6 +80,20 @@ const PlanEvaluator::TaskSegment& PlanEvaluator::segment(
     seg.columns[k].alias_center = centers[table.alias()[k]];
   }
   seg.cpu = estimator_->cpu_time(*wf_, task, type);
+  // Failure-aware staging: stretch the segment by the model's expected
+  // retry/straggler/crash inflation at this task's nominal duration.  The
+  // kernel and its RNG stream are untouched, so a null model stays
+  // bit-identical to the failure-free evaluator, and segments remain
+  // cacheable (the model is fixed for the evaluator's lifetime).
+  if (options_.failure_model && options_.failure_model->enabled()) {
+    const double nominal = seg.cpu + hist.mean();
+    const double factor = options_.failure_model->expected_time_factor(nominal);
+    seg.cpu *= factor;
+    for (AliasColumn& column : seg.columns) {
+      column.stay_center *= factor;
+      column.alias_center *= factor;
+    }
+  }
   return segment_cache_.emplace(key, std::move(seg)).first->second;
 }
 

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/estimator.hpp"
+#include "sim/failure_model.hpp"
 #include "sim/plan.hpp"
 #include "vgpu/device.hpp"
 #include "workflow/dag.hpp"
@@ -65,6 +66,12 @@ struct EvalOptions {
   /// estimated makespan quantile runs a few percent light.  Feasibility is
   /// checked against deadline / quantile_safety.
   double quantile_safety = 1.05;
+  /// Failure-aware evaluation (borrowed; may be nullptr): the model's
+  /// expected retry/straggler/crash inflation is folded into every staged
+  /// task segment, so probabilistic deadlines account for the same failure
+  /// process the simulator injects.  Null leaves results bit-identical to
+  /// the failure-free evaluator.
+  const sim::FailureModel* failure_model = nullptr;
 };
 
 struct PlanEvaluation {

@@ -27,8 +27,22 @@ void CloudPool::release(InstanceId id, double now) {
   if (inst.running()) inst.released_at = std::max(now, inst.acquired_at);
 }
 
+bool CloudPool::fail(InstanceId id, double now) {
+  Instance& inst = instances_[id];
+  if (inst.crashed || !inst.running()) return false;
+  inst.released_at = std::max(now, inst.acquired_at);
+  inst.crashed = true;
+  return true;
+}
+
 void CloudPool::release_all(double now) {
   for (InstanceId id = 0; id < instances_.size(); ++id) release(id, now);
+}
+
+std::size_t CloudPool::crashed_count() const {
+  std::size_t count = 0;
+  for (const Instance& inst : instances_) count += inst.crashed;
+  return count;
 }
 
 InstanceId CloudPool::find_idle(cloud::TypeId type, cloud::RegionId region,

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "cloud/instance_type.hpp"
@@ -25,6 +26,10 @@ struct Instance {
   double released_at = -1;   ///< -1 while running
   double busy_until = 0;     ///< next time the instance is free
   std::int32_t group = -1;   ///< plan group bound to this instance, if any
+  /// Absolute time the instance crashes (sampled at acquisition by the
+  /// failure model; +inf when crashes are disabled).
+  double crash_at = std::numeric_limits<double>::infinity();
+  bool crashed = false;      ///< true once fail() retired it
 
   bool running() const { return released_at < 0; }
 };
@@ -41,8 +46,17 @@ class CloudPool {
   /// Marks the instance released at `now` (bills ceil hours of uptime).
   void release(InstanceId id, double now);
 
+  /// Retires a crashed instance at `now`: released un-refunded (the hours
+  /// consumed until the crash are still billed, EC2-style) and excluded
+  /// from find_idle / find_group.  Returns false if the instance was
+  /// already failed or released (idempotent).
+  bool fail(InstanceId id, double now);
+
   /// Releases every instance still running at `now`.
   void release_all(double now);
+
+  /// Instances retired through fail().
+  std::size_t crashed_count() const;
 
   /// An idle running instance of the given type/region, or an invalid id.
   static constexpr InstanceId kNone = static_cast<InstanceId>(-1);

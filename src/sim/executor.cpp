@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
 #include "sim/event_queue.hpp"
 
@@ -21,6 +22,9 @@ double disk_rate_bytes_per_s(double mb_per_s) {
   return std::max(mb_per_s, 1.0) * kMB;
 }
 
+/// Consecutive boot failures tolerated per acquisition (termination bound).
+constexpr int kMaxBootRetries = 4;
+
 }  // namespace
 
 ExecutionResult simulate_execution(const workflow::Workflow& wf,
@@ -30,7 +34,17 @@ ExecutionResult simulate_execution(const workflow::Workflow& wf,
                                    const ExecutorOptions& options) {
   ExecutionResult result;
   result.tasks.resize(wf.task_count());
+  result.completed.assign(wf.task_count(), 0);
   if (wf.task_count() == 0) return result;
+
+  // Failure injection is active only when a model with at least one non-zero
+  // rate is supplied; every draw below is additionally gated on its own rate,
+  // so the failure-free path consumes the RNG exactly as the seed executor
+  // did and stays bit-identical.
+  const FailureModel* fm =
+      options.failures && options.failures->enabled() ? options.failures
+                                                      : nullptr;
+  const std::size_t retry_cap = fm ? fm->options().max_task_retries : 0;
 
   CloudPool pool(catalog);
   EventQueue queue;
@@ -38,6 +52,14 @@ ExecutionResult simulate_execution(const workflow::Workflow& wf,
   for (workflow::TaskId t = 0; t < wf.task_count(); ++t) {
     waiting_parents[t] = wf.parents(t).size();
   }
+  // Injected failures suffered per task so far; once a task reaches the
+  // retry cap its next attempt runs failure-immune so the simulation
+  // terminates (a real WMS would declare the workflow failed — here the
+  // robustness metrics read the inflated makespan instead).
+  std::vector<std::size_t> attempts(wf.task_count(), 0);
+  // Fraction of each task's work still to do: crashes salvage
+  // checkpoint_fraction of the completed part, so retries shrink.
+  std::vector<double> remaining(wf.task_count(), 1.0);
 
   double transfer_cost = 0;
 
@@ -60,6 +82,10 @@ ExecutionResult simulate_execution(const workflow::Workflow& wf,
                : dist.mean();
   };
 
+  auto note_failure = [&](double t) {
+    result.first_failure_s = std::min(result.first_failure_s, t);
+  };
+
   // Forward declaration pattern: the lambda is stored so completion events
   // can make children ready.
   std::function<void(workflow::TaskId, double)> start_task;
@@ -72,21 +98,56 @@ ExecutionResult simulate_execution(const workflow::Workflow& wf,
     const TaskPlacement& placement = plan[tid];
     const cloud::InstanceType& type = catalog.type(placement.vm_type);
 
-    // Locate or acquire the executing instance.
+    // Locate or acquire the executing instance, retiring crashed candidates.
     InstanceId inst_id = CloudPool::kNone;
-    if (placement.group >= 0) {
-      inst_id = pool.find_group(placement.group);
-    } else {
-      inst_id = pool.find_idle(placement.vm_type, placement.region, now);
-    }
     double start = now;
-    if (inst_id == CloudPool::kNone) {
-      inst_id = pool.acquire(placement.vm_type, placement.region, now,
-                             placement.group);
-      start = now + options.boot_seconds;
-      pool.instance(inst_id).acquired_at = now;
-    } else {
-      start = std::max(now, pool.instance(inst_id).busy_until);
+    for (;;) {
+      if (placement.group >= 0) {
+        inst_id = pool.find_group(placement.group);
+      } else {
+        inst_id = pool.find_idle(placement.vm_type, placement.region, now);
+      }
+      if (inst_id == CloudPool::kNone) {
+        double boot_delay = options.boot_seconds;
+        if (fm) {
+          // Failed boots delay the acquisition (the failed provisioning
+          // attempt itself is not billed); capped so the run terminates.
+          for (int tries = 0;
+               tries < kMaxBootRetries && fm->sample_boot_failure(rng);
+               ++tries) {
+            ++result.failures.boot_failures;
+            note_failure(now + boot_delay);
+            boot_delay += fm->options().boot_retry_s + options.boot_seconds;
+          }
+        }
+        inst_id = pool.acquire(placement.vm_type, placement.region, now,
+                               placement.group);
+        if (fm && fm->crashes_enabled()) {
+          pool.instance(inst_id).crash_at = now + fm->sample_uptime(rng);
+        }
+        start = now + boot_delay;
+        break;
+      }
+      const Instance& inst = pool.instance(inst_id);
+      const double avail = std::max(now, inst.busy_until);
+      if (fm && inst.crash_at <= avail) {
+        if (inst.crash_at <= now) {
+          // Crashed while sitting idle: retire it un-refunded (billed to
+          // the crash) and look for a replacement.
+          if (pool.fail(inst_id, inst.crash_at)) {
+            ++result.failures.instance_crashes;
+          }
+          continue;
+        }
+        // The instance dies before it could serve this task (the attempt
+        // currently occupying it observes the crash itself); wait for the
+        // crash to be detected, then reschedule on a replacement.
+        queue.schedule(inst.crash_at + fm->backoff_delay(0),
+                       [&, tid](double t) { start_task(tid, t); });
+        return;
+      }
+      start = avail;
+      break;
     }
 
     // CPU component: reference seconds scaled by compute units.
@@ -101,7 +162,9 @@ ExecutionResult simulate_execution(const workflow::Workflow& wf,
     const double iops = std::max(rate(type.rand_io_iops), 1.0);
     io_time += options.rand_io_ops_per_task / iops;
 
-    // Network component: parent outputs fetched from other instances.
+    // Network component: parent outputs fetched from other instances
+    // (completed outputs live on shared storage, so a parent's data
+    // survives the crash of the instance that produced it).
     double net_time = 0;
     for (const workflow::Edge& e : wf.edges()) {
       if (e.child != tid || e.bytes <= 0) continue;
@@ -119,29 +182,112 @@ ExecutionResult simulate_execution(const workflow::Workflow& wf,
       }
     }
 
-    const double finish = start + cpu_time + io_time + net_time;
-    result.tasks[tid] = TaskTrace{start, finish, inst_id};
-    pool.instance(inst_id).busy_until = finish;
+    double duration = (cpu_time + io_time + net_time) * remaining[tid];
+    const bool immune = !fm || attempts[tid] >= retry_cap;
+    if (fm && fm->sample_straggler(rng)) {
+      ++result.failures.stragglers;
+      duration *= std::max(fm->options().straggler_slowdown, 1.0);
+    }
+    // Transient attempt failure: discovered partway through the attempt.
+    bool fail_transient = false;
+    double fail_frac = 0;
+    if (!immune && fm->sample_task_failure(rng)) {
+      fail_transient = true;
+      fail_frac = rng.uniform();
+    }
+    const double crash_at =
+        immune ? std::numeric_limits<double>::infinity()
+               : pool.instance(inst_id).crash_at;
 
-    queue.schedule(finish, [&, tid](double done_time) {
-      for (workflow::TaskId child : wf.children(tid)) {
-        if (--waiting_parents[child] == 0) on_ready(child, done_time);
-      }
+    const double finish = start + duration;
+    const double fail_at =
+        fail_transient ? start + fail_frac * duration
+                       : std::numeric_limits<double>::infinity();
+
+    if (finish <= crash_at && !fail_transient) {
+      // The attempt completes.
+      result.tasks[tid] = TaskTrace{start, finish, inst_id};
+      pool.instance(inst_id).busy_until = finish;
+      queue.schedule(finish, [&, tid](double done_time) {
+        result.completed[tid] = 1;
+        for (workflow::TaskId child : wf.children(tid)) {
+          if (--waiting_parents[child] == 0) on_ready(child, done_time);
+        }
+      });
+      return;
+    }
+
+    if (crash_at < fail_at) {
+      // The instance crashes mid-attempt: released un-refunded, the work
+      // since the last checkpoint is lost, and the task is rescheduled
+      // after backoff on a replacement instance.
+      pool.instance(inst_id).busy_until = crash_at;
+      result.tasks[tid] = TaskTrace{start, crash_at, inst_id};
+      const double done_frac =
+          duration > 0 ? std::clamp((crash_at - start) / duration, 0.0, 1.0)
+                       : 1.0;
+      queue.schedule(crash_at, [&, tid, inst_id, done_frac](double t) {
+        if (pool.fail(inst_id, t)) ++result.failures.instance_crashes;
+        ++result.failures.retries;
+        ++attempts[tid];
+        note_failure(t);
+        remaining[tid] *=
+            1.0 - std::clamp(fm->options().checkpoint_fraction, 0.0, 1.0) *
+                      done_frac;
+        queue.schedule(t + fm->backoff_delay(attempts[tid]),
+                       [&, tid](double retry_at) { start_task(tid, retry_at); });
+      });
+      return;
+    }
+
+    // Transient failure: the attempt dies at fail_at, the instance survives
+    // and frees up; the task retries after capped exponential backoff.
+    pool.instance(inst_id).busy_until = fail_at;
+    result.tasks[tid] = TaskTrace{start, fail_at, inst_id};
+    queue.schedule(fail_at, [&, tid](double t) {
+      ++result.failures.task_failures;
+      ++result.failures.retries;
+      ++attempts[tid];
+      note_failure(t);
+      queue.schedule(t + fm->backoff_delay(attempts[tid]),
+                     [&, tid](double retry_at) { start_task(tid, retry_at); });
     });
   };
 
   for (workflow::TaskId root : wf.roots()) {
     queue.schedule(0, [&, root](double now) { on_ready(root, now); });
   }
-  queue.run();
+  if (std::isfinite(options.horizon_s)) {
+    queue.run_until(options.horizon_s);
+  } else {
+    queue.run();
+  }
 
   double makespan = 0;
-  for (const TaskTrace& trace : result.tasks) {
-    makespan = std::max(makespan, trace.finish);
+  bool finished = true;
+  for (workflow::TaskId t = 0; t < wf.task_count(); ++t) {
+    if (result.completed[t]) {
+      makespan = std::max(makespan, result.tasks[t].finish);
+    } else {
+      finished = false;
+    }
   }
-  pool.release_all(makespan);
+  const double end =
+      finished ? makespan : options.horizon_s;
+  // Instances whose crash time falls inside the run are billed only to the
+  // crash, even if no task ever observed it.
+  if (fm && fm->crashes_enabled()) {
+    for (InstanceId id = 0; id < pool.instance_count(); ++id) {
+      const Instance& inst = pool.instance(id);
+      if (inst.running() && inst.crash_at < end) {
+        if (pool.fail(id, inst.crash_at)) ++result.failures.instance_crashes;
+      }
+    }
+  }
+  pool.release_all(end);
 
   result.makespan = makespan;
+  result.finished = finished;
   result.instance_cost = pool.billed_cost();
   result.transfer_cost = transfer_cost;
   result.total_cost = result.instance_cost + result.transfer_cost;

@@ -9,10 +9,12 @@
 // per second conform the distributions from calibration".
 #pragma once
 
+#include <limits>
 #include <vector>
 
 #include "cloud/instance_type.hpp"
 #include "sim/cloud_sim.hpp"
+#include "sim/failure_model.hpp"
 #include "sim/plan.hpp"
 #include "util/rng.hpp"
 #include "workflow/dag.hpp"
@@ -30,12 +32,33 @@ struct ExecutorOptions {
   /// run, which is what makes whole-workflow execution times vary
   /// significantly (Fig. 2) even though per-task noise averages out.
   double interference_cv = 0.15;
+  /// Failure injection (borrowed; may be nullptr).  A null or all-zero
+  /// model consumes no RNG state and reproduces failure-free traces bit
+  /// for bit.
+  const FailureModel* failures = nullptr;
+  /// Virtual-time horizon: events past it stay unprocessed and tasks not
+  /// finished by then are reported incomplete.  The reactive WMS engine
+  /// uses this to materialize a run's prefix up to a replanning point.
+  double horizon_s = std::numeric_limits<double>::infinity();
 };
 
 struct TaskTrace {
   double start = 0;
   double finish = 0;
   InstanceId instance = CloudPool::kNone;
+};
+
+/// Counters for injected failures observed during one execution.
+struct FailureStats {
+  std::size_t instance_crashes = 0;  ///< instances lost (running or idle)
+  std::size_t boot_failures = 0;     ///< failed acquisition attempts
+  std::size_t task_failures = 0;     ///< transient task-attempt failures
+  std::size_t stragglers = 0;        ///< attempts hit by a slowdown
+  std::size_t retries = 0;           ///< task attempts rescheduled
+
+  std::size_t total_disruptions() const {
+    return instance_crashes + boot_failures + task_failures + retries;
+  }
 };
 
 struct ExecutionResult {
@@ -45,6 +68,14 @@ struct ExecutionResult {
   double total_cost = 0;
   std::size_t instances_used = 0;
   std::vector<TaskTrace> tasks;
+  /// completed[t] != 0 iff task t finished within the horizon.
+  std::vector<std::uint8_t> completed;
+  bool finished = true;       ///< every task completed
+  FailureStats failures;
+  /// Virtual time of the first failure that disturbed work (a crash hitting
+  /// a task, a transient failure, or a boot failure); +inf when clean.  The
+  /// reactive engine cuts its replanning horizon here.
+  double first_failure_s = std::numeric_limits<double>::infinity();
 };
 
 /// Simulates one execution of `wf` under `plan`.  Each call consumes RNG

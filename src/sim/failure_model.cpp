@@ -1,0 +1,98 @@
+#include "sim/failure_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deco::sim {
+
+bool FailureModel::enabled() const {
+  return crashes_enabled() || options_.boot_failure_prob > 0 ||
+         options_.task_failure_prob > 0 || options_.straggler_prob > 0;
+}
+
+double FailureModel::sample_uptime(util::Rng& rng) const {
+  // Inverse-CDF sampling keeps the draw to one uniform, so the executor's
+  // RNG consumption per acquisition is fixed.
+  const double u = std::max(1.0 - rng.uniform(), 1e-12);  // (0, 1]
+  const double log_term = -std::log(u);
+  if (options_.crash_distribution ==
+      FailureModelOptions::CrashDistribution::kExponential) {
+    return options_.crash_mtbf_s * log_term;
+  }
+  // Weibull(k, lambda) with the scale chosen so the mean uptime is the
+  // configured MTBF: E[X] = lambda * Gamma(1 + 1/k).
+  const double k = std::max(options_.weibull_shape, 0.1);
+  const double lambda = options_.crash_mtbf_s / std::tgamma(1.0 + 1.0 / k);
+  return lambda * std::pow(log_term, 1.0 / k);
+}
+
+bool FailureModel::sample_boot_failure(util::Rng& rng) const {
+  return options_.boot_failure_prob > 0 &&
+         rng.chance(options_.boot_failure_prob);
+}
+
+bool FailureModel::sample_task_failure(util::Rng& rng) const {
+  return options_.task_failure_prob > 0 &&
+         rng.chance(options_.task_failure_prob);
+}
+
+bool FailureModel::sample_straggler(util::Rng& rng) const {
+  return options_.straggler_prob > 0 && rng.chance(options_.straggler_prob);
+}
+
+double FailureModel::backoff_delay(std::size_t attempt) const {
+  if (attempt == 0) return options_.retry_backoff_s;
+  const double exponent = static_cast<double>(attempt - 1);
+  const double delay =
+      options_.retry_backoff_s *
+      std::pow(std::max(options_.retry_backoff_factor, 1.0), exponent);
+  return std::min(delay, options_.retry_backoff_cap_s);
+}
+
+double FailureModel::expected_time_factor(double nominal_s) const {
+  if (nominal_s <= 0 || !enabled()) return 1.0;
+
+  // Mean backoff over the retry window (retries draw increasing delays up
+  // to the cap).
+  const std::size_t r = std::max<std::size_t>(options_.max_task_retries, 1);
+  double mean_backoff = 0;
+  for (std::size_t i = 1; i <= r; ++i) mean_backoff += backoff_delay(i);
+  mean_backoff /= static_cast<double>(r);
+
+  // Stragglers stretch the attempt itself.
+  const double stretched =
+      nominal_s * (1.0 + options_.straggler_prob *
+                             (std::max(options_.straggler_slowdown, 1.0) - 1.0));
+  double expected = stretched;
+
+  // Transient retries: with per-attempt failure probability p capped at r
+  // injected failures, the expected number of failed attempts is
+  // p (1 - p^r) / (1 - p); each loses ~half an attempt and waits one
+  // backoff.
+  const double p = std::clamp(options_.task_failure_prob, 0.0, 0.95);
+  if (p > 0) {
+    const double failed =
+        p * (1.0 - std::pow(p, static_cast<double>(r))) / (1.0 - p);
+    expected += failed * (0.5 * stretched + mean_backoff);
+  }
+
+  // Crashes: a task of duration d on an instance with mean uptime M is hit
+  // with probability ~ d / M (first order); a hit loses half the attempt
+  // minus what checkpointing salvages, then waits one backoff.
+  if (crashes_enabled()) {
+    const double q = std::min(stretched / options_.crash_mtbf_s, 0.9);
+    const double lost = 0.5 * stretched *
+                        (1.0 - std::clamp(options_.checkpoint_fraction, 0.0, 1.0));
+    expected += q * (lost + mean_backoff);
+  }
+
+  // Boot failures delay the acquisition the attempt may be waiting on.
+  if (options_.boot_failure_prob > 0) {
+    const double pb = std::clamp(options_.boot_failure_prob, 0.0, 0.95);
+    expected += pb / (1.0 - pb) * options_.boot_retry_s;
+  }
+
+  return expected / nominal_s;
+}
+
+}  // namespace deco::sim

@@ -1,0 +1,112 @@
+// Failure injection for the Section 6.1 simulator.
+//
+// The seed simulator reproduces cloud performance *variance* but assumes an
+// implausibly reliable cloud: outside of spot revocations nothing ever
+// fails.  FailureModel adds the failure classes real IaaS provisioning has
+// to survive — whole-instance crashes (exponential or Weibull inter-arrival
+// per instance), boot failures on acquisition, transient per-attempt task
+// failures, and stragglers — so that every plan Deco emits can be evaluated
+// against a cloud that misbehaves.
+//
+// The model is deterministic: it holds no RNG of its own, all draws flow
+// through the caller's util::Rng, and every sampling method is gated on its
+// rate being active, so a default-constructed (or all-zero) model consumes
+// no RNG state at all and the executor reproduces today's failure-free
+// traces bit for bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cloud/instance_type.hpp"
+#include "util/rng.hpp"
+
+namespace deco::sim {
+
+struct FailureModelOptions {
+  /// Mean time between instance crashes, seconds.  <= 0 disables crashes.
+  double crash_mtbf_s = 0;
+  /// Inter-arrival family for crashes.  Exponential models memoryless
+  /// hardware faults; Weibull (shape > 1) models wear-out / correlated
+  /// failures where survival gets less likely with uptime.
+  enum class CrashDistribution { kExponential, kWeibull };
+  CrashDistribution crash_distribution = CrashDistribution::kExponential;
+  /// Weibull shape k (only used with kWeibull); the scale is derived so the
+  /// mean uptime stays crash_mtbf_s.
+  double weibull_shape = 1.5;
+
+  /// Probability that an instance acquisition fails to boot.  Each failed
+  /// boot delays the acquisition by boot_retry_s and is re-tried.
+  double boot_failure_prob = 0;
+  double boot_retry_s = 60;
+
+  /// Probability that one task attempt fails transiently (bad node, OOM,
+  /// flaky filesystem).  The attempt's partial work is lost; the instance
+  /// survives and the task is retried after backoff.
+  double task_failure_prob = 0;
+
+  /// Probability that an attempt runs as a straggler, and the slowdown it
+  /// then suffers (multiplier on the attempt duration).
+  double straggler_prob = 0;
+  double straggler_slowdown = 2.5;
+
+  /// Injected failures tolerated per task before the attempt is made
+  /// failure-immune (the simulation must terminate; a real WMS would mark
+  /// the workflow failed — the robustness metrics read the inflated
+  /// makespan instead).
+  std::size_t max_task_retries = 3;
+  /// Capped exponential backoff between attempts: the n-th retry waits
+  /// min(retry_backoff_s * retry_backoff_factor^(n-1), retry_backoff_cap_s).
+  double retry_backoff_s = 30;
+  double retry_backoff_factor = 2.0;
+  double retry_backoff_cap_s = 600;
+
+  /// Fraction of an attempt's completed work salvaged when its instance
+  /// crashes (0 = restart from scratch, 1 = perfect checkpointing).
+  double checkpoint_fraction = 0;
+};
+
+/// Stateless, deterministic failure sampler shared by the executor (which
+/// draws concrete failures) and the PlanEvaluator (which folds the same
+/// model's *expectations* into the Monte Carlo estimate).
+class FailureModel {
+ public:
+  FailureModel() = default;
+  explicit FailureModel(FailureModelOptions options) : options_(options) {}
+
+  const FailureModelOptions& options() const { return options_; }
+
+  /// True iff any failure class is active.
+  bool enabled() const;
+  bool crashes_enabled() const { return options_.crash_mtbf_s > 0; }
+
+  /// Uptime until the crash of a freshly acquired instance, seconds.
+  /// Requires crashes_enabled().
+  double sample_uptime(util::Rng& rng) const;
+
+  /// One acquisition attempt fails to boot?  Consumes RNG only when
+  /// boot_failure_prob > 0.
+  bool sample_boot_failure(util::Rng& rng) const;
+
+  /// One task attempt fails transiently?  Consumes RNG only when
+  /// task_failure_prob > 0.
+  bool sample_task_failure(util::Rng& rng) const;
+
+  /// One task attempt straggles?  Consumes RNG only when straggler_prob > 0.
+  bool sample_straggler(util::Rng& rng) const;
+
+  /// Backoff before retry number `attempt` (1-based: the first retry waits
+  /// retry_backoff_s).
+  double backoff_delay(std::size_t attempt) const;
+
+  /// Expected wall-time inflation factor (>= 1) for a task whose nominal
+  /// duration is `nominal_s`, folding straggler, retry and crash
+  /// expectations to first order.  Used by the failure-aware PlanEvaluator
+  /// so probabilistic deadlines account for retry inflation.
+  double expected_time_factor(double nominal_s) const;
+
+ private:
+  FailureModelOptions options_;
+};
+
+}  // namespace deco::sim

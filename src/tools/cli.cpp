@@ -314,18 +314,28 @@ CliArgs parse_args(const std::vector<std::string>& argv) {
 }
 
 int run_cli(const CliArgs& args, std::ostream& out) {
-  if (args.command.empty() || args.command == "help") {
-    out << kUsage;
-    return args.command.empty() ? 1 : 0;
+  // Top-level error boundary: malformed inputs must produce a one-line
+  // diagnostic and a non-zero exit, never an escaping exception.
+  try {
+    if (args.command.empty() || args.command == "help") {
+      out << kUsage;
+      return args.command.empty() ? 1 : 0;
+    }
+    if (args.command == "calibrate") return cmd_calibrate(args, out);
+    if (args.command == "generate") return cmd_generate(args, out);
+    if (args.command == "plan") return cmd_plan(args, out, /*execute=*/false);
+    if (args.command == "run") return cmd_plan(args, out, /*execute=*/true);
+    if (args.command == "solve") return cmd_solve(args, out);
+    if (args.command == "info") return cmd_info(args, out);
+    out << "error: unknown command '" << args.command << "'\n" << kUsage;
+    return 1;
+  } catch (const std::exception& e) {
+    out << "error: " << e.what() << "\n";
+    return 1;
+  } catch (...) {
+    out << "error: unexpected failure\n";
+    return 1;
   }
-  if (args.command == "calibrate") return cmd_calibrate(args, out);
-  if (args.command == "generate") return cmd_generate(args, out);
-  if (args.command == "plan") return cmd_plan(args, out, /*execute=*/false);
-  if (args.command == "run") return cmd_plan(args, out, /*execute=*/true);
-  if (args.command == "solve") return cmd_solve(args, out);
-  if (args.command == "info") return cmd_info(args, out);
-  out << "error: unknown command '" << args.command << "'\n" << kUsage;
-  return 1;
 }
 
 int run_cli(int argc, const char* const* argv, std::ostream& out) {

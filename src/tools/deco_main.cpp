@@ -1,8 +1,21 @@
 // The `deco` binary: thin wrapper over tools::run_cli.
+//
+// run_cli has its own error boundary; this one catches anything that still
+// escapes (e.g. stream failures while reporting) so malformed inputs always
+// exit with a one-line diagnostic instead of std::terminate.
+#include <exception>
 #include <iostream>
 
 #include "tools/cli.hpp"
 
 int main(int argc, char** argv) {
-  return deco::tools::run_cli(argc, argv, std::cout);
+  try {
+    return deco::tools::run_cli(argc, argv, std::cout);
+  } catch (const std::exception& e) {
+    std::cerr << "deco: fatal: " << e.what() << "\n";
+    return 1;
+  } catch (...) {
+    std::cerr << "deco: fatal: unexpected failure\n";
+    return 1;
+  }
 }

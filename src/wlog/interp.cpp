@@ -88,9 +88,11 @@ Interpreter::Outcome Interpreter::solve_goals(
     Frame& frame, const std::function<bool(Bindings&)>& on_solution,
     std::size_t depth) {
   // The depth cap bounds native-stack growth (each WLog recursion level costs
-  // a handful of C++ frames); programs needing deeper recursion should use
-  // the native evaluator instead of the interpreter.
-  if (++steps_ > step_limit_ || depth > 2'000) return Outcome::kStop;
+  // a handful of C++ frames, and sanitized builds inflate every frame by an
+  // order of magnitude); programs needing deeper recursion should use the
+  // native evaluator instead of the interpreter.
+  constexpr std::size_t kMaxDepth = 256;
+  if (++steps_ > step_limit_ || depth > kMaxDepth) return Outcome::kStop;
   if (index >= goals.size()) {
     found_ = true;
     return on_solution(bindings) ? Outcome::kStop : Outcome::kContinue;

@@ -190,6 +190,21 @@ class Parser {
   }
 
   TermPtr parse_expr(int max_prec) {
+    // Recursive descent: cap the nesting so hostile input (deeply nested
+    // terms, kilometer-long conjunctions) fails cleanly instead of
+    // exhausting the native stack, which sanitized builds hit early.
+    constexpr int kMaxNesting = 512;
+    if (++expr_depth_ > kMaxNesting) {
+      fail("term nesting too deep");
+      --expr_depth_;
+      return kNil;
+    }
+    TermPtr result = parse_expr_at(max_prec);
+    --expr_depth_;
+    return result;
+  }
+
+  TermPtr parse_expr_at(int max_prec) {
     TermPtr left = parse_primary();
     for (;;) {
       if (failed_) return left;
@@ -386,6 +401,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
+  int expr_depth_ = 0;
   bool failed_ = false;
   std::string error_;
   std::size_t error_line_ = 0;

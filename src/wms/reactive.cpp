@@ -1,0 +1,206 @@
+#include "wms/reactive.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "baselines/autoscaling.hpp"
+#include "core/estimator.hpp"
+
+namespace deco::wms {
+namespace {
+
+/// The not-yet-completed slice of a workflow, with the mapping back to the
+/// original task ids.  Edges from completed parents are dropped (their data
+/// is already on shared storage), so residual roots are exactly the tasks
+/// whose dependencies are all satisfied.
+struct Residual {
+  workflow::Workflow wf;
+  std::vector<workflow::TaskId> to_original;
+};
+
+Residual make_residual(const workflow::Workflow& wf,
+                       const std::vector<std::uint8_t>& done) {
+  Residual res;
+  res.wf = workflow::Workflow(wf.name());
+  std::vector<workflow::TaskId> to_residual(wf.task_count(),
+                                            workflow::kInvalidTask);
+  for (workflow::TaskId t = 0; t < wf.task_count(); ++t) {
+    if (done[t]) continue;
+    to_residual[t] = res.wf.add_task(wf.task(t));
+    res.to_original.push_back(t);
+  }
+  for (const workflow::Edge& e : wf.edges()) {
+    if (to_residual[e.parent] == workflow::kInvalidTask ||
+        to_residual[e.child] == workflow::kInvalidTask) {
+      continue;
+    }
+    res.wf.add_edge(to_residual[e.parent], to_residual[e.child], e.bytes);
+  }
+  return res;
+}
+
+/// Mixes a segment index into the base seed (splitmix64 finalizer) so each
+/// execution segment owns an independent, reproducible stream.
+std::uint64_t segment_seed(std::uint64_t base, std::size_t segment) {
+  std::uint64_t z = base + 0x9E3779B97F4A7C15ULL *
+                               (static_cast<std::uint64_t>(segment) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+void accumulate(sim::FailureStats& into, const sim::FailureStats& from) {
+  into.instance_crashes += from.instance_crashes;
+  into.boot_failures += from.boot_failures;
+  into.task_failures += from.task_failures;
+  into.stragglers += from.stragglers;
+  into.retries += from.retries;
+}
+
+}  // namespace
+
+ReactiveEngine::ReactiveEngine(const cloud::Catalog& catalog,
+                               const cloud::MetadataStore& store,
+                               Scheduler& primary, ReactiveOptions options)
+    : catalog_(&catalog),
+      store_(&store),
+      primary_(&primary),
+      options_(options) {
+  options_.reaction_s = std::max(options_.reaction_s, 1.0);
+}
+
+sim::Plan ReactiveEngine::plan_or_fallback(const workflow::Workflow& wf,
+                                           const core::ProbDeadline& req,
+                                           util::Rng& rng,
+                                           ReactiveReport& report) {
+  SchedulerContext ctx;
+  ctx.catalog = catalog_;
+  ctx.store = store_;
+  ctx.requirement = req;
+  ctx.rng = &rng;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    sim::Plan plan = primary_->schedule(wf, ctx);
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    if (plan.size() == wf.task_count() &&
+        elapsed_ms <= options_.solver_timeout_ms) {
+      report.last_scheduler = primary_->name();
+      return plan;
+    }
+  } catch (...) {
+    // Fall through to the baseline: a solver crash must not kill the run.
+  }
+  ++report.solver_fallbacks;
+  try {
+    core::TaskTimeEstimator estimator(*catalog_, *store_);
+    baselines::Autoscaling autoscaling(wf, estimator);
+    sim::Plan plan = autoscaling.solve(req.deadline_s).plan;
+    if (plan.size() == wf.task_count()) {
+      report.last_scheduler = "Autoscaling(fallback)";
+      return plan;
+    }
+  } catch (...) {
+  }
+  report.last_scheduler = "Uniform(fallback)";
+  return sim::Plan::uniform(wf.task_count(), 0);
+}
+
+ReactiveReport ReactiveEngine::run(const workflow::Workflow& wf,
+                                   const core::ProbDeadline& req) {
+  ReactiveReport report;
+  if (wf.task_count() == 0) {
+    report.completed = true;
+    report.met_deadline = true;
+    return report;
+  }
+
+  std::vector<std::uint8_t> done(wf.task_count(), 0);
+  double clock = 0;        // global virtual time at the residual's start
+  double last_finish = 0;  // global finish time of the latest completed task
+  util::Rng plan_rng(options_.seed);
+
+  Residual residual;
+  residual.wf = wf;
+  residual.to_original.resize(wf.task_count());
+  for (workflow::TaskId t = 0; t < wf.task_count(); ++t) {
+    residual.to_original[t] = t;
+  }
+  sim::Plan plan = plan_or_fallback(residual.wf, req, plan_rng, report);
+
+  for (std::size_t segment = 0;; ++segment) {
+    ++report.segments;
+    const std::uint64_t seed = segment_seed(options_.seed, segment);
+
+    // Probe: simulate the residual under the current plan to completion.
+    // The probe is what the monitor "would observe"; rerunning the same
+    // seed with a horizon reproduces its prefix bit for bit.
+    util::Rng probe_rng(seed);
+    sim::ExecutorOptions probe_options = options_.executor;
+    probe_options.horizon_s = std::numeric_limits<double>::infinity();
+    const sim::ExecutionResult probe = sim::simulate_execution(
+        residual.wf, plan, *catalog_, probe_rng, probe_options);
+
+    // Replan on deadline risk, not on every disruption: the probe's
+    // projected finish already includes every failure its stream will
+    // inject, so a disrupted-but-on-time trajectory is left to the
+    // executor's retry machinery.  Cutting eagerly on any failure loses
+    // the work in flight at the cut and re-bills instance hours, which at
+    // high failure rates costs more than the failures themselves.
+    const bool disrupted = std::isfinite(probe.first_failure_s);
+    const bool at_risk = clock + probe.makespan > req.deadline_s;
+    if (!at_risk || report.replans >= options_.max_replans) {
+      // Accept the whole trajectory: clean and on time, or out of replans.
+      report.total_cost += probe.total_cost;
+      accumulate(report.failures, probe.failures);
+      last_finish = std::max(last_finish, clock + probe.makespan);
+      for (workflow::TaskId t = 0; t < residual.wf.task_count(); ++t) {
+        done[residual.to_original[t]] = 1;
+      }
+      break;
+    }
+
+    // Materialize the prefix up to the replanning cut: the first failure
+    // plus the monitor's reaction lag when a failure caused the risk, or
+    // one reaction interval when the plan was simply too slow.
+    const double cut =
+        disrupted ? probe.first_failure_s + options_.reaction_s
+                  : options_.reaction_s;
+    util::Rng segment_rng(seed);
+    sim::ExecutorOptions cut_options = options_.executor;
+    cut_options.horizon_s = cut;
+    const sim::ExecutionResult prefix = sim::simulate_execution(
+        residual.wf, plan, *catalog_, segment_rng, cut_options);
+    report.total_cost += prefix.total_cost;
+    accumulate(report.failures, prefix.failures);
+    for (workflow::TaskId t = 0; t < residual.wf.task_count(); ++t) {
+      if (!prefix.completed[t]) continue;
+      done[residual.to_original[t]] = 1;
+      last_finish = std::max(last_finish, clock + prefix.tasks[t].finish);
+    }
+    clock += cut;
+
+    residual = make_residual(wf, done);
+    if (residual.wf.task_count() == 0) break;
+
+    // Replan the residual DAG against what remains of the deadline.  Work
+    // in flight at the cut is rescheduled by the new plan.
+    core::ProbDeadline residual_req = req;
+    residual_req.deadline_s = std::max(req.deadline_s - clock, 1.0);
+    plan = plan_or_fallback(residual.wf, residual_req, plan_rng, report);
+    ++report.replans;
+  }
+
+  report.completed =
+      std::all_of(done.begin(), done.end(), [](std::uint8_t d) { return d; });
+  report.makespan = last_finish;
+  report.met_deadline = report.completed && last_finish <= req.deadline_s;
+  return report;
+}
+
+}  // namespace deco::wms

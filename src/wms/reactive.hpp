@@ -1,0 +1,82 @@
+// Reactive, fault-tolerant execution loop on top of the WMS (Figure 3
+// extended with a monitor).
+//
+// A static plan is only as good as the cloud it assumed: once instances
+// crash or attempts fail, the residual workflow may no longer meet the
+// probabilistic deadline.  ReactiveEngine closes the loop — it monitors a
+// simulated run and, when the projected finish (failures included) slips
+// past the deadline, prunes the completed tasks, decrements the deadline
+// to what remains, and re-invokes the scheduler on the *residual* DAG;
+// the first failure's time anchors where the old plan is cut.  Disrupted
+// but still-on-time runs are left to the executor's retry machinery —
+// replanning costs lost in-flight work and re-billed instance hours, so
+// it is reserved for runs that would otherwise miss.  Replanning degrades
+// gracefully: if the primary scheduler (typically Deco) throws, returns a
+// malformed plan, or exceeds a wall-clock timeout, the engine falls back
+// to the Autoscaling baseline (and, as a last resort, to an all-cheapest
+// plan) instead of aborting the workflow.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/executor.hpp"
+#include "wms/scheduler.hpp"
+
+namespace deco::wms {
+
+struct ReactiveOptions {
+  /// Simulator configuration, including the failure model to inject.
+  sim::ExecutorOptions executor;
+  /// Lag between a detected failure and the replanning cut: the monitor
+  /// lets the run continue this long before the new plan takes over.
+  double reaction_s = 60;
+  /// Replans allowed per run; past the cap the engine rides the current
+  /// plan to completion (bounds both simulation and solver work).
+  std::size_t max_replans = 6;
+  /// Wall-clock budget for one primary-scheduler invocation; beyond it the
+  /// fallback scheduler's plan is used instead.
+  double solver_timeout_ms = 30000;
+  /// Base seed for per-segment simulation streams.
+  std::uint64_t seed = 2015;
+};
+
+struct ReactiveReport {
+  bool completed = false;      ///< every task ran to completion
+  double makespan = 0;         ///< global finish time, seconds
+  double total_cost = 0;       ///< summed over all execution segments
+  bool met_deadline = false;
+  std::size_t segments = 0;    ///< execution segments simulated
+  std::size_t replans = 0;     ///< scheduler re-invocations after t=0
+  std::size_t solver_fallbacks = 0;  ///< times the fallback plan was used
+  sim::FailureStats failures;  ///< aggregated over accepted segments
+  std::string last_scheduler;  ///< who produced the final plan
+};
+
+class ReactiveEngine {
+ public:
+  /// The engine borrows the catalog, store and primary scheduler; they must
+  /// outlive it.
+  ReactiveEngine(const cloud::Catalog& catalog,
+                 const cloud::MetadataStore& store, Scheduler& primary,
+                 ReactiveOptions options = {});
+
+  /// Plans and executes `wf` against the probabilistic deadline, replanning
+  /// reactively on failures and deadline risk.
+  ReactiveReport run(const workflow::Workflow& wf,
+                     const core::ProbDeadline& requirement);
+
+  const ReactiveOptions& options() const { return options_; }
+
+ private:
+  sim::Plan plan_or_fallback(const workflow::Workflow& wf,
+                             const core::ProbDeadline& requirement,
+                             util::Rng& rng, ReactiveReport& report);
+
+  const cloud::Catalog* catalog_;
+  const cloud::MetadataStore* store_;
+  Scheduler* primary_;
+  ReactiveOptions options_;
+};
+
+}  // namespace deco::wms

@@ -160,5 +160,77 @@ TEST(EvaluatorTest, EmptyWorkflowIsTriviallyFeasible) {
   EXPECT_TRUE(r.feasible);
 }
 
+TEST(EvaluatorTest, NullFailureModelIsBitIdentical) {
+  util::Rng rng(11);
+  const auto wf = workflow::make_montage(1, rng);
+  TaskTimeEstimator est1(ec2(), store(), lean());
+  TaskTimeEstimator est2(ec2(), store(), lean());
+  vgpu::SerialBackend backend;
+  PlanEvaluator plain(wf, est1, backend);
+  EvalOptions opt;
+  opt.failure_model = nullptr;
+  PlanEvaluator with_null(wf, est2, backend, opt);
+  const sim::Plan plan = sim::Plan::uniform(wf.task_count(), 1);
+  const ProbDeadline req{0.9, 4000};
+  const auto r1 = plain.evaluate(plan, req);
+  const auto r2 = with_null.evaluate(plan, req);
+  EXPECT_EQ(r1.mean_cost, r2.mean_cost);
+  EXPECT_EQ(r1.mean_makespan, r2.mean_makespan);
+  EXPECT_EQ(r1.makespan_quantile, r2.makespan_quantile);
+  EXPECT_EQ(r1.deadline_prob, r2.deadline_prob);
+}
+
+TEST(EvaluatorTest, FailureAwareEvaluationInflatesTheEstimate) {
+  util::Rng rng(12);
+  const auto wf = workflow::make_montage(1, rng);
+  TaskTimeEstimator est1(ec2(), store(), lean());
+  TaskTimeEstimator est2(ec2(), store(), lean());
+  vgpu::SerialBackend backend;
+  PlanEvaluator plain(wf, est1, backend);
+  sim::FailureModelOptions fm;
+  fm.crash_mtbf_s = 3600;
+  fm.task_failure_prob = 0.1;
+  fm.straggler_prob = 0.1;
+  const sim::FailureModel model(fm);
+  EvalOptions opt;
+  opt.failure_model = &model;
+  PlanEvaluator aware(wf, est2, backend, opt);
+  const sim::Plan plan = sim::Plan::uniform(wf.task_count(), 1);
+  const ProbDeadline req{0.9, 4000};
+  const auto clean = plain.evaluate(plan, req);
+  const auto faulty = aware.evaluate(plan, req);
+  // Retry inflation: expected makespan and quantile both grow; prorated
+  // cost follows the longer busy time.
+  EXPECT_GT(faulty.mean_makespan, clean.mean_makespan);
+  EXPECT_GT(faulty.makespan_quantile, clean.makespan_quantile);
+  EXPECT_LE(faulty.deadline_prob, clean.deadline_prob + 1e-12);
+}
+
+TEST(EvaluatorTest, FailureAwareFeasibilityFlipsUnderTightDeadline) {
+  util::Rng rng(13);
+  const auto wf = workflow::make_montage(1, rng);
+  TaskTimeEstimator est1(ec2(), store(), lean());
+  TaskTimeEstimator est2(ec2(), store(), lean());
+  vgpu::SerialBackend backend;
+  PlanEvaluator plain(wf, est1, backend);
+  sim::FailureModelOptions fm;
+  fm.task_failure_prob = 0.25;
+  fm.straggler_prob = 0.2;
+  fm.crash_mtbf_s = 1800;
+  const sim::FailureModel model(fm);
+  EvalOptions opt;
+  opt.failure_model = &model;
+  PlanEvaluator aware(wf, est2, backend, opt);
+  const sim::Plan plan = sim::Plan::uniform(wf.task_count(), 1);
+  // A deadline comfortably above the clean quantile (15% slack absorbs
+  // Monte Carlo drift between calls) but far below the retry-inflated one:
+  // feasible on a reliable cloud, infeasible once failures are folded in.
+  const double clean_q =
+      plain.evaluate(plan, {0.9, 1e9}).makespan_quantile;
+  const ProbDeadline req{0.9, clean_q * 1.15};
+  EXPECT_TRUE(plain.evaluate(plan, req).feasible);
+  EXPECT_FALSE(aware.evaluate(plan, req).feasible);
+}
+
 }  // namespace
 }  // namespace deco::core

@@ -1,0 +1,285 @@
+#include "sim/failure_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "sim/executor.hpp"
+#include "tests/core/test_fixtures.hpp"
+#include "workflow/generators.hpp"
+
+namespace deco::sim {
+namespace {
+
+using core::testing::ec2;
+
+ExecutorOptions quiet(const FailureModel* fm = nullptr) {
+  ExecutorOptions opt;
+  opt.sample_dynamics = false;
+  opt.rand_io_ops_per_task = 0;
+  opt.failures = fm;
+  return opt;
+}
+
+void expect_identical(const ExecutionResult& a, const ExecutionResult& b) {
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.instance_cost, b.instance_cost);
+  EXPECT_EQ(a.transfer_cost, b.transfer_cost);
+  EXPECT_EQ(a.total_cost, b.total_cost);
+  EXPECT_EQ(a.instances_used, b.instances_used);
+  EXPECT_EQ(a.finished, b.finished);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t t = 0; t < a.tasks.size(); ++t) {
+    EXPECT_EQ(a.tasks[t].start, b.tasks[t].start) << "task " << t;
+    EXPECT_EQ(a.tasks[t].finish, b.tasks[t].finish) << "task " << t;
+    EXPECT_EQ(a.tasks[t].instance, b.tasks[t].instance) << "task " << t;
+    EXPECT_EQ(a.completed[t], b.completed[t]) << "task " << t;
+  }
+  EXPECT_EQ(a.failures.instance_crashes, b.failures.instance_crashes);
+  EXPECT_EQ(a.failures.boot_failures, b.failures.boot_failures);
+  EXPECT_EQ(a.failures.task_failures, b.failures.task_failures);
+  EXPECT_EQ(a.failures.stragglers, b.failures.stragglers);
+  EXPECT_EQ(a.failures.retries, b.failures.retries);
+}
+
+// --- bit-identity regression -------------------------------------------
+
+TEST(FailureModelTest, NullAndZeroRateModelsMatchBaselineBitForBit) {
+  // The full sampling path (dynamics on) so the RNG is heavily exercised:
+  // neither a nullptr model nor an all-zero model may consume a single draw.
+  util::Rng wf_rng(1);
+  const auto wf = workflow::make_montage(1, wf_rng);
+  const Plan plan = Plan::uniform(wf.task_count(), 1);
+  const FailureModel zero_model;  // all rates zero
+  EXPECT_FALSE(zero_model.enabled());
+
+  util::Rng r1(42);
+  const auto baseline = simulate_execution(wf, plan, ec2(), r1);
+  util::Rng r2(42);
+  ExecutorOptions with_null;
+  with_null.failures = nullptr;
+  const auto null_run = simulate_execution(wf, plan, ec2(), r2, with_null);
+  util::Rng r3(42);
+  ExecutorOptions with_zero;
+  with_zero.failures = &zero_model;
+  const auto zero_run = simulate_execution(wf, plan, ec2(), r3, with_zero);
+
+  expect_identical(baseline, null_run);
+  expect_identical(baseline, zero_run);
+  EXPECT_EQ(baseline.first_failure_s, zero_run.first_failure_s);
+  EXPECT_TRUE(std::isinf(baseline.first_failure_s));
+}
+
+TEST(FailureModelTest, ActiveModelIsDeterministicPerSeed) {
+  util::Rng wf_rng(2);
+  const auto wf = workflow::make_cybershake(30, wf_rng);
+  const Plan plan = Plan::uniform(wf.task_count(), 0);
+  FailureModelOptions fm;
+  fm.crash_mtbf_s = 900;
+  fm.task_failure_prob = 0.1;
+  fm.straggler_prob = 0.1;
+  fm.boot_failure_prob = 0.05;
+  const FailureModel model(fm);
+
+  util::Rng r1(7);
+  const auto a = simulate_execution(wf, plan, ec2(), r1, quiet(&model));
+  util::Rng r2(7);
+  const auto b = simulate_execution(wf, plan, ec2(), r2, quiet(&model));
+  expect_identical(a, b);
+  EXPECT_EQ(a.first_failure_s, b.first_failure_s);
+  EXPECT_GT(a.failures.total_disruptions(), 0u);
+}
+
+// --- crash injection ----------------------------------------------------
+
+TEST(FailureModelTest, CrashesInflateMakespanAndAreCounted) {
+  util::Rng wf_rng(3);
+  const auto wf = workflow::make_pipeline(8, wf_rng);
+  const Plan plan = Plan::uniform(wf.task_count(), 0);
+  FailureModelOptions fm;
+  fm.crash_mtbf_s = 600;  // far shorter than the workflow: crashes certain
+  const FailureModel model(fm);
+
+  util::Rng clean_rng(9);
+  const auto clean = simulate_execution(wf, plan, ec2(), clean_rng, quiet());
+  util::Rng rng(9);
+  const auto faulty = simulate_execution(wf, plan, ec2(), rng, quiet(&model));
+
+  EXPECT_TRUE(faulty.finished);
+  EXPECT_GT(faulty.failures.instance_crashes, 0u);
+  EXPECT_GT(faulty.failures.retries, 0u);
+  EXPECT_GT(faulty.makespan, clean.makespan);
+  EXPECT_TRUE(std::isfinite(faulty.first_failure_s));
+  EXPECT_LE(faulty.first_failure_s, faulty.makespan);
+}
+
+TEST(FailureModelTest, WeibullCrashesAlsoTerminate) {
+  util::Rng wf_rng(4);
+  const auto wf = workflow::make_pipeline(6, wf_rng);
+  const Plan plan = Plan::uniform(wf.task_count(), 0);
+  FailureModelOptions fm;
+  fm.crash_mtbf_s = 600;
+  fm.crash_distribution = FailureModelOptions::CrashDistribution::kWeibull;
+  fm.weibull_shape = 2.0;
+  const FailureModel model(fm);
+  util::Rng rng(11);
+  const auto r = simulate_execution(wf, plan, ec2(), rng, quiet(&model));
+  EXPECT_TRUE(r.finished);
+  EXPECT_GT(r.failures.instance_crashes, 0u);
+}
+
+TEST(FailureModelTest, CheckpointingSalvagesCrashedWork) {
+  util::Rng wf_rng(5);
+  const auto wf = workflow::make_pipeline(8, wf_rng);
+  const Plan plan = Plan::uniform(wf.task_count(), 0);
+  FailureModelOptions fm;
+  fm.crash_mtbf_s = 600;
+  const FailureModel restart(fm);
+  fm.checkpoint_fraction = 0.95;
+  const FailureModel checkpointed(fm);
+
+  util::Rng r1(13);
+  const auto lost = simulate_execution(wf, plan, ec2(), r1, quiet(&restart));
+  util::Rng r2(13);
+  const auto saved =
+      simulate_execution(wf, plan, ec2(), r2, quiet(&checkpointed));
+  EXPECT_GT(lost.failures.instance_crashes, 0u);
+  EXPECT_LT(saved.makespan, lost.makespan);
+}
+
+// --- transient failures and retry caps ----------------------------------
+
+TEST(FailureModelTest, CertainTransientFailureRetriesExactlyToCap) {
+  util::Rng wf_rng(6);
+  const auto wf = workflow::make_pipeline(4, wf_rng);
+  const Plan plan = Plan::uniform(wf.task_count(), 0);
+  FailureModelOptions fm;
+  fm.task_failure_prob = 1.0;  // every non-immune attempt fails
+  fm.max_task_retries = 3;
+  const FailureModel model(fm);
+  util::Rng rng(15);
+  const auto r = simulate_execution(wf, plan, ec2(), rng, quiet(&model));
+  // Each task burns its full retry budget, then the immune attempt lands.
+  EXPECT_TRUE(r.finished);
+  EXPECT_EQ(r.failures.task_failures,
+            fm.max_task_retries * wf.task_count());
+  EXPECT_EQ(r.failures.retries, fm.max_task_retries * wf.task_count());
+}
+
+TEST(FailureModelTest, StragglersStretchAttemptsByTheSlowdown) {
+  util::Rng wf_rng(8);
+  const auto wf = workflow::make_pipeline(5, wf_rng);
+  const Plan plan = Plan::uniform(wf.task_count(), 0);
+  FailureModelOptions fm;
+  fm.straggler_prob = 1.0;
+  fm.straggler_slowdown = 3.0;
+  const FailureModel model(fm);
+  util::Rng clean_rng(17);
+  const auto clean = simulate_execution(wf, plan, ec2(), clean_rng, quiet());
+  util::Rng rng(17);
+  const auto slow = simulate_execution(wf, plan, ec2(), rng, quiet(&model));
+  // Deterministic dynamics + every attempt straggling: exactly 3x.
+  EXPECT_EQ(slow.failures.stragglers, wf.task_count());
+  EXPECT_NEAR(slow.makespan, 3.0 * clean.makespan, 1e-6);
+}
+
+TEST(FailureModelTest, BootFailuresDelayAcquisition) {
+  util::Rng wf_rng(9);
+  const auto wf = workflow::make_pipeline(3, wf_rng);
+  const Plan plan = Plan::uniform(wf.task_count(), 0);
+  FailureModelOptions fm;
+  fm.boot_failure_prob = 1.0;  // every boot attempt fails, up to the cap
+  fm.boot_retry_s = 60;
+  const FailureModel model(fm);
+  util::Rng clean_rng(19);
+  const auto clean = simulate_execution(wf, plan, ec2(), clean_rng, quiet());
+  util::Rng rng(19);
+  const auto r = simulate_execution(wf, plan, ec2(), rng, quiet(&model));
+  // A pipeline reuses one instance, so there is one acquisition: four
+  // failed boots (the consecutive cap), each costing boot_retry_s.
+  EXPECT_EQ(r.failures.boot_failures, 4u);
+  EXPECT_NEAR(r.makespan, clean.makespan + 4 * fm.boot_retry_s, 1e-6);
+}
+
+// --- backoff ------------------------------------------------------------
+
+TEST(FailureModelTest, BackoffIsCappedExponential) {
+  FailureModelOptions fm;
+  fm.retry_backoff_s = 30;
+  fm.retry_backoff_factor = 2.0;
+  fm.retry_backoff_cap_s = 600;
+  const FailureModel model(fm);
+  EXPECT_DOUBLE_EQ(model.backoff_delay(1), 30);
+  EXPECT_DOUBLE_EQ(model.backoff_delay(2), 60);
+  EXPECT_DOUBLE_EQ(model.backoff_delay(3), 120);
+  EXPECT_DOUBLE_EQ(model.backoff_delay(10), 600);  // capped
+}
+
+// --- horizon / partial execution ----------------------------------------
+
+TEST(FailureModelTest, HorizonMaterializesAReproduciblePrefix) {
+  util::Rng wf_rng(10);
+  const auto wf = workflow::make_montage(1, wf_rng);
+  const Plan plan = Plan::uniform(wf.task_count(), 0);
+  FailureModelOptions fm;
+  fm.crash_mtbf_s = 1200;
+  fm.task_failure_prob = 0.05;
+  const FailureModel model(fm);
+
+  util::Rng full_rng(21);
+  const auto full = simulate_execution(wf, plan, ec2(), full_rng,
+                                       quiet(&model));
+  ASSERT_TRUE(full.finished);
+
+  ExecutorOptions partial_options = quiet(&model);
+  partial_options.horizon_s = 0.5 * full.makespan;
+  util::Rng part_rng(21);
+  const auto part =
+      simulate_execution(wf, plan, ec2(), part_rng, partial_options);
+
+  EXPECT_FALSE(part.finished);
+  std::size_t completed = 0;
+  for (workflow::TaskId t = 0; t < wf.task_count(); ++t) {
+    if (!part.completed[t]) continue;
+    ++completed;
+    // Same seed: the prefix reproduces the full run's traces bit for bit
+    // (the property the reactive engine's probe/cut two-pass relies on).
+    EXPECT_LE(part.tasks[t].finish, partial_options.horizon_s);
+    EXPECT_EQ(part.tasks[t].start, full.tasks[t].start);
+    EXPECT_EQ(part.tasks[t].finish, full.tasks[t].finish);
+  }
+  EXPECT_GT(completed, 0u);
+  EXPECT_LT(completed, wf.task_count());
+  // A truncated run is billed only up to the horizon.
+  EXPECT_LE(part.instance_cost, full.instance_cost);
+}
+
+// --- expectations for the failure-aware evaluator ------------------------
+
+TEST(FailureModelTest, ExpectedTimeFactorIsOneWhenDisabled) {
+  const FailureModel model;
+  EXPECT_DOUBLE_EQ(model.expected_time_factor(100), 1.0);
+}
+
+TEST(FailureModelTest, ExpectedTimeFactorGrowsWithFailureRates) {
+  FailureModelOptions fm;
+  fm.task_failure_prob = 0.05;
+  const FailureModel low(fm);
+  fm.task_failure_prob = 0.2;
+  const FailureModel high(fm);
+  EXPECT_GT(low.expected_time_factor(300), 1.0);
+  EXPECT_GT(high.expected_time_factor(300),
+            low.expected_time_factor(300));
+
+  FailureModelOptions crash;
+  crash.crash_mtbf_s = 3600;
+  const FailureModel crashy(crash);
+  // Longer tasks are likelier to meet a crash: the factor grows with the
+  // nominal duration.
+  EXPECT_GT(crashy.expected_time_factor(1800),
+            crashy.expected_time_factor(60));
+}
+
+}  // namespace
+}  // namespace deco::sim

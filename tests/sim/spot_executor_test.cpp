@@ -100,6 +100,32 @@ TEST(SpotExecutorTest, FallbackCapsRetries) {
   EXPECT_GT(r.on_demand_cost, 0.0);
 }
 
+TEST(SpotExecutorTest, RetryCapFallbackBillsNoSpotPartialHours) {
+  util::Rng rng(16);
+  const auto wf = workflow::make_pipeline(5, rng);
+  const Plan plan = Plan::uniform(wf.task_count(), 0);
+  SpotPolicy impossible;
+  impossible.use_spot.assign(wf.task_count(), true);
+  impossible.bid_fraction = 0.0;  // the market never admits the bid
+  impossible.max_retries = 2;
+  util::Rng r1(17);
+  const auto r = simulate_spot_execution(wf, plan, impossible, traces(18),
+                                         ec2(), r1, quiet());
+  // Every task burns its full retry budget before giving up on spot...
+  EXPECT_EQ(r.revocations, impossible.max_retries * wf.task_count());
+  EXPECT_EQ(r.fallbacks, wf.task_count());
+  // ...and the revoked partial hours are free (EC2 semantics): not one
+  // spot dollar is billed.
+  EXPECT_DOUBLE_EQ(r.spot_cost, 0.0);
+  EXPECT_GT(r.on_demand_cost, 0.0);
+  // The billed instance cost therefore equals a pure on-demand execution's
+  // (deterministic dynamics: identical attempt durations).
+  util::Rng r2(17);
+  const auto od = simulate_spot_execution(wf, plan, SpotPolicy{}, traces(18),
+                                          ec2(), r2, quiet());
+  EXPECT_NEAR(r.base.instance_cost, od.base.instance_cost, 1e-9);
+}
+
 TEST(SpotPlannerTest, CriticalPathStaysOnDemand) {
   util::Rng rng(13);
   const auto wf = workflow::make_montage(1, rng);

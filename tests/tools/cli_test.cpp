@@ -241,6 +241,30 @@ TEST(CliRunTest, InfoRequiresDax) {
   EXPECT_EQ(run_cli(parse({"info"}), out), 1);
 }
 
+TEST(CliRunTest, TruncatedDaxFailsWithDiagnosticNotCrash) {
+  // A DAX cut off mid-element (a partial download, a full disk) must come
+  // back as a one-line diagnostic and exit code 1 — never an escaping
+  // exception, whatever the command.
+  const std::string path = temp_path("cli_truncated.dax");
+  {
+    std::ofstream f(path);
+    f << R"(<?xml version="1.0"?>
+<adag name="pipeline">
+  <job id="ID01" name="process1" runtime="30">
+    <uses file="f.a" link="inp)";
+  }
+  for (const char* command : {"plan", "run", "info"}) {
+    std::ostringstream out;
+    int rc = -1;
+    ASSERT_NO_THROW(rc = run_cli(parse({command, "--dax", path, "--deadline",
+                                        "1000"}),
+                                 out))
+        << command;
+    EXPECT_EQ(rc, 1) << command;
+    EXPECT_NE(out.str().find("error"), std::string::npos) << out.str();
+  }
+}
+
 TEST(CliRunTest, PlanUsesSavedStore) {
   const std::string store_path = temp_path("cli_reuse_store.txt");
   std::ostringstream cal;

@@ -1,0 +1,197 @@
+#include "wms/reactive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "tests/core/test_fixtures.hpp"
+#include "workflow/generators.hpp"
+
+namespace deco::wms {
+namespace {
+
+using core::testing::ec2;
+using core::testing::store;
+
+ReactiveOptions quiet_options() {
+  ReactiveOptions opt;
+  opt.executor.sample_dynamics = false;
+  opt.executor.rand_io_ops_per_task = 0;
+  return opt;
+}
+
+/// A scheduler that always throws: the degenerate primary the engine must
+/// survive (graceful-degradation acceptance path).
+class ThrowingScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "Throwing"; }
+  sim::Plan schedule(const workflow::Workflow&,
+                     const SchedulerContext&) override {
+    throw std::runtime_error("solver exploded");
+  }
+};
+
+/// A scheduler that returns a plan of the wrong size.
+class MalformedScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "Malformed"; }
+  sim::Plan schedule(const workflow::Workflow&,
+                     const SchedulerContext&) override {
+    return sim::Plan::uniform(1, 0);
+  }
+};
+
+TEST(ReactiveEngineTest, CleanRunNeedsNoReplanning) {
+  util::Rng wf_rng(1);
+  const auto wf = workflow::make_montage(1, wf_rng);
+  FixedTypeScheduler primary(1);
+  ReactiveEngine engine(ec2(), store(), primary, quiet_options());
+  const ReactiveReport report = engine.run(wf, {0.9, 1e9});
+  EXPECT_TRUE(report.completed);
+  EXPECT_TRUE(report.met_deadline);
+  EXPECT_EQ(report.replans, 0u);
+  EXPECT_EQ(report.segments, 1u);
+  EXPECT_EQ(report.solver_fallbacks, 0u);
+  EXPECT_EQ(report.failures.total_disruptions(), 0u);
+  EXPECT_GT(report.makespan, 0.0);
+  EXPECT_GT(report.total_cost, 0.0);
+}
+
+TEST(ReactiveEngineTest, EmptyWorkflowCompletesTrivially) {
+  const workflow::Workflow wf("empty");
+  FixedTypeScheduler primary(0);
+  ReactiveEngine engine(ec2(), store(), primary, quiet_options());
+  const ReactiveReport report = engine.run(wf, {0.9, 100});
+  EXPECT_TRUE(report.completed);
+  EXPECT_TRUE(report.met_deadline);
+}
+
+TEST(ReactiveEngineTest, DisruptedButOnTimeRunsAreNotReplanned) {
+  // With effectively infinite slack, failures are absorbed by the
+  // executor's retries — the monitor must not cut a run that still makes
+  // its deadline comfortably.
+  util::Rng wf_rng(2);
+  const auto wf = workflow::make_montage(1, wf_rng);
+  sim::FailureModelOptions fm;
+  fm.crash_mtbf_s = 900;
+  fm.task_failure_prob = 0.15;
+  const sim::FailureModel model(fm);
+  ReactiveOptions options = quiet_options();
+  options.executor.failures = &model;
+  FixedTypeScheduler primary(0);
+  ReactiveEngine engine(ec2(), store(), primary, options);
+  const ReactiveReport report = engine.run(wf, {0.9, 1e9});
+  EXPECT_TRUE(report.completed);
+  EXPECT_TRUE(report.met_deadline);
+  EXPECT_EQ(report.replans, 0u);
+  EXPECT_GT(report.failures.total_disruptions(), 0u);
+}
+
+TEST(ReactiveEngineTest, FailuresTriggerReplanningAndStillComplete) {
+  util::Rng wf_rng(2);
+  const auto wf = workflow::make_montage(1, wf_rng);
+  FixedTypeScheduler primary(0);
+
+  // Clean-run makespan first: a deadline barely above it is met on a
+  // reliable cloud but projected missed once failures inflate the probe.
+  ReactiveEngine clean_engine(ec2(), store(), primary, quiet_options());
+  const ReactiveReport clean = clean_engine.run(wf, {0.9, 1e9});
+  ASSERT_TRUE(clean.completed);
+
+  sim::FailureModelOptions fm;
+  fm.crash_mtbf_s = 900;
+  // High enough that a 67-task run is disrupted with near certainty — the
+  // test must not hinge on one seed's luck.
+  fm.task_failure_prob = 0.15;
+  const sim::FailureModel model(fm);
+  ReactiveOptions options = quiet_options();
+  options.executor.failures = &model;
+  ReactiveEngine engine(ec2(), store(), primary, options);
+  const ReactiveReport report = engine.run(wf, {0.9, clean.makespan * 1.02});
+  EXPECT_TRUE(report.completed);
+  EXPECT_GE(report.replans, 1u);
+  EXPECT_GT(report.segments, 1u);
+  EXPECT_GT(report.failures.total_disruptions(), 0u);
+  EXPECT_GT(report.makespan, 0.0);
+}
+
+TEST(ReactiveEngineTest, ReplanningIsDeterministicPerSeed) {
+  util::Rng wf_rng(3);
+  const auto wf = workflow::make_cybershake(30, wf_rng);
+  FixedTypeScheduler primary(0);
+  ReactiveEngine clean_engine(ec2(), store(), primary, quiet_options());
+  const double clean_makespan = clean_engine.run(wf, {0.9, 1e9}).makespan;
+
+  sim::FailureModelOptions fm;
+  fm.crash_mtbf_s = 900;
+  fm.task_failure_prob = 0.15;
+  const sim::FailureModel model(fm);
+  ReactiveOptions options = quiet_options();
+  options.executor.failures = &model;
+  options.seed = 77;
+  ReactiveEngine a(ec2(), store(), primary, options);
+  ReactiveEngine b(ec2(), store(), primary, options);
+  // A tight deadline so the replanning path itself is what's compared.
+  const core::ProbDeadline req{0.9, clean_makespan * 1.02};
+  const ReactiveReport ra = a.run(wf, req);
+  const ReactiveReport rb = b.run(wf, req);
+  EXPECT_EQ(ra.makespan, rb.makespan);
+  EXPECT_EQ(ra.total_cost, rb.total_cost);
+  EXPECT_EQ(ra.replans, rb.replans);
+  EXPECT_EQ(ra.segments, rb.segments);
+  EXPECT_EQ(ra.failures.retries, rb.failures.retries);
+}
+
+TEST(ReactiveEngineTest, ThrowingSchedulerDegradesToBaseline) {
+  util::Rng wf_rng(4);
+  const auto wf = workflow::make_pipeline(6, wf_rng);
+  ThrowingScheduler primary;
+  ReactiveEngine engine(ec2(), store(), primary, quiet_options());
+  ReactiveReport report;
+  // The acceptance property: a solver failure must never abort the run.
+  ASSERT_NO_THROW(report = engine.run(wf, {0.9, 1e9}));
+  EXPECT_TRUE(report.completed);
+  EXPECT_GE(report.solver_fallbacks, 1u);
+  EXPECT_NE(report.last_scheduler.find("fallback"), std::string::npos);
+}
+
+TEST(ReactiveEngineTest, SolverTimeoutDegradesToBaseline) {
+  util::Rng wf_rng(5);
+  const auto wf = workflow::make_pipeline(5, wf_rng);
+  FixedTypeScheduler primary(1);
+  ReactiveOptions options = quiet_options();
+  options.solver_timeout_ms = 0;  // no budget: every solve "times out"
+  ReactiveEngine engine(ec2(), store(), primary, options);
+  const ReactiveReport report = engine.run(wf, {0.9, 1e9});
+  EXPECT_TRUE(report.completed);
+  EXPECT_GE(report.solver_fallbacks, 1u);
+  EXPECT_NE(report.last_scheduler.find("fallback"), std::string::npos);
+}
+
+TEST(ReactiveEngineTest, MalformedPlanDegradesToBaseline) {
+  util::Rng wf_rng(6);
+  const auto wf = workflow::make_pipeline(5, wf_rng);
+  MalformedScheduler primary;
+  ReactiveEngine engine(ec2(), store(), primary, quiet_options());
+  const ReactiveReport report = engine.run(wf, {0.9, 1e9});
+  EXPECT_TRUE(report.completed);
+  EXPECT_GE(report.solver_fallbacks, 1u);
+}
+
+TEST(ReactiveEngineTest, ImpossibleDeadlineReplansUpToTheCapAndFinishes) {
+  util::Rng wf_rng(7);
+  const auto wf = workflow::make_pipeline(6, wf_rng);
+  FixedTypeScheduler primary(0);
+  ReactiveOptions options = quiet_options();
+  options.max_replans = 2;
+  ReactiveEngine engine(ec2(), store(), primary, options);
+  // A deadline nothing can meet: every probe projects a miss, the engine
+  // replans until the cap, then rides the plan out instead of looping.
+  const ReactiveReport report = engine.run(wf, {0.9, 1e-3});
+  EXPECT_TRUE(report.completed);
+  EXPECT_FALSE(report.met_deadline);
+  EXPECT_EQ(report.replans, options.max_replans);
+}
+
+}  // namespace
+}  // namespace deco::wms

@@ -94,6 +94,48 @@ TEST(DaxTest, MalformedXmlIsError) {
   EXPECT_TRUE(std::holds_alternative<DaxError>(parse_dax("<adag><job>")));
 }
 
+TEST(DaxTest, TruncatedDocumentIsErrorAtEveryCutPoint) {
+  // A transfer cut off anywhere mid-document must yield DaxError (or, at
+  // cuts that happen to end on a well-formed prefix, a Workflow) — never a
+  // crash or an exception.
+  const std::string full = kPipelineDax;
+  for (std::size_t cut = 1; cut < full.size(); cut += 7) {
+    const std::string truncated = full.substr(0, cut);
+    const auto result = parse_dax(truncated);
+    if (std::holds_alternative<DaxError>(result)) {
+      EXPECT_FALSE(std::get<DaxError>(result).message.empty())
+          << "cut at " << cut;
+    }
+  }
+  // Cutting inside the <child> element specifically loses the dependency
+  // closure: that prefix is not a valid document.
+  const std::size_t child_pos = full.find("<child");
+  ASSERT_NE(child_pos, std::string::npos);
+  EXPECT_TRUE(std::holds_alternative<DaxError>(
+      parse_dax(full.substr(0, child_pos + 10))));
+}
+
+TEST(DaxTest, JobMissingIdIsError) {
+  const char* dax = R"(<adag name="x"><job name="p" runtime="5"/></adag>)";
+  EXPECT_TRUE(std::holds_alternative<DaxError>(parse_dax(dax)));
+}
+
+TEST(DaxTest, ChildMissingRefIsError) {
+  const char* dax = R"(<adag name="x">
+    <job id="A" name="p"/>
+    <child><parent ref="A"/></child>
+  </adag>)";
+  EXPECT_TRUE(std::holds_alternative<DaxError>(parse_dax(dax)));
+}
+
+TEST(DaxTest, ParentMissingRefIsError) {
+  const char* dax = R"(<adag name="x">
+    <job id="A" name="p"/><job id="B" name="p"/>
+    <child ref="B"><parent/></child>
+  </adag>)";
+  EXPECT_TRUE(std::holds_alternative<DaxError>(parse_dax(dax)));
+}
+
 TEST(DaxTest, CyclicDeclarationIsError) {
   const char* dax = R"(<adag name="x">
     <job id="A" name="p"/><job id="B" name="p"/>
