@@ -19,6 +19,7 @@
 #include "core/estimator.hpp"
 #include "core/evaluator.hpp"
 #include "bench/bench_common.hpp"
+#include "obs/metrics.hpp"
 #include "workflow/generators.hpp"
 
 namespace {
@@ -132,7 +133,11 @@ bool write_json(const std::vector<Row>& rows, const std::string& path) {
                  r.states_per_sec, r.samples_per_sec,
                  i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  // Aggregate evaluator counters/timers captured over the whole sweep, so
+  // BENCH files record cache behaviour alongside the throughput rows.
+  const std::string metrics =
+      obs::to_json(obs::Registry::instance().snapshot());
+  std::fprintf(f, "  ],\n  \"metrics\": %s\n}\n", metrics.c_str());
   return std::fclose(f) == 0;
 }
 
@@ -141,6 +146,7 @@ bool write_json(const std::vector<Row>& rows, const std::string& path) {
 int main(int argc, char** argv) {
   using namespace deco;
   const std::string out = argc > 1 ? argv[1] : "BENCH_evaluator.json";
+  obs::Registry::instance().set_enabled(true);
   bench::print_header("evaluator_throughput",
                       "Monte Carlo evaluator throughput (states/sec and "
                       "task-samples/sec) across workflows, backends, cost "

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "obs/metrics.hpp"
 #include "util/table.hpp"
 #include "wms/reactive.hpp"
 
@@ -170,7 +171,11 @@ bool write_json(const std::vector<Row>& rows, const std::string& path) {
         r.avg_makespan, r.avg_replans, r.avg_disruptions,
         i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  // Aggregate simulator/reactive counters captured over the whole sweep
+  // (sim.failures.*, wms.reactive.*), recorded alongside the summary rows.
+  const std::string metrics =
+      obs::to_json(obs::Registry::instance().snapshot());
+  std::fprintf(f, "  ],\n  \"metrics\": %s\n}\n", metrics.c_str());
   return std::fclose(f) == 0;
 }
 
@@ -180,6 +185,7 @@ int main(int argc, char** argv) {
   using namespace deco;
   using bench::env;
   const std::string out = argc > 1 ? argv[1] : "BENCH_robustness.json";
+  obs::Registry::instance().set_enabled(true);
   bench::print_header(
       "robustness_sweep",
       "Deadline-miss rate, cost inflation and replans/run under injected\n"

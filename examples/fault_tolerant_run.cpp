@@ -10,16 +10,34 @@
 //   5. show the failure-aware evaluator inflating its makespan estimate.
 //
 // Build & run:  ./examples/fault_tolerant_run
+//
+// Pass --trace-out trace.json to capture a Chrome trace of the whole demo:
+// solver/evaluator spans from the instrumentation layer plus one timeline
+// track group per open-loop run (instances as tracks, task attempts and
+// retries as slices).  Load the file in chrome://tracing or Perfetto.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "cloud/calibration.hpp"
 #include "core/deco.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
 #include "sim/executor.hpp"
 #include "wms/reactive.hpp"
 #include "workflow/generators.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace deco;
+
+  std::string trace_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0) trace_path = argv[i + 1];
+  }
+  const bool tracing = !trace_path.empty();
+  if (tracing) obs::TraceCollector::instance().set_enabled(true);
 
   const cloud::Catalog catalog = cloud::make_ec2_catalog();
   const cloud::MetadataStore store =
@@ -60,8 +78,15 @@ int main() {
   util::Rng rng(2015);
   sim::ExecutorOptions exec;
   exec.failures = &failures;
+  std::vector<obs::TraceEvent> timelines;
   for (int run = 0; run < 3; ++run) {
     const auto r = sim::simulate_execution(wf, plan, catalog, rng, exec);
+    if (tracing) {
+      // One trace process per run so the instance tracks of the three runs
+      // stay separate; pid 1 is reserved for the instrumentation spans.
+      const auto events = obs::execution_timeline(wf, r, &catalog, run + 2);
+      timelines.insert(timelines.end(), events.begin(), events.end());
+    }
     std::printf(
         "  run %d: makespan %.0f s (%s), cost $%.4f — %zu crashes, "
         "%zu task failures, %zu stragglers, %zu retries\n",
@@ -100,5 +125,20 @@ int main() {
       aware.mean_makespan / clean.mean_makespan,
       clean.feasible ? "feasible" : "infeasible",
       aware.feasible ? "feasible" : "infeasible");
+
+  if (tracing) {
+    auto& collector = obs::TraceCollector::instance();
+    collector.set_enabled(false);
+    std::vector<obs::TraceEvent> events = collector.snapshot();
+    events.insert(events.end(), timelines.begin(), timelines.end());
+    std::ofstream file(trace_path);
+    obs::write_chrome_trace(file, events);
+    if (!file) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote trace to %s (load in chrome://tracing)\n",
+                trace_path.c_str());
+  }
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/stats.hpp"
 
 namespace deco::core {
@@ -42,6 +43,7 @@ MigrationDecision Deco::optimize_migration(
 
 WlogSolveResult Deco::solve_program(const std::string& source,
                                     const workflow::Workflow& wf) {
+  DECO_OBS_SPAN_TIMED("core", "solve_program", "core.solve_program_ms");
   WlogSolveResult result;
   const wlog::ParseResult parsed = wlog::parse_program(source);
   if (!parsed.ok()) {

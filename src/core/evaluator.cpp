@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/alias_table.hpp"
 #include "util/stats.hpp"
 
@@ -63,9 +64,11 @@ const PlanEvaluator::TaskSegment& PlanEvaluator::segment(
       (static_cast<std::uint64_t>(task) << 32) | static_cast<std::uint64_t>(type);
   if (const auto it = segment_cache_.find(key); it != segment_cache_.end()) {
     ++cache_stats_.segment_hits;
+    DECO_OBS_COUNTER_ADD("eval.cache.segment_hits", 1);
     return it->second;
   }
   ++cache_stats_.segment_misses;
+  DECO_OBS_COUNTER_ADD("eval.cache.segment_misses", 1);
   // Single estimator round-trip per (task, type): the histogram is fetched
   // once and flattened into an alias table here; every later plan touching
   // this placement reuses the segment.
@@ -101,9 +104,11 @@ std::shared_ptr<const PlanEvaluator::DevicePlan> PlanEvaluator::stage(
     const sim::Plan& plan) {
   if (const auto it = plan_cache_.find(plan); it != plan_cache_.end()) {
     ++cache_stats_.plan_hits;
+    DECO_OBS_COUNTER_ADD("eval.cache.plan_hits", 1);
     return it->second;
   }
   ++cache_stats_.plan_misses;
+  DECO_OBS_COUNTER_ADD("eval.cache.plan_misses", 1);
 
   auto dev = std::make_shared<DevicePlan>();
   const std::size_t n = wf_->task_count();
@@ -182,10 +187,13 @@ PlanEvaluation PlanEvaluator::evaluate(const sim::Plan& plan,
 
 std::vector<PlanEvaluation> PlanEvaluator::evaluate_batch(
     std::span<const sim::Plan> plans, const ProbDeadline& req) {
+  DECO_OBS_SPAN_TIMED("eval", "evaluate_batch", "eval.batch_ms");
   const std::size_t n = wf_->task_count();
   const std::size_t iters = options_.mc_iterations;
   std::vector<PlanEvaluation> results(plans.size());
   if (plans.empty()) return results;
+  DECO_OBS_COUNTER_ADD("eval.plans", plans.size());
+  DECO_OBS_COUNTER_ADD("eval.task_samples", plans.size() * iters * n);
   if (n == 0) {
     for (auto& r : results) {
       r.feasible = true;
@@ -201,7 +209,10 @@ std::vector<PlanEvaluation> PlanEvaluator::evaluate_batch(
   // parallel against the shared read-only images.
   std::vector<std::shared_ptr<const DevicePlan>> staged;
   staged.reserve(plans.size());
-  for (const sim::Plan& p : plans) staged.push_back(stage(p));
+  {
+    DECO_OBS_SPAN_TIMED("eval", "stage", "eval.stage_ms");
+    for (const sim::Plan& p : plans) staged.push_back(stage(p));
+  }
 
   // Output arrays (flat "global memory"): per block, `iters` makespans and
   // costs written by disjoint slices.
@@ -223,6 +234,8 @@ std::vector<PlanEvaluation> PlanEvaluator::evaluate_batch(
 
   const CostModel cost_model = options_.cost_model;
   const double interference_cv = options_.interference_cv;
+  {
+  DECO_OBS_SPAN_TIMED("eval", "kernel", "eval.kernel_ms");
   backend_->launch(config, [&](vgpu::BlockContext& ctx) {
     const DevicePlan& dev = *staged[ctx.block_index()];
     auto shared = ctx.shared();
@@ -417,6 +430,7 @@ std::vector<PlanEvaluation> PlanEvaluator::evaluate_batch(
               shared.begin() + static_cast<std::ptrdiff_t>(2 * iters),
               all_costs.begin() + static_cast<std::ptrdiff_t>(base));
   });
+  }
 
   for (std::size_t i = 0; i < plans.size(); ++i) {
     results[i] = reduce(

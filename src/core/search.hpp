@@ -25,6 +25,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace deco::core {
 
 struct Scored {
@@ -44,12 +46,41 @@ struct SearchOptions {
   std::size_t stale_wave_limit = 0;
 };
 
+/// Search-effort accounting, filled identically by both the breadth-first
+/// and the A* path (tests/core/search_test.cpp pins the invariants):
+///   * every evaluated state is counted in states_evaluated;
+///   * states_expanded counts states whose children were generated
+///     (evaluated minus pruned, minus states cut off by budget/early stop);
+///   * states_pruned counts bound-pruned states (generic: post-evaluation
+///     bound prune; A*: additionally pop-time incumbent pruning);
+///   * duplicate_hits counts children rejected by the visited set.
 struct SearchStats {
   std::size_t states_evaluated = 0;
+  std::size_t states_expanded = 0;
   std::size_t states_pruned = 0;
+  std::size_t duplicate_hits = 0;
   std::size_t waves = 0;
   double elapsed_ms = 0;
 };
+
+namespace detail {
+
+/// Publishes one finished search's stats to the metrics registry.
+inline void record_search_metrics(const char* kind, const SearchStats& stats) {
+  DECO_OBS_COUNTER_ADD("search.runs", 1);
+  DECO_OBS_COUNTER_ADD("search.states_evaluated", stats.states_evaluated);
+  DECO_OBS_COUNTER_ADD("search.states_expanded", stats.states_expanded);
+  DECO_OBS_COUNTER_ADD("search.states_pruned", stats.states_pruned);
+  DECO_OBS_COUNTER_ADD("search.duplicate_hits", stats.duplicate_hits);
+  DECO_OBS_COUNTER_ADD("search.waves", stats.waves);
+  DECO_OBS_HIST_MS(kind, stats.elapsed_ms);
+#if defined(DECO_OBS_DISABLED)
+  (void)kind;
+  (void)stats;
+#endif
+}
+
+}  // namespace detail
 
 template <typename State>
 struct SearchCallbacks {
@@ -81,6 +112,7 @@ template <typename State>
 SearchResult<State> generic_search(const State& initial,
                                    const SearchCallbacks<State>& cb,
                                    const SearchOptions& options) {
+  DECO_OBS_SPAN("search", "generic_search");
   const auto t0 = std::chrono::steady_clock::now();
   SearchResult<State> result;
   std::unordered_set<std::uint64_t> visited;
@@ -122,9 +154,12 @@ SearchResult<State> generic_search(const State& initial,
         ++result.stats.states_pruned;
         continue;
       }
+      ++result.stats.states_expanded;
       for (State& child : cb.children(batch[i])) {
         if (visited.insert(cb.hash(child)).second) {
           frontier.push(std::move(child));
+        } else {
+          ++result.stats.duplicate_hits;
         }
       }
     }
@@ -138,6 +173,7 @@ SearchResult<State> generic_search(const State& initial,
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)
           .count();
+  detail::record_search_metrics("search.generic_ms", result.stats);
   return result;
 }
 
@@ -146,6 +182,7 @@ template <typename State>
 SearchResult<State> astar_search(const State& initial,
                                  const SearchCallbacks<State>& cb,
                                  const SearchOptions& options) {
+  DECO_OBS_SPAN("search", "astar_search");
   const auto t0 = std::chrono::steady_clock::now();
   SearchResult<State> result;
 
@@ -201,6 +238,7 @@ SearchResult<State> astar_search(const State& initial,
         bound = s.objective;
         improved = true;
       }
+      ++result.stats.states_expanded;
       for (State& child : cb.children(batch[i])) {
         if (visited.insert(cb.hash(child)).second) {
           const double f = f_of(child);
@@ -210,6 +248,8 @@ SearchResult<State> astar_search(const State& initial,
             continue;
           }
           open.push(Entry{std::move(child), f});
+        } else {
+          ++result.stats.duplicate_hits;
         }
       }
     }
@@ -223,6 +263,7 @@ SearchResult<State> astar_search(const State& initial,
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)
           .count();
+  detail::record_search_metrics("search.astar_ms", result.stats);
   return result;
 }
 

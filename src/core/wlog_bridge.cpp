@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "core/followcost.hpp"
+#include "obs/obs.hpp"
 
 namespace deco::core {
 
@@ -25,6 +26,8 @@ std::string WlogBridge::vm_atom(cloud::TypeId id) {
 }
 
 wlog::ProbProgram WlogBridge::build_ir(const wlog::Program& program) {
+  DECO_OBS_SPAN_TIMED("wlog", "translate_ir", "wlog.translate_ms");
+  DECO_OBS_COUNTER_ADD("wlog.ir_builds", 1);
   wlog::ProbProgram ir = wlog::translate_rules(program);
   const cloud::Catalog& catalog = estimator_->catalog();
 

@@ -1,0 +1,188 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace deco::obs {
+namespace {
+
+/// Cached (registry id -> shard) bindings for the calling thread.  Entries
+/// for destroyed registries are unreachable (ids are never reused) and the
+/// shared_ptr keeps the orphaned shard alive, so no dangling access.
+struct TlsEntry {
+  std::uint64_t registry_id;
+  std::shared_ptr<void> shard;
+};
+thread_local std::vector<TlsEntry> tls_shards;
+
+std::atomic<std::uint64_t> next_registry_id{1};
+
+void append_json_number(std::string& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
+}  // namespace
+
+void HistogramData::observe(double ms) {
+  const auto it = std::lower_bound(kLatencyBucketBoundsMs.begin(),
+                                   kLatencyBucketBoundsMs.end(), ms);
+  ++buckets[static_cast<std::size_t>(it - kLatencyBucketBoundsMs.begin())];
+  ++count;
+  sum_ms += ms;
+  min_ms = std::min(min_ms, ms);
+  max_ms = std::max(max_ms, ms);
+}
+
+void HistogramData::merge(const HistogramData& other) {
+  for (std::size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum_ms += other.sum_ms;
+  min_ms = std::min(min_ms, other.min_ms);
+  max_ms = std::max(max_ms, other.max_ms);
+}
+
+Registry::Registry() : id_(next_registry_id.fetch_add(1)) {}
+
+Registry::~Registry() = default;
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Shard& Registry::local_shard() {
+  for (const TlsEntry& entry : tls_shards) {
+    if (entry.registry_id == id_) {
+      return *static_cast<Shard*>(entry.shard.get());
+    }
+  }
+  auto shard = std::make_shared<Shard>();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(shard);
+  }
+  tls_shards.push_back(TlsEntry{id_, shard});
+  return *shard;
+}
+
+void Registry::counter_add(std::string_view name, std::uint64_t delta) {
+  if (!enabled()) return;
+  Shard& shard = local_shard();
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  shard.counters[std::string(name)] += delta;
+}
+
+void Registry::gauge_set(std::string_view name, double value) {
+  if (!enabled()) return;
+  const std::uint64_t seq = gauge_seq_.fetch_add(1) + 1;
+  Shard& shard = local_shard();
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  GaugeCell& cell = shard.gauges[std::string(name)];
+  if (seq > cell.seq) {
+    cell.seq = seq;
+    cell.value = value;
+  }
+}
+
+void Registry::observe_ms(std::string_view name, double ms) {
+  if (!enabled()) return;
+  Shard& shard = local_shard();
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  shard.histograms[std::string(name)].observe(ms);
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::vector<std::shared_ptr<Shard>> shards;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shards = shards_;
+  }
+  MetricsSnapshot out;
+  std::map<std::string, GaugeCell> gauges;
+  for (const auto& shard : shards) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [name, value] : shard->counters) out.counters[name] += value;
+    for (const auto& [name, cell] : shard->gauges) {
+      GaugeCell& merged = gauges[name];
+      if (cell.seq >= merged.seq) merged = cell;
+    }
+    for (const auto& [name, hist] : shard->histograms) {
+      out.histograms[name].merge(hist);
+    }
+  }
+  for (const auto& [name, cell] : gauges) out.gauges[name] = cell.value;
+  return out;
+}
+
+void Registry::reset() {
+  std::vector<std::shared_ptr<Shard>> shards;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shards = shards_;
+  }
+  for (const auto& shard : shards) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    shard->counters.clear();
+    shard->gauges.clear();
+    shard->histograms.clear();
+  }
+}
+
+std::string to_text(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snapshot.counters) {
+    out << "counter " << name << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out << "gauge " << name << " " << value << "\n";
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    out << "histogram " << name << " count " << hist.count << " mean_ms "
+        << hist.mean_ms() << " max_ms " << hist.max_ms << "\n";
+  }
+  return out.str();
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":";
+    append_json_number(out, value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":{\"count\":" + std::to_string(hist.count) +
+           ",\"sum_ms\":";
+    append_json_number(out, hist.sum_ms);
+    out += ",\"min_ms\":";
+    append_json_number(out, hist.count ? hist.min_ms : 0);
+    out += ",\"max_ms\":";
+    append_json_number(out, hist.max_ms);
+    out += ",\"buckets\":[";
+    for (std::size_t i = 0; i < hist.buckets.size(); ++i) {
+      if (i) out += ",";
+      out += std::to_string(hist.buckets[i]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace deco::obs

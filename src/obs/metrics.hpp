@@ -1,0 +1,118 @@
+// Lock-cheap metrics registry: counters, gauges and fixed-bucket latency
+// histograms, sharded per thread and merged on snapshot.
+//
+// Design constraints (see docs/observability.md):
+//   * the hot path takes no global lock — each thread owns a shard and only
+//     its own (uncontended) shard mutex is touched on update;
+//   * a disabled registry costs one relaxed atomic load per call site, and
+//     building with -DDECO_OBS_DISABLED compiles every instrumentation
+//     macro (obs/obs.hpp) out entirely;
+//   * instrumentation is observation-only: no RNG, no feedback into any
+//     engine decision, so results are bit-identical with obs on or off
+//     (asserted by tests/obs/noninterference_test.cpp).
+//
+// Snapshots merge shards deterministically: counters and histograms are
+// commutative sums, gauges resolve by a global write sequence (true
+// last-write-wins independent of shard enumeration order) — the property
+// tests in tests/property/obs_property_test.cpp pin this down.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace deco::obs {
+
+/// Fixed half-decade latency buckets, in milliseconds: 1 us .. ~17 min,
+/// plus an overflow bucket.  Fixed bounds keep shard merging a plain
+/// element-wise sum and snapshots comparable across runs.
+inline constexpr std::array<double, 19> kLatencyBucketBoundsMs = {
+    0.001, 0.00316, 0.01,  0.0316, 0.1,    0.316,   1.0,
+    3.16,  10.0,    31.6,  100.0,  316.0,  1000.0,  3160.0,
+    10000.0, 31600.0, 100000.0, 316000.0, 1000000.0};
+
+/// One latency histogram: counts per fixed bucket plus running moments.
+struct HistogramData {
+  std::array<std::uint64_t, kLatencyBucketBoundsMs.size() + 1> buckets{};
+  std::uint64_t count = 0;
+  double sum_ms = 0;
+  double min_ms = std::numeric_limits<double>::infinity();
+  double max_ms = 0;
+
+  void observe(double ms);
+  void merge(const HistogramData& other);
+  double mean_ms() const { return count ? sum_ms / static_cast<double>(count) : 0; }
+};
+
+/// Merged view of the registry at one point in time.  std::map keys keep
+/// every dump deterministically ordered.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry the instrumentation macros feed.
+  static Registry& instance();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// All updates are no-ops while disabled (one relaxed load, no lock).
+  void counter_add(std::string_view name, std::uint64_t delta = 1);
+  void gauge_set(std::string_view name, double value);
+  void observe_ms(std::string_view name, double ms);
+
+  /// Merges every shard (sum counters/histograms, last-write gauges).
+  MetricsSnapshot snapshot() const;
+
+  /// Clears all shards' contents (shards themselves stay registered).
+  void reset();
+
+ private:
+  struct GaugeCell {
+    double value = 0;
+    std::uint64_t seq = 0;  ///< global write sequence; merge keeps max
+  };
+  struct Shard {
+    std::mutex mu;
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, GaugeCell> gauges;
+    std::map<std::string, HistogramData> histograms;
+  };
+
+  Shard& local_shard();
+
+  const std::uint64_t id_;  ///< distinguishes registries in thread caches
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> gauge_seq_{0};
+  mutable std::mutex mu_;  ///< guards the shard list only
+  std::vector<std::shared_ptr<Shard>> shards_;
+};
+
+/// Human-readable dump (aligned `kind name value` lines).
+std::string to_text(const MetricsSnapshot& snapshot);
+
+/// Stable JSON dump: {"counters":{...},"gauges":{...},"histograms":{...}}.
+/// Keys are sorted; embeddable in BENCH files (docs/performance.md).
+std::string to_json(const MetricsSnapshot& snapshot);
+
+}  // namespace deco::obs

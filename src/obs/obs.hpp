@@ -1,0 +1,65 @@
+// Instrumentation entry points.  Include this header (not metrics.hpp /
+// trace.hpp directly) from instrumented code: the DECO_OBS_* macros compile
+// to calls into the process-wide Registry / TraceCollector, and building
+// with -DDECO_OBS_DISABLED (cmake -DDECO_OBS=OFF) compiles every call site
+// out entirely — the observability libraries still link, so tools and tests
+// that *consume* snapshots keep building, they just see empty data.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace deco::obs {
+
+#if defined(DECO_OBS_DISABLED)
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+}  // namespace deco::obs
+
+#if !defined(DECO_OBS_DISABLED)
+
+#define DECO_OBS_CONCAT_INNER(a, b) a##b
+#define DECO_OBS_CONCAT(a, b) DECO_OBS_CONCAT_INNER(a, b)
+
+/// Adds `delta` to the named counter (no-op while the registry is disabled).
+#define DECO_OBS_COUNTER_ADD(name, delta) \
+  ::deco::obs::Registry::instance().counter_add((name), (delta))
+
+/// Sets the named gauge (last write wins across threads).
+#define DECO_OBS_GAUGE_SET(name, value) \
+  ::deco::obs::Registry::instance().gauge_set((name), (value))
+
+/// Feeds one latency observation (milliseconds) into the named histogram.
+#define DECO_OBS_HIST_MS(name, ms) \
+  ::deco::obs::Registry::instance().observe_ms((name), (ms))
+
+/// Scoped trace span: emits an 'X' trace event covering the enclosing scope.
+#define DECO_OBS_SPAN(cat, name) \
+  ::deco::obs::ScopedSpan DECO_OBS_CONCAT(deco_obs_span_, __LINE__) { \
+    (cat), (name) \
+  }
+
+/// Scoped trace span that also records its duration into a latency
+/// histogram named `metric`.
+#define DECO_OBS_SPAN_TIMED(cat, name, metric) \
+  ::deco::obs::ScopedSpan DECO_OBS_CONCAT(deco_obs_span_, __LINE__) { \
+    (cat), (name), (metric) \
+  }
+
+/// Instant trace event (a vertical marker in the timeline).
+#define DECO_OBS_INSTANT(cat, name) \
+  ::deco::obs::TraceCollector::instance().instant((name), (cat))
+
+#else  // DECO_OBS_DISABLED
+
+#define DECO_OBS_COUNTER_ADD(name, delta) ((void)0)
+#define DECO_OBS_GAUGE_SET(name, value) ((void)0)
+#define DECO_OBS_HIST_MS(name, ms) ((void)0)
+#define DECO_OBS_SPAN(cat, name) ((void)0)
+#define DECO_OBS_SPAN_TIMED(cat, name, metric) ((void)0)
+#define DECO_OBS_INSTANT(cat, name) ((void)0)
+
+#endif  // DECO_OBS_DISABLED

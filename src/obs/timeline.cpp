@@ -1,0 +1,114 @@
+#include "obs/timeline.hpp"
+
+#include <ostream>
+#include <string>
+
+namespace deco::obs {
+namespace {
+
+/// Virtual seconds -> trace microseconds (1 virtual s = 1 trace ms).
+constexpr double kUsPerVirtualSecond = 1000.0;
+
+const char* outcome_name(sim::AttemptOutcome outcome) {
+  switch (outcome) {
+    case sim::AttemptOutcome::kCompleted: return "completed";
+    case sim::AttemptOutcome::kCrashed: return "crashed";
+    case sim::AttemptOutcome::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::vector<TraceEvent> execution_timeline(const workflow::Workflow& wf,
+                                           const sim::ExecutionResult& result,
+                                           const cloud::Catalog* catalog,
+                                           std::uint32_t pid) {
+  std::vector<TraceEvent> events;
+  events.reserve(result.attempts.size() + result.instances.size() + 2);
+
+  // Track metadata: tid 0 is the process label, instance i maps to tid i+1.
+  {
+    TraceEvent meta;
+    meta.name = "process_name";
+    meta.cat = "__metadata";
+    meta.phase = 'M';
+    meta.pid = pid;
+    meta.tid = 0;
+    meta.args.push_back(TraceArg{"name", "deco simulated run (" + wf.name() + ")",
+                                 /*is_string=*/true});
+    events.push_back(std::move(meta));
+  }
+  for (std::size_t i = 0; i < result.instances.size(); ++i) {
+    const sim::Instance& inst = result.instances[i];
+    std::string label = "instance " + std::to_string(i);
+    if (catalog) label += " " + catalog->type(inst.type).name;
+    label += " r" + std::to_string(inst.region);
+    if (inst.crashed) label += " [crashed]";
+    TraceEvent meta;
+    meta.name = "thread_name";
+    meta.cat = "__metadata";
+    meta.phase = 'M';
+    meta.pid = pid;
+    meta.tid = static_cast<std::uint32_t>(i) + 1;
+    meta.args.push_back(TraceArg{"name", std::move(label), /*is_string=*/true});
+    events.push_back(std::move(meta));
+  }
+
+  // One slice per started attempt; retries (attempt > 0) and non-completed
+  // outcomes get their own categories so Perfetto can color/filter them.
+  for (const sim::TaskAttempt& attempt : result.attempts) {
+    TraceEvent ev;
+    ev.name = wf.task(attempt.task).name + " #" + std::to_string(attempt.attempt);
+    switch (attempt.outcome) {
+      case sim::AttemptOutcome::kCompleted:
+        ev.cat = attempt.attempt == 0 ? "attempt" : "retry";
+        break;
+      case sim::AttemptOutcome::kCrashed:
+        ev.cat = "crash";
+        break;
+      case sim::AttemptOutcome::kFailed:
+        ev.cat = "failure";
+        break;
+    }
+    ev.phase = 'X';
+    ev.ts_us = attempt.start * kUsPerVirtualSecond;
+    ev.dur_us = (attempt.end - attempt.start) * kUsPerVirtualSecond;
+    ev.pid = pid;
+    ev.tid = attempt.instance == sim::CloudPool::kNone
+                 ? 0
+                 : attempt.instance + 1;
+    ev.args.push_back(
+        TraceArg{"outcome", outcome_name(attempt.outcome), /*is_string=*/true});
+    ev.args.push_back(TraceArg{"attempt", std::to_string(attempt.attempt),
+                               /*is_string=*/false});
+    events.push_back(std::move(ev));
+
+    if (attempt.outcome != sim::AttemptOutcome::kCompleted) {
+      TraceEvent marker;
+      marker.name = attempt.outcome == sim::AttemptOutcome::kCrashed
+                        ? "instance crash"
+                        : "task failure";
+      marker.cat = "fault";
+      marker.phase = 'i';
+      marker.ts_us = attempt.end * kUsPerVirtualSecond;
+      marker.pid = pid;
+      marker.tid = attempt.instance == sim::CloudPool::kNone
+                       ? 0
+                       : attempt.instance + 1;
+      events.push_back(std::move(marker));
+    }
+  }
+  return events;
+}
+
+void write_execution_timeline(std::ostream& out, const workflow::Workflow& wf,
+                              const sim::ExecutionResult& result,
+                              const cloud::Catalog* catalog,
+                              std::uint32_t pid) {
+  const std::vector<TraceEvent> events =
+      execution_timeline(wf, result, catalog, pid);
+  write_chrome_trace(out, events);
+}
+
+}  // namespace deco::obs

@@ -1,0 +1,37 @@
+// Simulator timeline export: renders one executed trace (an
+// sim::ExecutionResult) as Chrome trace events — one track (tid) per
+// acquired instance, one slice per started task attempt, with retries,
+// crashes and transient failures tagged by category and instant markers at
+// every failure.  Load the written file in chrome://tracing or Perfetto to
+// debug fault-injection runs visually.
+//
+// Timestamps are the simulator's *virtual* seconds rendered as trace
+// microseconds (1 virtual second = 1 trace millisecond), which keeps
+// multi-hour runs readable in the viewer.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "cloud/instance_type.hpp"
+#include "obs/trace.hpp"
+#include "sim/executor.hpp"
+#include "workflow/dag.hpp"
+
+namespace deco::obs {
+
+/// Builds the timeline events for one executed trace.  `pid` groups the
+/// events into one Perfetto process (use distinct pids to compare several
+/// runs side by side in a single file); `catalog` (optional) labels
+/// instance tracks with their type names.
+std::vector<TraceEvent> execution_timeline(
+    const workflow::Workflow& wf, const sim::ExecutionResult& result,
+    const cloud::Catalog* catalog = nullptr, std::uint32_t pid = 1);
+
+/// execution_timeline() serialized as a standalone Chrome trace JSON.
+void write_execution_timeline(std::ostream& out, const workflow::Workflow& wf,
+                              const sim::ExecutionResult& result,
+                              const cloud::Catalog* catalog = nullptr,
+                              std::uint32_t pid = 1);
+
+}  // namespace deco::obs

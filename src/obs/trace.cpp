@@ -1,0 +1,251 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <ostream>
+
+#include "obs/metrics.hpp"
+
+namespace deco::obs {
+namespace {
+
+struct TlsEntry {
+  std::uint64_t collector_id;
+  std::shared_ptr<void> shard;
+};
+thread_local std::vector<TlsEntry> tls_shards;
+
+std::atomic<std::uint64_t> next_collector_id{1};
+std::atomic<std::uint32_t> next_thread_track{0};
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+void append_number(std::string& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  out += buf;
+}
+
+}  // namespace
+
+std::uint32_t current_thread_track() {
+  thread_local const std::uint32_t track = next_thread_track.fetch_add(1) + 1;
+  return track;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_chrome_trace(std::ostream& out, std::span<const TraceEvent> events) {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    std::string line = first ? "\n" : ",\n";
+    first = false;
+    line += "{\"name\":\"" + json_escape(ev.name) + "\",\"cat\":\"" +
+            json_escape(ev.cat) + "\",\"ph\":\"";
+    line += ev.phase;
+    line += "\",\"ts\":";
+    append_number(line, ev.ts_us);
+    if (ev.phase == 'X') {
+      line += ",\"dur\":";
+      append_number(line, ev.dur_us);
+    }
+    line += ",\"pid\":" + std::to_string(ev.pid) +
+            ",\"tid\":" + std::to_string(ev.tid);
+    if (!ev.args.empty()) {
+      line += ",\"args\":{";
+      for (std::size_t i = 0; i < ev.args.size(); ++i) {
+        if (i) line += ",";
+        line += "\"" + json_escape(ev.args[i].key) + "\":";
+        if (ev.args[i].is_string) {
+          line += "\"" + json_escape(ev.args[i].value) + "\"";
+        } else {
+          line += ev.args[i].value;
+        }
+      }
+      line += "}";
+    }
+    line += "}";
+    out << line;
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+TraceCollector::TraceCollector() : id_(next_collector_id.fetch_add(1)) {
+  (void)trace_epoch();  // pin the epoch no later than the first collector
+}
+
+TraceCollector::~TraceCollector() = default;
+
+TraceCollector& TraceCollector::instance() {
+  static TraceCollector collector;
+  return collector;
+}
+
+double TraceCollector::now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - trace_epoch())
+      .count();
+}
+
+TraceCollector::Shard& TraceCollector::local_shard() {
+  for (const TlsEntry& entry : tls_shards) {
+    if (entry.collector_id == id_) {
+      return *static_cast<Shard*>(entry.shard.get());
+    }
+  }
+  auto shard = std::make_shared<Shard>();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(shard);
+  }
+  tls_shards.push_back(TlsEntry{id_, shard});
+  return *shard;
+}
+
+void TraceCollector::record(TraceEvent event) {
+  if (!enabled()) return;
+  if (event.seq == 0) event.seq = seq_.fetch_add(1) + 1;
+  Shard& shard = local_shard();
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  shard.events.push_back(std::move(event));
+}
+
+void TraceCollector::complete(std::string name, std::string cat, double ts_us,
+                              double dur_us, std::vector<TraceArg> args) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  ev.phase = 'X';
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.tid = current_thread_track();
+  ev.args = std::move(args);
+  record(std::move(ev));
+}
+
+void TraceCollector::begin(std::string name, std::string cat) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  ev.phase = 'B';
+  ev.ts_us = now_us();
+  ev.tid = current_thread_track();
+  record(std::move(ev));
+}
+
+void TraceCollector::end(std::string name, std::string cat) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  ev.phase = 'E';
+  ev.ts_us = now_us();
+  ev.tid = current_thread_track();
+  record(std::move(ev));
+}
+
+void TraceCollector::instant(std::string name, std::string cat) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  ev.phase = 'i';
+  ev.ts_us = now_us();
+  ev.tid = current_thread_track();
+  record(std::move(ev));
+}
+
+void TraceCollector::counter(std::string name, std::string cat, double value) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  ev.phase = 'C';
+  ev.ts_us = now_us();
+  ev.tid = current_thread_track();
+  std::string rendered;
+  append_number(rendered, value);
+  ev.args.push_back(TraceArg{"value", rendered, /*is_string=*/false});
+  record(std::move(ev));
+}
+
+std::vector<TraceEvent> TraceCollector::snapshot() const {
+  std::vector<std::shared_ptr<Shard>> shards;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shards = shards_;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& shard : shards) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    out.insert(out.end(), shard->events.begin(), shard->events.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) { return a.seq < b.seq; });
+  return out;
+}
+
+void TraceCollector::clear() {
+  std::vector<std::shared_ptr<Shard>> shards;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shards = shards_;
+  }
+  for (const auto& shard : shards) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    shard->events.clear();
+  }
+}
+
+void TraceCollector::write(std::ostream& out) const {
+  const std::vector<TraceEvent> events = snapshot();
+  write_chrome_trace(out, events);
+}
+
+ScopedSpan::ScopedSpan(const char* cat, const char* name, const char* metric)
+    : cat_(cat), name_(name), metric_(metric) {
+  trace_ = TraceCollector::instance().enabled();
+  time_ = trace_ || (metric_ && Registry::instance().enabled());
+  if (time_) t0_us_ = TraceCollector::now_us();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!time_) return;
+  const double dur_us = TraceCollector::now_us() - t0_us_;
+  if (trace_) {
+    TraceCollector::instance().complete(name_, cat_, t0_us_, dur_us);
+  }
+  if (metric_) {
+    Registry::instance().observe_ms(metric_, dur_us / 1000.0);
+  }
+}
+
+}  // namespace deco::obs

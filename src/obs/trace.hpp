@@ -1,0 +1,130 @@
+// Trace-event collection in Chrome `trace_event` JSON.
+//
+// Scoped timers (ScopedSpan / the DECO_OBS_SPAN macros) emit complete ('X')
+// events; explicit begin()/end() pairs emit 'B'/'E' events; instant() and
+// counter() emit 'i'/'C'.  The output of write() loads directly in
+// chrome://tracing and Perfetto (https://ui.perfetto.dev).
+//
+// Collection follows the registry's sharding scheme: events append to the
+// calling thread's shard under its own uncontended mutex, each stamped with
+// a global sequence number so snapshot() can restore one total order.  A
+// disabled collector costs one relaxed atomic load per call site.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace deco::obs {
+
+/// One pre-rendered event argument; `is_string` selects JSON quoting.
+struct TraceArg {
+  std::string key;
+  std::string value;
+  bool is_string = true;
+};
+
+/// One Chrome trace_event.  Timestamps and durations are microseconds;
+/// the collector stamps wall-clock (steady) time, exporters like the
+/// simulator timeline stamp virtual time — both render fine in Perfetto.
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char phase = 'X';
+  double ts_us = 0;
+  double dur_us = 0;  ///< meaningful for 'X' only
+  std::uint32_t pid = 1;
+  std::uint32_t tid = 0;
+  std::uint64_t seq = 0;  ///< global record order (not serialized)
+  std::vector<TraceArg> args;
+};
+
+/// Serializes events as {"traceEvents":[...],"displayTimeUnit":"ms"}.
+void write_chrome_trace(std::ostream& out, std::span<const TraceEvent> events);
+
+/// Escapes a string for embedding inside JSON quotes.
+std::string json_escape(std::string_view text);
+
+class TraceCollector {
+ public:
+  TraceCollector();
+  ~TraceCollector();
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// The process-wide collector the instrumentation macros feed.
+  static TraceCollector& instance();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Microseconds since the process trace epoch (steady clock).
+  static double now_us();
+
+  /// Records an event verbatim (ts/tid/seq already set by the caller) —
+  /// used by exporters that merge synthetic timelines into the stream.
+  void record(TraceEvent event);
+
+  /// Convenience emitters; all no-ops while disabled.  Each stamps the
+  /// calling thread's tid and the current time.
+  void complete(std::string name, std::string cat, double ts_us, double dur_us,
+                std::vector<TraceArg> args = {});
+  void begin(std::string name, std::string cat);
+  void end(std::string name, std::string cat);
+  void instant(std::string name, std::string cat);
+  void counter(std::string name, std::string cat, double value);
+
+  /// Merged copy of every shard's events in global record order.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Drops all recorded events.
+  void clear();
+
+  /// write_chrome_trace(snapshot()).
+  void write(std::ostream& out) const;
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::vector<TraceEvent> events;
+  };
+
+  Shard& local_shard();
+
+  const std::uint64_t id_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> seq_{0};
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Shard>> shards_;
+};
+
+/// Stable small integer id for the calling thread (1-based).
+std::uint32_t current_thread_track();
+
+/// RAII scoped timer: records an 'X' trace event over its lifetime and,
+/// when `metric` is non-null, feeds the elapsed milliseconds into the
+/// metric registry's latency histogram of that name.  Both sinks are
+/// checked at construction; a fully disabled span never reads the clock.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* cat, const char* name, const char* metric = nullptr);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* cat_;
+  const char* name_;
+  const char* metric_;
+  double t0_us_ = 0;
+  bool trace_ = false;
+  bool time_ = false;
+};
+
+}  // namespace deco::obs

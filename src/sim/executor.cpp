@@ -4,6 +4,7 @@
 #include <cmath>
 #include <functional>
 
+#include "obs/obs.hpp"
 #include "sim/event_queue.hpp"
 
 namespace deco::sim {
@@ -32,6 +33,7 @@ ExecutionResult simulate_execution(const workflow::Workflow& wf,
                                    const cloud::Catalog& catalog,
                                    util::Rng& rng,
                                    const ExecutorOptions& options) {
+  DECO_OBS_SPAN_TIMED("sim", "simulate_execution", "sim.execute_ms");
   ExecutionResult result;
   result.tasks.resize(wf.task_count());
   result.completed.assign(wf.task_count(), 0);
@@ -203,13 +205,20 @@ ExecutionResult simulate_execution(const workflow::Workflow& wf,
     const double fail_at =
         fail_transient ? start + fail_frac * duration
                        : std::numeric_limits<double>::infinity();
+    // Attempt log entries are appended when the attempt's terminal event is
+    // processed (so the horizon semantics match completed[] / retries).
+    const auto attempt_idx = static_cast<std::uint32_t>(attempts[tid]);
 
     if (finish <= crash_at && !fail_transient) {
       // The attempt completes.
       result.tasks[tid] = TaskTrace{start, finish, inst_id};
       pool.instance(inst_id).busy_until = finish;
-      queue.schedule(finish, [&, tid](double done_time) {
+      queue.schedule(finish, [&, tid, attempt_idx, start, finish,
+                              inst_id](double done_time) {
         result.completed[tid] = 1;
+        result.attempts.push_back(TaskAttempt{tid, attempt_idx, start, finish,
+                                              inst_id,
+                                              AttemptOutcome::kCompleted});
         for (workflow::TaskId child : wf.children(tid)) {
           if (--waiting_parents[child] == 0) on_ready(child, done_time);
         }
@@ -226,10 +235,13 @@ ExecutionResult simulate_execution(const workflow::Workflow& wf,
       const double done_frac =
           duration > 0 ? std::clamp((crash_at - start) / duration, 0.0, 1.0)
                        : 1.0;
-      queue.schedule(crash_at, [&, tid, inst_id, done_frac](double t) {
+      queue.schedule(crash_at, [&, tid, attempt_idx, start, inst_id,
+                                done_frac](double t) {
         if (pool.fail(inst_id, t)) ++result.failures.instance_crashes;
         ++result.failures.retries;
         ++attempts[tid];
+        result.attempts.push_back(TaskAttempt{
+            tid, attempt_idx, start, t, inst_id, AttemptOutcome::kCrashed});
         note_failure(t);
         remaining[tid] *=
             1.0 - std::clamp(fm->options().checkpoint_fraction, 0.0, 1.0) *
@@ -244,10 +256,12 @@ ExecutionResult simulate_execution(const workflow::Workflow& wf,
     // and frees up; the task retries after capped exponential backoff.
     pool.instance(inst_id).busy_until = fail_at;
     result.tasks[tid] = TaskTrace{start, fail_at, inst_id};
-    queue.schedule(fail_at, [&, tid](double t) {
+    queue.schedule(fail_at, [&, tid, attempt_idx, start, inst_id](double t) {
       ++result.failures.task_failures;
       ++result.failures.retries;
       ++attempts[tid];
+      result.attempts.push_back(TaskAttempt{tid, attempt_idx, start, t,
+                                            inst_id, AttemptOutcome::kFailed});
       note_failure(t);
       queue.schedule(t + fm->backoff_delay(attempts[tid]),
                      [&, tid](double retry_at) { start_task(tid, retry_at); });
@@ -292,6 +306,27 @@ ExecutionResult simulate_execution(const workflow::Workflow& wf,
   result.transfer_cost = transfer_cost;
   result.total_cost = result.instance_cost + result.transfer_cost;
   result.instances_used = pool.instance_count();
+  result.instances.reserve(pool.instance_count());
+  for (InstanceId id = 0; id < pool.instance_count(); ++id) {
+    result.instances.push_back(pool.instance(id));
+  }
+  DECO_OBS_COUNTER_ADD("sim.runs", 1);
+  DECO_OBS_COUNTER_ADD("sim.task_attempts", result.attempts.size());
+  if (const auto n = result.failures.instance_crashes; n != 0) {
+    DECO_OBS_COUNTER_ADD("sim.failures.instance_crashes", n);
+  }
+  if (const auto n = result.failures.boot_failures; n != 0) {
+    DECO_OBS_COUNTER_ADD("sim.failures.boot_failures", n);
+  }
+  if (const auto n = result.failures.task_failures; n != 0) {
+    DECO_OBS_COUNTER_ADD("sim.failures.task_failures", n);
+  }
+  if (const auto n = result.failures.stragglers; n != 0) {
+    DECO_OBS_COUNTER_ADD("sim.failures.stragglers", n);
+  }
+  if (const auto n = result.failures.retries; n != 0) {
+    DECO_OBS_COUNTER_ADD("sim.failures.retries", n);
+  }
   return result;
 }
 

@@ -48,6 +48,28 @@ struct TaskTrace {
   InstanceId instance = CloudPool::kNone;
 };
 
+/// How one task attempt ended.
+enum class AttemptOutcome : std::uint8_t {
+  kCompleted,  ///< ran to its finish time
+  kCrashed,    ///< the executing instance crashed mid-attempt
+  kFailed,     ///< transient task failure killed the attempt
+};
+
+/// One started execution attempt of a task.  The executor appends a record
+/// when the attempt's terminal event (finish / crash / failure) is
+/// processed, so under a virtual-time horizon the log covers exactly the
+/// attempts whose outcome fell inside the horizon — and for any run,
+/// attempts.size() == (completed tasks) + failures.retries.  The timeline
+/// exporter (obs/timeline.hpp) renders these as slices per instance track.
+struct TaskAttempt {
+  workflow::TaskId task = 0;
+  std::uint32_t attempt = 0;  ///< 0-based attempt index for this task
+  double start = 0;
+  double end = 0;
+  InstanceId instance = CloudPool::kNone;
+  AttemptOutcome outcome = AttemptOutcome::kCompleted;
+};
+
 /// Counters for injected failures observed during one execution.
 struct FailureStats {
   std::size_t instance_crashes = 0;  ///< instances lost (running or idle)
@@ -68,6 +90,12 @@ struct ExecutionResult {
   double total_cost = 0;
   std::size_t instances_used = 0;
   std::vector<TaskTrace> tasks;
+  /// Every started attempt, in event-processing order (see TaskAttempt).
+  std::vector<TaskAttempt> attempts;
+  /// Final state of every instance the run acquired (type, region,
+  /// acquisition/release times, crash flag) — the timeline exporter's
+  /// track metadata.
+  std::vector<Instance> instances;
   /// completed[t] != 0 iff task t finished within the horizon.
   std::vector<std::uint8_t> completed;
   bool finished = true;       ///< every task completed

@@ -8,6 +8,7 @@
 #include "baselines/autoscaling.hpp"
 #include "cloud/calibration.hpp"
 #include "core/deco.hpp"
+#include "obs/obs.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "wms/pegasus.hpp"
@@ -47,8 +48,16 @@ commands:
   info       --dax wf.dax
       Summarize a workflow: structure, task mix, data volumes.
 
+  stats      --dax wf.dax --deadline 3600 [plan options]
+      Plan with observability enabled and print the metrics summary
+      table (solver effort, evaluator cache hits, staging/kernel times).
+
   help
       Show this text.
+
+global options (any command):
+  --metrics-out m.json   write a JSON metrics dump after the command
+  --trace-out t.json     write a Chrome trace (chrome://tracing, Perfetto)
 )";
 
 struct CloudSetup {
@@ -270,6 +279,61 @@ int cmd_info(const CliArgs& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_stats(const CliArgs& args, std::ostream& out) {
+  // Observability was enabled by run_cli (the command name opts in); run
+  // the plan pipeline, then render what the instrumentation saw.
+  const int code = cmd_plan(args, out, /*execute=*/false);
+  if (code != 0) return code;
+
+  const obs::MetricsSnapshot snap = obs::Registry::instance().snapshot();
+  out << "\nmetrics summary";
+  if (!obs::kCompiledIn) {
+    out << " (instrumentation compiled out: rebuild with -DDECO_OBS=ON)";
+  }
+  out << ":\n";
+  if (!snap.counters.empty()) {
+    util::Table counters({"counter", "value"});
+    for (const auto& [name, value] : snap.counters) {
+      counters.add_row({name, std::to_string(value)});
+    }
+    out << counters.to_string();
+  }
+  if (!snap.gauges.empty()) {
+    util::Table gauges({"gauge", "value"});
+    for (const auto& [name, value] : snap.gauges) {
+      gauges.add_row({name, util::Table::num(value, 4)});
+    }
+    out << gauges.to_string();
+  }
+  if (!snap.histograms.empty()) {
+    util::Table timers({"timer", "count", "mean ms", "max ms"});
+    for (const auto& [name, hist] : snap.histograms) {
+      timers.add_row({name, std::to_string(hist.count),
+                      util::Table::num(hist.mean_ms(), 3),
+                      util::Table::num(hist.max_ms, 3)});
+    }
+    out << timers.to_string();
+  }
+  return 0;
+}
+
+/// Subcommand dispatch (no error boundary; run_cli wraps this).
+int dispatch(const CliArgs& args, std::ostream& out) {
+  if (args.command.empty() || args.command == "help") {
+    out << kUsage;
+    return args.command.empty() ? 1 : 0;
+  }
+  if (args.command == "calibrate") return cmd_calibrate(args, out);
+  if (args.command == "generate") return cmd_generate(args, out);
+  if (args.command == "plan") return cmd_plan(args, out, /*execute=*/false);
+  if (args.command == "run") return cmd_plan(args, out, /*execute=*/true);
+  if (args.command == "solve") return cmd_solve(args, out);
+  if (args.command == "info") return cmd_info(args, out);
+  if (args.command == "stats") return cmd_stats(args, out);
+  out << "error: unknown command '" << args.command << "'\n" << kUsage;
+  return 1;
+}
+
 }  // namespace
 
 std::optional<std::string> CliArgs::get(const std::string& key) const {
@@ -314,28 +378,57 @@ CliArgs parse_args(const std::vector<std::string>& argv) {
 }
 
 int run_cli(const CliArgs& args, std::ostream& out) {
+  // Observability opt-in: --metrics-out / --trace-out on any command (and
+  // the stats command itself) enable the registry and trace collector for
+  // the duration of the command, then dump and disable them.
+  const auto metrics_path = args.get("metrics-out");
+  const auto trace_path = args.get("trace-out");
+  const bool observe = metrics_path || trace_path || args.command == "stats";
+  if (observe) {
+    obs::Registry::instance().reset();
+    obs::Registry::instance().set_enabled(true);
+    obs::TraceCollector::instance().clear();
+    obs::TraceCollector::instance().set_enabled(true);
+  }
+
   // Top-level error boundary: malformed inputs must produce a one-line
   // diagnostic and a non-zero exit, never an escaping exception.
+  int code;
   try {
-    if (args.command.empty() || args.command == "help") {
-      out << kUsage;
-      return args.command.empty() ? 1 : 0;
-    }
-    if (args.command == "calibrate") return cmd_calibrate(args, out);
-    if (args.command == "generate") return cmd_generate(args, out);
-    if (args.command == "plan") return cmd_plan(args, out, /*execute=*/false);
-    if (args.command == "run") return cmd_plan(args, out, /*execute=*/true);
-    if (args.command == "solve") return cmd_solve(args, out);
-    if (args.command == "info") return cmd_info(args, out);
-    out << "error: unknown command '" << args.command << "'\n" << kUsage;
-    return 1;
+    code = dispatch(args, out);
   } catch (const std::exception& e) {
     out << "error: " << e.what() << "\n";
-    return 1;
+    code = 1;
   } catch (...) {
     out << "error: unexpected failure\n";
-    return 1;
+    code = 1;
   }
+
+  if (observe) {
+    obs::Registry::instance().set_enabled(false);
+    obs::TraceCollector::instance().set_enabled(false);
+    if (metrics_path) {
+      std::ofstream file(*metrics_path);
+      if (file) {
+        file << obs::to_json(obs::Registry::instance().snapshot()) << "\n";
+        out << "wrote metrics to " << *metrics_path << "\n";
+      } else {
+        out << "error: cannot write " << *metrics_path << "\n";
+        if (code == 0) code = 1;
+      }
+    }
+    if (trace_path) {
+      std::ofstream file(*trace_path);
+      if (file) {
+        obs::TraceCollector::instance().write(file);
+        out << "wrote trace to " << *trace_path << "\n";
+      } else {
+        out << "error: cannot write " << *trace_path << "\n";
+        if (code == 0) code = 1;
+      }
+    }
+  }
+  return code;
 }
 
 int run_cli(int argc, const char* const* argv, std::ostream& out) {

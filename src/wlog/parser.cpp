@@ -1,5 +1,6 @@
 #include <map>
 
+#include "obs/obs.hpp"
 #include "wlog/lexer.hpp"
 #include "wlog/program.hpp"
 
@@ -412,7 +413,13 @@ class Parser {
 }  // namespace
 
 ParseResult parse_program(std::string_view source) {
-  return Parser(source).parse_program();
+  DECO_OBS_SPAN_TIMED("wlog", "parse_program", "wlog.parse_ms");
+  ParseResult result = Parser(source).parse_program();
+  DECO_OBS_COUNTER_ADD("wlog.programs_parsed", 1);
+  if (result.ok()) {
+    DECO_OBS_COUNTER_ADD("wlog.clauses_parsed", result.program.clauses.size());
+  }
+  return result;
 }
 
 TermParseResult parse_term(std::string_view source) {

@@ -7,6 +7,7 @@
 
 #include "baselines/autoscaling.hpp"
 #include "core/estimator.hpp"
+#include "obs/obs.hpp"
 
 namespace deco::wms {
 namespace {
@@ -81,6 +82,7 @@ sim::Plan ReactiveEngine::plan_or_fallback(const workflow::Workflow& wf,
   ctx.requirement = req;
   ctx.rng = &rng;
 
+  DECO_OBS_SPAN_TIMED("wms", "plan_or_fallback", "wms.reactive.plan_ms");
   const auto t0 = std::chrono::steady_clock::now();
   try {
     sim::Plan plan = primary_->schedule(wf, ctx);
@@ -97,6 +99,7 @@ sim::Plan ReactiveEngine::plan_or_fallback(const workflow::Workflow& wf,
     // Fall through to the baseline: a solver crash must not kill the run.
   }
   ++report.solver_fallbacks;
+  DECO_OBS_COUNTER_ADD("wms.reactive.solver_fallbacks", 1);
   try {
     core::TaskTimeEstimator estimator(*catalog_, *store_);
     baselines::Autoscaling autoscaling(wf, estimator);
@@ -113,6 +116,8 @@ sim::Plan ReactiveEngine::plan_or_fallback(const workflow::Workflow& wf,
 
 ReactiveReport ReactiveEngine::run(const workflow::Workflow& wf,
                                    const core::ProbDeadline& req) {
+  DECO_OBS_SPAN_TIMED("wms", "reactive_run", "wms.reactive.run_ms");
+  DECO_OBS_COUNTER_ADD("wms.reactive.runs", 1);
   ReactiveReport report;
   if (wf.task_count() == 0) {
     report.completed = true;
@@ -135,6 +140,7 @@ ReactiveReport ReactiveEngine::run(const workflow::Workflow& wf,
 
   for (std::size_t segment = 0;; ++segment) {
     ++report.segments;
+    DECO_OBS_COUNTER_ADD("wms.reactive.segments", 1);
     const std::uint64_t seed = segment_seed(options_.seed, segment);
 
     // Probe: simulate the residual under the current plan to completion.
@@ -194,6 +200,8 @@ ReactiveReport ReactiveEngine::run(const workflow::Workflow& wf,
     residual_req.deadline_s = std::max(req.deadline_s - clock, 1.0);
     plan = plan_or_fallback(residual.wf, residual_req, plan_rng, report);
     ++report.replans;
+    DECO_OBS_COUNTER_ADD("wms.reactive.replans", 1);
+    DECO_OBS_INSTANT("wms", "replan");
   }
 
   report.completed =

@@ -165,5 +165,81 @@ TEST(SearchStatsTest, TimingPopulated) {
   EXPECT_GT(r.stats.waves, 0u);
 }
 
+// A diamond-heavy graph (children n+1 and n+2 collide constantly) that both
+// search variants can walk with identical callbacks.
+SearchCallbacks<int> collide_callbacks(int limit) {
+  SearchCallbacks<int> cb;
+  cb.children = [limit](const int& n) {
+    std::vector<int> out;
+    if (n < limit) out = {n + 1, n + 2};
+    return out;
+  };
+  cb.hash = [](const int& n) { return static_cast<std::uint64_t>(n); };
+  cb.evaluate = [](std::span<const int> batch) {
+    std::vector<Scored> out(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      out[i] = Scored{true, static_cast<double>(batch[i])};
+    }
+    return out;
+  };
+  return cb;
+}
+
+TEST(SearchStatsTest, GenericFillsExpansionAndDuplicateCounters) {
+  SearchOptions opt;
+  opt.max_states = 10000;
+  // Exhausted tree walk: every evaluated state is expanded, a binary tree
+  // has no duplicate children, nothing is pruned without monotonicity.
+  const auto tree = generic_search(0, tree_callbacks(10, 100), opt);
+  EXPECT_EQ(tree.stats.states_expanded, tree.stats.states_evaluated);
+  EXPECT_EQ(tree.stats.duplicate_hits, 0u);
+  EXPECT_EQ(tree.stats.states_pruned, 0u);
+
+  // The collide graph visits 0..51 once each; every other generated child
+  // is rejected by the visited set.
+  const auto diamond = generic_search(0, collide_callbacks(50), opt);
+  EXPECT_EQ(diamond.stats.states_expanded, diamond.stats.states_evaluated);
+  EXPECT_GT(diamond.stats.duplicate_hits, 0u);
+
+  // With pruning active, expanded states are exactly the unpruned ones.
+  SearchOptions prune = opt;
+  prune.minimize = true;
+  prune.monotone_objective = true;
+  const auto pruned = generic_search(0, tree_callbacks(5, 2000), prune);
+  EXPECT_GT(pruned.stats.states_pruned, 0u);
+  EXPECT_EQ(pruned.stats.states_expanded + pruned.stats.states_pruned,
+            pruned.stats.states_evaluated);
+}
+
+TEST(SearchStatsTest, AstarFillsExpansionAndDuplicateCounters) {
+  auto cb = collide_callbacks(50);
+  cb.g_score = [](const int& n) { return static_cast<double>(n); };
+  cb.h_score = [](const int&) { return 0.0; };
+  SearchOptions opt;
+  opt.max_states = 10000;
+  // Maximize so the incumbent keeps improving and the frontier keeps
+  // advancing (minimizing would prune everything after the root, which is
+  // the optimum of this graph).
+  opt.minimize = false;
+  const auto r = astar_search(0, cb, opt);
+  // A* expands every state it evaluates (its pruning happens pre-batch /
+  // pre-push, never between evaluation and expansion).
+  EXPECT_GT(r.stats.states_expanded, 0u);
+  EXPECT_EQ(r.stats.states_expanded, r.stats.states_evaluated);
+  EXPECT_GT(r.stats.duplicate_hits, 0u);
+
+  // Incumbent pruning on the tree shows up in states_pruned while the
+  // expansion accounting stays consistent.
+  auto tree = tree_callbacks(10, 1000);
+  tree.g_score = [](const int& n) { return static_cast<double>(n); };
+  tree.h_score = [](const int&) { return 0.0; };
+  SearchOptions popt = opt;
+  popt.monotone_objective = true;
+  const auto pruned = astar_search(0, tree, popt);
+  ASSERT_TRUE(pruned.best.has_value());
+  EXPECT_GT(pruned.stats.states_pruned, 0u);
+  EXPECT_EQ(pruned.stats.states_expanded, pruned.stats.states_evaluated);
+}
+
 }  // namespace
 }  // namespace deco::core

@@ -123,6 +123,60 @@ TEST(StagingCacheStatsTest, SecondBatchHitsPlanCacheWithoutRestaging) {
   EXPECT_EQ(second.segment_hits, first.segment_hits);
 }
 
+TEST(StagingCacheStatsTest, HitMissArithmeticHoldsAcrossInterleavedClears) {
+  const auto wf = small_montage();
+  const std::size_t n = wf.task_count();
+  TaskTimeEstimator est(ec2(), store());
+  vgpu::SerialBackend backend;
+  PlanEvaluator eval(wf, est, backend);
+  const ProbDeadline req{0.95, 3000};
+  const sim::Plan plan = mixed_plan(n);
+
+  // Cold evaluate: one plan miss; staging reads every position's segment
+  // twice (layout pass + column copy), so n misses then n hits.
+  eval.evaluate(plan, req);
+  auto s = eval.cache_stats();
+  EXPECT_EQ(s.plan_misses, 1u);
+  EXPECT_EQ(s.plan_hits, 0u);
+  EXPECT_EQ(s.segment_misses, n);
+  EXPECT_EQ(s.segment_hits, n);
+
+  // Warm evaluate: served from the plan cache, no segment traffic at all.
+  eval.evaluate(plan, req);
+  s = eval.cache_stats();
+  EXPECT_EQ(s.plan_hits, 1u);
+  EXPECT_EQ(s.plan_misses, 1u);
+  EXPECT_EQ(s.segment_misses, n);
+  EXPECT_EQ(s.segment_hits, n);
+
+  // clear_staging_cache() drops the caches but never rewinds the stats.
+  eval.clear_staging_cache();
+  EXPECT_EQ(eval.cache_stats().plan_hits, 1u);
+  EXPECT_EQ(eval.cache_stats().plan_misses, 1u);
+  EXPECT_EQ(eval.cache_stats().segment_misses, n);
+  EXPECT_EQ(eval.cache_stats().segment_hits, n);
+
+  // Post-clear evaluate restages from scratch: the deltas repeat the cold
+  // pattern exactly, on top of the preserved totals.
+  eval.evaluate(plan, req);
+  s = eval.cache_stats();
+  EXPECT_EQ(s.plan_misses, 2u);
+  EXPECT_EQ(s.plan_hits, 1u);
+  EXPECT_EQ(s.segment_misses, 2 * n);
+  EXPECT_EQ(s.segment_hits, 2 * n);
+
+  // A second clear between two warm evaluates: hits continue to accumulate
+  // monotonically — stats are an append-only ledger, not cache state.
+  eval.evaluate(plan, req);
+  eval.clear_staging_cache();
+  eval.evaluate(plan, req);
+  s = eval.cache_stats();
+  EXPECT_EQ(s.plan_hits, 2u);
+  EXPECT_EQ(s.plan_misses, 3u);
+  EXPECT_EQ(s.segment_misses, 3 * n);
+  EXPECT_EQ(s.segment_hits, 3 * n);
+}
+
 // Two-sample Kolmogorov-Smirnov test: bins drawn through the alias table and
 // bins drawn through the histogram's inverse-CDF search are samples from the
 // same calibration distribution.

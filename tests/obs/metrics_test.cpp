@@ -1,0 +1,155 @@
+// Metrics registry unit tests: counter/gauge/histogram semantics, the
+// disabled fast path, reset, exact multi-thread shard merging, and the
+// stability of the text/JSON dumps.  These exercise the Registry class
+// directly, so they run (and pass) even when the instrumentation macros are
+// compiled out with -DDECO_OBS=OFF.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "tests/obs/json_check.hpp"
+
+namespace deco::obs {
+namespace {
+
+TEST(MetricsRegistryTest, CountersGaugesHistogramsRoundTrip) {
+  Registry reg;
+  reg.set_enabled(true);
+  reg.counter_add("requests", 1);
+  reg.counter_add("requests", 2);
+  reg.counter_add("errors");  // default delta 1
+  reg.gauge_set("queue_depth", 3.5);
+  reg.gauge_set("queue_depth", 7.0);  // last write wins
+  reg.observe_ms("latency_ms", 0.5);
+  reg.observe_ms("latency_ms", 2.0);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("requests"), 3u);
+  EXPECT_EQ(snap.counters.at("errors"), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("queue_depth"), 7.0);
+  const HistogramData& h = snap.histograms.at("latency_ms");
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_DOUBLE_EQ(h.sum_ms, 2.5);
+  EXPECT_DOUBLE_EQ(h.min_ms, 0.5);
+  EXPECT_DOUBLE_EQ(h.max_ms, 2.0);
+  EXPECT_DOUBLE_EQ(h.mean_ms(), 1.25);
+}
+
+TEST(MetricsRegistryTest, DisabledRegistryRecordsNothing) {
+  Registry reg;
+  ASSERT_FALSE(reg.enabled());  // disabled is the default
+  reg.counter_add("c", 5);
+  reg.gauge_set("g", 1.0);
+  reg.observe_ms("h", 1.0);
+  EXPECT_TRUE(reg.snapshot().empty());
+}
+
+TEST(MetricsRegistryTest, ResetClearsDataButKeepsEnabled) {
+  Registry reg;
+  reg.set_enabled(true);
+  reg.counter_add("c", 5);
+  reg.observe_ms("h", 1.0);
+  reg.reset();
+  EXPECT_TRUE(reg.snapshot().empty());
+  EXPECT_TRUE(reg.enabled());
+  reg.counter_add("c", 2);
+  EXPECT_EQ(reg.snapshot().counters.at("c"), 2u);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsCoverFixedBounds) {
+  // Each observation lands in the first bucket whose bound is >= the value;
+  // values beyond the last bound land in the overflow bucket.
+  HistogramData h;
+  h.observe(0.0005);                                // below first bound
+  h.observe(kLatencyBucketBoundsMs.front());        // exactly the first bound
+  h.observe(5.0);                                   // between 3.16 and 10
+  h.observe(kLatencyBucketBoundsMs.back() * 10.0);  // overflow
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.buckets[0], 2u);
+  EXPECT_EQ(h.buckets[8], 1u);  // bound 10.0 catches 5.0
+  EXPECT_EQ(h.buckets[kLatencyBucketBoundsMs.size()], 1u);
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : h.buckets) total += b;
+  EXPECT_EQ(total, h.count);
+}
+
+TEST(MetricsRegistryTest, MultiThreadShardMergeIsExact) {
+  Registry reg;
+  reg.set_enabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg] {
+      for (int i = 0; i < kPerThread; ++i) {
+        reg.counter_add("shared", 1);
+        // Integer-valued observations keep the double sum exact.
+        reg.observe_ms("lat", static_cast<double>(i % 7));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("shared"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const HistogramData& h = snap.histograms.at("lat");
+  EXPECT_EQ(h.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  double expected_sum = 0;
+  for (int i = 0; i < kPerThread; ++i) expected_sum += i % 7;
+  EXPECT_DOUBLE_EQ(h.sum_ms, expected_sum * kThreads);
+  EXPECT_DOUBLE_EQ(h.min_ms, 0.0);
+  EXPECT_DOUBLE_EQ(h.max_ms, 6.0);
+}
+
+TEST(MetricsRegistryTest, GaugeLastWriteWinsAcrossThreads) {
+  // Sequential writer threads: the chronologically last write must win even
+  // though the shards merge in registration order.
+  Registry reg;
+  reg.set_enabled(true);
+  for (int round = 0; round < 3; ++round) {
+    std::thread([&reg, round] {
+      reg.gauge_set("g", static_cast<double>(round));
+    }).join();
+  }
+  EXPECT_DOUBLE_EQ(reg.snapshot().gauges.at("g"), 2.0);
+}
+
+TEST(MetricsDumpTest, TextDumpListsEveryMetric) {
+  Registry reg;
+  reg.set_enabled(true);
+  reg.counter_add("alpha", 3);
+  reg.gauge_set("beta", 1.5);
+  reg.observe_ms("gamma_ms", 4.0);
+  const std::string text = to_text(reg.snapshot());
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("beta"), std::string::npos);
+  EXPECT_NE(text.find("gamma_ms"), std::string::npos);
+}
+
+TEST(MetricsDumpTest, JsonDumpIsWellFormedAndStable) {
+  Registry reg;
+  reg.set_enabled(true);
+  reg.counter_add("b_counter", 2);
+  reg.counter_add("a_counter", 1);
+  reg.gauge_set("g", -0.25);
+  reg.observe_ms("lat_ms", 3.0);
+  const std::string json = to_json(reg.snapshot());
+  EXPECT_TRUE(testing::json_valid(json)) << json;
+  // std::map keys sort the dump, so a_counter precedes b_counter.
+  EXPECT_LT(json.find("a_counter"), json.find("b_counter"));
+  // Snapshot of identical state serializes identically.
+  EXPECT_EQ(json, to_json(reg.snapshot()));
+}
+
+TEST(MetricsDumpTest, EmptySnapshotStillValidJson) {
+  const std::string json = to_json(MetricsSnapshot{});
+  EXPECT_TRUE(testing::json_valid(json)) << json;
+}
+
+}  // namespace
+}  // namespace deco::obs

@@ -1,0 +1,124 @@
+// The observability acceptance invariant: instrumentation is observation
+// only.  Evaluator and simulator results must be bit-identical whether the
+// metrics registry and trace collector are enabled or disabled — the
+// instrumentation consumes no RNG state and feeds nothing back into any
+// engine decision.
+#include <gtest/gtest.h>
+
+#include "core/evaluator.hpp"
+#include "obs/obs.hpp"
+#include "sim/executor.hpp"
+#include "tests/core/test_fixtures.hpp"
+#include "util/rng.hpp"
+#include "workflow/generators.hpp"
+
+namespace deco::obs {
+namespace {
+
+using core::testing::ec2;
+using core::testing::store;
+
+/// Enables registry + collector for one scope, restoring the disabled
+/// default (and dropping collected data) on exit.
+class ObsOn {
+ public:
+  ObsOn() {
+    Registry::instance().reset();
+    Registry::instance().set_enabled(true);
+    TraceCollector::instance().clear();
+    TraceCollector::instance().set_enabled(true);
+  }
+  ~ObsOn() {
+    Registry::instance().set_enabled(false);
+    Registry::instance().reset();
+    TraceCollector::instance().set_enabled(false);
+    TraceCollector::instance().clear();
+  }
+};
+
+core::PlanEvaluation evaluate_once(const workflow::Workflow& wf) {
+  core::TaskTimeEstimator est(ec2(), store());
+  vgpu::SerialBackend backend;
+  core::EvalOptions opt;
+  opt.mc_iterations = 300;
+  core::PlanEvaluator eval(wf, est, backend, opt);
+  sim::Plan plan = sim::Plan::uniform(wf.task_count(), 1);
+  for (std::size_t t = 0; t < wf.task_count(); t += 3) plan[t].vm_type = 2;
+  return eval.evaluate(plan, {0.9, 3000});
+}
+
+TEST(NonInterferenceTest, EvaluatorBitsIdenticalWithObsOnAndOff) {
+  util::Rng wf_rng(17);
+  const auto wf = workflow::make_montage_by_width(6, wf_rng);
+
+  ASSERT_FALSE(Registry::instance().enabled());
+  const core::PlanEvaluation off = evaluate_once(wf);
+
+  core::PlanEvaluation on;
+  {
+    ObsOn obs;
+    on = evaluate_once(wf);
+    if (kCompiledIn) {
+      // The instrumentation actually observed the run...
+      EXPECT_GT(Registry::instance().snapshot().counters.count("eval.plans"),
+                0u);
+    }
+  }
+  // ...without perturbing a single bit of it.
+  EXPECT_EQ(off.mean_cost, on.mean_cost);
+  EXPECT_EQ(off.mean_makespan, on.mean_makespan);
+  EXPECT_EQ(off.makespan_quantile, on.makespan_quantile);
+  EXPECT_EQ(off.deadline_prob, on.deadline_prob);
+  EXPECT_EQ(off.feasible, on.feasible);
+}
+
+sim::ExecutionResult simulate_once(const workflow::Workflow& wf,
+                                   const sim::FailureModel& failures) {
+  sim::ExecutorOptions options;
+  options.failures = &failures;
+  util::Rng rng(2015);
+  return sim::simulate_execution(wf, sim::Plan::uniform(wf.task_count(), 1),
+                                 ec2(), rng, options);
+}
+
+TEST(NonInterferenceTest, SimulatorBitsIdenticalWithObsOnAndOff) {
+  util::Rng wf_rng(18);
+  const auto wf = workflow::make_montage(1, wf_rng);
+  sim::FailureModelOptions fm;
+  fm.crash_mtbf_s = 1800;
+  fm.task_failure_prob = 0.05;
+  fm.straggler_prob = 0.05;
+  const sim::FailureModel failures(fm);
+
+  ASSERT_FALSE(Registry::instance().enabled());
+  const sim::ExecutionResult off = simulate_once(wf, failures);
+  ASSERT_GT(off.failures.total_disruptions(), 0u);
+
+  sim::ExecutionResult on;
+  {
+    ObsOn obs;
+    on = simulate_once(wf, failures);
+    if (kCompiledIn) {
+      EXPECT_EQ(Registry::instance().snapshot().counters.at("sim.runs"), 1u);
+      EXPECT_FALSE(TraceCollector::instance().snapshot().empty());
+    }
+  }
+  EXPECT_EQ(off.makespan, on.makespan);
+  EXPECT_EQ(off.total_cost, on.total_cost);
+  EXPECT_EQ(off.instance_cost, on.instance_cost);
+  EXPECT_EQ(off.transfer_cost, on.transfer_cost);
+  EXPECT_EQ(off.failures.instance_crashes, on.failures.instance_crashes);
+  EXPECT_EQ(off.failures.task_failures, on.failures.task_failures);
+  EXPECT_EQ(off.failures.retries, on.failures.retries);
+  EXPECT_EQ(off.first_failure_s, on.first_failure_s);
+  ASSERT_EQ(off.attempts.size(), on.attempts.size());
+  for (std::size_t i = 0; i < off.attempts.size(); ++i) {
+    EXPECT_EQ(off.attempts[i].task, on.attempts[i].task);
+    EXPECT_EQ(off.attempts[i].start, on.attempts[i].start);
+    EXPECT_EQ(off.attempts[i].end, on.attempts[i].end);
+    EXPECT_EQ(off.attempts[i].outcome, on.attempts[i].outcome);
+  }
+}
+
+}  // namespace
+}  // namespace deco::obs

@@ -1,0 +1,126 @@
+// Simulator timeline exporter tests: instance tracks, one slice per task
+// attempt, retry/crash/failure tagging, and Chrome-trace validity.  The
+// attempt log itself is unconditional executor output, so these tests run
+// under -DDECO_OBS=OFF too.
+#include "obs/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "cloud/calibration.hpp"
+#include "tests/obs/json_check.hpp"
+#include "util/rng.hpp"
+#include "workflow/generators.hpp"
+
+namespace deco::obs {
+namespace {
+
+const cloud::Catalog& catalog() {
+  static const cloud::Catalog c = cloud::make_ec2_catalog();
+  return c;
+}
+
+sim::ExecutionResult run(const workflow::Workflow& wf,
+                         const sim::FailureModel* failures,
+                         std::uint64_t seed) {
+  sim::Plan plan = sim::Plan::uniform(wf.task_count(), 1);
+  sim::ExecutorOptions options;
+  options.sample_dynamics = false;
+  options.rand_io_ops_per_task = 0;
+  options.failures = failures;
+  util::Rng rng(seed);
+  return sim::simulate_execution(wf, plan, catalog(), rng, options);
+}
+
+std::size_t count_slices(const std::vector<TraceEvent>& events) {
+  return static_cast<std::size_t>(
+      std::count_if(events.begin(), events.end(),
+                    [](const TraceEvent& e) { return e.phase == 'X'; }));
+}
+
+TEST(ExecutionTimelineTest, CleanRunHasOneSliceAndOneTrackPerEntity) {
+  util::Rng wf_rng(11);
+  const auto wf = workflow::make_pipeline(5, wf_rng);
+  const auto result = run(wf, nullptr, 1);
+  ASSERT_TRUE(result.finished);
+  ASSERT_EQ(result.attempts.size(), wf.task_count());
+
+  const auto events = execution_timeline(wf, result, &catalog());
+  EXPECT_EQ(count_slices(events), wf.task_count());
+
+  // One thread_name metadata record per acquired instance.
+  const auto tracks = std::count_if(
+      events.begin(), events.end(), [](const TraceEvent& e) {
+        return e.phase == 'M' && e.name == "thread_name" && e.tid > 0;
+      });
+  EXPECT_EQ(static_cast<std::size_t>(tracks), result.instances.size());
+
+  // Clean run: every slice is a first attempt, no fault markers.
+  for (const TraceEvent& e : events) {
+    if (e.phase == 'X') EXPECT_EQ(e.cat, "attempt");
+    EXPECT_NE(e.phase, 'i');
+  }
+}
+
+TEST(ExecutionTimelineTest, SliceTimesScaleVirtualSecondsToTraceMs) {
+  util::Rng wf_rng(11);
+  const auto wf = workflow::make_pipeline(4, wf_rng);
+  const auto result = run(wf, nullptr, 1);
+  const auto events = execution_timeline(wf, result);
+  for (const TraceEvent& e : events) {
+    if (e.phase != 'X') continue;
+    const auto& attempt = result.attempts;
+    const auto it = std::find_if(
+        attempt.begin(), attempt.end(), [&](const sim::TaskAttempt& a) {
+          return a.start * 1000.0 == e.ts_us;  // 1 virtual s = 1000 trace us
+        });
+    EXPECT_NE(it, attempt.end()) << "slice " << e.name << " at " << e.ts_us;
+  }
+}
+
+TEST(ExecutionTimelineTest, FaultyRunTagsRetriesAndEmitsFaultMarkers) {
+  util::Rng wf_rng(12);
+  const auto wf = workflow::make_montage(1, wf_rng);
+  sim::FailureModelOptions fm;
+  fm.crash_mtbf_s = 600;
+  fm.task_failure_prob = 0.2;
+  const sim::FailureModel failures(fm);
+  const auto result = run(wf, &failures, 5);
+  ASSERT_GT(result.failures.retries, 0u) << "seed produced no retries";
+
+  const auto events = execution_timeline(wf, result, &catalog(), 4);
+  // Slice count == attempt count == completed tasks + retries.
+  std::size_t completed = 0;
+  for (const std::uint8_t c : result.completed) completed += c;
+  EXPECT_EQ(result.attempts.size(), completed + result.failures.retries);
+  EXPECT_EQ(count_slices(events), result.attempts.size());
+
+  // Non-completed attempts carry crash/failure categories and a matching
+  // fault instant; re-attempts after them are tagged retry.
+  std::size_t fault_slices = 0, fault_markers = 0, retry_slices = 0;
+  for (const TraceEvent& e : events) {
+    EXPECT_EQ(e.pid, 4u);  // caller-chosen process id
+    if (e.phase == 'X' && (e.cat == "crash" || e.cat == "failure")) {
+      ++fault_slices;
+    }
+    if (e.phase == 'X' && e.cat == "retry") ++retry_slices;
+    if (e.phase == 'i') ++fault_markers;
+  }
+  EXPECT_EQ(fault_slices, fault_markers);
+  EXPECT_GT(retry_slices, 0u);
+}
+
+TEST(ExecutionTimelineTest, WrittenTimelineIsWellFormedChromeTrace) {
+  util::Rng wf_rng(13);
+  const auto wf = workflow::make_pipeline(4, wf_rng);
+  const auto result = run(wf, nullptr, 2);
+  std::ostringstream out;
+  write_execution_timeline(out, wf, result, &catalog());
+  EXPECT_TRUE(testing::json_valid(out.str())) << out.str();
+  EXPECT_NE(out.str().find("\"traceEvents\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace deco::obs

@@ -1,0 +1,151 @@
+// Trace collector unit tests: event capture, scoped-span nesting, the
+// Chrome trace_event serialization, and JSON escaping.  Like the metrics
+// tests these drive the TraceCollector/ScopedSpan API directly, so they are
+// independent of whether the DECO_OBS_* macros are compiled in.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "tests/obs/json_check.hpp"
+
+namespace deco::obs {
+namespace {
+
+/// The process-wide collector is shared state; each test starts clean and
+/// leaves it disabled.
+class TraceCollectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceCollector::instance().clear();
+    TraceCollector::instance().set_enabled(true);
+  }
+  void TearDown() override {
+    TraceCollector::instance().set_enabled(false);
+    TraceCollector::instance().clear();
+  }
+};
+
+TEST_F(TraceCollectorTest, DisabledCollectorRecordsNothing) {
+  auto& collector = TraceCollector::instance();
+  collector.set_enabled(false);
+  collector.instant("marker", "test");
+  collector.begin("b", "test");
+  collector.end("b", "test");
+  { ScopedSpan span("test", "scoped"); }
+  EXPECT_TRUE(collector.snapshot().empty());
+}
+
+TEST_F(TraceCollectorTest, PhasesAndOrderAreCaptured) {
+  auto& collector = TraceCollector::instance();
+  collector.begin("outer", "test");
+  collector.instant("tick", "test");
+  collector.counter("depth", "test", 3.0);
+  collector.end("outer", "test");
+
+  const auto events = collector.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].phase, 'B');
+  EXPECT_EQ(events[1].phase, 'i');
+  EXPECT_EQ(events[2].phase, 'C');
+  EXPECT_EQ(events[3].phase, 'E');
+  // Global sequence restores one total order.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GT(events[i].seq, events[i - 1].seq);
+  }
+  // Same thread -> same track.
+  EXPECT_EQ(events[0].tid, events[3].tid);
+}
+
+TEST_F(TraceCollectorTest, ScopedSpansEmitProperlyNestedCompleteEvents) {
+  {
+    ScopedSpan outer("test", "outer");
+    { ScopedSpan inner("test", "inner"); }
+  }
+  const auto events = TraceCollector::instance().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Destructor order: inner closes (and records) first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[0].phase, 'X');
+  EXPECT_EQ(events[1].phase, 'X');
+  // The inner interval lies within the outer one.
+  EXPECT_GE(events[0].ts_us, events[1].ts_us);
+  EXPECT_LE(events[0].ts_us + events[0].dur_us,
+            events[1].ts_us + events[1].dur_us + 1e-6);
+}
+
+TEST_F(TraceCollectorTest, ClearDropsRecordedEvents) {
+  auto& collector = TraceCollector::instance();
+  collector.instant("a", "test");
+  ASSERT_FALSE(collector.snapshot().empty());
+  collector.clear();
+  EXPECT_TRUE(collector.snapshot().empty());
+}
+
+TEST_F(TraceCollectorTest, WriteProducesWellFormedChromeTrace) {
+  auto& collector = TraceCollector::instance();
+  { ScopedSpan span("test", "work \"quoted\"\n"); }
+  collector.instant("marker", "test");
+  std::ostringstream out;
+  collector.write(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(testing::json_valid(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+}
+
+TEST(ChromeTraceFormatTest, EventFieldsSerialize) {
+  TraceEvent e;
+  e.name = "task";
+  e.cat = "sim";
+  e.phase = 'X';
+  e.ts_us = 1500.0;
+  e.dur_us = 250.0;
+  e.pid = 3;
+  e.tid = 7;
+  e.args.push_back({"outcome", "completed", true});
+  e.args.push_back({"attempt", "2", false});
+  std::ostringstream out;
+  write_chrome_trace(out, std::vector<TraceEvent>{e});
+  const std::string json = out.str();
+  EXPECT_TRUE(testing::json_valid(json)) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"outcome\":\"completed\""), std::string::npos);
+  EXPECT_NE(json.find("\"attempt\":2"), std::string::npos);
+}
+
+TEST(JsonEscapeTest, EscapesControlAndStructuralCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+  // Arbitrary control characters come out as \u00XX.
+  const std::string esc = json_escape(std::string(1, '\x01'));
+  EXPECT_EQ(esc, "\\u0001");
+  // Everything it emits must survive a JSON string parse.
+  EXPECT_TRUE(
+      testing::json_valid("\"" + json_escape("q\"\\\n\r\t\x02") + "\""));
+}
+
+TEST(ScopedSpanTest, FeedsMetricHistogramWhenRequested) {
+  auto& reg = Registry::instance();
+  reg.reset();
+  reg.set_enabled(true);
+  { ScopedSpan span("test", "timed", "test.span_ms"); }
+  const auto snap = reg.snapshot();
+  reg.set_enabled(false);
+  reg.reset();
+  ASSERT_EQ(snap.histograms.count("test.span_ms"), 1u);
+  EXPECT_EQ(snap.histograms.at("test.span_ms").count, 1u);
+}
+
+}  // namespace
+}  // namespace deco::obs

@@ -1,0 +1,217 @@
+// Property-based tests for the observability layer:
+//   * registry shard merging is order-independent and sums exactly, for
+//     randomized operation schedules partitioned across threads;
+//   * the trace writer emits well-formed JSON and properly nested spans for
+//     randomized begin/end sequences;
+//   * the simulator timeline has exactly one slice per task attempt
+//     (completed + retries) for randomized FailureModel configurations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
+#include "tests/core/test_fixtures.hpp"
+#include "tests/obs/json_check.hpp"
+#include "util/rng.hpp"
+#include "workflow/generators.hpp"
+
+namespace deco::obs {
+namespace {
+
+using core::testing::ec2;
+
+// ---------------------------------------------------------------------------
+// Registry merge: partition one randomized operation schedule across K
+// worker threads; the merged snapshot must equal the single-threaded sum no
+// matter how the shards were populated or enumerated.
+class RegistryMergeProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RegistryMergeProperty, ShardMergeSumsExactlyAndOrderIndependently) {
+  util::Rng rng(GetParam());
+  constexpr int kThreads = 5;
+  const int ops = 200 + static_cast<int>(rng.below(800));
+
+  struct Op {
+    int kind;       // 0 = counter, 1 = histogram
+    int name;       // one of 4 metric names per kind
+    std::uint64_t amount;
+  };
+  std::vector<Op> schedule;
+  std::uint64_t expected_counter[4] = {0, 0, 0, 0};
+  std::uint64_t expected_count[4] = {0, 0, 0, 0};
+  double expected_sum[4] = {0, 0, 0, 0};
+  for (int i = 0; i < ops; ++i) {
+    Op op;
+    op.kind = static_cast<int>(rng.below(2));
+    op.name = static_cast<int>(rng.below(4));
+    op.amount = 1 + rng.below(16);
+    if (op.kind == 0) {
+      expected_counter[op.name] += op.amount;
+    } else {
+      ++expected_count[op.name];
+      expected_sum[op.name] += static_cast<double>(op.amount);
+    }
+    schedule.push_back(op);
+  }
+
+  Registry reg;
+  reg.set_enabled(true);
+  const auto name_of = [](int kind, int idx) {
+    return (kind == 0 ? "c" : "h") + std::to_string(idx);
+  };
+  // Round-robin partition: thread t executes ops t, t+K, t+2K, ... so the
+  // per-shard contents differ from the schedule order.
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::size_t i = static_cast<std::size_t>(t); i < schedule.size();
+           i += kThreads) {
+        const Op& op = schedule[i];
+        if (op.kind == 0) {
+          reg.counter_add(name_of(0, op.name), op.amount);
+        } else {
+          reg.observe_ms(name_of(1, op.name),
+                         static_cast<double>(op.amount));
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const MetricsSnapshot snap = reg.snapshot();
+  for (int n = 0; n < 4; ++n) {
+    if (expected_counter[n] > 0) {
+      EXPECT_EQ(snap.counters.at(name_of(0, n)), expected_counter[n]);
+    }
+    if (expected_count[n] > 0) {
+      const HistogramData& h = snap.histograms.at(name_of(1, n));
+      EXPECT_EQ(h.count, expected_count[n]);
+      // Integer-valued observations: the double sum is exact.
+      EXPECT_DOUBLE_EQ(h.sum_ms, expected_sum[n]);
+    }
+  }
+  // Snapshots are idempotent: merging again yields the same result.
+  const MetricsSnapshot again = reg.snapshot();
+  EXPECT_EQ(snap.counters, again.counters);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegistryMergeProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ---------------------------------------------------------------------------
+// Trace JSON + span nesting: emit a random properly-nested span tree via a
+// stack of ScopedSpans, then check (a) the serialized trace parses as JSON,
+// (b) for every pair of 'X' events on one track the intervals are either
+// disjoint or one contains the other (spans never partially overlap).
+class TraceNestingProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+void random_spans(util::Rng& rng, int depth, int& budget) {
+  if (budget <= 0) return;
+  --budget;
+  // ScopedSpan keeps the name pointer until destruction: use static strings.
+  static constexpr const char* kNames[] = {"span_d0", "span_d1", "span_d2",
+                                           "span_d3", "span_d4", "span_d5",
+                                           "span_d6"};
+  ScopedSpan span("prop", kNames[depth]);
+  while (budget > 0 && depth < 6 && rng.below(3) != 0) {
+    random_spans(rng, depth + 1, budget);
+  }
+}
+
+TEST_P(TraceNestingProperty, RandomSpanTreesSerializeValidAndNested) {
+  auto& collector = TraceCollector::instance();
+  collector.clear();
+  collector.set_enabled(true);
+  util::Rng rng(GetParam());
+  int budget = 40 + static_cast<int>(rng.below(60));
+  const int total = budget;
+  while (budget > 0) random_spans(rng, 0, budget);
+  collector.set_enabled(false);
+
+  const auto events = collector.snapshot();
+  EXPECT_EQ(events.size(), static_cast<std::size_t>(total));
+
+  std::ostringstream out;
+  write_chrome_trace(out, events);
+  EXPECT_TRUE(testing::json_valid(out.str()));
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    for (std::size_t j = i + 1; j < events.size(); ++j) {
+      const TraceEvent& a = events[i];
+      const TraceEvent& b = events[j];
+      if (a.tid != b.tid) continue;
+      const double a0 = a.ts_us, a1 = a.ts_us + a.dur_us;
+      const double b0 = b.ts_us, b1 = b.ts_us + b.dur_us;
+      const bool disjoint = a1 <= b0 || b1 <= a0;
+      const bool a_in_b = b0 <= a0 && a1 <= b1;
+      const bool b_in_a = a0 <= b0 && b1 <= a1;
+      EXPECT_TRUE(disjoint || a_in_b || b_in_a)
+          << a.name << " [" << a0 << "," << a1 << ") vs " << b.name << " ["
+          << b0 << "," << b1 << ")";
+    }
+  }
+  collector.clear();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceNestingProperty,
+                         ::testing::Values(11u, 12u, 13u, 14u));
+
+// ---------------------------------------------------------------------------
+// Timeline completeness: for random failure configurations, the exported
+// timeline has exactly one slice per started attempt, and the attempt log
+// itself satisfies attempts == completed + retries.
+class TimelineAttemptProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(TimelineAttemptProperty, SliceCountEqualsAttempts) {
+  const auto [seed, level] = GetParam();
+  util::Rng cfg_rng(seed * 977 + static_cast<std::uint64_t>(level));
+  sim::FailureModelOptions fm;
+  fm.crash_mtbf_s = 300.0 + static_cast<double>(cfg_rng.below(7200));
+  fm.task_failure_prob = 0.02 * static_cast<double>(level);
+  fm.straggler_prob = 0.03 * static_cast<double>(cfg_rng.below(4));
+  fm.boot_failure_prob = level == 3 ? 0.02 : 0.0;
+  const sim::FailureModel failures(fm);
+
+  util::Rng wf_rng(seed);
+  const auto wf = workflow::make_cybershake(20 + cfg_rng.below(30), wf_rng);
+  sim::ExecutorOptions options;
+  options.sample_dynamics = false;
+  options.rand_io_ops_per_task = 0;
+  options.failures = &failures;
+  util::Rng rng(seed + 99);
+  const auto result = sim::simulate_execution(
+      wf, sim::Plan::uniform(wf.task_count(), 1), ec2(), rng, options);
+
+  std::size_t completed = 0;
+  for (const std::uint8_t c : result.completed) completed += c;
+  EXPECT_EQ(result.attempts.size(), completed + result.failures.retries);
+
+  const auto events = execution_timeline(wf, result, &ec2());
+  const auto slices = std::count_if(
+      events.begin(), events.end(),
+      [](const TraceEvent& e) { return e.phase == 'X'; });
+  EXPECT_EQ(static_cast<std::size_t>(slices), result.attempts.size());
+
+  // Every slice's track is a real instance of the run.
+  for (const TraceEvent& e : events) {
+    if (e.phase != 'X') continue;
+    ASSERT_GE(e.tid, 1u);
+    ASSERT_LE(static_cast<std::size_t>(e.tid), result.instances.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndLevels, TimelineAttemptProperty,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                       ::testing::Values(0, 1, 2, 3)));
+
+}  // namespace
+}  // namespace deco::obs

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/obs.hpp"
+
 namespace deco::tools {
 namespace {
 
@@ -282,6 +284,66 @@ TEST(CliRunTest, PlanUsesSavedStore) {
                                 "--store", store_path}),
                          out);
   EXPECT_EQ(rc, 0) << out.str();
+}
+
+TEST(CliRunTest, StatsRendersMetricsSummary) {
+  const std::string dax = temp_path("cli_stats.dax");
+  std::ostringstream gen;
+  ASSERT_EQ(run_cli(parse({"generate", "--app", "pipeline", "--tasks", "4",
+                           "--out", dax}),
+                    gen),
+            0);
+  std::ostringstream out;
+  const int rc =
+      run_cli(parse({"stats", "--dax", dax, "--deadline", "100000"}), out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_NE(out.str().find("metrics summary"), std::string::npos);
+  if (obs::kCompiledIn) {
+    EXPECT_NE(out.str().find("search.states_evaluated"), std::string::npos);
+    EXPECT_NE(out.str().find("eval.plans"), std::string::npos);
+  } else {
+    EXPECT_NE(out.str().find("instrumentation compiled out"),
+              std::string::npos);
+  }
+}
+
+TEST(CliRunTest, MetricsAndTraceOutWriteFiles) {
+  const std::string dax = temp_path("cli_obs.dax");
+  std::ostringstream gen;
+  ASSERT_EQ(run_cli(parse({"generate", "--app", "pipeline", "--tasks", "4",
+                           "--out", dax}),
+                    gen),
+            0);
+  const std::string metrics_path = temp_path("cli_metrics.json");
+  const std::string trace_path = temp_path("cli_trace.json");
+  std::ostringstream out;
+  const int rc = run_cli(
+      parse({"run", "--dax", dax, "--deadline", "100000", "--runs", "2",
+             "--metrics-out", metrics_path, "--trace-out", trace_path}),
+      out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_NE(out.str().find("wrote metrics to"), std::string::npos);
+  EXPECT_NE(out.str().find("wrote trace to"), std::string::npos);
+
+  std::ifstream metrics(metrics_path);
+  ASSERT_TRUE(metrics.good());
+  std::stringstream mbuf;
+  mbuf << metrics.rdbuf();
+  EXPECT_NE(mbuf.str().find("\"counters\""), std::string::npos);
+  if (obs::kCompiledIn) {
+    EXPECT_NE(mbuf.str().find("sim.runs"), std::string::npos);
+  }
+
+  std::ifstream trace(trace_path);
+  ASSERT_TRUE(trace.good());
+  std::stringstream tbuf;
+  tbuf << trace.rdbuf();
+  EXPECT_NE(tbuf.str().find("\"traceEvents\""), std::string::npos);
+
+  // The observation window is per-invocation: a later plain run must not
+  // leave the registry/collector enabled.
+  EXPECT_FALSE(obs::Registry::instance().enabled());
+  EXPECT_FALSE(obs::TraceCollector::instance().enabled());
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "tests/core/test_fixtures.hpp"
 #include "workflow/generators.hpp"
 
@@ -176,6 +177,62 @@ TEST(ReactiveEngineTest, MalformedPlanDegradesToBaseline) {
   const ReactiveReport report = engine.run(wf, {0.9, 1e9});
   EXPECT_TRUE(report.completed);
   EXPECT_GE(report.solver_fallbacks, 1u);
+}
+
+TEST(ReactiveEngineTest, ReplanAndFallbackCountersMatchTheReport) {
+  if (!obs::kCompiledIn) {
+    GTEST_SKIP() << "instrumentation compiled out (DECO_OBS=OFF)";
+  }
+  auto& reg = obs::Registry::instance();
+  reg.reset();
+  reg.set_enabled(true);
+
+  // Run 1: failures force replanning (the FailuresTriggerReplanning setup).
+  util::Rng wf_rng(2);
+  const auto wf = workflow::make_montage(1, wf_rng);
+  FixedTypeScheduler primary(0);
+  ReactiveEngine clean_engine(ec2(), store(), primary, quiet_options());
+  reg.reset();  // count only the three runs below
+  const ReactiveReport clean = clean_engine.run(wf, {0.9, 1e9});
+
+  sim::FailureModelOptions fm;
+  fm.crash_mtbf_s = 900;
+  fm.task_failure_prob = 0.15;
+  const sim::FailureModel model(fm);
+  ReactiveOptions options = quiet_options();
+  options.executor.failures = &model;
+  ReactiveEngine engine(ec2(), store(), primary, options);
+  const ReactiveReport failing = engine.run(wf, {0.9, clean.makespan * 1.02});
+
+  // Run 2: a throwing primary exercises the fallback path.
+  util::Rng pipe_rng(4);
+  const auto pipe = workflow::make_pipeline(6, pipe_rng);
+  ThrowingScheduler throwing;
+  ReactiveEngine degraded(ec2(), store(), throwing, quiet_options());
+  const ReactiveReport fallback = degraded.run(pipe, {0.9, 1e9});
+
+  const auto snap = reg.snapshot();
+  reg.set_enabled(false);
+  reg.reset();
+
+  ASSERT_GE(failing.replans, 1u);
+  ASSERT_GE(fallback.solver_fallbacks, 1u);
+  const auto counter = [&snap](const char* name) -> std::uint64_t {
+    const auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0 : it->second;
+  };
+  // The registry aggregated exactly the three instrumented runs.
+  EXPECT_EQ(counter("wms.reactive.runs"), 3u);
+  EXPECT_EQ(counter("wms.reactive.replans"),
+            clean.replans + failing.replans + fallback.replans);
+  EXPECT_EQ(counter("wms.reactive.solver_fallbacks"),
+            clean.solver_fallbacks + failing.solver_fallbacks +
+                fallback.solver_fallbacks);
+  EXPECT_EQ(counter("wms.reactive.segments"),
+            clean.segments + failing.segments + fallback.segments);
+  // The run timer observed each engine.run() exactly once.
+  ASSERT_EQ(snap.histograms.count("wms.reactive.run_ms"), 1u);
+  EXPECT_EQ(snap.histograms.at("wms.reactive.run_ms").count, 3u);
 }
 
 TEST(ReactiveEngineTest, ImpossibleDeadlineReplansUpToTheCapAndFinishes) {
