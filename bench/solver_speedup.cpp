@@ -1,93 +1,179 @@
-// Solver performance (Sections 6.3.1 / 6.3.2 text): parallel "virtual GPU"
-// evaluation vs the serial CPU baseline, and the per-task optimization
-// overhead.
+// Solver speed-up tracker (Sections 6.3.1 / 6.3.2 text): the work-stealing
+// "virtual GPU" backend vs the serial CPU baseline on the *search-driven*
+// workload — a real scheduling solve whose waves mix cached and uncached
+// plans — plus the per-task optimization overhead.
 //
 // Paper numbers for context: on an NVIDIA K40 vs a 6-core CPU, 12X/10X/20X
 // speed-ups on Montage-1/4/8 scheduling and 36X/22X/18X on 20/100/1000-task
 // ensembles; optimization overhead of 4.3-63.17 ms per task.  This host has
 // no GPU (and may have a single core), so the *absolute* speed-up is
-// hardware-bound — the bench demonstrates that the identical kernel
-// decomposition runs on both backends and reports the measured ratio and the
-// per-task overhead.
-#include <benchmark/benchmark.h>
+// hardware-bound — the bench sweeps worker counts (1/2/4/hw) over the
+// identical kernel decomposition and records the measured ratio, the
+// evaluation-stall time of the pipelined driver, and the per-task overhead.
+// The hw_threads field in the JSON says what parallelism the host could
+// actually express.
+//
+// Usage: solver_speedup [output.json]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_common.hpp"
+#include "core/scheduling.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
 using namespace deco;
 
-const workflow::Workflow& montage(int degree) {
-  static std::map<int, workflow::Workflow> cache;
-  auto it = cache.find(degree);
-  if (it == cache.end()) {
-    util::Rng rng(7 + static_cast<std::uint64_t>(degree));
-    it = cache.emplace(degree, workflow::make_montage(degree, rng)).first;
-  }
-  return it->second;
-}
+struct Row {
+  std::string workflow;
+  std::size_t tasks = 0;
+  std::string backend;
+  std::size_t workers = 0;  ///< vgpu pool workers; 0 for the serial backend
+  std::size_t mc_iterations = 0;
+  std::size_t states_evaluated = 0;
+  double seconds = 0;
+  double states_per_sec = 0;
+  double eval_stall_ms = 0;
+  double ms_per_task = 0;
+  double speedup_vs_serial = 0;
+};
 
-void evaluate_batch(const workflow::Workflow& wf, vgpu::ComputeBackend& backend,
-                    std::size_t batch) {
+Row run_case(const workflow::Workflow& wf, const std::string& backend_name,
+             std::size_t workers, double deadline) {
   core::TaskTimeEstimator estimator(bench::env().catalog, bench::env().store);
-  core::PlanEvaluator evaluator(wf, estimator, backend);
-  std::vector<sim::Plan> plans;
-  for (std::size_t i = 0; i < batch; ++i) {
-    sim::Plan plan = sim::Plan::uniform(wf.task_count(), 0);
-    for (std::size_t t = 0; t < plan.size(); ++t) {
-      plan[t].vm_type = static_cast<cloud::TypeId>((t + i) % 4);
-    }
-    plans.push_back(std::move(plan));
-  }
-  const auto results = evaluator.evaluate_batch(plans, {0.96, 1e6});
-  benchmark::DoNotOptimize(results.data());
-}
+  auto backend = vgpu::make_backend(backend_name, workers);
+  core::EvalOptions eval;
+  eval.mc_iterations = 1000;  // the paper's Max_iter default
+  eval.cost_model = core::CostModel::kBilledHours;
+  core::SchedulingProblem problem(wf, estimator, *backend, eval);
 
-void BM_EvalSerial(benchmark::State& state) {
-  const auto& wf = montage(static_cast<int>(state.range(0)));
-  vgpu::SerialBackend backend;
-  for (auto _ : state) evaluate_batch(wf, backend, 16);
-  state.counters["tasks"] = static_cast<double>(wf.task_count());
-}
+  core::SchedulingOptions opt;
+  opt.search.max_states = 96;
+  opt.search.batch_size = 32;
+  opt.search.stale_wave_limit = 0;  // fixed budget: comparable across backends
 
-void BM_EvalVirtualGpu(benchmark::State& state) {
-  const auto& wf = montage(static_cast<int>(state.range(0)));
-  vgpu::VirtualGpuBackend backend;
-  for (auto _ : state) evaluate_batch(wf, backend, 16);
-  state.counters["tasks"] = static_cast<double>(wf.task_count());
-}
-
-void BM_ScheduleOverheadPerTask(benchmark::State& state) {
-  // End-to-end optimization time divided by task count: the paper's
-  // "4.3-63.17 ms per task for a workflow with 20-1000 tasks".
-  const auto& wf = montage(static_cast<int>(state.range(0)));
-  const auto bounds = bench::deadline_bounds(wf);
-  core::Deco engine(bench::env().catalog, bench::env().store);
-  double total_ms = 0;
-  std::size_t solves = 0;
-  for (auto _ : state) {
+  const core::ProbDeadline req{0.9, deadline};
+  // One warm-up solve fills the estimator and staging caches; the timed
+  // solves then measure the steady-state search regime.  Best-of-reps is the
+  // least-interference estimate on a shared host.
+  (void)problem.solve(req, opt);
+  double best = 1e300;
+  core::SearchStats stats;
+  for (int rep = 0; rep < 3; ++rep) {
     const auto t0 = std::chrono::steady_clock::now();
-    const auto result = engine.schedule(wf, {0.96, bounds.medium()});
-    total_ms += std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
-    ++solves;
-    benchmark::DoNotOptimize(result.found);
+    const auto result = problem.solve(req, opt);
+    const double dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (dt < best) {
+      best = dt;
+      stats = result.stats;
+    }
   }
-  state.counters["ms_per_task"] =
-      total_ms / static_cast<double>(solves) /
-      static_cast<double>(wf.task_count());
+
+  Row row;
+  row.workflow = wf.name();
+  row.tasks = wf.task_count();
+  row.backend = backend_name;
+  row.workers = backend_name == "serial" ? 0 : workers;
+  row.mc_iterations = eval.mc_iterations;
+  row.states_evaluated = stats.states_evaluated;
+  row.seconds = best;
+  row.states_per_sec = static_cast<double>(stats.states_evaluated) / best;
+  row.eval_stall_ms = stats.eval_stall_ms;
+  row.ms_per_task = best * 1000.0 / static_cast<double>(wf.task_count());
+  return row;
 }
 
-BENCHMARK(BM_EvalSerial)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_EvalVirtualGpu)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_ScheduleOverheadPerTask)
-    ->Arg(1)
-    ->Arg(4)
-    ->Arg(8)
-    ->Unit(benchmark::kMillisecond)
-    ->Iterations(1);
+bool write_json(const std::vector<Row>& rows, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"solver_speedup\",\n");
+  std::fprintf(f,
+               "  \"unit\": {\"states_per_sec\": \"plans/s\", "
+               "\"eval_stall_ms\": \"ms\", \"ms_per_task\": \"ms/task\", "
+               "\"speedup_vs_serial\": \"x\"},\n");
+  std::fprintf(f, "  \"hw_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"workflow\": \"%s\", \"tasks\": %zu, \"backend\": \"%s\", "
+        "\"workers\": %zu, \"mc_iterations\": %zu, \"states_evaluated\": "
+        "%zu, \"seconds\": %.6f, \"states_per_sec\": %.1f, "
+        "\"eval_stall_ms\": %.2f, \"ms_per_task\": %.2f, "
+        "\"speedup_vs_serial\": %.3f}%s\n",
+        r.workflow.c_str(), r.tasks, r.backend.c_str(), r.workers,
+        r.mc_iterations, r.states_evaluated, r.seconds, r.states_per_sec,
+        r.eval_stall_ms, r.ms_per_task, r.speedup_vs_serial,
+        i + 1 < rows.size() ? "," : "");
+  }
+  const std::string metrics =
+      obs::to_json(obs::Registry::instance().snapshot());
+  std::fprintf(f, "  ],\n  \"metrics\": %s\n}\n", metrics.c_str());
+  return std::fclose(f) == 0;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace deco;
+  const std::string out = argc > 1 ? argv[1] : "BENCH_solver.json";
+  obs::Registry::instance().set_enabled(true);
+  bench::print_header(
+      "solver_speedup",
+      "Search-driven solver throughput: serial baseline vs work-stealing "
+      "vgpu backend at 1/2/4/hw workers (billed-hours model, 1000 MC "
+      "iterations, 96-state budget), with pipelined-driver stall time and "
+      "per-task optimization overhead.");
+
+  util::Rng rng(2015);
+  std::vector<workflow::Workflow> workflows;
+  workflows.push_back(workflow::make_montage_by_width(28, rng));
+  workflows.push_back(workflow::make_cybershake(100, rng));
+
+  // Worker sweep: 1, 2, 4 and the hardware thread count, deduplicated.
+  std::vector<std::size_t> sweep{1, 2, 4};
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (std::find(sweep.begin(), sweep.end(), hw) == sweep.end()) {
+    sweep.push_back(hw);
+  }
+
+  std::vector<Row> rows;
+  std::printf("%-12s %6s %-7s %7s %10s %12s %10s %9s\n", "workflow", "tasks",
+              "backend", "workers", "states/s", "stall_ms", "ms/task",
+              "speedup");
+  for (const auto& wf : workflows) {
+    const double deadline = bench::deadline_bounds(wf).medium();
+    Row serial = run_case(wf, "serial", 0, deadline);
+    serial.speedup_vs_serial = 1.0;
+    rows.push_back(serial);
+    std::printf("%-12s %6zu %-7s %7zu %10.1f %12.1f %10.2f %9.3f\n",
+                serial.workflow.c_str(), serial.tasks, serial.backend.c_str(),
+                serial.workers, serial.states_per_sec, serial.eval_stall_ms,
+                serial.ms_per_task, serial.speedup_vs_serial);
+    for (const std::size_t workers : sweep) {
+      Row row = run_case(wf, "vgpu", workers, deadline);
+      row.speedup_vs_serial = row.states_per_sec / serial.states_per_sec;
+      std::printf("%-12s %6zu %-7s %7zu %10.1f %12.1f %10.2f %9.3f\n",
+                  row.workflow.c_str(), row.tasks, row.backend.c_str(),
+                  row.workers, row.states_per_sec, row.eval_stall_ms,
+                  row.ms_per_task, row.speedup_vs_serial);
+      rows.push_back(std::move(row));
+    }
+  }
+  if (!write_json(rows, out)) return 1;
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
+}

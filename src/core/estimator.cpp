@@ -1,6 +1,7 @@
 #include "core/estimator.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #include "cloud/calibration.hpp"
 
@@ -30,8 +31,13 @@ std::uint64_t cache_key(workflow::TaskId task, cloud::TypeId type) {
 const util::Histogram& TaskTimeEstimator::distribution(
     const workflow::Workflow& wf, workflow::TaskId task, cloud::TypeId type) {
   const std::uint64_t key = cache_key(task, type);
-  const auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  {
+    std::shared_lock lock(cache_mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  std::unique_lock lock(cache_mutex_);
+  if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
   build(wf, task, type);
   return cache_.at(key);
 }
@@ -39,8 +45,15 @@ const util::Histogram& TaskTimeEstimator::distribution(
 const util::Histogram& TaskTimeEstimator::dynamic_distribution(
     const workflow::Workflow& wf, workflow::TaskId task, cloud::TypeId type) {
   const std::uint64_t key = cache_key(task, type);
-  const auto it = dyn_cache_.find(key);
-  if (it != dyn_cache_.end()) return it->second;
+  {
+    std::shared_lock lock(cache_mutex_);
+    const auto it = dyn_cache_.find(key);
+    if (it != dyn_cache_.end()) return it->second;
+  }
+  std::unique_lock lock(cache_mutex_);
+  if (const auto it = dyn_cache_.find(key); it != dyn_cache_.end()) {
+    return it->second;
+  }
   build(wf, task, type);
   return dyn_cache_.at(key);
 }

@@ -16,6 +16,7 @@
 // discretized back into a histogram the evaluator and the WLog bridge share.
 #pragma once
 
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -46,7 +47,11 @@ class TaskTimeEstimator {
 
   /// Execution-time distribution of `task` of `wf` on instance type `type`.
   /// Cached; the cache key is (task id, type), so use one estimator per
-  /// workflow.
+  /// workflow.  All accessors are thread-safe (the pipelined search driver
+  /// generates children — which read mean times — concurrently with batch
+  /// evaluation, which stages distributions); returned references stay
+  /// valid for the estimator's lifetime, and cache contents are independent
+  /// of call order, so concurrency cannot change results.
   const util::Histogram& distribution(const workflow::Workflow& wf,
                                       workflow::TaskId task,
                                       cloud::TypeId type);
@@ -81,6 +86,10 @@ class TaskTimeEstimator {
   const cloud::Catalog* catalog_;
   const cloud::MetadataStore* store_;
   EstimatorOptions options_;
+  // Guards both caches.  Histograms are immutable once inserted and
+  // unordered_map never invalidates references to mapped values, so shared
+  // readers may hold returned references across later inserts.
+  mutable std::shared_mutex cache_mutex_;
   std::unordered_map<std::uint64_t, util::Histogram> cache_;      // total
   std::unordered_map<std::uint64_t, util::Histogram> dyn_cache_;  // io+net
 };

@@ -273,25 +273,31 @@ std::vector<PlanEvaluation> PlanEvaluator::evaluate_batch(
 
     for (std::size_t tile_base = 0; tile_base < iters; tile_base += tile) {
       const std::size_t lanes = std::min(tile, iters - tile_base);
-      // Generation pass (lane-major, RNG state stays in registers): one
-      // correlated interference factor per possible world — congestion
-      // persists across a run, scaling every dynamic component together —
-      // then the lane's per-task uniforms, written down its matrix column.
-      for (std::size_t j = 0; j < lanes; ++j) {
-        util::Rng rng(ctx.lane_seed(tile_base + j));
-        double interference = 1.0;
-        if (interference_cv > 0) {
-          interference =
-              std::clamp(util::Normal{1.0, interference_cv}.sample(rng),
-                         1.0 - 3 * interference_cv, 1.0 + 3 * interference_cv);
-          interference = std::max(interference, 0.1);
+      // Generation pass (lane-major, RNG state stays in registers),
+      // dispatched as one lane batch: one correlated interference factor per
+      // possible world — congestion persists across a run, scaling every
+      // dynamic component together — then the lane's per-task uniforms,
+      // written down its matrix column.
+      ctx.run_lanes(tile_base, tile_base + lanes,
+                    [&](std::size_t lane_begin, std::size_t lane_end) {
+        for (std::size_t lane = lane_begin; lane < lane_end; ++lane) {
+          const std::size_t j = lane - tile_base;
+          util::Rng rng(ctx.lane_seed(lane));
+          double interference = 1.0;
+          if (interference_cv > 0) {
+            interference =
+                std::clamp(util::Normal{1.0, interference_cv}.sample(rng),
+                           1.0 - 3 * interference_cv,
+                           1.0 + 3 * interference_cv);
+            interference = std::max(interference, 0.1);
+          }
+          inv_inter[j] = 1.0 / interference;
+          makespan_acc[j] = 0;
+          cost_acc[j] = 0;
+          double* column = uniforms.data() + j;
+          for (std::size_t p = 0; p < n; ++p) column[p * tile] = rng.uniform();
         }
-        inv_inter[j] = 1.0 / interference;
-        makespan_acc[j] = 0;
-        cost_acc[j] = 0;
-        double* column = uniforms.data() + j;
-        for (std::size_t p = 0; p < n; ++p) column[p * tile] = rng.uniform();
-      }
+      });
       std::fill(group_avail.begin(), group_avail.end(), 0.0);
       std::fill(group_time.begin(), group_time.end(), 0.0);
 

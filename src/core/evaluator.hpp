@@ -31,6 +31,7 @@
 #include "core/estimator.hpp"
 #include "sim/failure_model.hpp"
 #include "sim/plan.hpp"
+#include "util/aligned.hpp"
 #include "vgpu/device.hpp"
 #include "workflow/dag.hpp"
 
@@ -130,18 +131,20 @@ class PlanEvaluator {
   /// constant per task added after interference scaling.  All per-task
   /// arrays are stored in *topological position* order (position p holds
   /// task topo_[p]), so the kernel's single forward pass walks every array
-  /// sequentially.  Bins are sampled through flat alias columns: column k
-  /// of position p lives at bin_offsets[p] + k.
+  /// sequentially, and each array starts on a 64-byte boundary so the
+  /// task-major row loops vectorize with aligned accesses.  Bins are
+  /// sampled through flat alias columns: column k of position p lives at
+  /// bin_offsets[p] + k.
   struct DevicePlan {
-    std::vector<std::size_t> bin_offsets;  // N+1
-    std::vector<AliasColumn> columns;
-    std::vector<double> cpu;          // constant CPU seconds per position
-    std::vector<double> price_per_s;  // assigned unit price / 3600
-    std::vector<double> price_hour;   // assigned unit price, USD/h
-    std::vector<std::int32_t> group;
-    std::vector<double> group_price_hour;   // per group slot, USD/h
-    std::vector<std::uint32_t> group_size;  // members per group slot
-    std::size_t group_slots = 0;            // max group id + 1
+    util::AlignedVector<std::size_t> bin_offsets;  // N+1
+    util::AlignedVector<AliasColumn> columns;
+    util::AlignedVector<double> cpu;          // constant CPU seconds/position
+    util::AlignedVector<double> price_per_s;  // assigned unit price / 3600
+    util::AlignedVector<double> price_hour;   // assigned unit price, USD/h
+    util::AlignedVector<std::int32_t> group;
+    util::AlignedVector<double> group_price_hour;   // per group slot, USD/h
+    util::AlignedVector<std::uint32_t> group_size;  // members per group slot
+    std::size_t group_slots = 0;                    // max group id + 1
   };
 
   /// One cached (task, vm type) staging unit: the dynamic-time histogram

@@ -8,6 +8,24 @@
 // Exploration (breadth-first) is chosen over exploitation for parallelism,
 // exactly as Section 5.3 argues.
 //
+// Pipelined driver: while a batch evaluates on a background thread, the
+// driver speculatively generates the batch's children, hashes (and, in A*
+// mode, f-scores) them — i.e. wave k+1's frontier is built while wave k is
+// still on the device.  Speculation never touches the visited set or the
+// frontier; children are *committed* only after the scores arrive, in batch
+// order, exactly as the serial driver would — so results, visited-set
+// evolution and every SearchStats counter are bit-identical with pipelining
+// on or off (tests/core/search_test.cpp pins this).  The time the driver
+// still blocks on evaluation after speculation is reported as
+// SearchStats::eval_stall_ms; it is the number to watch when sizing batches.
+//
+// Thread-safety contract for pipelining: children / hash / g_score / h_score
+// must be safe to call concurrently with evaluate (they may not share
+// unsynchronized mutable state with it).  Every in-repo problem satisfies
+// this — TaskTimeEstimator, the only shared mutable dependency, is
+// internally synchronized.  Set SearchOptions::pipeline = false for
+// callbacks that cannot meet the contract.
+//
 // A* mode: when the user supplies g/h scores (cal_g_score / est_h_score in
 // WLog, or native callbacks here), states are expanded best-first and any
 // state whose g score already exceeds the best found feasible objective is
@@ -19,6 +37,8 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <future>
+#include <limits>
 #include <optional>
 #include <queue>
 #include <span>
@@ -44,6 +64,17 @@ struct SearchOptions {
   /// Stop as soon as `early_stop_depth` consecutive expansion waves bring no
   /// incumbent improvement (0 = run the full budget).
   std::size_t stale_wave_limit = 0;
+  /// Overlap child generation/hashing with batch evaluation on a background
+  /// thread (see the thread-safety contract above).  Results are
+  /// bit-identical either way.
+  bool pipeline = true;
+  /// Cap on the dedup (visited) set: 0 = unlimited; otherwise the oldest
+  /// hashes are evicted FIFO once the cap is reached, so million-state runs
+  /// hold O(max_visited) memory.  A re-generated evicted state is treated as
+  /// new (re-evaluated) — a work/memory trade, counted in
+  /// SearchStats::visited_evicted.  Size to max_states * branching to make
+  /// eviction a pure safety valve.
+  std::size_t max_visited = 0;
 };
 
 /// Search-effort accounting, filled identically by both the breadth-first
@@ -53,14 +84,20 @@ struct SearchOptions {
 ///     (evaluated minus pruned, minus states cut off by budget/early stop);
 ///   * states_pruned counts bound-pruned states (generic: post-evaluation
 ///     bound prune; A*: additionally pop-time incumbent pruning);
-///   * duplicate_hits counts children rejected by the visited set.
+///   * duplicate_hits counts children rejected by the visited set;
+///   * visited_evicted counts hashes dropped by the max_visited FIFO cap;
+///   * eval_stall_ms is the time the driver spent blocked on batch
+///     evaluation (with pipelining: after speculative child generation ran
+///     out of overlap work; without: the whole evaluate call).
 struct SearchStats {
   std::size_t states_evaluated = 0;
   std::size_t states_expanded = 0;
   std::size_t states_pruned = 0;
   std::size_t duplicate_hits = 0;
+  std::size_t visited_evicted = 0;
   std::size_t waves = 0;
   double elapsed_ms = 0;
+  double eval_stall_ms = 0;
 };
 
 namespace detail {
@@ -72,8 +109,10 @@ inline void record_search_metrics(const char* kind, const SearchStats& stats) {
   DECO_OBS_COUNTER_ADD("search.states_expanded", stats.states_expanded);
   DECO_OBS_COUNTER_ADD("search.states_pruned", stats.states_pruned);
   DECO_OBS_COUNTER_ADD("search.duplicate_hits", stats.duplicate_hits);
+  DECO_OBS_COUNTER_ADD("search.visited_evicted", stats.visited_evicted);
   DECO_OBS_COUNTER_ADD("search.waves", stats.waves);
   DECO_OBS_HIST_MS(kind, stats.elapsed_ms);
+  DECO_OBS_HIST_MS("search.eval_stall_ms", stats.eval_stall_ms);
 #if defined(DECO_OBS_DISABLED)
   (void)kind;
   (void)stats;
@@ -105,9 +144,105 @@ inline bool better(double candidate, double incumbent, bool minimize) {
   return minimize ? candidate < incumbent : candidate > incumbent;
 }
 
+/// Dedup set with an optional FIFO capacity bound: past the cap, the oldest
+/// inserted hash is evicted for every new one.  Eviction order is a pure
+/// function of insertion order, so bounded runs stay deterministic.
+class VisitedSet {
+ public:
+  explicit VisitedSet(std::size_t capacity) : capacity_(capacity) {}
+
+  /// True if `h` was newly inserted; false if it was already present.
+  bool insert(std::uint64_t h) {
+    if (!set_.insert(h).second) return false;
+    if (capacity_ == 0) return true;
+    if (ring_.size() < capacity_) {
+      ring_.push_back(h);
+      return true;
+    }
+    set_.erase(ring_[head_]);
+    ring_[head_] = h;
+    head_ = (head_ + 1) % capacity_;
+    ++evicted_;
+    return true;
+  }
+
+  std::size_t evicted() const { return evicted_; }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_set<std::uint64_t> set_;
+  std::vector<std::uint64_t> ring_;  // insertion order, reused circularly
+  std::size_t head_ = 0;
+  std::size_t evicted_ = 0;
+};
+
+/// One wave's speculative products: children and their hashes (A* adds f
+/// scores), generated while the wave's evaluation is in flight.
+template <typename State>
+struct Speculation {
+  std::vector<std::vector<State>> children;
+  std::vector<std::vector<std::uint64_t>> hashes;
+  std::vector<std::vector<double>> f_scores;  // A* only
+};
+
+/// Evaluates `batch`, overlapping cb.children / cb.hash (and f scoring when
+/// `f_of` is non-null) with the evaluation when options.pipeline is set.
+/// Returns the scores; fills `spec` with the batch's speculative children.
+/// Stall time — the wait on the evaluation after speculation finished — is
+/// accumulated into `stall_ms`.
+template <typename State, typename FScore>
+std::vector<Scored> evaluate_wave(const SearchCallbacks<State>& cb,
+                                  const SearchOptions& options,
+                                  const std::vector<State>& batch,
+                                  const FScore* f_of, Speculation<State>& spec,
+                                  double& stall_ms) {
+  using clock = std::chrono::steady_clock;
+  spec.children.assign(batch.size(), {});
+  spec.hashes.assign(batch.size(), {});
+  spec.f_scores.assign(batch.size(), {});
+  if (!options.pipeline) {
+    const auto t0 = clock::now();
+    std::vector<Scored> scores =
+        cb.evaluate(std::span<const State>(batch));
+    stall_ms +=
+        std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+    return scores;
+  }
+  std::future<std::vector<Scored>> pending = std::async(
+      std::launch::async,
+      [&cb, &batch] { return cb.evaluate(std::span<const State>(batch)); });
+  try {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      spec.children[i] = cb.children(batch[i]);
+      auto& hashes = spec.hashes[i];
+      hashes.reserve(spec.children[i].size());
+      for (const State& child : spec.children[i]) {
+        hashes.push_back(cb.hash(child));
+      }
+      if (f_of != nullptr) {
+        auto& fs = spec.f_scores[i];
+        fs.reserve(spec.children[i].size());
+        for (const State& child : spec.children[i]) {
+          fs.push_back((*f_of)(child));
+        }
+      }
+    }
+  } catch (...) {
+    // The in-flight evaluation borrows `batch`; never unwind past it.
+    pending.wait();
+    throw;
+  }
+  const auto t0 = clock::now();
+  std::vector<Scored> scores = pending.get();
+  stall_ms +=
+      std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+  return scores;
+}
+
 }  // namespace detail
 
-/// Breadth-first generic search with batched evaluation (Algorithm 2).
+/// Breadth-first generic search with batched, pipelined evaluation
+/// (Algorithm 2).
 template <typename State>
 SearchResult<State> generic_search(const State& initial,
                                    const SearchCallbacks<State>& cb,
@@ -115,7 +250,7 @@ SearchResult<State> generic_search(const State& initial,
   DECO_OBS_SPAN("search", "generic_search");
   const auto t0 = std::chrono::steady_clock::now();
   SearchResult<State> result;
-  std::unordered_set<std::uint64_t> visited;
+  detail::VisitedSet visited(options.max_visited);
   std::queue<State> frontier;
   frontier.push(initial);
   visited.insert(cb.hash(initial));
@@ -123,6 +258,7 @@ SearchResult<State> generic_search(const State& initial,
   double bound = options.minimize ? std::numeric_limits<double>::infinity()
                                   : -std::numeric_limits<double>::infinity();
   std::size_t stale_waves = 0;
+  detail::Speculation<State> spec;
 
   while (!frontier.empty() &&
          result.stats.states_evaluated < options.max_states) {
@@ -133,7 +269,11 @@ SearchResult<State> generic_search(const State& initial,
       batch.push_back(std::move(frontier.front()));
       frontier.pop();
     }
-    const std::vector<Scored> scores = cb.evaluate(batch);
+    // Child generation for this wave overlaps its evaluation (no f scoring
+    // in breadth-first mode).
+    const std::function<double(const State&)>* no_f = nullptr;
+    const std::vector<Scored> scores = detail::evaluate_wave(
+        cb, options, batch, no_f, spec, result.stats.eval_stall_ms);
     result.stats.states_evaluated += batch.size();
     ++result.stats.waves;
     bool improved = false;
@@ -148,16 +288,24 @@ SearchResult<State> generic_search(const State& initial,
         improved = true;
       }
       // Bound prune: with a monotone objective, a state already worse than
-      // the incumbent cannot lead to a better feasible descendant.
+      // the incumbent cannot lead to a better feasible descendant.  Its
+      // speculative children are simply dropped.
       if (options.monotone_objective && result.best &&
           !detail::better(s.objective, bound, options.minimize)) {
         ++result.stats.states_pruned;
         continue;
       }
       ++result.stats.states_expanded;
-      for (State& child : cb.children(batch[i])) {
-        if (visited.insert(cb.hash(child)).second) {
-          frontier.push(std::move(child));
+      if (!options.pipeline) {
+        spec.children[i] = cb.children(batch[i]);
+        spec.hashes[i].clear();
+        for (const State& child : spec.children[i]) {
+          spec.hashes[i].push_back(cb.hash(child));
+        }
+      }
+      for (std::size_t c = 0; c < spec.children[i].size(); ++c) {
+        if (visited.insert(spec.hashes[i][c])) {
+          frontier.push(std::move(spec.children[i][c]));
         } else {
           ++result.stats.duplicate_hits;
         }
@@ -169,6 +317,7 @@ SearchResult<State> generic_search(const State& initial,
       break;
     }
   }
+  result.stats.visited_evicted = visited.evicted();
   result.stats.elapsed_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)
@@ -195,7 +344,7 @@ SearchResult<State> astar_search(const State& initial,
     return sign * a.f > sign * b.f;
   };
   std::priority_queue<Entry, std::vector<Entry>, decltype(worse)> open(worse);
-  std::unordered_set<std::uint64_t> visited;
+  detail::VisitedSet visited(options.max_visited);
 
   auto f_of = [&](const State& s) {
     const double g = cb.g_score ? cb.g_score(s) : 0;
@@ -208,6 +357,7 @@ SearchResult<State> astar_search(const State& initial,
   double bound = options.minimize ? std::numeric_limits<double>::infinity()
                                   : -std::numeric_limits<double>::infinity();
   std::size_t stale_waves = 0;
+  detail::Speculation<State> spec;
 
   while (!open.empty() && result.stats.states_evaluated < options.max_states) {
     std::vector<State> batch;
@@ -224,7 +374,10 @@ SearchResult<State> astar_search(const State& initial,
       batch.push_back(std::move(e.state));
     }
     if (batch.empty()) break;
-    const std::vector<Scored> scores = cb.evaluate(batch);
+    // Child generation, hashing and f-scoring for this wave overlap its
+    // evaluation.
+    const auto scores = detail::evaluate_wave(cb, options, batch, &f_of, spec,
+                                              result.stats.eval_stall_ms);
     result.stats.states_evaluated += batch.size();
     ++result.stats.waves;
     bool improved = false;
@@ -239,15 +392,24 @@ SearchResult<State> astar_search(const State& initial,
         improved = true;
       }
       ++result.stats.states_expanded;
-      for (State& child : cb.children(batch[i])) {
-        if (visited.insert(cb.hash(child)).second) {
-          const double f = f_of(child);
+      if (!options.pipeline) {
+        spec.children[i] = cb.children(batch[i]);
+        spec.hashes[i].clear();
+        spec.f_scores[i].clear();
+        for (const State& child : spec.children[i]) {
+          spec.hashes[i].push_back(cb.hash(child));
+          spec.f_scores[i].push_back(f_of(child));
+        }
+      }
+      for (std::size_t c = 0; c < spec.children[i].size(); ++c) {
+        if (visited.insert(spec.hashes[i][c])) {
+          const double f = spec.f_scores[i][c];
           if (result.best && options.monotone_objective &&
               !detail::better(f, bound, options.minimize)) {
             ++result.stats.states_pruned;
             continue;
           }
-          open.push(Entry{std::move(child), f});
+          open.push(Entry{std::move(spec.children[i][c]), f});
         } else {
           ++result.stats.duplicate_hits;
         }
@@ -259,6 +421,7 @@ SearchResult<State> astar_search(const State& initial,
       break;
     }
   }
+  result.stats.visited_evicted = visited.evicted();
   result.stats.elapsed_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)

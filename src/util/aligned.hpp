@@ -1,0 +1,46 @@
+// Cache-line/vector-register aligned storage for kernel hot paths.
+//
+// The Monte Carlo kernel walks contiguous per-lane rows and per-position SoA
+// arrays; starting every such array on a 64-byte boundary lets the
+// auto-vectorizer use aligned loads/stores and keeps rows from straddling an
+// extra cache line.  AlignedVector is std::vector with this allocator, so
+// all of vector's semantics (spans, iteration, resize) carry over.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace deco::util {
+
+template <typename T, std::size_t Alignment = 64>
+struct AlignedAllocator {
+  using value_type = T;
+  static constexpr std::align_val_t kAlign{Alignment};
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), kAlign));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, kAlign);
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// A std::vector whose buffer starts on a 64-byte boundary.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace deco::util

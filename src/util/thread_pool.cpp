@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace deco::util {
 
@@ -61,15 +62,34 @@ void ThreadPool::parallel_chunks(
   if (n == 0) return;
   const std::size_t chunks = std::min(n, size());
   const std::size_t per = (n + chunks - 1) / chunks;
+  // Exceptions are captured per chunk rather than thrown through the futures:
+  // rethrowing from the first future that fails would unwind this frame (and
+  // the caller's fn) while later chunks are still executing it.  Instead the
+  // join below always waits for *every* chunk, then deterministically
+  // rethrows the exception of the lowest-indexed failed chunk.
+  std::mutex error_mutex;
+  std::size_t error_chunk = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t begin = c * per;
     const std::size_t end = std::min(n, begin + per);
     if (begin >= end) break;
-    futures.push_back(submit([&fn, begin, end, c] { fn(begin, end, c); }));
+    futures.push_back(submit([&, begin, end, c] {
+      try {
+        fn(begin, end, c);
+      } catch (...) {
+        std::lock_guard guard(error_mutex);
+        if (c < error_chunk) {
+          error_chunk = c;
+          error = std::current_exception();
+        }
+      }
+    }));
   }
   for (auto& f : futures) f.get();
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace deco::util

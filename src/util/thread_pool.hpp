@@ -33,9 +33,14 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, n) split into roughly size() contiguous chunks,
   /// blocking until all complete.  fn must be safe to call concurrently.
+  /// If fn throws, the remaining indices of that chunk are skipped, every
+  /// other chunk still runs to completion before the join returns, and the
+  /// exception of the lowest-indexed failed chunk is rethrown.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Runs fn(chunk_begin, chunk_end, chunk_index) over contiguous chunks.
+  /// Always joins every chunk (fn may safely borrow the caller's stack even
+  /// on failure), then rethrows the first — lowest chunk index — exception.
   void parallel_chunks(
       std::size_t n,
       const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);

@@ -1,0 +1,235 @@
+#include "util/worksteal.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace deco::util {
+
+namespace {
+
+constexpr std::uint64_t pack(std::size_t begin, std::size_t end) {
+  return (static_cast<std::uint64_t>(begin) << 32) |
+         static_cast<std::uint64_t>(end);
+}
+
+constexpr std::size_t range_begin(std::uint64_t r) {
+  return static_cast<std::size_t>(r >> 32);
+}
+
+constexpr std::size_t range_end(std::uint64_t r) {
+  return static_cast<std::size_t>(r & 0xFFFFFFFFULL);
+}
+
+/// Owner side: claims up to `chunk` indices off the front of the deque.
+bool claim_front(std::atomic<std::uint64_t>& range, std::size_t chunk,
+                 std::size_t& begin, std::size_t& end) {
+  std::uint64_t cur = range.load(std::memory_order_acquire);
+  for (;;) {
+    const std::size_t b = range_begin(cur);
+    const std::size_t e = range_end(cur);
+    if (b >= e) return false;
+    const std::size_t take = std::min(e, b + chunk);
+    if (range.compare_exchange_weak(cur, pack(take, e),
+                                    std::memory_order_acq_rel)) {
+      begin = b;
+      end = take;
+      return true;
+    }
+  }
+}
+
+/// Thief side: splits off the back half of a victim's remaining range.
+bool steal_back(std::atomic<std::uint64_t>& range, std::size_t& begin,
+                std::size_t& end) {
+  std::uint64_t cur = range.load(std::memory_order_acquire);
+  for (;;) {
+    const std::size_t b = range_begin(cur);
+    const std::size_t e = range_end(cur);
+    // A single remaining block is the owner's: "stealing" it would split off
+    // an empty range and make thieves spin on successful-but-empty steals.
+    if (b >= e || e - b < 2) return false;
+    const std::size_t mid = b + (e - b + 1) / 2;  // victim keeps [b, mid)
+    if (range.compare_exchange_weak(cur, pack(b, mid),
+                                    std::memory_order_acq_rel)) {
+      begin = mid;
+      end = e;
+      return true;
+    }
+  }
+}
+
+}  // namespace
+
+WorkStealingPool::WorkStealingPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  slots_ = std::vector<Slot>(threads + 1);
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void WorkStealingPool::worker_loop(std::size_t id) {
+  // Worker `id` owns slot `id`; the caller of run() owns the last slot.
+  std::uint64_t seen = 0;
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    start_cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+    if (stopping_) return;
+    seen = generation_;
+    lock.unlock();
+    participate(id);
+    lock.lock();
+    ++workers_done_;
+    done_cv_.notify_all();
+  }
+}
+
+void WorkStealingPool::execute(std::size_t begin, std::size_t end,
+                               std::size_t participant) {
+  try {
+    (*fn_)(begin, end, participant);
+  } catch (...) {
+    std::lock_guard guard(error_mutex_);
+    if (!error_ || begin < error_block_) {
+      error_block_ = begin;
+      error_ = std::current_exception();
+    }
+  }
+  const std::size_t done =
+      blocks_done_.fetch_add(end - begin, std::memory_order_acq_rel) +
+      (end - begin);
+  if (done >= job_blocks_) {
+    // Last block of the launch: wake the caller, which may be parked in
+    // run() waiting for a straggler chunk after its own deque ran dry.
+    { std::lock_guard lock(mutex_); }
+    done_cv_.notify_all();
+  }
+}
+
+void WorkStealingPool::participate(std::size_t participant) {
+  Slot& own = slots_[participant];
+  const std::size_t chunk = job_chunk_;
+  const std::size_t total = job_blocks_;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  // After this many consecutive empty scans the participant gives up instead
+  // of spinning: every remaining block is mid-execution on another thread (a
+  // deque owner never leaves with a nonempty deque), so there is nothing
+  // left to help with.  A brief retry window is kept because a thief
+  // installing a freshly stolen range is invisible for a moment.
+  constexpr int kDryScanLimit = 16;
+  int dry_scans = 0;
+  while (blocks_done_.load(std::memory_order_acquire) < total) {
+    if (claim_front(own.range, chunk, begin, end)) {
+      own.chunks.fetch_add(1, std::memory_order_relaxed);
+      own.ran.store(true, std::memory_order_relaxed);
+      execute(begin, end, participant);
+      dry_scans = 0;
+      continue;
+    }
+    // Own deque dry: scan victims round-robin from the next participant and
+    // install the largest work we can get as our new deque.
+    bool stole = false;
+    for (std::size_t v = 1; v < slots_.size(); ++v) {
+      Slot& victim = slots_[(participant + v) % slots_.size()];
+      if (steal_back(victim.range, begin, end)) {
+        own.range.store(pack(begin, end), std::memory_order_release);
+        own.steals.fetch_add(1, std::memory_order_relaxed);
+        stole = true;
+        break;
+      }
+    }
+    if (stole) {
+      dry_scans = 0;
+      continue;
+    }
+    if (++dry_scans >= kDryScanLimit) return;
+    std::this_thread::yield();
+  }
+}
+
+WorkStealingPool::LaunchStats WorkStealingPool::run(
+    std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  LaunchStats stats;
+  if (n == 0) return stats;
+  stats.blocks = n;
+  chunk = std::max<std::size_t>(1, chunk);
+
+  // Single-chunk launches (one plan evaluated mid-search, tiny batches) run
+  // on the caller without waking the pool: the wake/join handshake would
+  // dwarf the work, and on an oversubscribed host the idle workers' dry
+  // scans would steal cycles from the one thread doing the block.
+  if (n <= chunk) {
+    stats.chunks = 1;
+    stats.participants = 1;
+    fn(0, n, slots_.size() - 1);
+    return stats;
+  }
+
+  {
+    std::lock_guard lock(mutex_);
+    fn_ = &fn;
+    job_blocks_ = n;
+    job_chunk_ = chunk;
+    blocks_done_.store(0, std::memory_order_relaxed);
+    workers_done_ = 0;
+    error_ = nullptr;
+    error_block_ = std::numeric_limits<std::size_t>::max();
+    // Seed every participant's deque with a contiguous share of the range;
+    // stealing rebalances from there.
+    const std::size_t participants = slots_.size();
+    const std::size_t per = n / participants;
+    const std::size_t rem = n % participants;
+    std::size_t cursor = 0;
+    for (std::size_t p = 0; p < participants; ++p) {
+      const std::size_t len = per + (p < rem ? 1 : 0);
+      slots_[p].range.store(pack(cursor, cursor + len),
+                            std::memory_order_relaxed);
+      slots_[p].chunks.store(0, std::memory_order_relaxed);
+      slots_[p].steals.store(0, std::memory_order_relaxed);
+      slots_[p].ran.store(false, std::memory_order_relaxed);
+      cursor += len;
+    }
+    ++generation_;
+  }
+  start_cv_.notify_all();
+
+  // The caller is the last participant.
+  participate(slots_.size() - 1);
+
+  {
+    // Wait for every worker to check in *and* every block to land: a worker
+    // may leave participate() early once nothing is claimable while the
+    // last chunks still execute elsewhere (execute() signals the final
+    // block), and conversely all blocks may be done while workers are still
+    // between their scan loop and their check-in.
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return workers_done_ == workers_.size() &&
+             blocks_done_.load(std::memory_order_acquire) >= job_blocks_;
+    });
+  }
+
+  for (const Slot& slot : slots_) {
+    stats.chunks += slot.chunks.load(std::memory_order_relaxed);
+    stats.steals += slot.steals.load(std::memory_order_relaxed);
+    if (slot.ran.load(std::memory_order_relaxed)) ++stats.participants;
+  }
+  if (error_) std::rethrow_exception(error_);
+  return stats;
+}
+
+}  // namespace deco::util

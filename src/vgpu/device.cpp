@@ -1,54 +1,66 @@
 #include "vgpu/device.hpp"
 
+#include <algorithm>
+
+#include "obs/obs.hpp"
+
 namespace deco::vgpu {
 
-std::unique_ptr<BlockContext> ComputeBackend::acquire_context() {
-  {
-    std::lock_guard<std::mutex> lock(pool_mutex_);
-    if (!pool_.empty()) {
-      auto ctx = std::move(pool_.back());
-      pool_.pop_back();
-      return ctx;
-    }
-  }
-  return std::make_unique<BlockContext>();
+namespace {
+
+/// Publishes one launch's occupancy/steal accounting to the obs registry.
+void record_launch(const LaunchInfo& info) {
+  DECO_OBS_COUNTER_ADD("vgpu.launches", 1);
+  DECO_OBS_COUNTER_ADD("vgpu.blocks", info.blocks);
+  DECO_OBS_COUNTER_ADD("vgpu.chunks", info.chunks);
+  DECO_OBS_COUNTER_ADD("vgpu.steals", info.steals);
+  DECO_OBS_GAUGE_SET("vgpu.last_participants",
+                     static_cast<double>(info.participants));
+#if defined(DECO_OBS_DISABLED)
+  (void)info;
+#endif
 }
 
-void ComputeBackend::release_context(std::unique_ptr<BlockContext> ctx) {
-  std::lock_guard<std::mutex> lock(pool_mutex_);
-  pool_.push_back(std::move(ctx));
-}
+}  // namespace
 
 void SerialBackend::launch(const LaunchConfig& config, const Kernel& kernel) {
-  // One pooled context serves every block in turn.
-  auto ctx = acquire_context();
+  // One context serves every block in turn (capacity persists across
+  // launches, so steady state allocates nothing).
   for (std::size_t b = 0; b < config.blocks; ++b) {
-    ctx->reset(b, config.lanes_per_block, config.shared_doubles,
-               block_rng(config, b));
-    kernel(*ctx);
+    context_.reset(b, config.lanes_per_block, config.shared_doubles,
+                   block_rng(config, b));
+    kernel(context_);
   }
-  release_context(std::move(ctx));
+  last_ = LaunchInfo{config.blocks, config.blocks, 0, config.blocks ? 1u : 0u};
+  record_launch(last_);
 }
 
-VirtualGpuBackend::VirtualGpuBackend(std::size_t workers) : pool_(workers) {}
+VirtualGpuBackend::VirtualGpuBackend(std::size_t workers)
+    : pool_(workers), contexts_(pool_.participant_count()) {}
 
 void VirtualGpuBackend::launch(const LaunchConfig& config,
                                const Kernel& kernel) {
-  // Each worker checks one context out for its contiguous chunk of blocks,
-  // so a launch touches at most worker_count() contexts regardless of block
-  // count, and steady-state launches allocate nothing.
-  pool_.parallel_chunks(
-      config.blocks, [&](std::size_t begin, std::size_t end, std::size_t) {
-        // A throwing kernel drops the context (unique_ptr unwinds) rather
-        // than returning it; the pool simply re-creates one next launch.
-        auto ctx = acquire_context();
+  // Chunked block claiming: coarse enough that a claim's CAS is amortized
+  // over several blocks, fine enough that stealing can rebalance a skewed
+  // tail (cached vs uncached plans differ a lot per block).
+  const std::size_t chunk = std::clamp<std::size_t>(
+      config.blocks / (4 * pool_.participant_count()), 1, 16);
+  const auto stats = pool_.run(
+      config.blocks, chunk,
+      [&](std::size_t begin, std::size_t end, std::size_t participant) {
+        // Each participant reuses its own pre-built context; the block index
+        // alone determines the kernel's inputs, so which participant runs a
+        // block cannot affect results.
+        BlockContext& ctx = contexts_[participant];
         for (std::size_t b = begin; b < end; ++b) {
-          ctx->reset(b, config.lanes_per_block, config.shared_doubles,
-                     block_rng(config, b));
-          kernel(*ctx);
+          ctx.reset(b, config.lanes_per_block, config.shared_doubles,
+                    block_rng(config, b));
+          kernel(ctx);
         }
-        release_context(std::move(ctx));
       });
+  last_ = LaunchInfo{stats.blocks, stats.chunks, stats.steals,
+                     stats.participants};
+  record_launch(last_);
 }
 
 std::unique_ptr<ComputeBackend> make_backend(const std::string& name,

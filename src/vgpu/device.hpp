@@ -10,15 +10,27 @@
 //   * a Block is a cooperative group of `lane_count` lanes with a private
 //     shared-memory scratch buffer;
 //   * blocks never communicate; lanes within a block reduce via shared();
-//   * VirtualGpuBackend schedules blocks over a thread pool (workers play the
-//     role of streaming multiprocessors); SerialBackend runs everything on
-//     the calling thread and is the baseline for the paper's speed-up
-//     comparisons (GPU vs CPU search).
+//   * lanes are dispatched in *batches* (run_lanes) so Monte Carlo inner
+//     loops are tight strided loops over contiguous per-lane arrays, not
+//     per-lane indirect calls;
+//   * VirtualGpuBackend schedules blocks over a work-stealing dispatcher
+//     (participants play the role of streaming multiprocessors, claiming
+//     chunks of blocks and stealing from laggards); SerialBackend runs
+//     everything on the calling thread and is the baseline for the paper's
+//     speed-up comparisons (GPU vs CPU search).
 //
-// Block contexts are pooled and reused across launches (their shared-memory
-// buffer and scratch arena keep their capacity), mirroring how real shared
-// memory is a fixed hardware resource rather than a per-launch allocation —
-// and keeping the Monte Carlo hot path allocation-free.
+// Determinism contract: a block's entire RNG state derives from its seed
+// (LaunchConfig::seed or block_seeds) and each lane's stream from
+// lane_seed(lane) — counter-based per-(block, lane) streams.  No kernel
+// input depends on which participant executes a block or in what order, so
+// serial and work-stealing execution are bit-identical at any worker count
+// (tests/vgpu/parallel_determinism_test.cpp holds this for the evaluator).
+//
+// Block contexts are pooled/per-participant and reused across launches
+// (their shared-memory buffer and scratch arena keep their capacity),
+// mirroring how real shared memory is a fixed hardware resource rather than
+// a per-launch allocation — and keeping the Monte Carlo hot path
+// allocation-free.
 //
 // Substitution note (DESIGN.md): no CUDA device is available in this
 // environment; the backend preserves the paper's kernel decomposition and
@@ -34,8 +46,9 @@
 #include <string>
 #include <vector>
 
+#include "util/aligned.hpp"
 #include "util/rng.hpp"
-#include "util/thread_pool.hpp"
+#include "util/worksteal.hpp"
 
 namespace deco::vgpu {
 
@@ -73,9 +86,10 @@ class BlockContext {
 
   /// Borrows `count` doubles from the block's reusable scratch arena — the
   /// software analogue of statically-sized per-block local arrays.  Buffers
-  /// stay valid until the next reset(); contents are unspecified until
-  /// written, so lane-reset accumulators must be cleared by the kernel.
-  /// Repeated borrows return distinct buffers (stable across arena growth).
+  /// are 64-byte aligned and stay valid until the next reset(); contents are
+  /// unspecified until written, so lane-reset accumulators must be cleared
+  /// by the kernel.  Repeated borrows return distinct buffers (stable across
+  /// arena growth).
   std::span<double> scratch_doubles(std::size_t count) {
     if (scratch_cursor_ == scratch_.size()) scratch_.emplace_back();
     auto& buf = scratch_[scratch_cursor_++];
@@ -83,18 +97,30 @@ class BlockContext {
     return {buf.data(), count};
   }
 
-  /// Runs fn(lane, rng) for every lane with a deterministic per-lane RNG
-  /// stream derived from the block stream.  Lanes may be executed in any
-  /// order; they must only communicate through shared() after the loop.
-  /// Statically dispatched (no std::function) so per-lane Monte Carlo
-  /// kernels pay no indirect-call overhead.
+  /// Lane-batched dispatch: runs fn(lane_begin, lane_end) over [begin, end).
+  /// fn walks the lane range itself — typically a tight strided loop over
+  /// contiguous per-lane arrays, pulling each lane's deterministic stream
+  /// seed from lane_seed() — so the Monte Carlo inner loop carries no
+  /// per-lane call overhead at all.  Statically dispatched (no
+  /// std::function).
+  template <typename Fn>
+  void run_lanes(std::size_t begin, std::size_t end, Fn&& fn) {
+    fn(begin, std::min(end, lane_count_));
+  }
+
+  /// Per-lane convenience over run_lanes: fn(lane, rng) with a deterministic
+  /// per-lane RNG stream derived from the block stream.  Lanes may be
+  /// executed in any order; they must only communicate through shared()
+  /// after the loop.
   template <typename Fn>
   void for_each_lane(Fn&& fn) {
-    util::Rng lane_rng;
-    for (std::size_t lane = 0; lane < lane_count_; ++lane) {
-      lane_rng.reseed(lane_seed(lane));
-      fn(lane, lane_rng);
-    }
+    run_lanes(0, lane_count_, [&](std::size_t begin, std::size_t end) {
+      util::Rng lane_rng;
+      for (std::size_t lane = begin; lane < end; ++lane) {
+        lane_rng.reseed(lane_seed(lane));
+        fn(lane, lane_rng);
+      }
+    });
   }
 
   /// Seed of lane `lane`'s RNG stream: the block base draw (computed once at
@@ -106,14 +132,16 @@ class BlockContext {
  private:
   std::size_t block_index_ = 0;
   std::size_t lane_count_ = 0;
-  std::vector<double> shared_;
-  std::vector<std::vector<double>> scratch_;
+  util::AlignedVector<double> shared_;
+  std::vector<util::AlignedVector<double>> scratch_;
   std::size_t scratch_cursor_ = 0;
   util::Rng rng_;
   std::uint64_t lane_base_ = 0;
 };
 
-/// Kernel: executed once per block.
+/// Kernel: executed once per block (per-block type erasure only; the
+/// per-lane hot loop inside a block goes through run_lanes and stays
+/// statically dispatched).
 using Kernel = std::function<void(BlockContext&)>;
 
 struct LaunchConfig {
@@ -128,6 +156,15 @@ struct LaunchConfig {
   std::vector<std::uint64_t> block_seeds;
 };
 
+/// Occupancy/steal accounting of the most recent launch (vgpu backend; the
+/// serial backend reports one participant and zero steals).
+struct LaunchInfo {
+  std::size_t blocks = 0;
+  std::size_t chunks = 0;        ///< work-stealing chunk claims
+  std::size_t steals = 0;        ///< successful range steals
+  std::size_t participants = 0;  ///< threads that executed >= 1 block
+};
+
 /// Abstract device.
 class ComputeBackend {
  public:
@@ -135,6 +172,9 @@ class ComputeBackend {
   virtual std::string name() const = 0;
   /// Runs `kernel` for every block in the config; returns after all blocks.
   virtual void launch(const LaunchConfig& config, const Kernel& kernel) = 0;
+  /// Occupancy/steal stats of the most recent launch (also mirrored to the
+  /// obs registry under "vgpu.*" counters).
+  virtual LaunchInfo last_launch() const { return {}; }
 
  protected:
   static util::Rng block_rng(const LaunchConfig& config, std::size_t block) {
@@ -143,16 +183,6 @@ class ComputeBackend {
     }
     return util::Rng(config.seed ^ (0xD5A61266F0C9392CULL * (block + 1)));
   }
-
-  /// Checks a pooled context out of `pool_`; creates one when the pool runs
-  /// dry (first launch, or more concurrent workers than ever before).
-  std::unique_ptr<BlockContext> acquire_context();
-  /// Returns a context to the pool for reuse by later blocks/launches.
-  void release_context(std::unique_ptr<BlockContext> ctx);
-
- private:
-  std::mutex pool_mutex_;
-  std::vector<std::unique_ptr<BlockContext>> pool_;
 };
 
 /// Runs every block on the calling thread (the paper's CPU baseline shape).
@@ -160,19 +190,32 @@ class SerialBackend final : public ComputeBackend {
  public:
   std::string name() const override { return "serial"; }
   void launch(const LaunchConfig& config, const Kernel& kernel) override;
+  LaunchInfo last_launch() const override { return last_; }
+
+ private:
+  BlockContext context_;  // reused across every block and launch
+  LaunchInfo last_;
 };
 
-/// Schedules blocks over a worker pool; semantics identical to SerialBackend.
+/// Schedules blocks over a work-stealing participant pool; semantics
+/// identical to SerialBackend (bit-identical results at any worker count).
 class VirtualGpuBackend final : public ComputeBackend {
  public:
   /// `workers` = number of simulated multiprocessors (0 = hardware threads).
+  /// The launching thread participates too, so blocks run on up to
+  /// workers + 1 threads.
   explicit VirtualGpuBackend(std::size_t workers = 0);
   std::string name() const override { return "vgpu"; }
   void launch(const LaunchConfig& config, const Kernel& kernel) override;
+  LaunchInfo last_launch() const override { return last_; }
   std::size_t worker_count() const { return pool_.size(); }
 
  private:
-  util::ThreadPool pool_;
+  util::WorkStealingPool pool_;
+  // One pre-built context per participant, indexed by the dispatcher's
+  // stable participant id: no pool mutex, no allocation on the launch path.
+  std::vector<BlockContext> contexts_;
+  LaunchInfo last_;
 };
 
 /// Factory used by engine options ("serial" | "vgpu").

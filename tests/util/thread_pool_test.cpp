@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace deco::util {
@@ -69,6 +73,53 @@ TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
   ThreadPool pool(1);
   auto fut = pool.submit([] { throw std::runtime_error("boom"); });
   EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelChunksPropagatesFirstException) {
+  // Every chunk throws; the rethrown exception must be the lowest-indexed
+  // chunk's, regardless of completion order.
+  ThreadPool pool(4);
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    try {
+      pool.parallel_chunks(64, [](std::size_t, std::size_t, std::size_t c) {
+        throw std::runtime_error(std::to_string(c));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "0");
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelChunksJoinsAllChunksBeforeRethrow) {
+  // A throwing chunk must not unwind parallel_chunks while sibling chunks
+  // are still executing fn (fn borrows this frame's locals).
+  ThreadPool pool(4);
+  std::atomic<int> started{0};
+  std::atomic<int> finished{0};
+  EXPECT_THROW(
+      pool.parallel_chunks(64,
+                           [&](std::size_t b, std::size_t, std::size_t) {
+                             started.fetch_add(1);
+                             if (b == 0) throw std::runtime_error("boom");
+                             std::this_thread::sleep_for(
+                                 std::chrono::milliseconds(20));
+                             finished.fetch_add(1);
+                           }),
+      std::runtime_error);
+  // By the time the exception surfaced, every started chunk had returned.
+  EXPECT_EQ(finished.load(), started.load() - 1);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 57) {
+                                     throw std::invalid_argument("57");
+                                   }
+                                 }),
+               std::invalid_argument);
 }
 
 TEST(ThreadPoolTest, ParallelSumMatchesSerial) {

@@ -1,0 +1,131 @@
+#include "util/worksteal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace deco::util {
+namespace {
+
+TEST(WorkStealingPoolTest, DefaultHasAtLeastOneWorker) {
+  WorkStealingPool pool;
+  EXPECT_GE(pool.size(), 1u);
+  EXPECT_EQ(pool.participant_count(), pool.size() + 1);
+}
+
+TEST(WorkStealingPoolTest, CoversRangeExactlyOnce) {
+  WorkStealingPool pool(3);
+  std::vector<std::atomic<int>> hits(1013);
+  const auto stats = pool.run(hits.size(), 4,
+                              [&](std::size_t b, std::size_t e, std::size_t) {
+                                for (std::size_t i = b; i < e; ++i) {
+                                  hits[i].fetch_add(1);
+                                }
+                              });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(stats.blocks, hits.size());
+  EXPECT_GE(stats.chunks, 1u);
+  EXPECT_GE(stats.participants, 1u);
+  EXPECT_LE(stats.participants, pool.participant_count());
+}
+
+TEST(WorkStealingPoolTest, ZeroBlocksIsNoop) {
+  WorkStealingPool pool(2);
+  bool called = false;
+  const auto stats =
+      pool.run(0, 1, [&](std::size_t, std::size_t, std::size_t) {
+        called = true;
+      });
+  EXPECT_FALSE(called);
+  EXPECT_EQ(stats.blocks, 0u);
+  EXPECT_EQ(stats.chunks, 0u);
+}
+
+TEST(WorkStealingPoolTest, FewerBlocksThanParticipants) {
+  WorkStealingPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.run(hits.size(), 1, [&](std::size_t b, std::size_t e, std::size_t) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkStealingPoolTest, ParticipantIdsAreInRange) {
+  WorkStealingPool pool(3);
+  std::atomic<std::size_t> max_id{0};
+  pool.run(256, 2, [&](std::size_t, std::size_t, std::size_t participant) {
+    std::size_t cur = max_id.load();
+    while (participant > cur && !max_id.compare_exchange_weak(cur, participant)) {
+    }
+  });
+  EXPECT_LT(max_id.load(), pool.participant_count());
+}
+
+TEST(WorkStealingPoolTest, ReusableAcrossLaunches) {
+  WorkStealingPool pool(2);
+  for (int launch = 0; launch < 50; ++launch) {
+    std::vector<std::atomic<int>> hits(97);
+    pool.run(hits.size(), 3, [&](std::size_t b, std::size_t e, std::size_t) {
+      for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+  }
+}
+
+TEST(WorkStealingPoolTest, RethrowsLowestBlockException) {
+  WorkStealingPool pool(4);
+  // Every chunk throws, tagged with its begin index; the launch must
+  // deterministically surface the lowest one no matter the schedule.
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    try {
+      pool.run(128, 2, [&](std::size_t b, std::size_t, std::size_t) {
+        throw std::runtime_error(std::to_string(b));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "0");
+    }
+  }
+}
+
+TEST(WorkStealingPoolTest, LaunchCompletesAndPoolSurvivesException) {
+  WorkStealingPool pool(2);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(pool.run(200, 4,
+                        [&](std::size_t b, std::size_t e, std::size_t) {
+                          if (b == 0) throw std::runtime_error("boom");
+                          executed.fetch_add(static_cast<int>(e - b));
+                        }),
+               std::runtime_error);
+  // Every non-throwing block still ran (the launch never abandons work).
+  EXPECT_GE(executed.load(), 1);
+  // The pool is reusable after a throwing launch.
+  std::atomic<int> count{0};
+  pool.run(64, 4, [&](std::size_t b, std::size_t e, std::size_t) {
+    count.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(WorkStealingPoolTest, SkewedBlocksGetRebalanced) {
+  // All the heavy work sits at the front of the range (one participant's
+  // initial share); with stealing, the sum still comes out exact.
+  WorkStealingPool pool(3);
+  std::atomic<long long> sum{0};
+  const std::size_t n = 512;
+  pool.run(n, 1, [&](std::size_t b, std::size_t e, std::size_t) {
+    for (std::size_t i = b; i < e; ++i) {
+      volatile long long spin = 0;
+      const int iters = i < 32 ? 20000 : 10;
+      for (int k = 0; k < iters; ++k) spin += k;
+      sum.fetch_add(static_cast<long long>(i));
+    }
+  });
+  EXPECT_EQ(sum.load(), static_cast<long long>(n * (n - 1) / 2));
+}
+
+}  // namespace
+}  // namespace deco::util

@@ -1,0 +1,144 @@
+// The tentpole invariant of the parallel substrate: the work-stealing vgpu
+// backend produces bit-identical PlanEvaluations to the serial backend at
+// *any* worker count, for every cost model.  Block seeds derive from the
+// plan payload and lane streams from the block stream, so neither batch
+// composition nor participant scheduling can leak into results.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "sim/plan.hpp"
+#include "tests/core/test_fixtures.hpp"
+#include "util/rng.hpp"
+#include "vgpu/device.hpp"
+#include "workflow/generators.hpp"
+
+namespace deco::core {
+namespace {
+
+using testing::ec2;
+using testing::store;
+
+// Bitwise equality: the contract is "bit-identical", not "close".
+void expect_bitwise_equal(const PlanEvaluation& a, const PlanEvaluation& b,
+                          const char* context) {
+  EXPECT_EQ(std::memcmp(&a.mean_cost, &b.mean_cost, sizeof(double)), 0)
+      << context << ": mean_cost " << a.mean_cost << " vs " << b.mean_cost;
+  EXPECT_EQ(std::memcmp(&a.mean_makespan, &b.mean_makespan, sizeof(double)), 0)
+      << context << ": mean_makespan " << a.mean_makespan << " vs "
+      << b.mean_makespan;
+  EXPECT_EQ(
+      std::memcmp(&a.makespan_quantile, &b.makespan_quantile, sizeof(double)),
+      0)
+      << context << ": makespan_quantile";
+  EXPECT_EQ(std::memcmp(&a.deadline_prob, &b.deadline_prob, sizeof(double)), 0)
+      << context << ": deadline_prob";
+  EXPECT_EQ(a.feasible, b.feasible) << context << ": feasible";
+}
+
+std::vector<sim::Plan> make_plans(std::size_t tasks, std::size_t count,
+                                  std::size_t types) {
+  std::vector<sim::Plan> plans;
+  util::Rng rng(17);
+  for (std::size_t i = 0; i < count; ++i) {
+    sim::Plan plan = sim::Plan::uniform(tasks, 0);
+    for (std::size_t t = 0; t < tasks; ++t) {
+      plan[t].vm_type = static_cast<cloud::TypeId>(rng.below(types));
+      // A few grouped placements so billed-hours grouping is exercised.
+      if (rng.chance(0.3)) plan[t].group = static_cast<std::int32_t>(t % 3);
+    }
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+TEST(ParallelDeterminismTest, VgpuMatchesSerialAtEveryWorkerCount) {
+  util::Rng rng(5);
+  const auto wf = workflow::make_montage(1, rng);
+  const auto plans = make_plans(wf.task_count(), 12, ec2().type_count());
+  const ProbDeadline req{0.9, 3000};
+
+  std::vector<std::size_t> worker_counts{1, 2};
+  const std::size_t hw = std::max<std::size_t>(
+      1, std::thread::hardware_concurrency());
+  if (hw != 1 && hw != 2) worker_counts.push_back(hw);
+
+  for (CostModel model : {CostModel::kProrated, CostModel::kBilledHours}) {
+    EvalOptions opt;
+    opt.mc_iterations = 200;
+    opt.cost_model = model;
+
+    TaskTimeEstimator serial_est(ec2(), store());
+    vgpu::SerialBackend serial_backend;
+    PlanEvaluator serial_eval(wf, serial_est, serial_backend, opt);
+    const auto expected = serial_eval.evaluate_batch(plans, req);
+
+    for (std::size_t workers : worker_counts) {
+      TaskTimeEstimator est(ec2(), store());
+      vgpu::VirtualGpuBackend backend(workers);
+      PlanEvaluator eval(wf, est, backend, opt);
+      const auto got = eval.evaluate_batch(plans, req);
+      ASSERT_EQ(got.size(), expected.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        const std::string context =
+            "model=" + std::to_string(static_cast<int>(model)) +
+            " workers=" + std::to_string(workers) +
+            " plan=" + std::to_string(i);
+        expect_bitwise_equal(expected[i], got[i], context.c_str());
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, SinglePlanMatchesBatchedEvaluation) {
+  // Block seeds are payload-derived, so a plan scores identically whether
+  // evaluated alone or inside a batch, serial or parallel.
+  util::Rng rng(5);
+  const auto wf = workflow::make_montage(1, rng);
+  const auto plans = make_plans(wf.task_count(), 6, ec2().type_count());
+  const ProbDeadline req{0.9, 3000};
+  EvalOptions opt;
+  opt.mc_iterations = 150;
+
+  TaskTimeEstimator est(ec2(), store());
+  vgpu::VirtualGpuBackend backend(2);
+  PlanEvaluator eval(wf, est, backend, opt);
+  const auto batched = eval.evaluate_batch(plans, req);
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    const auto solo = eval.evaluate(plans[i], req);
+    expect_bitwise_equal(batched[i], solo,
+                         ("solo-vs-batch plan=" + std::to_string(i)).c_str());
+  }
+}
+
+TEST(ParallelDeterminismTest, RepeatedLaunchesAreStable) {
+  // Context reuse across launches must not leak state between evaluations.
+  util::Rng rng(9);
+  const auto wf = workflow::make_cybershake(20, rng);
+  const auto plans = make_plans(wf.task_count(), 8, ec2().type_count());
+  const ProbDeadline req{0.9, 3000};
+  EvalOptions opt;
+  opt.mc_iterations = 100;
+
+  TaskTimeEstimator est(ec2(), store());
+  vgpu::VirtualGpuBackend backend(3);
+  PlanEvaluator eval(wf, est, backend, opt);
+  const auto first = eval.evaluate_batch(plans, req);
+  for (int round = 0; round < 3; ++round) {
+    const auto again = eval.evaluate_batch(plans, req);
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      expect_bitwise_equal(first[i], again[i],
+                           ("round=" + std::to_string(round) +
+                            " plan=" + std::to_string(i))
+                               .c_str());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace deco::core
