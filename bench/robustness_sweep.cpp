@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "cloud/control_plane.hpp"
 #include "obs/metrics.hpp"
 #include "util/table.hpp"
 #include "wms/reactive.hpp"
@@ -145,7 +146,86 @@ Row run_reactive(const workflow::Workflow& wf, wms::Scheduler& primary,
   return row;
 }
 
-bool write_json(const std::vector<Row>& rows, const std::string& path) {
+/// One cell of the control-plane fault grid: throttle rate x capacity-outage
+/// duration, executed open-loop through cloud::ControlPlane.
+struct CloudRow {
+  double throttle_rate = 0;   ///< API tokens per second (0 = unthrottled)
+  double outage_s = 0;        ///< mean capacity-outage duration (0 = none)
+  int runs = 0;
+  double avg_makespan = 0;
+  double makespan_inflation = 1;  ///< vs the fault-free cell of the grid
+  cloud::ApiStats api;            ///< summed over all runs of the cell
+};
+
+cloud::ApiStats& operator+=(cloud::ApiStats& a, const cloud::ApiStats& b) {
+  a.calls += b.calls;
+  a.throttled += b.throttled;
+  a.capacity_denials += b.capacity_denials;
+  a.transient_errors += b.transient_errors;
+  a.retries += b.retries;
+  a.fallbacks += b.fallbacks;
+  a.exhausted += b.exhausted;
+  a.breaker_opens += b.breaker_opens;
+  a.breaker_waits += b.breaker_waits;
+  a.spot_interruptions += b.spot_interruptions;
+  return a;
+}
+
+/// Sweeps API-level faults: unlike the failure-model sweep above (which
+/// kills instances and tasks), these faults only delay or redirect
+/// *provisioning*, so the signature is makespan inflation plus retry and
+/// fallback counts rather than deadline misses.
+std::vector<CloudRow> run_cloud_sweep(const workflow::Workflow& wf,
+                                      const sim::Plan& plan,
+                                      util::Table& table) {
+  const double throttle_rates[] = {0.0, 0.2, 0.05};
+  const double outage_durations[] = {0.0, 300.0, 1800.0};
+  std::vector<CloudRow> rows;
+  double base_makespan = 0;
+  for (const double rate : throttle_rates) {
+    for (const double outage : outage_durations) {
+      CloudRow row;
+      row.throttle_rate = rate;
+      row.outage_s = outage;
+      row.runs = kRuns;
+      for (int i = 0; i < kRuns; ++i) {
+        cloud::ControlPlaneOptions cp;
+        cp.faults.throttle_rate_per_s = rate;
+        cp.faults.throttle_burst = 2;
+        cp.faults.capacity_mtbo_s = outage > 0 ? 3600.0 : 0.0;
+        cp.faults.capacity_outage_s = outage;
+        cp.faults.transient_error_prob = 0.02;
+        cp.seed = 4000 + static_cast<std::uint64_t>(i);
+        cloud::ControlPlane plane(bench::env().catalog, cp);
+        sim::ExecutorOptions options;
+        options.control = &plane;
+        util::Rng rng(5000 + static_cast<std::uint64_t>(i));
+        const auto r = sim::simulate_execution(wf, plan, bench::env().catalog,
+                                               rng, options);
+        row.avg_makespan += r.makespan;
+        row.api += plane.stats();
+      }
+      row.avg_makespan /= kRuns;
+      if (rate == 0.0 && outage == 0.0) base_makespan = row.avg_makespan;
+      row.makespan_inflation =
+          base_makespan > 0 ? row.avg_makespan / base_makespan : 1.0;
+      table.add_row({wf.name(), util::Table::num(rate, 2),
+                     util::Table::num(outage, 0),
+                     util::Table::num(row.makespan_inflation, 3),
+                     util::Table::num(static_cast<double>(row.api.throttled) /
+                                          kRuns, 1),
+                     util::Table::num(static_cast<double>(row.api.retries) /
+                                          kRuns, 1),
+                     util::Table::num(static_cast<double>(row.api.fallbacks) /
+                                          kRuns, 1)});
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+bool write_json(const std::vector<Row>& rows, const std::vector<CloudRow>& cloud_rows,
+                const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -171,8 +251,27 @@ bool write_json(const std::vector<Row>& rows, const std::string& path) {
         r.avg_makespan, r.avg_replans, r.avg_disruptions,
         i + 1 < rows.size() ? "," : "");
   }
-  // Aggregate simulator/reactive counters captured over the whole sweep
-  // (sim.failures.*, wms.reactive.*), recorded alongside the summary rows.
+  // Control-plane fault grid: throttle rate x outage duration, with the
+  // summed cloud.api.* statistics of each cell.
+  std::fprintf(f, "  ],\n  \"cloud_api\": [\n");
+  for (std::size_t i = 0; i < cloud_rows.size(); ++i) {
+    const CloudRow& r = cloud_rows[i];
+    std::fprintf(
+        f,
+        "    {\"throttle_rate_per_s\": %.2f, \"outage_s\": %.0f, "
+        "\"runs\": %d, \"avg_makespan\": %.1f, \"makespan_inflation\": %.3f, "
+        "\"calls\": %zu, \"throttled\": %zu, \"capacity_denials\": %zu, "
+        "\"transient_errors\": %zu, \"retries\": %zu, \"fallbacks\": %zu, "
+        "\"exhausted\": %zu, \"breaker_opens\": %zu}%s\n",
+        r.throttle_rate, r.outage_s, r.runs, r.avg_makespan,
+        r.makespan_inflation, r.api.calls, r.api.throttled,
+        r.api.capacity_denials, r.api.transient_errors, r.api.retries,
+        r.api.fallbacks, r.api.exhausted, r.api.breaker_opens,
+        i + 1 < cloud_rows.size() ? "," : "");
+  }
+  // Aggregate simulator/reactive/control-plane counters captured over the
+  // whole sweep (sim.failures.*, wms.reactive.*, cloud.api.*,
+  // cloud.breaker.*), recorded alongside the summary rows.
   const std::string metrics =
       obs::to_json(obs::Registry::instance().snapshot());
   std::fprintf(f, "  ],\n  \"metrics\": %s\n}\n", metrics.c_str());
@@ -251,7 +350,24 @@ int main(int argc, char** argv) {
       "converts static misses into replans and extra spend; where the\n"
       "deadline is tight even failure-free (CyberShake), replanning buys\n"
       "little and mostly shows up as cost inflation.\n");
-  if (!write_json(rows, out)) return 1;
+
+  // Control-plane API fault grid on Montage with the Deco plan: throttling
+  // and capacity outages delay acquisition (retries, fallbacks) but must
+  // never fail a run outright.
+  std::printf("\ncontrol-plane fault grid (Montage, deco plan):\n");
+  util::Table cloud_table({"workflow", "throttle/s", "outage_s", "inflation",
+                           "throttled", "retries", "fallbacks"});
+  util::Rng wf_rng(7);
+  const workflow::Workflow montage = workflow::make_montage(1, wf_rng);
+  const auto montage_req = core::ProbDeadline{
+      0.9, bench::deadline_bounds(montage).medium()};
+  const sim::Plan montage_plan =
+      engine.schedule(montage, montage_req, sched).plan;
+  const std::vector<CloudRow> cloud_rows =
+      run_cloud_sweep(montage, montage_plan, cloud_table);
+  std::printf("%s", cloud_table.to_string().c_str());
+
+  if (!write_json(rows, cloud_rows, out)) return 1;
   std::printf("\nwrote %s\n", out.c_str());
   return 0;
 }

@@ -1,0 +1,133 @@
+#include "cloud/provisioner.hpp"
+
+#include <algorithm>
+
+#include "obs/obs.hpp"
+
+namespace deco::cloud {
+
+void Provisioner::set_desired(TypeId type, RegionId region,
+                              std::size_t count) {
+  const SlotKey key{type, region};
+  if (count == 0) {
+    desired_.erase(key);
+  } else {
+    desired_[key] = count;
+  }
+}
+
+std::size_t Provisioner::desired(TypeId type, RegionId region) const {
+  const auto it = desired_.find(SlotKey{type, region});
+  return it == desired_.end() ? 0 : it->second;
+}
+
+std::size_t Provisioner::desired_total() const {
+  std::size_t total = 0;
+  for (const auto& [key, count] : desired_) total += count;
+  return total;
+}
+
+std::size_t Provisioner::degraded_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(fleet_.begin(), fleet_.end(),
+                    [](const ManagedInstance& m) { return m.degraded; }));
+}
+
+ReconcileActions Provisioner::reconcile(double now) {
+  ReconcileActions actions;
+  DECO_OBS_COUNTER_ADD("cloud.reconcile.loops", 1);
+
+  // Observe through the eventually-consistent describe: a launch is only
+  // visible once it is older than the lag.  The describe call itself goes
+  // through the API (throttling applies; its completion time bounds what
+  // "now" the observation reflects).
+  const double observed_at = control_->complete_call(ApiOp::kDescribe, now);
+  const double lag = control_->options().faults.describe_lag_s;
+  auto visible = [&](const ManagedInstance& m) {
+    return m.ready_at + lag <= observed_at;
+  };
+
+  // Count visible instances per desired slot (a degraded grant satisfies
+  // the slot it was launched for).
+  std::map<SlotKey, std::size_t> observed;
+  for (const ManagedInstance& m : fleet_) {
+    if (visible(m)) ++observed[m.desired];
+  }
+
+  // Launch what is missing.
+  bool all_present = true;
+  for (const auto& [key, want] : desired_) {
+    const std::size_t have = observed.count(key) ? observed[key] : 0;
+    for (std::size_t i = have; i < want; ++i) {
+      const ProvisionGrant grant =
+          control_->provision(key.type, key.region, now);
+      if (!grant.ok) {
+        ++actions.failed_launches;
+        DECO_OBS_COUNTER_ADD("cloud.reconcile.failed_launches", 1);
+        all_present = false;
+        continue;
+      }
+      ManagedInstance m;
+      m.id = next_id_++;
+      m.desired = key;
+      m.granted_type = grant.type;
+      m.granted_region = grant.region;
+      m.ready_at = grant.ready_at;
+      m.degraded = grant.fell_back;
+      fleet_.push_back(m);
+      actions.launched.push_back(m);
+      DECO_OBS_COUNTER_ADD("cloud.reconcile.launches", 1);
+      if (m.degraded) DECO_OBS_COUNTER_ADD("cloud.reconcile.degraded", 1);
+      // Invisible until the describe lag passes: not converged yet.
+      if (!visible(m)) all_present = false;
+    }
+  }
+
+  // Terminate surplus: slots no longer desired, or over-provisioned slots
+  // (the describe lag makes duplicate launches possible; newest go first so
+  // the longest-lived — and already-billed — capacity survives).
+  std::map<SlotKey, std::size_t> keep = observed;
+  for (auto it = fleet_.rbegin(); it != fleet_.rend();) {
+    const ManagedInstance& m = *it;
+    const auto want_it = desired_.find(m.desired);
+    const std::size_t want =
+        want_it == desired_.end() ? 0 : want_it->second;
+    std::size_t& have = keep[m.desired];
+    const bool surplus = visible(m) && have > want;
+    if (surplus) {
+      control_->complete_call(ApiOp::kTerminate, now);
+      actions.terminated.push_back(m.id);
+      DECO_OBS_COUNTER_ADD("cloud.reconcile.terminates", 1);
+      --have;
+      it = decltype(it)(fleet_.erase(std::next(it).base()));
+    } else {
+      ++it;
+    }
+  }
+
+  // Converged: every desired slot fully visible, nothing failed, and no
+  // surplus left behind.
+  actions.converged = all_present && actions.failed_launches == 0;
+  for (const auto& [key, want] : desired_) {
+    std::size_t have = 0;
+    for (const ManagedInstance& m : fleet_) {
+      if (m.desired == key && visible(m)) ++have;
+    }
+    if (have != want) actions.converged = false;
+  }
+  if (actions.converged) DECO_OBS_COUNTER_ADD("cloud.reconcile.converged", 1);
+  return actions;
+}
+
+std::size_t Provisioner::reconcile_until_converged(double now,
+                                                   double loop_interval_s,
+                                                   std::size_t max_loops) {
+  const double step = std::max(loop_interval_s, 1.0);
+  for (std::size_t loop = 1; loop <= max_loops; ++loop) {
+    if (reconcile(now).converged) return loop;
+    now += step;
+  }
+  return max_loops;
+}
+
+}  // namespace deco::cloud

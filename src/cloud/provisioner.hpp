@@ -1,0 +1,91 @@
+// Reconciling provisioner: desired-state instance management over the
+// simulated control plane.
+//
+// A production fleet manager does not call acquire once and hope: it runs a
+// reconcile loop that continuously compares the *desired* instance set
+// against the *observed* one and issues the API calls that close the gap —
+// Kubernetes-style level-triggered control applied to IaaS capacity.
+// Provisioner implements that loop on top of cloud::ControlPlane:
+//
+//   * desired state is a count per (instance type, region) slot;
+//   * observed state is the provisioner's own launch ledger filtered
+//     through the control plane's eventually-consistent describe lag, so a
+//     freshly launched instance is invisible for `describe_lag_s` — the
+//     classic over-provisioning hazard a correct reconciler must converge
+//     out of (surplus is detected and terminated on a later loop);
+//   * launches go through ControlPlane::provision, so throttling, capacity
+//     outages and breaker state all apply; when capacity for the desired
+//     type stays exhausted the grant falls back to an alternate type or
+//     region and the slot is recorded as *degraded* — the fleet is whole,
+//     just not with the hardware the plan asked for.
+//
+// The provisioner is pool-agnostic: it returns the actions it took and
+// leaves applying them (e.g. to a sim::CloudPool) to the caller, which
+// keeps the cloud layer free of a dependency on the simulator.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cloud/control_plane.hpp"
+
+namespace deco::cloud {
+
+/// One desired-capacity slot key.
+struct SlotKey {
+  TypeId type = 0;
+  RegionId region = 0;
+  auto operator<=>(const SlotKey&) const = default;
+};
+
+/// One instance the provisioner launched and still tracks.
+struct ManagedInstance {
+  std::uint64_t id = 0;       ///< provisioner-local handle
+  SlotKey desired;            ///< the slot this launch satisfies
+  TypeId granted_type = 0;    ///< actual hardware (== desired unless degraded)
+  RegionId granted_region = 0;
+  double ready_at = 0;        ///< virtual launch-grant time
+  bool degraded = false;      ///< granted from a fallback candidate
+};
+
+/// What one reconcile pass did.
+struct ReconcileActions {
+  std::vector<ManagedInstance> launched;
+  std::vector<std::uint64_t> terminated;  ///< ManagedInstance ids released
+  std::size_t failed_launches = 0;        ///< provision() exhausted
+  bool converged = false;  ///< observed state matched desired state
+};
+
+class Provisioner {
+ public:
+  /// Borrows the control plane; it must outlive the provisioner.
+  explicit Provisioner(ControlPlane& control) : control_(&control) {}
+
+  /// Sets the desired instance count for a slot (0 removes it).
+  void set_desired(TypeId type, RegionId region, std::size_t count);
+  std::size_t desired(TypeId type, RegionId region) const;
+  std::size_t desired_total() const;
+
+  /// Instances currently tracked (launched and not terminated).
+  const std::vector<ManagedInstance>& fleet() const { return fleet_; }
+  std::size_t degraded_count() const;
+
+  /// One reconcile pass at virtual time `now`: observes the fleet through
+  /// the describe lag, launches what is missing, terminates surplus.
+  ReconcileActions reconcile(double now);
+
+  /// Loops reconcile until convergence or `max_loops`, advancing virtual
+  /// time by `loop_interval_s` between passes.  Returns the number of
+  /// passes run (== max_loops when convergence was not reached).
+  std::size_t reconcile_until_converged(double now, double loop_interval_s,
+                                        std::size_t max_loops);
+
+ private:
+  ControlPlane* control_;
+  std::map<SlotKey, std::size_t> desired_;
+  std::vector<ManagedInstance> fleet_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace deco::cloud

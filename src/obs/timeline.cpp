@@ -14,6 +14,7 @@ const char* outcome_name(sim::AttemptOutcome outcome) {
     case sim::AttemptOutcome::kCompleted: return "completed";
     case sim::AttemptOutcome::kCrashed: return "crashed";
     case sim::AttemptOutcome::kFailed: return "failed";
+    case sim::AttemptOutcome::kInterrupted: return "interrupted";
   }
   return "unknown";
 }
@@ -70,6 +71,9 @@ std::vector<TraceEvent> execution_timeline(const workflow::Workflow& wf,
       case sim::AttemptOutcome::kFailed:
         ev.cat = "failure";
         break;
+      case sim::AttemptOutcome::kInterrupted:
+        ev.cat = "interruption";
+        break;
     }
     ev.phase = 'X';
     ev.ts_us = attempt.start * kUsPerVirtualSecond;
@@ -88,6 +92,8 @@ std::vector<TraceEvent> execution_timeline(const workflow::Workflow& wf,
       TraceEvent marker;
       marker.name = attempt.outcome == sim::AttemptOutcome::kCrashed
                         ? "instance crash"
+                    : attempt.outcome == sim::AttemptOutcome::kInterrupted
+                        ? "spot reclamation"
                         : "task failure";
       marker.cat = "fault";
       marker.phase = 'i';

@@ -29,6 +29,12 @@ struct Instance {
   /// Absolute time the instance crashes (sampled at acquisition by the
   /// failure model; +inf when crashes are disabled).
   double crash_at = std::numeric_limits<double>::infinity();
+  /// Spot-interruption schedule (sampled at acquisition by the control
+  /// plane; +inf when interruptions are disabled).  The notice precedes
+  /// the reclamation by the control plane's notice lead, giving running
+  /// attempts a checkpoint window.
+  double reclaim_at = std::numeric_limits<double>::infinity();
+  double notice_at = std::numeric_limits<double>::infinity();
   bool crashed = false;      ///< true once fail() retired it
 
   bool running() const { return released_at < 0; }

@@ -46,7 +46,20 @@ ExecutionResult simulate_execution(const workflow::Workflow& wf,
   const FailureModel* fm =
       options.failures && options.failures->enabled() ? options.failures
                                                       : nullptr;
-  const std::size_t retry_cap = fm ? fm->options().max_task_retries : 0;
+  // Control-plane mediation: a null fault model grants instantly and draws
+  // nothing (its own bit-identity contract), so `cp` stays set only when the
+  // API can actually misbehave.  Its entropy lives inside the control plane;
+  // the executor's rng stream is never touched by API faults.
+  cloud::ControlPlane* cp =
+      options.control && !options.control->null_model() ? options.control
+                                                        : nullptr;
+  const bool interruptions = cp && cp->interruptions_enabled();
+  // Disruptions tolerated per task before attempts run failure-immune (the
+  // simulation must terminate).  Spot interruptions share the cap so a
+  // pathological interruption rate cannot livelock a task.
+  constexpr std::size_t kInterruptRetryCap = 3;
+  const std::size_t retry_cap = fm ? fm->options().max_task_retries
+                                   : (interruptions ? kInterruptRetryCap : 0);
 
   CloudPool pool(catalog);
   EventQueue queue;
@@ -87,6 +100,9 @@ ExecutionResult simulate_execution(const workflow::Workflow& wf,
   auto note_failure = [&](double t) {
     result.first_failure_s = std::min(result.first_failure_s, t);
   };
+  auto note_notice = [&](double t) {
+    result.first_notice_s = std::min(result.first_notice_s, t);
+  };
 
   // Forward declaration pattern: the lambda is stored so completion events
   // can make children ready.
@@ -98,9 +114,9 @@ ExecutionResult simulate_execution(const workflow::Workflow& wf,
 
   start_task = [&](workflow::TaskId tid, double now) {
     const TaskPlacement& placement = plan[tid];
-    const cloud::InstanceType& type = catalog.type(placement.vm_type);
 
-    // Locate or acquire the executing instance, retiring crashed candidates.
+    // Locate or acquire the executing instance, retiring dead candidates
+    // (crashed, or reclaimed by a spot interruption).
     InstanceId inst_id = CloudPool::kNone;
     double start = now;
     for (;;) {
@@ -110,6 +126,25 @@ ExecutionResult simulate_execution(const workflow::Workflow& wf,
         inst_id = pool.find_idle(placement.vm_type, placement.region, now);
       }
       if (inst_id == CloudPool::kNone) {
+        // Every acquisition goes through the control plane: throttling,
+        // transient errors and capacity outages delay (or redirect) the
+        // launch in virtual time before the instance exists.
+        double admit = now;
+        cloud::TypeId grant_type = placement.vm_type;
+        cloud::RegionId grant_region = placement.region;
+        if (cp) {
+          const cloud::ProvisionGrant grant =
+              cp->provision(placement.vm_type, placement.region, now);
+          if (!grant.ok) {
+            throw cloud::ProvisioningExhaustedError(
+                "control plane exhausted: no capacity for " +
+                catalog.type(placement.vm_type).name +
+                " or any fallback candidate");
+          }
+          admit = grant.ready_at;
+          grant_type = grant.type;
+          grant_region = grant.region;
+        }
         double boot_delay = options.boot_seconds;
         if (fm) {
           // Failed boots delay the acquisition (the failed provisioning
@@ -118,39 +153,63 @@ ExecutionResult simulate_execution(const workflow::Workflow& wf,
                tries < kMaxBootRetries && fm->sample_boot_failure(rng);
                ++tries) {
             ++result.failures.boot_failures;
-            note_failure(now + boot_delay);
+            note_failure(admit + boot_delay);
             boot_delay += fm->options().boot_retry_s + options.boot_seconds;
           }
         }
-        inst_id = pool.acquire(placement.vm_type, placement.region, now,
+        inst_id = pool.acquire(grant_type, grant_region, admit,
                                placement.group);
         if (fm && fm->crashes_enabled()) {
-          pool.instance(inst_id).crash_at = now + fm->sample_uptime(rng);
+          pool.instance(inst_id).crash_at = admit + fm->sample_uptime(rng);
         }
-        start = now + boot_delay;
+        if (interruptions) {
+          if (const auto intr = cp->sample_interruption(admit)) {
+            pool.instance(inst_id).reclaim_at = intr->reclaim_at;
+            pool.instance(inst_id).notice_at = intr->notice_at;
+          }
+        }
+        start = admit + boot_delay;
         break;
       }
       const Instance& inst = pool.instance(inst_id);
       const double avail = std::max(now, inst.busy_until);
-      if (fm && inst.crash_at <= avail) {
-        if (inst.crash_at <= now) {
-          // Crashed while sitting idle: retire it un-refunded (billed to
-          // the crash) and look for a replacement.
-          if (pool.fail(inst_id, inst.crash_at)) {
-            ++result.failures.instance_crashes;
+      const double crash_at =
+          fm ? inst.crash_at : std::numeric_limits<double>::infinity();
+      const double reclaim_at =
+          interruptions ? inst.reclaim_at
+                        : std::numeric_limits<double>::infinity();
+      const double dead_at = std::min(crash_at, reclaim_at);
+      if (dead_at <= avail) {
+        if (dead_at <= now) {
+          // Died while sitting idle: retire it un-refunded (billed to the
+          // crash/reclamation) and look for a replacement.
+          if (pool.fail(inst_id, dead_at)) {
+            if (crash_at <= reclaim_at) {
+              ++result.failures.instance_crashes;
+            } else {
+              ++result.failures.spot_interruptions;
+              note_notice(inst.notice_at);
+            }
           }
           continue;
         }
         // The instance dies before it could serve this task (the attempt
-        // currently occupying it observes the crash itself); wait for the
-        // crash to be detected, then reschedule on a replacement.
-        queue.schedule(inst.crash_at + fm->backoff_delay(0),
-                       [&, tid](double t) { start_task(tid, t); });
+        // currently occupying it observes the death itself); wait for it
+        // to be detected, then reschedule on a replacement.  A reclamation
+        // was announced by its notice, so no detection backoff applies.
+        const double redo =
+            crash_at <= reclaim_at ? dead_at + fm->backoff_delay(0) : dead_at;
+        queue.schedule(redo, [&, tid](double t) { start_task(tid, t); });
         return;
       }
       start = avail;
       break;
     }
+    // Durations and data movement are priced by the hardware actually
+    // granted — identical to the plan's placement unless the control plane
+    // fell back to an alternate type or region.
+    const cloud::InstanceType& type = catalog.type(pool.instance(inst_id).type);
+    const cloud::RegionId inst_region = pool.instance(inst_id).region;
 
     // CPU component: reference seconds scaled by compute units.
     const double cpu_time = wf.task(tid).cpu_seconds /
@@ -172,20 +231,23 @@ ExecutionResult simulate_execution(const workflow::Workflow& wf,
       if (e.child != tid || e.bytes <= 0) continue;
       const TaskTrace& parent_trace = result.tasks[e.parent];
       if (parent_trace.instance == inst_id) continue;  // data is local
-      const TaskPlacement& pp = plan[e.parent];
-      if (pp.region != placement.region) {
+      // Transfer rates and egress pricing follow where the parent's data
+      // actually lives (== the plan's placement unless a fallback grant
+      // redirected the parent).
+      const Instance& parent_inst = pool.instance(parent_trace.instance);
+      if (parent_inst.region != inst_region) {
         const double bw = mbps_to_bytes_per_s(rate(catalog.inter_region_net()));
         net_time += e.bytes / bw;
-        transfer_cost += e.bytes / kGB * catalog.egress_price(pp.region);
+        transfer_cost += e.bytes / kGB * catalog.egress_price(parent_inst.region);
       } else {
-        const double bw = mbps_to_bytes_per_s(
-            rate(catalog.network_pair(pp.vm_type, placement.vm_type)));
+        const double bw = mbps_to_bytes_per_s(rate(
+            catalog.network_pair(parent_inst.type, pool.instance(inst_id).type)));
         net_time += e.bytes / bw;
       }
     }
 
     double duration = (cpu_time + io_time + net_time) * remaining[tid];
-    const bool immune = !fm || attempts[tid] >= retry_cap;
+    const bool immune = attempts[tid] >= retry_cap;
     if (fm && fm->sample_straggler(rng)) {
       ++result.failures.stragglers;
       duration *= std::max(fm->options().straggler_slowdown, 1.0);
@@ -193,13 +255,16 @@ ExecutionResult simulate_execution(const workflow::Workflow& wf,
     // Transient attempt failure: discovered partway through the attempt.
     bool fail_transient = false;
     double fail_frac = 0;
-    if (!immune && fm->sample_task_failure(rng)) {
+    if (fm && !immune && fm->sample_task_failure(rng)) {
       fail_transient = true;
       fail_frac = rng.uniform();
     }
     const double crash_at =
-        immune ? std::numeric_limits<double>::infinity()
-               : pool.instance(inst_id).crash_at;
+        (fm && !immune) ? pool.instance(inst_id).crash_at
+                        : std::numeric_limits<double>::infinity();
+    const double reclaim_at =
+        (interruptions && !immune) ? pool.instance(inst_id).reclaim_at
+                                   : std::numeric_limits<double>::infinity();
 
     const double finish = start + duration;
     const double fail_at =
@@ -209,7 +274,7 @@ ExecutionResult simulate_execution(const workflow::Workflow& wf,
     // processed (so the horizon semantics match completed[] / retries).
     const auto attempt_idx = static_cast<std::uint32_t>(attempts[tid]);
 
-    if (finish <= crash_at && !fail_transient) {
+    if (finish <= crash_at && finish <= reclaim_at && !fail_transient) {
       // The attempt completes.
       result.tasks[tid] = TaskTrace{start, finish, inst_id};
       pool.instance(inst_id).busy_until = finish;
@@ -222,6 +287,33 @@ ExecutionResult simulate_execution(const workflow::Workflow& wf,
         for (workflow::TaskId child : wf.children(tid)) {
           if (--waiting_parents[child] == 0) on_ready(child, done_time);
         }
+      });
+      return;
+    }
+
+    if (reclaim_at < crash_at && reclaim_at < fail_at) {
+      // Spot interruption: the notice (delivered notice-lead seconds ahead
+      // of the reclamation) let the attempt checkpoint, so everything
+      // completed before the notice survives; the task restarts on a
+      // replacement at the reclamation with no detection backoff — the
+      // warning IS the detection.
+      const double notice_at = pool.instance(inst_id).notice_at;
+      pool.instance(inst_id).busy_until = reclaim_at;
+      result.tasks[tid] = TaskTrace{start, reclaim_at, inst_id};
+      const double saved_frac =
+          duration > 0 ? std::clamp((notice_at - start) / duration, 0.0, 1.0)
+                       : 1.0;
+      queue.schedule(reclaim_at, [&, tid, attempt_idx, start, inst_id,
+                                  notice_at, saved_frac](double t) {
+        if (pool.fail(inst_id, t)) ++result.failures.spot_interruptions;
+        ++result.failures.retries;
+        ++attempts[tid];
+        result.attempts.push_back(TaskAttempt{tid, attempt_idx, start, t,
+                                              inst_id,
+                                              AttemptOutcome::kInterrupted});
+        note_notice(notice_at);
+        remaining[tid] *= 1.0 - saved_frac;
+        start_task(tid, t);
       });
       return;
     }
@@ -288,17 +380,38 @@ ExecutionResult simulate_execution(const workflow::Workflow& wf,
   }
   const double end =
       finished ? makespan : options.horizon_s;
-  // Instances whose crash time falls inside the run are billed only to the
-  // crash, even if no task ever observed it.
-  if (fm && fm->crashes_enabled()) {
+  // Instances whose crash or reclamation time falls inside the run are
+  // billed only up to it, even if no task ever observed the death.
+  if ((fm && fm->crashes_enabled()) || interruptions) {
     for (InstanceId id = 0; id < pool.instance_count(); ++id) {
       const Instance& inst = pool.instance(id);
-      if (inst.running() && inst.crash_at < end) {
-        if (pool.fail(id, inst.crash_at)) ++result.failures.instance_crashes;
+      const double crash = fm && fm->crashes_enabled()
+                               ? inst.crash_at
+                               : std::numeric_limits<double>::infinity();
+      const double reclaim = interruptions
+                                 ? inst.reclaim_at
+                                 : std::numeric_limits<double>::infinity();
+      const double dead = std::min(crash, reclaim);
+      if (inst.running() && dead < end) {
+        if (pool.fail(id, dead)) {
+          if (crash <= reclaim) {
+            ++result.failures.instance_crashes;
+          } else {
+            ++result.failures.spot_interruptions;
+            note_notice(inst.notice_at);
+          }
+        }
       }
     }
   }
-  pool.release_all(end);
+  // Termination is an API call too: a throttled or failing control plane
+  // delays releases, which bills the straggling instances a little longer.
+  if (cp) {
+    const double released = cp->complete_call(cloud::ApiOp::kTerminate, end);
+    pool.release_all(released);
+  } else {
+    pool.release_all(end);
+  }
 
   result.makespan = makespan;
   result.finished = finished;
@@ -326,6 +439,9 @@ ExecutionResult simulate_execution(const workflow::Workflow& wf,
   }
   if (const auto n = result.failures.retries; n != 0) {
     DECO_OBS_COUNTER_ADD("sim.failures.retries", n);
+  }
+  if (const auto n = result.failures.spot_interruptions; n != 0) {
+    DECO_OBS_COUNTER_ADD("sim.failures.spot_interruptions", n);
   }
   return result;
 }

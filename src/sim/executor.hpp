@@ -12,6 +12,7 @@
 #include <limits>
 #include <vector>
 
+#include "cloud/control_plane.hpp"
 #include "cloud/instance_type.hpp"
 #include "sim/cloud_sim.hpp"
 #include "sim/failure_model.hpp"
@@ -40,6 +41,14 @@ struct ExecutorOptions {
   /// finished by then are reported incomplete.  The reactive WMS engine
   /// uses this to materialize a run's prefix up to a replanning point.
   double horizon_s = std::numeric_limits<double>::infinity();
+  /// Control plane mediating every acquire/terminate (borrowed; may be
+  /// nullptr = the seed simulator's infallible API).  A control plane with
+  /// the null fault model grants instantly, consumes no entropy, and keeps
+  /// traces bit-identical to running without one.  With faults enabled,
+  /// provisioning retries/falls back inside the control plane (delaying the
+  /// acquisition in virtual time) and throws
+  /// cloud::ProvisioningExhaustedError when even fallback capacity is gone.
+  cloud::ControlPlane* control = nullptr;
 };
 
 struct TaskTrace {
@@ -50,9 +59,11 @@ struct TaskTrace {
 
 /// How one task attempt ended.
 enum class AttemptOutcome : std::uint8_t {
-  kCompleted,  ///< ran to its finish time
-  kCrashed,    ///< the executing instance crashed mid-attempt
-  kFailed,     ///< transient task failure killed the attempt
+  kCompleted,    ///< ran to its finish time
+  kCrashed,      ///< the executing instance crashed mid-attempt
+  kFailed,       ///< transient task failure killed the attempt
+  kInterrupted,  ///< the instance was reclaimed (spot interruption); work
+                 ///< up to the notice was checkpointed
 };
 
 /// One started execution attempt of a task.  The executor appends a record
@@ -77,6 +88,10 @@ struct FailureStats {
   std::size_t task_failures = 0;     ///< transient task-attempt failures
   std::size_t stragglers = 0;        ///< attempts hit by a slowdown
   std::size_t retries = 0;           ///< task attempts rescheduled
+  /// Instances reclaimed by spot interruption (notice-then-reclaim via the
+  /// control plane).  Disturbed attempts also count one retry each, so
+  /// total_disruptions() already covers them.
+  std::size_t spot_interruptions = 0;
 
   std::size_t total_disruptions() const {
     return instance_crashes + boot_failures + task_failures + retries;
@@ -104,6 +119,11 @@ struct ExecutionResult {
   /// a task, a transient failure, or a boot failure); +inf when clean.  The
   /// reactive engine cuts its replanning horizon here.
   double first_failure_s = std::numeric_limits<double>::infinity();
+  /// Virtual time of the first spot-interruption *notice* that lands inside
+  /// the run; +inf when none does.  Unlike first_failure_s this is an
+  /// advance warning: the reactive engine replans proactively at the notice
+  /// (checkpoint + move work) instead of reacting to the reclamation.
+  double first_notice_s = std::numeric_limits<double>::infinity();
 };
 
 /// Simulates one execution of `wf` under `plan`.  Each call consumes RNG

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/backoff.hpp"
+
 namespace deco::sim {
 
 bool FailureModel::enabled() const {
@@ -41,12 +43,13 @@ bool FailureModel::sample_straggler(util::Rng& rng) const {
 }
 
 double FailureModel::backoff_delay(std::size_t attempt) const {
-  if (attempt == 0) return options_.retry_backoff_s;
-  const double exponent = static_cast<double>(attempt - 1);
-  const double delay =
-      options_.retry_backoff_s *
-      std::pow(std::max(options_.retry_backoff_factor, 1.0), exponent);
-  return std::min(delay, options_.retry_backoff_cap_s);
+  // Shared capped-exponential helper (util/backoff.hpp), jitter disabled:
+  // the simulator's retry schedule stays fully deterministic.
+  const util::BackoffOptions backoff{options_.retry_backoff_s,
+                                     options_.retry_backoff_factor,
+                                     options_.retry_backoff_cap_s,
+                                     /*jitter=*/0.0};
+  return util::backoff_ceiling(backoff, attempt);
 }
 
 double FailureModel::expected_time_factor(double nominal_s) const {

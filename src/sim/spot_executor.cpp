@@ -66,6 +66,15 @@ SpotExecutionResult simulate_spot_execution(
     return time;
   };
 
+  // Advance warning before each market revocation (the control plane's spot
+  // notice lead); 0 without a control plane = the seed executor's
+  // no-warning semantics, where revoked work is entirely lost.
+  const double notice_lead =
+      options.control ? options.control->options().faults.spot_notice_lead_s
+                      : 0;
+  // Fraction of each task's work still to do after checkpoints.
+  std::vector<double> remaining(wf.task_count(), 1.0);
+
   std::function<void(workflow::TaskId, double)> start_task;
   start_task = [&](workflow::TaskId tid, double now) {
     const TaskPlacement& placement = plan[tid];
@@ -90,7 +99,7 @@ SpotExecutionResult simulate_spot_execution(
           t += trace.step_seconds();
           if (t > start + 48 * 3600) break;  // market never comes back
         }
-        const double attempt_duration = duration_of(tid);
+        const double attempt_duration = duration_of(tid) * remaining[tid];
         const double revoke_at = trace.next_revocation(t, bid);
         if (revoke_at < 0 || revoke_at >= t + attempt_duration) {
           // The attempt completes; billed at the spot price (prorated).
@@ -105,8 +114,20 @@ SpotExecutionResult simulate_spot_execution(
           });
           return;
         }
-        // Revoked mid-attempt: work lost, the revoked partial hour is free.
+        // Revoked mid-attempt: the revoked partial hour is free.  With a
+        // notice lead the attempt checkpoints at the notice, salvaging the
+        // work done before it; without one all the work is lost.
         ++result.revocations;
+        if (notice_lead > 0 && attempt_duration > 0) {
+          const double notice_at = revoke_at - notice_lead;
+          const double done =
+              std::clamp((notice_at - t) / attempt_duration, 0.0, 1.0);
+          if (done > 0) {
+            ++result.notices_honored;
+            result.salvaged_s += done * attempt_duration;
+            remaining[tid] *= 1.0 - done;
+          }
+        }
         start = revoke_at + trace.step_seconds();
       }
       // Too many revocations: fall back to on-demand.
@@ -115,7 +136,7 @@ SpotExecutionResult simulate_spot_execution(
     }
 
     (void)on_spot;
-    const double attempt_duration = duration_of(tid);
+    const double attempt_duration = duration_of(tid) * remaining[tid];
     const double finish = start + attempt_duration;
     result.base.tasks[tid] = TaskTrace{start, finish, CloudPool::kNone};
     // Prorated on-demand billing (Eq. 1's granularity — this simplified

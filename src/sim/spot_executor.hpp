@@ -29,6 +29,11 @@ struct SpotExecutionResult {
   std::size_t fallbacks = 0;     ///< tasks that gave up on spot
   double spot_cost = 0;          ///< spot share of the instance cost
   double on_demand_cost = 0;     ///< on-demand share
+  /// Revocations whose interruption notice (options.control's
+  /// spot_notice_lead_s) arrived with part of the attempt already done, so
+  /// a checkpoint salvaged that work.  Zero without a control plane.
+  std::size_t notices_honored = 0;
+  double salvaged_s = 0;         ///< attempt-seconds preserved by checkpoints
 };
 
 /// Simulates one execution under `policy`, with one spot-price trace per

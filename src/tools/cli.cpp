@@ -3,10 +3,12 @@
 #include <fstream>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 #include <variant>
 
 #include "baselines/autoscaling.hpp"
 #include "cloud/calibration.hpp"
+#include "cloud/control_plane.hpp"
 #include "core/deco.hpp"
 #include "obs/obs.hpp"
 #include "util/stats.hpp"
@@ -40,7 +42,11 @@ commands:
 
   run        --dax wf.dax --deadline 3600 [--quantile 96] [--runs 20]
              [--scheduler ...] [--store store.txt] [--seed 7]
+             [--api-profile none|degraded|exhausted]
       Plan, then execute on the simulated cloud; report statistics.
+      --api-profile injects control-plane faults: "degraded" throttles and
+      interleaves capacity outages (runs complete via retry/fallback),
+      "exhausted" fails every provisioning call (exits with code 4).
 
   solve      --dax wf.dax --program prog.wlog [--store store.txt]
       Solve a WLog program against the workflow (declarative path).
@@ -58,6 +64,13 @@ commands:
 global options (any command):
   --metrics-out m.json   write a JSON metrics dump after the command
   --trace-out t.json     write a Chrome trace (chrome://tracing, Perfetto)
+
+exit codes:
+  0  success
+  1  usage or unexpected error
+  2  the scheduler/solver failed to produce a plan
+  3  input error (missing, unreadable or malformed --dax/--program file)
+  4  cloud capacity exhausted (control-plane retries and fallback gave up)
 )";
 
 struct CloudSetup {
@@ -170,9 +183,40 @@ int cmd_generate(const CliArgs& args, std::ostream& out) {
   return 0;
 }
 
+/// Builds the control-plane options selected by --api-profile, or nullopt
+/// for the default infallible API.  Throws std::invalid_argument on an
+/// unknown profile name (the run_cli boundary maps it to a usage error).
+std::optional<cloud::ControlPlaneOptions> api_profile_options(
+    const std::string& profile, std::uint64_t seed) {
+  if (profile == "none") return std::nullopt;
+  cloud::ControlPlaneOptions cp;
+  cp.seed = seed;
+  if (profile == "degraded") {
+    // Nonzero but survivable: throttling, occasional outages, 5% transient
+    // errors.  Runs complete through retries and fallback grants.
+    cp.faults.throttle_rate_per_s = 0.05;
+    cp.faults.throttle_burst = 2;
+    cp.faults.capacity_mtbo_s = 2 * 3600.0;
+    cp.faults.capacity_outage_s = 900;
+    cp.faults.transient_error_prob = 0.05;
+    return cp;
+  }
+  if (profile == "exhausted") {
+    // Every API call fails from t=0 onward, with fallback disabled:
+    // provisioning must give up (exit kExitProvisioningExhausted).
+    cp.faults.transient_error_prob = 1.0;
+    cp.allow_type_fallback = false;
+    cp.allow_region_fallback = false;
+    cp.retry.max_attempts = 3;
+    cp.give_up_s = 600;
+    return cp;
+  }
+  throw std::invalid_argument("unknown --api-profile '" + profile + "'");
+}
+
 int cmd_plan(const CliArgs& args, std::ostream& out, bool execute) {
   const auto wf = load_dax(args, out);
-  if (!wf) return 1;
+  if (!wf) return kExitInputError;
   const auto deadline = args.get("deadline");
   if (!deadline) {
     out << "error: --deadline <seconds> is required\n";
@@ -197,7 +241,7 @@ int cmd_plan(const CliArgs& args, std::ostream& out, bool execute) {
   auto planned = wms.plan_workflow(*wf, req, rng);
   if (std::holds_alternative<wms::WmsError>(planned)) {
     out << "error: " << std::get<wms::WmsError>(planned).message << "\n";
-    return 1;
+    return kExitSolverFailure;
   }
   const auto& exec = std::get<wms::ExecutableWorkflow>(planned);
 
@@ -220,12 +264,21 @@ int cmd_plan(const CliArgs& args, std::ostream& out, bool execute) {
       << (eval.feasible ? " (feasible)" : " (NOT feasible)") << "\n";
 
   if (execute) {
+    const auto cp_options = api_profile_options(
+        args.get_or("api-profile", "none"),
+        static_cast<std::uint64_t>(args.number_or("seed", 7)));
+    std::optional<cloud::ControlPlane> control;
+    sim::ExecutorOptions exec_options;
+    if (cp_options) {
+      control.emplace(cloud.catalog, *cp_options);
+      exec_options.control = &*control;
+    }
     const int runs = static_cast<int>(args.number_or("runs", 20));
     std::vector<double> costs;
     std::vector<double> makespans;
     int met = 0;
     for (int i = 0; i < runs; ++i) {
-      const auto report = wms.execute(exec, rng, req);
+      const auto report = wms.execute(exec, rng, req, exec_options);
       costs.push_back(report.total_cost);
       makespans.push_back(report.makespan);
       met += report.met_deadline;
@@ -234,22 +287,28 @@ int cmd_plan(const CliArgs& args, std::ostream& out, bool execute) {
         << util::Table::num(util::mean(costs), 4) << ", avg makespan "
         << util::Table::num(util::mean(makespans), 0) << " s, deadline met "
         << met << "/" << runs << "\n";
+    if (control) {
+      const cloud::ApiStats& api = control->stats();
+      out << "control plane: " << api.calls << " API calls, " << api.throttled
+          << " throttled, " << api.capacity_denials << " capacity denials, "
+          << api.retries << " retries, " << api.fallbacks << " fallbacks\n";
+    }
   }
   return 0;
 }
 
 int cmd_solve(const CliArgs& args, std::ostream& out) {
   const auto wf = load_dax(args, out);
-  if (!wf) return 1;
+  if (!wf) return kExitInputError;
   const auto program_path = args.get("program");
   if (!program_path) {
     out << "error: --program <file.wlog> is required\n";
-    return 1;
+    return kExitInputError;
   }
   std::ifstream in(*program_path);
   if (!in) {
     out << "error: cannot open " << *program_path << "\n";
-    return 1;
+    return kExitInputError;
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
@@ -259,7 +318,7 @@ int cmd_solve(const CliArgs& args, std::ostream& out) {
   const auto result = engine.solve_program(buffer.str(), *wf);
   if (!result.ok) {
     out << "error: " << result.error << "\n";
-    return 1;
+    return kExitSolverFailure;
   }
   out << "solved: goal value " << util::Table::num(result.goal_value, 4)
       << ", feasible " << (result.feasible ? "yes" : "no") << ", "
@@ -274,7 +333,7 @@ int cmd_solve(const CliArgs& args, std::ostream& out) {
 
 int cmd_info(const CliArgs& args, std::ostream& out) {
   const auto wf = load_dax(args, out);
-  if (!wf) return 1;
+  if (!wf) return kExitInputError;
   out << workflow::describe(workflow::compute_stats(*wf), wf->name());
   return 0;
 }
@@ -396,6 +455,12 @@ int run_cli(const CliArgs& args, std::ostream& out) {
   int code;
   try {
     code = dispatch(args, out);
+  } catch (const cloud::ProvisioningExhaustedError& e) {
+    // The control plane retried, fell back, and still found no capacity:
+    // a distinct exit code so orchestration can tell "the cloud is full"
+    // from "my inputs are wrong".
+    out << "error: " << e.what() << "\n";
+    code = kExitProvisioningExhausted;
   } catch (const std::exception& e) {
     out << "error: " << e.what() << "\n";
     code = 1;

@@ -19,6 +19,15 @@
 
 namespace deco::tools {
 
+/// Exit codes: distinct failure classes so scripts and CI can tell a solver
+/// that could not plan from a file that could not be read from a cloud that
+/// ran out of capacity.
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitError = 1;          ///< usage / unexpected errors
+inline constexpr int kExitSolverFailure = 2;  ///< scheduler/solver failed
+inline constexpr int kExitInputError = 3;     ///< missing/unreadable/bad input
+inline constexpr int kExitProvisioningExhausted = 4;  ///< control plane gave up
+
 /// Parsed command line: subcommand, --key value options, positionals.
 struct CliArgs {
   std::string command;

@@ -1,0 +1,39 @@
+#include "util/backoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deco::util {
+
+double backoff_ceiling(const BackoffOptions& options, std::size_t attempt) {
+  const double exponent =
+      attempt > 1 ? static_cast<double>(attempt - 1) : 0.0;
+  const double ceiling =
+      options.base_s * std::pow(std::max(options.factor, 1.0), exponent);
+  return std::min(ceiling, options.cap_s);
+}
+
+double backoff_worst_case_total(const BackoffOptions& options,
+                                std::size_t attempts) {
+  double total = 0;
+  for (std::size_t i = 1; i <= attempts; ++i) {
+    total += backoff_ceiling(options, i);
+  }
+  return total;
+}
+
+double Backoff::next(Rng& rng) {
+  return delay(++attempt_, rng);
+}
+
+double Backoff::delay(std::size_t attempt, Rng& rng) const {
+  const double ceiling = backoff_ceiling(options_, attempt);
+  const double jitter = std::clamp(options_.jitter, 0.0, 1.0);
+  if (jitter <= 0) return ceiling;
+  // (0, 1] so a fully jittered delay is never exactly zero (a zero delay
+  // would retry in the same virtual instant and defeat the backoff).
+  const double u = 1.0 - rng.uniform();
+  return ceiling * (1.0 - jitter + jitter * u);
+}
+
+}  // namespace deco::util

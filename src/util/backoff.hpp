@@ -1,0 +1,60 @@
+// Capped exponential backoff with seeded full jitter.
+//
+// Every retry loop in the repository (the simulator's task-retry machinery,
+// the cloud control plane's API client) shares this policy so their delay
+// schedules are computed — and tested — in one place.  The jittered variant
+// implements AWS-style "full jitter": the n-th delay is drawn uniformly from
+// (0, ceiling(n)], where ceiling(n) = min(base * factor^(n-1), cap).  Jitter
+// draws flow through a caller-owned util::Rng, so equal seeds produce
+// bit-identical schedules and the helper itself holds no hidden state.
+#pragma once
+
+#include <cstddef>
+
+#include "util/rng.hpp"
+
+namespace deco::util {
+
+struct BackoffOptions {
+  double base_s = 1.0;    ///< ceiling of the first delay
+  double factor = 2.0;    ///< ceiling growth per attempt (clamped to >= 1)
+  double cap_s = 64.0;    ///< ceiling never exceeds this
+  /// Jitter fraction in [0, 1]: 0 = deterministic ceilings, 1 = full jitter
+  /// (uniform over the whole interval).  Intermediate values blend:
+  /// delay = ceiling * (1 - jitter + jitter * U),  U ~ Uniform(0, 1].
+  double jitter = 1.0;
+};
+
+/// Deterministic ceiling of the `attempt`-th delay (1-based; attempt 0 is
+/// treated as 1): min(base_s * factor^(attempt-1), cap_s).
+double backoff_ceiling(const BackoffOptions& options, std::size_t attempt);
+
+/// Sum of the first `attempts` ceilings — the worst-case total delay of any
+/// jittered schedule of that length (full jitter only shrinks delays).
+double backoff_worst_case_total(const BackoffOptions& options,
+                                std::size_t attempts);
+
+/// Stateful schedule: next() returns the jittered delay for the next attempt
+/// and advances.  Draws consume `rng` only when options.jitter > 0, so a
+/// zero-jitter schedule leaves the stream untouched.
+class Backoff {
+ public:
+  Backoff() = default;
+  explicit Backoff(BackoffOptions options) : options_(options) {}
+
+  const BackoffOptions& options() const { return options_; }
+  std::size_t attempt() const { return attempt_; }
+  void reset() { attempt_ = 0; }
+
+  /// Jittered delay for attempt `attempt() + 1`; advances the counter.
+  double next(Rng& rng);
+
+  /// Jittered delay for a specific 1-based attempt (does not advance).
+  double delay(std::size_t attempt, Rng& rng) const;
+
+ private:
+  BackoffOptions options_;
+  std::size_t attempt_ = 0;
+};
+
+}  // namespace deco::util

@@ -58,6 +58,20 @@ void accumulate(sim::FailureStats& into, const sim::FailureStats& from) {
   into.task_failures += from.task_failures;
   into.stragglers += from.stragglers;
   into.retries += from.retries;
+  into.spot_interruptions += from.spot_interruptions;
+}
+
+void accumulate(cloud::ApiStats& into, const cloud::ApiStats& from) {
+  into.calls += from.calls;
+  into.throttled += from.throttled;
+  into.capacity_denials += from.capacity_denials;
+  into.transient_errors += from.transient_errors;
+  into.retries += from.retries;
+  into.fallbacks += from.fallbacks;
+  into.exhausted += from.exhausted;
+  into.breaker_opens += from.breaker_opens;
+  into.breaker_waits += from.breaker_waits;
+  into.spot_interruptions += from.spot_interruptions;
 }
 
 }  // namespace
@@ -145,9 +159,20 @@ ReactiveReport ReactiveEngine::run(const workflow::Workflow& wf,
 
     // Probe: simulate the residual under the current plan to completion.
     // The probe is what the monitor "would observe"; rerunning the same
-    // seed with a horizon reproduces its prefix bit for bit.
+    // seed with a horizon reproduces its prefix bit for bit.  The control
+    // plane is stateful (token bucket, breakers, outage windows), so each
+    // simulation pass gets a *fresh* instance seeded identically — the cut
+    // replay below then observes the exact same API faults as the probe.
+    auto make_control = [&]() -> std::optional<cloud::ControlPlane> {
+      if (!options_.control) return std::nullopt;
+      cloud::ControlPlaneOptions cp_options = *options_.control;
+      cp_options.seed = seed;
+      return std::make_optional<cloud::ControlPlane>(*catalog_, cp_options);
+    };
     util::Rng probe_rng(seed);
+    std::optional<cloud::ControlPlane> probe_cp = make_control();
     sim::ExecutorOptions probe_options = options_.executor;
+    probe_options.control = probe_cp ? &*probe_cp : nullptr;
     probe_options.horizon_s = std::numeric_limits<double>::infinity();
     const sim::ExecutionResult probe = sim::simulate_execution(
         residual.wf, plan, *catalog_, probe_rng, probe_options);
@@ -160,10 +185,19 @@ ReactiveReport ReactiveEngine::run(const workflow::Workflow& wf,
     // high failure rates costs more than the failures themselves.
     const bool disrupted = std::isfinite(probe.first_failure_s);
     const bool at_risk = clock + probe.makespan > req.deadline_s;
-    if (!at_risk || report.replans >= options_.max_replans) {
+    // A spot-interruption notice inside the run is an advance warning: the
+    // engine replans *proactively* at the notice (work checkpoints there
+    // and moves under the new plan) even when the trajectory would still
+    // meet the deadline — riding it out donates the noticed instance's
+    // in-flight work to the reclamation.
+    const bool notice_pending = std::isfinite(probe.first_notice_s) &&
+                                probe.first_notice_s < probe.makespan;
+    if ((!at_risk && !notice_pending) ||
+        report.replans >= options_.max_replans) {
       // Accept the whole trajectory: clean and on time, or out of replans.
       report.total_cost += probe.total_cost;
       accumulate(report.failures, probe.failures);
+      if (probe_cp) accumulate(report.api, probe_cp->stats());
       last_finish = std::max(last_finish, clock + probe.makespan);
       for (workflow::TaskId t = 0; t < residual.wf.task_count(); ++t) {
         done[residual.to_original[t]] = 1;
@@ -172,18 +206,33 @@ ReactiveReport ReactiveEngine::run(const workflow::Workflow& wf,
     }
 
     // Materialize the prefix up to the replanning cut: the first failure
-    // plus the monitor's reaction lag when a failure caused the risk, or
-    // one reaction interval when the plan was simply too slow.
-    const double cut =
-        disrupted ? probe.first_failure_s + options_.reaction_s
-                  : options_.reaction_s;
+    // plus the monitor's reaction lag when a failure caused the risk, one
+    // reaction interval when the plan was simply too slow — or, earliest of
+    // all, the first interruption notice (no reaction lag: the notice IS
+    // the monitor's signal).
+    const double reactive_cut =
+        at_risk ? (disrupted ? probe.first_failure_s + options_.reaction_s
+                             : options_.reaction_s)
+                : std::numeric_limits<double>::infinity();
+    const double proactive_cut =
+        notice_pending ? std::max(probe.first_notice_s, 1.0)
+                       : std::numeric_limits<double>::infinity();
+    const bool proactive = proactive_cut < reactive_cut;
+    const double cut = proactive ? proactive_cut : reactive_cut;
     util::Rng segment_rng(seed);
+    std::optional<cloud::ControlPlane> cut_cp = make_control();
     sim::ExecutorOptions cut_options = options_.executor;
+    cut_options.control = cut_cp ? &*cut_cp : nullptr;
     cut_options.horizon_s = cut;
     const sim::ExecutionResult prefix = sim::simulate_execution(
         residual.wf, plan, *catalog_, segment_rng, cut_options);
     report.total_cost += prefix.total_cost;
     accumulate(report.failures, prefix.failures);
+    if (cut_cp) accumulate(report.api, cut_cp->stats());
+    if (proactive) {
+      ++report.proactive_replans;
+      DECO_OBS_COUNTER_ADD("cloud.reconcile.proactive_replans", 1);
+    }
     for (workflow::TaskId t = 0; t < residual.wf.task_count(); ++t) {
       if (!prefix.completed[t]) continue;
       done[residual.to_original[t]] = 1;

@@ -18,8 +18,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
+#include "cloud/control_plane.hpp"
 #include "sim/executor.hpp"
 #include "wms/scheduler.hpp"
 
@@ -27,7 +29,17 @@ namespace deco::wms {
 
 struct ReactiveOptions {
   /// Simulator configuration, including the failure model to inject.
+  /// `executor.control` is ignored here — set `control` below instead: the
+  /// engine's probe/cut replay needs a *fresh* control plane per simulation
+  /// (the plane is stateful), which it constructs from these options with
+  /// the segment seed so both passes observe identical API faults.
   sim::ExecutorOptions executor;
+  /// Control-plane fault/resilience configuration (nullopt = the seed
+  /// simulator's infallible API).  The `seed` field is overridden per
+  /// segment.  A spot-interruption *notice* observed by the probe triggers
+  /// a proactive replan cut at the notice — checkpoint, then move the work
+  /// — instead of waiting for the reclamation to hurt.
+  std::optional<cloud::ControlPlaneOptions> control;
   /// Lag between a detected failure and the replanning cut: the monitor
   /// lets the run continue this long before the new plan takes over.
   double reaction_s = 60;
@@ -48,8 +60,12 @@ struct ReactiveReport {
   bool met_deadline = false;
   std::size_t segments = 0;    ///< execution segments simulated
   std::size_t replans = 0;     ///< scheduler re-invocations after t=0
+  /// Replans triggered by a spot-interruption notice (a subset of replans):
+  /// the engine cut at the advance warning rather than at a failure.
+  std::size_t proactive_replans = 0;
   std::size_t solver_fallbacks = 0;  ///< times the fallback plan was used
   sim::FailureStats failures;  ///< aggregated over accepted segments
+  cloud::ApiStats api;         ///< control-plane stats, accepted segments
   std::string last_scheduler;  ///< who produced the final plan
 };
 

@@ -1,0 +1,267 @@
+#include "cloud/control_plane.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "cloud/instance_type.hpp"
+
+namespace deco::cloud {
+namespace {
+
+/// Environment-scaled chaos multiplier: DECO_CHAOS=1 (the CI chaos job)
+/// stretches the stress-test workloads without changing the default run.
+std::size_t chaos_scale() {
+  if (const char* env = std::getenv("DECO_CHAOS")) {
+    if (std::string(env) != "0" && !std::string(env).empty()) return 4;
+  }
+  return 1;
+}
+
+ControlPlaneOptions faulty_options() {
+  ControlPlaneOptions options;
+  options.faults.throttle_rate_per_s = 0.5;
+  options.faults.throttle_burst = 2;
+  options.faults.capacity_mtbo_s = 3600;
+  options.faults.capacity_outage_s = 600;
+  options.faults.transient_error_prob = 0.1;
+  options.seed = 99;
+  return options;
+}
+
+TEST(ControlPlaneTest, NullModelGrantsInstantlyWithoutBookkeeping) {
+  const Catalog catalog = make_ec2_catalog();
+  ControlPlane plane(catalog);  // all fault knobs zero
+  EXPECT_TRUE(plane.null_model());
+  EXPECT_FALSE(plane.interruptions_enabled());
+
+  const ProvisionGrant grant = plane.provision(2, 0, 123.0);
+  EXPECT_TRUE(grant.ok);
+  EXPECT_EQ(grant.type, 2u);
+  EXPECT_EQ(grant.region, 0u);
+  EXPECT_DOUBLE_EQ(grant.ready_at, 123.0);
+  EXPECT_FALSE(grant.fell_back);
+
+  EXPECT_EQ(plane.try_call(ApiOp::kAcquire, 124.0, 0), ApiErrorCode::kOk);
+  EXPECT_DOUBLE_EQ(plane.complete_call(ApiOp::kTerminate, 125.0), 125.0);
+  EXPECT_FALSE(plane.sample_interruption(10.0).has_value());
+
+  // The bit-identity contract: no calls are even counted.
+  EXPECT_EQ(plane.stats().calls, 0u);
+}
+
+TEST(ControlPlaneTest, TokenBucketThrottlesBursts) {
+  const Catalog catalog = make_ec2_catalog();
+  ControlPlaneOptions options;
+  options.faults.throttle_rate_per_s = 1.0;
+  options.faults.throttle_burst = 3;
+  ControlPlane plane(catalog, options);
+
+  // Burst drains the bucket; the next immediate call is throttled.
+  EXPECT_EQ(plane.try_call(ApiOp::kTerminate, 0.0), ApiErrorCode::kOk);
+  EXPECT_EQ(plane.try_call(ApiOp::kTerminate, 0.0), ApiErrorCode::kOk);
+  EXPECT_EQ(plane.try_call(ApiOp::kTerminate, 0.0), ApiErrorCode::kOk);
+  EXPECT_EQ(plane.try_call(ApiOp::kTerminate, 0.0), ApiErrorCode::kThrottled);
+  // One second refills one token.
+  EXPECT_EQ(plane.try_call(ApiOp::kTerminate, 1.0), ApiErrorCode::kOk);
+  EXPECT_EQ(plane.stats().throttled, 1u);
+}
+
+TEST(ControlPlaneTest, ThrottlingDoesNotTripTheBreaker) {
+  const Catalog catalog = make_ec2_catalog();
+  ControlPlaneOptions options;
+  options.faults.throttle_rate_per_s = 0.001;  // essentially never refills
+  options.faults.throttle_burst = 1;
+  options.breaker.failure_threshold = 2;
+  ControlPlane plane(catalog, options);
+
+  // Exhaust the bucket, then hammer: everything throttles, breaker stays
+  // closed (backpressure is not ill health).
+  for (int i = 0; i < 10; ++i) plane.complete_call(ApiOp::kDescribe, 0.0);
+  EXPECT_EQ(plane.stats().breaker_opens, 0u);
+  EXPECT_EQ(plane.breaker(ApiOp::kDescribe).state(0.0),
+            BreakerState::kClosed);
+  EXPECT_GT(plane.stats().throttled, 0u);
+}
+
+TEST(ControlPlaneTest, CapacityOutageWindowsAreDeterministicPerSeed) {
+  const Catalog catalog = make_ec2_catalog();
+  ControlPlaneOptions options;
+  options.faults.capacity_mtbo_s = 1800;
+  options.faults.capacity_outage_s = 600;
+  options.seed = 7;
+
+  ControlPlane a(catalog, options);
+  ControlPlane b(catalog, options);
+  // Query b at scrambled times: windows depend only on (seed, type, time),
+  // not on the interleaving of queries.
+  for (double t = 0; t < 4 * 3600; t += 721) (void)b.in_capacity_outage(1, t);
+  for (double t = 0; t < 4 * 3600; t += 97) {
+    EXPECT_EQ(a.in_capacity_outage(0, t), b.in_capacity_outage(0, t))
+        << "t=" << t;
+  }
+}
+
+TEST(ControlPlaneTest, TransientErrorsAreRetriedToSuccess) {
+  const Catalog catalog = make_ec2_catalog();
+  ControlPlaneOptions options;
+  options.faults.transient_error_prob = 0.3;
+  options.seed = 5;
+  ControlPlane plane(catalog, options);
+
+  for (int i = 0; i < 50; ++i) {
+    const ProvisionGrant grant = plane.provision(0, 0, i * 1000.0);
+    ASSERT_TRUE(grant.ok);
+    EXPECT_GE(grant.ready_at, i * 1000.0);
+  }
+  EXPECT_GT(plane.stats().transient_errors, 0u);
+  EXPECT_GT(plane.stats().retries, 0u);
+  EXPECT_EQ(plane.stats().exhausted, 0u);
+}
+
+TEST(ControlPlaneTest, OutageFallsBackToAlternateCandidate) {
+  const Catalog catalog = make_ec2_catalog();
+  ControlPlaneOptions options;
+  // Long but finite outages: other types keep independent windows, so a
+  // fallback candidate is usually available while type 0 is out.
+  options.faults.capacity_mtbo_s = 2000;
+  options.faults.capacity_outage_s = 5000;
+  options.retry.fallback_after = 1;
+  options.seed = 13;
+  ControlPlane plane(catalog, options);
+
+  // Find a moment when type 0 is exhausted (outages recur, so this ends).
+  double t = 0;
+  while (!plane.in_capacity_outage(0, t)) t += 50;
+
+  // The first attempt is denied, so a grant can only come from a fallback
+  // candidate (provision never returns to an abandoned candidate).
+  const ProvisionGrant grant = plane.provision(0, 0, t);
+  ASSERT_TRUE(grant.ok);
+  EXPECT_TRUE(grant.fell_back);
+  EXPECT_GT(plane.stats().fallbacks, 0u);
+  EXPECT_GT(plane.stats().capacity_denials, 0u);
+}
+
+TEST(ControlPlaneTest, ExhaustionWhenFallbackDisabled) {
+  const Catalog catalog = make_ec2_catalog();
+  ControlPlaneOptions options;
+  options.faults.capacity_mtbo_s = 1e-3;
+  options.faults.capacity_outage_s = 1e12;
+  options.allow_type_fallback = false;
+  options.allow_region_fallback = false;
+  options.retry.max_attempts = 4;
+  options.give_up_s = 3600;
+  ControlPlane plane(catalog, options);
+
+  // The first outage window begins a draw after t=0, so ask at t=1: with a
+  // millisecond MTBO the type is dark by then (and stays dark for 1e12 s).
+  const ProvisionGrant grant = plane.provision(0, 0, 1.0);
+  EXPECT_FALSE(grant.ok);
+  EXPECT_EQ(plane.stats().exhausted, 1u);
+}
+
+TEST(ControlPlaneTest, BreakerLifecycleClosedOpenHalfOpenClosed) {
+  CircuitBreaker breaker(BreakerOptions{3, 30.0});
+  EXPECT_EQ(breaker.state(0.0), BreakerState::kClosed);
+  breaker.on_failure(1.0);
+  breaker.on_failure(2.0);
+  EXPECT_TRUE(breaker.allow(2.5));
+  breaker.on_failure(3.0);  // third consecutive failure: opens
+  EXPECT_EQ(breaker.state(3.0), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.allow(10.0));
+  EXPECT_DOUBLE_EQ(breaker.retry_at(), 33.0);
+  // After the open window the next observation is half-open.
+  EXPECT_EQ(breaker.state(33.0), BreakerState::kHalfOpen);
+  EXPECT_TRUE(breaker.allow(33.0));
+  // A failed trial re-opens immediately...
+  breaker.on_failure(33.0);
+  EXPECT_EQ(breaker.state(34.0), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 2u);
+  // ...and a successful trial after the next window closes it.
+  EXPECT_EQ(breaker.state(63.0), BreakerState::kHalfOpen);
+  breaker.on_success(63.0);
+  EXPECT_EQ(breaker.state(63.0), BreakerState::kClosed);
+}
+
+TEST(ControlPlaneTest, RepeatedTransientFailuresOpenTheAcquireBreaker) {
+  const Catalog catalog = make_ec2_catalog();
+  ControlPlaneOptions options;
+  options.faults.transient_error_prob = 1.0;  // the API is down, hard
+  options.breaker.failure_threshold = 3;
+  options.breaker.open_s = 120;
+  options.allow_type_fallback = false;
+  options.allow_region_fallback = false;
+  options.retry.max_attempts = 8;
+  ControlPlane plane(catalog, options);
+
+  const ProvisionGrant grant = plane.provision(0, 0, 0.0);
+  EXPECT_FALSE(grant.ok);
+  EXPECT_GT(plane.stats().breaker_opens, 0u);
+  EXPECT_GT(plane.stats().breaker_waits, 0u);
+}
+
+TEST(ControlPlaneTest, SameSeedSameFaultSequence) {
+  const Catalog catalog = make_ec2_catalog();
+  const std::size_t rounds = 20 * chaos_scale();
+  ControlPlane a(catalog, faulty_options());
+  ControlPlane b(catalog, faulty_options());
+  for (std::size_t i = 0; i < rounds; ++i) {
+    const double t = static_cast<double>(i) * 37.0;
+    const ProvisionGrant ga = a.provision(i % 3, 0, t);
+    const ProvisionGrant gb = b.provision(i % 3, 0, t);
+    EXPECT_EQ(ga.ok, gb.ok) << i;
+    EXPECT_EQ(ga.type, gb.type) << i;
+    EXPECT_EQ(ga.region, gb.region) << i;
+    EXPECT_DOUBLE_EQ(ga.ready_at, gb.ready_at) << i;
+  }
+  EXPECT_EQ(a.stats().calls, b.stats().calls);
+  EXPECT_EQ(a.stats().throttled, b.stats().throttled);
+  EXPECT_EQ(a.stats().transient_errors, b.stats().transient_errors);
+}
+
+TEST(ControlPlaneTest, InterruptionScheduleHasLeadTime) {
+  const Catalog catalog = make_ec2_catalog();
+  ControlPlaneOptions options;
+  options.faults.spot_interruption_mtbf_s = 7200;
+  options.faults.spot_notice_lead_s = 120;
+  ControlPlane plane(catalog, options);
+  EXPECT_TRUE(plane.interruptions_enabled());
+
+  for (int i = 0; i < 100; ++i) {
+    const auto intr = plane.sample_interruption(50.0);
+    ASSERT_TRUE(intr.has_value());
+    EXPECT_GT(intr->reclaim_at, 50.0);
+    EXPECT_GE(intr->notice_at, 50.0);
+    EXPECT_LE(intr->notice_at, intr->reclaim_at);
+    if (intr->reclaim_at - 50.0 > 120.0) {
+      EXPECT_DOUBLE_EQ(intr->reclaim_at - intr->notice_at, 120.0);
+    }
+  }
+  EXPECT_EQ(plane.stats().spot_interruptions, 100u);
+}
+
+TEST(ControlPlaneTest, DegradedProfileSurvivesSustainedLoad) {
+  // The CI chaos job runs this at 4x volume under ASan/UBSan.
+  const Catalog catalog = make_ec2_catalog();
+  ControlPlane plane(catalog, faulty_options());
+  const std::size_t rounds = 200 * chaos_scale();
+  double t = 0;
+  std::size_t granted = 0;
+  for (std::size_t i = 0; i < rounds; ++i) {
+    const ProvisionGrant grant =
+        plane.provision(i % catalog.type_count(), 0, t);
+    granted += grant.ok;
+    t = std::max(t, grant.ready_at) + 30.0;
+    plane.complete_call(ApiOp::kDescribe, t);
+    plane.complete_call(ApiOp::kTerminate, t);
+  }
+  // Retry + fallback should carry nearly everything through.
+  EXPECT_GT(granted, rounds * 9 / 10);
+  EXPECT_GT(plane.stats().calls, rounds);
+}
+
+}  // namespace
+}  // namespace deco::cloud

@@ -1,0 +1,149 @@
+#include "cloud/provisioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cloud/instance_type.hpp"
+
+namespace deco::cloud {
+namespace {
+
+TEST(ProvisionerTest, ConvergesImmediatelyOnHealthyControlPlane) {
+  const Catalog catalog = make_ec2_catalog();
+  ControlPlane plane(catalog);  // null fault model
+  Provisioner provisioner(plane);
+  provisioner.set_desired(0, 0, 3);
+  provisioner.set_desired(2, 0, 1);
+
+  const ReconcileActions actions = provisioner.reconcile(0.0);
+  EXPECT_TRUE(actions.converged);
+  EXPECT_EQ(actions.launched.size(), 4u);
+  EXPECT_EQ(actions.terminated.size(), 0u);
+  EXPECT_EQ(provisioner.fleet().size(), 4u);
+  EXPECT_EQ(provisioner.degraded_count(), 0u);
+
+  // A second pass is a no-op: level-triggered, not edge-triggered.
+  const ReconcileActions again = provisioner.reconcile(1.0);
+  EXPECT_TRUE(again.converged);
+  EXPECT_TRUE(again.launched.empty());
+  EXPECT_TRUE(again.terminated.empty());
+}
+
+TEST(ProvisionerTest, ScalesDownWhenDesiredShrinks) {
+  const Catalog catalog = make_ec2_catalog();
+  ControlPlane plane(catalog);
+  Provisioner provisioner(plane);
+  provisioner.set_desired(0, 0, 4);
+  provisioner.reconcile(0.0);
+  ASSERT_EQ(provisioner.fleet().size(), 4u);
+
+  provisioner.set_desired(0, 0, 1);
+  const ReconcileActions actions = provisioner.reconcile(10.0);
+  EXPECT_EQ(actions.terminated.size(), 3u);
+  EXPECT_EQ(provisioner.fleet().size(), 1u);
+  EXPECT_TRUE(actions.converged);
+}
+
+TEST(ProvisionerTest, RemovedSlotIsDrainedEntirely) {
+  const Catalog catalog = make_ec2_catalog();
+  ControlPlane plane(catalog);
+  Provisioner provisioner(plane);
+  provisioner.set_desired(1, 0, 2);
+  provisioner.reconcile(0.0);
+  provisioner.set_desired(1, 0, 0);
+  const ReconcileActions actions = provisioner.reconcile(5.0);
+  EXPECT_EQ(actions.terminated.size(), 2u);
+  EXPECT_TRUE(provisioner.fleet().empty());
+}
+
+TEST(ProvisionerTest, DescribeLagCausesOverProvisionThenCorrection) {
+  const Catalog catalog = make_ec2_catalog();
+  ControlPlaneOptions options;
+  options.faults.describe_lag_s = 100;  // fresh launches invisible for 100 s
+  ControlPlane plane(catalog, options);
+  Provisioner provisioner(plane);
+  provisioner.set_desired(0, 0, 2);
+
+  // Loop 1 launches 2 (invisible), not converged.
+  const ReconcileActions first = provisioner.reconcile(0.0);
+  EXPECT_EQ(first.launched.size(), 2u);
+  EXPECT_FALSE(first.converged);
+
+  // Loop 2 runs before the lag clears: the launches are still invisible, so
+  // the reconciler over-provisions — the classic eventual-consistency trap.
+  const ReconcileActions second = provisioner.reconcile(10.0);
+  EXPECT_EQ(second.launched.size(), 2u);
+  EXPECT_EQ(provisioner.fleet().size(), 4u);
+
+  // Once describe catches up, the surplus is detected and terminated, and
+  // the loop converges at the desired count.
+  const ReconcileActions third = provisioner.reconcile(200.0);
+  EXPECT_EQ(third.terminated.size(), 2u);
+  EXPECT_TRUE(third.converged);
+  EXPECT_EQ(provisioner.fleet().size(), 2u);
+}
+
+TEST(ProvisionerTest, ReconcileUntilConvergedRidesOutTheLag) {
+  const Catalog catalog = make_ec2_catalog();
+  ControlPlaneOptions options;
+  options.faults.describe_lag_s = 45;
+  ControlPlane plane(catalog, options);
+  Provisioner provisioner(plane);
+  provisioner.set_desired(0, 0, 3);
+
+  const std::size_t loops =
+      provisioner.reconcile_until_converged(0.0, 60.0, 10);
+  EXPECT_LT(loops, 10u);
+  EXPECT_EQ(provisioner.fleet().size(), 3u);
+}
+
+TEST(ProvisionerTest, ExhaustedCapacityYieldsDegradedFleet) {
+  const Catalog catalog = make_ec2_catalog();
+  ControlPlaneOptions options;
+  // Long but finite outages: the desired type goes dark while other types
+  // keep independent windows, so fallback supplies substitute hardware.
+  options.faults.capacity_mtbo_s = 2000;
+  options.faults.capacity_outage_s = 5000;
+  options.retry.fallback_after = 1;
+  options.seed = 21;
+  ControlPlane plane(catalog, options);
+
+  // Find a moment when the desired type is exhausted.
+  double t = 0;
+  while (!plane.in_capacity_outage(0, t)) t += 50;
+
+  Provisioner provisioner(plane);
+  provisioner.set_desired(0, 0, 2);
+  const ReconcileActions actions = provisioner.reconcile(t);
+  ASSERT_EQ(actions.launched.size() + actions.failed_launches, 2u);
+  // The desired type was denied first, so every successful launch is a
+  // fallback grant and recorded as degraded.
+  for (const ManagedInstance& m : actions.launched) {
+    EXPECT_TRUE(m.degraded);
+    EXPECT_TRUE(m.granted_type != 0 || m.granted_region != 0);
+  }
+  EXPECT_EQ(provisioner.degraded_count(), actions.launched.size());
+  EXPECT_GT(provisioner.degraded_count(), 0u);
+}
+
+TEST(ProvisionerTest, FailedLaunchesAreReportedNotFatal) {
+  const Catalog catalog = make_ec2_catalog();
+  ControlPlaneOptions options;
+  options.faults.capacity_mtbo_s = 1e-3;
+  options.faults.capacity_outage_s = 1e12;
+  options.allow_type_fallback = false;
+  options.allow_region_fallback = false;
+  options.retry.max_attempts = 2;
+  options.give_up_s = 300;
+  ControlPlane plane(catalog, options);
+  Provisioner provisioner(plane);
+  provisioner.set_desired(0, 0, 2);
+
+  // Reconcile at t=1: the permanent outage window has begun by then.
+  const ReconcileActions actions = provisioner.reconcile(1.0);
+  EXPECT_EQ(actions.failed_launches, 2u);
+  EXPECT_FALSE(actions.converged);
+  EXPECT_TRUE(provisioner.fleet().empty());
+}
+
+}  // namespace
+}  // namespace deco::cloud

@@ -1,0 +1,151 @@
+// Property test: the DAX parser must return a clean Workflow-or-DaxError for
+// arbitrarily mangled input — never crash, throw, or leak (the CI chaos job
+// runs this under ASan/UBSan).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "util/rng.hpp"
+#include "workflow/dax.hpp"
+
+namespace deco::workflow {
+namespace {
+
+constexpr std::string_view kSeedDax = R"(<adag name="pipeline" jobCount="3">
+  <job id="ID01" name="extract" runtime="30">
+    <uses file="raw.dat" link="input" size="1048576"/>
+    <uses file="clean.dat" link="output" size="524288"/>
+  </job>
+  <job id="ID02" name="transform" runtime="45">
+    <uses file="clean.dat" link="input" size="524288"/>
+    <uses file="cooked.dat" link="output" size="262144"/>
+  </job>
+  <job id="ID03" name="load" runtime="15">
+    <uses file="cooked.dat" link="input" size="262144"/>
+  </job>
+  <child ref="ID02"><parent ref="ID01"/></child>
+  <child ref="ID03"><parent ref="ID02"/></child>
+</adag>
+)";
+
+std::size_t chaos_scale() {
+  const char* env = std::getenv("DECO_CHAOS");
+  return (env != nullptr && *env != '\0' && *env != '0') ? 4 : 1;
+}
+
+// Every outcome of the parser must be one of the two declared variants and
+// must be reachable without UB; we also poke the Workflow branch to make
+// sure a "successfully" parsed mutant is internally consistent.
+void expect_graceful(std::string_view xml) {
+  DaxResult result;
+  ASSERT_NO_THROW(result = parse_dax(xml));
+  if (const auto* wf = std::get_if<Workflow>(&result)) {
+    std::size_t edges = 0;
+    for (std::size_t t = 0; t < wf->task_count(); ++t) {
+      edges += wf->children(t).size();
+      (void)wf->task(t).name;
+    }
+    (void)edges;
+  } else {
+    const auto& error = std::get<DaxError>(result);
+    EXPECT_FALSE(error.message.empty());
+  }
+}
+
+TEST(DaxFuzzTest, EveryTruncationPrefixIsHandled) {
+  const std::string dax(kSeedDax);
+  for (std::size_t len = 0; len <= dax.size(); ++len) {
+    SCOPED_TRACE("prefix length " + std::to_string(len));
+    expect_graceful(std::string_view(dax.data(), len));
+  }
+}
+
+TEST(DaxFuzzTest, RandomByteMutationsNeverCrash) {
+  const std::size_t rounds = 400 * chaos_scale();
+  util::Rng rng(0xDAF0);
+  const std::string seed(kSeedDax);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    std::string mutant = seed;
+    const std::size_t flips = 1 + static_cast<std::size_t>(rng.uniform() * 8);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t pos =
+          static_cast<std::size_t>(rng.uniform() * mutant.size());
+      mutant[pos] = static_cast<char>(rng.uniform() * 256.0);
+    }
+    SCOPED_TRACE("round " + std::to_string(round));
+    expect_graceful(mutant);
+  }
+}
+
+TEST(DaxFuzzTest, AttributeSwapsAndDeletionsAreHandled) {
+  // Structured mutations: swap attribute names, blank values, drop quotes.
+  const struct {
+    const char* needle;
+    const char* replacement;
+  } mutations[] = {
+      {"id=\"ID01\"", "id=\"\""},
+      {"id=\"ID01\"", "name=\"ID01\""},       // duplicate attribute name
+      {"runtime=\"30\"", "runtime=\"-30\""},  // negative runtime
+      {"runtime=\"30\"", "runtime=\"3e999\""},
+      {"runtime=\"30\"", "runtime=\"abc\""},
+      {"link=\"input\"", "link=\"sideways\""},
+      {"size=\"1048576\"", "size=\"-1\""},
+      {"ref=\"ID01\"", "ref=\"MISSING\""},
+      {"ref=\"ID02\"", "ref=\"ID02"},  // unterminated quote
+      {"<child", "<chold"},
+      {"</adag>", ""},
+      {"<adag", "<adag <adag"},
+  };
+  const std::string seed(kSeedDax);
+  for (const auto& m : mutations) {
+    std::string mutant = seed;
+    const std::size_t pos = mutant.find(m.needle);
+    ASSERT_NE(pos, std::string::npos) << m.needle;
+    mutant.replace(pos, std::string::traits_type::length(m.needle),
+                   m.replacement);
+    SCOPED_TRACE(std::string(m.needle) + " -> " + m.replacement);
+    expect_graceful(mutant);
+  }
+}
+
+TEST(DaxFuzzTest, InvalidUtf8AndControlBytesAreHandled) {
+  const std::string seed(kSeedDax);
+  // Overlong encodings, stray continuation bytes, nulls, and BOM-in-middle.
+  const std::string payloads[] = {
+      std::string("\xC0\x80", 2),          // overlong NUL
+      std::string("\xED\xA0\x80", 3),      // UTF-16 surrogate half
+      std::string("\xFF\xFE", 2),          // not valid UTF-8 at all
+      std::string("\x80\x80\x80", 3),      // bare continuation bytes
+      std::string("\x00", 1),              // embedded NUL
+      std::string("\xEF\xBB\xBF", 3),      // BOM in the middle of a tag
+      std::string("\xF4\x90\x80\x80", 4),  // beyond U+10FFFF
+  };
+  util::Rng rng(0xBEEF);
+  for (const std::string& payload : payloads) {
+    for (int trial = 0; trial < 8; ++trial) {
+      std::string mutant = seed;
+      const std::size_t pos =
+          static_cast<std::size_t>(rng.uniform() * mutant.size());
+      mutant.insert(pos, payload);
+      SCOPED_TRACE("payload size " + std::to_string(payload.size()) +
+                   " at offset " + std::to_string(pos));
+      expect_graceful(mutant);
+    }
+  }
+}
+
+TEST(DaxFuzzTest, ValidSeedStillParsesAfterFuzzing) {
+  // Sanity anchor: the unmutated seed is a real workflow with real edges, so
+  // the fuzz cases above exercise a parser that actually accepts the format.
+  const DaxResult result = parse_dax(kSeedDax);
+  const auto* wf = std::get_if<Workflow>(&result);
+  ASSERT_NE(wf, nullptr);
+  EXPECT_EQ(wf->task_count(), 3u);
+  EXPECT_EQ(wf->children(0).size(), 1u);
+}
+
+}  // namespace
+}  // namespace deco::workflow

@@ -1,0 +1,178 @@
+// Executor <-> cloud::ControlPlane integration: bit-identity with the null
+// fault model, completion-through-faults, exhaustion, and spot-interruption
+// checkpointing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cloud/control_plane.hpp"
+#include "sim/executor.hpp"
+#include "workflow/generators.hpp"
+
+namespace deco::sim {
+namespace {
+
+ExecutorOptions deterministic() {
+  ExecutorOptions opt;
+  opt.sample_dynamics = false;
+  opt.rand_io_ops_per_task = 0;
+  return opt;
+}
+
+workflow::Workflow chain(int n, double cpu) {
+  workflow::Workflow wf("chain");
+  for (int i = 0; i < n; ++i) {
+    wf.add_task({"t" + std::to_string(i), "p", cpu, 0, 0});
+    if (i > 0) wf.add_edge(i - 1, i, 0);
+  }
+  return wf;
+}
+
+TEST(ExecutorControlTest, NullControlPlaneIsBitIdentical) {
+  const cloud::Catalog catalog = cloud::make_ec2_catalog();
+  util::Rng seed_rng(2024);
+  const workflow::Workflow wf =
+      workflow::make_workflow(workflow::AppType::kMontage, 40, seed_rng);
+  const Plan plan = Plan::uniform(wf.task_count(), 1);
+
+  ExecutorOptions plain = {};  // sampled dynamics: full RNG consumption
+  util::Rng rng_a(7);
+  const ExecutionResult a = simulate_execution(wf, plan, catalog, rng_a, plain);
+
+  cloud::ControlPlane null_plane(catalog);  // all fault knobs zero
+  ExecutorOptions mediated = {};
+  mediated.control = &null_plane;
+  util::Rng rng_b(7);
+  const ExecutionResult b =
+      simulate_execution(wf, plan, catalog, rng_b, mediated);
+
+  // Bit-identical traces AND bit-identical downstream RNG state.
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.total_cost, b.total_cost);
+  EXPECT_EQ(a.instances_used, b.instances_used);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t t = 0; t < a.tasks.size(); ++t) {
+    EXPECT_EQ(a.tasks[t].start, b.tasks[t].start) << t;
+    EXPECT_EQ(a.tasks[t].finish, b.tasks[t].finish) << t;
+    EXPECT_EQ(a.tasks[t].instance, b.tasks[t].instance) << t;
+  }
+  EXPECT_EQ(rng_a.uniform(), rng_b.uniform());
+  EXPECT_EQ(null_plane.stats().calls, 0u);
+}
+
+TEST(ExecutorControlTest, ThrottledOutageProneCloudStillCompletes) {
+  const cloud::Catalog catalog = cloud::make_ec2_catalog();
+  const workflow::Workflow wf = chain(6, 200);
+  const Plan plan = Plan::uniform(wf.task_count(), 0);
+
+  util::Rng clean_rng(3);
+  const ExecutionResult clean =
+      simulate_execution(wf, plan, catalog, clean_rng, deterministic());
+
+  cloud::ControlPlaneOptions cp_options;
+  cp_options.faults.throttle_rate_per_s = 0.2;
+  cp_options.faults.throttle_burst = 1;
+  cp_options.faults.capacity_mtbo_s = 1800;
+  cp_options.faults.capacity_outage_s = 300;
+  cp_options.faults.transient_error_prob = 0.2;
+  cp_options.seed = 17;
+  cloud::ControlPlane plane(catalog, cp_options);
+  ExecutorOptions options = deterministic();
+  options.control = &plane;
+  util::Rng rng(3);
+  ExecutionResult result;
+  ASSERT_NO_THROW(result = simulate_execution(wf, plan, catalog, rng, options));
+
+  EXPECT_TRUE(result.finished);
+  // API faults only delay acquisition: the run is never faster.
+  EXPECT_GE(result.makespan, clean.makespan);
+  EXPECT_GT(plane.stats().calls, 0u);
+  // The executor's own RNG stream is untouched by API faults (the plane
+  // owns its entropy), so the simulated durations match the clean run.
+  EXPECT_EQ(result.failures.task_failures, 0u);
+  EXPECT_EQ(result.failures.instance_crashes, 0u);
+}
+
+TEST(ExecutorControlTest, ExhaustedCloudThrowsProvisioningError) {
+  const cloud::Catalog catalog = cloud::make_ec2_catalog();
+  const workflow::Workflow wf = chain(2, 50);
+  const Plan plan = Plan::uniform(wf.task_count(), 0);
+
+  cloud::ControlPlaneOptions cp_options;
+  // Every call fails, from t=0 onward (capacity windows only begin after a
+  // first draw, but a certain transient error is time-independent).
+  cp_options.faults.transient_error_prob = 1.0;
+  cp_options.allow_type_fallback = false;
+  cp_options.allow_region_fallback = false;
+  cp_options.retry.max_attempts = 2;
+  cp_options.give_up_s = 300;
+  cloud::ControlPlane plane(catalog, cp_options);
+  ExecutorOptions options = deterministic();
+  options.control = &plane;
+  util::Rng rng(4);
+  EXPECT_THROW(simulate_execution(wf, plan, catalog, rng, options),
+               cloud::ProvisioningExhaustedError);
+  EXPECT_GT(plane.stats().exhausted, 0u);
+}
+
+TEST(ExecutorControlTest, SpotInterruptionCheckpointsAndRetries) {
+  const cloud::Catalog catalog = cloud::make_ec2_catalog();
+  // One long task: with a short interruption MTBF the first attempts are
+  // reclaimed mid-run, the notice checkpoints progress, and the retry-cap
+  // immunity guarantees eventual completion.
+  const workflow::Workflow wf = chain(1, 20000);
+  const Plan plan = Plan::uniform(wf.task_count(), 0);
+
+  cloud::ControlPlaneOptions cp_options;
+  cp_options.faults.spot_interruption_mtbf_s = 4000;
+  cp_options.faults.spot_notice_lead_s = 120;
+  cp_options.seed = 31;
+  cloud::ControlPlane plane(catalog, cp_options);
+  ExecutorOptions options = deterministic();
+  options.control = &plane;
+  util::Rng rng(5);
+  const ExecutionResult result =
+      simulate_execution(wf, plan, catalog, rng, options);
+
+  EXPECT_TRUE(result.finished);
+  ASSERT_GT(result.failures.spot_interruptions, 0u);
+  EXPECT_EQ(result.failures.retries, result.failures.spot_interruptions);
+  EXPECT_TRUE(std::isfinite(result.first_notice_s));
+  // Interrupted attempts are logged with their own outcome.
+  std::size_t interrupted = 0;
+  for (const TaskAttempt& attempt : result.attempts) {
+    interrupted += attempt.outcome == AttemptOutcome::kInterrupted;
+  }
+  EXPECT_EQ(interrupted, result.failures.spot_interruptions);
+  // Checkpointing salvages the work before each notice, so total simulated
+  // busy time stays below lost-everything replay of the full duration per
+  // attempt (the final attempt alone runs the un-salvaged remainder).
+  EXPECT_GT(result.makespan, 20000.0);  // interruptions did delay the run
+}
+
+TEST(ExecutorControlTest, InterruptionRunsAreSeedDeterministic) {
+  const cloud::Catalog catalog = cloud::make_ec2_catalog();
+  const workflow::Workflow wf = chain(3, 8000);
+  const Plan plan = Plan::uniform(wf.task_count(), 0);
+
+  cloud::ControlPlaneOptions cp_options;
+  cp_options.faults.spot_interruption_mtbf_s = 6000;
+  cp_options.seed = 12;
+
+  auto run = [&]() {
+    cloud::ControlPlane plane(catalog, cp_options);
+    ExecutorOptions options = deterministic();
+    options.control = &plane;
+    util::Rng rng(9);
+    return simulate_execution(wf, plan, catalog, rng, options);
+  };
+  const ExecutionResult a = run();
+  const ExecutionResult b = run();
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.total_cost, b.total_cost);
+  EXPECT_EQ(a.failures.spot_interruptions, b.failures.spot_interruptions);
+  EXPECT_EQ(a.first_notice_s, b.first_notice_s);
+}
+
+}  // namespace
+}  // namespace deco::sim

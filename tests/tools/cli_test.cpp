@@ -106,7 +106,8 @@ TEST(CliRunTest, CalibrateSavesStore) {
 
 TEST(CliRunTest, PlanRequiresDax) {
   std::ostringstream out;
-  EXPECT_EQ(run_cli(parse({"plan", "--deadline", "100"}), out), 1);
+  EXPECT_EQ(run_cli(parse({"plan", "--deadline", "100"}), out),
+            kExitInputError);
   EXPECT_NE(out.str().find("--dax"), std::string::npos);
 }
 
@@ -221,7 +222,7 @@ TEST(CliRunTest, SolveMissingProgramFails) {
   EXPECT_EQ(run_cli(parse({"solve", "--dax", dax, "--program",
                            "/nonexistent.wlog"}),
                     out),
-            1);
+            kExitInputError);
 }
 
 TEST(CliRunTest, InfoSummarizesWorkflow) {
@@ -240,13 +241,13 @@ TEST(CliRunTest, InfoSummarizesWorkflow) {
 
 TEST(CliRunTest, InfoRequiresDax) {
   std::ostringstream out;
-  EXPECT_EQ(run_cli(parse({"info"}), out), 1);
+  EXPECT_EQ(run_cli(parse({"info"}), out), kExitInputError);
 }
 
 TEST(CliRunTest, TruncatedDaxFailsWithDiagnosticNotCrash) {
   // A DAX cut off mid-element (a partial download, a full disk) must come
-  // back as a one-line diagnostic and exit code 1 — never an escaping
-  // exception, whatever the command.
+  // back as a one-line diagnostic and the input-error exit code — never an
+  // escaping exception, whatever the command.
   const std::string path = temp_path("cli_truncated.dax");
   {
     std::ofstream f(path);
@@ -262,9 +263,75 @@ TEST(CliRunTest, TruncatedDaxFailsWithDiagnosticNotCrash) {
                                         "1000"}),
                                  out))
         << command;
-    EXPECT_EQ(rc, 1) << command;
+    EXPECT_EQ(rc, kExitInputError) << command;
     EXPECT_NE(out.str().find("error"), std::string::npos) << out.str();
   }
+}
+
+TEST(CliRunTest, SolverFailureHasDistinctExitCode) {
+  const std::string dax = temp_path("cli_badprog.dax");
+  std::ostringstream gen;
+  run_cli(parse({"generate", "--app", "pipeline", "--tasks", "2", "--out",
+                 dax}),
+          gen);
+  // A syntactically broken WLog program reaches the solver and fails there:
+  // that is a solver failure (2), not an input I/O failure (3).
+  const std::string program = temp_path("cli_badprog.wlog");
+  {
+    std::ofstream p(program);
+    p << "goal minimize Ct in totalcost(Ct";  // unbalanced, no clauses
+  }
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(parse({"solve", "--dax", dax, "--program", program}), out),
+            kExitSolverFailure);
+  EXPECT_NE(out.str().find("error"), std::string::npos) << out.str();
+}
+
+TEST(CliRunTest, RunDegradedApiProfileCompletes) {
+  const std::string dax = temp_path("cli_degraded.dax");
+  std::ostringstream gen;
+  run_cli(parse({"generate", "--app", "pipeline", "--tasks", "3", "--out",
+                 dax}),
+          gen);
+  std::ostringstream out;
+  // Throttling, outages and transient errors — but retries and fallback
+  // carry every run to completion with exit 0.
+  const int rc = run_cli(parse({"run", "--dax", dax, "--deadline", "100000",
+                                "--runs", "3", "--api-profile", "degraded"}),
+                         out);
+  EXPECT_EQ(rc, kExitOk) << out.str();
+  EXPECT_NE(out.str().find("executed 3 runs"), std::string::npos);
+  EXPECT_NE(out.str().find("control plane:"), std::string::npos);
+}
+
+TEST(CliRunTest, RunExhaustedApiProfileExitsWithCapacityCode) {
+  const std::string dax = temp_path("cli_exhausted.dax");
+  std::ostringstream gen;
+  run_cli(parse({"generate", "--app", "pipeline", "--tasks", "3", "--out",
+                 dax}),
+          gen);
+  std::ostringstream out;
+  int rc = -1;
+  ASSERT_NO_THROW(rc = run_cli(parse({"run", "--dax", dax, "--deadline",
+                                      "100000", "--runs", "2",
+                                      "--api-profile", "exhausted"}),
+                               out));
+  EXPECT_EQ(rc, kExitProvisioningExhausted) << out.str();
+  EXPECT_NE(out.str().find("error"), std::string::npos);
+}
+
+TEST(CliRunTest, UnknownApiProfileIsUsageError) {
+  const std::string dax = temp_path("cli_badprofile.dax");
+  std::ostringstream gen;
+  run_cli(parse({"generate", "--app", "pipeline", "--tasks", "2", "--out",
+                 dax}),
+          gen);
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(parse({"run", "--dax", dax, "--deadline", "100000",
+                           "--api-profile", "sideways"}),
+                    out),
+            kExitError);
+  EXPECT_NE(out.str().find("api-profile"), std::string::npos);
 }
 
 TEST(CliRunTest, PlanUsesSavedStore) {

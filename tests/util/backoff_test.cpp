@@ -1,0 +1,119 @@
+#include "util/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace deco::util {
+namespace {
+
+TEST(BackoffTest, CeilingIsCappedExponential) {
+  const BackoffOptions options{1.0, 2.0, 8.0, 1.0};
+  EXPECT_DOUBLE_EQ(backoff_ceiling(options, 1), 1.0);
+  EXPECT_DOUBLE_EQ(backoff_ceiling(options, 2), 2.0);
+  EXPECT_DOUBLE_EQ(backoff_ceiling(options, 3), 4.0);
+  EXPECT_DOUBLE_EQ(backoff_ceiling(options, 4), 8.0);
+  EXPECT_DOUBLE_EQ(backoff_ceiling(options, 5), 8.0);  // capped
+  // Attempt 0 is treated as the first attempt.
+  EXPECT_DOUBLE_EQ(backoff_ceiling(options, 0), 1.0);
+}
+
+TEST(BackoffTest, ZeroJitterReturnsCeilingsAndDrawsNothing) {
+  const BackoffOptions options{2.0, 3.0, 50.0, 0.0};
+  Backoff backoff(options);
+  Rng rng(42);
+  Rng untouched(42);
+  EXPECT_DOUBLE_EQ(backoff.next(rng), 2.0);
+  EXPECT_DOUBLE_EQ(backoff.next(rng), 6.0);
+  EXPECT_DOUBLE_EQ(backoff.next(rng), 18.0);
+  EXPECT_DOUBLE_EQ(backoff.next(rng), 50.0);
+  // No jitter -> no entropy consumed: the stream matches a fresh one.
+  EXPECT_DOUBLE_EQ(rng.uniform(), untouched.uniform());
+}
+
+TEST(BackoffTest, SameSeedGivesBitIdenticalSchedule) {
+  const BackoffOptions options{1.0, 2.0, 64.0, 1.0};
+  std::vector<double> first;
+  std::vector<double> second;
+  {
+    Backoff backoff(options);
+    Rng rng(2015);
+    for (int i = 0; i < 12; ++i) first.push_back(backoff.next(rng));
+  }
+  {
+    Backoff backoff(options);
+    Rng rng(2015);
+    for (int i = 0; i < 12; ++i) second.push_back(backoff.next(rng));
+  }
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first[i], second[i]) << "attempt " << i;
+  }
+}
+
+TEST(BackoffTest, DifferentSeedsGiveDifferentSchedules) {
+  const BackoffOptions options{1.0, 2.0, 64.0, 1.0};
+  Backoff a(options);
+  Backoff b(options);
+  Rng rng_a(1);
+  Rng rng_b(2);
+  bool any_different = false;
+  for (int i = 0; i < 8; ++i) {
+    if (a.next(rng_a) != b.next(rng_b)) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(BackoffTest, JitteredDelaysAreBoundedByCeilingAndPositive) {
+  const BackoffOptions options{1.0, 2.0, 16.0, 1.0};
+  Backoff backoff(options);
+  Rng rng(7);
+  for (std::size_t attempt = 1; attempt <= 20; ++attempt) {
+    const double delay = backoff.next(rng);
+    EXPECT_GT(delay, 0.0) << "attempt " << attempt;
+    EXPECT_LE(delay, backoff_ceiling(options, attempt)) << "attempt "
+                                                        << attempt;
+  }
+}
+
+TEST(BackoffTest, WorstCaseTotalBoundsAnySchedule) {
+  const BackoffOptions options{1.0, 2.0, 64.0, 1.0};
+  constexpr std::size_t kAttempts = 10;
+  const double bound = backoff_worst_case_total(options, kAttempts);
+  // Explicit sum of ceilings: 1+2+4+8+16+32+64+64+64+64.
+  EXPECT_DOUBLE_EQ(bound, 1 + 2 + 4 + 8 + 16 + 32 + 64 * 4);
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    Backoff backoff(options);
+    Rng rng(seed);
+    double total = 0;
+    for (std::size_t i = 0; i < kAttempts; ++i) total += backoff.next(rng);
+    EXPECT_LE(total, bound) << "seed " << seed;
+  }
+}
+
+TEST(BackoffTest, PartialJitterBlendsTowardCeiling) {
+  // jitter = 0.25 keeps every delay within [0.75, 1.0] * ceiling.
+  const BackoffOptions options{4.0, 2.0, 64.0, 0.25};
+  Backoff backoff(options);
+  Rng rng(11);
+  for (std::size_t attempt = 1; attempt <= 10; ++attempt) {
+    const double ceiling = backoff_ceiling(options, attempt);
+    const double delay = backoff.next(rng);
+    EXPECT_GE(delay, 0.75 * ceiling - 1e-12);
+    EXPECT_LE(delay, ceiling + 1e-12);
+  }
+}
+
+TEST(BackoffTest, ResetRestartsTheSchedule) {
+  const BackoffOptions options{1.0, 2.0, 64.0, 0.0};
+  Backoff backoff(options);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(backoff.next(rng), 1.0);
+  EXPECT_DOUBLE_EQ(backoff.next(rng), 2.0);
+  backoff.reset();
+  EXPECT_EQ(backoff.attempt(), 0u);
+  EXPECT_DOUBLE_EQ(backoff.next(rng), 1.0);
+}
+
+}  // namespace
+}  // namespace deco::util

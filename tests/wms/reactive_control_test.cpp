@@ -1,0 +1,120 @@
+// ReactiveEngine <-> cloud::ControlPlane: null-model equivalence, completion
+// under a degraded API, and proactive replanning on spot-interruption
+// notices.
+#include <gtest/gtest.h>
+
+#include "tests/core/test_fixtures.hpp"
+#include "wms/reactive.hpp"
+#include "workflow/generators.hpp"
+
+namespace deco::wms {
+namespace {
+
+using core::testing::ec2;
+using core::testing::store;
+
+ReactiveOptions quiet_options() {
+  ReactiveOptions opt;
+  opt.executor.sample_dynamics = false;
+  opt.executor.rand_io_ops_per_task = 0;
+  return opt;
+}
+
+TEST(ReactiveControlTest, NullControlOptionsMatchNoControl) {
+  util::Rng wf_rng(1);
+  const auto wf = workflow::make_montage(1, wf_rng);
+  FixedTypeScheduler primary(1);
+
+  ReactiveEngine plain(ec2(), store(), primary, quiet_options());
+  const ReactiveReport a = plain.run(wf, {0.9, 1e9});
+
+  ReactiveOptions with_null = quiet_options();
+  with_null.control = cloud::ControlPlaneOptions{};  // all fault knobs zero
+  ReactiveEngine mediated(ec2(), store(), primary, with_null);
+  const ReactiveReport b = mediated.run(wf, {0.9, 1e9});
+
+  // The null fault model is bit-identical to running without a control
+  // plane, end to end through the engine.
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.total_cost, b.total_cost);
+  EXPECT_EQ(a.replans, b.replans);
+  EXPECT_EQ(a.segments, b.segments);
+  EXPECT_EQ(b.api.calls, 0u);
+  EXPECT_EQ(b.proactive_replans, 0u);
+}
+
+TEST(ReactiveControlTest, DegradedApiRunCompletesAndReportsStats) {
+  util::Rng wf_rng(2);
+  const auto wf = workflow::make_montage(1, wf_rng);
+  FixedTypeScheduler primary(0);
+
+  ReactiveOptions options = quiet_options();
+  cloud::ControlPlaneOptions cp;
+  cp.faults.throttle_rate_per_s = 0.2;
+  cp.faults.throttle_burst = 2;
+  cp.faults.capacity_mtbo_s = 3600;
+  cp.faults.capacity_outage_s = 300;
+  cp.faults.transient_error_prob = 0.1;
+  options.control = cp;
+  ReactiveEngine engine(ec2(), store(), primary, options);
+
+  ReactiveReport report;
+  ASSERT_NO_THROW(report = engine.run(wf, {0.9, 1e9}));
+  EXPECT_TRUE(report.completed);
+  EXPECT_TRUE(report.met_deadline);
+  EXPECT_GT(report.api.calls, 0u);
+}
+
+TEST(ReactiveControlTest, SpotNoticesTriggerProactiveReplans) {
+  util::Rng wf_rng(3);
+  const auto wf = workflow::make_montage(1, wf_rng);
+  FixedTypeScheduler primary(0);
+
+  // Clean-run makespan so the interruption MTBF can be set well inside it:
+  // a notice then lands inside every probe, forcing proactive cuts.
+  ReactiveEngine clean(ec2(), store(), primary, quiet_options());
+  const ReactiveReport clean_report = clean.run(wf, {0.9, 1e9});
+  ASSERT_TRUE(clean_report.completed);
+
+  ReactiveOptions options = quiet_options();
+  cloud::ControlPlaneOptions cp;
+  cp.faults.spot_interruption_mtbf_s =
+      std::max(clean_report.makespan / 4.0, 60.0);
+  cp.faults.spot_notice_lead_s = 120;
+  options.control = cp;
+  ReactiveEngine engine(ec2(), store(), primary, options);
+
+  ReactiveReport report;
+  ASSERT_NO_THROW(report = engine.run(wf, {0.9, 1e9}));
+  EXPECT_TRUE(report.completed);
+  EXPECT_GT(report.proactive_replans, 0u);
+  EXPECT_LE(report.proactive_replans, report.replans);
+  EXPECT_GT(report.api.spot_interruptions, 0u);
+}
+
+TEST(ReactiveControlTest, ReportsAreSeedDeterministic) {
+  util::Rng wf_rng(4);
+  const auto wf = workflow::make_montage(1, wf_rng);
+  FixedTypeScheduler primary(0);
+
+  ReactiveOptions options = quiet_options();
+  cloud::ControlPlaneOptions cp;
+  cp.faults.transient_error_prob = 0.15;
+  cp.faults.spot_interruption_mtbf_s = 4000;
+  options.control = cp;
+
+  auto run = [&]() {
+    ReactiveEngine engine(ec2(), store(), primary, options);
+    return engine.run(wf, {0.9, 1e9});
+  };
+  const ReactiveReport a = run();
+  const ReactiveReport b = run();
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.total_cost, b.total_cost);
+  EXPECT_EQ(a.replans, b.replans);
+  EXPECT_EQ(a.proactive_replans, b.proactive_replans);
+  EXPECT_EQ(a.api.calls, b.api.calls);
+}
+
+}  // namespace
+}  // namespace deco::wms
