@@ -13,10 +13,19 @@
 // The hw_threads field in the JSON says what parallelism the host could
 // actually express.
 //
-// Usage: solver_speedup [output.json]
+// On top of the backend sweep, every configuration runs under both the
+// full-MC estimator (`mc`, the pre-screening baseline) and the tiered
+// estimator hierarchy (`auto`: analytic screen -> adaptive QMC -> full-MC
+// verify).  The "screening" block in the JSON summarizes what the screen
+// decided and the auto-vs-mc throughput ratio per workflow — the headline
+// number of the estimator-hierarchy work (docs/performance.md).
+//
+// Usage: solver_speedup [output.json] [--smoke]
+//   --smoke shrinks workflows, budgets and repetitions to a CI-sized run.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -34,26 +43,38 @@ struct Row {
   std::size_t tasks = 0;
   std::string backend;
   std::size_t workers = 0;  ///< vgpu pool workers; 0 for the serial backend
+  std::string estimator = "mc";
   std::size_t mc_iterations = 0;
   std::size_t states_evaluated = 0;
+  std::size_t states_pruned = 0;  ///< analytic-screen rejections (auto only)
   double seconds = 0;
   double states_per_sec = 0;
   double eval_stall_ms = 0;
   double ms_per_task = 0;
   double speedup_vs_serial = 0;
+  double speedup_vs_mc = 0;  ///< same config, auto vs mc; 1.0 for mc rows
+  core::ScreenStats screen;  ///< zeroed for the full-MC rows
+};
+
+struct CaseConfig {
+  core::EstimatorMode mode = core::EstimatorMode::kMc;
+  std::size_t mc_iterations = 1000;  // the paper's Max_iter default
+  std::size_t max_states = 96;
+  int reps = 3;
 };
 
 Row run_case(const workflow::Workflow& wf, const std::string& backend_name,
-             std::size_t workers, double deadline) {
+             std::size_t workers, double deadline, const CaseConfig& cfg) {
   core::TaskTimeEstimator estimator(bench::env().catalog, bench::env().store);
   auto backend = vgpu::make_backend(backend_name, workers);
   core::EvalOptions eval;
-  eval.mc_iterations = 1000;  // the paper's Max_iter default
+  eval.mc_iterations = cfg.mc_iterations;
   eval.cost_model = core::CostModel::kBilledHours;
+  eval.estimator = cfg.mode;
   core::SchedulingProblem problem(wf, estimator, *backend, eval);
 
   core::SchedulingOptions opt;
-  opt.search.max_states = 96;
+  opt.search.max_states = cfg.max_states;
   opt.search.batch_size = 32;
   opt.search.stale_wave_limit = 0;  // fixed budget: comparable across backends
 
@@ -64,7 +85,7 @@ Row run_case(const workflow::Workflow& wf, const std::string& backend_name,
   (void)problem.solve(req, opt);
   double best = 1e300;
   core::SearchStats stats;
-  for (int rep = 0; rep < 3; ++rep) {
+  for (int rep = 0; rep < cfg.reps; ++rep) {
     const auto t0 = std::chrono::steady_clock::now();
     const auto result = problem.solve(req, opt);
     const double dt =
@@ -81,16 +102,20 @@ Row run_case(const workflow::Workflow& wf, const std::string& backend_name,
   row.tasks = wf.task_count();
   row.backend = backend_name;
   row.workers = backend_name == "serial" ? 0 : workers;
-  row.mc_iterations = eval.mc_iterations;
+  row.estimator = core::to_string(cfg.mode);
+  row.mc_iterations = cfg.mc_iterations;
   row.states_evaluated = stats.states_evaluated;
+  row.states_pruned = stats.states_pruned;
   row.seconds = best;
   row.states_per_sec = static_cast<double>(stats.states_evaluated) / best;
   row.eval_stall_ms = stats.eval_stall_ms;
   row.ms_per_task = best * 1000.0 / static_cast<double>(wf.task_count());
+  row.screen = problem.evaluator().screen_stats();  // tallies over all solves
   return row;
 }
 
-bool write_json(const std::vector<Row>& rows, const std::string& path) {
+bool write_json(const std::vector<Row>& rows, double guard_z,
+                const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -100,7 +125,7 @@ bool write_json(const std::vector<Row>& rows, const std::string& path) {
   std::fprintf(f,
                "  \"unit\": {\"states_per_sec\": \"plans/s\", "
                "\"eval_stall_ms\": \"ms\", \"ms_per_task\": \"ms/task\", "
-               "\"speedup_vs_serial\": \"x\"},\n");
+               "\"speedup_vs_serial\": \"x\", \"speedup_vs_mc\": \"x\"},\n");
   std::fprintf(f, "  \"hw_threads\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(f, "  \"rows\": [\n");
@@ -109,38 +134,92 @@ bool write_json(const std::vector<Row>& rows, const std::string& path) {
     std::fprintf(
         f,
         "    {\"workflow\": \"%s\", \"tasks\": %zu, \"backend\": \"%s\", "
-        "\"workers\": %zu, \"mc_iterations\": %zu, \"states_evaluated\": "
-        "%zu, \"seconds\": %.6f, \"states_per_sec\": %.1f, "
-        "\"eval_stall_ms\": %.2f, \"ms_per_task\": %.2f, "
-        "\"speedup_vs_serial\": %.3f}%s\n",
+        "\"workers\": %zu, \"estimator\": \"%s\", \"mc_iterations\": %zu, "
+        "\"states_evaluated\": %zu, \"states_pruned\": %zu, \"seconds\": "
+        "%.6f, \"states_per_sec\": %.1f, \"eval_stall_ms\": %.2f, "
+        "\"ms_per_task\": %.2f, \"speedup_vs_serial\": %.3f, "
+        "\"speedup_vs_mc\": %.3f}%s\n",
         r.workflow.c_str(), r.tasks, r.backend.c_str(), r.workers,
-        r.mc_iterations, r.states_evaluated, r.seconds, r.states_per_sec,
-        r.eval_stall_ms, r.ms_per_task, r.speedup_vs_serial,
+        r.estimator.c_str(), r.mc_iterations, r.states_evaluated,
+        r.states_pruned, r.seconds, r.states_per_sec, r.eval_stall_ms,
+        r.ms_per_task, r.speedup_vs_serial, r.speedup_vs_mc,
         i + 1 < rows.size() ? "," : "");
   }
+  // Estimator-hierarchy summary: aggregate screen verdicts across every
+  // `auto` solve plus the auto-vs-mc throughput ratio per workflow at the
+  // largest worker count (the acceptance configuration).
+  core::ScreenStats total;
+  for (const Row& r : rows) {
+    total.screened += r.screen.screened;
+    total.accepted += r.screen.accepted;
+    total.rejected += r.screen.rejected;
+    total.escalated += r.screen.escalated;
+    total.qmc_early_stops += r.screen.qmc_early_stops;
+    total.qmc_iterations_used += r.screen.qmc_iterations_used;
+    total.qmc_iterations_saved += r.screen.qmc_iterations_saved;
+    total.full_mc_verifications += r.screen.full_mc_verifications;
+  }
+  std::fprintf(f,
+               "  ],\n  \"screening\": {\"guard_band_z\": %.3f, \"screened\": "
+               "%zu, \"accepted\": %zu, \"rejected\": %zu, \"escalated\": "
+               "%zu, \"qmc_early_stops\": %zu, \"qmc_iterations_used\": %zu, "
+               "\"qmc_iterations_saved\": %zu, \"full_mc_verifications\": "
+               "%zu, \"speedup_vs_mc\": [",
+               guard_z, total.screened, total.accepted, total.rejected,
+               total.escalated, total.qmc_early_stops,
+               total.qmc_iterations_used, total.qmc_iterations_saved,
+               total.full_mc_verifications);
+  bool first = true;
+  for (const Row& r : rows) {
+    if (r.estimator != "auto") continue;
+    std::fprintf(f,
+                 "%s{\"workflow\": \"%s\", \"backend\": \"%s\", \"workers\": "
+                 "%zu, \"speedup\": %.2f}",
+                 first ? "" : ", ", r.workflow.c_str(), r.backend.c_str(),
+                 r.workers, r.speedup_vs_mc);
+    first = false;
+  }
+  std::fprintf(f, "]},\n");
   const std::string metrics =
       obs::to_json(obs::Registry::instance().snapshot());
-  std::fprintf(f, "  ],\n  \"metrics\": %s\n}\n", metrics.c_str());
+  std::fprintf(f, "  \"metrics\": %s\n}\n", metrics.c_str());
   return std::fclose(f) == 0;
+}
+
+void print_row(const Row& row) {
+  std::printf("%-12s %6zu %-7s %7zu %-5s %10.1f %8zu %10.2f %9.3f %9.3f\n",
+              row.workflow.c_str(), row.tasks, row.backend.c_str(),
+              row.workers, row.estimator.c_str(), row.states_per_sec,
+              row.states_pruned, row.ms_per_task, row.speedup_vs_serial,
+              row.speedup_vs_mc);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace deco;
-  const std::string out = argc > 1 ? argv[1] : "BENCH_solver.json";
+  std::string out = "BENCH_solver.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out = argv[i];
+    }
+  }
   obs::Registry::instance().set_enabled(true);
   bench::print_header(
       "solver_speedup",
       "Search-driven solver throughput: serial baseline vs work-stealing "
       "vgpu backend at 1/2/4/hw workers (billed-hours model, 1000 MC "
-      "iterations, 96-state budget), with pipelined-driver stall time and "
-      "per-task optimization overhead.");
+      "iterations, 96-state budget), each under the full-MC estimator and "
+      "the tiered analytic/QMC hierarchy, with pipelined-driver stall time "
+      "and per-task optimization overhead.");
 
   util::Rng rng(2015);
   std::vector<workflow::Workflow> workflows;
-  workflows.push_back(workflow::make_montage_by_width(28, rng));
-  workflows.push_back(workflow::make_cybershake(100, rng));
+  workflows.push_back(workflow::make_montage_by_width(smoke ? 8 : 28, rng));
+  workflows.push_back(workflow::make_cybershake(smoke ? 30 : 100, rng));
 
   // Worker sweep: 1, 2, 4 and the hardware thread count, deduplicated.
   std::vector<std::size_t> sweep{1, 2, 4};
@@ -149,31 +228,52 @@ int main(int argc, char** argv) {
   if (std::find(sweep.begin(), sweep.end(), hw) == sweep.end()) {
     sweep.push_back(hw);
   }
+  if (smoke) sweep = {2};
+
+  CaseConfig mc_cfg;
+  CaseConfig auto_cfg;
+  auto_cfg.mode = core::EstimatorMode::kAuto;
+  if (smoke) {
+    mc_cfg.mc_iterations = auto_cfg.mc_iterations = 64;
+    mc_cfg.max_states = auto_cfg.max_states = 16;
+    mc_cfg.reps = auto_cfg.reps = 1;
+  }
 
   std::vector<Row> rows;
-  std::printf("%-12s %6s %-7s %7s %10s %12s %10s %9s\n", "workflow", "tasks",
-              "backend", "workers", "states/s", "stall_ms", "ms/task",
-              "speedup");
+  std::printf("%-12s %6s %-7s %7s %-5s %10s %8s %10s %9s %9s\n", "workflow",
+              "tasks", "backend", "workers", "est", "states/s", "pruned",
+              "ms/task", "vs_ser", "vs_mc");
   for (const auto& wf : workflows) {
     const double deadline = bench::deadline_bounds(wf).medium();
-    Row serial = run_case(wf, "serial", 0, deadline);
-    serial.speedup_vs_serial = 1.0;
-    rows.push_back(serial);
-    std::printf("%-12s %6zu %-7s %7zu %10.1f %12.1f %10.2f %9.3f\n",
-                serial.workflow.c_str(), serial.tasks, serial.backend.c_str(),
-                serial.workers, serial.states_per_sec, serial.eval_stall_ms,
-                serial.ms_per_task, serial.speedup_vs_serial);
+    // Serial baseline, then the worker sweep, under both estimators; the
+    // mc row of each configuration is the denominator for speedup_vs_mc.
+    Row serial_mc = run_case(wf, "serial", 0, deadline, mc_cfg);
+    serial_mc.speedup_vs_serial = 1.0;
+    serial_mc.speedup_vs_mc = 1.0;
+    print_row(serial_mc);
+    Row serial_auto = run_case(wf, "serial", 0, deadline, auto_cfg);
+    serial_auto.speedup_vs_serial = 1.0;
+    serial_auto.speedup_vs_mc =
+        serial_auto.states_per_sec / serial_mc.states_per_sec;
+    print_row(serial_auto);
+    const double serial_mc_rate = serial_mc.states_per_sec;
+    const double serial_auto_rate = serial_auto.states_per_sec;
+    rows.push_back(std::move(serial_mc));
+    rows.push_back(std::move(serial_auto));
     for (const std::size_t workers : sweep) {
-      Row row = run_case(wf, "vgpu", workers, deadline);
-      row.speedup_vs_serial = row.states_per_sec / serial.states_per_sec;
-      std::printf("%-12s %6zu %-7s %7zu %10.1f %12.1f %10.2f %9.3f\n",
-                  row.workflow.c_str(), row.tasks, row.backend.c_str(),
-                  row.workers, row.states_per_sec, row.eval_stall_ms,
-                  row.ms_per_task, row.speedup_vs_serial);
-      rows.push_back(std::move(row));
+      Row mc_row = run_case(wf, "vgpu", workers, deadline, mc_cfg);
+      mc_row.speedup_vs_serial = mc_row.states_per_sec / serial_mc_rate;
+      mc_row.speedup_vs_mc = 1.0;
+      print_row(mc_row);
+      Row auto_row = run_case(wf, "vgpu", workers, deadline, auto_cfg);
+      auto_row.speedup_vs_serial = auto_row.states_per_sec / serial_auto_rate;
+      auto_row.speedup_vs_mc = auto_row.states_per_sec / mc_row.states_per_sec;
+      print_row(auto_row);
+      rows.push_back(std::move(mc_row));
+      rows.push_back(std::move(auto_row));
     }
   }
-  if (!write_json(rows, out)) return 1;
+  if (!write_json(rows, core::EvalOptions{}.screen_guard_z, out)) return 1;
   std::printf("\nwrote %s\n", out.c_str());
   return 0;
 }

@@ -3,11 +3,33 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/analytic_estimator.hpp"
 #include "obs/obs.hpp"
 #include "util/alias_table.hpp"
 #include "util/stats.hpp"
 
 namespace deco::core {
+
+std::optional<EstimatorMode> parse_estimator_mode(std::string_view name) {
+  if (name == "mc") return EstimatorMode::kMc;
+  if (name == "analytic") return EstimatorMode::kAnalytic;
+  if (name == "auto") return EstimatorMode::kAuto;
+  return std::nullopt;
+}
+
+const char* to_string(EstimatorMode mode) {
+  switch (mode) {
+    case EstimatorMode::kMc:
+      return "mc";
+    case EstimatorMode::kAnalytic:
+      return "analytic";
+    case EstimatorMode::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+PlanEvaluator::~PlanEvaluator() = default;
 
 PlanEvaluator::PlanEvaluator(const workflow::Workflow& wf,
                              TaskTimeEstimator& estimator,
@@ -185,6 +207,142 @@ PlanEvaluation PlanEvaluator::evaluate(const sim::Plan& plan,
   return evaluate_batch(std::span<const sim::Plan>(one, 1), req)[0];
 }
 
+void PlanEvaluator::eval_tile_rows(
+    const DevicePlan& dev, bool billed, std::size_t tile, std::size_t lanes,
+    std::span<const double> uniforms, std::span<double> finish,
+    std::span<const double> inv_inter, std::span<double> start,
+    std::span<const double> zero_row, std::span<double> duration,
+    std::span<double> makespan_acc, std::span<double> cost_acc,
+    std::span<double> group_avail, std::span<double> group_time) const {
+  const std::size_t n = wf_->task_count();
+  constexpr double kInvHour = 1.0 / 3600.0;
+  std::fill(group_avail.begin(), group_avail.end(), 0.0);
+  std::fill(group_time.begin(), group_time.end(), 0.0);
+
+  // Evaluation pass (task-major rows over the tile's lanes).
+  for (std::size_t p = 0; p < n; ++p) {
+    const std::size_t lo = dev.bin_offsets[p];
+    const std::size_t bins = dev.bin_offsets[p + 1] - lo;
+    const double cpu = dev.cpu[p];
+    const double* u_row = uniforms.data() + p * tile;
+    double* f_row = finish.data() + p * tile;
+    // O(1) alias-table draw per lane: one uniform, one comparison, one
+    // contiguous column read (both candidate centers pre-resolved).
+    if (bins != 0) {
+      const AliasColumn* cols = dev.columns.data() + lo;
+      for (std::size_t j = 0; j < lanes; ++j) {
+        const double scaled = u_row[j] * static_cast<double>(bins);
+        std::size_t col = static_cast<std::size_t>(scaled);
+        if (col >= bins) col = bins - 1;  // u ~ 1 after fp rounding
+        const AliasColumn& c = cols[col];
+        const double center = (scaled - static_cast<double>(col)) < c.prob
+                                  ? c.stay_center
+                                  : c.alias_center;
+        duration[j] = cpu + center * inv_inter[j];
+      }
+    } else {
+      std::fill(duration.begin(), duration.begin() + static_cast<std::ptrdiff_t>(lanes), cpu);
+    }
+    // start = max over parents' finish rows (position-space CSR).  Roots
+    // read a never-written zero row and single-parent tasks read the
+    // parent's finish row in place, so only multi-parent tasks pay for a
+    // reduction into the start row.
+    const std::size_t pb = parent_offsets_[p];
+    const std::size_t pe = parent_offsets_[p + 1];
+    const double* s_row;
+    if (pb == pe) {
+      s_row = zero_row.data();
+    } else if (pe - pb == 1) {
+      s_row = finish.data() + parents_[pb] * tile;
+    } else if (pe - pb == 2) {
+      const double* r0 = finish.data() + parents_[pb] * tile;
+      const double* r1 = finish.data() + parents_[pb + 1] * tile;
+      for (std::size_t j = 0; j < lanes; ++j) {
+        start[j] = std::max(r0[j], r1[j]);
+      }
+      s_row = start.data();
+    } else {
+      const double* parent_row = finish.data() + parents_[pb] * tile;
+      std::copy(parent_row, parent_row + lanes, start.begin());
+      for (std::size_t e = pb + 1; e < pe; ++e) {
+        const double* row = finish.data() + parents_[e] * tile;
+        for (std::size_t j = 0; j < lanes; ++j) {
+          start[j] = std::max(start[j], row[j]);
+        }
+      }
+      s_row = start.data();
+    }
+    // Finish, makespan and cost accumulation fused into one row pass per
+    // task (same arithmetic per lane as the unfused form, so results are
+    // bit-identical — just fewer trips through L1).  Tasks in the same
+    // instance group serialize on that instance (Merge/CoSchedule
+    // semantics): finish = max(start, avail) + dur.  Cost is Eq. 1
+    // prorated, or per-instance ceil-to-hour billing (grouped tasks
+    // accumulate shared instance time, billed in the sweep below).
+    const std::int32_t g = dev.group[p];
+    if (g >= 0) {
+      double* avail = group_avail.data() + static_cast<std::size_t>(g) * tile;
+      if (!billed) {
+        const double price = dev.price_per_s[p];
+        for (std::size_t j = 0; j < lanes; ++j) {
+          const double d = duration[j];
+          const double f = std::max(s_row[j], avail[j]) + d;
+          avail[j] = f;
+          f_row[j] = f;
+          cost_acc[j] += d * price;
+        }
+      } else {
+        double* acc = group_time.data() + static_cast<std::size_t>(g) * tile;
+        for (std::size_t j = 0; j < lanes; ++j) {
+          const double d = duration[j];
+          const double f = std::max(s_row[j], avail[j]) + d;
+          avail[j] = f;
+          f_row[j] = f;
+          acc[j] += d;
+        }
+      }
+    } else if (!billed) {
+      const double price = dev.price_per_s[p];
+      for (std::size_t j = 0; j < lanes; ++j) {
+        const double d = duration[j];
+        const double f = s_row[j] + d;
+        f_row[j] = f;
+        cost_acc[j] += d * price;
+      }
+    } else {
+      const double price_hour = dev.price_hour[p];
+      for (std::size_t j = 0; j < lanes; ++j) {
+        const double d = duration[j];
+        const double f = s_row[j] + d;
+        f_row[j] = f;
+        cost_acc[j] +=
+            std::ceil(std::max(d, 1.0) * kInvHour) * price_hour;
+      }
+    }
+    // Only sink rows can hold the makespan (finish times are monotone
+    // along edges), so the accumulator folds those rows alone — same max
+    // value, bit for bit, as folding every row.
+    if (sink_[p]) {
+      for (std::size_t j = 0; j < lanes; ++j) {
+        makespan_acc[j] = std::max(makespan_acc[j], f_row[j]);
+      }
+    }
+  }
+  if (billed) {
+    // Tasks in the same group share one instance, billed by the ceiling
+    // of their summed hours; slots unused by this plan stay zero-sized.
+    for (std::size_t g = 0; g < dev.group_slots; ++g) {
+      if (dev.group_size[g] == 0) continue;
+      const double* acc = group_time.data() + g * tile;
+      const double price_hour = dev.group_price_hour[g];
+      for (std::size_t j = 0; j < lanes; ++j) {
+        cost_acc[j] +=
+            std::ceil(std::max(acc[j], 1.0) * kInvHour) * price_hour;
+      }
+    }
+  }
+}
+
 std::vector<PlanEvaluation> PlanEvaluator::evaluate_batch(
     std::span<const sim::Plan> plans, const ProbDeadline& req) {
   DECO_OBS_SPAN_TIMED("eval", "evaluate_batch", "eval.batch_ms");
@@ -240,7 +398,6 @@ std::vector<PlanEvaluation> PlanEvaluator::evaluate_batch(
     const DevicePlan& dev = *staged[ctx.block_index()];
     auto shared = ctx.shared();
     const bool billed = cost_model == CostModel::kBilledHours;
-    constexpr double kInvHour = 1.0 / 3600.0;
 
     // SIMT-style execution: lanes are processed in tiles of kTileLanes, and
     // within a tile the kernel walks *tasks* in topological position order,
@@ -298,131 +455,9 @@ std::vector<PlanEvaluation> PlanEvaluator::evaluate_batch(
           for (std::size_t p = 0; p < n; ++p) column[p * tile] = rng.uniform();
         }
       });
-      std::fill(group_avail.begin(), group_avail.end(), 0.0);
-      std::fill(group_time.begin(), group_time.end(), 0.0);
-
-      // Evaluation pass (task-major rows over the tile's lanes).
-      for (std::size_t p = 0; p < n; ++p) {
-        const std::size_t lo = dev.bin_offsets[p];
-        const std::size_t bins = dev.bin_offsets[p + 1] - lo;
-        const double cpu = dev.cpu[p];
-        const double* u_row = uniforms.data() + p * tile;
-        double* f_row = finish.data() + p * tile;
-        // O(1) alias-table draw per lane: one uniform, one comparison, one
-        // contiguous column read (both candidate centers pre-resolved).
-        if (bins != 0) {
-          const AliasColumn* cols = dev.columns.data() + lo;
-          for (std::size_t j = 0; j < lanes; ++j) {
-            const double scaled = u_row[j] * static_cast<double>(bins);
-            std::size_t col = static_cast<std::size_t>(scaled);
-            if (col >= bins) col = bins - 1;  // u ~ 1 after fp rounding
-            const AliasColumn& c = cols[col];
-            const double center = (scaled - static_cast<double>(col)) < c.prob
-                                      ? c.stay_center
-                                      : c.alias_center;
-            duration[j] = cpu + center * inv_inter[j];
-          }
-        } else {
-          std::fill(duration.begin(), duration.begin() + static_cast<std::ptrdiff_t>(lanes), cpu);
-        }
-        // start = max over parents' finish rows (position-space CSR).  Roots
-        // read a never-written zero row and single-parent tasks read the
-        // parent's finish row in place, so only multi-parent tasks pay for a
-        // reduction into the start row.
-        const std::size_t pb = parent_offsets_[p];
-        const std::size_t pe = parent_offsets_[p + 1];
-        const double* s_row;
-        if (pb == pe) {
-          s_row = zero_row.data();
-        } else if (pe - pb == 1) {
-          s_row = finish.data() + parents_[pb] * tile;
-        } else if (pe - pb == 2) {
-          const double* r0 = finish.data() + parents_[pb] * tile;
-          const double* r1 = finish.data() + parents_[pb + 1] * tile;
-          for (std::size_t j = 0; j < lanes; ++j) {
-            start[j] = std::max(r0[j], r1[j]);
-          }
-          s_row = start.data();
-        } else {
-          const double* parent_row = finish.data() + parents_[pb] * tile;
-          std::copy(parent_row, parent_row + lanes, start.begin());
-          for (std::size_t e = pb + 1; e < pe; ++e) {
-            const double* row = finish.data() + parents_[e] * tile;
-            for (std::size_t j = 0; j < lanes; ++j) {
-              start[j] = std::max(start[j], row[j]);
-            }
-          }
-          s_row = start.data();
-        }
-        // Finish, makespan and cost accumulation fused into one row pass per
-        // task (same arithmetic per lane as the unfused form, so results are
-        // bit-identical — just fewer trips through L1).  Tasks in the same
-        // instance group serialize on that instance (Merge/CoSchedule
-        // semantics): finish = max(start, avail) + dur.  Cost is Eq. 1
-        // prorated, or per-instance ceil-to-hour billing (grouped tasks
-        // accumulate shared instance time, billed in the sweep below).
-        const std::int32_t g = dev.group[p];
-        if (g >= 0) {
-          double* avail = group_avail.data() + static_cast<std::size_t>(g) * tile;
-          if (!billed) {
-            const double price = dev.price_per_s[p];
-            for (std::size_t j = 0; j < lanes; ++j) {
-              const double d = duration[j];
-              const double f = std::max(s_row[j], avail[j]) + d;
-              avail[j] = f;
-              f_row[j] = f;
-              cost_acc[j] += d * price;
-            }
-          } else {
-            double* acc = group_time.data() + static_cast<std::size_t>(g) * tile;
-            for (std::size_t j = 0; j < lanes; ++j) {
-              const double d = duration[j];
-              const double f = std::max(s_row[j], avail[j]) + d;
-              avail[j] = f;
-              f_row[j] = f;
-              acc[j] += d;
-            }
-          }
-        } else if (!billed) {
-          const double price = dev.price_per_s[p];
-          for (std::size_t j = 0; j < lanes; ++j) {
-            const double d = duration[j];
-            const double f = s_row[j] + d;
-            f_row[j] = f;
-            cost_acc[j] += d * price;
-          }
-        } else {
-          const double price_hour = dev.price_hour[p];
-          for (std::size_t j = 0; j < lanes; ++j) {
-            const double d = duration[j];
-            const double f = s_row[j] + d;
-            f_row[j] = f;
-            cost_acc[j] +=
-                std::ceil(std::max(d, 1.0) * kInvHour) * price_hour;
-          }
-        }
-        // Only sink rows can hold the makespan (finish times are monotone
-        // along edges), so the accumulator folds those rows alone — same max
-        // value, bit for bit, as folding every row.
-        if (sink_[p]) {
-          for (std::size_t j = 0; j < lanes; ++j) {
-            makespan_acc[j] = std::max(makespan_acc[j], f_row[j]);
-          }
-        }
-      }
-      if (billed) {
-        // Tasks in the same group share one instance, billed by the ceiling
-        // of their summed hours; slots unused by this plan stay zero-sized.
-        for (std::size_t g = 0; g < dev.group_slots; ++g) {
-          if (dev.group_size[g] == 0) continue;
-          const double* acc = group_time.data() + g * tile;
-          const double price_hour = dev.group_price_hour[g];
-          for (std::size_t j = 0; j < lanes; ++j) {
-            cost_acc[j] +=
-                std::ceil(std::max(acc[j], 1.0) * kInvHour) * price_hour;
-          }
-        }
-      }
+      eval_tile_rows(dev, billed, tile, lanes, uniforms, finish, inv_inter,
+                     start, zero_row, duration, makespan_acc, cost_acc,
+                     group_avail, group_time);
       for (std::size_t j = 0; j < lanes; ++j) {
         shared[tile_base + j] = makespan_acc[j];
         shared[iters + tile_base + j] = cost_acc[j];
@@ -443,6 +478,287 @@ std::vector<PlanEvaluation> PlanEvaluator::evaluate_batch(
         std::span<const double>(all_makespans).subspan(i * iters, iters),
         std::span<const double>(all_costs).subspan(i * iters, iters), req);
   }
+  return results;
+}
+
+PlanEvaluation PlanEvaluator::verify_full_mc(const sim::Plan& plan,
+                                             const ProbDeadline& req) {
+  ++screen_stats_.full_mc_verifications;
+  DECO_OBS_COUNTER_ADD("eval.screen.full_mc_verifications", 1);
+  return evaluate(plan, req);
+}
+
+void PlanEvaluator::record_screen_stats(const ScreenStats& delta) {
+  screen_stats_.screened += delta.screened;
+  screen_stats_.accepted += delta.accepted;
+  screen_stats_.rejected += delta.rejected;
+  screen_stats_.escalated += delta.escalated;
+  screen_stats_.qmc_early_stops += delta.qmc_early_stops;
+  screen_stats_.qmc_iterations_used += delta.qmc_iterations_used;
+  screen_stats_.qmc_iterations_saved += delta.qmc_iterations_saved;
+  DECO_OBS_COUNTER_ADD("eval.screen.accepted", delta.accepted);
+  DECO_OBS_COUNTER_ADD("eval.screen.rejected", delta.rejected);
+  DECO_OBS_COUNTER_ADD("eval.screen.escalated", delta.escalated);
+  DECO_OBS_COUNTER_ADD("eval.qmc.early_stops", delta.qmc_early_stops);
+  DECO_OBS_COUNTER_ADD("eval.qmc.iterations", delta.qmc_iterations_used);
+  DECO_OBS_COUNTER_ADD("eval.qmc.iterations_saved",
+                       delta.qmc_iterations_saved);
+}
+
+std::vector<ScreenedEvaluation> PlanEvaluator::evaluate_batch_screened(
+    std::span<const sim::Plan> plans, const ProbDeadline& req) {
+  std::vector<ScreenedEvaluation> results(plans.size());
+  if (plans.empty()) return results;
+
+  // Tier 2 only: delegate wholesale — same kernel, same draws, same reduce,
+  // bit-identical to the pre-hierarchy evaluator.
+  if (options_.estimator == EstimatorMode::kMc) {
+    const auto evals = evaluate_batch(plans, req);
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      results[i].eval = evals[i];
+      results[i].verdict = ScreenVerdict::kNone;
+      results[i].mc_iterations_used = options_.mc_iterations;
+    }
+    return results;
+  }
+
+  if (!analytic_) analytic_ = std::make_unique<AnalyticEstimator>(*this);
+  ScreenStats delta;
+
+  if (options_.estimator == EstimatorMode::kAnalytic) {
+    // Tier 0 only: every plan answered in closed form; feasibility is the
+    // sign of the z margin (no guard band — there is no tier to escalate to).
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      const AnalyticScreen s = analytic_->screen(plans[i], req);
+      results[i].eval.mean_cost = s.mean_cost;
+      results[i].eval.mean_makespan = s.mean_makespan;
+      results[i].eval.makespan_quantile = s.makespan_quantile;
+      results[i].eval.deadline_prob = s.deadline_prob;
+      results[i].eval.feasible = s.z_margin >= 0;
+      results[i].verdict = results[i].eval.feasible ? ScreenVerdict::kAccept
+                                                    : ScreenVerdict::kReject;
+      ++delta.screened;
+      ++(results[i].eval.feasible ? delta.accepted : delta.rejected);
+    }
+    record_screen_stats(delta);
+    return results;
+  }
+
+  // kAuto: screen everything, escalate only the guard band.  Accepted and
+  // rejected plans cost zero sampled worlds; their analytic cost/makespan
+  // feed the search ordering directly.
+  const double guard = options_.screen_guard_z;
+  std::vector<std::size_t> escalated;
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    const AnalyticScreen s = analytic_->screen(plans[i], req);
+    ++delta.screened;
+    results[i].eval.mean_cost = s.mean_cost;
+    results[i].eval.mean_makespan = s.mean_makespan;
+    results[i].eval.makespan_quantile = s.makespan_quantile;
+    results[i].eval.deadline_prob = s.deadline_prob;
+    if (s.z_margin >= guard) {
+      results[i].eval.feasible = true;
+      results[i].verdict = ScreenVerdict::kAccept;
+      ++delta.accepted;
+    } else if (s.z_margin <= -guard) {
+      results[i].eval.feasible = false;
+      results[i].verdict = ScreenVerdict::kReject;
+      ++delta.rejected;
+    } else {
+      results[i].verdict = ScreenVerdict::kEscalate;
+      ++delta.escalated;
+      escalated.push_back(i);
+    }
+  }
+  if (!escalated.empty()) {
+    std::vector<sim::Plan> subset;
+    subset.reserve(escalated.size());
+    for (const std::size_t i : escalated) subset.push_back(plans[i]);
+    const auto sampled = evaluate_batch_adaptive(subset, req);
+    for (std::size_t k = 0; k < escalated.size(); ++k) {
+      const std::size_t i = escalated[k];
+      results[i].eval = sampled[k].eval;
+      results[i].mc_iterations_used = sampled[k].mc_iterations_used;
+      results[i].qmc_early_stop = sampled[k].qmc_early_stop;
+      delta.qmc_early_stops += sampled[k].qmc_early_stop ? 1 : 0;
+      delta.qmc_iterations_used += sampled[k].mc_iterations_used;
+      delta.qmc_iterations_saved +=
+          options_.mc_iterations - sampled[k].mc_iterations_used;
+    }
+  }
+  record_screen_stats(delta);
+  return results;
+}
+
+namespace {
+
+/// Wilson score interval for a Bernoulli proportion — well-behaved at the
+/// p ~ 1 probabilities deadline queries live at, unlike the Wald interval.
+struct WilsonInterval {
+  double lower = 0;
+  double upper = 1;
+};
+
+WilsonInterval wilson_interval(std::size_t successes, std::size_t trials,
+                               double z) {
+  const double m = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / m;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / m;
+  const double center = phat + z2 / (2.0 * m);
+  const double half =
+      z * std::sqrt(phat * (1.0 - phat) / m + z2 / (4.0 * m * m));
+  return {(center - half) / denom, (center + half) / denom};
+}
+
+}  // namespace
+
+std::vector<ScreenedEvaluation> PlanEvaluator::evaluate_batch_adaptive(
+    std::span<const sim::Plan> plans, const ProbDeadline& req) {
+  DECO_OBS_SPAN_TIMED("eval", "qmc_batch", "eval.batch_ms");
+  const std::size_t n = wf_->task_count();
+  const std::size_t cap = options_.mc_iterations;
+  std::vector<ScreenedEvaluation> results(plans.size());
+  for (auto& r : results) r.verdict = ScreenVerdict::kEscalate;
+  if (plans.empty() || cap == 0) return results;
+  DECO_OBS_COUNTER_ADD("eval.plans", plans.size());
+  if (n == 0) {
+    for (auto& r : results) {
+      r.eval.feasible = true;
+      r.eval.deadline_prob = 1;
+    }
+    return results;
+  }
+  if (topo_.size() != n) return results;  // cyclic: no finite makespan
+
+  // The shared low-discrepancy point set: dimension 0 drives the correlated
+  // interference factor, dimension p + 1 the task at topological position p.
+  // Built once per workflow size and shared by every plan in every batch, so
+  // a plan's QMC score — and its early-stop iteration count — is a pure
+  // function of (evaluator seed, plan): identical across backends, worker
+  // counts and batch composition.
+  if (qmc_points_.dimensions() != n + 1) {
+    qmc_points_ =
+        util::KroneckerSequence(n + 1, options_.seed ^ 0xC2B2AE3D27D4EB4FULL);
+  }
+
+  std::vector<std::shared_ptr<const DevicePlan>> staged;
+  staged.reserve(plans.size());
+  {
+    DECO_OBS_SPAN_TIMED("eval", "stage", "eval.stage_ms");
+    for (const sim::Plan& p : plans) staged.push_back(stage(p));
+  }
+
+  std::vector<double> all_makespans(plans.size() * cap);
+  std::vector<double> all_costs(plans.size() * cap);
+  std::vector<std::size_t> used(plans.size(), 0);
+  std::vector<std::uint8_t> early(plans.size(), 0);
+
+  vgpu::LaunchConfig config;
+  config.blocks = plans.size();
+  config.lanes_per_block = cap;
+  config.shared_doubles = 0;  // lanes write their disjoint global slice
+  config.seed = options_.seed;
+  config.block_seeds.reserve(plans.size());
+  const PlanKeyHash plan_hash;
+  for (const sim::Plan& p : plans) {
+    config.block_seeds.push_back(plan_hash(p) ^ options_.seed);
+  }
+
+  const CostModel cost_model = options_.cost_model;
+  const double interference_cv = options_.interference_cv;
+  const double required =
+      std::min(req.quantile + options_.feasibility_margin, 1.0);
+  const double derated =
+      req.deadline_s / std::max(options_.quantile_safety, 1.0);
+  const double conf_z = options_.qmc_confidence_z;
+  const std::size_t min_iters = std::max<std::size_t>(options_.qmc_min_iterations, 1);
+  const util::KroneckerSequence& points = qmc_points_;
+  {
+    DECO_OBS_SPAN_TIMED("eval", "qmc_kernel", "eval.kernel_ms");
+    backend_->launch(config, [&](vgpu::BlockContext& ctx) {
+      const std::size_t block = ctx.block_index();
+      const DevicePlan& dev = *staged[block];
+      const bool billed = cost_model == CostModel::kBilledHours;
+      const std::size_t tile =
+          std::min(std::max<std::size_t>(options_.qmc_batch, 1), cap);
+      auto uniforms = ctx.scratch_doubles(n * tile);
+      auto finish = ctx.scratch_doubles(n * tile);
+      auto inv_inter = ctx.scratch_doubles(tile);
+      auto start = ctx.scratch_doubles(tile);
+      auto zero_row = ctx.scratch_doubles(tile);
+      auto duration = ctx.scratch_doubles(tile);
+      auto makespan_acc = ctx.scratch_doubles(tile);
+      auto cost_acc = ctx.scratch_doubles(tile);
+      auto group_avail = ctx.scratch_doubles(dev.group_slots * tile);
+      auto group_time = ctx.scratch_doubles(dev.group_slots * tile);
+      std::fill(zero_row.begin(), zero_row.end(), 0.0);
+
+      double* out_mk = all_makespans.data() + block * cap;
+      double* out_cost = all_costs.data() + block * cap;
+      std::size_t sampled = 0;
+      std::size_t within = 0;
+      bool stopped = false;
+      for (std::size_t base = 0; base < cap && !stopped; base += tile) {
+        const std::size_t lanes = std::min(tile, cap - base);
+        // Generation pass: low-discrepancy worlds instead of RNG streams.
+        // World j's coordinates come straight off the Kronecker sequence —
+        // monotone inverse-CDF transport for the interference factor, and
+        // the uniform each alias draw consumes for the tasks.
+        ctx.run_lanes(base, base + lanes,
+                      [&](std::size_t lane_begin, std::size_t lane_end) {
+          for (std::size_t lane = lane_begin; lane < lane_end; ++lane) {
+            const std::size_t j = lane - base;
+            double interference = 1.0;
+            if (interference_cv > 0) {
+              interference = std::clamp(
+                  1.0 + interference_cv *
+                            util::normal_quantile(points.point(lane, 0)),
+                  1.0 - 3 * interference_cv, 1.0 + 3 * interference_cv);
+              interference = std::max(interference, 0.1);
+            }
+            inv_inter[j] = 1.0 / interference;
+            makespan_acc[j] = 0;
+            cost_acc[j] = 0;
+            double* column = uniforms.data() + j;
+            for (std::size_t p = 0; p < n; ++p) {
+              column[p * tile] = points.point(lane, p + 1);
+            }
+          }
+        });
+        eval_tile_rows(dev, billed, tile, lanes, uniforms, finish, inv_inter,
+                       start, zero_row, duration, makespan_acc, cost_acc,
+                       group_avail, group_time);
+        for (std::size_t j = 0; j < lanes; ++j) {
+          out_mk[base + j] = makespan_acc[j];
+          out_cost[base + j] = cost_acc[j];
+          if (makespan_acc[j] <= derated) ++within;
+        }
+        sampled += lanes;
+        // Sequential confidence bound: stop as soon as the Wilson interval
+        // on P(makespan <= deadline) clears (or fails) the requirement.
+        // The check runs at fixed chunk boundaries over deterministic
+        // per-lane values, so the stopping point is itself deterministic.
+        if (sampled >= min_iters && sampled < cap) {
+          const auto ci = wilson_interval(within, sampled, conf_z);
+          if (ci.lower >= required || ci.upper < required) stopped = true;
+        }
+      }
+      used[block] = sampled;
+      early[block] = stopped ? 1 : 0;
+    });
+  }
+
+  std::size_t total_sampled = 0;
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    results[i].eval = reduce(
+        std::span<const double>(all_makespans).subspan(i * cap, used[i]),
+        std::span<const double>(all_costs).subspan(i * cap, used[i]), req);
+    results[i].mc_iterations_used = used[i];
+    results[i].qmc_early_stop = early[i] != 0;
+    total_sampled += used[i];
+  }
+  DECO_OBS_COUNTER_ADD("eval.task_samples", total_sampled * n);
   return results;
 }
 

@@ -24,7 +24,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -32,10 +34,13 @@
 #include "sim/failure_model.hpp"
 #include "sim/plan.hpp"
 #include "util/aligned.hpp"
+#include "util/qmc.hpp"
 #include "vgpu/device.hpp"
 #include "workflow/dag.hpp"
 
 namespace deco::core {
+
+class AnalyticEstimator;
 
 /// Probabilistic deadline requirement: P(makespan <= deadline) >= quantile.
 struct ProbDeadline {
@@ -46,6 +51,29 @@ struct ProbDeadline {
 enum class CostModel {
   kProrated,     ///< Eq. 1: sum of mean task time x unit price (fractional h)
   kBilledHours,  ///< per-instance ceil-to-hour, groups share instances
+};
+
+/// Which tier(s) of the estimator hierarchy score a plan
+/// (docs/performance.md, "Estimator hierarchy"):
+///   kMc       — Tier 2 only: the fixed-iteration Monte Carlo evaluator.
+///               Bit-identical to the pre-hierarchy evaluator.
+///   kAnalytic — Tier 0 only: closed-form moment-matching max-plus screen
+///               (no sampling at all; feasibility from the normal fit).
+///   kAuto     — Tier 0 screens every plan; plans the screen cannot decide
+///               within the guard band escalate to Tier 1 (adaptive QMC with
+///               a sequential confidence bound, capped at mc_iterations).
+enum class EstimatorMode { kMc, kAnalytic, kAuto };
+
+/// "mc" | "analytic" | "auto" (CLI --estimator values); nullopt on unknown.
+std::optional<EstimatorMode> parse_estimator_mode(std::string_view name);
+const char* to_string(EstimatorMode mode);
+
+/// How a screened plan was decided.
+enum class ScreenVerdict {
+  kNone,      ///< estimator mode kMc: no screen ran
+  kAccept,    ///< analytic screen cleared the guard band: feasible, no MC
+  kReject,    ///< analytic screen failed the guard band: infeasible, no MC
+  kEscalate,  ///< inside the band: decided by adaptive QMC sampling
 };
 
 struct EvalOptions {
@@ -73,6 +101,27 @@ struct EvalOptions {
   /// process the simulator injects.  Null leaves results bit-identical to
   /// the failure-free evaluator.
   const sim::FailureModel* failure_model = nullptr;
+  /// Estimator-hierarchy tier selection for evaluate_batch_screened().  The
+  /// library default is kMc so existing callers (and the `--estimator mc`
+  /// CLI path) stay bit-identical to the pre-hierarchy evaluator; the CLI
+  /// defaults to kAuto.
+  EstimatorMode estimator = EstimatorMode::kMc;
+  /// Guard band for the analytic screen, in standard-normal z units: the
+  /// screen accepts only when its feasibility z-score clears the required
+  /// quantile's z by this margin, rejects only when it falls short by the
+  /// same margin, and escalates anything in between to sampling.  z-space
+  /// (rather than probability-space) keeps the band meaningful near
+  /// required ~ 0.98 where probabilities saturate.
+  double screen_guard_z = 0.8;
+  /// Adaptive QMC: iterations run between sequential-bound checkpoints.
+  std::size_t qmc_batch = 128;
+  /// Adaptive QMC: iterations before the first early-stop check (the Wilson
+  /// bound is too loose to trust below this).
+  std::size_t qmc_min_iterations = 128;
+  /// Adaptive QMC: z-score of the Wilson confidence interval that must clear
+  /// (or fail) the required quantile before sampling stops early.  2.576 =
+  /// two-sided 99%.
+  double qmc_confidence_z = 2.576;
 };
 
 struct PlanEvaluation {
@@ -92,12 +141,35 @@ struct StagingCacheStats {
   std::size_t segment_misses = 0;
 };
 
+/// One plan's screened score: the evaluation plus how it was decided and what
+/// sampling it cost.
+struct ScreenedEvaluation {
+  PlanEvaluation eval;
+  ScreenVerdict verdict = ScreenVerdict::kNone;
+  std::size_t mc_iterations_used = 0;  ///< sampled worlds (0 for Tier 0 calls)
+  bool qmc_early_stop = false;  ///< Tier 1 stopped before the iteration cap
+};
+
+/// Running tallies for the estimator hierarchy (mirrored into the
+/// eval.screen.* / eval.qmc.* obs counters).
+struct ScreenStats {
+  std::size_t screened = 0;   ///< plans that went through the analytic screen
+  std::size_t accepted = 0;   ///< decided feasible by Tier 0 alone
+  std::size_t rejected = 0;   ///< decided infeasible by Tier 0 alone
+  std::size_t escalated = 0;  ///< sent to Tier 1 sampling
+  std::size_t qmc_early_stops = 0;
+  std::size_t qmc_iterations_used = 0;
+  std::size_t qmc_iterations_saved = 0;  ///< vs. the mc_iterations cap
+  std::size_t full_mc_verifications = 0;  ///< Tier 2 verifier invocations
+};
+
 class PlanEvaluator {
  public:
   /// The evaluator borrows the workflow, estimator and backend; they must
   /// outlive it.
   PlanEvaluator(const workflow::Workflow& wf, TaskTimeEstimator& estimator,
                 vgpu::ComputeBackend& backend, EvalOptions options = {});
+  ~PlanEvaluator();  // out-of-line: AnalyticEstimator is incomplete here
 
   /// Evaluates one plan against a probabilistic deadline.
   PlanEvaluation evaluate(const sim::Plan& plan, const ProbDeadline& req);
@@ -106,11 +178,31 @@ class PlanEvaluator {
   std::vector<PlanEvaluation> evaluate_batch(std::span<const sim::Plan> plans,
                                              const ProbDeadline& req);
 
+  /// Estimator-hierarchy entry point: routes each plan through the tiers
+  /// selected by options().estimator.  kMc delegates to evaluate_batch (bit-
+  /// identical results, verdict kNone); kAnalytic answers every plan from the
+  /// Tier 0 closed form; kAuto screens analytically and escalates only the
+  /// guard-band states to adaptive QMC sampling.
+  std::vector<ScreenedEvaluation> evaluate_batch_screened(
+      std::span<const sim::Plan> plans, const ProbDeadline& req);
+
+  /// Tier 2 verifier: full fixed-iteration MC regardless of estimator mode.
+  /// Identical to evaluate(); the separate name records intent at call sites
+  /// and feeds the full_mc_verifications tally.
+  PlanEvaluation verify_full_mc(const sim::Plan& plan, const ProbDeadline& req);
+
   const workflow::Workflow& workflow() const { return *wf_; }
   TaskTimeEstimator& estimator() { return *estimator_; }
   const EvalOptions& options() const { return options_; }
 
+  /// Solver fallback hook: switch the estimator tier in place.  Touches no
+  /// cache or RNG state — the MC kernel, the staged segments and the QMC
+  /// sequence are all keyed on data that does not change with the mode — so
+  /// flipping to kMc and back yields bit-identical full-MC results.
+  void set_estimator_mode(EstimatorMode mode) { options_.estimator = mode; }
+
   const StagingCacheStats& cache_stats() const { return cache_stats_; }
+  const ScreenStats& screen_stats() const { return screen_stats_; }
   /// Drops both cache levels (e.g. after the estimator was recalibrated).
   void clear_staging_cache();
 
@@ -160,6 +252,34 @@ class PlanEvaluator {
                         std::span<const double> costs,
                         const ProbDeadline& req) const;
 
+  /// Tier 1: adaptive QMC over the escalated subset.  Samples Kronecker
+  /// worlds in qmc_batch chunks and stops a plan as soon as the Wilson
+  /// confidence interval on P(makespan <= deadline) clears (or fails) the
+  /// required quantile; hard-capped at mc_iterations.  Fully deterministic:
+  /// every draw is a pure function of (seed, dimension, index).
+  std::vector<ScreenedEvaluation> evaluate_batch_adaptive(
+      std::span<const sim::Plan> plans, const ProbDeadline& req);
+
+  /// Publishes screen-stat deltas to the obs counters and folds them into
+  /// screen_stats_.
+  void record_screen_stats(const ScreenStats& delta);
+
+  /// Task-major tile evaluation shared by the fixed-iteration MC kernel and
+  /// the adaptive QMC kernel: consumes the tile's pre-generated uniforms and
+  /// interference speedups and writes per-lane makespans/costs into the
+  /// accumulator rows.  Both kernels run the exact same per-lane arithmetic,
+  /// which keeps `--estimator mc` bit-identical to the pre-hierarchy
+  /// evaluator and lets the QMC path inherit every kernel optimization.
+  void eval_tile_rows(const DevicePlan& dev, bool billed, std::size_t tile,
+                      std::size_t lanes, std::span<const double> uniforms,
+                      std::span<double> finish,
+                      std::span<const double> inv_inter,
+                      std::span<double> start, std::span<const double> zero_row,
+                      std::span<double> duration,
+                      std::span<double> makespan_acc,
+                      std::span<double> cost_acc, std::span<double> group_avail,
+                      std::span<double> group_time) const;
+
   const workflow::Workflow* wf_;
   TaskTimeEstimator* estimator_;
   vgpu::ComputeBackend* backend_;
@@ -192,6 +312,15 @@ class PlanEvaluator {
   std::unordered_map<sim::Plan, std::shared_ptr<const DevicePlan>, PlanKeyHash>
       plan_cache_;
   StagingCacheStats cache_stats_;
+
+  // Estimator hierarchy.  The analytic screen (Tier 0) shares the segment
+  // cache through its friendship; the Kronecker sequence (Tier 1) is built
+  // lazily at first escalation — one dimension for the interference factor
+  // plus one per task — and shared by every plan (common random numbers).
+  friend class AnalyticEstimator;
+  std::unique_ptr<AnalyticEstimator> analytic_;
+  util::KroneckerSequence qmc_points_;
+  ScreenStats screen_stats_;
 };
 
 }  // namespace deco::core

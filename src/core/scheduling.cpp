@@ -1,8 +1,11 @@
 #include "core/scheduling.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
+#include <mutex>
 
+#include "obs/obs.hpp"
 #include "workflow/analysis.hpp"
 
 namespace deco::core {
@@ -143,8 +146,21 @@ SchedulingResult SchedulingProblem::greedy_feasible(const ProbDeadline& req,
                                                     cloud::RegionId region) {
   SchedulingResult result;
   const cloud::Catalog& catalog = estimator_->catalog();
+  // Screened modes run the promotion loop on the cheap estimator tiers and
+  // confirm every screen-feasible plan with the Tier 2 verifier before the
+  // loop trusts it (a failed confirmation just keeps promoting); kMc keeps
+  // the historical full-MC loop bit-identical.
+  const bool screened = evaluator_.options().estimator != EstimatorMode::kMc;
+  auto score = [&](const sim::Plan& p) {
+    if (!screened) return evaluator_.evaluate(p, req);
+    const sim::Plan* one = &p;
+    return evaluator_
+        .evaluate_batch_screened(std::span<const sim::Plan>(one, 1), req)[0]
+        .eval;
+  };
   sim::Plan plan = initial_plan(region);
-  PlanEvaluation eval = evaluator_.evaluate(plan, req);
+  PlanEvaluation eval = score(plan);
+  if (screened && eval.feasible) eval = evaluator_.verify_full_mc(plan, req);
   std::size_t iterations = 0;
   const std::size_t max_iterations = wf_->task_count() * catalog.type_count();
   while (!eval.feasible && iterations++ < max_iterations) {
@@ -175,7 +191,8 @@ SchedulingResult SchedulingProblem::greedy_feasible(const ProbDeadline& req,
     }
     if (best == workflow::kInvalidTask) break;  // everything is maxed
     ++plan[best].vm_type;
-    eval = evaluator_.evaluate(plan, req);
+    eval = score(plan);
+    if (screened && eval.feasible) eval = evaluator_.verify_full_mc(plan, req);
   }
   result.plan = std::move(plan);
   result.evaluation = eval;
@@ -203,11 +220,62 @@ SchedulingResult SchedulingProblem::solve(const ProbDeadline& req,
     if (options.allow_merge) ops.push_back(TransformOp::kMerge);
     return generate_children(plan, *wf_, catalog, ops, topt);
   };
-  cb.evaluate = [this, &req](std::span<const sim::Plan> plans) {
-    const auto evals = evaluator_.evaluate_batch(plans, req);
-    std::vector<Scored> scores(evals.size());
+  // In screened modes the search wave is scored by the estimator hierarchy:
+  // analytic accepts/rejects cost zero sampled worlds, the guard band runs
+  // adaptive QMC, and each analytic rejection is a pruned state (the math
+  // discarded it before any sampling — the counter the `search.states_pruned`
+  // metric reports).  kMc keeps the historical full-MC wave bit-identical.
+  const bool screened = evaluator_.options().estimator != EstimatorMode::kMc;
+  std::atomic<std::size_t> screen_rejections{0};
+  // Screen-feasible states, kept so Tier 2 can fall back to the runner-ups
+  // if the search winner fails full-MC verification.  cb.evaluate may run on
+  // the pipelined driver's evaluation thread, hence the mutex.
+  struct Candidate {
+    double objective;
+    std::uint64_t hash;
+    sim::Plan plan;
+  };
+  std::mutex candidates_mu;
+  std::vector<Candidate> candidates;
+  const std::size_t top_k = options.verify_top_k;
+  cb.evaluate = [this, &req, screened, &screen_rejections, &candidates_mu,
+                 &candidates, top_k](std::span<const sim::Plan> plans) {
+    std::vector<Scored> scores(plans.size());
+    if (!screened) {
+      const auto evals = evaluator_.evaluate_batch(plans, req);
+      for (std::size_t i = 0; i < evals.size(); ++i) {
+        scores[i] = Scored{evals[i].feasible, evals[i].mean_cost};
+      }
+      return scores;
+    }
+    const auto evals = evaluator_.evaluate_batch_screened(plans, req);
+    std::size_t rejected = 0;
     for (std::size_t i = 0; i < evals.size(); ++i) {
-      scores[i] = Scored{evals[i].feasible, evals[i].mean_cost};
+      scores[i] = Scored{evals[i].eval.feasible, evals[i].eval.mean_cost};
+      if (evals[i].verdict == ScreenVerdict::kReject) ++rejected;
+    }
+    if (top_k > 0) {
+      std::lock_guard<std::mutex> lock(candidates_mu);
+      for (std::size_t i = 0; i < evals.size(); ++i) {
+        if (!evals[i].eval.feasible) continue;
+        candidates.push_back(Candidate{evals[i].eval.mean_cost,
+                                       plan_hash(plans[i]), plans[i]});
+      }
+      // Keep the list bounded: cheapest-first, hash tie-break so the order
+      // (and therefore the fallback choice) is independent of wave timing.
+      if (candidates.size() > 4 * top_k) {
+        std::sort(candidates.begin(), candidates.end(),
+                  [](const Candidate& a, const Candidate& b) {
+                    return a.objective != b.objective
+                               ? a.objective < b.objective
+                               : a.hash < b.hash;
+                  });
+        candidates.resize(top_k);
+      }
+    }
+    if (rejected != 0) {
+      screen_rejections.fetch_add(rejected, std::memory_order_relaxed);
+      DECO_OBS_COUNTER_ADD("search.states_pruned", rejected);
     }
     return scores;
   };
@@ -235,6 +303,42 @@ SchedulingResult SchedulingProblem::solve(const ProbDeadline& req,
   }
 
   result.stats = found.stats;
+  result.stats.states_pruned += screen_rejections.load();
+  // Tier 2 on the search outcome: the search ran on screened scores, so the
+  // candidate must survive the full-MC verifier before it competes with the
+  // greedy incumbent (and competes on its verified, not screened, cost).
+  // If the winner fails, try the top-K screen-feasible runner-ups in
+  // cheapest-first order — screened scores on frontier plans are estimates,
+  // and the next-best state often verifies where the winner does not.
+  if (screened && found.best) {
+    const PlanEvaluation verified = evaluator_.verify_full_mc(*found.best, req);
+    if (verified.feasible) {
+      found.best_score.objective = verified.mean_cost;
+    } else {
+      found.best.reset();
+      std::sort(candidates.begin(), candidates.end(),
+                [](const Candidate& a, const Candidate& b) {
+                  return a.objective != b.objective ? a.objective < b.objective
+                                                    : a.hash < b.hash;
+                });
+      std::size_t tried = 0;
+      std::uint64_t last_hash = 0;
+      bool have_last = false;
+      for (const Candidate& c : candidates) {
+        if (tried >= top_k) break;
+        if (have_last && c.hash == last_hash) continue;  // dedup re-visits
+        last_hash = c.hash;
+        have_last = true;
+        ++tried;
+        const PlanEvaluation v = evaluator_.verify_full_mc(c.plan, req);
+        if (v.feasible) {
+          found.best = c.plan;
+          found.best_score = Scored{true, v.mean_cost};
+          break;
+        }
+      }
+    }
+  }
   // The search competes with the greedy incumbent; take the cheaper feasible.
   SchedulingResult greedy = greedy_feasible(req, options.region);
   result.stats.states_evaluated += greedy.stats.states_evaluated;
@@ -246,6 +350,22 @@ SchedulingResult SchedulingProblem::solve(const ProbDeadline& req,
   } else {
     result.found = greedy.found;
     result.plan = std::move(greedy.plan);
+  }
+  // Correctness net: when the screened pipeline finds nothing feasible, rerun
+  // the reference full-MC solve before giving up.  Near-frontier instances
+  // can have every candidate sit where the cheap tiers' verdicts flip
+  // against full MC; the fallback makes `auto` return exactly what `mc`
+  // would (bit-identical — same seed, same kernel), at worst doubling the
+  // cost of the rare solve that was about to fail anyway.
+  if (screened && !result.found) {
+    DECO_OBS_COUNTER_ADD("search.screen_fallbacks", 1);
+    const EstimatorMode saved = evaluator_.options().estimator;
+    evaluator_.set_estimator_mode(EstimatorMode::kMc);
+    SchedulingResult fallback = solve(req, options);
+    evaluator_.set_estimator_mode(saved);
+    fallback.stats.states_evaluated += result.stats.states_evaluated;
+    fallback.stats.states_pruned += result.stats.states_pruned;
+    return fallback;
   }
   if (result.found) {
     result.plan = polish(std::move(result.plan), req);

@@ -22,6 +22,11 @@ struct SchedulingOptions {
   bool use_astar = false;        ///< enabled(astar) in WLog
   bool allow_merge = false;      ///< also generate Merge children
   cloud::RegionId region = 0;
+  /// Screened modes only: how many of the best screen-feasible states the
+  /// Tier 2 full-MC verifier may try when the search winner fails
+  /// verification (the screen's answer on frontier plans is an estimate;
+  /// the runner-up often verifies where the winner does not).
+  std::size_t verify_top_k = 8;
   SchedulingOptions() {
     search.max_states = 2048;
     search.batch_size = 32;

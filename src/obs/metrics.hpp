@@ -30,13 +30,28 @@
 
 namespace deco::obs {
 
-/// Fixed half-decade latency buckets, in milliseconds: 1 us .. ~17 min,
-/// plus an overflow bucket.  Fixed bounds keep shard merging a plain
+/// Fixed log-spaced latency buckets, in milliseconds: eighth-decade edges
+/// (each bound is 10^(1/8) ~ 1.33x the previous) from 1 us to ~17 min, plus
+/// an overflow bucket.  Half-decade edges proved too coarse in practice —
+/// the committed bench JSONs piled >90% of eval.kernel_ms / eval.batch_ms
+/// observations into one bucket; 3.16x per step cannot resolve a kernel
+/// whose latencies span less than a decade.  Eighth-decade edges give ~33%
+/// resolution while fixed bounds still keep shard merging a plain
 /// element-wise sum and snapshots comparable across runs.
-inline constexpr std::array<double, 19> kLatencyBucketBoundsMs = {
-    0.001, 0.00316, 0.01,  0.0316, 0.1,    0.316,   1.0,
-    3.16,  10.0,    31.6,  100.0,  316.0,  1000.0,  3160.0,
-    10000.0, 31600.0, 100000.0, 316000.0, 1000000.0};
+inline constexpr std::array<double, 73> kLatencyBucketBoundsMs = {
+    0.001, 0.00133352, 0.00177828, 0.00237137, 0.00316228, 0.00421697,
+    0.00562341, 0.00749894, 0.01, 0.0133352, 0.0177828, 0.0237137,
+    0.0316228, 0.0421697, 0.0562341, 0.0749894, 0.1, 0.133352,
+    0.177828, 0.237137, 0.316228, 0.421697, 0.562341, 0.749894,
+    1.0, 1.33352, 1.77828, 2.37137, 3.16228, 4.21697,
+    5.62341, 7.49894, 10.0, 13.3352, 17.7828, 23.7137,
+    31.6228, 42.1697, 56.2341, 74.9894, 100.0, 133.352,
+    177.828, 237.137, 316.228, 421.697, 562.341, 749.894,
+    1000.0, 1333.52, 1778.28, 2371.37, 3162.28, 4216.97,
+    5623.41, 7498.94, 10000.0, 13335.2, 17782.8, 23713.7,
+    31622.8, 42169.7, 56234.1, 74989.4, 100000.0, 133352.0,
+    177828.0, 237137.0, 316228.0, 421697.0, 562341.0, 749894.0,
+    1000000.0};
 
 /// One latency histogram: counts per fixed bucket plus running moments.
 struct HistogramData {

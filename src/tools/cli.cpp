@@ -36,12 +36,16 @@ commands:
 
   plan       --dax wf.dax --deadline 3600 [--quantile 96]
              [--scheduler deco|autoscaling|random|<type name>]
-             [--store store.txt] [--seed 7]
+             [--estimator mc|analytic|auto] [--store store.txt] [--seed 7]
       Compute a provisioning plan and report the estimated cost and
-      makespan distribution.
+      makespan distribution.  --estimator picks the evaluation tier
+      (default auto): "mc" is full Monte Carlo on every state, "analytic"
+      the closed-form screen alone, "auto" the screened hierarchy
+      (analytic screen -> adaptive QMC -> full-MC verification).
 
   run        --dax wf.dax --deadline 3600 [--quantile 96] [--runs 20]
-             [--scheduler ...] [--store store.txt] [--seed 7]
+             [--scheduler ...] [--estimator mc|analytic|auto]
+             [--store store.txt] [--seed 7]
              [--api-profile none|degraded|exhausted]
       Plan, then execute on the simulated cloud; report statistics.
       --api-profile injects control-plane faults: "degraded" throttles and
@@ -222,12 +226,29 @@ int cmd_plan(const CliArgs& args, std::ostream& out, bool execute) {
     out << "error: --deadline <seconds> is required\n";
     return 1;
   }
+  // Estimator-hierarchy selection: the CLI defaults to the screened "auto"
+  // hierarchy; the library default stays "mc" so programmatic users opt in.
+  const std::string estimator_name = args.get_or("estimator", "auto");
+  const auto estimator_mode = core::parse_estimator_mode(estimator_name);
+  if (!estimator_mode) {
+    out << "error: unknown --estimator '" << estimator_name
+        << "' (expected mc|analytic|auto)\n";
+    return kExitInputError;
+  }
+  // Echo the choice into --metrics-out dumps (a counter keyed by mode, so
+  // the JSON records which estimator produced the numbers around it).
+  obs::Registry::instance().counter_add(
+      std::string("cli.estimator.") + core::to_string(*estimator_mode), 1);
+
   const CloudSetup cloud = load_cloud(args);
   core::ProbDeadline req;
   req.deadline_s = args.number_or("deadline", 3600);
   req.quantile = args.number_or("quantile", 96) / 100.0;
 
-  core::Deco engine(cloud.catalog, cloud.store);
+  core::DecoOptions engine_options;
+  engine_options.eval.estimator = *estimator_mode;
+  engine_options.ensemble_eval.estimator = *estimator_mode;
+  core::Deco engine(cloud.catalog, cloud.store, engine_options);
   wms::PegasusWms wms(cloud.catalog, cloud.store);
   const std::string scheduler_name = args.get_or("scheduler", "deco");
   auto scheduler = make_scheduler(scheduler_name, engine, cloud.catalog);
@@ -248,7 +269,8 @@ int cmd_plan(const CliArgs& args, std::ostream& out, bool execute) {
   // Report the plan.
   std::map<std::string, int> site_counts;
   for (const auto& task : exec.tasks) ++site_counts[task.site];
-  out << "plan (" << exec.scheduler << "):\n";
+  out << "plan (" << exec.scheduler
+      << "): estimator=" << core::to_string(*estimator_mode) << "\n";
   for (const auto& [site, count] : site_counts) {
     out << "  " << count << " tasks -> " << site << "\n";
   }
@@ -372,6 +394,22 @@ int cmd_stats(const CliArgs& args, std::ostream& out) {
                       util::Table::num(hist.max_ms, 3)});
     }
     out << timers.to_string();
+  }
+  // One-line estimator-hierarchy summary (the tallies also appear in the
+  // counters table above; this is the at-a-glance version).
+  const auto counter = [&snap](const char* name) -> std::uint64_t {
+    const auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0 : it->second;
+  };
+  const std::uint64_t screen_total = counter("eval.screen.accepted") +
+                                     counter("eval.screen.rejected") +
+                                     counter("eval.screen.escalated");
+  if (screen_total != 0) {
+    out << "estimator screen: " << counter("eval.screen.accepted")
+        << " accepted, " << counter("eval.screen.rejected") << " rejected, "
+        << counter("eval.screen.escalated") << " escalated; qmc early stops "
+        << counter("eval.qmc.early_stops") << ", iterations saved "
+        << counter("eval.qmc.iterations_saved") << "\n";
   }
   return 0;
 }

@@ -1,0 +1,89 @@
+#include "util/qmc.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace deco::util {
+namespace {
+
+/// splitmix64 (same finalizer the Rng seeds with) — used to derive the
+/// per-dimension rotation from one 64-bit seed.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  std::uint64_t z = (x += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// First `count` primes by trial division (count is the QMC dimension count,
+/// i.e. tasks + 1 — thousands at most, so this is microseconds).
+std::vector<std::uint32_t> first_primes(std::size_t count) {
+  std::vector<std::uint32_t> primes;
+  primes.reserve(count);
+  for (std::uint32_t n = 2; primes.size() < count; ++n) {
+    bool prime = true;
+    for (const std::uint32_t p : primes) {
+      if (p * p > n) break;
+      if (n % p == 0) {
+        prime = false;
+        break;
+      }
+    }
+    if (prime) primes.push_back(n);
+  }
+  return primes;
+}
+
+}  // namespace
+
+double normal_quantile(double p) {
+  // Acklam's algorithm: rational approximations on a central region and two
+  // tails, in terms of q = sqrt(-2 ln p) near the edges.
+  static constexpr double a[6] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                  -2.759285104469687e+02, 1.383577518672690e+02,
+                                  -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[5] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                  -1.556989798598866e+02, 6.680131188771972e+01,
+                                  -1.328068155288572e+01};
+  static constexpr double c[6] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                  -2.400758277161838e+00, -2.549732539343734e+00,
+                                  4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[4] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                  2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double kLow = 0.02425;
+  if (p <= 0.0) return -std::numeric_limits<double>::infinity();
+  if (p >= 1.0) return std::numeric_limits<double>::infinity();
+  if (p < kLow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - kLow) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+KroneckerSequence::KroneckerSequence(std::size_t dimensions,
+                                     std::uint64_t seed) {
+  alpha_.resize(dimensions);
+  shift_.resize(dimensions);
+  const auto primes = first_primes(dimensions);
+  std::uint64_t state = seed;
+  for (std::size_t d = 0; d < dimensions; ++d) {
+    const double root = std::sqrt(static_cast<double>(primes[d]));
+    alpha_[d] = root - std::floor(root);
+    shift_[d] =
+        static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;  // [0, 1)
+  }
+}
+
+}  // namespace deco::util

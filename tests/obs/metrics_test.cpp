@@ -66,15 +66,33 @@ TEST(MetricsRegistryTest, HistogramBucketsCoverFixedBounds) {
   HistogramData h;
   h.observe(0.0005);                                // below first bound
   h.observe(kLatencyBucketBoundsMs.front());        // exactly the first bound
-  h.observe(5.0);                                   // between 3.16 and 10
+  h.observe(5.0);                                   // between 4.22 and 5.62
   h.observe(kLatencyBucketBoundsMs.back() * 10.0);  // overflow
   EXPECT_EQ(h.count, 4u);
   EXPECT_EQ(h.buckets[0], 2u);
-  EXPECT_EQ(h.buckets[8], 1u);  // bound 10.0 catches 5.0
+  EXPECT_EQ(h.buckets[30], 1u);  // bound 5.62341 catches 5.0
   EXPECT_EQ(h.buckets[kLatencyBucketBoundsMs.size()], 1u);
   std::uint64_t total = 0;
   for (const std::uint64_t b : h.buckets) total += b;
   EXPECT_EQ(total, h.count);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsResolveSubDecadeLatencies) {
+  // The eighth-decade edges exist so a kernel whose latencies vary by tens
+  // of percent does not collapse into one bucket: observations 1.5x apart
+  // must always land in different buckets (each edge is ~1.33x the last).
+  HistogramData h;
+  h.observe(2.0);
+  h.observe(3.0);
+  h.observe(4.5);
+  std::size_t occupied = 0;
+  for (const std::uint64_t b : h.buckets) occupied += b != 0 ? 1 : 0;
+  EXPECT_EQ(occupied, 3u);
+  // Edges are strictly log-spaced: constant ratio across the whole range.
+  for (std::size_t i = 1; i < kLatencyBucketBoundsMs.size(); ++i) {
+    const double ratio = kLatencyBucketBoundsMs[i] / kLatencyBucketBoundsMs[i - 1];
+    EXPECT_NEAR(ratio, std::pow(10.0, 1.0 / 8.0), 1e-4);
+  }
 }
 
 TEST(MetricsRegistryTest, MultiThreadShardMergeIsExact) {

@@ -271,5 +271,78 @@ INSTANTIATE_TEST_SUITE_P(
                       util::Distribution::uniform(5, 50),
                       util::Distribution::pareto(1, 1.16)));
 
+// ---------------------------------------------------------------------------
+// Escalation invariant of the estimator hierarchy: across randomized DAGs,
+// plans and deadlines, the analytic screen must never *accept* a plan that
+// the full Monte Carlo evaluator rejects, and never *reject* one full MC
+// accepts — any plan the analytic tier is unsure about must have been
+// escalated instead.  This is the contract that makes Tier 0 a pure
+// optimization: the guard band absorbs the moment-matching error, so a
+// screened verdict always agrees with what sampling would have said.
+class EscalationInvariant
+    : public ::testing::TestWithParam<
+          std::tuple<workflow::AppType, std::uint64_t>> {};
+
+TEST_P(EscalationInvariant, AnalyticVerdictNeverContradictsFullMc) {
+  const auto [app, seed] = GetParam();
+  util::Rng rng(seed);
+  const auto wf = workflow::make_workflow(app, 24 + rng.below(16), rng);
+
+  core::TaskTimeEstimator estimator(ec2(), store());
+  vgpu::SerialBackend backend;
+  core::EvalOptions opt;
+  opt.mc_iterations = 600;
+  opt.cost_model = core::CostModel::kBilledHours;
+  core::PlanEvaluator mc(wf, estimator, backend, opt);
+  opt.estimator = core::EstimatorMode::kAuto;
+  core::PlanEvaluator screened(wf, estimator, backend, opt);
+
+  // Random plans around random placements, some with co-scheduling groups.
+  std::vector<sim::Plan> plans;
+  const std::size_t types = ec2().type_count();
+  for (int p = 0; p < 12; ++p) {
+    sim::Plan plan = sim::Plan::uniform(
+        wf.task_count(), static_cast<cloud::TypeId>(rng.below(types)));
+    for (std::size_t t = 0; t < wf.task_count(); ++t) {
+      if (rng.below(4) == 0) {
+        plan[t].vm_type = static_cast<cloud::TypeId>(rng.below(types));
+      }
+      if (rng.below(8) == 0) {
+        plan[t].group = static_cast<std::int32_t>(rng.below(3));
+      }
+    }
+    plans.push_back(std::move(plan));
+  }
+  // Deadlines spanning clearly-infeasible through clearly-feasible, so all
+  // three verdicts occur across the sweep.
+  const double base =
+      mc.evaluate(plans.front(), {0.5, 1e12}).mean_makespan;
+  for (const double factor : {0.4, 0.8, 1.0, 1.2, 2.5}) {
+    const core::ProbDeadline req{0.9, base * factor};
+    const auto verdicts = screened.evaluate_batch_screened(plans, req);
+    const auto truth = mc.evaluate_batch(plans, req);
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      if (verdicts[i].verdict == core::ScreenVerdict::kAccept) {
+        EXPECT_TRUE(truth[i].feasible)
+            << wf.name() << " factor " << factor << " plan " << i
+            << ": analytic accepted what full MC rejects";
+      } else if (verdicts[i].verdict == core::ScreenVerdict::kReject) {
+        EXPECT_FALSE(truth[i].feasible)
+            << wf.name() << " factor " << factor << " plan " << i
+            << ": analytic rejected what full MC accepts";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DagsAndSeeds, EscalationInvariant,
+    ::testing::Combine(
+        ::testing::Values(workflow::AppType::kMontage, workflow::AppType::kLigo,
+                          workflow::AppType::kEpigenomics,
+                          workflow::AppType::kPipeline),
+        ::testing::Values(std::uint64_t{3}, std::uint64_t{7},
+                          std::uint64_t{31})));
+
 }  // namespace
 }  // namespace deco

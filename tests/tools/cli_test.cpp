@@ -165,6 +165,67 @@ TEST(CliRunTest, PlanUnknownSchedulerFails) {
             1);
 }
 
+TEST(CliRunTest, PlanUnknownEstimatorIsInputError) {
+  const std::string dax = temp_path("cli_estimator_bad.dax");
+  std::ostringstream gen;
+  run_cli(parse({"generate", "--app", "pipeline", "--tasks", "3", "--out",
+                 dax}),
+          gen);
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(parse({"plan", "--dax", dax, "--deadline", "1000",
+                           "--estimator", "sobol"}),
+                    out),
+            kExitInputError);
+  EXPECT_NE(out.str().find("unknown --estimator"), std::string::npos);
+  EXPECT_NE(out.str().find("mc|analytic|auto"), std::string::npos);
+}
+
+TEST(CliRunTest, PlanEstimatorModesRunAndAreReported) {
+  const std::string dax = temp_path("cli_estimator.dax");
+  std::ostringstream gen;
+  ASSERT_EQ(run_cli(parse({"generate", "--app", "pipeline", "--tasks", "4",
+                           "--out", dax}),
+                    gen),
+            0);
+  for (const std::string mode : {"mc", "analytic", "auto"}) {
+    std::ostringstream out;
+    const int rc = run_cli(parse({"plan", "--dax", dax, "--deadline",
+                                  "100000", "--estimator", mode}),
+                           out);
+    EXPECT_EQ(rc, 0) << mode << ": " << out.str();
+    EXPECT_NE(out.str().find("estimator=" + mode), std::string::npos)
+        << out.str();
+  }
+  // Default is the tiered hierarchy.
+  std::ostringstream out;
+  ASSERT_EQ(run_cli(parse({"plan", "--dax", dax, "--deadline", "100000"}),
+                    out),
+            0);
+  EXPECT_NE(out.str().find("estimator=auto"), std::string::npos) << out.str();
+}
+
+TEST(CliRunTest, PlanEstimatorEchoedInMetricsDump) {
+  const std::string dax = temp_path("cli_estimator_obs.dax");
+  std::ostringstream gen;
+  ASSERT_EQ(run_cli(parse({"generate", "--app", "pipeline", "--tasks", "4",
+                           "--out", dax}),
+                    gen),
+            0);
+  const std::string metrics_path = temp_path("cli_estimator_metrics.json");
+  std::ostringstream out;
+  const int rc = run_cli(parse({"plan", "--dax", dax, "--deadline", "100000",
+                                "--estimator", "mc", "--metrics-out",
+                                metrics_path}),
+                         out);
+  ASSERT_EQ(rc, 0) << out.str();
+  std::ifstream metrics(metrics_path);
+  ASSERT_TRUE(metrics.good());
+  std::stringstream mbuf;
+  mbuf << metrics.rdbuf();
+  EXPECT_NE(mbuf.str().find("cli.estimator.mc"), std::string::npos)
+      << mbuf.str();
+}
+
 TEST(CliRunTest, RunExecutesOnSimulator) {
   const std::string dax = temp_path("cli_run.dax");
   std::ostringstream gen;

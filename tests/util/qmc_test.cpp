@@ -1,0 +1,92 @@
+// Low-discrepancy sampling utilities: inverse-normal-CDF accuracy and the
+// determinism + equidistribution of the Kronecker (Weyl) sequence that the
+// adaptive QMC estimator tier draws from.
+#include "util/qmc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace deco::util {
+namespace {
+
+double norm_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+TEST(NormalQuantileTest, RoundTripsThroughErfcCdf) {
+  // Acklam's approximation is good to ~1e-9 relative error; the round trip
+  // through the exact CDF must reproduce p to well below any tolerance the
+  // estimator cares about.
+  for (double p = 0.0005; p < 1.0; p += 0.0007) {
+    const double q = normal_quantile(p);
+    EXPECT_NEAR(norm_cdf(q), p, 1e-8) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantileTest, TailsAndSymmetry) {
+  EXPECT_DOUBLE_EQ(normal_quantile(0.5), 0.0);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(1e-9) + normal_quantile(1.0 - 1e-9), 0.0, 1e-5);
+  EXPECT_EQ(normal_quantile(0.0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(normal_quantile(1.0), std::numeric_limits<double>::infinity());
+  // Strictly increasing across the branch joints of the approximation.
+  double prev = normal_quantile(0.001);
+  for (double p = 0.002; p < 1.0; p += 0.001) {
+    const double q = normal_quantile(p);
+    EXPECT_GT(q, prev) << "p=" << p;
+    prev = q;
+  }
+}
+
+TEST(KroneckerSequenceTest, DeterministicInSeedDimensionIndex) {
+  KroneckerSequence a(4, 12345);
+  KroneckerSequence b(4, 12345);
+  KroneckerSequence c(4, 54321);
+  bool any_differs = false;
+  for (std::size_t j = 0; j < 64; ++j) {
+    for (std::size_t d = 0; d < 4; ++d) {
+      EXPECT_DOUBLE_EQ(a.point(j, d), b.point(j, d));
+      any_differs = any_differs || a.point(j, d) != c.point(j, d);
+      EXPECT_GE(a.point(j, d), 0.0);
+      EXPECT_LT(a.point(j, d), 1.0);
+    }
+  }
+  EXPECT_TRUE(any_differs);  // the Cranley-Patterson shift depends on the seed
+}
+
+TEST(KroneckerSequenceTest, RandomAccessMatchesSequentialOrder) {
+  // point(j, d) is a pure function of (seed, d, j): reading indices out of
+  // order or repeatedly must give the same values — this is what makes the
+  // QMC tier independent of batch composition and backend scheduling.
+  KroneckerSequence seq(2, 7);
+  std::vector<double> forward;
+  for (std::size_t j = 0; j < 32; ++j) forward.push_back(seq.point(j, 1));
+  for (std::size_t j = 32; j-- > 0;) {
+    EXPECT_DOUBLE_EQ(seq.point(j, 1), forward[j]);
+  }
+}
+
+TEST(KroneckerSequenceTest, EquidistributionBeatsRandomSampling) {
+  // Kolmogorov-Smirnov distance of the first n points against U(0,1).  An
+  // irrational-rotation sequence achieves D_n = O(log n / n); n iid uniforms
+  // would concentrate around ~0.6/sqrt(n) ~ 0.019.  Requiring half that
+  // pins the low-discrepancy property, not mere uniform-ish randomness.
+  constexpr std::size_t kN = 1024;
+  KroneckerSequence seq(3, 99);
+  for (std::size_t d = 0; d < 3; ++d) {
+    std::vector<double> pts;
+    for (std::size_t j = 0; j < kN; ++j) pts.push_back(seq.point(j, d));
+    std::sort(pts.begin(), pts.end());
+    double ks = 0;
+    for (std::size_t i = 0; i < kN; ++i) {
+      const double ecdf_hi = static_cast<double>(i + 1) / kN;
+      const double ecdf_lo = static_cast<double>(i) / kN;
+      ks = std::max({ks, std::abs(ecdf_hi - pts[i]), std::abs(pts[i] - ecdf_lo)});
+    }
+    EXPECT_LT(ks, 0.01) << "dimension " << d;
+  }
+}
+
+}  // namespace
+}  // namespace deco::util
