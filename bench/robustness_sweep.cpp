@@ -11,11 +11,13 @@
 //
 // Reported per (workflow, scheduler, level): deadline-miss rate, average
 // cost and its inflation over the failure-free run of the same scheduler,
-// replans per run, and injected disruptions per run.  Results go to stdout
-// and BENCH_robustness.json so the robustness trajectory is tracked across
-// PRs.
+// replans per run, and injected disruptions per run.  A second grid sweeps
+// control-plane API faults, and a third sweeps the wall-clock solve budget
+// (anytime plan quality vs budget).  Results go to stdout and
+// BENCH_robustness.json so the robustness trajectory is tracked across PRs.
 //
 // Usage: robustness_sweep [output.json]
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -23,6 +25,7 @@
 #include "bench/bench_common.hpp"
 #include "cloud/control_plane.hpp"
 #include "obs/metrics.hpp"
+#include "util/budget.hpp"
 #include "util/table.hpp"
 #include "wms/reactive.hpp"
 
@@ -224,7 +227,72 @@ std::vector<CloudRow> run_cloud_sweep(const workflow::Workflow& wf,
   return rows;
 }
 
+/// One point of the solve-budget sweep: plan quality and solve time as the
+/// wall-clock budget shrinks from unlimited down to ~1 ms.
+struct BudgetRow {
+  std::string workflow;
+  double budget_ms = 0;  ///< 0 = unlimited
+  double solve_ms = 0;
+  double cost = 0;
+  double cost_vs_unlimited = 1;
+  bool feasible = false;
+  bool exhausted = false;
+  std::size_t states = 0;
+};
+
+/// Anytime-quality curve: re-solve each workflow under progressively
+/// tighter wall budgets.  The contract under test is the one the docs
+/// promise — the solve always comes back quickly with a full-size plan,
+/// and quality degrades gracefully (never catastrophically) as the budget
+/// shrinks.
+std::vector<BudgetRow> run_budget_sweep(core::Deco& engine,
+                                        const core::SchedulingOptions& sched,
+                                        util::Table& table) {
+  const double budgets_ms[] = {0.0, 200.0, 50.0, 10.0, 2.0};
+  std::vector<BudgetRow> rows;
+  for (const int which : {0, 1}) {
+    util::Rng wf_rng(7);
+    const workflow::Workflow wf = which == 0
+                                      ? workflow::make_montage(1, wf_rng)
+                                      : workflow::make_cybershake(50, wf_rng);
+    const core::ProbDeadline req{0.9, bench::deadline_bounds(wf).medium()};
+    double unlimited_cost = 0;
+    for (const double budget_ms : budgets_ms) {
+      BudgetRow row;
+      row.workflow = wf.name();
+      row.budget_ms = budget_ms;
+      util::SolveBudget spec;
+      spec.wall_ms = budget_ms;
+      util::BudgetTracker tracker(spec);
+      core::SchedulingOptions opts = sched;
+      if (budget_ms > 0) opts.search.budget = &tracker;
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto r = engine.schedule(wf, req, opts);
+      row.solve_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+      row.cost = r.evaluation.mean_cost;
+      row.feasible = r.evaluation.feasible;
+      row.exhausted = r.budget.budget_exhausted;
+      row.states = r.stats.states_evaluated;
+      if (budget_ms == 0.0) unlimited_cost = row.cost;
+      row.cost_vs_unlimited =
+          unlimited_cost > 0 ? row.cost / unlimited_cost : 1.0;
+      table.add_row({row.workflow,
+                     budget_ms > 0 ? util::Table::num(budget_ms, 0) : "inf",
+                     util::Table::num(row.solve_ms, 1),
+                     util::Table::num(row.cost, 2),
+                     util::Table::num(row.cost_vs_unlimited, 3),
+                     row.feasible ? "yes" : "no",
+                     row.exhausted ? "yes" : "no"});
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
 bool write_json(const std::vector<Row>& rows, const std::vector<CloudRow>& cloud_rows,
+                const std::vector<BudgetRow>& budget_rows,
                 const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
@@ -269,9 +337,25 @@ bool write_json(const std::vector<Row>& rows, const std::vector<CloudRow>& cloud
         r.api.fallbacks, r.api.exhausted, r.api.breaker_opens,
         i + 1 < cloud_rows.size() ? "," : "");
   }
+  // Solve-budget sweep: anytime plan quality vs wall-clock budget
+  // (budget_ms 0 = unlimited; cost_vs_unlimited is the graceful-degradation
+  // curve tracked across PRs).
+  std::fprintf(f, "  ],\n  \"budgets\": [\n");
+  for (std::size_t i = 0; i < budget_rows.size(); ++i) {
+    const BudgetRow& r = budget_rows[i];
+    std::fprintf(
+        f,
+        "    {\"workflow\": \"%s\", \"budget_ms\": %.1f, \"solve_ms\": %.2f, "
+        "\"cost\": %.4f, \"cost_vs_unlimited\": %.3f, \"feasible\": %s, "
+        "\"budget_exhausted\": %s, \"states_evaluated\": %zu}%s\n",
+        r.workflow.c_str(), r.budget_ms, r.solve_ms, r.cost,
+        r.cost_vs_unlimited, r.feasible ? "true" : "false",
+        r.exhausted ? "true" : "false", r.states,
+        i + 1 < budget_rows.size() ? "," : "");
+  }
   // Aggregate simulator/reactive/control-plane counters captured over the
   // whole sweep (sim.failures.*, wms.reactive.*, cloud.api.*,
-  // cloud.breaker.*), recorded alongside the summary rows.
+  // cloud.breaker.*, budget.*), recorded alongside the summary rows.
   const std::string metrics =
       obs::to_json(obs::Registry::instance().snapshot());
   std::fprintf(f, "  ],\n  \"metrics\": %s\n}\n", metrics.c_str());
@@ -367,7 +451,15 @@ int main(int argc, char** argv) {
       run_cloud_sweep(montage, montage_plan, cloud_table);
   std::printf("%s", cloud_table.to_string().c_str());
 
-  if (!write_json(rows, cloud_rows, out)) return 1;
+  // Anytime-quality sweep: plan cost vs shrinking wall-clock solve budget.
+  std::printf("\nsolve-budget sweep (anytime plan quality):\n");
+  util::Table budget_table({"workflow", "budget_ms", "solve_ms", "cost",
+                            "vs_unlimited", "feasible", "exhausted"});
+  const std::vector<BudgetRow> budget_rows =
+      run_budget_sweep(engine, sched, budget_table);
+  std::printf("%s", budget_table.to_string().c_str());
+
+  if (!write_json(rows, cloud_rows, budget_rows, out)) return 1;
   std::printf("\nwrote %s\n", out.c_str());
   return 0;
 }

@@ -16,9 +16,11 @@ struct GeneratorSolution {
 
 /// Enumerates the solutions of a generator term against the IR's base.
 std::vector<GeneratorSolution> enumerate_generator(
-    const wlog::Database& base, const wlog::TermPtr& generator) {
+    const wlog::Database& base, const wlog::TermPtr& generator,
+    util::BudgetTracker* budget = nullptr) {
   std::vector<GeneratorSolution> out;
   wlog::Interpreter interp(base);
+  interp.set_budget(budget);
   wlog::Bindings bindings;
 
   // Collect the generator's variable ids.
@@ -98,19 +100,32 @@ DeclarativeResult DeclarativeSolver::solve(const wlog::Program& program,
   }
 
   // Enumerate entities (generator 1) and choices (generator 2 / boolean).
-  const auto entities = enumerate_generator(ir.base(), decl.generators[0]);
+  // These run before the search proper, so a budget fired this early has no
+  // incumbent to fall back on — surface it as a clean error result.
+  std::vector<GeneratorSolution> entities;
+  const bool boolean_form = decl.generators.size() == 1;
+  std::vector<GeneratorSolution> choices;
+  try {
+    entities =
+        enumerate_generator(ir.base(), decl.generators[0], options_.budget);
+    if (!boolean_form) {
+      choices =
+          enumerate_generator(ir.base(), decl.generators[1], options_.budget);
+    }
+  } catch (const util::BudgetExhaustedError& e) {
+    result.error = std::string("solve budget exhausted (") +
+                   util::to_string(e.trigger()) +
+                   ") before the search started";
+    result.budget = options_.budget->report(0);
+    return result;
+  }
   if (entities.empty()) {
     result.error = "the first generator has no solutions (missing facts?)";
     return result;
   }
-  const bool boolean_form = decl.generators.size() == 1;
-  std::vector<GeneratorSolution> choices;
-  if (!boolean_form) {
-    choices = enumerate_generator(ir.base(), decl.generators[1]);
-    if (choices.empty()) {
-      result.error = "the second generator has no solutions (missing facts?)";
-      return result;
-    }
+  if (!boolean_form && choices.empty()) {
+    result.error = "the second generator has no solutions (missing facts?)";
+    return result;
   }
   for (const auto& e : entities) result.entities.push_back(e.key);
   if (boolean_form) {
@@ -146,6 +161,7 @@ DeclarativeResult DeclarativeSolver::solve(const wlog::Program& program,
 
   wlog::McOptions mc;
   mc.max_iterations = options_.mc_iterations;
+  mc.budget = options_.budget;
   util::Rng rng(options_.seed);
 
   auto evaluate_state = [&](const std::vector<int>& assignment) -> Scored {
@@ -234,6 +250,7 @@ DeclarativeResult DeclarativeSolver::solve(const wlog::Program& program,
   sopt.batch_size = options_.batch_size;
   sopt.minimize = program.goal->minimize;
   sopt.stale_wave_limit = options_.stale_wave_limit;
+  sopt.budget = options_.budget;
 
   const std::vector<int> initial(n, 0);
   SearchResult<std::vector<int>> found;
@@ -243,6 +260,7 @@ DeclarativeResult DeclarativeSolver::solve(const wlog::Program& program,
       const wlog::ProbProgram bound = bind_state(assignment);
       const wlog::Database modal = bound.modal_world();
       wlog::Interpreter interp(modal);
+      interp.set_budget(options_.budget);
       const auto solutions =
           interp.query(std::string(predicate) + "(Score)", 1);
       if (solutions.empty()) return 0.0;
@@ -261,6 +279,7 @@ DeclarativeResult DeclarativeSolver::solve(const wlog::Program& program,
   }
 
   result.stats = found.stats;
+  result.budget = found.budget;
   if (!found.best) {
     result.error = "no feasible solution found within the search budget";
     return result;

@@ -37,6 +37,10 @@ struct DeclarativeOptions {
   std::size_t mc_iterations = 48;
   std::size_t stale_wave_limit = 6;
   std::uint64_t seed = 99;
+  /// Optional cooperative solve budget, threaded into the state search, the
+  /// Monte Carlo evaluation loops, and the WLog interpreters.  A fired
+  /// budget cuts the search anytime-style (the result keeps the incumbent).
+  util::BudgetTracker* budget = nullptr;
 };
 
 struct DeclarativeResult {
@@ -54,6 +58,8 @@ struct DeclarativeResult {
   double goal_value = 0;
   bool feasible = false;
   SearchStats stats;
+  /// Budget outcome (all-zero when options.budget was null).
+  util::SolveReport budget;
 };
 
 class DeclarativeSolver {

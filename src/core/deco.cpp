@@ -61,9 +61,11 @@ WlogSolveResult Deco::solve_program(const std::string& source,
   dopt.max_states = options_.wlog_max_states;
   dopt.mc_iterations = options_.wlog_mc_iterations;
   dopt.seed = options_.eval.seed;
+  dopt.budget = options_.budget;
   DeclarativeSolver solver(dopt);
   const DeclarativeResult solved = solver.solve(program, ir);
   result.stats = solved.stats;
+  result.budget = solved.budget;
   if (!solved.ok) {
     result.error = solved.error;
     return result;
@@ -103,6 +105,7 @@ WlogEnsembleResult Deco::solve_ensemble_program(
   std::vector<bool> feasible(n, false);
   result.plans.resize(n);
   EnsemblePlanOptions popt;
+  popt.per_workflow.search.budget = options_.budget;
   for (std::size_t i = 0; i < n; ++i) {
     const auto& member = ensemble.members[i];
     TaskTimeEstimator estimator(*catalog_, *store_, options_.estimator);
@@ -125,6 +128,7 @@ WlogEnsembleResult Deco::solve_ensemble_program(
   dopt.max_states = options_.wlog_max_states;
   dopt.mc_iterations = options_.wlog_mc_iterations;
   dopt.seed = options_.eval.seed;
+  dopt.budget = options_.budget;
   DeclarativeSolver solver(dopt);
   const DeclarativeResult solved = solver.solve(parsed.program, ir);
   result.stats = solved.stats;

@@ -44,6 +44,10 @@ struct DecoOptions {
   /// costly, so this is much smaller than the native budgets).
   std::size_t wlog_max_states = 48;
   std::size_t wlog_mc_iterations = 48;
+  /// Optional cooperative solve budget for the declarative paths
+  /// (solve_program / solve_ensemble_program).  Native paths take the budget
+  /// through their per-call options (SearchOptions::budget).
+  util::BudgetTracker* budget = nullptr;
 };
 
 struct WlogSolveResult {
@@ -53,6 +57,8 @@ struct WlogSolveResult {
   double goal_value = 0;
   bool feasible = false;
   SearchStats stats;
+  /// Budget outcome (all-zero when DecoOptions::budget was null).
+  util::SolveReport budget;
 };
 
 /// Result of a declarative *ensemble* program (use case 2 in WLog).

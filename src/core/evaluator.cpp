@@ -78,6 +78,59 @@ std::size_t PlanEvaluator::PlanKeyHash::operator()(
 void PlanEvaluator::clear_staging_cache() {
   segment_cache_.clear();
   plan_cache_.clear();
+  segment_cache_bytes_ = 0;
+  plan_cache_bytes_ = 0;
+}
+
+std::size_t PlanEvaluator::device_plan_bytes(const DevicePlan& dev) {
+  // Array payloads plus a flat allowance for the map node + shared_ptr
+  // control block; precise enough to meter the cap, cheap enough to keep on
+  // the staging path.
+  return dev.bin_offsets.capacity() * sizeof(std::size_t) +
+         dev.columns.capacity() * sizeof(AliasColumn) +
+         (dev.cpu.capacity() + dev.price_per_s.capacity() +
+          dev.price_hour.capacity() + dev.group_price_hour.capacity()) *
+             sizeof(double) +
+         dev.group.capacity() * sizeof(std::int32_t) +
+         dev.group_size.capacity() * sizeof(std::uint32_t) + 160;
+}
+
+std::size_t PlanEvaluator::segment_bytes(const TaskSegment& seg) {
+  return seg.columns.capacity() * sizeof(AliasColumn) + 96;
+}
+
+void PlanEvaluator::enforce_memory_budget() {
+  util::BudgetTracker* const budget = budget_;
+  if (budget == nullptr || !budget->active()) return;
+  using Component = util::BudgetTracker::Component;
+  budget->set_bytes(Component::kPlanCache, plan_cache_bytes_);
+  budget->set_bytes(Component::kSegmentCache, segment_cache_bytes_);
+  if (budget->memory_budget() == 0 || !budget->over_memory_budget()) return;
+
+  // Degradation ladder, cheapest-to-rebuild first.  Eviction is
+  // result-neutral: cached entries are pure functions of their keys, so a
+  // later re-stage reproduces them bit-identically.
+  if (!plan_cache_.empty()) {
+    DECO_OBS_COUNTER_ADD("budget.evictions.plan_images", plan_cache_.size());
+    plan_cache_.clear();
+    plan_cache_bytes_ = 0;
+    budget->set_bytes(Component::kPlanCache, 0);
+  }
+  if (budget->over_memory_budget() && !segment_cache_.empty()) {
+    DECO_OBS_COUNTER_ADD("budget.evictions.segments", segment_cache_.size());
+    segment_cache_.clear();
+    segment_cache_bytes_ = 0;
+    budget->set_bytes(Component::kSegmentCache, 0);
+  }
+  if (!budget->over_memory_budget()) return;
+  // Still over: the remaining weight is the search driver's visited set.
+  // Ask it to shrink at the next wave boundary; if there is nothing there to
+  // shrink either, the ladder is exhausted and the memory trigger fires.
+  if (budget->bytes(Component::kVisited) > 0) {
+    budget->request_visited_shrink();
+  } else {
+    budget->fire(util::BudgetTrigger::kMemory);
+  }
 }
 
 const PlanEvaluator::TaskSegment& PlanEvaluator::segment(
@@ -119,6 +172,7 @@ const PlanEvaluator::TaskSegment& PlanEvaluator::segment(
       column.alias_center *= factor;
     }
   }
+  segment_cache_bytes_ += segment_bytes(seg);
   return segment_cache_.emplace(key, std::move(seg)).first->second;
 }
 
@@ -172,7 +226,12 @@ std::shared_ptr<const PlanEvaluator::DevicePlan> PlanEvaluator::stage(
     }
   }
 
-  if (plan_cache_.size() >= kMaxCachedPlans) plan_cache_.clear();
+  if (plan_cache_.size() >= kMaxCachedPlans) {
+    plan_cache_.clear();
+    plan_cache_bytes_ = 0;
+  }
+  plan_cache_bytes_ += device_plan_bytes(*dev) +
+                       plan.placements.size() * sizeof(sim::TaskPlacement);
   plan_cache_.emplace(plan, dev);
   return dev;
 }
@@ -362,6 +421,9 @@ std::vector<PlanEvaluation> PlanEvaluator::evaluate_batch(
   // A cyclic workflow has no topological order and no finite makespan.
   if (topo_.size() != n) return results;
 
+  util::BudgetTracker* const budget = budget_;
+  enforce_memory_budget();
+
   // Stage all plans on the host (the "global memory" image).  Staging goes
   // through the two-level cache and is done serially; kernels then run in
   // parallel against the shared read-only images.
@@ -369,7 +431,10 @@ std::vector<PlanEvaluation> PlanEvaluator::evaluate_batch(
   staged.reserve(plans.size());
   {
     DECO_OBS_SPAN_TIMED("eval", "stage", "eval.stage_ms");
-    for (const sim::Plan& p : plans) staged.push_back(stage(p));
+    for (const sim::Plan& p : plans) {
+      if (budget != nullptr) budget->checkpoint();
+      staged.push_back(stage(p));
+    }
   }
 
   // Output arrays (flat "global memory"): per block, `iters` makespans and
@@ -382,6 +447,7 @@ std::vector<PlanEvaluation> PlanEvaluator::evaluate_batch(
   config.lanes_per_block = iters;
   config.shared_doubles = 2 * iters;
   config.seed = options_.seed;
+  config.cancel = budget != nullptr ? budget->launch_cancel() : nullptr;
   // Seed each block by its plan so a plan's score does not depend on which
   // batch it was evaluated in.
   config.block_seeds.reserve(plans.size());
@@ -429,6 +495,10 @@ std::vector<PlanEvaluation> PlanEvaluator::evaluate_batch(
     std::fill(zero_row.begin(), zero_row.end(), 0.0);
 
     for (std::size_t tile_base = 0; tile_base < iters; tile_base += tile) {
+      // Cooperative checkpoint per tile: a fired budget aborts the block via
+      // the pool's lowest-block rethrow; a silent budget costs one atomic
+      // load + clock read per 128 lanes and changes nothing else.
+      if (budget != nullptr) budget->checkpoint();
       const std::size_t lanes = std::min(tile, iters - tile_base);
       // Generation pass (lane-major, RNG state stays in registers),
       // dispatched as one lane batch: one correlated interference factor per
@@ -642,11 +712,17 @@ std::vector<ScreenedEvaluation> PlanEvaluator::evaluate_batch_adaptive(
         util::KroneckerSequence(n + 1, options_.seed ^ 0xC2B2AE3D27D4EB4FULL);
   }
 
+  util::BudgetTracker* const budget = budget_;
+  enforce_memory_budget();
+
   std::vector<std::shared_ptr<const DevicePlan>> staged;
   staged.reserve(plans.size());
   {
     DECO_OBS_SPAN_TIMED("eval", "stage", "eval.stage_ms");
-    for (const sim::Plan& p : plans) staged.push_back(stage(p));
+    for (const sim::Plan& p : plans) {
+      if (budget != nullptr) budget->checkpoint();
+      staged.push_back(stage(p));
+    }
   }
 
   std::vector<double> all_makespans(plans.size() * cap);
@@ -659,6 +735,7 @@ std::vector<ScreenedEvaluation> PlanEvaluator::evaluate_batch_adaptive(
   config.lanes_per_block = cap;
   config.shared_doubles = 0;  // lanes write their disjoint global slice
   config.seed = options_.seed;
+  config.cancel = budget != nullptr ? budget->launch_cancel() : nullptr;
   config.block_seeds.reserve(plans.size());
   const PlanKeyHash plan_hash;
   for (const sim::Plan& p : plans) {
@@ -700,6 +777,7 @@ std::vector<ScreenedEvaluation> PlanEvaluator::evaluate_batch_adaptive(
       std::size_t within = 0;
       bool stopped = false;
       for (std::size_t base = 0; base < cap && !stopped; base += tile) {
+        if (budget != nullptr) budget->checkpoint();
         const std::size_t lanes = std::min(tile, cap - base);
         // Generation pass: low-discrepancy worlds instead of RNG streams.
         // World j's coordinates come straight off the Kronecker sequence —

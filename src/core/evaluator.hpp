@@ -34,6 +34,7 @@
 #include "sim/failure_model.hpp"
 #include "sim/plan.hpp"
 #include "util/aligned.hpp"
+#include "util/budget.hpp"
 #include "util/qmc.hpp"
 #include "vgpu/device.hpp"
 #include "workflow/dag.hpp"
@@ -206,6 +207,21 @@ class PlanEvaluator {
   /// Drops both cache levels (e.g. after the estimator was recalibrated).
   void clear_staging_cache();
 
+  /// Arms (or disarms, with nullptr) a per-solve budget.  Batch entry points
+  /// publish cache bytes, run the memory degradation ladder (drop whole-plan
+  /// device images, then segments, then request a visited-set shrink from
+  /// the driver), and checkpoint the kernels at block entry and every tile
+  /// boundary, throwing BudgetExhaustedError once a trigger fires.  A budget
+  /// that never fires leaves results bit-identical: checkpoints only read,
+  /// and cache eviction is result-neutral by construction.
+  void set_budget(util::BudgetTracker* budget) { budget_ = budget; }
+  util::BudgetTracker* budget() const { return budget_; }
+  /// Resident bytes of the two staging-cache levels (approximate; what the
+  /// memory budget meters).
+  std::size_t cache_bytes() const {
+    return plan_cache_bytes_ + segment_cache_bytes_;
+  }
+
  private:
   /// One pre-resolved alias-table column: a draw that lands in this column
   /// yields `stay_center` with probability `prob`, else `alias_center`.
@@ -264,6 +280,13 @@ class PlanEvaluator {
   /// screen_stats_.
   void record_screen_stats(const ScreenStats& delta);
 
+  /// Publishes cache byte gauges to the budget tracker and, when over the
+  /// memory cap, runs the degradation ladder.  Called at batch entry (before
+  /// staging grows the caches further); no-op without an armed budget.
+  void enforce_memory_budget();
+  static std::size_t device_plan_bytes(const DevicePlan& dev);
+  static std::size_t segment_bytes(const TaskSegment& seg);
+
   /// Task-major tile evaluation shared by the fixed-iteration MC kernel and
   /// the adaptive QMC kernel: consumes the tile's pre-generated uniforms and
   /// interference speedups and writes per-lane makespans/costs into the
@@ -312,6 +335,9 @@ class PlanEvaluator {
   std::unordered_map<sim::Plan, std::shared_ptr<const DevicePlan>, PlanKeyHash>
       plan_cache_;
   StagingCacheStats cache_stats_;
+  std::size_t plan_cache_bytes_ = 0;
+  std::size_t segment_cache_bytes_ = 0;
+  util::BudgetTracker* budget_ = nullptr;  // borrowed; null = unbudgeted
 
   // Estimator hierarchy.  The analytic screen (Tier 0) shares the segment
   // cache through its friendship; the Kronecker sequence (Tier 1) is built

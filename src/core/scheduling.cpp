@@ -159,9 +159,14 @@ SchedulingResult SchedulingProblem::greedy_feasible(const ProbDeadline& req,
         .eval;
   };
   sim::Plan plan = initial_plan(region);
-  PlanEvaluation eval = score(plan);
-  if (screened && eval.feasible) eval = evaluator_.verify_full_mc(plan, req);
+  PlanEvaluation eval{};
   std::size_t iterations = 0;
+  // The whole promotion loop is one budget scope: a budget firing mid-loop
+  // keeps the last promoted plan as the anytime answer (always full-size;
+  // found stays false because the loop only runs while infeasible).
+  try {
+  eval = score(plan);
+  if (screened && eval.feasible) eval = evaluator_.verify_full_mc(plan, req);
   const std::size_t max_iterations = wf_->task_count() * catalog.type_count();
   while (!eval.feasible && iterations++ < max_iterations) {
     // Promote the critical-path task with the largest mean time that still
@@ -194,6 +199,10 @@ SchedulingResult SchedulingProblem::greedy_feasible(const ProbDeadline& req,
     eval = score(plan);
     if (screened && eval.feasible) eval = evaluator_.verify_full_mc(plan, req);
   }
+  } catch (const util::BudgetExhaustedError&) {
+    // Anytime cut: the plan holds the promotions made so far and eval the
+    // last completed score.
+  }
   result.plan = std::move(plan);
   result.evaluation = eval;
   result.found = eval.feasible;
@@ -210,6 +219,16 @@ SchedulingResult SchedulingProblem::solve(const ProbDeadline& req,
     return result;
   }
   const cloud::Catalog& catalog = estimator_->catalog();
+
+  // Arm the evaluator with this solve's budget for the duration of the call
+  // (exception-safe; the recursive screened fallback re-arms identically).
+  util::BudgetTracker* const budget = options.search.budget;
+  struct BudgetScope {
+    PlanEvaluator& evaluator;
+    util::BudgetTracker* prev;
+    ~BudgetScope() { evaluator.set_budget(prev); }
+  } budget_scope{evaluator_, evaluator_.budget()};
+  evaluator_.set_budget(budget);
 
   SearchCallbacks<sim::Plan> cb;
   cb.hash = plan_hash;
@@ -304,6 +323,7 @@ SchedulingResult SchedulingProblem::solve(const ProbDeadline& req,
 
   result.stats = found.stats;
   result.stats.states_pruned += screen_rejections.load();
+  result.budget = found.budget;
   // Tier 2 on the search outcome: the search ran on screened scores, so the
   // candidate must survive the full-MC verifier before it competes with the
   // greedy incumbent (and competes on its verified, not screened, cost).
@@ -311,6 +331,7 @@ SchedulingResult SchedulingProblem::solve(const ProbDeadline& req,
   // cheapest-first order — screened scores on frontier plans are estimates,
   // and the next-best state often verifies where the winner does not.
   if (screened && found.best) {
+    try {
     const PlanEvaluation verified = evaluator_.verify_full_mc(*found.best, req);
     if (verified.feasible) {
       found.best_score.objective = verified.mean_cost;
@@ -338,6 +359,12 @@ SchedulingResult SchedulingProblem::solve(const ProbDeadline& req,
         }
       }
     }
+    } catch (const util::BudgetExhaustedError&) {
+      // Budget fired mid-verification: whatever survives in found.best (the
+      // screened winner, or nothing if it already failed full MC) carries on
+      // as the anytime candidate — the exhausted-solve contract is feasible-
+      // or-best-screened, not fully verified.
+    }
   }
   // The search competes with the greedy incumbent; take the cheaper feasible.
   SchedulingResult greedy = greedy_feasible(req, options.region);
@@ -357,7 +384,8 @@ SchedulingResult SchedulingProblem::solve(const ProbDeadline& req,
   // against full MC; the fallback makes `auto` return exactly what `mc`
   // would (bit-identical — same seed, same kernel), at worst doubling the
   // cost of the rare solve that was about to fail anyway.
-  if (screened && !result.found) {
+  const bool exhausted = budget != nullptr && budget->exhausted();
+  if (screened && !result.found && !exhausted) {
     DECO_OBS_COUNTER_ADD("search.screen_fallbacks", 1);
     const EstimatorMode saved = evaluator_.options().estimator;
     evaluator_.set_estimator_mode(EstimatorMode::kMc);
@@ -365,15 +393,32 @@ SchedulingResult SchedulingProblem::solve(const ProbDeadline& req,
     evaluator_.set_estimator_mode(saved);
     fallback.stats.states_evaluated += result.stats.states_evaluated;
     fallback.stats.states_pruned += result.stats.states_pruned;
+    if (budget != nullptr) {
+      fallback.budget = budget->report(fallback.stats.states_evaluated);
+    }
     return fallback;
   }
-  if (result.found) {
-    result.plan = polish(std::move(result.plan), req);
-    if (evaluator_.options().cost_model == CostModel::kBilledHours) {
-      result.plan = consolidate(std::move(result.plan), req);
+  if (result.found && !exhausted) {
+    // Polish and consolidation refine an already-valid plan; under an
+    // exhausted budget they are skipped (their evaluations would abort
+    // immediately anyway), and a budget firing inside them keeps the
+    // pre-refinement plan.
+    try {
+      sim::Plan refined = polish(result.plan, req);
+      if (evaluator_.options().cost_model == CostModel::kBilledHours) {
+        refined = consolidate(std::move(refined), req);
+      }
+      result.plan = std::move(refined);
+    } catch (const util::BudgetExhaustedError&) {
     }
   }
+  // The final evaluation always completes — one plan, bounded work — so even
+  // an anytime result reports a real score; the budget is detached for it.
+  evaluator_.set_budget(nullptr);
   result.evaluation = evaluator_.evaluate(result.plan, req);
+  if (budget != nullptr) {
+    result.budget = budget->report(result.stats.states_evaluated);
+  }
   return result;
 }
 

@@ -40,6 +40,11 @@ struct SchedulingResult {
   PlanEvaluation evaluation;
   SearchStats stats;
   bool found = false;  ///< a feasible plan was found
+  /// Budget outcome (all-zero when options.search.budget was null).  An
+  /// exhausted budget still returns a full-size anytime plan — the best
+  /// feasible-or-best-screened placement found before the cutoff — with a
+  /// valid evaluation (the final single-plan evaluation runs unbudgeted).
+  util::SolveReport budget;
 };
 
 class SchedulingProblem {

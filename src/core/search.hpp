@@ -34,6 +34,7 @@
 // with better instance types and thus always generate higher cost").
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -46,6 +47,7 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "util/budget.hpp"
 
 namespace deco::core {
 
@@ -75,6 +77,13 @@ struct SearchOptions {
   /// SearchStats::visited_evicted.  Size to max_states * branching to make
   /// eviction a pure safety valve.
   std::size_t max_visited = 0;
+  /// Optional per-solve budget (borrowed, may be null).  Checked at wave
+  /// boundaries and inside the speculative generation loop; a fired budget
+  /// discards the partially evaluated wave and returns the incumbent as an
+  /// anytime result (SearchResult::budget).  A budget that never fires is
+  /// behavior-neutral: checkpoints only read, so results stay bit-identical
+  /// to an unbudgeted run.
+  util::BudgetTracker* budget = nullptr;
 };
 
 /// Search-effort accounting, filled identically by both the breadth-first
@@ -136,6 +145,9 @@ struct SearchResult {
   std::optional<State> best;
   Scored best_score;
   SearchStats stats;
+  /// Budget outcome: all-zero for unbudgeted runs; budget_exhausted set when
+  /// the search was cut and `best` is the anytime incumbent.
+  util::SolveReport budget;
 };
 
 namespace detail {
@@ -147,14 +159,22 @@ inline bool better(double candidate, double incumbent, bool minimize) {
 /// Dedup set with an optional FIFO capacity bound: past the cap, the oldest
 /// inserted hash is evicted for every new one.  Eviction order is a pure
 /// function of insertion order, so bounded runs stay deterministic.
+///
+/// `track_order` keeps the insertion-order ring even for unbounded sets so a
+/// memory budget can later shrink_to() them; unbudgeted unbounded sets skip
+/// the ring entirely (identical to the pre-budget behavior).
 class VisitedSet {
  public:
-  explicit VisitedSet(std::size_t capacity) : capacity_(capacity) {}
+  explicit VisitedSet(std::size_t capacity, bool track_order = false)
+      : capacity_(capacity), track_order_(track_order) {}
 
   /// True if `h` was newly inserted; false if it was already present.
   bool insert(std::uint64_t h) {
     if (!set_.insert(h).second) return false;
-    if (capacity_ == 0) return true;
+    if (capacity_ == 0) {
+      if (track_order_) ring_.push_back(h);
+      return true;
+    }
     if (ring_.size() < capacity_) {
       ring_.push_back(h);
       return true;
@@ -167,14 +187,91 @@ class VisitedSet {
   }
 
   std::size_t evicted() const { return evicted_; }
+  std::size_t size() const { return set_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Approximate resident bytes: hash-set nodes (bucket array + node heap
+  /// allocations, ~40 B per entry on mainstream libstdc++) plus the ring.
+  std::size_t bytes() const {
+    return set_.size() * 40 + ring_.capacity() * sizeof(std::uint64_t);
+  }
+
+  /// Memory-pressure degradation: FIFO-evicts the oldest hashes until at
+  /// most `new_capacity` remain and caps the set there.  Requires insertion
+  /// order (a bounded set, or track_order) — otherwise a no-op.  Evictions
+  /// count into evicted(); dedup afterwards is exactly what a set built with
+  /// the smaller cap would do from this point on.
+  void shrink_to(std::size_t new_capacity) {
+    new_capacity = std::max<std::size_t>(new_capacity, 1);
+    if (capacity_ == 0 && !track_order_) return;  // no order to evict by
+    // Linearize oldest-first: a wrapped bounded ring starts at head_; an
+    // unwrapped or unbounded ring is already in insertion order.
+    std::vector<std::uint64_t> live;
+    live.reserve(ring_.size());
+    if (capacity_ != 0 && ring_.size() == capacity_ && head_ != 0) {
+      for (std::size_t i = 0; i < ring_.size(); ++i) {
+        live.push_back(ring_[(head_ + i) % ring_.size()]);
+      }
+    } else {
+      live = ring_;
+    }
+    const std::size_t drop =
+        live.size() > new_capacity ? live.size() - new_capacity : 0;
+    for (std::size_t i = 0; i < drop; ++i) set_.erase(live[i]);
+    evicted_ += drop;
+    ring_.assign(live.begin() + static_cast<std::ptrdiff_t>(drop), live.end());
+    ring_.shrink_to_fit();
+    head_ = 0;
+    capacity_ = new_capacity;
+  }
 
  private:
   std::size_t capacity_;
+  bool track_order_;
   std::unordered_set<std::uint64_t> set_;
   std::vector<std::uint64_t> ring_;  // insertion order, reused circularly
   std::size_t head_ = 0;
   std::size_t evicted_ = 0;
 };
+
+/// Wave-boundary budget service, shared by both drivers.  Publishes the
+/// visited set's bytes, honors a pending shrink request from the evaluator's
+/// degradation ladder (halving down to `floor`; firing kMemory once the
+/// floor cannot satisfy the cap), and returns true when the solve must stop.
+/// With a null or never-firing budget this reads state and changes nothing.
+inline bool service_budget(util::BudgetTracker* budget, VisitedSet& visited,
+                           std::size_t floor) {
+  if (budget == nullptr) return false;
+  using Component = util::BudgetTracker::Component;
+  if (budget->active() && budget->memory_budget() > 0) {
+    budget->set_bytes(Component::kVisited, visited.bytes());
+    if (budget->consume_visited_shrink_request()) {
+      const std::size_t target = std::max(floor, visited.size() / 2);
+      if (visited.size() > target) {
+        const std::size_t before = visited.evicted();
+        visited.shrink_to(target);
+        DECO_OBS_COUNTER_ADD("budget.evictions.visited",
+                             visited.evicted() - before);
+      } else {
+        // The set is already at the floor: the degradation ladder is out of
+        // things to evict, so memory pressure becomes a cutoff.
+        budget->fire(util::BudgetTrigger::kMemory);
+      }
+      budget->set_bytes(Component::kVisited, visited.bytes());
+    }
+  }
+  return budget->should_stop();
+}
+
+/// Finalizes SearchResult::budget and clears the visited gauge (the set dies
+/// with the driver's stack frame).
+inline util::SolveReport finish_budget(util::BudgetTracker* budget,
+                                       std::size_t states_evaluated) {
+  if (budget == nullptr) return {};
+  const util::SolveReport report = budget->report(states_evaluated);
+  budget->set_bytes(util::BudgetTracker::Component::kVisited, 0);
+  return report;
+}
 
 /// One wave's speculative products: children and their hashes (A* adds f
 /// scores), generated while the wave's evaluation is in flight.
@@ -211,8 +308,17 @@ std::vector<Scored> evaluate_wave(const SearchCallbacks<State>& cb,
   std::future<std::vector<Scored>> pending = std::async(
       std::launch::async,
       [&cb, &batch] { return cb.evaluate(std::span<const State>(batch)); });
+  bool speculation_cut = false;
   try {
     for (std::size_t i = 0; i < batch.size(); ++i) {
+      // A fired budget ends speculation: the wave is about to be discarded,
+      // so generating more children is wasted work.  The evaluation is still
+      // drained below (it observes the same budget through its own
+      // checkpoints), keeping the background thread's exit clean.
+      if (options.budget != nullptr && options.budget->should_stop()) {
+        speculation_cut = true;
+        break;
+      }
       spec.children[i] = cb.children(batch[i]);
       auto& hashes = spec.hashes[i];
       hashes.reserve(spec.children[i].size());
@@ -233,9 +339,17 @@ std::vector<Scored> evaluate_wave(const SearchCallbacks<State>& cb,
     throw;
   }
   const auto t0 = clock::now();
+  // Rethrows a BudgetExhaustedError raised inside the evaluation on the
+  // driver thread — the cancellation path out of the background evaluation.
   std::vector<Scored> scores = pending.get();
   stall_ms +=
       std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+  if (speculation_cut) {
+    // The evaluation finished between budget checkpoints, but speculation is
+    // incomplete; committing a partial wave would diverge from the serial
+    // driver, so the cut wave is abandoned wholesale.
+    throw util::BudgetExhaustedError(options.budget->trigger());
+  }
   return scores;
 }
 
@@ -250,7 +364,12 @@ SearchResult<State> generic_search(const State& initial,
   DECO_OBS_SPAN("search", "generic_search");
   const auto t0 = std::chrono::steady_clock::now();
   SearchResult<State> result;
-  detail::VisitedSet visited(options.max_visited);
+  const bool meter_memory =
+      options.budget != nullptr && options.budget->active() &&
+      options.budget->memory_budget() > 0;
+  detail::VisitedSet visited(options.max_visited, meter_memory);
+  const std::size_t visited_floor =
+      std::max<std::size_t>(options.batch_size, 64);
   std::queue<State> frontier;
   frontier.push(initial);
   visited.insert(cb.hash(initial));
@@ -262,6 +381,7 @@ SearchResult<State> generic_search(const State& initial,
 
   while (!frontier.empty() &&
          result.stats.states_evaluated < options.max_states) {
+    if (detail::service_budget(options.budget, visited, visited_floor)) break;
     // Pull one batch off the FIFO queue.
     std::vector<State> batch;
     while (!frontier.empty() && batch.size() < options.batch_size &&
@@ -272,8 +392,15 @@ SearchResult<State> generic_search(const State& initial,
     // Child generation for this wave overlaps its evaluation (no f scoring
     // in breadth-first mode).
     const std::function<double(const State&)>* no_f = nullptr;
-    const std::vector<Scored> scores = detail::evaluate_wave(
-        cb, options, batch, no_f, spec, result.stats.eval_stall_ms);
+    std::vector<Scored> scores;
+    try {
+      scores = detail::evaluate_wave(cb, options, batch, no_f, spec,
+                                     result.stats.eval_stall_ms);
+    } catch (const util::BudgetExhaustedError&) {
+      // Anytime cut: the partially evaluated wave is discarded — its scores
+      // were never committed — and the incumbent stands.
+      break;
+    }
     result.stats.states_evaluated += batch.size();
     ++result.stats.waves;
     bool improved = false;
@@ -322,6 +449,8 @@ SearchResult<State> generic_search(const State& initial,
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)
           .count();
+  result.budget =
+      detail::finish_budget(options.budget, result.stats.states_evaluated);
   detail::record_search_metrics("search.generic_ms", result.stats);
   return result;
 }
@@ -344,14 +473,27 @@ SearchResult<State> astar_search(const State& initial,
     return sign * a.f > sign * b.f;
   };
   std::priority_queue<Entry, std::vector<Entry>, decltype(worse)> open(worse);
-  detail::VisitedSet visited(options.max_visited);
+  const bool meter_memory =
+      options.budget != nullptr && options.budget->active() &&
+      options.budget->memory_budget() > 0;
+  detail::VisitedSet visited(options.max_visited, meter_memory);
+  const std::size_t visited_floor =
+      std::max<std::size_t>(options.batch_size, 64);
 
   auto f_of = [&](const State& s) {
     const double g = cb.g_score ? cb.g_score(s) : 0;
     const double h = cb.h_score ? cb.h_score(s) : 0;
     return g + h;
   };
-  open.push(Entry{initial, f_of(initial)});
+  // The g/h scorers may themselves observe the budget (e.g. WLog
+  // interpreters); a cut before the first state is scored yields an empty
+  // anytime result rather than an escaping exception.
+  bool budget_cut = false;
+  try {
+    open.push(Entry{initial, f_of(initial)});
+  } catch (const util::BudgetExhaustedError&) {
+    budget_cut = true;
+  }
   visited.insert(cb.hash(initial));
 
   double bound = options.minimize ? std::numeric_limits<double>::infinity()
@@ -359,7 +501,9 @@ SearchResult<State> astar_search(const State& initial,
   std::size_t stale_waves = 0;
   detail::Speculation<State> spec;
 
-  while (!open.empty() && result.stats.states_evaluated < options.max_states) {
+  while (!budget_cut && !open.empty() &&
+         result.stats.states_evaluated < options.max_states) {
+    if (detail::service_budget(options.budget, visited, visited_floor)) break;
     std::vector<State> batch;
     while (!open.empty() && batch.size() < options.batch_size &&
            result.stats.states_evaluated + batch.size() < options.max_states) {
@@ -376,8 +520,13 @@ SearchResult<State> astar_search(const State& initial,
     if (batch.empty()) break;
     // Child generation, hashing and f-scoring for this wave overlap its
     // evaluation.
-    const auto scores = detail::evaluate_wave(cb, options, batch, &f_of, spec,
-                                              result.stats.eval_stall_ms);
+    std::vector<Scored> scores;
+    try {
+      scores = detail::evaluate_wave(cb, options, batch, &f_of, spec,
+                                     result.stats.eval_stall_ms);
+    } catch (const util::BudgetExhaustedError&) {
+      break;  // anytime cut — the incumbent stands, the wave is discarded
+    }
     result.stats.states_evaluated += batch.size();
     ++result.stats.waves;
     bool improved = false;
@@ -393,12 +542,19 @@ SearchResult<State> astar_search(const State& initial,
       }
       ++result.stats.states_expanded;
       if (!options.pipeline) {
-        spec.children[i] = cb.children(batch[i]);
-        spec.hashes[i].clear();
-        spec.f_scores[i].clear();
-        for (const State& child : spec.children[i]) {
-          spec.hashes[i].push_back(cb.hash(child));
-          spec.f_scores[i].push_back(f_of(child));
+        try {
+          spec.children[i] = cb.children(batch[i]);
+          spec.hashes[i].clear();
+          spec.f_scores[i].clear();
+          for (const State& child : spec.children[i]) {
+            spec.hashes[i].push_back(cb.hash(child));
+            spec.f_scores[i].push_back(f_of(child));
+          }
+        } catch (const util::BudgetExhaustedError&) {
+          // Incumbent updates up to here stand; the rest of the wave's
+          // children are dropped and the search ends anytime-style.
+          budget_cut = true;
+          break;
         }
       }
       for (std::size_t c = 0; c < spec.children[i].size(); ++c) {
@@ -426,6 +582,8 @@ SearchResult<State> astar_search(const State& initial,
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)
           .count();
+  result.budget =
+      detail::finish_budget(options.budget, result.stats.states_evaluated);
   detail::record_search_metrics("search.astar_ms", result.stats);
   return result;
 }

@@ -11,6 +11,7 @@
 #include "cloud/control_plane.hpp"
 #include "core/deco.hpp"
 #include "obs/obs.hpp"
+#include "util/budget.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "wms/pegasus.hpp"
@@ -69,18 +70,46 @@ global options (any command):
   --metrics-out m.json   write a JSON metrics dump after the command
   --trace-out t.json     write a Chrome trace (chrome://tracing, Perfetto)
 
+solve budgets (plan, run, solve, stats):
+  --solve-budget-ms N    wall-clock budget for the solve; when it fires the
+                         solver returns its best plan so far (exit code 5)
+  --memory-budget-mb N   cap on resident solver caches; the engine degrades
+                         (drops device images, segments, shrinks the visited
+                         set) before cutting the solve
+
 exit codes:
   0  success
   1  usage or unexpected error
   2  the scheduler/solver failed to produce a plan
   3  input error (missing, unreadable or malformed --dax/--program file)
   4  cloud capacity exhausted (control-plane retries and fallback gave up)
+  5  solve budget exhausted, best-so-far plan reported (anytime result)
+  6  solve budget exhausted before any plan existed
 )";
 
 struct CloudSetup {
   cloud::Catalog catalog;
   cloud::MetadataStore store;
 };
+
+/// Builds the solve budget selected by --solve-budget-ms / --memory-budget-mb
+/// (nullopt when neither flag is present: the solve runs unbudgeted).
+std::optional<util::SolveBudget> cli_budget(const CliArgs& args) {
+  const double wall_ms = args.number_or("solve-budget-ms", 0);
+  const double mem_mb = args.number_or("memory-budget-mb", 0);
+  if (wall_ms <= 0 && mem_mb <= 0) return std::nullopt;
+  util::SolveBudget budget;
+  budget.wall_ms = wall_ms;
+  budget.max_bytes = static_cast<std::size_t>(mem_mb * 1024.0 * 1024.0);
+  return budget;
+}
+
+/// Prints the one-line anytime-cut notice for an exhausted budget.
+void report_budget_cut(const util::BudgetTracker& tracker, std::ostream& out) {
+  out << "solve budget exhausted (" << util::to_string(tracker.trigger())
+      << ") after " << util::Table::num(tracker.elapsed_ms(), 0)
+      << " ms; reporting the best result found before the cutoff\n";
+}
 
 CloudSetup load_cloud(const CliArgs& args) {
   CloudSetup setup;
@@ -259,10 +288,15 @@ int cmd_plan(const CliArgs& args, std::ostream& out, bool execute) {
   wms.set_scheduler(std::move(scheduler));
 
   util::Rng rng(static_cast<std::uint64_t>(args.number_or("seed", 7)));
-  auto planned = wms.plan_workflow(*wf, req, rng);
+  const auto budget_spec = cli_budget(args);
+  std::optional<util::BudgetTracker> tracker;
+  if (budget_spec) tracker.emplace(*budget_spec);
+  auto planned =
+      wms.plan_workflow(*wf, req, rng, tracker ? &*tracker : nullptr);
   if (std::holds_alternative<wms::WmsError>(planned)) {
     out << "error: " << std::get<wms::WmsError>(planned).message << "\n";
-    return kExitSolverFailure;
+    return tracker && tracker->exhausted() ? kExitBudgetExhaustedEmpty
+                                           : kExitSolverFailure;
   }
   const auto& exec = std::get<wms::ExecutableWorkflow>(planned);
 
@@ -284,6 +318,12 @@ int cmd_plan(const CliArgs& args, std::ostream& out, bool execute) {
       << " s, P(makespan <= " << req.deadline_s
       << " s) = " << util::Table::num(eval.deadline_prob, 3)
       << (eval.feasible ? " (feasible)" : " (NOT feasible)") << "\n";
+
+  int code = kExitOk;
+  if (tracker && tracker->exhausted()) {
+    report_budget_cut(*tracker, out);
+    code = kExitBudgetExhaustedPlan;
+  }
 
   if (execute) {
     const auto cp_options = api_profile_options(
@@ -316,7 +356,7 @@ int cmd_plan(const CliArgs& args, std::ostream& out, bool execute) {
           << api.retries << " retries, " << api.fallbacks << " fallbacks\n";
     }
   }
-  return 0;
+  return code;
 }
 
 int cmd_solve(const CliArgs& args, std::ostream& out) {
@@ -336,11 +376,19 @@ int cmd_solve(const CliArgs& args, std::ostream& out) {
   buffer << in.rdbuf();
 
   const CloudSetup cloud = load_cloud(args);
-  core::Deco engine(cloud.catalog, cloud.store);
+  const auto budget_spec = cli_budget(args);
+  std::optional<util::BudgetTracker> tracker;
+  core::DecoOptions engine_options;
+  if (budget_spec) {
+    tracker.emplace(*budget_spec);
+    engine_options.budget = &*tracker;
+  }
+  core::Deco engine(cloud.catalog, cloud.store, engine_options);
   const auto result = engine.solve_program(buffer.str(), *wf);
   if (!result.ok) {
     out << "error: " << result.error << "\n";
-    return kExitSolverFailure;
+    return tracker && tracker->exhausted() ? kExitBudgetExhaustedEmpty
+                                           : kExitSolverFailure;
   }
   out << "solved: goal value " << util::Table::num(result.goal_value, 4)
       << ", feasible " << (result.feasible ? "yes" : "no") << ", "
@@ -349,6 +397,10 @@ int cmd_solve(const CliArgs& args, std::ostream& out) {
   for (workflow::TaskId t = 0; t < wf->task_count(); ++t) {
     out << "  " << wf->task(t).name << " -> "
         << cloud.catalog.type(result.plan[t].vm_type).name << "\n";
+  }
+  if (tracker && tracker->exhausted()) {
+    report_budget_cut(*tracker, out);
+    return kExitBudgetExhaustedPlan;
   }
   return 0;
 }
@@ -364,7 +416,9 @@ int cmd_stats(const CliArgs& args, std::ostream& out) {
   // Observability was enabled by run_cli (the command name opts in); run
   // the plan pipeline, then render what the instrumentation saw.
   const int code = cmd_plan(args, out, /*execute=*/false);
-  if (code != 0) return code;
+  // A budget-exhausted plan still has metrics worth printing (the budget.*
+  // counters especially); any other failure aborts before the tables.
+  if (code != 0 && code != kExitBudgetExhaustedPlan) return code;
 
   const obs::MetricsSnapshot snap = obs::Registry::instance().snapshot();
   out << "\nmetrics summary";
@@ -411,7 +465,7 @@ int cmd_stats(const CliArgs& args, std::ostream& out) {
         << counter("eval.qmc.early_stops") << ", iterations saved "
         << counter("eval.qmc.iterations_saved") << "\n";
   }
-  return 0;
+  return code;
 }
 
 /// Subcommand dispatch (no error boundary; run_cli wraps this).

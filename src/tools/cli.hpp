@@ -27,6 +27,11 @@ inline constexpr int kExitError = 1;          ///< usage / unexpected errors
 inline constexpr int kExitSolverFailure = 2;  ///< scheduler/solver failed
 inline constexpr int kExitInputError = 3;     ///< missing/unreadable/bad input
 inline constexpr int kExitProvisioningExhausted = 4;  ///< control plane gave up
+/// The solve budget (--solve-budget-ms / --memory-budget-mb) fired, but the
+/// solver still produced a valid anytime plan (reported before exiting).
+inline constexpr int kExitBudgetExhaustedPlan = 5;
+/// The solve budget fired before any plan existed: nothing to report.
+inline constexpr int kExitBudgetExhaustedEmpty = 6;
 
 /// Parsed command line: subcommand, --key value options, positionals.
 struct CliArgs {

@@ -1,0 +1,94 @@
+#include "util/budget.hpp"
+
+#include "obs/obs.hpp"
+
+namespace deco::util {
+
+const char* to_string(BudgetTrigger trigger) {
+  switch (trigger) {
+    case BudgetTrigger::kNone:
+      return "none";
+    case BudgetTrigger::kCancel:
+      return "cancel";
+    case BudgetTrigger::kWallClock:
+      return "wall_clock";
+    case BudgetTrigger::kMemory:
+      return "memory";
+  }
+  return "unknown";
+}
+
+BudgetExhaustedError::BudgetExhaustedError(BudgetTrigger trigger)
+    : std::runtime_error(std::string("solve budget exhausted: ") +
+                         to_string(trigger)),
+      trigger_(trigger) {}
+
+BudgetTracker::BudgetTracker(const SolveBudget& budget)
+    : budget_(budget),
+      armed_(true),
+      start_(std::chrono::steady_clock::now()) {}
+
+bool BudgetTracker::should_stop() noexcept {
+  if (!armed_) return false;
+  if (exhausted()) return true;
+  if (budget_.cancel != nullptr && budget_.cancel->cancelled()) {
+    fire(BudgetTrigger::kCancel);
+    return true;
+  }
+  if (budget_.wall_ms > 0.0 && elapsed_ms() >= budget_.wall_ms) {
+    fire(BudgetTrigger::kWallClock);
+    return true;
+  }
+  return false;
+}
+
+void BudgetTracker::fire(BudgetTrigger trigger) noexcept {
+  if (trigger == BudgetTrigger::kNone) return;
+  int expected = static_cast<int>(BudgetTrigger::kNone);
+  if (!trigger_.compare_exchange_strong(expected, static_cast<int>(trigger),
+                                        std::memory_order_acq_rel)) {
+    return;  // an earlier trigger already won
+  }
+  launch_cancel_.cancel();
+  switch (trigger) {
+    case BudgetTrigger::kCancel:
+      DECO_OBS_COUNTER_ADD("budget.cancelled", 1);
+      break;
+    case BudgetTrigger::kWallClock:
+      DECO_OBS_COUNTER_ADD("budget.wall_exhausted", 1);
+      break;
+    case BudgetTrigger::kMemory:
+      DECO_OBS_COUNTER_ADD("budget.memory_exhausted", 1);
+      break;
+    case BudgetTrigger::kNone:
+      break;
+  }
+  DECO_OBS_GAUGE_SET("budget.bytes_at_cutoff",
+                     static_cast<double>(total_bytes()));
+}
+
+double BudgetTracker::elapsed_ms() const {
+  if (!armed_) return 0.0;
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(now - start_).count();
+}
+
+std::size_t BudgetTracker::total_bytes() const noexcept {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < kComponents; ++i) {
+    total += bytes_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+SolveReport BudgetTracker::report(std::size_t states) const {
+  SolveReport report;
+  report.budget_exhausted = exhausted();
+  report.trigger = trigger();
+  report.states_at_cutoff = states;
+  report.bytes_at_cutoff = total_bytes();
+  report.elapsed_ms = elapsed_ms();
+  return report;
+}
+
+}  // namespace deco::util

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "util/budget.hpp"
+
 namespace deco::util {
 
 namespace {
@@ -99,6 +101,12 @@ void WorkStealingPool::worker_loop(std::size_t id) {
 void WorkStealingPool::execute(std::size_t begin, std::size_t end,
                                std::size_t participant) {
   try {
+    // Polled between chunk claims: a cancelled launch stops invoking fn but
+    // still drains every block so run() joins normally; the skipped chunk's
+    // BudgetExhaustedError rides the lowest-block rethrow contract.
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      throw BudgetExhaustedError(BudgetTrigger::kCancel);
+    }
     (*fn_)(begin, end, participant);
   } catch (...) {
     std::lock_guard guard(error_mutex_);
@@ -162,7 +170,8 @@ void WorkStealingPool::participate(std::size_t participant) {
 
 WorkStealingPool::LaunchStats WorkStealingPool::run(
     std::size_t n, std::size_t chunk,
-    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
+    const CancelToken* cancel) {
   LaunchStats stats;
   if (n == 0) return stats;
   stats.blocks = n;
@@ -175,6 +184,9 @@ WorkStealingPool::LaunchStats WorkStealingPool::run(
   if (n <= chunk) {
     stats.chunks = 1;
     stats.participants = 1;
+    if (cancel != nullptr && cancel->cancelled()) {
+      throw BudgetExhaustedError(BudgetTrigger::kCancel);
+    }
     fn(0, n, slots_.size() - 1);
     return stats;
   }
@@ -182,6 +194,7 @@ WorkStealingPool::LaunchStats WorkStealingPool::run(
   {
     std::lock_guard lock(mutex_);
     fn_ = &fn;
+    cancel_ = cancel;
     job_blocks_ = n;
     job_chunk_ = chunk;
     blocks_done_.store(0, std::memory_order_relaxed);

@@ -27,6 +27,13 @@
 // *lowest block index* is rethrown on the caller — deterministic regardless
 // of worker timing, and no task outlives run() (fn may safely borrow the
 // caller's stack).
+//
+// Cancellation: run() takes an optional CancelToken.  Once it reads
+// cancelled, participants stop invoking fn — remaining chunks are still
+// claimed (so the launch drains and joins normally) but each skipped chunk
+// records a BudgetExhaustedError, and the lowest-block one is rethrown on
+// the caller exactly like a kernel exception.  Blocks already inside fn run
+// to completion; fn observes cancellation through its own checkpoints.
 #pragma once
 
 #include <atomic>
@@ -40,6 +47,8 @@
 #include <vector>
 
 namespace deco::util {
+
+class CancelToken;
 
 class WorkStealingPool {
  public:
@@ -73,9 +82,12 @@ class WorkStealingPool {
   /// rethrows the pending exception of the lowest-indexed failed chunk.
   /// Launches that fit a single chunk (n <= chunk) run inline on the caller
   /// (as its own participant id) without waking the pool.
+  /// If `cancel` is non-null it is polled between chunk claims; a cancelled
+  /// launch rethrows BudgetExhaustedError for its lowest skipped block.
   LaunchStats run(std::size_t n, std::size_t chunk,
                   const std::function<void(std::size_t, std::size_t,
-                                           std::size_t)>& fn);
+                                           std::size_t)>& fn,
+                  const CancelToken* cancel = nullptr);
 
  private:
   // One participant's deque: the remaining index range packed begin<<32|end.
@@ -104,6 +116,7 @@ class WorkStealingPool {
   // Per-launch job state (written by run() before the generation bump).
   const std::function<void(std::size_t, std::size_t, std::size_t)>* fn_ =
       nullptr;
+  const CancelToken* cancel_ = nullptr;
   std::size_t job_blocks_ = 0;
   std::size_t job_chunk_ = 1;
   std::atomic<std::size_t> blocks_done_{0};

@@ -27,6 +27,9 @@ void SerialBackend::launch(const LaunchConfig& config, const Kernel& kernel) {
   // One context serves every block in turn (capacity persists across
   // launches, so steady state allocates nothing).
   for (std::size_t b = 0; b < config.blocks; ++b) {
+    if (config.cancel != nullptr && config.cancel->cancelled()) {
+      throw util::BudgetExhaustedError(util::BudgetTrigger::kCancel);
+    }
     context_.reset(b, config.lanes_per_block, config.shared_doubles,
                    block_rng(config, b));
     kernel(context_);
@@ -57,7 +60,8 @@ void VirtualGpuBackend::launch(const LaunchConfig& config,
                     block_rng(config, b));
           kernel(ctx);
         }
-      });
+      },
+      config.cancel);
   last_ = LaunchInfo{stats.blocks, stats.chunks, stats.steals,
                      stats.participants};
   record_launch(last_);

@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "util/aligned.hpp"
+#include "util/budget.hpp"
 #include "util/rng.hpp"
 #include "util/worksteal.hpp"
 
@@ -154,6 +155,10 @@ struct LaunchConfig {
   /// same work item gives identical results whether evaluated alone or
   /// batched with others.
   std::vector<std::uint64_t> block_seeds;
+  /// Optional cooperative cancel: polled between blocks (serial) or between
+  /// chunk claims (vgpu).  A cancelled launch throws BudgetExhaustedError
+  /// after draining; blocks already inside the kernel run to completion.
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// Occupancy/steal accounting of the most recent launch (vgpu backend; the

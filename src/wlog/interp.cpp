@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "util/budget.hpp"
 #include "wlog/program.hpp"
 
 namespace deco::wlog {
@@ -93,6 +94,7 @@ Interpreter::Outcome Interpreter::solve_goals(
   // native evaluator instead of the interpreter.
   constexpr std::size_t kMaxDepth = 256;
   if (++steps_ > step_limit_ || depth > kMaxDepth) return Outcome::kStop;
+  if (budget_ != nullptr && (steps_ & 511) == 0) budget_->checkpoint();
   if (index >= goals.size()) {
     found_ = true;
     return on_solution(bindings) ? Outcome::kStop : Outcome::kContinue;

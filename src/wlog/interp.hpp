@@ -11,6 +11,10 @@
 #include "wlog/database.hpp"
 #include "wlog/term.hpp"
 
+namespace deco::util {
+class BudgetTracker;
+}  // namespace deco::util
+
 namespace deco::wlog {
 
 struct Solution {
@@ -33,6 +37,11 @@ class Interpreter {
 
   /// Iteration budget guarding against runaway recursion (per query).
   void set_step_limit(std::size_t limit) { step_limit_ = limit; }
+
+  /// Cooperative solve budget: when armed, resolution checks the tracker
+  /// every ~512 steps and aborts the query by throwing
+  /// util::BudgetExhaustedError once the budget fires.  Null disarms.
+  void set_budget(util::BudgetTracker* budget) { budget_ = budget; }
 
   /// Proves `goal`; invokes `on_solution` per proof.  Returning true from the
   /// callback stops the search.  Returns true if at least one proof exists.
@@ -71,6 +80,7 @@ class Interpreter {
   std::size_t step_limit_ = 5'000'000;
   std::size_t steps_ = 0;
   bool found_ = false;
+  util::BudgetTracker* budget_ = nullptr;
 };
 
 }  // namespace deco::wlog

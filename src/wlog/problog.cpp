@@ -61,6 +61,7 @@ bool run_world(const ProbProgram& program, const TermPtr& query,
   const Database world = program.sample_world(rng);
   Interpreter interp(world);
   interp.set_step_limit(options.step_limit);
+  interp.set_budget(options.budget);
   Bindings bindings;
   bool proven = false;
   double value = 0;
@@ -88,6 +89,7 @@ McResult mc_eval_goal(const ProbProgram& program, const TermPtr& query,
   double sum = 0;
   std::size_t proven_count = 0;
   for (std::size_t i = 0; i < options.max_iterations; ++i) {
+    if (options.budget != nullptr) options.budget->checkpoint();
     double value = 0;
     if (run_world(program, query, variable, rng, options, value)) {
       ++proven_count;
@@ -113,6 +115,7 @@ std::vector<double> mc_sample_values(const ProbProgram& program,
   std::vector<double> values;
   values.reserve(options.max_iterations);
   for (std::size_t i = 0; i < options.max_iterations; ++i) {
+    if (options.budget != nullptr) options.budget->checkpoint();
     double value = 0;
     if (run_world(program, query, variable, rng, options, value)) {
       values.push_back(value);

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "util/budget.hpp"
 #include "util/rng.hpp"
 #include "wlog/database.hpp"
 #include "wlog/interp.hpp"
@@ -70,6 +71,10 @@ struct McResult {
 struct McOptions {
   std::size_t max_iterations = 128;  ///< the paper's Max_iter
   std::size_t step_limit = 2'000'000;
+  /// Optional cooperative solve budget; when armed, each per-world
+  /// interpreter checks it periodically and a fired budget aborts the MC
+  /// loop by throwing util::BudgetExhaustedError.
+  util::BudgetTracker* budget = nullptr;
 };
 
 /// Algorithm 1 for a goal query: per world, proves `query` and reads the

@@ -27,23 +27,25 @@ void PegasusWms::set_scheduler(std::unique_ptr<Scheduler> scheduler) {
 
 std::variant<ExecutableWorkflow, WmsError> PegasusWms::plan_dax(
     const std::string& dax_xml, const core::ProbDeadline& requirement,
-    util::Rng& rng) {
+    util::Rng& rng, util::BudgetTracker* budget) {
   workflow::DaxResult parsed = workflow::parse_dax(dax_xml);
   if (std::holds_alternative<workflow::DaxError>(parsed)) {
     return WmsError{std::get<workflow::DaxError>(parsed).message};
   }
-  return plan_workflow(std::get<workflow::Workflow>(parsed), requirement, rng);
+  return plan_workflow(std::get<workflow::Workflow>(parsed), requirement, rng,
+                       budget);
 }
 
 std::variant<ExecutableWorkflow, WmsError> PegasusWms::plan_workflow(
     const workflow::Workflow& wf, const core::ProbDeadline& requirement,
-    util::Rng& rng) {
+    util::Rng& rng, util::BudgetTracker* budget) {
   if (!wf.is_acyclic()) return WmsError{"workflow contains a cycle"};
   SchedulerContext ctx;
   ctx.catalog = catalog_;
   ctx.store = store_;
   ctx.requirement = requirement;
   ctx.rng = &rng;
+  ctx.budget = budget;
 
   ExecutableWorkflow executable;
   executable.workflow = wf;

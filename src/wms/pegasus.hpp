@@ -66,15 +66,16 @@ class PegasusWms {
   void set_scheduler(std::unique_ptr<Scheduler> scheduler);
   const std::string& scheduler_name() const { return scheduler_name_; }
 
-  /// Mapper over a DAX document.
+  /// Mapper over a DAX document.  `budget` (optional) is the cooperative
+  /// solve budget threaded to the scheduler via SchedulerContext::budget.
   std::variant<ExecutableWorkflow, WmsError> plan_dax(
       const std::string& dax_xml, const core::ProbDeadline& requirement,
-      util::Rng& rng);
+      util::Rng& rng, util::BudgetTracker* budget = nullptr);
 
   /// Mapper over an in-memory workflow.
   std::variant<ExecutableWorkflow, WmsError> plan_workflow(
       const workflow::Workflow& wf, const core::ProbDeadline& requirement,
-      util::Rng& rng);
+      util::Rng& rng, util::BudgetTracker* budget = nullptr);
 
   /// Execution engine: runs the executable workflow on the simulated cloud.
   WmsRunReport execute(const ExecutableWorkflow& executable, util::Rng& rng,

@@ -8,6 +8,7 @@
 #include "baselines/autoscaling.hpp"
 #include "core/estimator.hpp"
 #include "obs/obs.hpp"
+#include "util/budget.hpp"
 
 namespace deco::wms {
 namespace {
@@ -97,20 +98,37 @@ sim::Plan ReactiveEngine::plan_or_fallback(const workflow::Workflow& wf,
   ctx.rng = &rng;
 
   DECO_OBS_SPAN_TIMED("wms", "plan_or_fallback", "wms.reactive.plan_ms");
-  const auto t0 = std::chrono::steady_clock::now();
-  try {
-    sim::Plan plan = primary_->schedule(wf, ctx);
-    const double elapsed_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - t0)
-            .count();
-    if (plan.size() == wf.task_count() &&
-        elapsed_ms <= options_.solver_timeout_ms) {
-      report.last_scheduler = primary_->name();
-      return plan;
+  // A non-positive timeout leaves no budget any scheduler could meet, so
+  // the primary is skipped outright rather than invoked and discarded.
+  if (options_.solver_timeout_ms > 0) {
+    // The timeout is enforced as a real cooperative budget: a budget-aware
+    // primary observes the cutoff mid-solve and returns its best incumbent,
+    // which is accepted as an anytime plan.  The post-hoc wall-clock check
+    // remains the backstop for schedulers that ignore the budget.
+    util::SolveBudget budget;
+    budget.wall_ms = options_.solver_timeout_ms;
+    util::BudgetTracker tracker(budget);
+    ctx.budget = &tracker;
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      sim::Plan plan = primary_->schedule(wf, ctx);
+      const double elapsed_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      const bool on_time = elapsed_ms <= options_.solver_timeout_ms;
+      if (plan.size() == wf.task_count() &&
+          (on_time || tracker.exhausted())) {
+        if (tracker.exhausted()) {
+          ++report.solver_budget_cutoffs;
+          DECO_OBS_COUNTER_ADD("wms.reactive.solver_budget_cutoffs", 1);
+        }
+        report.last_scheduler = primary_->name();
+        return plan;
+      }
+    } catch (...) {
+      // Fall through to the baseline: a solver crash must not kill the run.
     }
-  } catch (...) {
-    // Fall through to the baseline: a solver crash must not kill the run.
   }
   ++report.solver_fallbacks;
   DECO_OBS_COUNTER_ADD("wms.reactive.solver_fallbacks", 1);

@@ -46,8 +46,14 @@ struct ReactiveOptions {
   /// Replans allowed per run; past the cap the engine rides the current
   /// plan to completion (bounds both simulation and solver work).
   std::size_t max_replans = 6;
-  /// Wall-clock budget for one primary-scheduler invocation; beyond it the
-  /// fallback scheduler's plan is used instead.
+  /// Wall-clock budget for one primary-scheduler invocation, enforced as a
+  /// real cooperative budget (SchedulerContext::budget): budget-aware
+  /// schedulers return their best incumbent at the cutoff and that anytime
+  /// plan is *accepted*.  Non-cooperative schedulers that overrun the
+  /// budget are still judged post-hoc by the wall clock and fall back to
+  /// the Autoscaling baseline.  A non-positive value disables the primary
+  /// scheduler outright (no budget could be met) and goes straight to the
+  /// fallback.
   double solver_timeout_ms = 30000;
   /// Base seed for per-segment simulation streams.
   std::uint64_t seed = 2015;
@@ -64,6 +70,9 @@ struct ReactiveReport {
   /// the engine cut at the advance warning rather than at a failure.
   std::size_t proactive_replans = 0;
   std::size_t solver_fallbacks = 0;  ///< times the fallback plan was used
+  /// Primary-scheduler invocations whose solve budget fired but still
+  /// produced a valid anytime plan (accepted, not a fallback).
+  std::size_t solver_budget_cutoffs = 0;
   sim::FailureStats failures;  ///< aggregated over accepted segments
   cloud::ApiStats api;         ///< control-plane stats, accepted segments
   std::string last_scheduler;  ///< who produced the final plan

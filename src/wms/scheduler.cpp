@@ -34,6 +34,7 @@ sim::Plan DecoScheduler::schedule(const workflow::Workflow& wf,
                                   const SchedulerContext& ctx) {
   core::SchedulingOptions options = options_;
   options.region = ctx.region;
+  if (ctx.budget != nullptr) options.search.budget = ctx.budget;
   return engine_->schedule(wf, ctx.requirement, options).plan;
 }
 

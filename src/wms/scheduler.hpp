@@ -23,6 +23,10 @@ struct SchedulerContext {
   core::ProbDeadline requirement;
   cloud::RegionId region = 0;
   util::Rng* rng = nullptr;
+  /// Optional cooperative solve budget for this invocation.  Budget-aware
+  /// schedulers (Deco) thread it into their search and return their best
+  /// incumbent when it fires; others may ignore it.
+  util::BudgetTracker* budget = nullptr;
 };
 
 class Scheduler {

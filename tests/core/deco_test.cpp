@@ -131,6 +131,50 @@ TEST(DecoTest, NativeScheduleFacade) {
   EXPECT_EQ(r.plan.size(), wf.task_count());
 }
 
+TEST(DecoTest, GenerousBudgetLeavesDeclarativeSolveUnchanged) {
+  util::Rng rng(3);
+  const auto wf = workflow::make_pipeline(3, rng);
+  const std::string program = scheduling_program("99%, 1000h");
+  Deco plain(ec2(), store(), fast_options());
+  const auto unbudgeted = plain.solve_program(program, wf);
+  ASSERT_TRUE(unbudgeted.ok) << unbudgeted.error;
+
+  util::SolveBudget spec;
+  spec.wall_ms = 1e9;
+  util::BudgetTracker tracker(spec);
+  DecoOptions opt = fast_options();
+  opt.budget = &tracker;
+  Deco budgeted_engine(ec2(), store(), opt);
+  const auto budgeted = budgeted_engine.solve_program(program, wf);
+  ASSERT_TRUE(budgeted.ok) << budgeted.error;
+  EXPECT_EQ(budgeted.plan, unbudgeted.plan);
+  EXPECT_EQ(budgeted.goal_value, unbudgeted.goal_value);
+  EXPECT_FALSE(budgeted.budget.budget_exhausted);
+}
+
+TEST(DecoTest, PreFiredBudgetCutsDeclarativeSolveCleanly) {
+  // A budget that fired before the solve begins: the declarative pipeline
+  // (interpreter enumeration runs before any search incumbent exists) must
+  // fail cleanly with a budget-exhausted report, never hang or crash.
+  util::Rng rng(3);
+  const auto wf = workflow::make_pipeline(3, rng);
+  util::SolveBudget spec;
+  spec.wall_ms = 1e9;
+  util::BudgetTracker tracker(spec);
+  tracker.fire(util::BudgetTrigger::kCancel);
+  DecoOptions opt = fast_options();
+  opt.budget = &tracker;
+  Deco engine(ec2(), store(), opt);
+  WlogSolveResult r;
+  ASSERT_NO_THROW(r = engine.solve_program(scheduling_program("99%, 1000h"),
+                                           wf));
+  EXPECT_TRUE(r.budget.budget_exhausted);
+  EXPECT_EQ(r.budget.trigger, util::BudgetTrigger::kCancel);
+  if (!r.ok) {
+    EXPECT_NE(r.error.find("budget"), std::string::npos) << r.error;
+  }
+}
+
 TEST(DecoTest, BackendSelectionWorks) {
   DecoOptions opt;
   opt.backend = "vgpu";

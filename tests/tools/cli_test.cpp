@@ -474,5 +474,48 @@ TEST(CliRunTest, MetricsAndTraceOutWriteFiles) {
   EXPECT_FALSE(obs::TraceCollector::instance().enabled());
 }
 
+TEST(CliRunTest, UsageDocumentsSolveBudgetFlags) {
+  std::ostringstream out;
+  run_cli(parse({"help"}), out);
+  EXPECT_NE(out.str().find("--solve-budget-ms"), std::string::npos);
+  EXPECT_NE(out.str().find("--memory-budget-mb"), std::string::npos);
+}
+
+TEST(CliRunTest, GenerousSolveBudgetPlansNormally) {
+  const std::string dax = temp_path("cli_budget_ok.dax");
+  std::ostringstream gen;
+  ASSERT_EQ(run_cli(parse({"generate", "--app", "pipeline", "--tasks", "4",
+                           "--out", dax}),
+                    gen),
+            0);
+  std::ostringstream out;
+  const int rc = run_cli(parse({"plan", "--dax", dax, "--deadline", "100000",
+                                "--solve-budget-ms", "600000"}),
+                         out);
+  EXPECT_EQ(rc, kExitOk) << out.str();
+  EXPECT_NE(out.str().find("plan (Deco):"), std::string::npos);
+  EXPECT_EQ(out.str().find("solve budget exhausted"), std::string::npos);
+}
+
+TEST(CliRunTest, TinySolveBudgetReturnsAnytimePlanWithExitFive) {
+  const std::string dax = temp_path("cli_budget_cut.dax");
+  std::ostringstream gen;
+  ASSERT_EQ(run_cli(parse({"generate", "--app", "montage", "--tasks", "25",
+                           "--out", dax}),
+                    gen),
+            0);
+  std::ostringstream out;
+  // A budget this tiny always expires mid-solve; the CLI must still print
+  // a full plan (the anytime incumbent) and exit with the distinct
+  // budget-exhausted-with-plan code.
+  const int rc = run_cli(parse({"plan", "--dax", dax, "--deadline", "100000",
+                                "--solve-budget-ms", "0.01"}),
+                         out);
+  EXPECT_EQ(rc, kExitBudgetExhaustedPlan) << out.str();
+  EXPECT_NE(out.str().find("plan (Deco):"), std::string::npos);
+  EXPECT_NE(out.str().find("estimated cost"), std::string::npos);
+  EXPECT_NE(out.str().find("solve budget exhausted"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace deco::tools

@@ -133,5 +133,65 @@ TEST(BackendTest, MonteCarloPiEstimate) {
   EXPECT_NEAR(pi, 3.14159, 0.05);
 }
 
+TEST(BackendTest, PreCancelledLaunchThrowsOnBothBackends) {
+  for (const char* name : {"serial", "vgpu"}) {
+    auto backend = make_backend(name, 2);
+    util::CancelToken token;
+    token.cancel();
+    LaunchConfig config;
+    config.blocks = 64;
+    config.cancel = &token;
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        backend->launch(config, [&](BlockContext&) { ran.fetch_add(1); }),
+        util::BudgetExhaustedError)
+        << name;
+    EXPECT_EQ(ran.load(), 0) << name;
+    // The backend stays usable after a cancelled launch.
+    config.cancel = nullptr;
+    backend->launch(config, [&](BlockContext&) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 64) << name;
+  }
+}
+
+TEST(BackendTest, MidLaunchCancelCutsSerialBetweenBlocks) {
+  auto backend = make_backend("serial");
+  util::CancelToken token;
+  LaunchConfig config;
+  config.blocks = 64;
+  config.cancel = &token;
+  std::atomic<int> ran{0};
+  EXPECT_THROW(backend->launch(config,
+                               [&](BlockContext&) {
+                                 token.cancel();
+                                 ran.fetch_add(1);
+                               }),
+               util::BudgetExhaustedError);
+  // The serial backend checks between blocks: exactly one block ran.
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(BackendTest, NullCancelLeavesLaunchesBitIdentical) {
+  // A never-firing cancel pointer must not perturb kernel results.
+  auto run = [](const util::CancelToken* cancel) {
+    VirtualGpuBackend backend(3);
+    LaunchConfig config;
+    config.blocks = 16;
+    config.lanes_per_block = 32;
+    config.cancel = cancel;
+    std::vector<double> sums(config.blocks, 0);
+    backend.launch(config, [&](BlockContext& ctx) {
+      double acc = 0;
+      ctx.for_each_lane([&](std::size_t, util::Rng& rng) {
+        acc += rng.uniform();
+      });
+      sums[ctx.block_index()] = acc;
+    });
+    return sums;
+  };
+  util::CancelToken idle;
+  EXPECT_EQ(run(nullptr), run(&idle));
+}
+
 }  // namespace
 }  // namespace deco::vgpu

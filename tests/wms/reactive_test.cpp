@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
 #include "obs/obs.hpp"
 #include "tests/core/test_fixtures.hpp"
+#include "util/budget.hpp"
 #include "workflow/generators.hpp"
 
 namespace deco::wms {
@@ -164,6 +167,72 @@ TEST(ReactiveEngineTest, SolverTimeoutDegradesToBaseline) {
   options.solver_timeout_ms = 0;  // no budget: every solve "times out"
   ReactiveEngine engine(ec2(), store(), primary, options);
   const ReactiveReport report = engine.run(wf, {0.9, 1e9});
+  EXPECT_TRUE(report.completed);
+  EXPECT_GE(report.solver_fallbacks, 1u);
+  EXPECT_NE(report.last_scheduler.find("fallback"), std::string::npos);
+}
+
+/// A slow-but-cooperative scheduler: it spins until the engine's solve
+/// budget tells it to stop, then returns its best-so-far (valid) plan —
+/// the anytime contract every budget-aware solver follows.
+class CooperativeSlowScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "CooperativeSlow"; }
+  sim::Plan schedule(const workflow::Workflow& wf,
+                     const SchedulerContext& ctx) override {
+    const auto give_up = std::chrono::steady_clock::now() +
+                         std::chrono::seconds(2);  // safety net: never hang
+    while (ctx.budget != nullptr && !ctx.budget->should_stop() &&
+           std::chrono::steady_clock::now() < give_up) {
+    }
+    return sim::Plan::uniform(wf.task_count(), 0);
+  }
+};
+
+/// A slow scheduler that ignores the budget entirely and just sleeps past
+/// the deadline before answering.
+class NonCooperativeSlowScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "NonCooperativeSlow"; }
+  sim::Plan schedule(const workflow::Workflow& wf,
+                     const SchedulerContext&) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    return sim::Plan::uniform(wf.task_count(), 0);
+  }
+};
+
+TEST(ReactiveEngineTest, SlowCooperativeSolverIsCutAndItsPlanAccepted) {
+  // Regression for the hung-solver gap: solver_timeout_ms used to be
+  // advisory (checked only after the call returned), so a slow solver
+  // stalled the whole engine.  Now the engine arms a real wall-clock
+  // budget; a cooperative solver observes it, returns its anytime plan,
+  // and that plan is *accepted* — a budget cut is not a failure.
+  util::Rng wf_rng(15);
+  const auto wf = workflow::make_pipeline(5, wf_rng);
+  CooperativeSlowScheduler primary;
+  ReactiveOptions options = quiet_options();
+  options.solver_timeout_ms = 20;
+  ReactiveEngine engine(ec2(), store(), primary, options);
+  ReactiveReport report;
+  ASSERT_NO_THROW(report = engine.run(wf, {0.9, 1e9}));
+  EXPECT_TRUE(report.completed);
+  EXPECT_GE(report.solver_budget_cutoffs, 1u);
+  EXPECT_EQ(report.solver_fallbacks, 0u);
+  EXPECT_EQ(report.last_scheduler, "CooperativeSlow");
+}
+
+TEST(ReactiveEngineTest, SlowNonCooperativeSolverDegradesToBaseline) {
+  // A solver that ignores the budget and answers late gets its plan
+  // rejected (it is neither on time nor a budget-acknowledged anytime
+  // result) and the engine falls back to the baseline scheduler chain.
+  util::Rng wf_rng(16);
+  const auto wf = workflow::make_pipeline(5, wf_rng);
+  NonCooperativeSlowScheduler primary;
+  ReactiveOptions options = quiet_options();
+  options.solver_timeout_ms = 5;
+  ReactiveEngine engine(ec2(), store(), primary, options);
+  ReactiveReport report;
+  ASSERT_NO_THROW(report = engine.run(wf, {0.9, 1e9}));
   EXPECT_TRUE(report.completed);
   EXPECT_GE(report.solver_fallbacks, 1u);
   EXPECT_NE(report.last_scheduler.find("fallback"), std::string::npos);
