@@ -12,19 +12,29 @@
 // Reported per (workflow, scheduler, level): deadline-miss rate, average
 // cost and its inflation over the failure-free run of the same scheduler,
 // replans per run, and injected disruptions per run.  A second grid sweeps
-// control-plane API faults, and a third sweeps the wall-clock solve budget
-// (anytime plan quality vs budget).  Results go to stdout and
-// BENCH_robustness.json so the robustness trajectory is tracked across PRs.
+// control-plane API faults, a third sweeps the wall-clock solve budget
+// (anytime plan quality vs budget), and a fourth is the *sharding* sweep:
+// the same ensemble of simulated executions fanned over
+// sim::EnsembleRunner at increasing worker counts, verifying the
+// sharded == serial bit-identity contract while timing the sweep.  All run
+// loops go through EnsembleRunner (per-run seed substreams), so every grid
+// is itself sharded.  Results go to stdout and BENCH_robustness.json so the
+// robustness trajectory is tracked across PRs.
 //
-// Usage: robustness_sweep [output.json]
+// Usage: robustness_sweep [output.json] [--smoke]
+//   --smoke: reduced run counts for CI (same JSON structure, minutes -> s).
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.hpp"
 #include "cloud/control_plane.hpp"
 #include "obs/metrics.hpp"
+#include "sim/ensemble.hpp"
 #include "util/budget.hpp"
 #include "util/table.hpp"
 #include "wms/reactive.hpp"
@@ -78,62 +88,74 @@ struct Row {
   double avg_disruptions = 0;
 };
 
-constexpr int kRuns = 15;
+/// Runs per sweep point; --smoke cuts it for CI.
+int g_runs = 15;
 
 /// Open-loop execution: the static plan rides out every failure through the
-/// executor's retry machinery; nobody replans.
+/// executor's retry machinery; nobody replans.  The per-run loop is an
+/// EnsembleRunner sweep — run i draws from substream (seed, i).
 Row run_static(const workflow::Workflow& wf, const sim::Plan& plan,
                const std::string& scheduler, const Level& level,
-               double deadline_s, std::uint64_t seed) {
+               double deadline_s, std::uint64_t seed,
+               const sim::EnsembleOptions& exec) {
   const sim::FailureModel model(level.fm);
   sim::ExecutorOptions options;
   options.failures = &model;
-  util::Rng rng(seed);
   Row row;
   row.workflow = wf.name();
   row.tasks = wf.task_count();
   row.scheduler = scheduler;
   row.level = level.name;
-  row.runs = kRuns;
+  row.runs = g_runs;
   row.deadline_s = deadline_s;
+  std::vector<sim::ExecutionResult> results(static_cast<std::size_t>(g_runs));
+  sim::EnsembleRunner runner(exec);
+  runner.run(results.size(), seed, [&](const sim::RunContext& ctx) {
+    util::Rng rng(ctx.seed);
+    results[ctx.index] =
+        sim::simulate_execution(wf, plan, bench::env().catalog, rng, options);
+  });
   int missed = 0;
-  for (int i = 0; i < kRuns; ++i) {
-    const auto r = sim::simulate_execution(wf, plan, bench::env().catalog, rng,
-                                           options);
+  for (const sim::ExecutionResult& r : results) {
     if (!r.finished || r.makespan > deadline_s) ++missed;
     row.avg_cost += r.total_cost;
     row.avg_makespan += r.makespan;
     row.avg_disruptions += static_cast<double>(r.failures.total_disruptions());
   }
-  row.miss_rate = static_cast<double>(missed) / kRuns;
-  row.avg_cost /= kRuns;
-  row.avg_makespan /= kRuns;
-  row.avg_disruptions /= kRuns;
+  row.miss_rate = static_cast<double>(missed) / g_runs;
+  row.avg_cost /= g_runs;
+  row.avg_makespan /= g_runs;
+  row.avg_disruptions /= g_runs;
   return row;
 }
 
 /// Closed-loop execution through the reactive engine (monitor + residual
-/// replanning, graceful fallback on solver trouble).
-Row run_reactive(const workflow::Workflow& wf, wms::Scheduler& primary,
-                 const Level& level, const core::ProbDeadline& req,
-                 std::uint64_t seed) {
+/// replanning, graceful fallback on solver trouble), fanned as a reactive
+/// ensemble: each run owns a private engine + Deco scheduler.
+Row run_reactive(const workflow::Workflow& wf,
+                 const core::SchedulingOptions& sched, const Level& level,
+                 const core::ProbDeadline& req, std::uint64_t seed,
+                 const sim::EnsembleOptions& exec) {
   const sim::FailureModel model(level.fm);
+  wms::ReactiveEnsembleOptions options;
+  options.base.executor.failures = &model;
+  options.base.max_replans = 4;
+  options.base.seed = seed;
+  options.exec = exec;
+  const wms::SchedulerFactory factory = wms::make_deco_scheduler_factory(
+      bench::env().catalog, bench::env().store, sched);
+  const wms::ReactiveEnsembleResult ensemble = wms::run_reactive_ensemble(
+      bench::env().catalog, bench::env().store, wf, req,
+      static_cast<std::size_t>(g_runs), factory, options);
   Row row;
   row.workflow = wf.name();
   row.tasks = wf.task_count();
   row.scheduler = "deco-reactive";
   row.level = level.name;
-  row.runs = kRuns;
+  row.runs = g_runs;
   row.deadline_s = req.deadline_s;
   int missed = 0;
-  for (int i = 0; i < kRuns; ++i) {
-    wms::ReactiveOptions options;
-    options.executor.failures = &model;
-    options.max_replans = 4;
-    options.seed = seed + static_cast<std::uint64_t>(i) * 0x9E3779B9ULL;
-    wms::ReactiveEngine engine(bench::env().catalog, bench::env().store,
-                               primary, options);
-    const wms::ReactiveReport report = engine.run(wf, req);
+  for (const wms::ReactiveReport& report : ensemble.reports) {
     if (!report.met_deadline) ++missed;
     row.avg_cost += report.total_cost;
     row.avg_makespan += report.makespan;
@@ -141,11 +163,11 @@ Row run_reactive(const workflow::Workflow& wf, wms::Scheduler& primary,
     row.avg_disruptions +=
         static_cast<double>(report.failures.total_disruptions());
   }
-  row.miss_rate = static_cast<double>(missed) / kRuns;
-  row.avg_cost /= kRuns;
-  row.avg_makespan /= kRuns;
-  row.avg_replans /= kRuns;
-  row.avg_disruptions /= kRuns;
+  row.miss_rate = static_cast<double>(missed) / g_runs;
+  row.avg_cost /= g_runs;
+  row.avg_makespan /= g_runs;
+  row.avg_replans /= g_runs;
+  row.avg_disruptions /= g_runs;
   return row;
 }
 
@@ -177,9 +199,11 @@ cloud::ApiStats& operator+=(cloud::ApiStats& a, const cloud::ApiStats& b) {
 /// Sweeps API-level faults: unlike the failure-model sweep above (which
 /// kills instances and tasks), these faults only delay or redirect
 /// *provisioning*, so the signature is makespan inflation plus retry and
-/// fallback counts rather than deadline misses.
+/// fallback counts rather than deadline misses.  Each cell's runs are an
+/// EnsembleRunner sweep; each run owns a fresh (stateful) control plane.
 std::vector<CloudRow> run_cloud_sweep(const workflow::Workflow& wf,
                                       const sim::Plan& plan,
+                                      const sim::EnsembleOptions& exec,
                                       util::Table& table) {
   const double throttle_rates[] = {0.0, 0.2, 0.05};
   const double outage_durations[] = {0.0, 300.0, 1800.0};
@@ -190,25 +214,33 @@ std::vector<CloudRow> run_cloud_sweep(const workflow::Workflow& wf,
       CloudRow row;
       row.throttle_rate = rate;
       row.outage_s = outage;
-      row.runs = kRuns;
-      for (int i = 0; i < kRuns; ++i) {
+      row.runs = g_runs;
+      const std::size_t n = static_cast<std::size_t>(g_runs);
+      std::vector<double> makespans(n, 0);
+      std::vector<cloud::ApiStats> api(n);
+      sim::EnsembleRunner runner(exec);
+      runner.run(n, 4000, [&](const sim::RunContext& ctx) {
         cloud::ControlPlaneOptions cp;
         cp.faults.throttle_rate_per_s = rate;
         cp.faults.throttle_burst = 2;
         cp.faults.capacity_mtbo_s = outage > 0 ? 3600.0 : 0.0;
         cp.faults.capacity_outage_s = outage;
         cp.faults.transient_error_prob = 0.02;
-        cp.seed = 4000 + static_cast<std::uint64_t>(i);
+        cp.seed = ctx.seed;
         cloud::ControlPlane plane(bench::env().catalog, cp);
         sim::ExecutorOptions options;
         options.control = &plane;
-        util::Rng rng(5000 + static_cast<std::uint64_t>(i));
+        util::Rng rng(sim::substream_seed(ctx.seed, 1));
         const auto r = sim::simulate_execution(wf, plan, bench::env().catalog,
                                                rng, options);
-        row.avg_makespan += r.makespan;
-        row.api += plane.stats();
+        makespans[ctx.index] = r.makespan;
+        api[ctx.index] = plane.stats();
+      });
+      for (std::size_t i = 0; i < n; ++i) {
+        row.avg_makespan += makespans[i];
+        row.api += api[i];
       }
-      row.avg_makespan /= kRuns;
+      row.avg_makespan /= g_runs;
       if (rate == 0.0 && outage == 0.0) base_makespan = row.avg_makespan;
       row.makespan_inflation =
           base_makespan > 0 ? row.avg_makespan / base_makespan : 1.0;
@@ -216,11 +248,11 @@ std::vector<CloudRow> run_cloud_sweep(const workflow::Workflow& wf,
                      util::Table::num(outage, 0),
                      util::Table::num(row.makespan_inflation, 3),
                      util::Table::num(static_cast<double>(row.api.throttled) /
-                                          kRuns, 1),
+                                          g_runs, 1),
                      util::Table::num(static_cast<double>(row.api.retries) /
-                                          kRuns, 1),
+                                          g_runs, 1),
                      util::Table::num(static_cast<double>(row.api.fallbacks) /
-                                          kRuns, 1)});
+                                          g_runs, 1)});
       rows.push_back(row);
     }
   }
@@ -291,9 +323,100 @@ std::vector<BudgetRow> run_budget_sweep(core::Deco& engine,
   return rows;
 }
 
+// ---------------------------------------------------------------------------
+// Sharding sweep: the same ensemble of simulated executions at increasing
+// worker counts.  The contract is sharded == serial bit-identical; the row
+// is only emitted as identical after comparing every run's full fingerprint
+// against the serial reference.  On an hw_threads=1 host the timing column
+// shows parity (thread start-up overhead, even); the structure is what the
+// multicore host consumes.
+
+struct ShardRow {
+  std::size_t workers = 0;  ///< worker threads (0 = serial reference loop)
+  int runs = 0;
+  double wall_ms = 0;
+  double speedup_vs_serial = 1;
+  bool bit_identical = true;
+  std::size_t steals = 0;
+  std::size_t chunks = 0;
+};
+
+/// Bit-exact fingerprint of one execution's observable outputs (hex float
+/// formatting, so equal strings imply equal doubles bit for bit).
+std::string fingerprint(const sim::ExecutionResult& r) {
+  char buf[160];
+  std::string out;
+  std::snprintf(buf, sizeof(buf), "%a|%a|%a|%zu|%zu|%zu|", r.makespan,
+                r.total_cost, r.instance_cost, r.instances_used,
+                r.attempts.size(), r.failures.total_disruptions());
+  out += buf;
+  for (const sim::TaskAttempt& a : r.attempts) {
+    std::snprintf(buf, sizeof(buf), "%u:%u:%a:%a:%d;", a.task, a.attempt,
+                  a.start, a.end, static_cast<int>(a.outcome));
+    out += buf;
+  }
+  return out;
+}
+
+std::vector<ShardRow> run_sharding_sweep(const workflow::Workflow& wf,
+                                         const sim::Plan& plan,
+                                         const Level& level, int runs,
+                                         util::Table& table) {
+  const sim::FailureModel model(level.fm);
+  sim::ExecutorOptions options;
+  options.failures = &model;
+  const auto sweep = [&](std::size_t workers) {
+    std::vector<std::string> prints(static_cast<std::size_t>(runs));
+    sim::EnsembleOptions exec;
+    exec.workers = workers;
+    sim::EnsembleRunner runner(exec);
+    const sim::EnsembleReport report =
+        runner.run(prints.size(), 6000, [&](const sim::RunContext& ctx) {
+          util::Rng rng(ctx.seed);
+          prints[ctx.index] = fingerprint(sim::simulate_execution(
+              wf, plan, bench::env().catalog, rng, options));
+        });
+    return std::make_pair(std::move(prints), report);
+  };
+
+  const std::size_t hw = std::thread::hardware_concurrency();
+  std::vector<std::size_t> worker_counts = {0, 1, 2, 4};
+  if (hw > 4) worker_counts.push_back(hw);
+
+  std::vector<ShardRow> rows;
+  std::vector<std::string> reference;
+  double serial_ms = 0;
+  for (const std::size_t workers : worker_counts) {
+    auto [prints, report] = sweep(workers);
+    ShardRow row;
+    row.workers = workers;
+    row.runs = runs;
+    row.wall_ms = report.wall_ms;
+    row.steals = report.steals;
+    row.chunks = report.chunks;
+    if (workers == 0) {
+      reference = std::move(prints);
+      serial_ms = row.wall_ms;
+    } else {
+      row.bit_identical = prints == reference;
+    }
+    row.speedup_vs_serial = row.wall_ms > 0 ? serial_ms / row.wall_ms : 1.0;
+    table.add_row({wf.name(),
+                   workers == 0 ? "serial" : util::Table::num(
+                                                 static_cast<double>(workers), 0),
+                   util::Table::num(row.wall_ms, 2),
+                   util::Table::num(row.speedup_vs_serial, 2),
+                   row.bit_identical ? "yes" : "NO",
+                   util::Table::num(static_cast<double>(row.steals), 0)});
+    rows.push_back(row);
+  }
+  return rows;
+}
+
 bool write_json(const std::vector<Row>& rows, const std::vector<CloudRow>& cloud_rows,
                 const std::vector<BudgetRow>& budget_rows,
-                const std::string& path) {
+                const std::vector<ShardRow>& shard_rows,
+                const std::string& shard_workload, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -353,12 +476,32 @@ bool write_json(const std::vector<Row>& rows, const std::vector<CloudRow>& cloud
         r.exhausted ? "true" : "false", r.states,
         i + 1 < budget_rows.size() ? "," : "");
   }
+  // Sharded-vs-serial ensemble sweep: wall clock and bit-identity per
+  // worker count (workers 0 = the serial reference loop).  On the
+  // hw_threads=1 bench host speedup shows parity; bit_identical is the
+  // contract and must be true at every worker count.
+  std::fprintf(f,
+               "  ],\n  \"sharding\": {\n    \"workload\": \"%s\",\n"
+               "    \"hw_threads\": %u,\n    \"rows\": [\n",
+               shard_workload.c_str(), std::thread::hardware_concurrency());
+  for (std::size_t i = 0; i < shard_rows.size(); ++i) {
+    const ShardRow& r = shard_rows[i];
+    std::fprintf(
+        f,
+        "      {\"workers\": %zu, \"runs\": %d, \"wall_ms\": %.2f, "
+        "\"speedup_vs_serial\": %.3f, \"bit_identical\": %s, "
+        "\"chunks\": %zu, \"steals\": %zu}%s\n",
+        r.workers, r.runs, r.wall_ms, r.speedup_vs_serial,
+        r.bit_identical ? "true" : "false", r.chunks, r.steals,
+        i + 1 < shard_rows.size() ? "," : "");
+  }
   // Aggregate simulator/reactive/control-plane counters captured over the
-  // whole sweep (sim.failures.*, wms.reactive.*, cloud.api.*,
-  // cloud.breaker.*, budget.*), recorded alongside the summary rows.
+  // whole sweep (sim.failures.*, sim.ensemble.*, wms.reactive.*,
+  // cloud.api.*, cloud.breaker.*, budget.*), recorded alongside the summary
+  // rows.
   const std::string metrics =
       obs::to_json(obs::Registry::instance().snapshot());
-  std::fprintf(f, "  ],\n  \"metrics\": %s\n}\n", metrics.c_str());
+  std::fprintf(f, "    ]\n  },\n  \"metrics\": %s\n}\n", metrics.c_str());
   return std::fclose(f) == 0;
 }
 
@@ -367,13 +510,23 @@ bool write_json(const std::vector<Row>& rows, const std::vector<CloudRow>& cloud
 int main(int argc, char** argv) {
   using namespace deco;
   using bench::env;
-  const std::string out = argc > 1 ? argv[1] : "BENCH_robustness.json";
+  std::string out = "BENCH_robustness.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out = argv[i];
+    }
+  }
+  if (smoke) g_runs = 4;
   obs::Registry::instance().set_enabled(true);
   bench::print_header(
       "robustness_sweep",
       "Deadline-miss rate, cost inflation and replans/run under injected\n"
-      "failures: Deco static vs Deco reactive vs Autoscaling, 15 runs per\n"
-      "point, failure levels none/low/medium/high.");
+      "failures: Deco static vs Deco reactive vs Autoscaling, failure\n"
+      "levels none/low/medium/high; all run loops sharded over\n"
+      "sim::EnsembleRunner (serial == sharded bit-identical).");
 
   // Reduced search budget: the sweep replans repeatedly, so each solve is
   // bounded well below the default 2048-state budget.
@@ -381,7 +534,12 @@ int main(int argc, char** argv) {
   sched.search.max_states = 192;
 
   core::Deco engine(env().catalog, env().store);
-  wms::DecoScheduler deco_scheduler(engine, sched);
+
+  // One shared worker pool for every grid (thread start-up amortized across
+  // sweeps); the sharding sweep below builds its own pools per worker count.
+  util::WorkStealingPool pool;
+  sim::EnsembleOptions exec;
+  exec.pool = &pool;
 
   const auto levels = failure_levels();
   std::vector<Row> rows;
@@ -407,11 +565,11 @@ int main(int argc, char** argv) {
     for (const Level& level : levels) {
       Row per[3];
       per[0] = run_static(wf, deco_plan, "deco-static", level, deadline,
-                          1000 + static_cast<std::uint64_t>(which));
-      per[1] = run_reactive(wf, deco_scheduler, level, req,
-                            2000 + static_cast<std::uint64_t>(which));
+                          1000 + static_cast<std::uint64_t>(which), exec);
+      per[1] = run_reactive(wf, sched, level, req,
+                            2000 + static_cast<std::uint64_t>(which), exec);
       per[2] = run_static(wf, as_plan, "autoscaling", level, deadline,
-                          3000 + static_cast<std::uint64_t>(which));
+                          3000 + static_cast<std::uint64_t>(which), exec);
       for (int s = 0; s < 3; ++s) {
         if (level.name == "none") base_cost[s] = per[s].avg_cost;
         per[s].cost_inflation =
@@ -448,7 +606,7 @@ int main(int argc, char** argv) {
   const sim::Plan montage_plan =
       engine.schedule(montage, montage_req, sched).plan;
   const std::vector<CloudRow> cloud_rows =
-      run_cloud_sweep(montage, montage_plan, cloud_table);
+      run_cloud_sweep(montage, montage_plan, exec, cloud_table);
   std::printf("%s", cloud_table.to_string().c_str());
 
   // Anytime-quality sweep: plan cost vs shrinking wall-clock solve budget.
@@ -459,7 +617,29 @@ int main(int argc, char** argv) {
       run_budget_sweep(engine, sched, budget_table);
   std::printf("%s", budget_table.to_string().c_str());
 
-  if (!write_json(rows, cloud_rows, budget_rows, out)) return 1;
+  // Sharding sweep: serial vs sharded wall clock + bit-identity, Montage
+  // deco plan under the medium failure level.
+  const int shard_runs = smoke ? 32 : 128;
+  std::printf("\nsharded ensemble sweep (Montage, medium failures, %d runs):\n",
+              shard_runs);
+  util::Table shard_table(
+      {"workflow", "workers", "wall_ms", "speedup", "identical", "steals"});
+  const std::vector<ShardRow> shard_rows = run_sharding_sweep(
+      montage, montage_plan, levels[2], shard_runs, shard_table);
+  std::printf("%s", shard_table.to_string().c_str());
+  for (const ShardRow& r : shard_rows) {
+    if (!r.bit_identical) {
+      std::fprintf(stderr,
+                   "FAIL: sharded sweep at %zu workers diverged from serial\n",
+                   r.workers);
+      return 1;
+    }
+  }
+
+  if (!write_json(rows, cloud_rows, budget_rows, shard_rows,
+                  "montage/deco-static/medium", out)) {
+    return 1;
+  }
   std::printf("\nwrote %s\n", out.c_str());
   return 0;
 }

@@ -1,6 +1,9 @@
 #include "core/ensemble_planner.hpp"
 
 #include <cmath>
+#include <cstdint>
+
+#include "vgpu/device.hpp"
 
 namespace deco::core {
 namespace {
@@ -33,14 +36,16 @@ EnsemblePlanResult EnsemblePlanner::plan(const workflow::Ensemble& ensemble,
   result.plans.resize(n);
   result.member_costs.assign(n, 0);
 
-  // Per-member cheapest deadline-feasible plan (once per member).
-  std::vector<bool> feasible(n, false);
+  // Per-member cheapest deadline-feasible plan (once per member).  The
+  // solves are independent; `score_member` writes only slot i (byte-wide
+  // slots — vector<bool> would make concurrent writes race on shared words).
+  std::vector<std::uint8_t> feasible(n, 0);
   std::vector<double> scores(n, 0);
-  for (std::size_t i = 0; i < n; ++i) {
+  const auto score_member = [&](std::size_t i, vgpu::ComputeBackend& backend) {
     const auto& member = ensemble.members[i];
     scores[i] = std::pow(2.0, -member.priority);
     TaskTimeEstimator estimator(*catalog_, *store_, estimator_options_);
-    SchedulingProblem problem(member.workflow, estimator, *backend_, eval_);
+    SchedulingProblem problem(member.workflow, estimator, backend, eval_);
     ProbDeadline req;
     req.quantile = member.deadline_q / 100.0;
     req.deadline_s = member.deadline_s;
@@ -50,6 +55,18 @@ EnsemblePlanResult EnsemblePlanner::plan(const workflow::Ensemble& ensemble,
       result.plans[i] = sr.plan;
       result.member_costs[i] = sr.evaluation.mean_cost;
     }
+  };
+  if (options.exec.pool != nullptr || options.exec.workers > 0) {
+    // Sharded scoring: concurrent solves must not share the planner's
+    // backend (launch state is mutable), so each run evaluates on a private
+    // SerialBackend — bit-identical results by the vgpu contract.
+    sim::EnsembleRunner runner(options.exec);
+    runner.run(n, /*base_seed=*/0, [&](const sim::RunContext& ctx) {
+      vgpu::SerialBackend backend;
+      score_member(ctx.index, backend);
+    });
+  } else {
+    for (std::size_t i = 0; i < n; ++i) score_member(i, *backend_);
   }
 
   // Admission search: maximize score subject to the budget.

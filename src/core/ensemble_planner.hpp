@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/scheduling.hpp"
+#include "sim/ensemble.hpp"
 #include "workflow/ensemble.hpp"
 
 namespace deco::core {
@@ -25,6 +26,16 @@ namespace deco::core {
 struct EnsemblePlanOptions {
   SearchOptions search;
   SchedulingOptions per_workflow;  ///< options for each member's plan search
+  /// Sharding for per-member plan scoring — the dominant cost of ensemble
+  /// planning is one full scheduling solve per member, and the solves are
+  /// independent.  Default (workers 0, no pool) keeps the serial in-place
+  /// loop on the planner's shared backend; any sharded configuration fans
+  /// the solves over sim::EnsembleRunner, giving each one a *private*
+  /// SerialBackend (bit-identical to the shared backend by the vgpu
+  /// determinism contract) so concurrent solves never share mutable state.
+  /// Sharded and serial scoring choose identical plans, costs and
+  /// admissions (tests/sim/ensemble_shard_test.cpp).
+  sim::EnsembleOptions exec;
   EnsemblePlanOptions() {
     search.max_states = 4096;
     search.batch_size = 64;

@@ -9,14 +9,24 @@ namespace {
 
 /// Cached (registry id -> shard) bindings for the calling thread.  Entries
 /// for destroyed registries are unreachable (ids are never reused) and the
-/// shared_ptr keeps the orphaned shard alive, so no dangling access.
+/// shared_ptr keeps the orphaned shard alive, so no dangling access; the
+/// weak liveness token lets the cache prune entries once their registry is
+/// gone (ensemble sharding creates one short-lived registry per run, and an
+/// unpruned cache would make every lookup a linear scan over dead entries).
 struct TlsEntry {
   std::uint64_t registry_id;
+  std::weak_ptr<const char> alive;
   std::shared_ptr<void> shard;
 };
 thread_local std::vector<TlsEntry> tls_shards;
 
+/// Prune dead-registry cache entries once the cache grows past this size.
+constexpr std::size_t kTlsPruneThreshold = 16;
+
 std::atomic<std::uint64_t> next_registry_id{1};
+
+/// The calling thread's scoped override (null = use the global registry).
+thread_local Registry* tls_override = nullptr;
 
 void append_json_number(std::string& out, double value) {
   char buf[64];
@@ -49,9 +59,20 @@ Registry::Registry() : id_(next_registry_id.fetch_add(1)) {}
 Registry::~Registry() = default;
 
 Registry& Registry::instance() {
+  if (tls_override != nullptr) return *tls_override;
+  return global();
+}
+
+Registry& Registry::global() {
   static Registry registry;
   return registry;
 }
+
+ScopedRegistry::ScopedRegistry(Registry* target) : previous_(tls_override) {
+  tls_override = target;
+}
+
+ScopedRegistry::~ScopedRegistry() { tls_override = previous_; }
 
 Registry::Shard& Registry::local_shard() {
   for (const TlsEntry& entry : tls_shards) {
@@ -59,13 +80,41 @@ Registry::Shard& Registry::local_shard() {
       return *static_cast<Shard*>(entry.shard.get());
     }
   }
+  if (tls_shards.size() >= kTlsPruneThreshold) {
+    std::erase_if(tls_shards,
+                  [](const TlsEntry& entry) { return entry.alive.expired(); });
+  }
   auto shard = std::make_shared<Shard>();
   {
     const std::lock_guard<std::mutex> lock(mu_);
     shards_.push_back(shard);
   }
-  tls_shards.push_back(TlsEntry{id_, shard});
+  tls_shards.push_back(TlsEntry{id_, alive_, shard});
   return *shard;
+}
+
+void Registry::absorb(const MetricsSnapshot& snapshot) {
+  if (!enabled() || snapshot.empty()) return;
+  Shard& shard = local_shard();
+  // Gauge sequence numbers are drawn before the shard lock, matching
+  // gauge_set(); each absorbed gauge gets a fresh (monotone) write so a
+  // later absorb overrides an earlier one.
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::uint64_t seq = gauge_seq_.fetch_add(1) + 1;
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    GaugeCell& cell = shard.gauges[name];
+    if (seq > cell.seq) {
+      cell.seq = seq;
+      cell.value = value;
+    }
+  }
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  for (const auto& [name, value] : snapshot.counters) {
+    shard.counters[name] += value;
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    shard.histograms[name].merge(hist);
+  }
 }
 
 void Registry::counter_add(std::string_view name, std::uint64_t delta) {

@@ -85,8 +85,22 @@ class Registry {
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
-  /// The process-wide registry the instrumentation macros feed.
+  /// The registry the instrumentation macros feed: the calling thread's
+  /// scoped override when one is installed (see ScopedRegistry), otherwise
+  /// the process-wide registry.  Ensemble sharding (sim::EnsembleRunner)
+  /// uses overrides to capture each run's metrics into a private shard that
+  /// is merged into the parent registry in deterministic run-index order.
   static Registry& instance();
+
+  /// The process-wide registry, ignoring any thread-local override.
+  static Registry& global();
+
+  /// Merges a snapshot into this registry through the calling thread's
+  /// shard: counters and histograms add, gauges are applied as fresh writes
+  /// in the snapshot's (sorted-key) order, so absorbing run snapshots in
+  /// run-index order gives true last-run-wins gauge semantics regardless of
+  /// which thread produced them.
+  void absorb(const MetricsSnapshot& snapshot);
 
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
   void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
@@ -117,10 +131,31 @@ class Registry {
   Shard& local_shard();
 
   const std::uint64_t id_;  ///< distinguishes registries in thread caches
+  /// Liveness token observed (weakly) by per-thread shard caches so entries
+  /// for destroyed registries can be pruned — short-lived per-run registries
+  /// (ensemble sharding) must not grow the caches without bound.
+  std::shared_ptr<const char> alive_ = std::make_shared<const char>('\0');
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> gauge_seq_{0};
   mutable std::mutex mu_;  ///< guards the shard list only
   std::vector<std::shared_ptr<Shard>> shards_;
+
+  friend class ScopedRegistry;
+};
+
+/// RAII thread-local registry override: while alive, Registry::instance()
+/// on this thread resolves to `target` (instrumentation macros included).
+/// Overrides nest; each scope restores the previous binding.  Installing
+/// nullptr restores pass-through to the previous binding's target.
+class ScopedRegistry {
+ public:
+  explicit ScopedRegistry(Registry* target);
+  ~ScopedRegistry();
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+
+ private:
+  Registry* previous_;
 };
 
 /// Human-readable dump (aligned `kind name value` lines).

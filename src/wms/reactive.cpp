@@ -278,4 +278,59 @@ ReactiveReport ReactiveEngine::run(const workflow::Workflow& wf,
   return report;
 }
 
+namespace {
+
+/// DecoScheduler plus the engine it borrows, owned as one run-private unit.
+class OwningDecoScheduler final : public Scheduler {
+ public:
+  OwningDecoScheduler(const cloud::Catalog& catalog,
+                      const cloud::MetadataStore& store,
+                      const core::SchedulingOptions& scheduling,
+                      const core::DecoOptions& engine_options)
+      : engine_(catalog, store, engine_options),
+        inner_(engine_, scheduling) {}
+
+  std::string name() const override { return inner_.name(); }
+  sim::Plan schedule(const workflow::Workflow& wf,
+                     const SchedulerContext& ctx) override {
+    return inner_.schedule(wf, ctx);
+  }
+
+ private:
+  core::Deco engine_;
+  DecoScheduler inner_;
+};
+
+}  // namespace
+
+SchedulerFactory make_deco_scheduler_factory(
+    const cloud::Catalog& catalog, const cloud::MetadataStore& store,
+    core::SchedulingOptions scheduling, core::DecoOptions engine) {
+  engine.backend = "serial";
+  return [&catalog, &store, scheduling,
+          engine](std::size_t /*run*/) -> std::unique_ptr<Scheduler> {
+    return std::make_unique<OwningDecoScheduler>(catalog, store, scheduling,
+                                                 engine);
+  };
+}
+
+ReactiveEnsembleResult run_reactive_ensemble(
+    const cloud::Catalog& catalog, const cloud::MetadataStore& store,
+    const workflow::Workflow& wf, const core::ProbDeadline& requirement,
+    std::size_t runs, const SchedulerFactory& make_scheduler,
+    const ReactiveEnsembleOptions& options) {
+  ReactiveEnsembleResult result;
+  result.reports.resize(runs);
+  sim::EnsembleRunner runner(options.exec);
+  result.exec = runner.run(
+      runs, options.base.seed, [&](const sim::RunContext& ctx) {
+        const std::unique_ptr<Scheduler> primary = make_scheduler(ctx.index);
+        ReactiveOptions run_options = options.base;
+        run_options.seed = ctx.seed;
+        ReactiveEngine engine(catalog, store, *primary, run_options);
+        result.reports[ctx.index] = engine.run(wf, requirement);
+      });
+  return result;
+}
+
 }  // namespace deco::wms

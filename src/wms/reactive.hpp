@@ -18,10 +18,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "cloud/control_plane.hpp"
+#include "sim/ensemble.hpp"
 #include "sim/executor.hpp"
 #include "wms/scheduler.hpp"
 
@@ -103,5 +107,53 @@ class ReactiveEngine {
   Scheduler* primary_;
   ReactiveOptions options_;
 };
+
+// ---------------------------------------------------------------------------
+// Sharded reactive ensembles: N independent closed-loop executions of the
+// same workflow (the Monte-Carlo-over-futures question "how does this plan
+// survive N possible worlds?"), fanned over sim::EnsembleRunner.  Each run
+// owns a private ReactiveEngine seeded with substream_seed(base.seed, run)
+// and a private primary scheduler from the factory — engines and their
+// backends are stateful, so sharing one across concurrent runs is a race.
+// The determinism contract is EnsembleRunner's: reports (and merged
+// wms.reactive.* metrics) are bit-identical serial vs sharded at any worker
+// count (tests/sim/ensemble_shard_test.cpp).
+
+/// Builds run-private primary schedulers.  The factory itself must be safe
+/// to call concurrently (typically it only constructs fresh objects from
+/// const inputs); everything it returns is used by a single run.
+using SchedulerFactory =
+    std::function<std::unique_ptr<Scheduler>(std::size_t run)>;
+
+struct ReactiveEnsembleOptions {
+  /// Per-run engine options; `base.seed` is the ensemble base seed, replaced
+  /// per run by its substream.
+  ReactiveOptions base;
+  /// Sharding configuration (workers/pool/budget); see sim::EnsembleOptions.
+  sim::EnsembleOptions exec;
+};
+
+struct ReactiveEnsembleResult {
+  /// One report per run, in run-index order.  Runs skipped by a fired
+  /// budget keep a default-constructed report (completed == false).
+  std::vector<ReactiveReport> reports;
+  sim::EnsembleReport exec;
+};
+
+ReactiveEnsembleResult run_reactive_ensemble(
+    const cloud::Catalog& catalog, const cloud::MetadataStore& store,
+    const workflow::Workflow& wf, const core::ProbDeadline& requirement,
+    std::size_t runs, const SchedulerFactory& make_scheduler,
+    const ReactiveEnsembleOptions& options = {});
+
+/// Factory producing, per run, a private core::Deco engine (forced onto the
+/// serial compute backend — engines must not share the launch path with
+/// concurrent runs; serial evaluation is bit-identical to vgpu by the
+/// backend determinism contract) wrapped in a DecoScheduler.  The returned
+/// factory borrows nothing: catalog/store/options are copied or captured by
+/// reference to caller-owned objects that must outlive the ensemble call.
+SchedulerFactory make_deco_scheduler_factory(
+    const cloud::Catalog& catalog, const cloud::MetadataStore& store,
+    core::SchedulingOptions scheduling = {}, core::DecoOptions engine = {});
 
 }  // namespace deco::wms

@@ -15,6 +15,7 @@
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
 #include "obs/trace.hpp"
+#include "sim/ensemble.hpp"
 #include "tests/core/test_fixtures.hpp"
 #include "tests/obs/json_check.hpp"
 #include "util/rng.hpp"
@@ -103,6 +104,69 @@ TEST_P(RegistryMergeProperty, ShardMergeSumsExactlyAndOrderIndependently) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RegistryMergeProperty,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ---------------------------------------------------------------------------
+// Ensemble shard merge: each run of a sim::EnsembleRunner sweep emits a
+// randomized metrics schedule (derived from its substream seed) into its
+// private per-run registry; the parent's merged snapshot must be identical
+// at every worker count — counters and histogram sums bit for bit (merge
+// order is run-index order, not thread order) and gauges with true
+// last-run-wins semantics.  Only the runner's own wall-clock gauges are
+// exempt (docs/performance.md, "Ensemble sharding").
+class EnsembleShardMergeProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EnsembleShardMergeProperty, MergedSnapshotIndependentOfWorkerCount) {
+  const std::uint64_t base_seed = GetParam();
+  constexpr std::size_t kRuns = 24;
+
+  const auto sweep = [&](std::size_t workers) {
+    Registry parent;
+    parent.set_enabled(true);
+    {
+      const ScopedRegistry scope(&parent);
+      sim::EnsembleOptions exec;
+      exec.workers = workers;
+      sim::EnsembleRunner runner(exec);
+      runner.run(kRuns, base_seed, [](const sim::RunContext& ctx) {
+        // The run body writes through instance(), exactly like instrumented
+        // production code; inside a run this resolves to the private shard.
+        Registry& reg = Registry::instance();
+        util::Rng rng(ctx.seed);
+        const int ops = 5 + static_cast<int>(rng.below(40));
+        for (int i = 0; i < ops; ++i) {
+          const auto name = "m" + std::to_string(rng.below(4));
+          switch (rng.below(3)) {
+            case 0: reg.counter_add("c." + name, 1 + rng.below(9)); break;
+            case 1:
+              reg.observe_ms("h." + name, static_cast<double>(rng.below(64)));
+              break;
+            default:
+              reg.gauge_set("g." + name, static_cast<double>(rng.below(100)));
+          }
+        }
+        reg.gauge_set("g.last_run", static_cast<double>(ctx.index));
+      });
+    }
+    MetricsSnapshot snap = parent.snapshot();
+    snap.gauges.erase("sim.ensemble.workers");
+    snap.gauges.erase("sim.ensemble.last_sweep_ms");
+    return snap;
+  };
+
+  const MetricsSnapshot serial = sweep(0);
+  // Gauge last-run-wins: the highest run index set g.last_run last.
+  EXPECT_DOUBLE_EQ(serial.gauges.at("g.last_run"),
+                   static_cast<double>(kRuns - 1));
+  const std::string serial_json = to_json(serial);
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    EXPECT_EQ(serial_json, to_json(sweep(workers)))
+        << "workers " << workers;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnsembleShardMergeProperty,
+                         ::testing::Values(11u, 12u, 13u, 14u, 15u));
 
 // ---------------------------------------------------------------------------
 // Trace JSON + span nesting: emit a random properly-nested span tree via a

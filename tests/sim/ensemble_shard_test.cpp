@@ -1,0 +1,423 @@
+// Differential harness for the sharded-ensemble determinism contract
+// (sim::EnsembleRunner): a sweep fanned over N workers must be
+// *bit-identical* to the serial reference — identical per-run execution
+// traces, costs, plan choices and merged metrics counters — at every worker
+// count, under every fault profile.  The comparisons are string-equality on
+// hex-float (%a) fingerprints, so "near" is not good enough: one ULP of
+// divergence anywhere fails the suite.
+//
+// Exemptions (docs/performance.md "Ensemble sharding"): wall-clock gauges
+// (keys ending in `_ms`) and `sim.ensemble.workers`, plus histogram
+// *values* (their observation counts still compare exactly) — these
+// measure real time, which no scheduler controls.
+//
+// DECO_CHAOS=1 amplifies the run counts 3x, for the chaos CI job.
+#include "sim/ensemble.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cloud/control_plane.hpp"
+#include "core/ensemble_planner.hpp"
+#include "obs/metrics.hpp"
+#include "sim/executor.hpp"
+#include "sim/failure_model.hpp"
+#include "tests/core/test_fixtures.hpp"
+#include "util/budget.hpp"
+#include "wms/reactive.hpp"
+#include "workflow/ensemble.hpp"
+#include "workflow/generators.hpp"
+
+namespace deco::sim {
+namespace {
+
+int chaos_scale() { return std::getenv("DECO_CHAOS") ? 3 : 1; }
+
+/// Worker counts every differential runs at.  0 is the serial reference
+/// loop; hardware_concurrency is appended when it exceeds the fixed grid.
+std::vector<std::size_t> worker_grid() {
+  std::vector<std::size_t> grid = {0, 1, 2, 4};
+  const std::size_t hw = std::thread::hardware_concurrency();
+  if (hw > 4) grid.push_back(hw);
+  return grid;
+}
+
+std::string hex(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+/// Bit-exact fingerprint of everything a simulated execution observably
+/// produced, attempt by attempt.
+std::string fingerprint(const ExecutionResult& r) {
+  std::string out = hex(r.makespan) + "|" + hex(r.total_cost) + "|" +
+                    hex(r.instance_cost) + "|" +
+                    std::to_string(r.instances_used) + "|" +
+                    std::to_string(r.failures.total_disruptions()) + "|" +
+                    (r.finished ? "f" : "u") + "|";
+  for (const TaskAttempt& a : r.attempts) {
+    out += std::to_string(a.task) + ":" + std::to_string(a.attempt) + ":" +
+           hex(a.start) + ":" + hex(a.end) + ":" +
+           std::to_string(static_cast<int>(a.outcome)) + ";";
+  }
+  return out;
+}
+
+std::string fingerprint(const wms::ReactiveReport& r) {
+  return hex(r.makespan) + "|" + hex(r.total_cost) + "|" +
+         (r.completed ? "c" : "i") + (r.met_deadline ? "m" : "x") + "|" +
+         std::to_string(r.segments) + "|" + std::to_string(r.replans) + "|" +
+         std::to_string(r.proactive_replans) + "|" +
+         std::to_string(r.solver_fallbacks) + "|" +
+         std::to_string(r.solver_budget_cutoffs) + "|" +
+         std::to_string(r.failures.total_disruptions()) + "|" +
+         std::to_string(r.api.calls) + "|" + r.last_scheduler;
+}
+
+bool wall_clock_key(const std::string& name) {
+  return name == "sim.ensemble.workers" ||
+         (name.size() >= 3 && name.compare(name.size() - 3, 3, "_ms") == 0);
+}
+
+/// The metrics half of the contract: counters compare exactly, histograms
+/// by observation count (their sums are wall-clock values), gauges exactly
+/// except the wall-clock exemptions — but even exempt keys must *exist* in
+/// both snapshots.
+void expect_metrics_equal(const obs::MetricsSnapshot& serial,
+                          const obs::MetricsSnapshot& sharded,
+                          const std::string& label) {
+  EXPECT_EQ(serial.counters, sharded.counters) << label;
+  ASSERT_EQ(serial.histograms.size(), sharded.histograms.size()) << label;
+  for (const auto& [name, hist] : serial.histograms) {
+    const auto it = sharded.histograms.find(name);
+    ASSERT_NE(it, sharded.histograms.end()) << label << " histogram " << name;
+    EXPECT_EQ(hist.count, it->second.count) << label << " histogram " << name;
+  }
+  ASSERT_EQ(serial.gauges.size(), sharded.gauges.size()) << label;
+  for (const auto& [name, value] : serial.gauges) {
+    const auto it = sharded.gauges.find(name);
+    ASSERT_NE(it, sharded.gauges.end()) << label << " gauge " << name;
+    if (!wall_clock_key(name)) {
+      EXPECT_EQ(hex(value), hex(it->second)) << label << " gauge " << name;
+    }
+  }
+}
+
+workflow::Workflow make_workflow(int which) {
+  util::Rng rng(7);
+  switch (which) {
+    case 0: return workflow::make_montage(1, rng);
+    case 1: return workflow::make_cybershake(20, rng);
+    default: return workflow::make_ligo(20, rng);
+  }
+}
+
+FailureModelOptions medium_failures() {
+  FailureModelOptions fm;
+  fm.crash_mtbf_s = 2 * 3600;
+  fm.task_failure_prob = 0.03;
+  fm.straggler_prob = 0.05;
+  fm.boot_failure_prob = 0.01;
+  return fm;
+}
+
+cloud::ControlPlaneOptions api_faults(std::uint64_t seed) {
+  cloud::ControlPlaneOptions cp;
+  cp.faults.throttle_rate_per_s = 0.2;
+  cp.faults.throttle_burst = 2;
+  cp.faults.capacity_mtbo_s = 3600.0;
+  cp.faults.capacity_outage_s = 300.0;
+  cp.faults.transient_error_prob = 0.02;
+  cp.seed = seed;
+  return cp;
+}
+
+/// One executor sweep: n runs of `wf` under the given fault profile,
+/// captured into a private parent registry.  Returns the per-run
+/// fingerprints plus the merged metrics of the whole sweep.
+struct SweepResult {
+  std::vector<std::string> prints;
+  obs::MetricsSnapshot metrics;
+  EnsembleReport report;
+};
+
+enum class Profile { kNull, kFailures, kApiFaults };
+
+SweepResult executor_sweep(const workflow::Workflow& wf, Profile profile,
+                           std::size_t n, std::size_t workers,
+                           util::BudgetTracker* budget = nullptr) {
+  const cloud::Catalog& catalog = core::testing::ec2();
+  const Plan plan = Plan::uniform(wf.task_count(), 1);
+  const FailureModel model(medium_failures());
+  obs::Registry parent;
+  parent.set_enabled(true);
+  SweepResult result;
+  result.prints.assign(n, "");
+  {
+    const obs::ScopedRegistry scope(&parent);
+    EnsembleOptions exec;
+    exec.workers = workers;
+    exec.budget = budget;
+    EnsembleRunner runner(exec);
+    result.report =
+        runner.run(n, /*base_seed=*/42, [&](const RunContext& ctx) {
+          ExecutorOptions options;
+          if (profile == Profile::kFailures) options.failures = &model;
+          std::optional<cloud::ControlPlane> plane;
+          if (profile == Profile::kApiFaults) {
+            plane.emplace(catalog, api_faults(ctx.seed));
+            options.control = &*plane;
+          }
+          util::Rng rng(ctx.seed);
+          result.prints[ctx.index] = fingerprint(
+              simulate_execution(wf, plan, catalog, rng, options));
+        });
+  }
+  result.metrics = parent.snapshot();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Substream scheme.
+
+TEST(EnsembleShardTest, SubstreamSeedsAreStableAndDistinct) {
+  // The substream derivation is part of the persisted determinism contract
+  // (docs/performance.md): changing it invalidates every recorded sweep.
+  EXPECT_EQ(substream_seed(42, 0), substream_seed(42, 0));
+  EXPECT_NE(substream_seed(42, 0), substream_seed(42, 1));
+  EXPECT_NE(substream_seed(42, 0), substream_seed(43, 0));
+  // No short-range collisions in a realistic sweep.
+  std::vector<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 4096; ++i)
+    seen.push_back(substream_seed(42, i));
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+// ---------------------------------------------------------------------------
+// The core differential: executor sweeps, every workflow x fault profile x
+// worker count, bit-identical to serial.
+
+TEST(EnsembleShardTest, ExecutorSweepBitIdenticalAcrossWorkers) {
+  const std::size_t n = 10 * static_cast<std::size_t>(chaos_scale());
+  for (int which = 0; which < 3; ++which) {
+    const workflow::Workflow wf = make_workflow(which);
+    for (const Profile profile :
+         {Profile::kNull, Profile::kFailures, Profile::kApiFaults}) {
+      const SweepResult serial = executor_sweep(wf, profile, n, 0);
+      EXPECT_EQ(serial.report.completed, n);
+      for (const std::size_t workers : worker_grid()) {
+        if (workers == 0) continue;
+        const SweepResult sharded = executor_sweep(wf, profile, n, workers);
+        const std::string label = wf.name() + " profile " +
+                                  std::to_string(static_cast<int>(profile)) +
+                                  " workers " + std::to_string(workers);
+        EXPECT_EQ(serial.prints, sharded.prints) << label;
+        expect_metrics_equal(serial.metrics, sharded.metrics, label);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reactive closed-loop ensembles: per-run engines + schedulers, generous
+// solver budget so the solve itself is deterministic.
+
+TEST(EnsembleShardTest, ReactiveEnsembleBitIdenticalAcrossWorkers) {
+  const cloud::Catalog& catalog = core::testing::ec2();
+  const cloud::MetadataStore& store = core::testing::store();
+  util::Rng rng(7);
+  const workflow::Workflow wf = workflow::make_montage(1, rng);
+  const core::ProbDeadline req{0.9, 20000.0};
+  const FailureModel model(medium_failures());
+  core::SchedulingOptions sched;
+  sched.search.max_states = 24;
+  const wms::SchedulerFactory factory =
+      wms::make_deco_scheduler_factory(catalog, store, sched);
+  const std::size_t runs = 3 * static_cast<std::size_t>(chaos_scale());
+
+  const auto sweep = [&](std::size_t workers) {
+    wms::ReactiveEnsembleOptions options;
+    options.base.executor.failures = &model;
+    options.base.max_replans = 2;
+    options.base.seed = 99;
+    options.exec.workers = workers;
+    const wms::ReactiveEnsembleResult r = wms::run_reactive_ensemble(
+        catalog, store, wf, req, runs, factory, options);
+    std::vector<std::string> prints;
+    for (const wms::ReactiveReport& report : r.reports)
+      prints.push_back(fingerprint(report));
+    return prints;
+  };
+
+  const std::vector<std::string> serial = sweep(0);
+  for (const std::size_t workers : worker_grid()) {
+    if (workers == 0) continue;
+    EXPECT_EQ(serial, sweep(workers)) << "workers " << workers;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Estimator modes: the sharded contract holds in every estimator
+// configuration (kMc exercises the sampling path, kAuto the screened
+// hierarchy with its Tier-2 escalations).
+
+TEST(EnsembleShardTest, EstimatorModesStayDeterministicWhenSharded) {
+  const cloud::Catalog& catalog = core::testing::ec2();
+  const cloud::MetadataStore& store = core::testing::store();
+  util::Rng rng(7);
+  const workflow::Workflow wf = workflow::make_ligo(20, rng);
+  const core::ProbDeadline req{0.9, 20000.0};
+  core::SchedulingOptions sched;
+  sched.search.max_states = 16;
+  const std::size_t runs = 2 * static_cast<std::size_t>(chaos_scale());
+  for (const core::EstimatorMode mode :
+       {core::EstimatorMode::kMc, core::EstimatorMode::kAuto}) {
+    core::DecoOptions engine;
+    engine.eval.estimator = mode;
+    const wms::SchedulerFactory factory =
+        wms::make_deco_scheduler_factory(catalog, store, sched, engine);
+    const auto sweep = [&](std::size_t workers) {
+      wms::ReactiveEnsembleOptions options;
+      options.base.seed = 7;
+      options.exec.workers = workers;
+      const auto r = wms::run_reactive_ensemble(catalog, store, wf, req, runs,
+                                                factory, options);
+      std::vector<std::string> prints;
+      for (const auto& report : r.reports)
+        prints.push_back(fingerprint(report));
+      return prints;
+    };
+    const auto serial = sweep(0);
+    EXPECT_EQ(serial, sweep(2))
+        << "estimator mode " << core::to_string(mode);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ensemble planning (use case 2): sharded member scoring chooses the same
+// admissions, plans and costs as the planner's serial loop.
+
+TEST(EnsembleShardTest, PlannerShardedScoringMatchesSerial) {
+  util::Rng rng(7);
+  workflow::EnsembleOptions opt;
+  opt.app = workflow::AppType::kLigo;
+  opt.type = workflow::EnsembleType::kConstant;
+  opt.num_workflows = 4;
+  opt.sizes = {20};
+  workflow::Ensemble e = workflow::make_ensemble(opt, rng);
+  e.budget = 1e9;
+  for (auto& m : e.members) {
+    m.deadline_s = 1e7;
+    m.deadline_q = 90;
+  }
+  core::EnsemblePlanOptions plan_options;
+  plan_options.per_workflow.search.max_states = 16;
+  plan_options.per_workflow.search.stale_wave_limit = 2;
+
+  vgpu::SerialBackend backend;
+  core::EnsemblePlanner planner(core::testing::ec2(), core::testing::store(),
+                                backend);
+  const core::EnsemblePlanResult serial = planner.plan(e, plan_options);
+  for (const std::size_t workers : worker_grid()) {
+    if (workers == 0) continue;
+    plan_options.exec.workers = workers;
+    const core::EnsemblePlanResult sharded = planner.plan(e, plan_options);
+    EXPECT_EQ(serial.admitted, sharded.admitted) << "workers " << workers;
+    EXPECT_EQ(serial.plans, sharded.plans) << "workers " << workers;
+    ASSERT_EQ(serial.member_costs.size(), sharded.member_costs.size());
+    for (std::size_t i = 0; i < serial.member_costs.size(); ++i) {
+      EXPECT_EQ(hex(serial.member_costs[i]), hex(sharded.member_costs[i]))
+          << "workers " << workers << " member " << i;
+    }
+    EXPECT_EQ(hex(serial.score), hex(sharded.score)) << "workers " << workers;
+    EXPECT_EQ(hex(serial.total_cost), hex(sharded.total_cost))
+        << "workers " << workers;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Budget semantics.
+
+TEST(EnsembleShardTest, PreFiredCancelSkipsEverythingDeterministically) {
+  util::Rng rng(7);
+  const workflow::Workflow wf = make_workflow(0);
+  util::CancelToken cancel;
+  cancel.cancel();
+  for (const std::size_t workers : worker_grid()) {
+    util::SolveBudget spec;
+    spec.cancel = &cancel;
+    util::BudgetTracker tracker(spec);
+    const SweepResult r = executor_sweep(wf, Profile::kNull, 6, workers,
+                                         &tracker);
+    EXPECT_EQ(r.report.skipped, 6u) << "workers " << workers;
+    EXPECT_EQ(r.report.completed, 0u) << "workers " << workers;
+    EXPECT_TRUE(r.report.budget_exhausted) << "workers " << workers;
+    for (const std::string& p : r.prints) EXPECT_TRUE(p.empty());
+  }
+}
+
+TEST(EnsembleShardTest, LiveWallBudgetYieldsConsistentAnytimePrefix) {
+  // A sub-5ms wall budget fires at a wall-clock-dependent point, so which
+  // runs complete is not deterministic.  The anytime contract still is:
+  // every run either completed *bit-identically to the unbudgeted serial
+  // reference* or was skipped whole — never half-executed — and the report
+  // accounts for every run.
+  const workflow::Workflow wf = make_workflow(1);
+  const std::size_t n = 64;
+  const SweepResult reference = executor_sweep(wf, Profile::kFailures, n, 0);
+  for (const std::size_t workers : worker_grid()) {
+    util::SolveBudget spec;
+    spec.wall_ms = 4.0;
+    util::BudgetTracker tracker(spec);
+    const SweepResult r = executor_sweep(wf, Profile::kFailures, n, workers,
+                                         &tracker);
+    EXPECT_EQ(r.report.completed + r.report.skipped + r.report.failed, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!r.prints[i].empty()) {
+        EXPECT_EQ(r.prints[i], reference.prints[i])
+            << "workers " << workers << " run " << i;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exception semantics: both modes run every non-throwing run to completion
+// and rethrow the lowest-index failure.
+
+TEST(EnsembleShardTest, LowestIndexExceptionWinsInBothModes) {
+  for (const std::size_t workers : worker_grid()) {
+    std::vector<int> completed(10, 0);
+    EnsembleOptions exec;
+    exec.workers = workers;
+    EnsembleRunner runner(exec);
+    try {
+      runner.run(10, 1, [&](const RunContext& ctx) {
+        if (ctx.index % 3 == 1) {
+          throw std::runtime_error("boom@" + std::to_string(ctx.index));
+        }
+        completed[ctx.index] = 1;
+      });
+      FAIL() << "expected rethrow, workers " << workers;
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom@1") << "workers " << workers;
+    }
+    for (std::size_t i = 0; i < completed.size(); ++i) {
+      EXPECT_EQ(completed[i], i % 3 == 1 ? 0 : 1)
+          << "workers " << workers << " run " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace deco::sim

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
 #include <vector>
+
+#include "util/rng.hpp"
 
 namespace deco::sim {
 namespace {
@@ -84,6 +88,47 @@ TEST(EventQueueTest, EmptyRunReturnsZero) {
   EventQueue q;
   EXPECT_DOUBLE_EQ(q.run(), 0.0);
   EXPECT_TRUE(q.empty());
+}
+
+// Randomized version of the insertion-order tie-break invariant, which the
+// ensemble-sharding determinism contract leans on (every simulated
+// execution is a deterministic function of its seed only when same-time
+// events fire in schedule order).  Random schedules draw times from a tiny
+// set so ties are dense; events also re-schedule nested events at their own
+// firing time, which must queue behind every earlier same-time insertion.
+TEST(EventQueueTest, RandomScheduleTiesFireInInsertionOrderProperty) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    util::Rng rng(seed);
+    EventQueue q;
+    // (time, insertion sequence) in fired order; sequence numbers for
+    // nested events are handed out at schedule() time inside callbacks.
+    std::vector<std::pair<double, int>> fired;
+    int next_seq = 0;
+    std::function<void(double, int, int)> add = [&](double t, int seq,
+                                                    int nest) {
+      q.schedule(t, [&, seq, nest, t](double now) {
+        fired.emplace_back(now, seq);
+        if (nest > 0 && rng.below(2) == 0) {
+          // Nested same-time event: must run after everything already
+          // queued at `now`, in its (later) insertion order.
+          add(t, next_seq++, nest - 1);
+        }
+      });
+    };
+    const int events = 20 + static_cast<int>(rng.below(40));
+    for (int i = 0; i < events; ++i) {
+      add(static_cast<double>(rng.below(5)), next_seq++, 2);
+    }
+    q.run();
+    ASSERT_EQ(fired.size(), static_cast<std::size_t>(next_seq));
+    for (std::size_t i = 1; i < fired.size(); ++i) {
+      EXPECT_LE(fired[i - 1].first, fired[i].first) << "seed " << seed;
+      if (fired[i - 1].first == fired[i].first) {
+        EXPECT_LT(fired[i - 1].second, fired[i].second)
+            << "seed " << seed << " position " << i;
+      }
+    }
+  }
 }
 
 }  // namespace
