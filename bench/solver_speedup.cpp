@@ -20,6 +20,12 @@
 // decided and the auto-vs-mc throughput ratio per workflow — the headline
 // number of the estimator-hierarchy work (docs/performance.md).
 //
+// The "wlog" block tracks the declarative path itself: the same scheduling
+// program solved through the tree-walking interpreter (pre-compilation
+// baseline), the bytecode VM, the VM plus IR-to-segment translation (the
+// default pipeline), and the native solver as the reference ceiling — all
+// serial, so the ratios isolate the engine, not the backend.
+//
 // Usage: solver_speedup [output.json] [--smoke]
 //   --smoke shrinks workflows, budgets and repetitions to a CI-sized run.
 #include <algorithm>
@@ -31,6 +37,7 @@
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "core/deco.hpp"
 #include "core/scheduling.hpp"
 #include "obs/metrics.hpp"
 
@@ -114,8 +121,93 @@ Row run_case(const workflow::Workflow& wf, const std::string& backend_name,
   return row;
 }
 
+// --- WLog engine sweep ---------------------------------------------------
+
+struct WlogRow {
+  std::string engine;  ///< "interp" | "vm" | "vm+segments" | "native"
+  std::size_t states_evaluated = 0;
+  double seconds = 0;
+  double states_per_sec = 0;
+};
+
+/// The canonical scheduling program (paper Figure 4 shape): totalcost sum
+/// and maxtime longest-path, both recognized by the segment translator.
+std::string wlog_program(double deadline) {
+  char head[160];
+  std::snprintf(head, sizeof(head),
+                "cons T in maxtime(Path,T) satisfies deadline(90%%, %.0f).\n",
+                deadline);
+  return std::string("import(amazonec2).\nimport(workflow).\n"
+                     "goal minimize Ct in totalcost(Ct).\n") +
+         head +
+         "var configs(Tid,Vid,Con) forall task(Tid) and vm(Vid).\n"
+         "path(X,Y,Y,Tp) :- edge(X,Y), exetime(X,Vid,T),\n"
+         "    configs(X,Vid,Con), Con == 1, Tp is T.\n"
+         "path(X,Y,Z,Tp) :- edge(X,Z), Z \\== Y, path(Z,Y,Z2,T1),\n"
+         "    exetime(X,Vid,T), configs(X,Vid,Con), Con == 1, Tp is T+T1.\n"
+         "maxtime(Path,T) :- setof([Z,T1], path(root,tail,Z,T1), Set),\n"
+         "    max(Set, [Path,T]).\n"
+         "cost(Tid,Vid,C) :- price(Vid,Up), exetime(Tid,Vid,T),\n"
+         "    configs(Tid,Vid,Con), C is T*Up*Con.\n"
+         "totalcost(Ct) :- findall(C, cost(Tid,Vid,C), Bag), sum(Bag, Ct).\n";
+}
+
+WlogRow run_wlog_case(const workflow::Workflow& wf, const std::string& engine,
+                      double deadline, std::size_t mc_iterations,
+                      std::size_t max_states, int reps) {
+  WlogRow row;
+  row.engine = engine;
+  double best = 1e300;
+  for (int rep = 0; rep < reps + 1; ++rep) {  // first rep is warm-up
+    const auto t0 = std::chrono::steady_clock::now();
+    std::size_t states = 0;
+    if (engine == "native") {
+      core::TaskTimeEstimator estimator(bench::env().catalog,
+                                        bench::env().store);
+      auto backend = vgpu::make_backend("serial", 0);
+      core::EvalOptions eval;
+      eval.mc_iterations = mc_iterations;
+      core::SchedulingProblem problem(wf, estimator, *backend, eval);
+      core::SchedulingOptions opt;
+      opt.search.max_states = max_states;
+      opt.search.stale_wave_limit = 0;
+      const auto result = problem.solve({0.9, deadline}, opt);
+      states = result.stats.states_evaluated;
+    } else {
+      core::DecoOptions opt;
+      opt.backend = "serial";
+      opt.wlog_max_states = max_states;
+      opt.wlog_mc_iterations = mc_iterations;
+      opt.wlog_exec = engine == "interp" ? "interp" : "vm";
+      opt.wlog_segments = engine == "vm+segments";
+      core::Deco deco(bench::env().catalog, bench::env().store, opt);
+      const auto result = deco.solve_program(wlog_program(deadline), wf);
+      // Throughput counts evaluated states either way; an infeasible search
+      // still pays the full per-state inference cost.
+      states = result.stats.states_evaluated;
+      if (!result.ok && rep == 0) {
+        std::fprintf(stderr, "wlog solve (%s): %s\n", engine.c_str(),
+                     result.error.c_str());
+      }
+    }
+    const double dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (rep == 0) continue;
+    if (dt < best) {
+      best = dt;
+      row.states_evaluated = states;
+    }
+  }
+  row.seconds = best;
+  row.states_per_sec = static_cast<double>(row.states_evaluated) / best;
+  return row;
+}
+
 bool write_json(const std::vector<Row>& rows, double guard_z,
-                const std::string& path) {
+                const workflow::Workflow& wlog_wf,
+                const std::vector<WlogRow>& wlog_rows,
+                std::size_t wlog_mc_iterations, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -180,6 +272,35 @@ bool write_json(const std::vector<Row>& rows, double guard_z,
     first = false;
   }
   std::fprintf(f, "]},\n");
+  // Declarative-engine sweep: interp -> vm -> vm+segments, with the native
+  // solver as the reference ceiling.  Ratios are vs the interp baseline
+  // except native_vs_segments, which says how close the compiled WLog path
+  // gets to the hand-written evaluator.
+  auto rate_of = [&](const std::string& engine) {
+    for (const WlogRow& r : wlog_rows) {
+      if (r.engine == engine) return r.states_per_sec;
+    }
+    return 0.0;
+  };
+  const double interp_rate = rate_of("interp");
+  const double segment_rate = rate_of("vm+segments");
+  std::fprintf(f,
+               "  \"wlog\": {\"workflow\": \"%s\", \"tasks\": %zu, "
+               "\"mc_iterations\": %zu, \"rows\": [",
+               wlog_wf.name().c_str(), wlog_wf.task_count(),
+               wlog_mc_iterations);
+  for (std::size_t i = 0; i < wlog_rows.size(); ++i) {
+    const WlogRow& r = wlog_rows[i];
+    std::fprintf(f,
+                 "%s{\"engine\": \"%s\", \"states_evaluated\": %zu, "
+                 "\"seconds\": %.6f, \"states_per_sec\": %.1f, "
+                 "\"speedup_vs_interp\": %.3f}",
+                 i == 0 ? "" : ", ", r.engine.c_str(), r.states_evaluated,
+                 r.seconds, r.states_per_sec,
+                 interp_rate > 0 ? r.states_per_sec / interp_rate : 0.0);
+  }
+  std::fprintf(f, "], \"native_vs_segments\": %.3f},\n",
+               segment_rate > 0 ? rate_of("native") / segment_rate : 0.0);
   const std::string metrics =
       obs::to_json(obs::Registry::instance().snapshot());
   std::fprintf(f, "  \"metrics\": %s\n}\n", metrics.c_str());
@@ -273,7 +394,36 @@ int main(int argc, char** argv) {
       rows.push_back(std::move(auto_row));
     }
   }
-  if (!write_json(rows, core::EvalOptions{}.screen_guard_z, out)) return 1;
+  // WLog engine sweep on a pipeline workflow (linear path count keeps the
+  // interpreter baseline tractable — maxtime enumerates every DAG path).
+  const auto wlog_wf = workflow::make_pipeline(smoke ? 5 : 10, rng);
+  // Generous deadline: the sweep measures per-state inference throughput,
+  // and a feasible search exercises the same constraint + goal path on
+  // every state without early-infeasible short-circuits.
+  const double wlog_deadline = 2.0 * bench::deadline_bounds(wlog_wf).d_max;
+  const std::size_t wlog_iters = smoke ? 32 : 200;
+  const std::size_t wlog_states = smoke ? 12 : 48;
+  const int wlog_reps = smoke ? 1 : 2;
+  std::printf("\nwlog engines (%s, %zu tasks, %zu MC iterations):\n",
+              wlog_wf.name().c_str(), wlog_wf.task_count(), wlog_iters);
+  std::printf("%-12s %8s %10s %10s %9s\n", "engine", "states", "seconds",
+              "states/s", "vs_int");
+  std::vector<WlogRow> wlog_rows;
+  for (const char* engine : {"interp", "vm", "vm+segments", "native"}) {
+    wlog_rows.push_back(run_wlog_case(wlog_wf, engine, wlog_deadline,
+                                      wlog_iters, wlog_states, wlog_reps));
+    const WlogRow& r = wlog_rows.back();
+    std::printf("%-12s %8zu %10.4f %10.1f %9.3f\n", r.engine.c_str(),
+                r.states_evaluated, r.seconds, r.states_per_sec,
+                wlog_rows[0].states_per_sec > 0
+                    ? r.states_per_sec / wlog_rows[0].states_per_sec
+                    : 0.0);
+  }
+
+  if (!write_json(rows, core::EvalOptions{}.screen_guard_z, wlog_wf,
+                  wlog_rows, wlog_iters, out)) {
+    return 1;
+  }
   std::printf("\nwrote %s\n", out.c_str());
   return 0;
 }

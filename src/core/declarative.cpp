@@ -1,8 +1,10 @@
 #include "core/declarative.hpp"
 
 #include <functional>
+#include <optional>
 #include <unordered_map>
 
+#include "core/wlog_segments.hpp"
 #include "util/stats.hpp"
 
 namespace deco::core {
@@ -17,9 +19,9 @@ struct GeneratorSolution {
 /// Enumerates the solutions of a generator term against the IR's base.
 std::vector<GeneratorSolution> enumerate_generator(
     const wlog::Database& base, const wlog::TermPtr& generator,
-    util::BudgetTracker* budget = nullptr) {
+    wlog::ExecMode exec, util::BudgetTracker* budget = nullptr) {
   std::vector<GeneratorSolution> out;
-  wlog::Interpreter interp(base);
+  wlog::Solver interp(base, exec);
   interp.set_budget(budget);
   wlog::Bindings bindings;
 
@@ -106,11 +108,11 @@ DeclarativeResult DeclarativeSolver::solve(const wlog::Program& program,
   const bool boolean_form = decl.generators.size() == 1;
   std::vector<GeneratorSolution> choices;
   try {
-    entities =
-        enumerate_generator(ir.base(), decl.generators[0], options_.budget);
+    entities = enumerate_generator(ir.base(), decl.generators[0],
+                                   options_.exec, options_.budget);
     if (!boolean_form) {
-      choices =
-          enumerate_generator(ir.base(), decl.generators[1], options_.budget);
+      choices = enumerate_generator(ir.base(), decl.generators[1],
+                                    options_.exec, options_.budget);
     }
   } catch (const util::BudgetExhaustedError& e) {
     result.error = std::string("solve budget exhausted (") +
@@ -162,18 +164,41 @@ DeclarativeResult DeclarativeSolver::solve(const wlog::Program& program,
   wlog::McOptions mc;
   mc.max_iterations = options_.mc_iterations;
   mc.budget = options_.budget;
+  mc.exec = options_.exec;
   util::Rng rng(options_.seed);
+
+  // One structural translation per solve: recognized totalcost/maxtime
+  // query shapes evaluate as straight-line segments (no logic engine in the
+  // per-world loop); everything else falls back to the MC engine below.
+  const SegmentPlan seg_plan = options_.segments
+                                   ? SegmentPlan::translate(ir, program)
+                                   : SegmentPlan{};
 
   auto evaluate_state = [&](const std::vector<int>& assignment) -> Scored {
     const wlog::ProbProgram bound = bind_state(assignment);
+    std::optional<SegmentState> seg;
+    if (seg_plan.any()) seg.emplace(seg_plan, bound);
+    const auto sample_values = [&](const wlog::TermPtr& query,
+                                   const wlog::TermPtr& variable) {
+      if (seg && seg->can_answer(query, variable)) {
+        return seg->sample_values(query, variable, rng, mc);
+      }
+      return wlog::mc_sample_values(bound, query, variable, rng, mc);
+    };
+    const auto eval_goal = [&](const wlog::TermPtr& query,
+                               const wlog::TermPtr& variable) {
+      if (seg && seg->can_answer(query, variable)) {
+        return seg->eval_goal(query, variable, rng, mc);
+      }
+      return wlog::mc_eval_goal(bound, query, variable, rng, mc);
+    };
     Scored scored;
     scored.feasible = true;
     for (const wlog::ConstraintSpec& cons : program.constraints) {
       switch (cons.kind) {
         case wlog::ConstraintSpec::Kind::kDeadline:
         case wlog::ConstraintSpec::Kind::kBudget: {
-          const auto values =
-              wlog::mc_sample_values(bound, cons.query, cons.variable, rng, mc);
+          const auto values = sample_values(cons.query, cons.variable);
           if (values.empty()) {
             scored.feasible = false;
             break;
@@ -183,8 +208,7 @@ DeclarativeResult DeclarativeSolver::solve(const wlog::Program& program,
           break;
         }
         case wlog::ConstraintSpec::Kind::kCompare: {
-          const auto values =
-              wlog::mc_sample_values(bound, cons.query, cons.variable, rng, mc);
+          const auto values = sample_values(cons.query, cons.variable);
           if (values.empty()) {
             scored.feasible = false;
             break;
@@ -193,9 +217,9 @@ DeclarativeResult DeclarativeSolver::solve(const wlog::Program& program,
           double rhs = 0;
           {
             const wlog::Database modal = bound.modal_world();
-            wlog::Interpreter interp(modal);
+            wlog::Solver solver(modal, options_.exec);
             wlog::Bindings bindings;
-            if (!interp.eval_arith(cons.cmp_rhs, bindings, rhs)) {
+            if (!solver.eval_arith(cons.cmp_rhs, bindings, rhs)) {
               scored.feasible = false;
               break;
             }
@@ -209,16 +233,14 @@ DeclarativeResult DeclarativeSolver::solve(const wlog::Program& program,
           break;
         }
         case wlog::ConstraintSpec::Kind::kHolds: {
-          const auto mcres =
-              wlog::mc_eval_constraint(bound, cons.query, rng, mc);
+          const auto mcres = eval_goal(cons.query, nullptr);
           scored.feasible = mcres.probability >= 0.5;
           break;
         }
       }
       if (!scored.feasible) break;
     }
-    const auto goal = wlog::mc_eval_goal(bound, program.goal->query,
-                                         program.goal->variable, rng, mc);
+    const auto goal = eval_goal(program.goal->query, program.goal->variable);
     scored.feasible = scored.feasible && goal.probability > 0;
     scored.objective = goal.value;
     return scored;
@@ -259,10 +281,10 @@ DeclarativeResult DeclarativeSolver::solve(const wlog::Program& program,
                          const std::vector<int>& assignment) {
       const wlog::ProbProgram bound = bind_state(assignment);
       const wlog::Database modal = bound.modal_world();
-      wlog::Interpreter interp(modal);
-      interp.set_budget(options_.budget);
+      wlog::Solver solver(modal, options_.exec);
+      solver.set_budget(options_.budget);
       const auto solutions =
-          interp.query(std::string(predicate) + "(Score)", 1);
+          solver.query(std::string(predicate) + "(Score)", 1);
       if (solutions.empty()) return 0.0;
       return solutions[0].number("Score");
     };

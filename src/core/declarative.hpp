@@ -41,6 +41,13 @@ struct DeclarativeOptions {
   /// Monte Carlo evaluation loops, and the WLog interpreters.  A fired
   /// budget cuts the search anytime-style (the result keeps the incumbent).
   util::BudgetTracker* budget = nullptr;
+  /// WLog engine for generator enumeration, A* scores, and per-world Monte
+  /// Carlo proofs (kInterp is the differential oracle).
+  wlog::ExecMode exec = wlog::ExecMode::kVm;
+  /// Translate recognized totalcost/maxtime query shapes into direct
+  /// segment evaluators (core/wlog_segments.hpp); unrecognized shapes fall
+  /// back to the engine either way.
+  bool segments = true;
 };
 
 struct DeclarativeResult {

@@ -6,6 +6,14 @@
 #include "util/stats.hpp"
 
 namespace deco::core {
+namespace {
+
+/// "vm" | "interp" -> engine; unknown strings keep the default (vm).
+wlog::ExecMode resolve_exec(const std::string& name) {
+  return wlog::parse_exec_mode(name).value_or(wlog::ExecMode::kVm);
+}
+
+}  // namespace
 
 Deco::Deco(const cloud::Catalog& catalog, const cloud::MetadataStore& store,
            DecoOptions options)
@@ -62,6 +70,8 @@ WlogSolveResult Deco::solve_program(const std::string& source,
   dopt.mc_iterations = options_.wlog_mc_iterations;
   dopt.seed = options_.eval.seed;
   dopt.budget = options_.budget;
+  dopt.exec = resolve_exec(options_.wlog_exec);
+  dopt.segments = options_.wlog_segments;
   DeclarativeSolver solver(dopt);
   const DeclarativeResult solved = solver.solve(program, ir);
   result.stats = solved.stats;
@@ -129,6 +139,8 @@ WlogEnsembleResult Deco::solve_ensemble_program(
   dopt.mc_iterations = options_.wlog_mc_iterations;
   dopt.seed = options_.eval.seed;
   dopt.budget = options_.budget;
+  dopt.exec = resolve_exec(options_.wlog_exec);
+  dopt.segments = options_.wlog_segments;
   DeclarativeSolver solver(dopt);
   const DeclarativeResult solved = solver.solve(parsed.program, ir);
   result.stats = solved.stats;

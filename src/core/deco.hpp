@@ -44,6 +44,12 @@ struct DecoOptions {
   /// costly, so this is much smaller than the native budgets).
   std::size_t wlog_max_states = 48;
   std::size_t wlog_mc_iterations = 48;
+  /// WLog engine for the declarative paths: "vm" (default) runs the
+  /// compiled bytecode VM, "interp" the tree-walking oracle.
+  std::string wlog_exec = "vm";
+  /// Direct IR-to-segment translation of recognized totalcost/maxtime
+  /// query shapes (falls back to the engine when a shape doesn't match).
+  bool wlog_segments = true;
   /// Optional cooperative solve budget for the declarative paths
   /// (solve_program / solve_ensemble_program).  Native paths take the budget
   /// through their per-call options (SearchOptions::budget).

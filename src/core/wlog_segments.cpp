@@ -1,0 +1,734 @@
+#include "core/wlog_segments.hpp"
+
+#include <algorithm>
+
+#include "obs/obs.hpp"
+#include "util/budget.hpp"
+
+namespace deco::core {
+namespace {
+
+using wlog::Term;
+using wlog::TermKind;
+using wlog::TermPtr;
+
+bool is_ground(const TermPtr& t) {
+  if (t->kind == TermKind::kVar) return false;
+  for (const TermPtr& a : t->args) {
+    if (!is_ground(a)) return false;
+  }
+  return true;
+}
+
+bool ground_equal(const TermPtr& a, const TermPtr& b) {
+  static const wlog::Bindings kNoBindings;
+  return wlog::term_equal(a, b, kNoBindings);
+}
+
+bool call_shape(const TermPtr& t, std::string_view functor, std::size_t n) {
+  return t && t->kind == TermKind::kCompound && t->text == functor &&
+         t->args.size() == n;
+}
+
+bool numeric(const TermPtr& t) {
+  return t->kind == TermKind::kInt || t->kind == TermKind::kFloat;
+}
+
+/// Pattern-variable environment enforcing a bijection: each role names
+/// exactly one clause variable and vice versa (so e.g. the Vid read from
+/// price/2 is provably the Vid joined into exetime/3).
+struct Roles {
+  std::unordered_map<std::string, std::int64_t> by_role;
+  std::unordered_map<std::int64_t, std::string> by_id;
+
+  bool var(const TermPtr& t, const std::string& role) {
+    if (!t || t->kind != TermKind::kVar) return false;
+    const auto r = by_role.find(role);
+    const auto i = by_id.find(t->ival);
+    if (r == by_role.end() && i == by_id.end()) {
+      by_role.emplace(role, t->ival);
+      by_id.emplace(t->ival, role);
+      return true;
+    }
+    return r != by_role.end() && i != by_id.end() && r->second == t->ival &&
+           i->second == role;
+  }
+};
+
+/// Matches `f(Ct) :- findall(C, g(Tid,Vid,C), Bag), sum(Bag, Ct).` plus the
+/// inner `g(Tid,Vid,C) :- price(Vid,Up), exe(Tid,Vid,T), cfg(Tid,Vid,Con),
+/// C is T*Up*Con.`
+std::optional<SumShape> match_sum_shape(const wlog::Database& db,
+                                        const std::string& functor) {
+  const auto& clauses = db.clauses_for(functor, 1);
+  if (clauses.size() != 1) return std::nullopt;
+  const wlog::Clause& c = clauses[0];
+  if (!call_shape(c.head, functor, 1) || c.body.size() != 2) {
+    return std::nullopt;
+  }
+  Roles r;
+  if (!r.var(c.head->args[0], "Ct")) return std::nullopt;
+  const TermPtr& fa = c.body[0];
+  if (!call_shape(fa, "findall", 3)) return std::nullopt;
+  if (!r.var(fa->args[0], "C")) return std::nullopt;
+  const TermPtr& inner = fa->args[1];
+  if (!inner || inner->kind != TermKind::kCompound ||
+      inner->args.size() != 3) {
+    return std::nullopt;
+  }
+  if (!r.var(inner->args[0], "Tid") || !r.var(inner->args[1], "Vid") ||
+      !r.var(inner->args[2], "C")) {
+    return std::nullopt;
+  }
+  if (!r.var(fa->args[2], "Bag")) return std::nullopt;
+  const TermPtr& s = c.body[1];
+  if (!call_shape(s, "sum", 2) || !r.var(s->args[0], "Bag") ||
+      !r.var(s->args[1], "Ct")) {
+    return std::nullopt;
+  }
+
+  const auto& inner_clauses = db.clauses_for(inner->text, 3);
+  if (inner_clauses.size() != 1) return std::nullopt;
+  const wlog::Clause& ic = inner_clauses[0];
+  if (!call_shape(ic.head, inner->text, 3) || ic.body.size() != 4) {
+    return std::nullopt;
+  }
+  Roles ir;
+  if (!ir.var(ic.head->args[0], "Tid") || !ir.var(ic.head->args[1], "Vid") ||
+      !ir.var(ic.head->args[2], "C")) {
+    return std::nullopt;
+  }
+  const TermPtr& price = ic.body[0];
+  if (!price || price->kind != TermKind::kCompound ||
+      price->args.size() != 2 || !ir.var(price->args[0], "Vid") ||
+      !ir.var(price->args[1], "Up")) {
+    return std::nullopt;
+  }
+  const TermPtr& exe = ic.body[1];
+  if (!exe || exe->kind != TermKind::kCompound || exe->args.size() != 3 ||
+      !ir.var(exe->args[0], "Tid") || !ir.var(exe->args[1], "Vid") ||
+      !ir.var(exe->args[2], "T")) {
+    return std::nullopt;
+  }
+  const TermPtr& cfg = ic.body[2];
+  if (!cfg || cfg->kind != TermKind::kCompound || cfg->args.size() != 3 ||
+      !ir.var(cfg->args[0], "Tid") || !ir.var(cfg->args[1], "Vid") ||
+      !ir.var(cfg->args[2], "Con")) {
+    return std::nullopt;
+  }
+  // The parser's 400-level `*` is right-associative, so `C is T*Up*Con`
+  // parses as *(T, *(Up, Con)) — the evaluator must multiply in exactly
+  // that order to stay bit-identical with the interpreter.
+  const TermPtr& is_goal = ic.body[3];
+  if (!call_shape(is_goal, "is", 2) || !ir.var(is_goal->args[0], "C")) {
+    return std::nullopt;
+  }
+  const TermPtr& outer_mul = is_goal->args[1];
+  if (!call_shape(outer_mul, "*", 2) || !ir.var(outer_mul->args[0], "T")) {
+    return std::nullopt;
+  }
+  const TermPtr& inner_mul = outer_mul->args[1];
+  if (!call_shape(inner_mul, "*", 2) || !ir.var(inner_mul->args[0], "Up") ||
+      !ir.var(inner_mul->args[1], "Con")) {
+    return std::nullopt;
+  }
+  return SumShape{functor, price->text, exe->text, cfg->text};
+}
+
+/// Matches the non-recursive path clause
+/// `path(X,Y,Y,Tp) :- edge(X,Y), exe(X,V,T), cfg(X,V,C), C == lit, Tp is T.`
+/// Fills `shape`'s edge/exe/cfg functors and con literal.
+bool match_path_base(const wlog::Clause& c, const std::string& path_f,
+                     PathShape& shape) {
+  if (!call_shape(c.head, path_f, 4) || c.body.size() != 5) return false;
+  Roles r;
+  if (!r.var(c.head->args[0], "X") || !r.var(c.head->args[1], "Y") ||
+      !r.var(c.head->args[2], "Y") || !r.var(c.head->args[3], "Tp")) {
+    return false;
+  }
+  const TermPtr& edge = c.body[0];
+  if (!edge || edge->kind != TermKind::kCompound || edge->args.size() != 2 ||
+      !r.var(edge->args[0], "X") || !r.var(edge->args[1], "Y")) {
+    return false;
+  }
+  const TermPtr& exe = c.body[1];
+  if (!exe || exe->kind != TermKind::kCompound || exe->args.size() != 3 ||
+      !r.var(exe->args[0], "X") || !r.var(exe->args[1], "V") ||
+      !r.var(exe->args[2], "T")) {
+    return false;
+  }
+  const TermPtr& cfg = c.body[2];
+  if (!cfg || cfg->kind != TermKind::kCompound || cfg->args.size() != 3 ||
+      !r.var(cfg->args[0], "X") || !r.var(cfg->args[1], "V") ||
+      !r.var(cfg->args[2], "Con")) {
+    return false;
+  }
+  const TermPtr& eq = c.body[3];
+  if (!call_shape(eq, "==", 2) || !r.var(eq->args[0], "Con") ||
+      !is_ground(eq->args[1])) {
+    return false;
+  }
+  const TermPtr& is_goal = c.body[4];
+  if (!call_shape(is_goal, "is", 2) || !r.var(is_goal->args[0], "Tp") ||
+      !r.var(is_goal->args[1], "T")) {
+    return false;
+  }
+  shape.edge_f = edge->text;
+  shape.exe_f = exe->text;
+  shape.cfg_f = cfg->text;
+  shape.con_lit = eq->args[1];
+  return true;
+}
+
+/// Matches the recursive path clause `path(X,Y,Z,Tp) :- edge(X,Z), Z \== Y,
+/// path(Z,Y,Z2,T1), exe(X,V,T), cfg(X,V,C), C == lit, Tp is T + T1.`
+/// Functors and literal must agree with what the base clause captured.
+bool match_path_step(const wlog::Clause& c, const std::string& path_f,
+                     const PathShape& shape) {
+  if (!call_shape(c.head, path_f, 4) || c.body.size() != 7) return false;
+  Roles r;
+  if (!r.var(c.head->args[0], "X") || !r.var(c.head->args[1], "Y") ||
+      !r.var(c.head->args[2], "Z") || !r.var(c.head->args[3], "Tp")) {
+    return false;
+  }
+  const TermPtr& edge = c.body[0];
+  if (!call_shape(edge, shape.edge_f, 2) || !r.var(edge->args[0], "X") ||
+      !r.var(edge->args[1], "Z")) {
+    return false;
+  }
+  const TermPtr& neq = c.body[1];
+  if (!call_shape(neq, "\\==", 2) || !r.var(neq->args[0], "Z") ||
+      !r.var(neq->args[1], "Y")) {
+    return false;
+  }
+  const TermPtr& rec = c.body[2];
+  if (!call_shape(rec, path_f, 4) || !r.var(rec->args[0], "Z") ||
+      !r.var(rec->args[1], "Y") || !r.var(rec->args[2], "Z2") ||
+      !r.var(rec->args[3], "T1")) {
+    return false;
+  }
+  const TermPtr& exe = c.body[3];
+  if (!call_shape(exe, shape.exe_f, 3) || !r.var(exe->args[0], "X") ||
+      !r.var(exe->args[1], "V") || !r.var(exe->args[2], "T")) {
+    return false;
+  }
+  const TermPtr& cfg = c.body[4];
+  if (!call_shape(cfg, shape.cfg_f, 3) || !r.var(cfg->args[0], "X") ||
+      !r.var(cfg->args[1], "V") || !r.var(cfg->args[2], "Con")) {
+    return false;
+  }
+  const TermPtr& eq = c.body[5];
+  if (!call_shape(eq, "==", 2) || !r.var(eq->args[0], "Con") ||
+      !eq->args[1] || !ground_equal(eq->args[1], shape.con_lit)) {
+    return false;
+  }
+  const TermPtr& is_goal = c.body[6];
+  if (!call_shape(is_goal, "is", 2) || !r.var(is_goal->args[0], "Tp")) {
+    return false;
+  }
+  const TermPtr& add = is_goal->args[1];
+  return call_shape(add, "+", 2) && r.var(add->args[0], "T") &&
+         r.var(add->args[1], "T1");
+}
+
+/// Matches `f(P,T) :- setof([Z,T1], path(src,dst,Z,T1), S), max(S, [P,T]).`
+std::optional<PathShape> match_path_shape(const wlog::Database& db,
+                                          const std::string& functor) {
+  const auto& clauses = db.clauses_for(functor, 2);
+  if (clauses.size() != 1) return std::nullopt;
+  const wlog::Clause& c = clauses[0];
+  if (!call_shape(c.head, functor, 2) || c.body.size() != 2) {
+    return std::nullopt;
+  }
+  Roles r;
+  if (!r.var(c.head->args[0], "P") || !r.var(c.head->args[1], "T")) {
+    return std::nullopt;
+  }
+  const TermPtr& so = c.body[0];
+  if (!call_shape(so, "setof", 3)) return std::nullopt;
+  const TermPtr& tmpl = so->args[0];  // [Z, T1]
+  if (!tmpl || !tmpl->is_cons() || !r.var(tmpl->args[0], "Z") ||
+      !tmpl->args[1]->is_cons() || !r.var(tmpl->args[1]->args[0], "T1") ||
+      !tmpl->args[1]->args[1]->is_nil()) {
+    return std::nullopt;
+  }
+  const TermPtr& goal = so->args[1];  // path(src, dst, Z, T1)
+  if (!goal || goal->kind != TermKind::kCompound || goal->args.size() != 4 ||
+      goal->args[0]->kind != TermKind::kAtom ||
+      goal->args[1]->kind != TermKind::kAtom ||
+      !r.var(goal->args[2], "Z") || !r.var(goal->args[3], "T1")) {
+    return std::nullopt;
+  }
+  if (!r.var(so->args[2], "S")) return std::nullopt;
+  const TermPtr& mx = c.body[1];  // max(S, [P, T])
+  if (!call_shape(mx, "max", 2) || !r.var(mx->args[0], "S")) {
+    return std::nullopt;
+  }
+  const TermPtr& pair = mx->args[1];
+  if (!pair || !pair->is_cons() || !r.var(pair->args[0], "P") ||
+      !pair->args[1]->is_cons() || !r.var(pair->args[1]->args[0], "T") ||
+      !pair->args[1]->args[1]->is_nil()) {
+    return std::nullopt;
+  }
+
+  PathShape shape;
+  shape.functor = functor;
+  shape.source = goal->args[0]->text;
+  shape.target = goal->args[1]->text;
+  const auto& path_clauses = db.clauses_for(goal->text, 4);
+  if (path_clauses.size() != 2) return std::nullopt;
+  // The base/step clauses may appear in either order; solution order does
+  // not matter because setof sorts.
+  if (match_path_base(path_clauses[0], goal->text, shape) &&
+      match_path_step(path_clauses[1], goal->text, shape)) {
+    return shape;
+  }
+  if (match_path_base(path_clauses[1], goal->text, shape) &&
+      match_path_step(path_clauses[0], goal->text, shape)) {
+    return shape;
+  }
+  return std::nullopt;
+}
+
+/// Parses one group's facts to homogeneous (task, vid, value) alternatives;
+/// nullopt when the group cannot be represented (mixed keys, non-atoms).
+std::optional<std::vector<SegmentAlt>> parse_group(
+    const wlog::ProbGroup& group, std::string& functor) {
+  std::vector<SegmentAlt> alts;
+  alts.reserve(group.facts.size());
+  for (const TermPtr& fact : group.facts) {
+    if (!fact || fact->kind != TermKind::kCompound ||
+        fact->args.size() != 3 || !is_ground(fact)) {
+      return std::nullopt;
+    }
+    if (fact->args[0]->kind != TermKind::kAtom ||
+        fact->args[1]->kind != TermKind::kAtom) {
+      return std::nullopt;
+    }
+    if (functor.empty()) {
+      functor = fact->text;
+    } else if (functor != fact->text) {
+      return std::nullopt;
+    }
+    if (!alts.empty() && (alts[0].task != fact->args[0]->text ||
+                          alts[0].vid != fact->args[1]->text)) {
+      return std::nullopt;  // alternatives must share one (task, vid) key
+    }
+    alts.push_back(
+        SegmentAlt{fact->args[0]->text, fact->args[1]->text, fact->args[2]});
+  }
+  return alts;
+}
+
+}  // namespace
+
+SegmentPlan SegmentPlan::translate(const wlog::ProbProgram& ir,
+                                   const wlog::Program& program) {
+  SegmentPlan plan;
+
+  // All probabilistic alternatives must be representable, or worlds cannot
+  // be replayed outside the engine at all.
+  std::string group_functor;
+  std::vector<std::vector<SegmentAlt>> groups;
+  groups.reserve(ir.groups().size());
+  for (const wlog::ProbGroup& group : ir.groups()) {
+    auto alts = parse_group(group, group_functor);
+    if (!alts) return plan;
+    groups.push_back(std::move(*alts));
+  }
+
+  // Candidate queries: the goal plus every constraint.
+  std::vector<TermPtr> queries;
+  if (program.goal) queries.push_back(program.goal->query);
+  for (const wlog::ConstraintSpec& cons : program.constraints) {
+    queries.push_back(cons.query);
+  }
+  for (const TermPtr& q : queries) {
+    if (!q || q->kind != TermKind::kCompound) continue;
+    if (q->args.size() == 1 && !plan.sum_) {
+      plan.sum_ = match_sum_shape(ir.base(), q->text);
+    } else if (q->args.size() == 2 && !plan.path_) {
+      plan.path_ = match_path_shape(ir.base(), q->text);
+    }
+  }
+  if (!plan.any()) return plan;
+  plan.groups_ = std::move(groups);
+  plan.prob_groups_ = ir.groups();
+  plan.group_functor_ = group_functor;
+  DECO_OBS_COUNTER_ADD("wlog.vm.segment_translations",
+                       (plan.sum_ ? 1 : 0) + (plan.path_ ? 1 : 0));
+  return plan;
+}
+
+namespace {
+
+/// Reads a fact-only predicate: every clause must be a bodiless compound of
+/// the given arity.  Returns false (and the shape must be disabled) when
+/// the predicate has rules.
+bool read_facts(const wlog::Database& db, const std::string& functor,
+                std::size_t arity, std::vector<TermPtr>& out) {
+  for (const wlog::Clause& c : db.clauses_for(functor, arity)) {
+    if (!c.body.empty() || !c.head ||
+        c.head->kind != TermKind::kCompound || c.head->args.size() != arity) {
+      return false;
+    }
+    out.push_back(c.head);
+  }
+  return true;
+}
+
+bool atom_args(const TermPtr& fact, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (fact->args[i]->kind != TermKind::kAtom) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SegmentState::SegmentState(const SegmentPlan& plan,
+                           const wlog::ProbProgram& bound)
+    : plan_(&plan) {
+  const wlog::Database& db = bound.base();
+  const std::string& group_f = plan.group_functor();
+
+  if (plan.sum()) {
+    const SumShape& shape = *plan.sum();
+    sum_ok_ = true;
+    // A world-varying configs or price table cannot be replayed from the
+    // static snapshot below (only the exetime table is layered per world).
+    if (!group_f.empty() &&
+        (group_f == shape.cfg_f || group_f == shape.price_f)) {
+      sum_ok_ = false;
+    }
+    std::vector<TermPtr> facts;
+    if (sum_ok_ && read_facts(db, shape.price_f, 2, facts)) {
+      for (const TermPtr& f : facts) {
+        if (f->args[0]->kind != TermKind::kAtom) {
+          sum_ok_ = false;
+          break;
+        }
+        prices_.push_back(PriceFact{f->args[0]->text, f->args[1]});
+      }
+    } else {
+      sum_ok_ = false;
+    }
+    facts.clear();
+    if (sum_ok_ && read_facts(db, shape.exe_f, 3, facts)) {
+      for (const TermPtr& f : facts) {
+        if (!atom_args(f, 2)) {
+          sum_ok_ = false;
+          break;
+        }
+        exe_static_.push_back(
+            SegmentAlt{f->args[0]->text, f->args[1]->text, f->args[2]});
+      }
+    } else {
+      sum_ok_ = false;
+    }
+    facts.clear();
+    if (sum_ok_ && read_facts(db, shape.cfg_f, 3, facts)) {
+      for (const TermPtr& f : facts) {
+        if (!atom_args(f, 2)) {
+          sum_ok_ = false;
+          break;
+        }
+        cfgs_.push_back(
+            CfgFact{f->args[0]->text, f->args[1]->text, f->args[2]});
+      }
+    } else {
+      sum_ok_ = false;
+    }
+  }
+
+  if (plan.path()) {
+    const PathShape& shape = *plan.path();
+    path_ok_ = true;
+    if (!group_f.empty() && group_f == shape.cfg_f) path_ok_ = false;
+
+    auto node_id = [&](const std::string& name) {
+      const auto [it, inserted] = node_ids_.try_emplace(name, nodes_.size());
+      if (inserted) {
+        nodes_.push_back(name);
+        children_.emplace_back();
+      }
+      return it->second;
+    };
+
+    std::vector<TermPtr> facts;
+    if (path_ok_ && read_facts(db, shape.edge_f, 2, facts)) {
+      for (const TermPtr& f : facts) {
+        if (!atom_args(f, 2)) {
+          path_ok_ = false;
+          break;
+        }
+        const std::size_t from = node_id(f->args[0]->text);
+        const std::size_t to = node_id(f->args[1]->text);
+        children_[from].push_back(to);
+      }
+    } else {
+      path_ok_ = false;
+    }
+
+    // The DP needs an acyclic edge relation (the interpreter would diverge
+    // on a cyclic one anyway; refuse rather than guess).
+    if (path_ok_) {
+      std::vector<char> color(nodes_.size(), 0);  // 0 new, 1 open, 2 done
+      for (std::size_t root = 0; root < nodes_.size() && path_ok_; ++root) {
+        if (color[root] != 0) continue;
+        std::vector<std::pair<std::size_t, std::size_t>> stack{{root, 0}};
+        color[root] = 1;
+        while (!stack.empty() && path_ok_) {
+          auto& [x, next] = stack.back();
+          if (next < children_[x].size()) {
+            const std::size_t c = children_[x][next++];
+            if (color[c] == 1) {
+              path_ok_ = false;  // cycle
+            } else if (color[c] == 0) {
+              color[c] = 1;
+              stack.emplace_back(c, 0);
+            }
+          } else {
+            color[x] = 2;
+            stack.pop_back();
+          }
+        }
+      }
+    }
+
+    // Resolve each node's time source: exactly one (vm, sample) pair may
+    // time a task, or the first-proof value would depend on enumeration
+    // order in ways the DP does not model.
+    if (path_ok_) {
+      std::vector<TermPtr> cfg_facts;
+      std::vector<TermPtr> exe_facts;
+      if (!read_facts(db, shape.cfg_f, 3, cfg_facts) ||
+          !read_facts(db, shape.exe_f, 3, exe_facts)) {
+        path_ok_ = false;
+      }
+      if (path_ok_) {
+        times_.assign(nodes_.size(), std::nullopt);
+        for (std::size_t x = 0; x < nodes_.size() && path_ok_; ++x) {
+          std::size_t candidates = 0;
+          std::optional<TimeSrc> src;
+          for (const TermPtr& cf : cfg_facts) {
+            if (!atom_args(cf, 2)) {
+              path_ok_ = false;
+              break;
+            }
+            if (cf->args[0]->text != nodes_[x] ||
+                !ground_equal(cf->args[2], shape.con_lit)) {
+              continue;
+            }
+            const std::string& vid = cf->args[1]->text;
+            for (const TermPtr& ef : exe_facts) {
+              if (!atom_args(ef, 2)) {
+                path_ok_ = false;
+                break;
+              }
+              if (ef->args[0]->text != nodes_[x] ||
+                  ef->args[1]->text != vid) {
+                continue;
+              }
+              ++candidates;
+              if (numeric(ef->args[2])) {
+                src = TimeSrc{false, ef->args[2]->number(), 0};
+              }
+            }
+            if (group_f == shape.exe_f) {
+              const auto& groups = plan.groups();
+              for (std::size_t g = 0; g < groups.size(); ++g) {
+                if (groups[g].empty() || groups[g][0].task != nodes_[x] ||
+                    groups[g][0].vid != vid) {
+                  continue;
+                }
+                ++candidates;
+                src = TimeSrc{true, 0, g};
+              }
+            }
+          }
+          if (candidates > 1) path_ok_ = false;
+          if (candidates == 1) times_[x] = src;
+        }
+      }
+    }
+
+    if (path_ok_) {
+      const auto it = node_ids_.find(shape.source);
+      if (it != node_ids_.end()) source_id_ = it->second;
+    }
+  }
+}
+
+bool SegmentState::can_answer(const wlog::TermPtr& query,
+                              const wlog::TermPtr& variable) const {
+  if (!query || query->kind != TermKind::kCompound) return false;
+  for (const TermPtr& a : query->args) {
+    if (a->kind != TermKind::kVar) return false;
+  }
+  if (sum_ok_ && plan_->sum() && query->text == plan_->sum()->functor &&
+      query->args.size() == 1) {
+    return variable == nullptr ||
+           (variable->kind == TermKind::kVar &&
+            variable->ival == query->args[0]->ival);
+  }
+  if (path_ok_ && plan_->path() && query->text == plan_->path()->functor &&
+      query->args.size() == 2 &&
+      query->args[0]->ival != query->args[1]->ival) {
+    return variable == nullptr ||
+           (variable->kind == TermKind::kVar &&
+            variable->ival == query->args[1]->ival);
+  }
+  return false;
+}
+
+bool SegmentState::eval_world(const wlog::TermPtr& query,
+                              const std::vector<std::size_t>& chosen,
+                              double& out) const {
+  if (plan_->sum() && query->text == plan_->sum()->functor) {
+    return eval_sum(chosen, out);
+  }
+  return eval_path(chosen, out);
+}
+
+bool SegmentState::eval_sum(const std::vector<std::size_t>& chosen,
+                            double& out) const {
+  // The interpreter enumerates cost/3 solutions as price x exetime x configs
+  // in clause order, with the world's sampled facts appended after the
+  // static ones; the += order below reproduces that enumeration, so the
+  // accumulated double is bit-identical.
+  const auto& groups = plan_->groups();
+  const bool layered = plan_->group_functor() == plan_->sum()->exe_f;
+  double acc = 0;
+  auto add_exe = [&](const PriceFact& p, const SegmentAlt& e) {
+    if (e.vid != p.vid) return;
+    for (const CfgFact& c : cfgs_) {
+      if (c.task != e.task || c.vid != e.vid) continue;
+      if (!numeric(p.up) || !numeric(e.value) || !numeric(c.con)) continue;
+      // Matches the clause's right-associated `T*(Up*Con)` exactly.
+      acc += e.value->number() * (p.up->number() * c.con->number());
+    }
+  };
+  for (const PriceFact& p : prices_) {
+    for (const SegmentAlt& e : exe_static_) add_exe(p, e);
+    if (layered) {
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        if (!groups[g].empty()) add_exe(p, groups[g][chosen[g]]);
+      }
+    }
+  }
+  out = acc;
+  return true;  // findall + sum always succeed (empty bag sums to 0)
+}
+
+bool SegmentState::eval_path(const std::vector<std::size_t>& chosen,
+                             double& out) const {
+  if (!source_id_) return false;
+  const std::string& target = plan_->path()->target;
+  const auto& groups = plan_->groups();
+
+  auto world_time = [&](std::size_t x) -> std::optional<double> {
+    const std::optional<TimeSrc>& src = times_[x];
+    if (!src) return std::nullopt;
+    if (!src->from_group) return src->value;
+    const SegmentAlt& alt = groups[src->group][chosen[src->group]];
+    if (!numeric(alt.value)) return std::nullopt;
+    return alt.value->number();
+  };
+
+  // Longest source->target distance.  IEEE addition is monotone, so taking
+  // the max over children before adding this node's time yields exactly the
+  // per-path right-associated sums the interpreter computes.
+  std::vector<std::optional<double>> dp(nodes_.size());
+  std::vector<char> state(nodes_.size(), 0);  // 0 new, 1 expanded, 2 done
+  std::vector<std::size_t> stack{*source_id_};
+  while (!stack.empty()) {
+    const std::size_t x = stack.back();
+    if (state[x] == 0) {
+      state[x] = 1;
+      for (const std::size_t c : children_[x]) {
+        if (nodes_[c] != target && state[c] == 0) stack.push_back(c);
+      }
+      continue;
+    }
+    stack.pop_back();
+    if (state[x] == 2) continue;
+    state[x] = 2;
+    const std::optional<double> t = world_time(x);
+    if (!t) continue;  // dp[x] stays undefined
+    bool has = false;
+    double best = 0;
+    for (const std::size_t c : children_[x]) {
+      double cand = 0;
+      if (nodes_[c] == target) {
+        cand = 0;  // direct edge: the base clause contributes time(x)
+      } else if (dp[c]) {
+        cand = *dp[c];
+      } else {
+        continue;
+      }
+      if (!has || cand > best) {
+        has = true;
+        best = cand;
+      }
+    }
+    if (has) dp[x] = *t + best;
+  }
+  if (!dp[*source_id_]) return false;
+  out = *dp[*source_id_];
+  return true;
+}
+
+std::vector<double> SegmentState::sample_values(
+    const wlog::TermPtr& query, const wlog::TermPtr& variable, util::Rng& rng,
+    const wlog::McOptions& options) const {
+  const auto& groups = plan_->groups();
+  std::vector<std::size_t> chosen(groups.size(), 0);
+  std::vector<double> values;
+  values.reserve(options.max_iterations);
+  for (std::size_t i = 0; i < options.max_iterations; ++i) {
+    if (options.budget != nullptr) options.budget->checkpoint();
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (groups[g].empty()) continue;
+      chosen[g] = wlog::pick_alternative(plan_->prob_group(g), rng.uniform());
+    }
+    double value = 0;
+    if (eval_world(query, chosen, value)) {
+      values.push_back(variable != nullptr ? value : 0);
+    }
+  }
+  DECO_OBS_COUNTER_ADD("wlog.vm.segment_worlds", options.max_iterations);
+  return values;
+}
+
+wlog::McResult SegmentState::eval_goal(const wlog::TermPtr& query,
+                                       const wlog::TermPtr& variable,
+                                       util::Rng& rng,
+                                       const wlog::McOptions& options) const {
+  const auto& groups = plan_->groups();
+  std::vector<std::size_t> chosen(groups.size(), 0);
+  wlog::McResult result;
+  result.iterations = options.max_iterations;
+  double sum = 0;
+  std::size_t proven = 0;
+  for (std::size_t i = 0; i < options.max_iterations; ++i) {
+    if (options.budget != nullptr) options.budget->checkpoint();
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (groups[g].empty()) continue;
+      chosen[g] = wlog::pick_alternative(plan_->prob_group(g), rng.uniform());
+    }
+    double value = 0;
+    if (eval_world(query, chosen, value)) {
+      ++proven;
+      sum += variable != nullptr ? value : 0;
+    }
+  }
+  result.probability =
+      static_cast<double>(proven) /
+      static_cast<double>(std::max<std::size_t>(1, options.max_iterations));
+  result.value = proven > 0 ? sum / static_cast<double>(proven) : 0;
+  DECO_OBS_COUNTER_ADD("wlog.vm.segment_worlds", options.max_iterations);
+  return result;
+}
+
+}  // namespace deco::core

@@ -54,14 +54,21 @@ commands:
       "exhausted" fails every provisioning call (exits with code 4).
 
   solve      --dax wf.dax --program prog.wlog [--store store.txt]
+             [--wlog-exec vm|interp] [--wlog-segments on|off]
       Solve a WLog program against the workflow (declarative path).
+      --wlog-exec picks the engine (default vm: compiled bytecode;
+      interp: the tree-walking oracle); --wlog-segments off disables the
+      direct IR-to-segment translation of totalcost/maxtime shapes.
 
   info       --dax wf.dax
       Summarize a workflow: structure, task mix, data volumes.
 
   stats      --dax wf.dax --deadline 3600 [plan options]
+             [--program file.wlog [solve options]]
       Plan with observability enabled and print the metrics summary
       table (solver effort, evaluator cache hits, staging/kernel times).
+      With --program, runs the declarative solve instead and the summary
+      includes the wlog.vm.* engine counters.
 
   help
       Show this text.
@@ -383,6 +390,8 @@ int cmd_solve(const CliArgs& args, std::ostream& out) {
     tracker.emplace(*budget_spec);
     engine_options.budget = &*tracker;
   }
+  engine_options.wlog_exec = args.get_or("wlog-exec", "vm");
+  engine_options.wlog_segments = args.get_or("wlog-segments", "on") != "off";
   core::Deco engine(cloud.catalog, cloud.store, engine_options);
   const auto result = engine.solve_program(buffer.str(), *wf);
   if (!result.ok) {
@@ -414,8 +423,10 @@ int cmd_info(const CliArgs& args, std::ostream& out) {
 
 int cmd_stats(const CliArgs& args, std::ostream& out) {
   // Observability was enabled by run_cli (the command name opts in); run
-  // the plan pipeline, then render what the instrumentation saw.
-  const int code = cmd_plan(args, out, /*execute=*/false);
+  // the plan pipeline — or the declarative solve when a WLog program is
+  // given — then render what the instrumentation saw.
+  const int code = args.get("program") ? cmd_solve(args, out)
+                                       : cmd_plan(args, out, /*execute=*/false);
   // A budget-exhausted plan still has metrics worth printing (the budget.*
   // counters especially); any other failure aborts before the tables.
   if (code != 0 && code != kExitBudgetExhaustedPlan) return code;
@@ -464,6 +475,19 @@ int cmd_stats(const CliArgs& args, std::ostream& out) {
         << counter("eval.screen.escalated") << " escalated; qmc early stops "
         << counter("eval.qmc.early_stops") << ", iterations saved "
         << counter("eval.qmc.iterations_saved") << "\n";
+  }
+  // At-a-glance WLog VM summary when a declarative solve ran (the wlog.vm.*
+  // counters also appear in the counters table above).
+  const std::uint64_t vm_instructions = counter("wlog.vm.instructions");
+  if (vm_instructions != 0) {
+    const std::uint64_t hits = counter("wlog.vm.index.hits");
+    const std::uint64_t misses = counter("wlog.vm.index.misses");
+    out << "wlog vm: " << vm_instructions << " instructions, "
+        << counter("wlog.vm.calls") << " calls, index hits " << hits << "/"
+        << (hits + misses) << ", " << counter("wlog.vm.compiled_clauses")
+        << " clauses compiled, " << counter("wlog.vm.segment_translations")
+        << " segment translations, " << counter("wlog.vm.segment_worlds")
+        << " segment worlds\n";
   }
   return code;
 }

@@ -1,0 +1,235 @@
+#include "wlog/compile.hpp"
+
+#include <unordered_map>
+#include <utility>
+
+namespace deco::wlog {
+
+namespace {
+
+Op classify(const std::string& f, std::size_t n) {
+  switch (n) {
+    case 0:
+      if (f == "true") return Op::kTrue;
+      if (f == "fail" || f == "false") return Op::kFail;
+      if (f == "!") return Op::kCut;
+      if (f == "nl") return Op::kNoop;
+      break;
+    case 1:
+      if (f == "\\+" || f == "not") return Op::kNeg;
+      if (f == "var") return Op::kVarTest;
+      if (f == "nonvar") return Op::kNonvarTest;
+      if (f == "atom") return Op::kAtomTest;
+      if (f == "number") return Op::kNumberTest;
+      if (f == "integer") return Op::kIntegerTest;
+      if (f == "float") return Op::kFloatTest;
+      if (f == "is_list") return Op::kIsListTest;
+      if (f == "write") return Op::kNoop;
+      break;
+    case 2:
+      if (f == ",") return Op::kConj;
+      if (f == ";") return Op::kDisj;
+      if (f == "->") return Op::kIfThen;
+      if (f == "forall") return Op::kForall;
+      if (f == "=") return Op::kUnify;
+      if (f == "\\=") return Op::kNotUnify;
+      if (f == "==") return Op::kStructEq;
+      if (f == "\\==") return Op::kStructNeq;
+      if (f == "is") return Op::kIs;
+      if (f == "<") return Op::kLt;
+      if (f == ">") return Op::kGt;
+      if (f == "=<") return Op::kLe;
+      if (f == ">=") return Op::kGe;
+      if (f == "=:=") return Op::kNumEq;
+      if (f == "=\\=") return Op::kNumNe;
+      if (f == "member") return Op::kMember;
+      if (f == "length") return Op::kLength;
+      if (f == "sum") return Op::kSumAgg;
+      if (f == "max") return Op::kMaxAgg;
+      if (f == "min") return Op::kMinAgg;
+      if (f == "msort") return Op::kMsort;
+      if (f == "sort") return Op::kSort;
+      if (f == "reverse") return Op::kReverse;
+      if (f == "last") return Op::kLast;
+      if (f == "sum_list") return Op::kSumList;
+      if (f == "max_list") return Op::kMaxList;
+      if (f == "min_list") return Op::kMinList;
+      if (f == "succ") return Op::kSucc;
+      if (f == "atom_length") return Op::kAtomLength;
+      if (f == "copy_term") return Op::kCopyTerm;
+      break;
+    case 3:
+      if (f == "findall") return Op::kFindall;
+      if (f == "setof") return Op::kSetof;
+      if (f == "bagof") return Op::kBagof;
+      if (f == "aggregate_all") return Op::kAggregateAll;
+      if (f == "append") return Op::kAppend;
+      if (f == "nth0") return Op::kNth0;
+      if (f == "numlist") return Op::kNumlist;
+      if (f == "atom_concat") return Op::kAtomConcat;
+      if (f == "between") return Op::kBetween;
+      break;
+    default:
+      break;
+  }
+  return Op::kUser;
+}
+
+/// Rewrites variable ids to dense slots in first-occurrence order; records
+/// whether the subtree contains any variable.
+TermPtr renumber(const TermPtr& term,
+                 std::unordered_map<std::int64_t, std::int64_t>& slots,
+                 bool& has_var) {
+  switch (term->kind) {
+    case TermKind::kVar: {
+      has_var = true;
+      const auto [it, inserted] = slots.try_emplace(
+          term->ival, static_cast<std::int64_t>(slots.size()));
+      return make_var(it->second, term->text);
+    }
+    case TermKind::kCompound: {
+      std::vector<TermPtr> args;
+      args.reserve(term->args.size());
+      bool changed = false;
+      for (const TermPtr& a : term->args) {
+        args.push_back(renumber(a, slots, has_var));
+        changed = changed || args.back() != a;
+      }
+      if (!changed) return term;
+      return make_compound(term->text, std::move(args));
+    }
+    default:
+      return term;
+  }
+}
+
+}  // namespace
+
+Op classify_goal(const Term& goal) {
+  if (goal.kind == TermKind::kVar) return Op::kDynamic;
+  if (!goal.is_callable()) return Op::kUser;  // fails at dispatch
+  return classify(goal.text, goal.arity());
+}
+
+CompiledClause compile_clause(const Clause& clause) {
+  CompiledClause out;
+  std::unordered_map<std::int64_t, std::int64_t> slots;
+  const std::size_t arity = clause.head->arity();
+  out.head_args.reserve(arity);
+  for (std::size_t i = 0; i < arity; ++i) {
+    const TermPtr& arg = clause.head->args[i];
+    HeadArg ha;
+    if (arg->kind == TermKind::kVar && slots.count(arg->ival) == 0) {
+      ha.mode = HeadArgMode::kFirstVar;
+      bool has_var = false;
+      ha.tmpl = renumber(arg, slots, has_var);
+      ha.slot = ha.tmpl->ival;
+    } else if (arg->kind == TermKind::kAtom || arg->kind == TermKind::kInt ||
+               arg->kind == TermKind::kFloat) {
+      ha.mode = HeadArgMode::kConst;
+      ha.tmpl = arg;
+    } else {
+      ha.mode = HeadArgMode::kMatch;
+      bool has_var = false;
+      ha.tmpl = renumber(arg, slots, has_var);
+    }
+    out.head_args.push_back(std::move(ha));
+  }
+  out.body.reserve(clause.body.size());
+  for (const TermPtr& goal : clause.body) {
+    CompiledGoal cg;
+    bool has_var = false;
+    cg.tmpl = renumber(goal, slots, has_var);
+    cg.ground = !has_var;
+    cg.op = classify_goal(*cg.tmpl);
+    out.body.push_back(std::move(cg));
+  }
+  out.nvars = static_cast<std::uint32_t>(slots.size());
+  return out;
+}
+
+TermPtr instantiate_template(const TermPtr& tmpl, std::int64_t base) {
+  switch (tmpl->kind) {
+    case TermKind::kVar:
+      return make_var(tmpl->ival + base, tmpl->text);
+    case TermKind::kCompound: {
+      std::vector<TermPtr> args;
+      args.reserve(tmpl->args.size());
+      bool changed = false;
+      for (const TermPtr& a : tmpl->args) {
+        args.push_back(instantiate_template(a, base));
+        changed = changed || args.back() != a;
+      }
+      if (!changed) return tmpl;  // ground subtree: share, don't copy
+      return make_compound(tmpl->text, std::move(args));
+    }
+    default:
+      return tmpl;
+  }
+}
+
+bool unify_template(const TermPtr& tmpl, std::int64_t base,
+                    const TermPtr& other, Bindings& bindings) {
+  switch (tmpl->kind) {
+    case TermKind::kVar: {
+      const std::int64_t id = tmpl->ival + base;
+      if (const TermPtr* bound = bindings.lookup(id)) {
+        // Caller side first: matches the interpreter's unify(goal, head)
+        // argument order, so var-var chains bind in the same direction.
+        return unify(other, *bound, bindings);
+      }
+      const TermPtr o = bindings.resolve(other);
+      if (o->kind == TermKind::kVar) {
+        if (o->ival == id) return true;
+        bindings.bind(o->ival, make_var(id, tmpl->text));
+      } else {
+        bindings.bind(id, o);
+      }
+      return true;
+    }
+    case TermKind::kAtom: {
+      const TermPtr o = bindings.resolve(other);
+      if (o->kind == TermKind::kVar) {
+        bindings.bind(o->ival, tmpl);
+        return true;
+      }
+      return o->kind == TermKind::kAtom && o->text == tmpl->text;
+    }
+    case TermKind::kInt: {
+      const TermPtr o = bindings.resolve(other);
+      if (o->kind == TermKind::kVar) {
+        bindings.bind(o->ival, tmpl);
+        return true;
+      }
+      return o->kind == TermKind::kInt && o->ival == tmpl->ival;
+    }
+    case TermKind::kFloat: {
+      const TermPtr o = bindings.resolve(other);
+      if (o->kind == TermKind::kVar) {
+        bindings.bind(o->ival, tmpl);
+        return true;
+      }
+      return o->kind == TermKind::kFloat && o->fval == tmpl->fval;
+    }
+    case TermKind::kCompound: {
+      const TermPtr o = bindings.resolve(other);
+      if (o->kind == TermKind::kVar) {
+        bindings.bind(o->ival, instantiate_template(tmpl, base));
+        return true;
+      }
+      if (o->kind != TermKind::kCompound || o->text != tmpl->text ||
+          o->args.size() != tmpl->args.size()) {
+        return false;
+      }
+      for (std::size_t i = 0; i < tmpl->args.size(); ++i) {
+        if (!unify_template(tmpl->args[i], base, o->args[i], bindings)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace deco::wlog

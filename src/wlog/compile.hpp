@@ -1,0 +1,153 @@
+// Clause compilation for the WLog VM (vm.hpp).
+//
+// A clause is compiled once per database generation into a flat form the VM
+// can execute without the interpreter's per-trial term renaming:
+//
+//   - Variables are renumbered to dense slots 0..nvars-1 in first-occurrence
+//     order (head, then body).  A clause activation allocates one contiguous
+//     fresh-variable block from the Bindings store and maps slot s to
+//     variable base+s — no per-variable hash map, no shared_ptr churn for
+//     ground subterms.
+//   - Head unification is flattened into per-argument get instructions:
+//     constants compare inline (or bind an unbound caller argument), a
+//     first-occurrence variable binds its slot directly, and only structured
+//     or repeated-variable arguments fall back to template unification.
+//   - Body goals are pre-classified into typed opcodes (is/comparisons/
+//     findall/sum/max/... and control constructs) so the VM dispatches on an
+//     enum instead of hashing functor strings per step.
+//
+// Compiled predicates carry the Database's per-clause sequence stamps so a
+// cache can detect "prefix intact, clauses appended" (the solver's
+// assert/retract of configs/3 between evaluations) and recompile only the
+// suffix.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wlog/database.hpp"
+#include "wlog/term.hpp"
+
+namespace deco::wlog {
+
+/// Typed opcodes for goal dispatch.  kDynamic marks a goal whose root is a
+/// variable at compile time (metacall): the VM classifies it after resolving.
+enum class Op : std::uint8_t {
+  kDynamic,
+  kUser,  // user-defined predicate call
+  // Control.
+  kTrue,
+  kFail,
+  kConj,
+  kCut,
+  kDisj,    // ';'/2 (also carries if-then-else)
+  kIfThen,  // '->'/2 outside ';' == (Cond -> Then ; fail)
+  kForall,
+  kNeg,  // \+ / not
+  // Unification / comparison.
+  kUnify,
+  kNotUnify,
+  kStructEq,
+  kStructNeq,
+  kIs,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kNumEq,
+  kNumNe,
+  // Type tests.
+  kVarTest,
+  kNonvarTest,
+  kAtomTest,
+  kNumberTest,
+  kIntegerTest,
+  kFloatTest,
+  kIsListTest,
+  // All-solutions.
+  kFindall,
+  kSetof,
+  kBagof,
+  kAggregateAll,
+  // Lists & aggregates.
+  kMember,
+  kLength,
+  kAppend,
+  kNth0,
+  kSumAgg,
+  kMaxAgg,
+  kMinAgg,
+  kMsort,
+  kSort,
+  kReverse,
+  kLast,
+  kSumList,
+  kMaxList,
+  kMinList,
+  kNumlist,
+  kSucc,
+  kAtomConcat,
+  kAtomLength,
+  kCopyTerm,
+  kBetween,
+  kNoop,  // write/1, nl/0
+};
+
+/// Classifies a callable goal (functor + arity) into an opcode; kUser when it
+/// is not a recognized builtin, kDynamic for variable roots.
+Op classify_goal(const Term& goal);
+
+enum class HeadArgMode : std::uint8_t {
+  kConst,     ///< atom/int/float argument: inline compare or bind caller var
+  kFirstVar,  ///< first occurrence of a variable: bind the slot directly
+  kMatch,     ///< structured or repeated-variable argument: unify_template
+};
+
+struct HeadArg {
+  HeadArgMode mode = HeadArgMode::kMatch;
+  TermPtr tmpl;            ///< slot-renumbered head argument
+  std::int64_t slot = -1;  ///< kFirstVar only
+};
+
+struct CompiledGoal {
+  TermPtr tmpl;  ///< slot-renumbered body goal
+  Op op = Op::kDynamic;
+  bool ground = false;  ///< no variables: instantiation is the identity
+};
+
+struct CompiledClause {
+  std::uint32_t nvars = 0;
+  std::vector<HeadArg> head_args;
+  std::vector<CompiledGoal> body;
+};
+
+/// Compiled form of one predicate (parallel to Database::Pred::clauses), with
+/// the stamps needed to validate a cached copy against a mutated database.
+/// `seqs` mirrors the per-clause sequence stamps at compile time: clause
+/// slots only ever shift left (retract) or truncate/extend at the end
+/// (undo/assert), so the longest position-wise stamp match identifies the
+/// compiled prefix that is still valid — the Monte Carlo world loop, which
+/// appends and then undoes a layer of facts around every iteration, keeps
+/// the whole base program compiled this way.
+struct CompiledPred {
+  std::uint64_t version = 0;
+  std::vector<std::uint64_t> seqs;
+  /// Shared so the VM's fact memo can hand the same compiled object to
+  /// every Monte Carlo world that re-asserts the same fact term.
+  std::vector<std::shared_ptr<const CompiledClause>> clauses;
+};
+
+CompiledClause compile_clause(const Clause& clause);
+
+/// Materializes a slot-renumbered template over a fresh-variable block: slot
+/// s becomes variable base+s.  Ground subtrees are shared, not copied.
+TermPtr instantiate_template(const TermPtr& tmpl, std::int64_t base);
+
+/// Unifies a slot-renumbered template (over block `base`) against a term,
+/// trailing bindings exactly like unify().
+bool unify_template(const TermPtr& tmpl, std::int64_t base,
+                    const TermPtr& other, Bindings& bindings);
+
+}  // namespace deco::wlog

@@ -4,12 +4,62 @@ namespace deco::wlog {
 
 const std::vector<Clause> Database::kEmpty;
 
+std::string index_bucket_key(const Term& first_arg) {
+  switch (first_arg.kind) {
+    case TermKind::kVar:
+      return {};
+    case TermKind::kAtom:
+      return "a~" + first_arg.text;
+    case TermKind::kInt:
+      return "i~" + std::to_string(first_arg.ival);
+    case TermKind::kFloat:
+      // to_string is a coarse but stable encoding: equal doubles map to
+      // equal keys; near-equal doubles may share a bucket, which is safe
+      // (buckets are superset filters).
+      return "f~" + std::to_string(first_arg.fval);
+    case TermKind::kCompound:
+      return "s~" + first_arg.text + "/" +
+             std::to_string(first_arg.args.size());
+  }
+  return {};
+}
+
+const std::vector<std::uint32_t>* Database::Pred::candidates(
+    const std::string& key) const {
+  if (key.empty()) return nullptr;  // unbound first argument: scan all
+  const auto it = buckets.find(key);
+  // No clause has this constant as its first argument: only var-headed
+  // clauses can match.
+  return it == buckets.end() ? &var_clauses : &it->second;
+}
+
 void Database::add_program(const Program& program) {
   for (const Clause& clause : program.clauses) add_clause(clause);
 }
 
 void Database::add_clause(Clause clause) {
-  by_indicator_[indicator(*clause.head)].push_back(std::move(clause));
+  const std::string key = indicator(*clause.head);
+  Pred& entry = by_indicator_[key];
+  const auto idx = static_cast<std::uint32_t>(entry.clauses.size());
+  const std::string bucket =
+      clause.head->arity() == 0 ? std::string()
+                                : index_bucket_key(*clause.head->args[0]);
+  if (bucket.empty()) {
+    // Var-headed (or zero-arity): a candidate under every key.
+    entry.var_clauses.push_back(idx);
+    for (auto& [k, list] : entry.buckets) list.push_back(idx);
+  } else {
+    auto [it, inserted] = entry.buckets.try_emplace(bucket);
+    if (inserted) it->second = entry.var_clauses;  // inherit the catch-all
+    it->second.push_back(idx);
+  }
+  entry.clauses.push_back(std::move(clause));
+  entry.seqs.push_back(next_seq_++);
+  // Stamp from the global counter, not a per-entry one: an entry erased by
+  // undo_to/retract and later recreated must never repeat a version, or a
+  // compiled-clause cache keyed on it would validate stale code.
+  entry.version = ++version_;
+  add_log_.push_back(key);
 }
 
 void Database::add_fact(TermPtr fact) {
@@ -17,18 +67,61 @@ void Database::add_fact(TermPtr fact) {
 }
 
 void Database::retract_all(const std::string& functor, std::size_t arity) {
-  by_indicator_.erase(functor + "/" + std::to_string(arity));
+  const std::string key = functor + "/" + std::to_string(arity);
+  if (by_indicator_.erase(key) > 0) ++version_;
+}
+
+void Database::undo_to(std::size_t mark) {
+  while (add_log_.size() > mark) {
+    const std::string& key = add_log_.back();
+    const auto it = by_indicator_.find(key);
+    if (it != by_indicator_.end() && !it->second.clauses.empty()) {
+      Pred& entry = it->second;
+      const auto idx =
+          static_cast<std::uint32_t>(entry.clauses.size() - 1);
+      const Clause& clause = entry.clauses.back();
+      const std::string bucket =
+          clause.head->arity() == 0
+              ? std::string()
+              : index_bucket_key(*clause.head->args[0]);
+      if (bucket.empty()) {
+        if (!entry.var_clauses.empty() && entry.var_clauses.back() == idx) {
+          entry.var_clauses.pop_back();
+        }
+        for (auto& [k, list] : entry.buckets) {
+          if (!list.empty() && list.back() == idx) list.pop_back();
+        }
+      } else {
+        const auto bit = entry.buckets.find(bucket);
+        if (bit != entry.buckets.end() && !bit->second.empty() &&
+            bit->second.back() == idx) {
+          bit->second.pop_back();
+        }
+      }
+      entry.clauses.pop_back();
+      entry.seqs.pop_back();
+      entry.version = ++version_;
+      if (entry.clauses.empty()) by_indicator_.erase(it);
+    }
+    add_log_.pop_back();
+  }
 }
 
 const std::vector<Clause>& Database::clauses_for(const std::string& functor,
                                                  std::size_t arity) const {
   const auto it = by_indicator_.find(functor + "/" + std::to_string(arity));
-  return it == by_indicator_.end() ? kEmpty : it->second;
+  return it == by_indicator_.end() ? kEmpty : it->second.clauses;
+}
+
+const Database::Pred* Database::pred(const std::string& functor,
+                                     std::size_t arity) const {
+  const auto it = by_indicator_.find(functor + "/" + std::to_string(arity));
+  return it == by_indicator_.end() ? nullptr : &it->second;
 }
 
 std::size_t Database::clause_count() const {
   std::size_t n = 0;
-  for (const auto& [key, clauses] : by_indicator_) n += clauses.size();
+  for (const auto& [key, entry] : by_indicator_) n += entry.clauses.size();
   return n;
 }
 

@@ -1,7 +1,17 @@
 // Clause database indexed by functor/arity, with assert/retract support so
 // the solver can bind a candidate plan (configs/3 facts) before evaluation.
+//
+// First-argument indexing: per predicate, clauses are additionally bucketed
+// by the principal functor/constant of the first head argument (clauses whose
+// first argument is a variable land in every bucket via a catch-all list).
+// A call with a bound first argument then scans only the candidate clauses —
+// a strict superset filter that preserves assertion order, so resolution
+// order is unchanged and only guaranteed-mismatching heads are skipped.
+// assert/retract keep the index coherent, which matters because the solver
+// rebinds configs/3 facts for every candidate plan.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -10,9 +20,36 @@
 
 namespace deco::wlog {
 
+/// Bucket key of a (resolved) first argument: empty for variables (meaning
+/// "cannot discriminate"), otherwise a string encoding of the principal
+/// functor/constant.  Equal terms always map to equal keys; distinct terms
+/// may collide (the bucket is a superset filter, unification decides).
+std::string index_bucket_key(const Term& first_arg);
+
 class Database {
  public:
   Database() = default;
+
+  /// One predicate's clauses plus its first-argument index.
+  struct Pred {
+    std::vector<Clause> clauses;  ///< assertion order
+    /// Monotonic per-clause stamps (database-global order); lets compiled
+    /// caches validate that a previously compiled prefix is still intact.
+    std::vector<std::uint64_t> seqs;
+    /// Constant-keyed candidate lists (clause indices, ascending), each
+    /// already merged with the var-headed clauses.
+    std::unordered_map<std::string, std::vector<std::uint32_t>> buckets;
+    /// Clauses whose first head argument is a variable (or arity is 0):
+    /// candidates for every constant key without a dedicated bucket.
+    std::vector<std::uint32_t> var_clauses;
+    /// Bumped on every mutation of this predicate.
+    std::uint64_t version = 0;
+
+    /// Candidate clause indices for a call whose resolved first argument has
+    /// bucket key `key`.  Returns nullptr for "scan all clauses" (variable
+    /// first argument).  The returned list preserves assertion order.
+    const std::vector<std::uint32_t>* candidates(const std::string& key) const;
+  };
 
   /// Appends all clauses of a parsed program.
   void add_program(const Program& program);
@@ -27,10 +64,26 @@ class Database {
   const std::vector<Clause>& clauses_for(const std::string& functor,
                                          std::size_t arity) const;
 
+  /// Predicate entry (clauses + index), or nullptr when unknown.
+  const Pred* pred(const std::string& functor, std::size_t arity) const;
+
+  /// Clause-layer mark/undo: callers may layer facts (e.g. one possible
+  /// world's sampled facts) on top of a mark and peel them off again without
+  /// copying the database.  Only additions since the mark are undone;
+  /// retract_all between mark and undo is unsupported.
+  std::size_t mark() const { return add_log_.size(); }
+  void undo_to(std::size_t mark);
+
+  /// Bumped on every mutation (any predicate).
+  std::uint64_t version() const { return version_; }
+
   std::size_t clause_count() const;
 
  private:
-  std::unordered_map<std::string, std::vector<Clause>> by_indicator_;
+  std::unordered_map<std::string, Pred> by_indicator_;
+  std::vector<std::string> add_log_;  ///< indicator per add, for undo_to
+  std::uint64_t version_ = 0;
+  std::uint64_t next_seq_ = 0;
   static const std::vector<Clause> kEmpty;
 };
 

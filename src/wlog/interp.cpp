@@ -678,8 +678,22 @@ Interpreter::Outcome Interpreter::solve_user(
     const TermPtr& goal, const std::vector<TermPtr>& rest,
     std::size_t rest_index, Bindings& bindings, Frame& frame,
     const std::function<bool(Bindings&)>& on_solution, std::size_t depth) {
-  const auto& clauses = db_->clauses_for(goal->text, goal->arity());
-  for (const Clause& clause : clauses) {
+  const Database::Pred* pred = db_->pred(goal->text, goal->arity());
+  if (pred == nullptr) return Outcome::kContinue;
+  const std::vector<Clause>& clauses = pred->clauses;
+  // First-argument indexing: when the call's first argument is bound to a
+  // constant, scan only the candidate bucket (a superset filter preserving
+  // assertion order — skipped clauses could never unify).
+  const std::vector<std::uint32_t>* candidates = nullptr;
+  if (goal->arity() > 0) {
+    candidates =
+        pred->candidates(index_bucket_key(*bindings.resolve(goal->args[0])));
+  }
+  const std::size_t total =
+      candidates != nullptr ? candidates->size() : clauses.size();
+  for (std::size_t ci = 0; ci < total; ++ci) {
+    const Clause& clause =
+        clauses[candidates != nullptr ? (*candidates)[ci] : ci];
     const std::size_t mark = bindings.mark();
     std::unordered_map<std::int64_t, TermPtr> mapping;
     const TermPtr head = rename(clause.head, bindings, mapping);

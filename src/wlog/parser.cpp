@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <map>
 
 #include "obs/obs.hpp"
@@ -37,7 +38,15 @@ class Parser {
       result.error = ParseError{error_line_, error_};
       return result;
     }
-    for (const auto& [name, id] : var_ids_) result.variables.emplace_back(name, id);
+    // First-occurrence order, not map (alphabetical) order: ids are handed
+    // out sequentially at first sight, so sorting by id restores the order
+    // the variables appear in the query text.  Solution::bindings inherits
+    // this order in both engines.
+    for (const auto& [name, id] : var_ids_) {
+      result.variables.emplace_back(name, id);
+    }
+    std::sort(result.variables.begin(), result.variables.end(),
+              [](const auto& a, const auto& b) { return a.second < b.second; });
     return result;
   }
 

@@ -24,6 +24,7 @@
 #include "wlog/database.hpp"
 #include "wlog/interp.hpp"
 #include "wlog/program.hpp"
+#include "wlog/vm.hpp"
 
 namespace deco::wlog {
 
@@ -32,6 +33,12 @@ struct ProbGroup {
   std::vector<double> probs;   ///< bin masses, sum to 1
   std::vector<TermPtr> facts;  ///< same-shape facts, one per bin
 };
+
+/// Index of the alternative selected by uniform draw `u` (cumulative scan;
+/// the last alternative absorbs numeric slack).  Shared by every layer that
+/// samples a world — Database copies, VM fact layering, and the segment
+/// evaluator — so they consume the RNG identically.
+std::size_t pick_alternative(const ProbGroup& group, double u);
 
 class ProbProgram {
  public:
@@ -75,6 +82,11 @@ struct McOptions {
   /// interpreter checks it periodically and a fired budget aborts the MC
   /// loop by throwing util::BudgetExhaustedError.
   util::BudgetTracker* budget = nullptr;
+  /// Engine for per-world proofs.  kVm keeps one database copy and one
+  /// bytecode VM alive across the whole loop (compiled clauses are reused
+  /// between iterations); kInterp copies the database per world and runs
+  /// the tree-walking interpreter — the differential oracle.
+  ExecMode exec = ExecMode::kVm;
 };
 
 /// Algorithm 1 for a goal query: per world, proves `query` and reads the

@@ -73,11 +73,25 @@ class Bindings {
   bool bound(std::int64_t var) const { return map_.count(var) > 0; }
   void bind(std::int64_t var, TermPtr value);
 
+  /// Bound value of a variable id, or nullptr when unbound.  Allocation-free
+  /// slot probe for compiled clauses (resolve() needs a var *term*).
+  const TermPtr* lookup(std::int64_t var) const {
+    const auto it = map_.find(var);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
   /// Trail mark / undo for backtracking.
   std::size_t mark() const { return trail_.size(); }
   void undo_to(std::size_t mark);
 
   std::int64_t fresh_var() { return next_var_++; }
+  /// Reserves a contiguous block of `n` fresh ids; returns the first.  The
+  /// VM allocates one block per clause activation (slot s -> base + s).
+  std::int64_t fresh_block(std::int64_t n) {
+    const std::int64_t base = next_var_;
+    next_var_ += n;
+    return base;
+  }
   /// Reserves ids below `floor` (used after parsing assigns clause-local ids).
   void reserve_ids(std::int64_t floor) {
     if (next_var_ < floor) next_var_ = floor;

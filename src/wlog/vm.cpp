@@ -1,0 +1,1101 @@
+#include "wlog/vm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "util/budget.hpp"
+#include "wlog/program.hpp"
+
+namespace deco::wlog {
+
+bool eval_arith_term(const TermPtr& expr, const Bindings& bindings,
+                     double& out) {
+  const TermPtr t = bindings.resolve(expr);
+  switch (t->kind) {
+    case TermKind::kInt:
+    case TermKind::kFloat:
+      out = t->number();
+      return true;
+    case TermKind::kCompound: {
+      auto unary = [&](double& v) {
+        return t->args.size() == 1 && eval_arith_term(t->args[0], bindings, v);
+      };
+      auto binary = [&](double& a, double& b) {
+        return t->args.size() == 2 &&
+               eval_arith_term(t->args[0], bindings, a) &&
+               eval_arith_term(t->args[1], bindings, b);
+      };
+      double a = 0;
+      double b = 0;
+      if (t->text == "+" && binary(a, b)) { out = a + b; return true; }
+      if (t->text == "-" && binary(a, b)) { out = a - b; return true; }
+      if (t->text == "-" && unary(a)) { out = -a; return true; }
+      if (t->text == "*" && binary(a, b)) { out = a * b; return true; }
+      if (t->text == "/" && binary(a, b)) {
+        if (b == 0) return false;
+        out = a / b;
+        return true;
+      }
+      if (t->text == "mod" && binary(a, b)) {
+        if (b == 0) return false;
+        out = a - b * std::floor(a / b);
+        return true;
+      }
+      if (t->text == "min" && binary(a, b)) { out = std::min(a, b); return true; }
+      if (t->text == "max" && binary(a, b)) { out = std::max(a, b); return true; }
+      if (t->text == "abs" && unary(a)) { out = std::abs(a); return true; }
+      if (t->text == "sqrt" && unary(a)) {
+        if (a < 0) return false;
+        out = std::sqrt(a);
+        return true;
+      }
+      if (t->text == "floor" && unary(a)) { out = std::floor(a); return true; }
+      if (t->text == "ceiling" && unary(a)) { out = std::ceil(a); return true; }
+      if (t->text == "log" && unary(a)) {
+        if (a <= 0) return false;
+        out = std::log(a);
+        return true;
+      }
+      if (t->text == "exp" && unary(a)) { out = std::exp(a); return true; }
+      if (t->text == "pow" && binary(a, b)) { out = std::pow(a, b); return true; }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+std::optional<ExecMode> parse_exec_mode(std::string_view name) {
+  if (name == "interp") return ExecMode::kInterp;
+  if (name == "vm") return ExecMode::kVm;
+  return std::nullopt;
+}
+
+const char* exec_mode_name(ExecMode mode) {
+  return mode == ExecMode::kInterp ? "interp" : "vm";
+}
+
+namespace {
+
+struct GoalNode;
+using GoalPtr = std::shared_ptr<const GoalNode>;
+
+/// One pending goal in the continuation cons-list.  `barrier` is the
+/// choice-point stack height a cut in this goal's frame truncates to; for
+/// kCommit it is the truncation target of the if-then-else commit, and for
+/// kEmit the absolute index of the owning collector choice point (stable
+/// while the collector is alive — nothing below it can pop).
+struct GoalNode {
+  enum class Kind : std::uint8_t { kGoal, kCommit, kEmit };
+  Kind kind = Kind::kGoal;
+  TermPtr goal;
+  Op op = Op::kDynamic;
+  std::size_t barrier = 0;
+  GoalPtr next;
+};
+
+GoalPtr make_goal(TermPtr goal, std::size_t barrier, GoalPtr next) {
+  auto n = std::make_shared<GoalNode>();
+  n->op = classify_goal(*goal);
+  n->goal = std::move(goal);
+  n->barrier = barrier;
+  n->next = std::move(next);
+  return n;
+}
+
+GoalPtr make_goal_op(TermPtr goal, Op op, std::size_t barrier, GoalPtr next) {
+  auto n = std::make_shared<GoalNode>();
+  n->goal = std::move(goal);
+  n->op = op;
+  n->barrier = barrier;
+  n->next = std::move(next);
+  return n;
+}
+
+GoalPtr make_marker(GoalNode::Kind kind, TermPtr goal, std::size_t target,
+                    GoalPtr next) {
+  auto n = std::make_shared<GoalNode>();
+  n->kind = kind;
+  n->goal = std::move(goal);
+  n->barrier = target;
+  n->next = std::move(next);
+  return n;
+}
+
+struct ChoicePoint {
+  enum class Kind : std::uint8_t { kClauses, kAlts, kRange, kDisj, kIte, kCollect };
+
+  struct Alt {
+    TermPtr a1, b1;  ///< first unification pair
+    TermPtr a2, b2;  ///< optional second pair (null when unused)
+  };
+
+  Kind kind;
+  std::size_t trail_mark = 0;
+  GoalPtr cont;  ///< continuation after the choice-creating goal
+
+  // kClauses
+  TermPtr goal;  ///< resolved call term
+  const CompiledPred* compiled = nullptr;
+  const Database::Pred* pred = nullptr;
+  const std::vector<std::uint32_t>* candidates = nullptr;  ///< null: scan all
+  std::size_t next = 0;  ///< next candidate / alternative position
+
+  // kAlts
+  std::vector<Alt> alts;
+
+  // kRange (between/3)
+  TermPtr range_var;
+  std::int64_t range_next = 0;
+  std::int64_t range_hi = -1;
+
+  // kDisj / kIte: right branch / else goal
+  TermPtr alt_goal;
+
+  // kCollect (findall / setof / bagof / aggregate_all)
+  Op collect = Op::kFindall;
+  TermPtr tmpl;      ///< collect template (aggregate witness)
+  TermPtr out;       ///< output argument
+  TermPtr agg_spec;  ///< resolved aggregate_all spec
+  std::vector<TermPtr> collected;
+};
+
+/// The machine for one solve() call.  All state is explicit; no recursion
+/// follows the WLog program's structure (term-depth helpers like unify and
+/// deep_resolve remain recursive over terms, which the parser bounds).
+class Engine {
+ public:
+  Engine(const Database& db, Vm::CompiledCache& cache,
+         Vm::FactCache& fact_cache, Bindings& bindings,
+         const std::function<bool(Bindings&)>& on_solution,
+         std::size_t step_limit, util::BudgetTracker* budget, VmStats& stats)
+      : db_(db),
+        cache_(cache),
+        fact_cache_(fact_cache),
+        b_(bindings),
+        on_solution_(on_solution),
+        step_limit_(step_limit),
+        budget_(budget),
+        stats_(stats) {}
+
+  bool run(const TermPtr& goal);
+
+ private:
+  void step();
+  void retry();
+  void retry_clauses();
+  void retry_alts();
+  void retry_range();
+  void retry_collect();
+  const CompiledPred* ensure_compiled(const Database::Pred& pred);
+  void call_user(const TermPtr& g, const GoalNode& node);
+  void note_trail() {
+    stats_.trail_high_water =
+        std::max<std::uint64_t>(stats_.trail_high_water, b_.mark());
+  }
+  void fail() { backtracking_ = true; }
+  void det_unify(const TermPtr& a, TermPtr value, GoalPtr next) {
+    const std::size_t mark = b_.mark();
+    if (unify(a, value, b_)) {
+      cur_ = std::move(next);
+    } else {
+      b_.undo_to(mark);
+      fail();
+    }
+  }
+
+  const Database& db_;
+  Vm::CompiledCache& cache_;
+  Vm::FactCache& fact_cache_;
+  Bindings& b_;
+  const std::function<bool(Bindings&)>& on_solution_;
+  const std::size_t step_limit_;
+  util::BudgetTracker* budget_;
+  VmStats& stats_;
+
+  std::vector<ChoicePoint> cps_;
+  GoalPtr cur_;
+  bool backtracking_ = false;
+  bool found_ = false;
+  std::size_t steps_ = 0;
+};
+
+bool Engine::run(const TermPtr& goal) {
+  const std::size_t trail_base = b_.mark();
+  cur_ = make_goal(goal, 0, nullptr);
+  bool stopped = false;      // callback asked to stop: keep bindings wound
+  bool step_limited = false;  // silent stop, bindings left as-is (like interp)
+  for (;;) {
+    if (++steps_ > step_limit_) {
+      step_limited = true;
+      break;
+    }
+    if (budget_ != nullptr && (steps_ & 511) == 0) budget_->checkpoint();
+    if (!backtracking_) {
+      if (!cur_) {
+        found_ = true;
+        note_trail();
+        if (on_solution_(b_)) {
+          stopped = true;
+          break;
+        }
+        backtracking_ = true;
+        continue;
+      }
+      step();
+    } else {
+      if (cps_.empty()) break;
+      retry();
+    }
+  }
+  stats_.instructions += steps_;
+  if (!stopped && !step_limited) b_.undo_to(trail_base);
+  return found_;
+}
+
+void Engine::step() {
+  const GoalPtr node_ptr = cur_;
+  const GoalNode& node = *node_ptr;
+  if (node.kind == GoalNode::Kind::kCommit) {
+    if (cps_.size() > node.barrier) cps_.resize(node.barrier);
+    cur_ = node.next;
+    return;
+  }
+  if (node.kind == GoalNode::Kind::kEmit) {
+    cps_[node.barrier].collected.push_back(b_.deep_resolve(node.goal));
+    fail();  // enumerate the next sub-solution
+    return;
+  }
+  const TermPtr g = b_.resolve(node.goal);
+  Op op = node.op;
+  if (op == Op::kDynamic) {
+    if (!g->is_callable()) {
+      fail();  // cannot call numbers / unbound variables
+      return;
+    }
+    op = classify_goal(*g);
+  }
+  switch (op) {
+    case Op::kTrue:
+    case Op::kNoop:
+      cur_ = node.next;
+      return;
+    case Op::kFail:
+      fail();
+      return;
+    case Op::kConj:
+      cur_ = make_goal(g->args[0], node.barrier,
+                       make_goal(g->args[1], node.barrier, node.next));
+      return;
+    case Op::kCut:
+      if (cps_.size() > node.barrier) cps_.resize(node.barrier);
+      cur_ = node.next;
+      return;
+    case Op::kDisj: {
+      const TermPtr left = b_.resolve(g->args[0]);
+      if (left->kind == TermKind::kCompound && left->text == "->" &&
+          left->args.size() == 2) {
+        // If-then-else: push the else branch, run Cond with a commit marker
+        // in front of Then.  Cond's barrier keeps the ITE choice point (a
+        // cut inside Cond must not discard the else branch); the commit
+        // removes it plus every Cond choice point.
+        const std::size_t ite = cps_.size();
+        ChoicePoint cp;
+        cp.kind = ChoicePoint::Kind::kIte;
+        cp.trail_mark = b_.mark();
+        cp.cont = node.next;
+        cp.alt_goal = g->args[1];
+        cps_.push_back(std::move(cp));
+        note_trail();
+        GoalPtr then_node = make_goal(left->args[1], ite, node.next);
+        GoalPtr commit = make_marker(GoalNode::Kind::kCommit, nullptr, ite,
+                                     std::move(then_node));
+        cur_ = make_goal(left->args[0], ite + 1, std::move(commit));
+        return;
+      }
+      // Plain disjunction: cut inside a branch is local to the disjunction
+      // (barrier == the disjunction's own choice point), mirroring the
+      // interpreter's branch-frame cut.
+      const std::size_t disj = cps_.size();
+      ChoicePoint cp;
+      cp.kind = ChoicePoint::Kind::kDisj;
+      cp.trail_mark = b_.mark();
+      cp.cont = node.next;
+      cp.alt_goal = g->args[1];
+      cps_.push_back(std::move(cp));
+      note_trail();
+      cur_ = make_goal(g->args[0], disj, node.next);
+      return;
+    }
+    case Op::kIfThen:
+      // Bare if-then == (Cond -> Then ; fail).
+      cur_ = make_goal_op(make_compound(";", {g, make_atom("fail")}),
+                          Op::kDisj, node.barrier, node.next);
+      return;
+    case Op::kNeg:
+      // \+ G == (G -> fail ; true).
+      cur_ = make_goal_op(
+          make_compound(
+              ";", {make_compound("->", {g->args[0], make_atom("fail")}),
+                    make_atom("true")}),
+          Op::kDisj, node.barrier, node.next);
+      return;
+    case Op::kForall:
+      // forall(Cond, Action) == \+ (Cond, \+ Action).
+      cur_ = make_goal_op(
+          make_compound(
+              "\\+", {make_compound(",", {g->args[0], make_compound(
+                                                          "\\+", {g->args[1]})})}),
+          Op::kNeg, node.barrier, node.next);
+      return;
+    case Op::kUnify:
+      det_unify(g->args[0], g->args[1], node.next);
+      return;
+    case Op::kNotUnify: {
+      const std::size_t mark = b_.mark();
+      const bool unifies = unify(g->args[0], g->args[1], b_);
+      b_.undo_to(mark);
+      if (unifies) {
+        fail();
+      } else {
+        cur_ = node.next;
+      }
+      return;
+    }
+    case Op::kStructEq:
+      if (term_equal(g->args[0], g->args[1], b_)) {
+        cur_ = node.next;
+      } else {
+        fail();
+      }
+      return;
+    case Op::kStructNeq:
+      if (!term_equal(g->args[0], g->args[1], b_)) {
+        cur_ = node.next;
+      } else {
+        fail();
+      }
+      return;
+    case Op::kIs: {
+      double value = 0;
+      if (!eval_arith_term(g->args[1], b_, value)) {
+        fail();
+        return;
+      }
+      det_unify(g->args[0], make_number(value), node.next);
+      return;
+    }
+    case Op::kLt:
+    case Op::kGt:
+    case Op::kLe:
+    case Op::kGe:
+    case Op::kNumEq:
+    case Op::kNumNe: {
+      double a = 0;
+      double bb = 0;
+      if (!eval_arith_term(g->args[0], b_, a) ||
+          !eval_arith_term(g->args[1], b_, bb)) {
+        fail();
+        return;
+      }
+      const bool ok = (op == Op::kLt && a < bb) || (op == Op::kGt && a > bb) ||
+                      (op == Op::kLe && a <= bb) ||
+                      (op == Op::kGe && a >= bb) ||
+                      (op == Op::kNumEq && a == bb) ||
+                      (op == Op::kNumNe && a != bb);
+      if (ok) {
+        cur_ = node.next;
+      } else {
+        fail();
+      }
+      return;
+    }
+    case Op::kVarTest:
+    case Op::kNonvarTest:
+    case Op::kAtomTest:
+    case Op::kNumberTest:
+    case Op::kIntegerTest:
+    case Op::kFloatTest:
+    case Op::kIsListTest: {
+      const TermPtr t = b_.resolve(g->args[0]);
+      bool ok = false;
+      if (op == Op::kVarTest) ok = t->kind == TermKind::kVar;
+      if (op == Op::kNonvarTest) ok = t->kind != TermKind::kVar;
+      if (op == Op::kAtomTest) ok = t->kind == TermKind::kAtom;
+      if (op == Op::kNumberTest)
+        ok = t->kind == TermKind::kInt || t->kind == TermKind::kFloat;
+      if (op == Op::kIntegerTest) ok = t->kind == TermKind::kInt;
+      if (op == Op::kFloatTest) ok = t->kind == TermKind::kFloat;
+      if (op == Op::kIsListTest) ok = list_elements(t, b_).has_value();
+      if (ok) {
+        cur_ = node.next;
+      } else {
+        fail();
+      }
+      return;
+    }
+    case Op::kFindall:
+    case Op::kSetof:
+    case Op::kBagof:
+    case Op::kAggregateAll: {
+      const std::size_t collector = cps_.size();
+      ChoicePoint cp;
+      cp.kind = ChoicePoint::Kind::kCollect;
+      cp.trail_mark = b_.mark();
+      cp.cont = node.next;
+      cp.collect = op;
+      cp.out = g->args[2];
+      if (op == Op::kAggregateAll) {
+        cp.agg_spec = b_.resolve(g->args[0]);
+        cp.tmpl = cp.agg_spec->kind == TermKind::kCompound
+                      ? cp.agg_spec->args[0]
+                      : kNil;
+      } else {
+        cp.tmpl = g->args[0];
+      }
+      const TermPtr tmpl = cp.tmpl;
+      cps_.push_back(std::move(cp));
+      note_trail();
+      // Sub-goal barrier keeps the collector alive under cuts; the emit
+      // marker appends one witness per sub-solution then fails on purpose.
+      GoalPtr emit =
+          make_marker(GoalNode::Kind::kEmit, tmpl, collector, nullptr);
+      cur_ = make_goal(g->args[1], collector + 1, std::move(emit));
+      return;
+    }
+    case Op::kMember: {
+      const auto elems = list_elements(g->args[1], b_);
+      if (!elems || elems->empty()) {
+        fail();
+        return;
+      }
+      ChoicePoint cp;
+      cp.kind = ChoicePoint::Kind::kAlts;
+      cp.trail_mark = b_.mark();
+      cp.cont = node.next;
+      cp.alts.reserve(elems->size());
+      for (const TermPtr& e : *elems) cp.alts.push_back({g->args[0], e, nullptr, nullptr});
+      cps_.push_back(std::move(cp));
+      note_trail();
+      fail();  // serviced by retry_alts
+      return;
+    }
+    case Op::kLength: {
+      const auto elems = list_elements(g->args[0], b_);
+      if (!elems) {
+        fail();
+        return;
+      }
+      det_unify(g->args[1], make_int(static_cast<std::int64_t>(elems->size())),
+                node.next);
+      return;
+    }
+    case Op::kAppend: {
+      const auto a = list_elements(g->args[0], b_);
+      const auto bl = list_elements(g->args[1], b_);
+      if (a && bl) {
+        std::vector<TermPtr> joined = *a;
+        joined.insert(joined.end(), bl->begin(), bl->end());
+        det_unify(g->args[2], make_list(std::move(joined)), node.next);
+        return;
+      }
+      const auto c = list_elements(g->args[2], b_);
+      if (!c) {
+        fail();
+        return;
+      }
+      ChoicePoint cp;
+      cp.kind = ChoicePoint::Kind::kAlts;
+      cp.trail_mark = b_.mark();
+      cp.cont = node.next;
+      cp.alts.reserve(c->size() + 1);
+      for (std::size_t split = 0; split <= c->size(); ++split) {
+        std::vector<TermPtr> left(
+            c->begin(), c->begin() + static_cast<std::ptrdiff_t>(split));
+        std::vector<TermPtr> right(
+            c->begin() + static_cast<std::ptrdiff_t>(split), c->end());
+        cp.alts.push_back({g->args[0], make_list(std::move(left)), g->args[1],
+                           make_list(std::move(right))});
+      }
+      cps_.push_back(std::move(cp));
+      note_trail();
+      fail();
+      return;
+    }
+    case Op::kNth0: {
+      const auto elems = list_elements(g->args[1], b_);
+      if (!elems) {
+        fail();
+        return;
+      }
+      const TermPtr idx = b_.resolve(g->args[0]);
+      ChoicePoint cp;
+      cp.kind = ChoicePoint::Kind::kAlts;
+      cp.trail_mark = b_.mark();
+      cp.cont = node.next;
+      for (std::size_t i = 0; i < elems->size(); ++i) {
+        if (idx->kind == TermKind::kInt &&
+            idx->ival != static_cast<std::int64_t>(i)) {
+          continue;
+        }
+        cp.alts.push_back({g->args[0], make_int(static_cast<std::int64_t>(i)),
+                           g->args[2], (*elems)[i]});
+      }
+      if (cp.alts.empty()) {
+        fail();
+        return;
+      }
+      cps_.push_back(std::move(cp));
+      note_trail();
+      fail();
+      return;
+    }
+    case Op::kSumAgg:
+    case Op::kMaxAgg:
+    case Op::kMinAgg: {
+      const auto elems = list_elements(g->args[0], b_);
+      if (!elems) {
+        fail();
+        return;
+      }
+      TermPtr result;
+      if (op == Op::kSumAgg) {
+        double acc = 0;
+        for (const TermPtr& e : *elems) {
+          double v = 0;
+          if (!eval_arith_term(e, b_, v)) {
+            fail();
+            return;
+          }
+          acc += v;
+        }
+        result = make_number(acc);
+      } else {
+        if (elems->empty()) {
+          fail();
+          return;
+        }
+        // Plain numbers, or tuples [.., Key] keyed by their last element.
+        auto key_of = [&](const TermPtr& e, double& v) {
+          const TermPtr r = b_.resolve(e);
+          if (r->kind == TermKind::kInt || r->kind == TermKind::kFloat) {
+            v = r->number();
+            return true;
+          }
+          const auto tuple = list_elements(r, b_);
+          if (!tuple || tuple->empty()) return false;
+          return eval_arith_term(tuple->back(), b_, v);
+        };
+        std::size_t best = 0;
+        double best_key = 0;
+        if (!key_of((*elems)[0], best_key)) {
+          fail();
+          return;
+        }
+        for (std::size_t i = 1; i < elems->size(); ++i) {
+          double k = 0;
+          if (!key_of((*elems)[i], k)) {
+            fail();
+            return;
+          }
+          const bool better =
+              op == Op::kMaxAgg ? k > best_key : k < best_key;
+          if (better) {
+            best = i;
+            best_key = k;
+          }
+        }
+        result = (*elems)[best];
+      }
+      det_unify(g->args[1], std::move(result), node.next);
+      return;
+    }
+    case Op::kMsort:
+    case Op::kSort:
+    case Op::kReverse: {
+      const auto elems = list_elements(g->args[0], b_);
+      if (!elems) {
+        fail();
+        return;
+      }
+      std::vector<TermPtr> out;
+      out.reserve(elems->size());
+      for (const TermPtr& e : *elems) out.push_back(b_.deep_resolve(e));
+      if (op == Op::kReverse) {
+        std::reverse(out.begin(), out.end());
+      } else {
+        std::stable_sort(out.begin(), out.end(),
+                         [&](const TermPtr& x, const TermPtr& y) {
+                           return term_compare(x, y, b_) < 0;
+                         });
+        if (op == Op::kSort) {
+          out.erase(std::unique(out.begin(), out.end(),
+                                [&](const TermPtr& x, const TermPtr& y) {
+                                  return term_compare(x, y, b_) == 0;
+                                }),
+                    out.end());
+        }
+      }
+      det_unify(g->args[1], make_list(std::move(out)), node.next);
+      return;
+    }
+    case Op::kLast: {
+      const auto elems = list_elements(g->args[0], b_);
+      if (!elems || elems->empty()) {
+        fail();
+        return;
+      }
+      det_unify(g->args[1], elems->back(), node.next);
+      return;
+    }
+    case Op::kSumList:
+    case Op::kMaxList:
+    case Op::kMinList: {
+      const auto elems = list_elements(g->args[0], b_);
+      if (!elems) {
+        fail();
+        return;
+      }
+      if (op != Op::kSumList && elems->empty()) {
+        fail();
+        return;
+      }
+      double acc = op == Op::kSumList ? 0
+                   : op == Op::kMaxList
+                       ? -std::numeric_limits<double>::infinity()
+                       : std::numeric_limits<double>::infinity();
+      for (const TermPtr& e : *elems) {
+        double v = 0;
+        if (!eval_arith_term(e, b_, v)) {
+          fail();
+          return;
+        }
+        if (op == Op::kSumList) acc += v;
+        if (op == Op::kMaxList) acc = std::max(acc, v);
+        if (op == Op::kMinList) acc = std::min(acc, v);
+      }
+      det_unify(g->args[1], make_number(acc), node.next);
+      return;
+    }
+    case Op::kNumlist: {
+      double lo = 0;
+      double hi = 0;
+      if (!eval_arith_term(g->args[0], b_, lo) ||
+          !eval_arith_term(g->args[1], b_, hi)) {
+        fail();
+        return;
+      }
+      std::vector<TermPtr> items;
+      for (std::int64_t v = static_cast<std::int64_t>(lo);
+           v <= static_cast<std::int64_t>(hi); ++v) {
+        items.push_back(make_int(v));
+      }
+      det_unify(g->args[2], make_list(std::move(items)), node.next);
+      return;
+    }
+    case Op::kSucc: {
+      const TermPtr a = b_.resolve(g->args[0]);
+      const TermPtr bb = b_.resolve(g->args[1]);
+      if (a->kind == TermKind::kInt) {
+        det_unify(g->args[1], make_int(a->ival + 1), node.next);
+      } else if (bb->kind == TermKind::kInt && bb->ival > 0) {
+        det_unify(g->args[0], make_int(bb->ival - 1), node.next);
+      } else {
+        fail();
+      }
+      return;
+    }
+    case Op::kAtomConcat: {
+      const TermPtr a = b_.resolve(g->args[0]);
+      const TermPtr bb = b_.resolve(g->args[1]);
+      if (a->kind != TermKind::kAtom || bb->kind != TermKind::kAtom) {
+        fail();
+        return;
+      }
+      det_unify(g->args[2], make_atom(a->text + bb->text), node.next);
+      return;
+    }
+    case Op::kAtomLength: {
+      const TermPtr a = b_.resolve(g->args[0]);
+      if (a->kind != TermKind::kAtom) {
+        fail();
+        return;
+      }
+      det_unify(g->args[1],
+                make_int(static_cast<std::int64_t>(a->text.size())),
+                node.next);
+      return;
+    }
+    case Op::kCopyTerm: {
+      std::unordered_map<std::int64_t, TermPtr> mapping;
+      const TermPtr copy = rename(b_.deep_resolve(g->args[0]), b_, mapping);
+      det_unify(g->args[1], copy, node.next);
+      return;
+    }
+    case Op::kBetween: {
+      double lo = 0;
+      double hi = 0;
+      if (!eval_arith_term(g->args[0], b_, lo) ||
+          !eval_arith_term(g->args[1], b_, hi)) {
+        fail();
+        return;
+      }
+      ChoicePoint cp;
+      cp.kind = ChoicePoint::Kind::kRange;
+      cp.trail_mark = b_.mark();
+      cp.cont = node.next;
+      cp.range_var = g->args[2];
+      cp.range_next = static_cast<std::int64_t>(lo);
+      cp.range_hi = static_cast<std::int64_t>(hi);
+      cps_.push_back(std::move(cp));
+      note_trail();
+      fail();
+      return;
+    }
+    case Op::kUser:
+    case Op::kDynamic:
+      call_user(g, node);
+      return;
+  }
+}
+
+const CompiledPred* Engine::ensure_compiled(const Database::Pred& pred) {
+  auto& slot = cache_[&pred];
+  if (!slot) slot = std::make_unique<CompiledPred>();
+  CompiledPred& cp = *slot;
+  if (cp.version == pred.version) return &cp;
+  // Salvage the longest compiled prefix that still matches.  Sequence
+  // stamps are unique and clause slots only ever shift left (retract) or
+  // truncate/extend at the end (undo/assert), so a surviving clause's slot
+  // index is non-increasing over time — a stamp match at position k-1
+  // therefore proves slots 0..k-1 are exactly the clauses compiled there.
+  std::size_t keep = std::min(cp.seqs.size(), pred.seqs.size());
+  while (keep > 0 && cp.seqs[keep - 1] != pred.seqs[keep - 1]) --keep;
+  cp.clauses.resize(keep);
+  cp.seqs.resize(keep);
+  for (std::size_t i = keep; i < pred.clauses.size(); ++i) {
+    const Clause& clause = pred.clauses[i];
+    std::shared_ptr<const CompiledClause> cc;
+    if (clause.body.empty()) {
+      // Facts compile to a pure function of the head term, so identical
+      // head pointers (the MC loop re-asserting a group alternative) share
+      // one compiled object across worlds.
+      auto& memo = fact_cache_[clause.head.get()];
+      if (!memo.second) {
+        memo = {clause.head,
+                std::make_shared<const CompiledClause>(compile_clause(clause))};
+        ++stats_.compiled_clauses;
+      }
+      cc = memo.second;
+    } else {
+      cc = std::make_shared<const CompiledClause>(compile_clause(clause));
+      ++stats_.compiled_clauses;
+    }
+    cp.clauses.push_back(std::move(cc));
+    cp.seqs.push_back(pred.seqs[i]);
+  }
+  cp.version = pred.version;
+  return &cp;
+}
+
+void Engine::call_user(const TermPtr& g, const GoalNode& node) {
+  ++stats_.calls;
+  const Database::Pred* pred = db_.pred(g->text, g->arity());
+  if (pred == nullptr) {
+    fail();
+    return;
+  }
+  const CompiledPred* compiled = ensure_compiled(*pred);
+  const std::vector<std::uint32_t>* candidates = nullptr;
+  bool indexed = false;
+  if (g->arity() > 0) {
+    const std::string key = index_bucket_key(*b_.resolve(g->args[0]));
+    if (!key.empty()) {
+      candidates = pred->candidates(key);
+      indexed = candidates != nullptr;
+    }
+  }
+  if (indexed) {
+    ++stats_.index_hits;
+  } else {
+    ++stats_.index_misses;
+  }
+  ChoicePoint cp;
+  cp.kind = ChoicePoint::Kind::kClauses;
+  cp.trail_mark = b_.mark();
+  cp.cont = node.next;
+  cp.goal = g;
+  cp.compiled = compiled;
+  cp.pred = pred;
+  cp.candidates = candidates;
+  cps_.push_back(std::move(cp));
+  note_trail();
+  fail();  // first clause serviced by retry_clauses
+}
+
+void Engine::retry() {
+  switch (cps_.back().kind) {
+    case ChoicePoint::Kind::kClauses:
+      retry_clauses();
+      return;
+    case ChoicePoint::Kind::kAlts:
+      retry_alts();
+      return;
+    case ChoicePoint::Kind::kRange:
+      retry_range();
+      return;
+    case ChoicePoint::Kind::kDisj: {
+      ChoicePoint cp = std::move(cps_.back());
+      cps_.pop_back();
+      b_.undo_to(cp.trail_mark);
+      cur_ = make_goal(cp.alt_goal, cps_.size(), cp.cont);
+      backtracking_ = false;
+      return;
+    }
+    case ChoicePoint::Kind::kIte: {
+      // Condition failed outright: run Else.
+      ChoicePoint cp = std::move(cps_.back());
+      cps_.pop_back();
+      b_.undo_to(cp.trail_mark);
+      cur_ = make_goal(cp.alt_goal, cps_.size(), cp.cont);
+      backtracking_ = false;
+      return;
+    }
+    case ChoicePoint::Kind::kCollect:
+      retry_collect();
+      return;
+  }
+}
+
+void Engine::retry_clauses() {
+  ChoicePoint& cp = cps_.back();
+  const std::size_t frame = cps_.size() - 1;
+  const std::size_t total =
+      cp.candidates != nullptr ? cp.candidates->size() : cp.pred->clauses.size();
+  while (cp.next < total) {
+    b_.undo_to(cp.trail_mark);
+    const std::size_t idx =
+        cp.candidates != nullptr ? (*cp.candidates)[cp.next] : cp.next;
+    ++cp.next;
+    const bool last = cp.next == total;
+    const CompiledClause& cc = *cp.compiled->clauses[idx];
+    const std::int64_t base =
+        cc.nvars > 0 ? b_.fresh_block(cc.nvars) : 0;
+    const Term& call = *cp.goal;
+    bool ok = true;
+    for (std::size_t i = 0; ok && i < cc.head_args.size(); ++i) {
+      const HeadArg& ha = cc.head_args[i];
+      switch (ha.mode) {
+        case HeadArgMode::kFirstVar: {
+          const TermPtr o = b_.resolve(call.args[i]);
+          if (o->kind == TermKind::kVar) {
+            // Caller var binds to the (fresh) head var, mirroring the
+            // interpreter's unify(goal, head) direction.
+            b_.bind(o->ival, make_var(base + ha.slot, ha.tmpl->text));
+          } else {
+            b_.bind(base + ha.slot, o);
+          }
+          break;
+        }
+        case HeadArgMode::kConst: {
+          const TermPtr o = b_.resolve(call.args[i]);
+          if (o->kind == TermKind::kVar) {
+            b_.bind(o->ival, ha.tmpl);
+          } else if (o->kind != ha.tmpl->kind) {
+            ok = false;
+          } else if (o->kind == TermKind::kAtom) {
+            ok = o->text == ha.tmpl->text;
+          } else if (o->kind == TermKind::kInt) {
+            ok = o->ival == ha.tmpl->ival;
+          } else {
+            ok = o->fval == ha.tmpl->fval;
+          }
+          break;
+        }
+        case HeadArgMode::kMatch:
+          ok = unify_template(ha.tmpl, base, call.args[i], b_);
+          break;
+      }
+    }
+    if (!ok) continue;
+    // Head matched: splice the compiled body in front of the continuation.
+    // Body goals cut back to this frame (removing the clause alternatives).
+    GoalPtr list = cp.cont;
+    for (auto it = cc.body.rbegin(); it != cc.body.rend(); ++it) {
+      const TermPtr inst =
+          it->ground ? it->tmpl : instantiate_template(it->tmpl, base);
+      list = make_goal_op(inst, it->op, frame, std::move(list));
+    }
+    if (last) cps_.pop_back();  // last-call optimization: cp is dead now
+    cur_ = std::move(list);
+    backtracking_ = false;
+    note_trail();
+    return;
+  }
+  b_.undo_to(cps_.back().trail_mark);
+  cps_.pop_back();
+}
+
+void Engine::retry_alts() {
+  ChoicePoint& cp = cps_.back();
+  while (cp.next < cp.alts.size()) {
+    b_.undo_to(cp.trail_mark);
+    const ChoicePoint::Alt& alt = cp.alts[cp.next];
+    ++cp.next;
+    const bool last = cp.next == cp.alts.size();
+    if (unify(alt.a1, alt.b1, b_) &&
+        (alt.a2 == nullptr || unify(alt.a2, alt.b2, b_))) {
+      GoalPtr cont = cp.cont;
+      if (last) cps_.pop_back();
+      cur_ = std::move(cont);
+      backtracking_ = false;
+      return;
+    }
+  }
+  b_.undo_to(cps_.back().trail_mark);
+  cps_.pop_back();
+}
+
+void Engine::retry_range() {
+  ChoicePoint& cp = cps_.back();
+  while (cp.range_next <= cp.range_hi) {
+    b_.undo_to(cp.trail_mark);
+    const std::int64_t v = cp.range_next;
+    ++cp.range_next;
+    const bool last = cp.range_next > cp.range_hi;
+    if (unify(cp.range_var, make_int(v), b_)) {
+      GoalPtr cont = cp.cont;
+      if (last) cps_.pop_back();
+      cur_ = std::move(cont);
+      backtracking_ = false;
+      return;
+    }
+  }
+  b_.undo_to(cps_.back().trail_mark);
+  cps_.pop_back();
+}
+
+void Engine::retry_collect() {
+  ChoicePoint cp = std::move(cps_.back());
+  cps_.pop_back();
+  b_.undo_to(cp.trail_mark);
+  TermPtr result;
+  if (cp.collect == Op::kFindall || cp.collect == Op::kSetof ||
+      cp.collect == Op::kBagof) {
+    if (cp.collect != Op::kFindall && cp.collected.empty()) {
+      return;  // setof/bagof fail on no solutions; keep backtracking
+    }
+    if (cp.collect == Op::kSetof) {
+      std::sort(cp.collected.begin(), cp.collected.end(),
+                [&](const TermPtr& x, const TermPtr& y) {
+                  return term_compare(x, y, b_) < 0;
+                });
+      cp.collected.erase(
+          std::unique(cp.collected.begin(), cp.collected.end(),
+                      [&](const TermPtr& x, const TermPtr& y) {
+                        return term_compare(x, y, b_) == 0;
+                      }),
+          cp.collected.end());
+    }
+    result = make_list(std::move(cp.collected));
+  } else {
+    // aggregate_all(count | sum(E) | max(E) | min(E) | bag(E), Goal, R).
+    const TermPtr& spec = cp.agg_spec;
+    if (spec->is_atom("count")) {
+      result = make_int(static_cast<std::int64_t>(cp.collected.size()));
+    } else if (spec->kind == TermKind::kCompound && spec->args.size() == 1 &&
+               (spec->text == "sum" || spec->text == "max" ||
+                spec->text == "min")) {
+      if (spec->text != "sum" && cp.collected.empty()) return;
+      double acc = spec->text == "sum" ? 0
+                   : spec->text == "max"
+                       ? -std::numeric_limits<double>::infinity()
+                       : std::numeric_limits<double>::infinity();
+      for (const TermPtr& e : cp.collected) {
+        double v = 0;
+        if (!eval_arith_term(e, b_, v)) return;
+        if (spec->text == "sum") acc += v;
+        if (spec->text == "max") acc = std::max(acc, v);
+        if (spec->text == "min") acc = std::min(acc, v);
+      }
+      result = make_number(acc);
+    } else if (spec->kind == TermKind::kCompound && spec->text == "bag" &&
+               spec->args.size() == 1) {
+      result = make_list(std::move(cp.collected));
+    } else {
+      return;  // unknown spec: fail
+    }
+  }
+  const std::size_t mark = b_.mark();
+  if (unify(cp.out, result, b_)) {
+    cur_ = cp.cont;
+    backtracking_ = false;
+  } else {
+    b_.undo_to(mark);
+  }
+}
+
+}  // namespace
+
+bool Vm::solve(const TermPtr& goal, Bindings& bindings,
+               const std::function<bool(Bindings&)>& on_solution) {
+  VmStats before = stats_;
+  Engine engine(*db_, cache_, fact_cache_, bindings, on_solution,
+                step_limit_, budget_, stats_);
+  bool found = false;
+  try {
+    found = engine.run(goal);
+  } catch (...) {
+    // Budget aborts unwind through here; still flush the counters.
+    DECO_OBS_COUNTER_ADD("wlog.vm.instructions",
+                         stats_.instructions - before.instructions);
+    DECO_OBS_COUNTER_ADD("wlog.vm.calls", stats_.calls - before.calls);
+    throw;
+  }
+  DECO_OBS_COUNTER_ADD("wlog.vm.instructions",
+                       stats_.instructions - before.instructions);
+  DECO_OBS_COUNTER_ADD("wlog.vm.calls", stats_.calls - before.calls);
+  DECO_OBS_COUNTER_ADD("wlog.vm.index.hits",
+                       stats_.index_hits - before.index_hits);
+  DECO_OBS_COUNTER_ADD("wlog.vm.index.misses",
+                       stats_.index_misses - before.index_misses);
+  DECO_OBS_COUNTER_ADD("wlog.vm.compiled_clauses",
+                       stats_.compiled_clauses - before.compiled_clauses);
+  DECO_OBS_GAUGE_SET("wlog.vm.trail.high_water",
+                     static_cast<double>(stats_.trail_high_water));
+  return found;
+}
+
+std::vector<Solution> Vm::query(const std::string& query_text,
+                                std::size_t max_solutions) {
+  std::vector<Solution> solutions;
+  const TermParseResult parsed = parse_term(query_text);
+  if (!parsed.ok() || !parsed.term) return solutions;
+  Bindings bindings;
+  solve(parsed.term, bindings, [&](Bindings& b) {
+    Solution s;
+    for (const auto& [name, id] : parsed.variables) {
+      s.bindings.emplace_back(name, b.deep_resolve(make_var(id, name)));
+    }
+    solutions.push_back(std::move(s));
+    return solutions.size() >= max_solutions;
+  });
+  return solutions;
+}
+
+bool Vm::holds(const std::string& query_text) {
+  const TermParseResult parsed = parse_term(query_text);
+  if (!parsed.ok() || !parsed.term) return false;
+  Bindings bindings;
+  bool proven = false;
+  solve(parsed.term, bindings, [&proven](Bindings&) {
+    proven = true;
+    return true;
+  });
+  return proven;
+}
+
+}  // namespace deco::wlog

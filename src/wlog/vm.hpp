@@ -1,0 +1,168 @@
+// Bytecode VM for WLog: an iterative choice-point/trail machine over
+// compiled clauses (compile.hpp).
+//
+// The tree-walking Interpreter (interp.hpp) re-renames every clause per
+// trial, builds std::function continuation chains, and recurses one C++
+// frame per resolution step — which is why it carries a hard depth cap under
+// sanitizers.  The VM replaces all of that with explicit machine state:
+//
+//   goal list      an immutable cons-list of pending goals, each carrying a
+//                  pre-classified opcode and the cut barrier of its frame
+//   choice points  an explicit stack (clause alternatives, list iterators,
+//                  disjunctions, if-then-else, findall collectors), each with
+//                  a trail mark; backtracking services the top entry
+//   cut            truncates the choice-point stack to the goal's barrier —
+//                  clause-local, and branch-local inside ';' like the
+//                  interpreter's nonstandard disjunction cut
+//
+// Deep WLog recursion therefore costs heap, not C++ stack.  Clause lookup
+// goes through the Database's first-argument index, and compiled predicates
+// are cached per functor/arity with sequence-stamp validation so the
+// solver's assert/retract of configs/3 recompiles only appended clauses.
+//
+// The interpreter remains the differential oracle: Solver selects between
+// the two behind ExecMode (`wlog.exec=interp|vm`, default vm), and
+// tests/wlog/vm_differential_test.cpp pins solution sets, order, cut and
+// budget behaviour against each other.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "wlog/compile.hpp"
+#include "wlog/database.hpp"
+#include "wlog/interp.hpp"
+#include "wlog/term.hpp"
+
+namespace deco::util {
+class BudgetTracker;
+}  // namespace deco::util
+
+namespace deco::wlog {
+
+/// Execution counters, accumulated across solves and flushed to the obs
+/// registry (wlog.vm.*) at the end of each solve.
+struct VmStats {
+  std::uint64_t instructions = 0;      ///< machine steps executed
+  std::uint64_t calls = 0;             ///< user-predicate activations
+  std::uint64_t index_hits = 0;        ///< calls served from a first-arg bucket
+  std::uint64_t index_misses = 0;      ///< calls that scanned every clause
+  std::uint64_t trail_high_water = 0;  ///< deepest trail observed
+  std::uint64_t compiled_clauses = 0;  ///< clause compilations (cache misses)
+};
+
+/// Arithmetic evaluation shared by the VM and the Solver facade; exact same
+/// semantics as Interpreter::eval_arith (which stays untouched as the
+/// oracle).
+bool eval_arith_term(const TermPtr& expr, const Bindings& bindings,
+                     double& out);
+
+class Vm {
+ public:
+  explicit Vm(const Database& db) : db_(&db) {}
+
+  /// Iteration budget per query (machine steps, not SLD steps — the VM does
+  /// more, finer-grained steps than the interpreter for the same program).
+  void set_step_limit(std::size_t limit) { step_limit_ = limit; }
+
+  /// Cooperative solve budget, checked every ~512 steps like the
+  /// interpreter; a fired budget aborts by throwing
+  /// util::BudgetExhaustedError.
+  void set_budget(util::BudgetTracker* budget) { budget_ = budget; }
+
+  /// Proves `goal`; invokes `on_solution` per proof (return true to stop).
+  /// Returns true if at least one proof was found.
+  bool solve(const TermPtr& goal, Bindings& bindings,
+             const std::function<bool(Bindings&)>& on_solution);
+
+  std::vector<Solution> query(const std::string& query_text,
+                              std::size_t max_solutions = 16);
+  bool holds(const std::string& query_text);
+
+  const VmStats& stats() const { return stats_; }
+
+  /// Keyed by Database::Pred address (stable: the database stores entries
+  /// node-based and never moves them).  A recycled address cannot false-hit:
+  /// version and sequence stamps are globally monotonic and never reused,
+  /// so a stale cache entry fails both validation checks and recompiles.
+  using CompiledCache =
+      std::unordered_map<const void*, std::unique_ptr<CompiledPred>>;
+
+  /// Memo for compiled *facts* keyed by head-term identity: the Monte Carlo
+  /// world loop re-asserts the same alternative terms (one per group) every
+  /// iteration, so their compiled form is reused instead of rebuilt.  The
+  /// stored TermPtr pins the key's address against recycling.
+  using FactCache =
+      std::unordered_map<const Term*,
+                         std::pair<TermPtr, std::shared_ptr<const CompiledClause>>>;
+
+ private:
+  const Database* db_;
+  std::size_t step_limit_ = 5'000'000;
+  util::BudgetTracker* budget_ = nullptr;
+  CompiledCache cache_;
+  FactCache fact_cache_;
+  VmStats stats_;
+};
+
+/// Engine selector: the VM is the default; the interpreter stays available
+/// as the differential oracle (`wlog.exec=interp`).
+enum class ExecMode { kInterp, kVm };
+
+std::optional<ExecMode> parse_exec_mode(std::string_view name);
+const char* exec_mode_name(ExecMode mode);
+
+/// Thin facade so callers (problog's MC loop, the declarative solver) hold
+/// one object regardless of the selected engine.
+class Solver {
+ public:
+  Solver(const Database& db, ExecMode mode) : mode_(mode) {
+    if (mode == ExecMode::kInterp) {
+      interp_.emplace(db);
+    } else {
+      vm_.emplace(db);
+    }
+  }
+
+  ExecMode mode() const { return mode_; }
+
+  void set_step_limit(std::size_t limit) {
+    if (interp_) interp_->set_step_limit(limit);
+    if (vm_) vm_->set_step_limit(limit);
+  }
+  void set_budget(util::BudgetTracker* budget) {
+    if (interp_) interp_->set_budget(budget);
+    if (vm_) vm_->set_budget(budget);
+  }
+
+  bool solve(const TermPtr& goal, Bindings& bindings,
+             const std::function<bool(Bindings&)>& on_solution) {
+    return interp_ ? interp_->solve(goal, bindings, on_solution)
+                   : vm_->solve(goal, bindings, on_solution);
+  }
+  std::vector<Solution> query(const std::string& query_text,
+                              std::size_t max_solutions = 16) {
+    return interp_ ? interp_->query(query_text, max_solutions)
+                   : vm_->query(query_text, max_solutions);
+  }
+  bool holds(const std::string& query_text) {
+    return interp_ ? interp_->holds(query_text) : vm_->holds(query_text);
+  }
+  bool eval_arith(const TermPtr& expr, const Bindings& bindings,
+                  double& out) const {
+    return eval_arith_term(expr, bindings, out);
+  }
+
+ private:
+  ExecMode mode_;
+  std::optional<Interpreter> interp_;
+  std::optional<Vm> vm_;
+};
+
+}  // namespace deco::wlog

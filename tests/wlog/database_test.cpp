@@ -1,0 +1,135 @@
+#include "wlog/database.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wlog/interp.hpp"
+#include "wlog/program.hpp"
+
+namespace deco::wlog {
+namespace {
+
+Database load(const char* source) {
+  const auto r = parse_program(source);
+  EXPECT_TRUE(r.ok()) << (r.error ? r.error->message : "");
+  Database db;
+  db.add_program(r.program);
+  return db;
+}
+
+TEST(DatabaseIndexTest, BucketKeysDiscriminateConstants) {
+  EXPECT_EQ(index_bucket_key(*make_atom("a")), "a~a");
+  EXPECT_EQ(index_bucket_key(*make_int(3)), "i~3");
+  EXPECT_TRUE(index_bucket_key(*make_var(7, "X")).empty());
+  // Same atom text vs int text must not collide.
+  EXPECT_NE(index_bucket_key(*make_atom("3")), index_bucket_key(*make_int(3)));
+  // Int 3 and float 3.0 never unify and must not share a bucket.
+  EXPECT_NE(index_bucket_key(*make_int(3)), index_bucket_key(*make_float(3.0)));
+}
+
+TEST(DatabaseIndexTest, CandidatesFilterByFirstArgument) {
+  const Database db = load(R"(
+    exetime(t0, v0, 1). exetime(t0, v1, 2).
+    exetime(t1, v0, 3). exetime(t1, v1, 4).
+  )");
+  const Database::Pred* pred = db.pred("exetime", 3);
+  ASSERT_NE(pred, nullptr);
+  EXPECT_EQ(pred->clauses.size(), 4u);
+  const auto* t0 = pred->candidates("a~t0");
+  ASSERT_NE(t0, nullptr);
+  EXPECT_EQ(*t0, (std::vector<std::uint32_t>{0, 1}));
+  const auto* t1 = pred->candidates("a~t1");
+  ASSERT_NE(t1, nullptr);
+  EXPECT_EQ(*t1, (std::vector<std::uint32_t>{2, 3}));
+  // Unknown constant: no clause can match except var-headed ones (none here).
+  const auto* t9 = pred->candidates("a~t9");
+  ASSERT_NE(t9, nullptr);
+  EXPECT_TRUE(t9->empty());
+  // Unbound first argument: scan everything.
+  EXPECT_EQ(pred->candidates(std::string()), nullptr);
+}
+
+TEST(DatabaseIndexTest, VarHeadedClausesAppearInEveryBucket) {
+  const Database db = load(R"(
+    classify(1, one).
+    classify(X, other).
+    classify(2, two).
+  )");
+  const Database::Pred* pred = db.pred("classify", 2);
+  ASSERT_NE(pred, nullptr);
+  EXPECT_EQ(*pred->candidates("i~1"), (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(*pred->candidates("i~2"), (std::vector<std::uint32_t>{1, 2}));
+  // A constant with no dedicated bucket still sees the catch-all clause.
+  EXPECT_EQ(*pred->candidates("i~9"), (std::vector<std::uint32_t>{1}));
+}
+
+TEST(DatabaseIndexTest, AssertRetractKeepIndexCoherent) {
+  Database db = load("configs(t0, v0, 1).");
+  db.retract_all("configs", 3);
+  EXPECT_EQ(db.pred("configs", 3), nullptr);
+  const auto parsed = parse_term("configs(t0, v1, 1)");
+  ASSERT_TRUE(parsed.ok());
+  db.add_fact(parsed.term);
+  const Database::Pred* pred = db.pred("configs", 3);
+  ASSERT_NE(pred, nullptr);
+  EXPECT_EQ(pred->clauses.size(), 1u);
+  EXPECT_EQ(*pred->candidates("a~t0"), (std::vector<std::uint32_t>{0}));
+}
+
+TEST(DatabaseIndexTest, MarkUndoPeelsLayeredFacts) {
+  Database db = load("exetime(t0, v0, 1.0).");
+  const std::uint64_t v0 = db.version();
+  const std::size_t mark = db.mark();
+  db.add_fact(parse_term("exetime(t0, v0, 9.0)").term);
+  db.add_fact(parse_term("exetime(t1, v0, 9.0)").term);
+  db.add_fact(parse_term("extra(1)").term);
+  EXPECT_EQ(db.clause_count(), 4u);
+  EXPECT_NE(db.version(), v0);
+  db.undo_to(mark);
+  EXPECT_EQ(db.clause_count(), 1u);
+  EXPECT_EQ(db.pred("extra", 1), nullptr);
+  const Database::Pred* pred = db.pred("exetime", 3);
+  ASSERT_NE(pred, nullptr);
+  EXPECT_EQ(*pred->candidates("a~t0"), (std::vector<std::uint32_t>{0}));
+  EXPECT_TRUE(pred->candidates("a~t1")->empty());
+  // Re-layering after an undo works (fresh seq stamps, coherent buckets).
+  db.add_fact(parse_term("exetime(t1, v0, 5.0)").term);
+  EXPECT_EQ(*db.pred("exetime", 3)->candidates("a~t1"),
+            (std::vector<std::uint32_t>{1}));
+  db.undo_to(mark);
+  EXPECT_EQ(db.clause_count(), 1u);
+}
+
+TEST(DatabaseIndexTest, SeqStampsAreMonotonicAndUniqueAfterUndo) {
+  Database db = load("f(a). f(b).");
+  const std::size_t mark = db.mark();
+  db.add_fact(parse_term("f(c)").term);
+  const Database::Pred* pred = db.pred("f", 1);
+  const std::uint64_t seq_c = pred->seqs.back();
+  db.undo_to(mark);
+  db.add_fact(parse_term("f(d)").term);
+  pred = db.pred("f", 1);
+  // The re-added clause must not reuse the undone clause's stamp.
+  EXPECT_GT(pred->seqs.back(), seq_c);
+  EXPECT_LT(pred->seqs[0], pred->seqs[1]);
+}
+
+TEST(DatabaseIndexTest, IndexedResolutionMatchesFullScan) {
+  // Same program, queried with bound and unbound first arguments; the index
+  // must not change the solution set or order.
+  const Database db = load(R"(
+    edge(a, b). edge(b, c). edge(a, c). edge(c, d).
+    reach(X, Y) :- edge(X, Y).
+    reach(X, Y) :- edge(X, Z), reach(Z, Y).
+  )");
+  Interpreter interp(db);
+  const auto bound = interp.query("reach(a, Y)", 32);
+  ASSERT_EQ(bound.size(), 5u);
+  EXPECT_TRUE((*bound[0].find("Y"))->is_atom("b"));
+  EXPECT_TRUE((*bound[1].find("Y"))->is_atom("c"));
+  const auto all = interp.query("reach(X, d)", 32);
+  EXPECT_EQ(all.size(), 4u);
+  EXPECT_FALSE(interp.holds("reach(d, X)"));
+}
+
+}  // namespace
+}  // namespace deco::wlog

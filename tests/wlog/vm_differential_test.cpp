@@ -1,0 +1,399 @@
+// Differential harness: the bytecode VM (vm.hpp) against the tree-walking
+// interpreter (interp.hpp) on every program shape the test suite exercises,
+// plus randomized clause databases.  The two engines must agree on solution
+// sets, solution order, rendered variable names, cut behaviour, and budget
+// aborts — the interpreter is the oracle and stays bit-identical to its
+// pre-VM behaviour.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/budget.hpp"
+#include "wlog/interp.hpp"
+#include "wlog/program.hpp"
+#include "wlog/vm.hpp"
+
+namespace deco::wlog {
+namespace {
+
+// DECO_CHAOS>=1 amplifies the randomized sweep (more databases, more
+// queries), matching the chaos knob used by the property suite.
+int chaos_factor() {
+  const char* env = std::getenv("DECO_CHAOS");
+  if (env == nullptr) return 1;
+  const int v = std::atoi(env);
+  return v > 1 ? v : 1;
+}
+
+Database load(const std::string& source) {
+  const auto r = parse_program(source);
+  EXPECT_TRUE(r.ok()) << (r.error ? r.error->message : "");
+  Database db;
+  db.add_program(r.program);
+  return db;
+}
+
+// Renders a solution list with anonymous-variable ids normalized in
+// first-occurrence order ("_G1234" -> "_N0"), so fresh-id allocation
+// differences between the engines don't show through.  Named variables are
+// rendered by name and must match exactly.
+std::string render(const std::vector<Solution>& solutions) {
+  std::ostringstream raw;
+  for (const Solution& s : solutions) {
+    raw << "{";
+    for (const auto& [name, term] : s.bindings) {
+      raw << name << "=" << to_string(term) << ";";
+    }
+    raw << "}\n";
+  }
+  const std::string text = raw.str();
+  std::string out;
+  out.reserve(text.size());
+  std::unordered_map<std::string, std::size_t> ids;
+  for (std::size_t i = 0; i < text.size();) {
+    if (text.compare(i, 2, "_G") == 0) {
+      std::size_t j = i + 2;
+      while (j < text.size() && std::isdigit(static_cast<unsigned char>(text[j]))) {
+        ++j;
+      }
+      if (j > i + 2) {
+        const auto [it, _] = ids.try_emplace(text.substr(i, j - i), ids.size());
+        out += "_N" + std::to_string(it->second);
+        i = j;
+        continue;
+      }
+    }
+    out += text[i++];
+  }
+  return out;
+}
+
+// The core assertion: identical rendered solutions, in the same order, from
+// both engines.
+void expect_same(const Database& db, const std::string& query,
+                 std::size_t max_solutions = 64) {
+  Interpreter interp(db);
+  Vm vm(db);
+  const std::string a = render(interp.query(query, max_solutions));
+  const std::string b = render(vm.query(query, max_solutions));
+  EXPECT_EQ(a, b) << "query: " << query;
+}
+
+void expect_same_source(const std::string& source, const std::string& query,
+                        std::size_t max_solutions = 64) {
+  const Database db = load(source);
+  expect_same(db, query, max_solutions);
+}
+
+TEST(VmDifferentialTest, FactsAndRules) {
+  const std::string src = R"(
+    task(a). task(b). task(c).
+    parent(tom, bob). parent(bob, ann).
+    grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+  )";
+  expect_same_source(src, "task(X)");
+  expect_same_source(src, "task(b)");
+  expect_same_source(src, "task(z)");
+  expect_same_source(src, "grandparent(tom, Z)");
+  expect_same_source(src, "grandparent(X, Y)");
+  expect_same_source(src, "grandparent(bob, tom)");
+}
+
+TEST(VmDifferentialTest, RecursionAndPaths) {
+  const std::string src = R"(
+    edge(a, b). edge(b, c). edge(c, d). edge(a, c).
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+  )";
+  expect_same_source(src, "path(a, d)");
+  expect_same_source(src, "path(a, X)");
+  expect_same_source(src, "path(X, Y)");
+  expect_same_source(src, "path(d, a)");
+}
+
+TEST(VmDifferentialTest, ArithmeticAndComparison) {
+  const std::string src = R"(
+    f(X, Y) :- Y is X * 2 + 1.
+    g(A,B,C,D) :- A is min(3,5), B is max(3,5), C is abs(-4), D is 7 mod 3.
+    h(Y) :- Y is 1 / 0.
+  )";
+  expect_same_source(src, "f(10, Y)");
+  expect_same_source(src, "g(A,B,C,D)");
+  expect_same_source(src, "h(Y)");
+  expect_same_source(src, "X is 3.5 + 1");
+  expect_same_source(src, "1 < 2, 2 =< 2, 3 >= 2, 2 + 2 =:= 4, 2 =\\= 3");
+  expect_same_source(src, "2 < 1");
+}
+
+TEST(VmDifferentialTest, UnificationBuiltins) {
+  const std::string src = "dummy.";
+  expect_same_source(src, "X = f(1), X == f(1)");
+  expect_same_source(src, "f(X) = f(3), X == 3");
+  expect_same_source(src, "a \\= b");
+  expect_same_source(src, "a \\= a");
+  expect_same_source(src, "X \\== Y");
+  expect_same_source(src, "f(X, X) = f(1, Y)");
+  expect_same_source(src, "X = Y, Y = 3, X == 3");
+}
+
+TEST(VmDifferentialTest, RenderedVariableNamesMatch) {
+  // An unbound head variable leaks into the solution; both engines must
+  // render it under the same (clause-side) name.
+  const std::string src = "pair(X, Y) :- X = 1.";
+  expect_same_source(src, "pair(A, B)");
+  expect_same_source(src, "pair(A, A)");
+}
+
+TEST(VmDifferentialTest, NegationAndIfThenElse) {
+  const std::string src = R"(
+    task(a).
+    classify(X, small) :- X < 10, !.
+    classify(_, large).
+    pick(X, Y) :- (X < 5 -> Y = low ; Y = high).
+  )";
+  expect_same_source(src, "\\+ task(z)");
+  expect_same_source(src, "\\+ task(a)");
+  expect_same_source(src, "not(task(z))");
+  expect_same_source(src, "classify(5, C)");
+  expect_same_source(src, "classify(50, C)");
+  expect_same_source(src, "pick(3, Y)");
+  expect_same_source(src, "pick(7, Y)");
+  expect_same_source(src, "(task(X) -> Y = X ; Y = none)");
+  expect_same_source(src, "(task(z) -> Y = found ; Y = none)");
+  expect_same_source(src, "forall(task(X), atom(X))");
+  expect_same_source(src, "forall(task(X), number(X))");
+}
+
+TEST(VmDifferentialTest, CutSemantics) {
+  const std::string src = R"(
+    n(1). n(2). n(3).
+    first(X) :- member(X, [1,2,3]), !.
+    one(X) :- n(X), !.
+    branchcut(X) :- (n(X), ! ; X = fallback).
+    afterdisj(X, Y) :- (X = a ; X = b), Y = t.
+  )";
+  expect_same_source(src, "first(X)");
+  expect_same_source(src, "one(X)");
+  // Cut inside a disjunction branch is local to the disjunction in this
+  // dialect: the clause still enumerates nothing past the branch commit.
+  expect_same_source(src, "branchcut(X)");
+  expect_same_source(src, "afterdisj(X, Y)");
+  expect_same_source(src, "n(X), !");
+  expect_same_source(src, "(n(X), ! ; X = z)");
+  expect_same_source(src, "((n(X), !) -> Y = X ; Y = none)");
+}
+
+TEST(VmDifferentialTest, AllSolutionsBuiltins) {
+  const std::string src = R"(
+    n(3). n(1). n(3). n(2).
+    c(1.5). c(2.5). c(3.0).
+  )";
+  expect_same_source(src, "findall(X, n(X), L)");
+  expect_same_source(src, "findall(X, missing(X), L)");
+  expect_same_source(src, "setof(X, n(X), L)");
+  expect_same_source(src, "setof(X, missing(X), L)");
+  expect_same_source(src, "bagof(X, n(X), L)");
+  expect_same_source(src, "bagof(X, missing(X), L)");
+  expect_same_source(src, "findall(X, c(X), L), sum(L, S)");
+  expect_same_source(src, "aggregate_all(count, n(X), N)");
+  expect_same_source(src, "aggregate_all(sum(X), n(X), S)");
+  expect_same_source(src, "aggregate_all(max(X), n(X), M)");
+  expect_same_source(src, "aggregate_all(min(X), n(X), M)");
+  expect_same_source(src, "aggregate_all(bag(X), n(X), L)");
+  expect_same_source(src, "findall(X, (n(X), !), L)");
+  expect_same_source(src, "findall([X,Y], (n(X), c(Y)), L)");
+}
+
+TEST(VmDifferentialTest, ListBuiltins) {
+  const std::string src = "dummy.";
+  expect_same_source(src, "member(X, [a,b,c])");
+  expect_same_source(src, "member(b, [a,b,c])");
+  expect_same_source(src, "member(z, [a,b,c])");
+  expect_same_source(src, "append([1,2], [3], L)");
+  expect_same_source(src, "append(A, B, [1,2])");
+  expect_same_source(src, "length([a,b,c,d], N)");
+  expect_same_source(src, "nth0(1, [a,b,c], E)");
+  expect_same_source(src, "nth0(I, [a,b,c], E)");
+  expect_same_source(src, "max([3, 9, 2], M)");
+  expect_same_source(src, "min([3, 9, 2], M)");
+  expect_same_source(src, "max([[a,3],[b,9],[c,2]], [P,T])");
+  expect_same_source(src, "min([[a,3],[b,9],[c,2]], [P,T])");
+  expect_same_source(src, "msort([3,1,2,1], L)");
+  expect_same_source(src, "sort([3,1,2,1], L)");
+  expect_same_source(src, "reverse([1,2,3], L)");
+  expect_same_source(src, "last([1,2,3], X)");
+  expect_same_source(src, "sum_list([1,2,3], S)");
+  expect_same_source(src, "max_list([1,9,3], S)");
+  expect_same_source(src, "min_list([4,2,3], S)");
+  expect_same_source(src, "numlist(1, 5, L)");
+  expect_same_source(src, "between(1, 5, X)");
+  expect_same_source(src, "succ(3, X)");
+  expect_same_source(src, "succ(X, 3)");
+  expect_same_source(src, "atom_concat(foo, bar, X)");
+  expect_same_source(src, "atom_length(hello, N)");
+  expect_same_source(src, "copy_term(f(X, X, Y), C)");
+  expect_same_source(src, "atom(foo), integer(3), float(3.5), is_list([1])");
+}
+
+TEST(VmDifferentialTest, PaperCostAndCriticalPath) {
+  const std::string src = R"(
+    price(v1, 0.044). price(v2, 0.088).
+    exetime(t1, v1, 100). exetime(t1, v2, 55).
+    configs(t1, v1, 1).
+    cost(Tid,Vid,C) :- price(Vid,Up), exetime(Tid,Vid,T),
+        configs(Tid,Vid,Con), C is T*Up*Con.
+  )";
+  expect_same_source(src, "cost(t1, v1, C)");
+  expect_same_source(src, "cost(t1, V, C)");
+  expect_same_source(src, "cost(T, V, C)");
+
+  const std::string diamond = R"(
+    edge(root, a). edge(root, b). edge(a, tail). edge(b, tail).
+    exetime(root, v1, 0). exetime(a, v1, 10).
+    exetime(b, v1, 20). exetime(tail, v1, 0).
+    configs(root, v1, 1). configs(a, v1, 1).
+    configs(b, v1, 1). configs(tail, v1, 1).
+    path(X,Y,Y,Tp) :- edge(X,Y), exetime(X,Vid,T),
+        configs(X,Vid,Con), Con == 1, Tp is T.
+    path(X,Y,Z,Tp) :- edge(X,Z), Z \== Y, path(Z,Y,Z2,T1),
+        exetime(X,Vid,T), configs(X,Vid,Con), Con == 1, Tp is T+T1.
+    maxtime(Path,T) :- setof([Z,T1], path(root,tail,Z,T1), Set),
+        max(Set, [Path,T]).
+    totalcost(Ct) :- findall(C, (exetime(T,V,E), configs(T,V,N),
+        C is E*0.001*N), Bag), sum(Bag, Ct).
+  )";
+  expect_same_source(diamond, "maxtime(P, T)");
+  expect_same_source(diamond, "totalcost(C)");
+  expect_same_source(diamond, "path(root, tail, Z, T)");
+}
+
+TEST(VmDifferentialTest, BindingOrderIsFirstOccurrence) {
+  // Solution::bindings must list variables in first-occurrence order from
+  // both engines (satellite: Solution::find/number order regression).
+  const Database db = load("t(1, 2, 3).");
+  Interpreter interp(db);
+  Vm vm(db);
+  const auto si = interp.query("t(Zeta, Alpha, Mid)");
+  const auto sv = vm.query("t(Zeta, Alpha, Mid)");
+  ASSERT_EQ(si.size(), 1u);
+  ASSERT_EQ(sv.size(), 1u);
+  ASSERT_EQ(si[0].bindings.size(), 3u);
+  ASSERT_EQ(sv[0].bindings.size(), 3u);
+  const std::vector<std::string> expected = {"Zeta", "Alpha", "Mid"};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(si[0].bindings[i].first, expected[i]);
+    EXPECT_EQ(sv[0].bindings[i].first, expected[i]);
+  }
+  EXPECT_DOUBLE_EQ(si[0].number("Zeta"), sv[0].number("Zeta"));
+  EXPECT_DOUBLE_EQ(si[0].number("Mid"), sv[0].number("Mid"));
+}
+
+TEST(VmDifferentialTest, StepLimitStopsBothEngines) {
+  const Database db = load("loop :- loop.");
+  Interpreter interp(db);
+  interp.set_step_limit(10000);
+  Vm vm(db);
+  vm.set_step_limit(10000);
+  EXPECT_FALSE(interp.holds("loop"));
+  EXPECT_FALSE(vm.holds("loop"));
+}
+
+TEST(VmDifferentialTest, BudgetAbortThrowsFromBothEngines) {
+  // Shallow but long-running: backtracking over between/3 racks up steps
+  // without hitting the interpreter's recursion-depth cap, so the budget
+  // checkpoint (every ~512 steps) is what fires in both engines.
+  const Database db = load("dummy.");
+  util::CancelToken cancel;
+  cancel.cancel();
+  util::SolveBudget budget_spec;
+  budget_spec.cancel = &cancel;
+  util::BudgetTracker budget(budget_spec);
+
+  Interpreter interp(db);
+  interp.set_budget(&budget);
+  EXPECT_THROW(interp.holds("between(1, 1000000, X), X < 0"),
+               util::BudgetExhaustedError);
+
+  Vm vm(db);
+  vm.set_budget(&budget);
+  EXPECT_THROW(vm.holds("between(1, 1000000, X), X < 0"),
+               util::BudgetExhaustedError);
+}
+
+TEST(VmDifferentialTest, AssertRetractRecompilesCoherently) {
+  // The solver's hot loop: rebind configs/3 between evaluations.  The VM's
+  // compiled cache must track the mutations (append fast-path on layered
+  // asserts, full recompile after retract).
+  Database db = load(R"(
+    price(v1, 0.1). price(v2, 0.2).
+    exetime(t1, v1, 10). exetime(t1, v2, 5).
+    cost(T,V,C) :- price(V,U), exetime(T,V,E), configs(T,V,N), C is U*E*N.
+  )");
+  Vm vm(db);
+  Interpreter interp(db);
+
+  const auto check = [&](const std::string& q) {
+    EXPECT_EQ(render(interp.query(q)), render(vm.query(q))) << q;
+  };
+
+  for (int round = 0; round < 4; ++round) {
+    const std::size_t mark = db.mark();
+    db.add_fact(make_compound(
+        "configs", {make_atom("t1"), make_atom(round % 2 == 0 ? "v1" : "v2"),
+                    make_int(1 + round)}));
+    check("cost(t1, V, C)");
+    check("configs(T, V, N)");
+    db.undo_to(mark);
+    check("cost(t1, V, C)");
+  }
+  db.retract_all("configs", 3);
+  db.add_fact(make_compound(
+      "configs", {make_atom("t1"), make_atom("v2"), make_int(3)}));
+  check("cost(t1, V, C)");
+  EXPECT_GT(vm.stats().compiled_clauses, 0u);
+}
+
+TEST(VmDifferentialTest, RandomizedDatabases) {
+  // Random fact databases + fixed rule library, queried with a mix of bound
+  // and unbound arguments to stress indexing, backtracking, and cut paths.
+  std::mt19937 rng(20260808);
+  const int databases = 6 * chaos_factor();
+  const char* consts[] = {"a", "b", "c", "d", "e"};
+  for (int round = 0; round < databases; ++round) {
+    std::ostringstream src;
+    const int edges = 4 + static_cast<int>(rng() % 10);
+    for (int i = 0; i < edges; ++i) {
+      src << "edge(" << consts[rng() % 5] << ", " << consts[rng() % 5]
+          << ").\n";
+    }
+    const int weights = 3 + static_cast<int>(rng() % 5);
+    for (int i = 0; i < weights; ++i) {
+      src << "weight(" << consts[rng() % 5] << ", " << (rng() % 50) << ").\n";
+    }
+    src << R"(
+      reach(X, Y, 1) :- edge(X, Y).
+      reach(X, Y, N) :- N > 1, M is N - 1, edge(X, Z), reach(Z, Y, M).
+      heavy(X) :- weight(X, W), W > 25, !.
+      sumw(S) :- findall(W, weight(X, W), L), sum(L, S).
+      best(X, W) :- setof([A, B], weight(A, B), Set), max(Set, [X, W]).
+    )";
+    const Database db = load(src.str());
+    for (const char* c : consts) {
+      expect_same(db, std::string("edge(") + c + ", Y)");
+      expect_same(db, std::string("reach(") + c + ", Y, 3)", 128);
+      expect_same(db, std::string("heavy(") + c + ")");
+    }
+    expect_same(db, "edge(X, Y)", 128);
+    expect_same(db, "sumw(S)");
+    expect_same(db, "best(X, W)");
+    expect_same(db, "\\+ edge(q, r)");
+    expect_same(db, "findall([X,Y], edge(X, Y), L)");
+  }
+}
+
+}  // namespace
+}  // namespace deco::wlog
