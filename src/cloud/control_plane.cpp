@@ -10,7 +10,8 @@
 namespace deco::cloud {
 namespace {
 
-/// splitmix64 finalizer: derives independent per-type streams from the seed.
+/// splitmix64 finalizer: derives independent per-(type, region) streams from
+/// the seed.
 std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
   std::uint64_t z = a + 0x9E3779B97F4A7C15ULL * (b + 1);
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
@@ -101,9 +102,15 @@ ControlPlane::ControlPlane(const Catalog& catalog, ControlPlaneOptions options)
       options_(options),
       rng_(mix(options.seed, 0)),
       tokens_(std::max(options.faults.throttle_burst, 1.0)) {
-  capacity_.resize(catalog.type_count());
+  // One outage-window stream per (type, region): an outage of m1.small in
+  // us-east says nothing about m1.small in Singapore.
+  const std::size_t regions = std::max<std::size_t>(catalog.region_count(), 1);
+  capacity_.resize(catalog.type_count() * regions);
   for (TypeId t = 0; t < catalog.type_count(); ++t) {
-    capacity_[t].rng.reseed(mix(options_.seed, 0x9E37 + t));
+    for (RegionId r = 0; r < regions; ++r) {
+      capacity_[t * regions + r].rng.reseed(
+          mix(mix(options_.seed, 0x9E37 + t), r));
+    }
   }
   for (auto& breaker : breakers_) breaker = CircuitBreaker(options_.breaker);
 }
@@ -121,19 +128,24 @@ bool ControlPlane::take_token(double now) {
   return true;
 }
 
-bool ControlPlane::in_capacity_outage(TypeId type, double now) {
-  if (options_.faults.capacity_mtbo_s <= 0 || type >= capacity_.size()) {
+bool ControlPlane::in_capacity_outage(TypeId type, RegionId region,
+                                      double now) {
+  const std::size_t regions =
+      std::max<std::size_t>(catalog_->region_count(), 1);
+  const std::size_t slot = type * regions + std::min<std::size_t>(region,
+                                                                  regions - 1);
+  if (options_.faults.capacity_mtbo_s <= 0 || slot >= capacity_.size()) {
     return false;
   }
-  CapacityState& cap = capacity_[type];
+  CapacityState& cap = capacity_[slot];
   if (!cap.primed) {
     cap.outage_start = exponential(cap.rng, options_.faults.capacity_mtbo_s);
     cap.outage_end =
         cap.outage_start + exponential(cap.rng, options_.faults.capacity_outage_s);
     cap.primed = true;
   }
-  // Windows are a function of (seed, type, time) alone: advance them past
-  // `now` regardless of who asked before.
+  // Windows are a function of (seed, type, region, time) alone: advance them
+  // past `now` regardless of who asked before.
   while (now >= cap.outage_end) {
     cap.outage_start =
         cap.outage_end + exponential(cap.rng, options_.faults.capacity_mtbo_s);
@@ -164,7 +176,8 @@ void ControlPlane::record(ApiErrorCode code) {
   }
 }
 
-ApiErrorCode ControlPlane::try_call(ApiOp op, double now, TypeId type) {
+ApiErrorCode ControlPlane::try_call(ApiOp op, double now, TypeId type,
+                                    RegionId region) {
   if (null_model()) return ApiErrorCode::kOk;  // no draws, no bookkeeping
   ApiErrorCode code = ApiErrorCode::kOk;
   if (!take_token(now)) {
@@ -172,7 +185,7 @@ ApiErrorCode ControlPlane::try_call(ApiOp op, double now, TypeId type) {
   } else if (options_.faults.transient_error_prob > 0 &&
              rng_.chance(options_.faults.transient_error_prob)) {
     code = ApiErrorCode::kTransient;
-  } else if (op == ApiOp::kAcquire && in_capacity_outage(type, now)) {
+  } else if (op == ApiOp::kAcquire && in_capacity_outage(type, region, now)) {
     code = ApiErrorCode::kInsufficientCapacity;
   }
   record(code);
@@ -248,7 +261,8 @@ ProvisionGrant ControlPlane::provision(TypeId type, RegionId region,
           t = std::max(t, breaker.retry_at());
         }
         const std::size_t opens_before = breaker.opens();
-        const ApiErrorCode code = try_call(ApiOp::kAcquire, t, cand_type);
+        const ApiErrorCode code =
+            try_call(ApiOp::kAcquire, t, cand_type, cand_region);
         if (attempt > 1) {
           ++stats_.retries;
           DECO_OBS_COUNTER_ADD("cloud.api.retries", 1);

@@ -67,11 +67,13 @@ struct ApiFaultOptions {
   double throttle_rate_per_s = 0;
   double throttle_burst = 8;
 
-  /// Per-type capacity exhaustion: outages arrive per type as a Poisson
-  /// process with mean inter-arrival `capacity_mtbo_s` (mean time between
-  /// outages; <= 0 disables) and exponential mean duration
-  /// `capacity_outage_s`.  During an outage every acquire of that type is
-  /// denied with kInsufficientCapacity.
+  /// Per-(type, region) capacity exhaustion: outages arrive per (type,
+  /// region) pair as a Poisson process with mean inter-arrival
+  /// `capacity_mtbo_s` (mean time between outages; <= 0 disables) and
+  /// exponential mean duration `capacity_outage_s`.  During an outage every
+  /// acquire of that type *in that region* is denied with
+  /// kInsufficientCapacity — the same type stays acquirable elsewhere, which
+  /// is what makes region fallback a real escape hatch.
   double capacity_mtbo_s = 0;
   double capacity_outage_s = 600;
 
@@ -216,8 +218,10 @@ class ControlPlane {
 
   /// One raw API call at virtual time `now` (monotone per control plane).
   /// Applies throttling and transient errors; acquire additionally checks
-  /// per-type capacity.  Does not retry and does not consult the breaker.
-  ApiErrorCode try_call(ApiOp op, double now, TypeId type = 0);
+  /// per-(type, region) capacity.  Does not retry and does not consult the
+  /// breaker.
+  ApiErrorCode try_call(ApiOp op, double now, TypeId type = 0,
+                        RegionId region = 0);
 
   /// Resilient acquire: retries with jittered backoff, respects the
   /// acquire breaker, and falls back to alternate types/regions when
@@ -234,13 +238,14 @@ class ControlPlane {
   /// or nullopt when interruptions are disabled (no entropy consumed).
   std::optional<SpotInterruption> sample_interruption(double acquired_at);
 
-  /// Is capacity for `type` exhausted at virtual time `now`?  (Exposed for
-  /// tests; advances the per-type outage window lazily.)
-  bool in_capacity_outage(TypeId type, double now);
+  /// Is capacity for `type` in `region` exhausted at virtual time `now`?
+  /// (Exposed for tests; advances the per-(type, region) outage window
+  /// lazily.)
+  bool in_capacity_outage(TypeId type, RegionId region, double now);
 
  private:
   struct CapacityState {
-    util::Rng rng;           ///< per-type stream: windows depend only on time
+    util::Rng rng;  ///< per-(type, region) stream: windows depend only on time
     double outage_start = 0;
     double outage_end = 0;
     bool primed = false;
@@ -259,7 +264,7 @@ class ControlPlane {
   util::Rng rng_;          ///< transient errors, jitter, interruptions
   double tokens_ = 0;
   double token_time_ = 0;  ///< bucket last refilled at this virtual time
-  std::vector<CapacityState> capacity_;
+  std::vector<CapacityState> capacity_;  ///< type-major (type, region) matrix
   std::array<CircuitBreaker, kApiOpCount> breakers_;
   ApiStats stats_;
 };

@@ -95,13 +95,46 @@ TEST(ControlPlaneTest, CapacityOutageWindowsAreDeterministicPerSeed) {
 
   ControlPlane a(catalog, options);
   ControlPlane b(catalog, options);
-  // Query b at scrambled times: windows depend only on (seed, type, time),
-  // not on the interleaving of queries.
-  for (double t = 0; t < 4 * 3600; t += 721) (void)b.in_capacity_outage(1, t);
+  // Query b at scrambled times and other (type, region) slots: windows
+  // depend only on (seed, type, region, time), not on the interleaving of
+  // queries.
+  for (double t = 0; t < 4 * 3600; t += 721) {
+    (void)b.in_capacity_outage(1, 0, t);
+    (void)b.in_capacity_outage(0, 1, t);
+  }
   for (double t = 0; t < 4 * 3600; t += 97) {
-    EXPECT_EQ(a.in_capacity_outage(0, t), b.in_capacity_outage(0, t))
+    EXPECT_EQ(a.in_capacity_outage(0, 0, t), b.in_capacity_outage(0, 0, t))
         << "t=" << t;
   }
+}
+
+TEST(ControlPlaneTest, OutageIsRegionScoped) {
+  const Catalog catalog = make_ec2_catalog();
+  ASSERT_GE(catalog.region_count(), 2u);
+  ControlPlaneOptions options;
+  options.faults.capacity_mtbo_s = 2000;
+  options.faults.capacity_outage_s = 5000;
+  options.seed = 21;
+  ControlPlane plane(catalog, options);
+  const RegionId us_east = 0;
+  const RegionId singapore = 1;
+
+  // Find a moment when type 0 is dark in us-east but lit in Singapore (the
+  // per-(type, region) windows are independent, so such a moment exists).
+  double t = 0;
+  while (!(plane.in_capacity_outage(0, us_east, t) &&
+           !plane.in_capacity_outage(0, singapore, t))) {
+    t += 50;
+    ASSERT_LT(t, 1e7) << "no region-divergent outage window found";
+  }
+
+  // The us-east acquire of type 0 is denied by its regional outage...
+  EXPECT_EQ(plane.try_call(ApiOp::kAcquire, t, 0, us_east),
+            ApiErrorCode::kInsufficientCapacity);
+  // ...while a Singapore acquire of the very same type sails through: the
+  // outage no longer blacks out the type globally.
+  EXPECT_EQ(plane.try_call(ApiOp::kAcquire, t, 0, singapore),
+            ApiErrorCode::kOk);
 }
 
 TEST(ControlPlaneTest, TransientErrorsAreRetriedToSuccess) {
@@ -132,9 +165,10 @@ TEST(ControlPlaneTest, OutageFallsBackToAlternateCandidate) {
   options.seed = 13;
   ControlPlane plane(catalog, options);
 
-  // Find a moment when type 0 is exhausted (outages recur, so this ends).
+  // Find a moment when type 0 is exhausted in the home region (outages
+  // recur, so this ends).
   double t = 0;
-  while (!plane.in_capacity_outage(0, t)) t += 50;
+  while (!plane.in_capacity_outage(0, 0, t)) t += 50;
 
   // The first attempt is denied, so a grant can only come from a fallback
   // candidate (provision never returns to an abandoned candidate).

@@ -107,9 +107,9 @@ TEST(ProvisionerTest, ExhaustedCapacityYieldsDegradedFleet) {
   options.seed = 21;
   ControlPlane plane(catalog, options);
 
-  // Find a moment when the desired type is exhausted.
+  // Find a moment when the desired type is exhausted in the home region.
   double t = 0;
-  while (!plane.in_capacity_outage(0, t)) t += 50;
+  while (!plane.in_capacity_outage(0, 0, t)) t += 50;
 
   Provisioner provisioner(plane);
   provisioner.set_desired(0, 0, 2);
