@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <string>
 #include <utility>
 
@@ -58,7 +59,7 @@ const char* breaker_state_name(BreakerState state) {
 bool ApiFaultOptions::enabled() const {
   return throttle_rate_per_s > 0 || capacity_mtbo_s > 0 ||
          transient_error_prob > 0 || describe_lag_s > 0 ||
-         spot_interruption_mtbf_s > 0;
+         spot_interruption_mtbf_s > 0 || weather.enabled();
 }
 
 BreakerState CircuitBreaker::state(double now) const {
@@ -112,6 +113,8 @@ ControlPlane::ControlPlane(const Catalog& catalog, ControlPlaneOptions options)
           mix(mix(options_.seed, 0x9E37 + t), r));
     }
   }
+  weather_ =
+      RegionalWeather(regions, options_.faults.weather, mix(options_.seed, 1));
   for (auto& breaker : breakers_) breaker = CircuitBreaker(options_.breaker);
 }
 
@@ -185,6 +188,13 @@ ApiErrorCode ControlPlane::try_call(ApiOp op, double now, TypeId type,
   } else if (options_.faults.transient_error_prob > 0 &&
              rng_.chance(options_.faults.transient_error_prob)) {
     code = ApiErrorCode::kTransient;
+  } else if (op == ApiOp::kAcquire && weather_.capacity_denied(region, now)) {
+    // A regional storm blacks out the whole region: every type is denied
+    // together, which is exactly what makes region fallback (and the WMS's
+    // evacuation path) necessary.
+    code = ApiErrorCode::kInsufficientCapacity;
+    ++stats_.storm_denials;
+    DECO_OBS_COUNTER_ADD("cloud.weather.storm_denials", 1);
   } else if (op == ApiOp::kAcquire && in_capacity_outage(type, region, now)) {
     code = ApiErrorCode::kInsufficientCapacity;
   }
@@ -350,12 +360,26 @@ double ControlPlane::complete_call(ApiOp op, double now) {
 }
 
 std::optional<SpotInterruption> ControlPlane::sample_interruption(
-    double acquired_at) {
+    double acquired_at, RegionId region) {
   if (!interruptions_enabled()) return std::nullopt;
+  double reclaim_at = std::numeric_limits<double>::infinity();
+  if (options_.faults.spot_interruption_mtbf_s > 0) {
+    reclaim_at = acquired_at +
+                 exponential(rng_, options_.faults.spot_interruption_mtbf_s);
+  }
+  // Weather spot storms layer a *shared* regional draw on top of the
+  // i.i.d. process: the storm's reclamation instant hits every co-located
+  // spot instance acquired before it, so the earlier of the two wins.
+  if (const auto storm_at = weather_.spot_reclaim_after(region, acquired_at)) {
+    if (*storm_at < reclaim_at) {
+      reclaim_at = *storm_at;
+      ++stats_.storm_reclaims;
+      DECO_OBS_COUNTER_ADD("cloud.weather.spot_reclaims", 1);
+    }
+  }
+  if (!std::isfinite(reclaim_at)) return std::nullopt;
   SpotInterruption interruption;
-  interruption.reclaim_at =
-      acquired_at +
-      exponential(rng_, options_.faults.spot_interruption_mtbf_s);
+  interruption.reclaim_at = reclaim_at;
   interruption.notice_at =
       std::max(acquired_at, interruption.reclaim_at -
                                 std::max(options_.faults.spot_notice_lead_s, 0.0));

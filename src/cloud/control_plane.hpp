@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "cloud/instance_type.hpp"
+#include "cloud/weather.hpp"
 #include "util/backoff.hpp"
 #include "util/rng.hpp"
 
@@ -90,6 +91,12 @@ struct ApiFaultOptions {
   /// the reclamation (EC2's two-minute warning).
   double spot_interruption_mtbf_s = 0;
   double spot_notice_lead_s = 120;
+
+  /// Regional failure weather: correlated storms that black out a region's
+  /// capacity across every type, synchronously reclaim its spot instances,
+  /// and raise its crash hazard.  Disabled by default (storm_mtbs_s <= 0);
+  /// see cloud/weather.hpp for the determinism contract.
+  RegionalWeatherOptions weather;
 
   /// True iff any fault class is active.
   bool enabled() const;
@@ -178,6 +185,8 @@ struct ApiStats {
   std::size_t breaker_opens = 0;
   std::size_t breaker_waits = 0;      ///< calls delayed by an open breaker
   std::size_t spot_interruptions = 0; ///< interruption schedules issued
+  std::size_t storm_denials = 0;      ///< acquires denied by a regional storm
+  std::size_t storm_reclaims = 0;     ///< interruptions pulled in by a storm
 };
 
 /// The grant returned by a resilient provisioning call.
@@ -211,10 +220,17 @@ class ControlPlane {
   /// no entropy is consumed (the bit-identity contract).
   bool null_model() const { return !options_.faults.enabled(); }
 
-  /// Spot-interruption notices are modelled (affects executor semantics).
+  /// Spot-interruption notices are modelled (affects executor semantics):
+  /// either the i.i.d. exponential process or weather spot storms.
   bool interruptions_enabled() const {
-    return options_.faults.spot_interruption_mtbf_s > 0;
+    return options_.faults.spot_interruption_mtbf_s > 0 ||
+           (weather_.enabled() && options_.faults.weather.spot_storms);
   }
+
+  /// The regional weather process (mutable: storm windows materialize
+  /// lazily on query).  Disabled weather answers every query trivially.
+  RegionalWeather& weather() { return weather_; }
+  const RegionalWeather& weather() const { return weather_; }
 
   /// One raw API call at virtual time `now` (monotone per control plane).
   /// Applies throttling and transient errors; acquire additionally checks
@@ -234,9 +250,13 @@ class ControlPlane {
   /// last attempt time) after RetryOptions::max_attempts.
   double complete_call(ApiOp op, double now);
 
-  /// Samples the interruption schedule for an instance acquired at `now`,
-  /// or nullopt when interruptions are disabled (no entropy consumed).
-  std::optional<SpotInterruption> sample_interruption(double acquired_at);
+  /// Samples the interruption schedule for an instance acquired at `now`
+  /// in `region`, or nullopt when interruptions are disabled (no entropy
+  /// consumed).  With weather spot storms active, the regional storm's
+  /// shared reclamation draw can pull the reclaim earlier — co-located
+  /// instances acquired before the same storm are reclaimed together.
+  std::optional<SpotInterruption> sample_interruption(double acquired_at,
+                                                      RegionId region = 0);
 
   /// Is capacity for `type` in `region` exhausted at virtual time `now`?
   /// (Exposed for tests; advances the per-(type, region) outage window
@@ -265,6 +285,7 @@ class ControlPlane {
   double tokens_ = 0;
   double token_time_ = 0;  ///< bucket last refilled at this virtual time
   std::vector<CapacityState> capacity_;  ///< type-major (type, region) matrix
+  RegionalWeather weather_;
   std::array<CircuitBreaker, kApiOpCount> breakers_;
   ApiStats stats_;
 };

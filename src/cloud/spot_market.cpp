@@ -10,17 +10,36 @@ namespace deco::cloud {
 SpotPriceTrace SpotPriceTrace::simulate(double on_demand,
                                         const SpotModel& model,
                                         std::size_t steps, util::Rng& rng) {
+  return simulate(on_demand, model, steps, rng, nullptr, 0);
+}
+
+SpotPriceTrace SpotPriceTrace::simulate(double on_demand,
+                                        const SpotModel& model,
+                                        std::size_t steps, util::Rng& rng,
+                                        RegionalWeather* weather,
+                                        RegionId region) {
   SpotPriceTrace trace;
   trace.step_seconds_ = model.step_seconds;
   trace.prices_.reserve(steps);
   const double mean_log = std::log(on_demand * model.base_fraction);
   double x = mean_log;
   const util::Normal noise{0.0, model.volatility};
+  const bool stormy = weather != nullptr && weather->enabled();
   for (std::size_t i = 0; i < steps; ++i) {
     x += model.reversion * (mean_log - x) + noise.sample(rng);
     if (rng.chance(model.spike_prob)) x += model.spike_magnitude;
+    double price_x = x;
+    // A storm is a regional demand surge: the price rides spike_magnitude
+    // above the OU level for every step the storm lasts.  The surge is
+    // additive per step and does not feed back into x, so the trace decays
+    // straight back to the OU level when the storm clears — and the
+    // weatherless path consumes the RNG identically.
+    if (stormy &&
+        weather->in_storm(region, static_cast<double>(i) * model.step_seconds)) {
+      price_x += model.spike_magnitude;
+    }
     // Spot never exceeds on-demand for long: providers cap at on-demand.
-    const double price = std::min(std::exp(x), on_demand);
+    const double price = std::min(std::exp(price_x), on_demand);
     trace.prices_.push_back(price);
   }
   return trace;

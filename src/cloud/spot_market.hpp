@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "cloud/instance_type.hpp"
+#include "cloud/weather.hpp"
 #include "util/rng.hpp"
 
 namespace deco::cloud {
@@ -43,6 +44,15 @@ class SpotPriceTrace {
   /// `on_demand` under `model`.
   static SpotPriceTrace simulate(double on_demand, const SpotModel& model,
                                  std::size_t steps, util::Rng& rng);
+
+  /// Weather overload: while a storm is active in `region`, every step's
+  /// log-price carries an extra demand spike of `model.spike_magnitude` —
+  /// the regional surge that makes spot capacity disappear together.  A
+  /// null or disabled `weather` consumes the RNG exactly as the base
+  /// overload and produces a bit-identical trace.
+  static SpotPriceTrace simulate(double on_demand, const SpotModel& model,
+                                 std::size_t steps, util::Rng& rng,
+                                 RegionalWeather* weather, RegionId region);
 
   double step_seconds() const { return step_seconds_; }
   std::size_t size() const { return prices_.size(); }

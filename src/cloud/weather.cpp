@@ -1,0 +1,115 @@
+#include "cloud/weather.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/obs.hpp"
+
+namespace deco::cloud {
+namespace {
+
+/// splitmix64 finalizer: independent per-region streams from one seed.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t z = a + 0x9E3779B97F4A7C15ULL * (b + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double exponential(util::Rng& rng, double mean) {
+  const double u = std::max(1.0 - rng.uniform(), 1e-12);  // (0, 1]
+  return -mean * std::log(u);
+}
+
+}  // namespace
+
+RegionalWeather::RegionalWeather(std::size_t regions,
+                                 const RegionalWeatherOptions& options,
+                                 std::uint64_t seed)
+    : options_(options) {
+  if (!options_.enabled()) return;
+  streams_.resize(std::max<std::size_t>(regions, 1));
+  for (std::size_t r = 0; r < streams_.size(); ++r) {
+    streams_[r].rng.reseed(mix(seed, 0x57E4 + r));
+  }
+}
+
+void RegionalWeather::append_window(RegionId region) {
+  RegionStream& s = streams_[region];
+  // Window parameters are drawn in a fixed order, so the window list is a
+  // pure function of (seed, region, index) no matter who queried before.
+  const double mean_gap =
+      std::max(options_.storm_mtbs_s / options_.hazard_for(region), 1e-6);
+  const double prev_end = s.windows.empty() ? 0.0 : s.windows.back().end;
+  StormWindow w;
+  w.start = prev_end + exponential(s.rng, mean_gap);
+  w.end = w.start + exponential(s.rng, std::max(options_.storm_duration_s, 1.0));
+  w.reclaim_at = w.start + s.rng.uniform() * (w.end - w.start);
+  w.blackout = s.rng.chance(std::clamp(options_.capacity_hazard, 0.0, 1.0));
+  s.windows.push_back(w);
+  DECO_OBS_COUNTER_ADD("cloud.weather.storms", 1);
+}
+
+void RegionalWeather::ensure_until(RegionId region, double t) {
+  RegionStream& s = streams_[region];
+  while (s.windows.empty() || s.windows.back().end <= t) {
+    append_window(region);
+  }
+}
+
+const StormWindow* RegionalWeather::window_at(RegionId region, double now) {
+  if (!enabled()) return nullptr;
+  if (region >= streams_.size()) region = 0;
+  ensure_until(region, now);
+  // Few windows are ever materialized per run; a linear scan from the back
+  // (queries are roughly time-ordered) beats binary search in practice.
+  for (auto it = streams_[region].windows.rbegin();
+       it != streams_[region].windows.rend(); ++it) {
+    if (it->start <= now && now < it->end) return &*it;
+    if (it->end <= now) break;  // windows are time-ordered and disjoint
+  }
+  return nullptr;
+}
+
+bool RegionalWeather::in_storm(RegionId region, double now) {
+  return window_at(region, now) != nullptr;
+}
+
+bool RegionalWeather::capacity_denied(RegionId region, double now) {
+  const StormWindow* w = window_at(region, now);
+  return w != nullptr && w->blackout;
+}
+
+double RegionalWeather::crash_multiplier(RegionId region, double now) {
+  if (window_at(region, now) == nullptr) return 1.0;
+  return std::max(options_.crash_hazard, 1.0);
+}
+
+std::optional<StormWindow> RegionalWeather::next_storm(RegionId region,
+                                                       double from) {
+  if (!enabled()) return std::nullopt;
+  if (region >= streams_.size()) region = 0;
+  ensure_until(region, from);
+  for (const StormWindow& w : streams_[region].windows) {
+    if (w.end > from) return w;
+  }
+  // ensure_until guarantees the last window ends after `from`.
+  return streams_[region].windows.back();
+}
+
+std::optional<double> RegionalWeather::spot_reclaim_after(RegionId region,
+                                                          double acquired_at) {
+  if (!enabled() || !options_.spot_storms) return std::nullopt;
+  if (region >= streams_.size()) region = 0;
+  ensure_until(region, acquired_at);
+  RegionStream& s = streams_[region];
+  // Reclaim draws are strictly increasing across windows, so extend the
+  // list until one lands at or after the acquisition.
+  while (s.windows.back().reclaim_at < acquired_at) append_window(region);
+  for (const StormWindow& w : s.windows) {
+    if (w.reclaim_at >= acquired_at) return w.reclaim_at;
+  }
+  return s.windows.back().reclaim_at;  // unreachable; keep the compiler calm
+}
+
+}  // namespace deco::cloud

@@ -160,10 +160,20 @@ ExecutionResult simulate_execution(const workflow::Workflow& wf,
         inst_id = pool.acquire(grant_type, grant_region, admit,
                                placement.group);
         if (fm && fm->crashes_enabled()) {
-          pool.instance(inst_id).crash_at = admit + fm->sample_uptime(rng);
+          // Crash hazard follows where the instance runs: the model's
+          // static per-region multiplier composed with the regional
+          // weather's storm multiplier at acquisition.  Both default to
+          // exactly 1.0, which keeps the draw bit-identical to the
+          // region-blind model.
+          double hazard = fm->region_hazard(grant_region);
+          if (cp && cp->weather().enabled()) {
+            hazard *= cp->weather().crash_multiplier(grant_region, admit);
+          }
+          pool.instance(inst_id).crash_at =
+              admit + fm->sample_uptime(rng, hazard);
         }
         if (interruptions) {
-          if (const auto intr = cp->sample_interruption(admit)) {
+          if (const auto intr = cp->sample_interruption(admit, grant_region)) {
             pool.instance(inst_id).reclaim_at = intr->reclaim_at;
             pool.instance(inst_id).notice_at = intr->notice_at;
           }
@@ -400,6 +410,26 @@ ExecutionResult simulate_execution(const workflow::Workflow& wf,
             ++result.failures.spot_interruptions;
             note_notice(inst.notice_at);
           }
+        }
+      }
+    }
+  }
+  // Surface the weather forecast for the regions this run actually used:
+  // the earliest storm opening before the run ends is the reactive
+  // engine's evacuation signal (analogous to a spot notice, but regional).
+  if (cp && cp->weather().enabled() && pool.instance_count() > 0) {
+    std::vector<std::uint8_t> used(catalog.region_count(), 0);
+    for (InstanceId id = 0; id < pool.instance_count(); ++id) {
+      const cloud::RegionId r = pool.instance(id).region;
+      if (r < used.size()) used[r] = 1;
+    }
+    for (cloud::RegionId r = 0; r < used.size(); ++r) {
+      if (!used[r]) continue;
+      if (const auto w = cp->weather().next_storm(r, 0.0)) {
+        if (w->start < end && w->start < result.first_storm_s) {
+          result.first_storm_s = w->start;
+          result.first_storm_end_s = w->end;
+          result.storm_region = r;
         }
       }
     }

@@ -124,6 +124,13 @@ struct ExecutionResult {
   /// advance warning: the reactive engine replans proactively at the notice
   /// (checkpoint + move work) instead of reacting to the reclamation.
   double first_notice_s = std::numeric_limits<double>::infinity();
+  /// Earliest regional storm opening, before the run ends, in a region this
+  /// run's instances occupy (+inf without weather or when no storm lands).
+  /// Like first_notice_s this is a forecast the reactive engine acts on —
+  /// it cuts ahead of the storm and evacuates `storm_region`.
+  double first_storm_s = std::numeric_limits<double>::infinity();
+  double first_storm_end_s = std::numeric_limits<double>::infinity();
+  cloud::RegionId storm_region = 0;
 };
 
 /// Simulates one execution of `wf` under `plan`.  Each call consumes RNG

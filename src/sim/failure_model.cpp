@@ -12,20 +12,26 @@ bool FailureModel::enabled() const {
          options_.task_failure_prob > 0 || options_.straggler_prob > 0;
 }
 
-double FailureModel::sample_uptime(util::Rng& rng) const {
+double FailureModel::sample_uptime(util::Rng& rng, double hazard) const {
   // Inverse-CDF sampling keeps the draw to one uniform, so the executor's
   // RNG consumption per acquisition is fixed.
   const double u = std::max(1.0 - rng.uniform(), 1e-12);  // (0, 1]
   const double log_term = -std::log(u);
+  double uptime;
   if (options_.crash_distribution ==
       FailureModelOptions::CrashDistribution::kExponential) {
-    return options_.crash_mtbf_s * log_term;
+    uptime = options_.crash_mtbf_s * log_term;
+  } else {
+    // Weibull(k, lambda) with the scale chosen so the mean uptime is the
+    // configured MTBF: E[X] = lambda * Gamma(1 + 1/k).
+    const double k = std::max(options_.weibull_shape, 0.1);
+    const double lambda = options_.crash_mtbf_s / std::tgamma(1.0 + 1.0 / k);
+    uptime = lambda * std::pow(log_term, 1.0 / k);
   }
-  // Weibull(k, lambda) with the scale chosen so the mean uptime is the
-  // configured MTBF: E[X] = lambda * Gamma(1 + 1/k).
-  const double k = std::max(options_.weibull_shape, 0.1);
-  const double lambda = options_.crash_mtbf_s / std::tgamma(1.0 + 1.0 / k);
-  return lambda * std::pow(log_term, 1.0 / k);
+  // The guard keeps hazard == 1.0 bit-identical to the unscaled draw
+  // (x / 1.0 rounds identically, but don't rely on it).
+  if (hazard != 1.0) uptime /= std::max(hazard, 1e-6);
+  return uptime;
 }
 
 bool FailureModel::sample_boot_failure(util::Rng& rng) const {

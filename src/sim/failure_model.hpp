@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "cloud/instance_type.hpp"
 #include "util/rng.hpp"
@@ -64,6 +65,12 @@ struct FailureModelOptions {
   /// Fraction of an attempt's completed work salvaged when its instance
   /// crashes (0 = restart from scratch, 1 = perfect checkpointing).
   double checkpoint_fraction = 0;
+
+  /// Per-region crash-rate multiplier (indexed by cloud::RegionId; empty or
+  /// short = 1.0 everywhere).  region_hazard(r) composes with the regional
+  /// weather's storm multiplier at acquisition time, so crashes stay i.i.d.
+  /// per instance but the *rate* follows where the instance runs.
+  std::vector<double> region_crash_multiplier;
 };
 
 /// Stateless, deterministic failure sampler shared by the executor (which
@@ -81,8 +88,19 @@ class FailureModel {
   bool crashes_enabled() const { return options_.crash_mtbf_s > 0; }
 
   /// Uptime until the crash of a freshly acquired instance, seconds.
-  /// Requires crashes_enabled().
-  double sample_uptime(util::Rng& rng) const;
+  /// Requires crashes_enabled().  `hazard` multiplies the crash *rate*
+  /// (uptimes shrink by 1/hazard); the default of exactly 1.0 leaves the
+  /// draw bit-identical to the unscaled model, so hazard-free callers
+  /// reproduce existing traces.
+  double sample_uptime(util::Rng& rng, double hazard = 1.0) const;
+
+  /// Static crash-rate multiplier for instances in `region` (1.0 when the
+  /// per-region table is empty or does not cover the region).
+  double region_hazard(cloud::RegionId region) const {
+    if (region >= options_.region_crash_multiplier.size()) return 1.0;
+    const double m = options_.region_crash_multiplier[region];
+    return m > 0 ? m : 1.0;
+  }
 
   /// One acquisition attempt fails to boot?  Consumes RNG only when
   /// boot_failure_prob > 0.
