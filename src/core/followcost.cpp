@@ -142,6 +142,50 @@ MigrationDecision MigrationOptimizer::optimize(
   return decision;
 }
 
+EvacuationPlan choose_evacuation_region(const MigrationWorkflowState& state,
+                                        const cloud::Catalog& catalog,
+                                        TaskTimeEstimator& estimator,
+                                        cloud::RegionId storm_region) {
+  MigrationOptimizer optimizer(catalog, estimator);
+  EvacuationPlan plan;
+  plan.target = state.region;
+
+  // Rank candidate regions by total cost (Eq. 8 execution + Eq. 9 data
+  // gravity), feasibility by the remaining static deadline (Eq. 10).  The
+  // storm region is not a candidate — that capacity is gone.
+  bool have_feasible = false;
+  double best_cost = 0;
+  double best_time = 0;
+  bool have_any = false;
+  for (cloud::RegionId r = 0; r < catalog.region_count(); ++r) {
+    if (r == storm_region) continue;
+    const double cost = optimizer.execution_cost(state, r) +
+                        optimizer.migration_cost(state, r);
+    const double time = optimizer.remaining_time(state, r);
+    const bool feasible = time <= state.remaining_deadline();
+    const bool better = !have_any ||
+                        (feasible && !have_feasible) ||
+                        (feasible == have_feasible &&
+                         (feasible ? cost < best_cost : time < best_time));
+    if (better) {
+      plan.target = r;
+      best_cost = cost;
+      best_time = time;
+      have_feasible = have_feasible || feasible;
+      have_any = true;
+    }
+  }
+  plan.moved = have_any && plan.target != state.region;
+  plan.execution_cost = optimizer.execution_cost(state, plan.target);
+  if (plan.moved) {
+    plan.migration_cost = optimizer.migration_cost(state, plan.target);
+    const double bw_bytes =
+        std::max(catalog.inter_region_net().mean(), 1.0) * 1e6 / 8.0;
+    plan.transfer_time_s = state.frontier_bytes() / bw_bytes;
+  }
+  return plan;
+}
+
 FollowCostReport run_followcost_scenario(
     std::vector<MigrationWorkflowState> states, const cloud::Catalog& catalog,
     const MigrationPolicy& policy, util::Rng& rng,

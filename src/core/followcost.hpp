@@ -77,6 +77,27 @@ class MigrationOptimizer {
   TaskTimeEstimator* estimator_;
 };
 
+/// Where a storm-driven evacuation should send the residual workflow, and
+/// what the move costs (data gravity: the frontier's bytes must follow).
+struct EvacuationPlan {
+  cloud::RegionId target = 0;   ///< chosen region (== current when staying)
+  bool moved = false;           ///< target differs from the current region
+  double migration_cost = 0;    ///< Eq. 9 egress cost of the frontier, USD
+  double transfer_time_s = 0;   ///< frontier over mean inter-region bandwidth
+  double execution_cost = 0;    ///< Eq. 8 remaining execution cost at target
+};
+
+/// Picks the failover region for a residual workflow whose current region
+/// `storm_region` is under a storm: the cheapest region (remaining
+/// execution + data-gravity migration cost, Eqs. 8/9) that still meets the
+/// remaining deadline (Eq. 10), storm region excluded.  Falls back to the
+/// fastest non-storm region when none is feasible, and stays put when the
+/// catalog has nowhere else to go.
+EvacuationPlan choose_evacuation_region(const MigrationWorkflowState& state,
+                                        const cloud::Catalog& catalog,
+                                        TaskTimeEstimator& estimator,
+                                        cloud::RegionId storm_region);
+
 /// Migration policy invoked between execution periods.
 using MigrationPolicy = std::function<std::vector<cloud::RegionId>(
     const std::vector<MigrationWorkflowState>&)>;

@@ -25,6 +25,10 @@ std::string WlogBridge::vm_atom(cloud::TypeId id) {
   return "v" + std::to_string(id);
 }
 
+std::string WlogBridge::region_atom(cloud::RegionId id) {
+  return "r" + std::to_string(id);
+}
+
 wlog::ProbProgram WlogBridge::build_ir(const wlog::Program& program) {
   DECO_OBS_SPAN_TIMED("wlog", "translate_ir", "wlog.translate_ms");
   DECO_OBS_COUNTER_ADD("wlog.ir_builds", 1);
@@ -57,6 +61,17 @@ wlog::ProbProgram WlogBridge::build_ir(const wlog::Program& program) {
     ir.base().add_fact(make_compound(
         "price", {make_atom(vm_atom(v)),
                   make_float(catalog.price(v, options_.region) / 3600.0)}));
+  }
+  // Region topology + the data-gravity term: region/1 plus per-pair egress
+  // prices so residency and failover goals can price inter-region moves.
+  for (cloud::RegionId a = 0; a < catalog.region_count(); ++a) {
+    ir.base().add_fact(make_compound("region", {make_atom(region_atom(a))}));
+    for (cloud::RegionId b = 0; b < catalog.region_count(); ++b) {
+      if (a == b) continue;
+      ir.base().add_fact(make_compound(
+          "transfer_price", {make_atom(region_atom(a)), make_atom(region_atom(b)),
+                             make_float(catalog.egress_price(a))}));
+    }
   }
 
   // Virtual tasks are free, instantaneous, and pre-configured on every type
@@ -104,6 +119,9 @@ wlog::ProbProgram WlogBridge::bind_plan(const wlog::ProbProgram& ir,
     bound.base().add_fact(make_compound(
         "configs", {make_atom(task_atom(t)), make_atom(vm_atom(plan[t].vm_type)),
                     make_int(1)}));
+    bound.base().add_fact(make_compound(
+        "region",
+        {make_atom(task_atom(t)), make_atom(region_atom(plan[t].region))}));
   }
   return bound;
 }

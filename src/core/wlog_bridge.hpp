@@ -9,14 +9,19 @@
 //   vm(v_j).                        one fact per instance type
 //   price(v_j, UsdPerSecond).       unit price (per second, so that
 //                                   C is T*Up*Con matches Eq. 1)
+//   region(r_k).                    one fact per catalog region
+//   transfer_price(r_a, r_b, Usd).  inter-region egress price per GB
+//                                   (the data-gravity term residency and
+//                                   failover goals price transfers with)
 // and the probabilistic layer:
 //   p_b : exetime(t_i, v_j, T_b)    one annotated-disjunction group per
 //                                   (task, type) from the estimator histogram
 //                                   ("n is determined by the number of bins
 //                                   in the performance histogram").
 //
-// bind_plan asserts the candidate solution's configs(t, v, 1) facts, after
-// which the interpreter can answer totalcost/maxtime queries per world.
+// bind_plan asserts the candidate solution's configs(t, v, 1) facts plus
+// region(t_i, r_k) placement facts, after which the interpreter can answer
+// totalcost/maxtime (and region-residency/failover) queries per world.
 #pragma once
 
 #include <span>
@@ -46,13 +51,15 @@ class WlogBridge {
 
   /// Returns a copy of `ir` with configs facts asserted for `plan`
   /// (including the virtual root/tail tasks, pinned to type 0 with zero
-  /// time so they never affect cost or makespan).
+  /// time so they never affect cost or makespan), plus region(t, r) facts
+  /// recording each task's placed region.
   wlog::ProbProgram bind_plan(const wlog::ProbProgram& ir,
                               const sim::Plan& plan) const;
 
   /// Atom names used in the IR.
   static std::string task_atom(workflow::TaskId id);
   static std::string vm_atom(cloud::TypeId id);
+  static std::string region_atom(cloud::RegionId id);
 
   const workflow::Workflow& workflow() const { return *wf_; }
 

@@ -4,9 +4,12 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <utility>
+#include <vector>
 
 #include "baselines/autoscaling.hpp"
 #include "core/estimator.hpp"
+#include "core/followcost.hpp"
 #include "obs/obs.hpp"
 #include "util/budget.hpp"
 
@@ -73,6 +76,23 @@ void accumulate(cloud::ApiStats& into, const cloud::ApiStats& from) {
   into.breaker_opens += from.breaker_opens;
   into.breaker_waits += from.breaker_waits;
   into.spot_interruptions += from.spot_interruptions;
+  into.storm_denials += from.storm_denials;
+  into.storm_reclaims += from.storm_reclaims;
+}
+
+/// The instance type most of `plan` runs on — the representative hardware
+/// for the follow-cost evacuation estimate.
+cloud::TypeId dominant_type(const sim::Plan& plan) {
+  std::vector<std::size_t> counts;
+  for (const sim::TaskPlacement& p : plan.placements) {
+    if (p.vm_type >= counts.size()) counts.resize(p.vm_type + 1, 0);
+    ++counts[p.vm_type];
+  }
+  cloud::TypeId best = 0;
+  for (cloud::TypeId t = 0; t < counts.size(); ++t) {
+    if (counts[t] > counts[best]) best = t;
+  }
+  return best;
 }
 
 }  // namespace
@@ -90,12 +110,21 @@ ReactiveEngine::ReactiveEngine(const cloud::Catalog& catalog,
 sim::Plan ReactiveEngine::plan_or_fallback(const workflow::Workflow& wf,
                                            const core::ProbDeadline& req,
                                            util::Rng& rng,
-                                           ReactiveReport& report) {
+                                           ReactiveReport& report,
+                                           cloud::RegionId region) {
+  // Every returned plan is pinned to `region` (the current home, or the
+  // evacuation target): schedulers honour ctx.region, and the pin below
+  // keeps the invariant across fallback paths too.
+  const auto pinned = [region](sim::Plan plan) {
+    for (sim::TaskPlacement& p : plan.placements) p.region = region;
+    return plan;
+  };
   SchedulerContext ctx;
   ctx.catalog = catalog_;
   ctx.store = store_;
   ctx.requirement = req;
   ctx.rng = &rng;
+  ctx.region = region;
 
   DECO_OBS_SPAN_TIMED("wms", "plan_or_fallback", "wms.reactive.plan_ms");
   // A non-positive timeout leaves no budget any scheduler could meet, so
@@ -124,7 +153,7 @@ sim::Plan ReactiveEngine::plan_or_fallback(const workflow::Workflow& wf,
           DECO_OBS_COUNTER_ADD("wms.reactive.solver_budget_cutoffs", 1);
         }
         report.last_scheduler = primary_->name();
-        return plan;
+        return pinned(std::move(plan));
       }
     } catch (...) {
       // Fall through to the baseline: a solver crash must not kill the run.
@@ -138,12 +167,12 @@ sim::Plan ReactiveEngine::plan_or_fallback(const workflow::Workflow& wf,
     sim::Plan plan = autoscaling.solve(req.deadline_s).plan;
     if (plan.size() == wf.task_count()) {
       report.last_scheduler = "Autoscaling(fallback)";
-      return plan;
+      return pinned(std::move(plan));
     }
   } catch (...) {
   }
   report.last_scheduler = "Uniform(fallback)";
-  return sim::Plan::uniform(wf.task_count(), 0);
+  return sim::Plan::uniform(wf.task_count(), 0, region);
 }
 
 ReactiveReport ReactiveEngine::run(const workflow::Workflow& wf,
@@ -160,6 +189,7 @@ ReactiveReport ReactiveEngine::run(const workflow::Workflow& wf,
   std::vector<std::uint8_t> done(wf.task_count(), 0);
   double clock = 0;        // global virtual time at the residual's start
   double last_finish = 0;  // global finish time of the latest completed task
+  cloud::RegionId home = options_.home_region;  // moves on evacuation
   util::Rng plan_rng(options_.seed);
 
   Residual residual;
@@ -168,7 +198,7 @@ ReactiveReport ReactiveEngine::run(const workflow::Workflow& wf,
   for (workflow::TaskId t = 0; t < wf.task_count(); ++t) {
     residual.to_original[t] = t;
   }
-  sim::Plan plan = plan_or_fallback(residual.wf, req, plan_rng, report);
+  sim::Plan plan = plan_or_fallback(residual.wf, req, plan_rng, report, home);
 
   for (std::size_t segment = 0;; ++segment) {
     ++report.segments;
@@ -210,7 +240,15 @@ ReactiveReport ReactiveEngine::run(const workflow::Workflow& wf,
     // in-flight work to the reclamation.
     const bool notice_pending = std::isfinite(probe.first_notice_s) &&
                                 probe.first_notice_s < probe.makespan;
-    if ((!at_risk && !notice_pending) ||
+    // A regional storm forecast is the strongest advance warning of all:
+    // capacity in the region will vanish for every type at once.  With
+    // evacuation on (and somewhere to go), the engine cuts ahead of the
+    // storm and fails the residual over to another region.
+    const bool storm_pending = options_.evacuate_on_storm &&
+                               catalog_->region_count() > 1 &&
+                               std::isfinite(probe.first_storm_s) &&
+                               probe.first_storm_s < probe.makespan;
+    if ((!at_risk && !notice_pending && !storm_pending) ||
         report.replans >= options_.max_replans) {
       // Accept the whole trajectory: clean and on time, or out of replans.
       report.total_cost += probe.total_cost;
@@ -235,8 +273,18 @@ ReactiveReport ReactiveEngine::run(const workflow::Workflow& wf,
     const double proactive_cut =
         notice_pending ? std::max(probe.first_notice_s, 1.0)
                        : std::numeric_limits<double>::infinity();
-    const bool proactive = proactive_cut < reactive_cut;
-    const double cut = proactive ? proactive_cut : reactive_cut;
+    // Evacuation cuts `storm_lead_s` ahead of the forecast storm so the
+    // frontier data can move before the region goes dark.
+    const double evacuation_cut =
+        storm_pending ? std::max(probe.first_storm_s - options_.storm_lead_s,
+                                 1.0)
+                      : std::numeric_limits<double>::infinity();
+    const bool proactive =
+        proactive_cut < reactive_cut && proactive_cut <= evacuation_cut;
+    const bool evacuating =
+        storm_pending && evacuation_cut < reactive_cut &&
+        evacuation_cut < proactive_cut;
+    const double cut = std::min({reactive_cut, proactive_cut, evacuation_cut});
     util::Rng segment_rng(seed);
     std::optional<cloud::ControlPlane> cut_cp = make_control();
     sim::ExecutorOptions cut_options = options_.executor;
@@ -261,11 +309,37 @@ ReactiveReport ReactiveEngine::run(const workflow::Workflow& wf,
     residual = make_residual(wf, done);
     if (residual.wf.task_count() == 0) break;
 
+    if (evacuating) {
+      // Pick the failover region with data-gravity costs: the frontier's
+      // bytes (outputs of finished parents feeding unfinished tasks) must
+      // cross regions, billed at the stormy region's egress price and
+      // delayed by the inter-region link (follow-cost Eqs. 8/9).
+      core::TaskTimeEstimator estimator(*catalog_, *store_);
+      core::MigrationWorkflowState state;
+      state.wf = &wf;
+      state.finished.assign(done.begin(), done.end());
+      state.region = home;
+      state.vm_type = dominant_type(plan);
+      state.elapsed_s = clock;
+      state.deadline_s = req.deadline_s;
+      const core::EvacuationPlan evac = core::choose_evacuation_region(
+          state, *catalog_, estimator, probe.storm_region);
+      if (evac.moved) {
+        ++report.regional_evacuations;
+        DECO_OBS_COUNTER_ADD("wms.reactive.evacuations", 1);
+        report.evacuation_transfer_cost += evac.migration_cost;
+        report.total_cost += evac.migration_cost;
+        // The frontier lands in the new region before the residual starts.
+        clock += evac.transfer_time_s;
+        home = evac.target;
+      }
+    }
+
     // Replan the residual DAG against what remains of the deadline.  Work
     // in flight at the cut is rescheduled by the new plan.
     core::ProbDeadline residual_req = req;
     residual_req.deadline_s = std::max(req.deadline_s - clock, 1.0);
-    plan = plan_or_fallback(residual.wf, residual_req, plan_rng, report);
+    plan = plan_or_fallback(residual.wf, residual_req, plan_rng, report, home);
     ++report.replans;
     DECO_OBS_COUNTER_ADD("wms.reactive.replans", 1);
     DECO_OBS_INSTANT("wms", "replan");

@@ -50,6 +50,19 @@ struct ReactiveOptions {
   /// Replans allowed per run; past the cap the engine rides the current
   /// plan to completion (bounds both simulation and solver work).
   std::size_t max_replans = 6;
+  /// Home region every plan (initial and replanned) is pinned to; the CLI's
+  /// --region flag lands here.  Changes at runtime only through a regional
+  /// evacuation.
+  cloud::RegionId home_region = 0;
+  /// React to a regional storm forecast by evacuating: cut ahead of the
+  /// storm, pick a failover region with data-gravity costs (follow-cost
+  /// Eqs. 8/9), and replan the residual there.  Off = ride the storm out
+  /// with the executor's retry/fallback machinery alone.  No effect without
+  /// weather in `control` — traces stay bit-identical.
+  bool evacuate_on_storm = true;
+  /// How far ahead of a forecast storm the evacuation cut lands (the
+  /// regional analogue of the spot notice lead).
+  double storm_lead_s = 120;
   /// Wall-clock budget for one primary-scheduler invocation, enforced as a
   /// real cooperative budget (SchedulerContext::budget): budget-aware
   /// schedulers return their best incumbent at the cutoff and that anytime
@@ -73,6 +86,11 @@ struct ReactiveReport {
   /// Replans triggered by a spot-interruption notice (a subset of replans):
   /// the engine cut at the advance warning rather than at a failure.
   std::size_t proactive_replans = 0;
+  /// Regional evacuations: storm-triggered replans that moved the residual
+  /// workflow (and its frontier data) to a failover region.
+  std::size_t regional_evacuations = 0;
+  /// Egress cost of the evacuated frontiers (already inside total_cost).
+  double evacuation_transfer_cost = 0;
   std::size_t solver_fallbacks = 0;  ///< times the fallback plan was used
   /// Primary-scheduler invocations whose solve budget fired but still
   /// produced a valid anytime plan (accepted, not a fallback).
@@ -100,7 +118,8 @@ class ReactiveEngine {
  private:
   sim::Plan plan_or_fallback(const workflow::Workflow& wf,
                              const core::ProbDeadline& requirement,
-                             util::Rng& rng, ReactiveReport& report);
+                             util::Rng& rng, ReactiveReport& report,
+                             cloud::RegionId region);
 
   const cloud::Catalog* catalog_;
   const cloud::MetadataStore* store_;

@@ -24,6 +24,7 @@ TEST(WlogBridgeTest, AtomNaming) {
   EXPECT_EQ(WlogBridge::task_atom(0), "t0");
   EXPECT_EQ(WlogBridge::task_atom(12), "t12");
   EXPECT_EQ(WlogBridge::vm_atom(3), "v3");
+  EXPECT_EQ(WlogBridge::region_atom(1), "r1");
 }
 
 TEST(WlogBridgeTest, ImportsWorkflowFacts) {
@@ -52,6 +53,43 @@ TEST(WlogBridgeTest, ImportsCloudFacts) {
   ASSERT_EQ(s.size(), 1u);
   // m1.small: $0.044/h expressed per second.
   EXPECT_NEAR(s[0].number("P"), 0.044 / 3600.0, 1e-9);
+}
+
+TEST(WlogBridgeTest, ImportsRegionTopologyAndTransferPrices) {
+  const auto wf = tiny_pipeline();
+  TaskTimeEstimator est(ec2(), store());
+  WlogBridge bridge(wf, est);
+  const auto ir = bridge.build_ir(empty_program());
+  wlog::Interpreter interp(ir.base());
+  const std::size_t regions = ec2().region_count();
+  ASSERT_GE(regions, 2u);
+  EXPECT_TRUE(interp.holds("region(r0)"));
+  EXPECT_TRUE(interp.holds("region(r1)"));
+  EXPECT_FALSE(interp.holds("region(r" + std::to_string(regions) + ")"));
+  // Transfer prices exist for every ordered pair, priced by the source
+  // region's egress rate; no self-transfer fact.
+  const auto s = interp.query("transfer_price(r0, r1, K)");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_NEAR(s[0].number("K"), ec2().egress_price(0), 1e-12);
+  EXPECT_EQ(interp.query("transfer_price(r0, r0, K)").size(), 0u);
+  EXPECT_EQ(interp.query("transfer_price(A, B, K)", 1000).size(),
+            regions * (regions - 1));
+}
+
+TEST(WlogBridgeTest, BindPlanAssertsRegionPlacements) {
+  const auto wf = tiny_pipeline();
+  TaskTimeEstimator est(ec2(), store());
+  WlogBridge bridge(wf, est);
+  const auto ir = bridge.build_ir(empty_program());
+  sim::Plan plan = sim::Plan::uniform(3, 2, 0);
+  plan[1].region = 1;
+  const auto bound = bridge.bind_plan(ir, plan);
+  wlog::Interpreter interp(bound.base());
+  EXPECT_TRUE(interp.holds("region(t0, r0)"));
+  EXPECT_TRUE(interp.holds("region(t1, r1)"));
+  EXPECT_FALSE(interp.holds("region(t1, r0)"));
+  // Arity keeps the topology facts distinct from the placement facts.
+  EXPECT_TRUE(interp.holds("region(r1)"));
 }
 
 TEST(WlogBridgeTest, ExetimeGroupsPerTaskTypePair) {

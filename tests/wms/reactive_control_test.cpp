@@ -92,6 +92,50 @@ TEST(ReactiveControlTest, SpotNoticesTriggerProactiveReplans) {
   EXPECT_GT(report.api.spot_interruptions, 0u);
 }
 
+TEST(ReactiveControlTest, RegionalStormTriggersEvacuation) {
+  util::Rng wf_rng(5);
+  const auto wf = workflow::make_montage(1, wf_rng);
+  FixedTypeScheduler primary(0);
+
+  // Clean-run makespan so storms can be timed to land inside the run.
+  ReactiveEngine clean(ec2(), store(), primary, quiet_options());
+  const ReactiveReport clean_report = clean.run(wf, {0.9, 1e9});
+  ASSERT_TRUE(clean_report.completed);
+
+  ReactiveOptions options = quiet_options();
+  cloud::ControlPlaneOptions cp;
+  cp.faults.weather.storm_mtbs_s = std::max(clean_report.makespan / 3.0, 60.0);
+  cp.faults.weather.storm_duration_s = clean_report.makespan;
+  cp.faults.weather.capacity_hazard = 1.0;
+  cp.faults.weather.spot_storms = false;  // isolate the evacuation path
+  options.control = cp;
+  options.evacuate_on_storm = true;
+
+  // Storm arrival is seeded; scan a few seeds for one that lands a storm
+  // inside the run (each individual run stays fully deterministic).
+  bool evacuated = false;
+  ReactiveReport report;
+  for (std::uint64_t seed = 0; seed < 10 && !evacuated; ++seed) {
+    options.seed = 2015 + seed;
+    ReactiveEngine engine(ec2(), store(), primary, options);
+    ASSERT_NO_THROW(report = engine.run(wf, {0.9, 1e9}));
+    EXPECT_TRUE(report.completed);
+    evacuated = report.regional_evacuations > 0;
+  }
+  ASSERT_TRUE(evacuated) << "no seed produced a storm inside the run";
+  // The evacuated frontier's egress cost is accounted inside total_cost.
+  EXPECT_GE(report.evacuation_transfer_cost, 0.0);
+  EXPECT_GE(report.replans, report.regional_evacuations);
+
+  // Same storms, evacuation off: the engine rides the storm out on the
+  // control plane's retry/fallback machinery and never evacuates.
+  options.evacuate_on_storm = false;
+  ReactiveEngine rider(ec2(), store(), primary, options);
+  ReactiveReport rode;
+  ASSERT_NO_THROW(rode = rider.run(wf, {0.9, 1e9}));
+  EXPECT_EQ(rode.regional_evacuations, 0u);
+}
+
 TEST(ReactiveControlTest, ReportsAreSeedDeterministic) {
   util::Rng wf_rng(4);
   const auto wf = workflow::make_montage(1, wf_rng);
