@@ -43,6 +43,7 @@ void RegionalWeather::append_window(RegionId region) {
   const double prev_end = s.windows.empty() ? 0.0 : s.windows.back().end;
   StormWindow w;
   w.start = prev_end + exponential(s.rng, mean_gap);
+  if (s.windows.empty() && options_.initial_storm) w.start = 0;
   w.end = w.start + exponential(s.rng, std::max(options_.storm_duration_s, 1.0));
   w.reclaim_at = w.start + s.rng.uniform() * (w.end - w.start);
   w.blackout = s.rng.chance(std::clamp(options_.capacity_hazard, 0.0, 1.0));

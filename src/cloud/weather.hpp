@@ -60,6 +60,10 @@ struct RegionalWeatherOptions {
   /// all regions); region r sees mean inter-arrival
   /// storm_mtbs_s / region_hazard[r].
   std::vector<double> region_hazard;
+  /// Force the first storm in every region to already be in progress at
+  /// t=0 (the gap draw is consumed but the window starts at 0) — models a
+  /// pre-existing incident, e.g. the CLI's "blackout" profile.
+  bool initial_storm = false;
 
   bool enabled() const { return storm_mtbs_s > 0; }
   double hazard_for(RegionId region) const {

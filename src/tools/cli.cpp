@@ -37,21 +37,29 @@ commands:
 
   plan       --dax wf.dax --deadline 3600 [--quantile 96]
              [--scheduler deco|autoscaling|random|<type name>]
-             [--estimator mc|analytic|auto] [--store store.txt] [--seed 7]
+             [--estimator mc|analytic|auto] [--region us-east-1]
+             [--store store.txt] [--seed 7]
       Compute a provisioning plan and report the estimated cost and
       makespan distribution.  --estimator picks the evaluation tier
       (default auto): "mc" is full Monte Carlo on every state, "analytic"
       the closed-form screen alone, "auto" the screened hierarchy
       (analytic screen -> adaptive QMC -> full-MC verification).
+      --region pins every placement to a named catalog region (exit 3
+      with the candidate list on an unknown name).
 
   run        --dax wf.dax --deadline 3600 [--quantile 96] [--runs 20]
              [--scheduler ...] [--estimator mc|analytic|auto]
-             [--store store.txt] [--seed 7]
+             [--region us-east-1] [--store store.txt] [--seed 7]
              [--api-profile none|degraded|exhausted]
+             [--weather-profile none|storms|blackout]
       Plan, then execute on the simulated cloud; report statistics.
       --api-profile injects control-plane faults: "degraded" throttles and
       interleaves capacity outages (runs complete via retry/fallback),
       "exhausted" fails every provisioning call (exits with code 4).
+      --weather-profile layers region-correlated failure weather on the
+      control plane: "storms" injects recurring regional storms (runs
+      survive on retries and failover), "blackout" blacks out every
+      region permanently with fallback disabled (exits with code 4).
 
   solve      --dax wf.dax --program prog.wlog [--store store.txt]
              [--wlog-exec vm|interp] [--wlog-segments on|off]
@@ -254,6 +262,43 @@ std::optional<cloud::ControlPlaneOptions> api_profile_options(
   throw std::invalid_argument("unknown --api-profile '" + profile + "'");
 }
 
+/// Layers --weather-profile onto the control-plane options (creating them
+/// when --api-profile was "none": weather needs a mediating control plane).
+/// Throws std::invalid_argument on an unknown profile name.
+void apply_weather_profile(const std::string& profile, std::uint64_t seed,
+                           std::optional<cloud::ControlPlaneOptions>& cp) {
+  if (profile == "none") return;
+  if (!cp) {
+    cp.emplace();
+    cp->seed = seed;
+  }
+  if (profile == "storms") {
+    // Recurring regional storms: correlated blackouts, synchronized spot
+    // reclaims and elevated crash rates — but storms pass, so runs survive
+    // on retries and region failover.
+    cp->faults.weather.storm_mtbs_s = 3600;
+    cp->faults.weather.storm_duration_s = 600;
+    cp->faults.weather.capacity_hazard = 0.5;
+    cp->faults.weather.crash_hazard = 4.0;
+    return;
+  }
+  if (profile == "blackout") {
+    // One permanent all-region blackout storm, in progress from t=0, with
+    // fallback disabled: provisioning must give up
+    // (exit kExitProvisioningExhausted).
+    cp->faults.weather.storm_mtbs_s = 1.0;
+    cp->faults.weather.storm_duration_s = 1e9;
+    cp->faults.weather.capacity_hazard = 1.0;
+    cp->faults.weather.initial_storm = true;
+    cp->allow_type_fallback = false;
+    cp->allow_region_fallback = false;
+    cp->retry.max_attempts = 3;
+    cp->give_up_s = 600;
+    return;
+  }
+  throw std::invalid_argument("unknown --weather-profile '" + profile + "'");
+}
+
 int cmd_plan(const CliArgs& args, std::ostream& out, bool execute) {
   const auto wf = load_dax(args, out);
   if (!wf) return kExitInputError;
@@ -277,6 +322,27 @@ int cmd_plan(const CliArgs& args, std::ostream& out, bool execute) {
       std::string("cli.estimator.") + core::to_string(*estimator_mode), 1);
 
   const CloudSetup cloud = load_cloud(args);
+
+  // --region pins every placement to a named catalog region; an unknown
+  // name is an input error that lists the candidates.
+  cloud::RegionId region = 0;
+  if (const auto region_name = args.get("region")) {
+    const auto found = cloud.catalog.find_region(*region_name);
+    if (!found) {
+      out << "error: unknown region '" << *region_name << "' (expected one of:";
+      for (const cloud::Region& r : cloud.catalog.regions()) {
+        out << " " << r.name;
+      }
+      out << ")\n";
+      return kExitInputError;
+    }
+    region = *found;
+  }
+  // Echo the placement region into --metrics-out dumps, mirroring the
+  // estimator echo above.
+  obs::Registry::instance().counter_add(
+      "cli.region." + cloud.catalog.region(region).name, 1);
+
   core::ProbDeadline req;
   req.deadline_s = args.number_or("deadline", 3600);
   req.quantile = args.number_or("quantile", 96) / 100.0;
@@ -293,6 +359,7 @@ int cmd_plan(const CliArgs& args, std::ostream& out, bool execute) {
     return 1;
   }
   wms.set_scheduler(std::move(scheduler));
+  wms.set_home_region(region);
 
   util::Rng rng(static_cast<std::uint64_t>(args.number_or("seed", 7)));
   const auto budget_spec = cli_budget(args);
@@ -333,9 +400,13 @@ int cmd_plan(const CliArgs& args, std::ostream& out, bool execute) {
   }
 
   if (execute) {
-    const auto cp_options = api_profile_options(
-        args.get_or("api-profile", "none"),
-        static_cast<std::uint64_t>(args.number_or("seed", 7)));
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(args.number_or("seed", 7));
+    auto cp_options = api_profile_options(args.get_or("api-profile", "none"),
+                                          seed);
+    const std::string weather = args.get_or("weather-profile", "none");
+    apply_weather_profile(weather, seed, cp_options);
+    obs::Registry::instance().counter_add("cli.weather." + weather, 1);
     std::optional<cloud::ControlPlane> control;
     sim::ExecutorOptions exec_options;
     if (cp_options) {
@@ -360,7 +431,12 @@ int cmd_plan(const CliArgs& args, std::ostream& out, bool execute) {
       const cloud::ApiStats& api = control->stats();
       out << "control plane: " << api.calls << " API calls, " << api.throttled
           << " throttled, " << api.capacity_denials << " capacity denials, "
-          << api.retries << " retries, " << api.fallbacks << " fallbacks\n";
+          << api.retries << " retries, " << api.fallbacks << " fallbacks";
+      if (api.storm_denials > 0 || api.storm_reclaims > 0) {
+        out << ", " << api.storm_denials << " storm denials, "
+            << api.storm_reclaims << " storm reclaims";
+      }
+      out << "\n";
     }
   }
   return code;

@@ -46,6 +46,7 @@ std::variant<ExecutableWorkflow, WmsError> PegasusWms::plan_workflow(
   ctx.requirement = requirement;
   ctx.rng = &rng;
   ctx.budget = budget;
+  ctx.region = home_region_;
 
   ExecutableWorkflow executable;
   executable.workflow = wf;

@@ -66,6 +66,11 @@ class PegasusWms {
   void set_scheduler(std::unique_ptr<Scheduler> scheduler);
   const std::string& scheduler_name() const { return scheduler_name_; }
 
+  /// Region every mapped plan targets (SchedulerContext::region); the CLI's
+  /// --region flag lands here.  All built-in schedulers honor it.
+  void set_home_region(cloud::RegionId region) { home_region_ = region; }
+  cloud::RegionId home_region() const { return home_region_; }
+
   /// Mapper over a DAX document.  `budget` (optional) is the cooperative
   /// solve budget threaded to the scheduler via SchedulerContext::budget.
   std::variant<ExecutableWorkflow, WmsError> plan_dax(
@@ -90,6 +95,7 @@ class PegasusWms {
   SiteCatalog sites_;
   std::unique_ptr<Scheduler> scheduler_;
   std::string scheduler_name_;
+  cloud::RegionId home_region_ = 0;
 };
 
 }  // namespace deco::wms

@@ -105,6 +105,18 @@ TEST(RegionalWeatherTest, SpotReclaimsAreSynchronizedWithinAStorm) {
   EXPECT_NE(c->reclaim_at, a->reclaim_at);
 }
 
+TEST(RegionalWeatherTest, InitialStormIsInProgressAtTimeZero) {
+  RegionalWeatherOptions options = stormy_options();
+  options.initial_storm = true;
+  RegionalWeather weather(2, options, 7);
+  // The first window in every region starts at t=0 (a pre-existing
+  // incident); without the flag the first storm arrives after a gap.
+  EXPECT_TRUE(weather.in_storm(0, 0.0));
+  EXPECT_TRUE(weather.in_storm(1, 0.0));
+  RegionalWeather lazy(2, stormy_options(), 7);
+  EXPECT_FALSE(lazy.in_storm(0, 0.0));
+}
+
 TEST(RegionalWeatherTest, CrashMultiplierAppliesOnlyInsideStorms) {
   RegionalWeather weather(2, stormy_options(), 3);
   double in = -1, out = -1;

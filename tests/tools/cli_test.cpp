@@ -395,6 +395,94 @@ TEST(CliRunTest, UnknownApiProfileIsUsageError) {
   EXPECT_NE(out.str().find("api-profile"), std::string::npos);
 }
 
+TEST(CliRunTest, RegionFlagPinsPlacementsAndEchoesMetrics) {
+  const std::string dax = temp_path("cli_region.dax");
+  std::ostringstream gen;
+  run_cli(parse({"generate", "--app", "pipeline", "--tasks", "3", "--out",
+                 dax}),
+          gen);
+  const std::string metrics = temp_path("cli_region_metrics.json");
+  std::ostringstream out;
+  const int rc = run_cli(parse({"plan", "--dax", dax, "--deadline", "100000",
+                                "--scheduler", "m1.small", "--region",
+                                "ap-southeast-1", "--metrics-out", metrics}),
+                         out);
+  EXPECT_EQ(rc, kExitOk) << out.str();
+  // Site names carry the region, so every mapped task lands there.
+  EXPECT_NE(out.str().find("@ap-southeast-1"), std::string::npos) << out.str();
+  EXPECT_EQ(out.str().find("@us-east-1"), std::string::npos) << out.str();
+  // And the choice is echoed into the metrics dump.
+  std::ifstream in(metrics);
+  std::stringstream dumped;
+  dumped << in.rdbuf();
+  EXPECT_NE(dumped.str().find("cli.region.ap-southeast-1"), std::string::npos);
+}
+
+TEST(CliRunTest, UnknownRegionIsInputErrorListingCandidates) {
+  const std::string dax = temp_path("cli_badregion.dax");
+  std::ostringstream gen;
+  run_cli(parse({"generate", "--app", "pipeline", "--tasks", "2", "--out",
+                 dax}),
+          gen);
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(parse({"plan", "--dax", dax, "--deadline", "100000",
+                           "--region", "mars-north-1"}),
+                    out),
+            kExitInputError);
+  EXPECT_NE(out.str().find("unknown region 'mars-north-1'"), std::string::npos);
+  // The error names the valid candidates.
+  EXPECT_NE(out.str().find("us-east-1"), std::string::npos);
+  EXPECT_NE(out.str().find("ap-southeast-1"), std::string::npos);
+}
+
+TEST(CliRunTest, RunStormsWeatherProfileCompletes) {
+  const std::string dax = temp_path("cli_storms.dax");
+  std::ostringstream gen;
+  run_cli(parse({"generate", "--app", "pipeline", "--tasks", "3", "--out",
+                 dax}),
+          gen);
+  std::ostringstream out;
+  // Recurring storms are survivable: retries and fallback grants carry
+  // every run to completion.
+  const int rc = run_cli(parse({"run", "--dax", dax, "--deadline", "100000",
+                                "--runs", "3", "--weather-profile", "storms"}),
+                         out);
+  EXPECT_EQ(rc, kExitOk) << out.str();
+  EXPECT_NE(out.str().find("executed 3 runs"), std::string::npos);
+  // Weather forces a mediating control plane even without --api-profile.
+  EXPECT_NE(out.str().find("control plane:"), std::string::npos);
+}
+
+TEST(CliRunTest, RunBlackoutWeatherProfileExitsWithCapacityCode) {
+  const std::string dax = temp_path("cli_blackout.dax");
+  std::ostringstream gen;
+  run_cli(parse({"generate", "--app", "pipeline", "--tasks", "3", "--out",
+                 dax}),
+          gen);
+  std::ostringstream out;
+  int rc = -1;
+  ASSERT_NO_THROW(rc = run_cli(parse({"run", "--dax", dax, "--deadline",
+                                      "100000", "--runs", "2",
+                                      "--weather-profile", "blackout"}),
+                               out));
+  EXPECT_EQ(rc, kExitProvisioningExhausted) << out.str();
+  EXPECT_NE(out.str().find("error"), std::string::npos);
+}
+
+TEST(CliRunTest, UnknownWeatherProfileIsUsageError) {
+  const std::string dax = temp_path("cli_badweather.dax");
+  std::ostringstream gen;
+  run_cli(parse({"generate", "--app", "pipeline", "--tasks", "2", "--out",
+                 dax}),
+          gen);
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(parse({"run", "--dax", dax, "--deadline", "100000",
+                           "--weather-profile", "hailstorm"}),
+                    out),
+            kExitError);
+  EXPECT_NE(out.str().find("weather-profile"), std::string::npos);
+}
+
 TEST(CliRunTest, PlanUsesSavedStore) {
   const std::string store_path = temp_path("cli_reuse_store.txt");
   std::ostringstream cal;
