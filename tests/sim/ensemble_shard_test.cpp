@@ -304,6 +304,69 @@ TEST(EnsembleShardTest, EstimatorModesStayDeterministicWhenSharded) {
 }
 
 // ---------------------------------------------------------------------------
+// Weather gating: the regional-weather process *plumbed but disabled*
+// (storm_mtbs_s = 0, unit region crash multipliers) must be bit-identical
+// to a run with no weather configuration at all — the disabled process
+// consumes no entropy anywhere in the stack.  Checked across estimator
+// modes and worker counts, through the full closed-loop reactive engine
+// with live API faults so every other entropy stream is flowing.
+
+TEST(EnsembleShardTest, DisabledWeatherBitIdenticalAcrossModesAndWorkers) {
+  const cloud::Catalog& catalog = core::testing::ec2();
+  const cloud::MetadataStore& store = core::testing::store();
+  util::Rng rng(7);
+  const workflow::Workflow wf = workflow::make_montage(1, rng);
+  const core::ProbDeadline req{0.9, 20000.0};
+  core::SchedulingOptions sched;
+  sched.search.max_states = 16;
+  const std::size_t runs = 2 * static_cast<std::size_t>(chaos_scale());
+
+  for (const core::EstimatorMode mode :
+       {core::EstimatorMode::kMc, core::EstimatorMode::kAuto}) {
+    core::DecoOptions engine;
+    engine.eval.estimator = mode;
+    const wms::SchedulerFactory factory =
+        wms::make_deco_scheduler_factory(catalog, store, sched, engine);
+    const auto sweep = [&](std::size_t workers, bool weather_plumbed) {
+      FailureModelOptions fm = medium_failures();
+      if (weather_plumbed) {
+        // Unit multipliers: present in the table, but exactly 1.0.
+        fm.region_crash_multiplier = {1.0, 1.0};
+      }
+      const FailureModel model(fm);
+      cloud::ControlPlaneOptions cp = api_faults(11);
+      if (weather_plumbed) {
+        // Every weather knob off-default except the master switch
+        // (storm_mtbs_s stays 0): the process must not tick.
+        cp.faults.weather.storm_duration_s = 123;
+        cp.faults.weather.crash_hazard = 9.0;
+        cp.faults.weather.capacity_hazard = 0.7;
+        cp.faults.weather.region_hazard = {1.0, 5.0};
+      }
+      wms::ReactiveEnsembleOptions options;
+      options.base.executor.failures = &model;
+      options.base.control = cp;
+      options.base.max_replans = 2;
+      options.base.seed = 11;
+      options.exec.workers = workers;
+      const wms::ReactiveEnsembleResult r = wms::run_reactive_ensemble(
+          catalog, store, wf, req, runs, factory, options);
+      std::vector<std::string> prints;
+      for (const wms::ReactiveReport& report : r.reports)
+        prints.push_back(fingerprint(report));
+      return prints;
+    };
+
+    const std::vector<std::string> reference = sweep(0, false);
+    for (const std::size_t workers : worker_grid()) {
+      EXPECT_EQ(reference, sweep(workers, true))
+          << "estimator mode " << core::to_string(mode) << " workers "
+          << workers;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Ensemble planning (use case 2): sharded member scoring chooses the same
 // admissions, plans and costs as the planner's serial loop.
 
