@@ -413,8 +413,141 @@ std::vector<ShardRow> run_sharding_sweep(const workflow::Workflow& wf,
   return rows;
 }
 
+// ---------------------------------------------------------------------------
+// Regional-weather sweep: the same reactive Montage ensemble under a
+// weather{off, storms} x evacuation{on, off} grid.  Under storms the
+// evacuation-on rows should meet the deadline more often (the engine cuts
+// ahead of the forecast and replans in a calm region); the weather-off rows
+// double as the bit-identity gate — the weather machinery *plumbed but
+// disabled* must fingerprint identically to a control plane with no weather
+// configuration at all, i.e. to the pre-weather traces.
+
+struct RegionRow {
+  std::string weather;      ///< "off" or "storms"
+  bool evacuation = false;
+  int runs = 0;
+  double met_rate = 0;      ///< fraction of runs meeting the deadline
+  double avg_cost = 0;
+  double avg_replans = 0;
+  double avg_evacuations = 0;
+  double avg_storm_denials = 0;
+  /// Weather-off rows only: fingerprints equal the no-weather reference.
+  bool bit_identical = true;
+};
+
+std::string fingerprint(const wms::ReactiveReport& r) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%a|%a|%c%c|%zu|%zu|%zu|%zu|%zu|", r.makespan,
+                r.total_cost, r.completed ? 'c' : 'i', r.met_deadline ? 'm' : 'x',
+                r.segments, r.replans, r.proactive_replans,
+                r.regional_evacuations, r.api.calls);
+  return std::string(buf) + r.last_scheduler;
+}
+
+std::vector<RegionRow> run_region_sweep(const workflow::Workflow& wf,
+                                        const core::SchedulingOptions& sched,
+                                        const core::ProbDeadline& req,
+                                        const sim::EnsembleOptions& exec,
+                                        util::Table& table) {
+  sim::FailureModelOptions fm;
+  fm.crash_mtbf_s = 6 * 3600;
+  fm.task_failure_prob = 0.01;
+  const sim::FailureModel model(fm);
+  const wms::SchedulerFactory factory = wms::make_deco_scheduler_factory(
+      bench::env().catalog, bench::env().store, sched);
+
+  enum class Weather { kAbsent, kDisabled, kStorms };
+  const auto sweep = [&](Weather weather, bool evacuate) {
+    wms::ReactiveEnsembleOptions options;
+    options.base.executor.failures = &model;
+    options.base.max_replans = 4;
+    options.base.seed = 7000;
+    options.base.evacuate_on_storm = evacuate;
+    options.exec = exec;
+    cloud::ControlPlaneOptions cp;
+    cp.faults.transient_error_prob = 0.02;
+    cp.seed = 7000;
+    if (weather == Weather::kDisabled) {
+      // Every knob off-default except the master switch: the disabled
+      // process must consume no entropy (bit-identical to kAbsent).
+      cp.faults.weather.storm_duration_s = 77;
+      cp.faults.weather.crash_hazard = 9.0;
+      cp.faults.weather.capacity_hazard = 0.7;
+    } else if (weather == Weather::kStorms) {
+      // The home region is under persistent bad weather (region_hazard
+      // skew: storms there arrive 20x as often as in the failover region,
+      // so the skew survives per-segment weather re-rolls); storms black
+      // out capacity, reclaim co-located spot instances together and
+      // multiply crash rates.  Region fallback is off — a regional
+      // capacity loss cannot be served transparently from another region;
+      // moving the workflow (and its frontier data) is exactly what the
+      // evacuation machinery prices — so the rider stalls until the storm
+      // clears while evacuation-on cuts ahead of the forecast and replans
+      // in the calm region.
+      cp.faults.weather.storm_mtbs_s = req.deadline_s / 4.0;
+      cp.faults.weather.storm_duration_s = req.deadline_s;
+      cp.faults.weather.capacity_hazard = 1.0;
+      cp.faults.weather.crash_hazard = 6.0;
+      cp.faults.weather.region_hazard = {1.0, 0.05};
+      cp.allow_region_fallback = false;
+    }
+    options.base.control = cp;
+    return wms::run_reactive_ensemble(bench::env().catalog, bench::env().store,
+                                      wf, req,
+                                      static_cast<std::size_t>(g_runs), factory,
+                                      options);
+  };
+
+  const auto prints_of = [](const wms::ReactiveEnsembleResult& r) {
+    std::vector<std::string> prints;
+    for (const wms::ReactiveReport& report : r.reports)
+      prints.push_back(fingerprint(report));
+    return prints;
+  };
+
+  // The no-weather reference: what every trace looked like before the
+  // weather machinery existed.
+  const std::vector<std::string> reference =
+      prints_of(sweep(Weather::kAbsent, true));
+
+  std::vector<RegionRow> rows;
+  for (const bool storms : {false, true}) {
+    for (const bool evacuate : {true, false}) {
+      const wms::ReactiveEnsembleResult r =
+          sweep(storms ? Weather::kStorms : Weather::kDisabled, evacuate);
+      RegionRow row;
+      row.weather = storms ? "storms" : "off";
+      row.evacuation = evacuate;
+      row.runs = g_runs;
+      for (const wms::ReactiveReport& report : r.reports) {
+        row.met_rate += report.met_deadline ? 1.0 : 0.0;
+        row.avg_cost += report.total_cost;
+        row.avg_replans += static_cast<double>(report.replans);
+        row.avg_evacuations +=
+            static_cast<double>(report.regional_evacuations);
+        row.avg_storm_denials += static_cast<double>(report.api.storm_denials);
+      }
+      row.met_rate /= g_runs;
+      row.avg_cost /= g_runs;
+      row.avg_replans /= g_runs;
+      row.avg_evacuations /= g_runs;
+      row.avg_storm_denials /= g_runs;
+      if (!storms) row.bit_identical = prints_of(r) == reference;
+      table.add_row({wf.name(), row.weather, evacuate ? "on" : "off",
+                     util::Table::num(row.met_rate * 100, 0) + "%",
+                     util::Table::num(row.avg_cost, 2),
+                     util::Table::num(row.avg_evacuations, 2),
+                     util::Table::num(row.avg_storm_denials, 1),
+                     storms ? "-" : (row.bit_identical ? "yes" : "NO")});
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
 bool write_json(const std::vector<Row>& rows, const std::vector<CloudRow>& cloud_rows,
                 const std::vector<BudgetRow>& budget_rows,
+                const std::vector<RegionRow>& region_rows,
                 const std::vector<ShardRow>& shard_rows,
                 const std::string& shard_workload, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -475,6 +608,23 @@ bool write_json(const std::vector<Row>& rows, const std::vector<CloudRow>& cloud
         r.cost_vs_unlimited, r.feasible ? "true" : "false",
         r.exhausted ? "true" : "false", r.states,
         i + 1 < budget_rows.size() ? "," : "");
+  }
+  // Regional-weather grid: weather{off, storms} x evacuation{on, off} on
+  // the reactive Montage ensemble.  Weather-off rows carry the bit-identity
+  // verdict against the no-weather reference traces.
+  std::fprintf(f, "  ],\n  \"regions\": [\n");
+  for (std::size_t i = 0; i < region_rows.size(); ++i) {
+    const RegionRow& r = region_rows[i];
+    std::fprintf(
+        f,
+        "    {\"weather\": \"%s\", \"evacuation\": %s, \"runs\": %d, "
+        "\"met_rate\": %.3f, \"avg_cost\": %.4f, \"avg_replans\": %.2f, "
+        "\"avg_evacuations\": %.2f, \"avg_storm_denials\": %.1f, "
+        "\"bit_identical\": %s}%s\n",
+        r.weather.c_str(), r.evacuation ? "true" : "false", r.runs, r.met_rate,
+        r.avg_cost, r.avg_replans, r.avg_evacuations, r.avg_storm_denials,
+        r.bit_identical ? "true" : "false",
+        i + 1 < region_rows.size() ? "," : "");
   }
   // Sharded-vs-serial ensemble sweep: wall clock and bit-identity per
   // worker count (workers 0 = the serial reference loop).  On the
@@ -617,6 +767,28 @@ int main(int argc, char** argv) {
       run_budget_sweep(engine, sched, budget_table);
   std::printf("%s", budget_table.to_string().c_str());
 
+  // Regional-weather grid: deadline-met rate and evacuations with the
+  // failover machinery on vs off, plus the weather-off bit-identity gate.
+  std::printf("\nregional-weather grid (Montage, reactive ensemble):\n");
+  util::Table region_table({"workflow", "weather", "evac", "met", "cost",
+                            "evacs", "denials", "identical"});
+  const std::vector<RegionRow> region_rows =
+      run_region_sweep(montage, sched, montage_req, exec, region_table);
+  std::printf("%s", region_table.to_string().c_str());
+  std::printf(
+      "Shape check: under storms the evacuation-on row meets the deadline\n"
+      "at least as often as evacuation-off; weather-off rows must be\n"
+      "bit-identical to the no-weather reference.\n");
+  for (const RegionRow& r : region_rows) {
+    if (!r.bit_identical) {
+      std::fprintf(stderr,
+                   "FAIL: disabled weather diverged from the no-weather "
+                   "reference (evacuation %s)\n",
+                   r.evacuation ? "on" : "off");
+      return 1;
+    }
+  }
+
   // Sharding sweep: serial vs sharded wall clock + bit-identity, Montage
   // deco plan under the medium failure level.
   const int shard_runs = smoke ? 32 : 128;
@@ -636,7 +808,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!write_json(rows, cloud_rows, budget_rows, shard_rows,
+  if (!write_json(rows, cloud_rows, budget_rows, region_rows, shard_rows,
                   "montage/deco-static/medium", out)) {
     return 1;
   }

@@ -101,6 +101,56 @@ TEST(MigrationOptimizerTest, CostComponentsMatchDefinitions) {
   EXPECT_NEAR(sg / us, 1.33, 0.01);
 }
 
+TEST(EvacuationTest, EvacuatesAwayFromStormBillingDataGravity) {
+  util::Rng rng(9);
+  auto wf = workflow::make_pipeline(4, rng);
+  const double gb = 1024.0 * 1024.0 * 1024.0;
+  wf.add_task({"sink", "p", 10, 0, 0});
+  wf.add_edge(0, 4, 5 * gb);  // finished->unfinished: 5 GB must follow
+  TaskTimeEstimator est(ec2(), store());
+  auto s = make_state(wf, 0, 1e7);
+  s.finished[0] = true;
+
+  // Storm over the home region: the only calm region wins, and the move
+  // is billed at the *source* region's egress price (Eq. 9) plus the
+  // frontier's transfer time over the inter-region link.
+  const EvacuationPlan plan = choose_evacuation_region(s, ec2(), est, 0);
+  EXPECT_TRUE(plan.moved);
+  EXPECT_EQ(plan.target, 1u);
+  EXPECT_NEAR(plan.migration_cost, s.frontier_bytes() / gb * ec2().egress_price(0),
+              1e-9);
+  EXPECT_GT(plan.transfer_time_s, 0.0);
+  EXPECT_GT(plan.execution_cost, 0.0);
+}
+
+TEST(EvacuationTest, StaysHomeWhenTheStormIsElsewhere) {
+  util::Rng rng(10);
+  const auto wf = workflow::make_pipeline(4, rng);
+  TaskTimeEstimator est(ec2(), store());
+  const auto s = make_state(wf, 0, 1e7);
+
+  // The storm region is excluded from the candidates; with the storm in
+  // the *other* region the cheapest remaining candidate is home itself.
+  const EvacuationPlan plan = choose_evacuation_region(s, ec2(), est, 1);
+  EXPECT_FALSE(plan.moved);
+  EXPECT_EQ(plan.target, 0u);
+  EXPECT_DOUBLE_EQ(plan.migration_cost, 0.0);
+  EXPECT_DOUBLE_EQ(plan.transfer_time_s, 0.0);
+}
+
+TEST(EvacuationTest, InfeasibleDeadlineFallsBackToFastestNonStormRegion) {
+  util::Rng rng(11);
+  const auto wf = workflow::make_pipeline(6, rng);
+  TaskTimeEstimator est(ec2(), store());
+  // A deadline nothing can meet (Eq. 10 fails everywhere): the chooser
+  // still evacuates — staying in the storm is not an option — picking the
+  // fastest non-storm region instead of a feasible-cheapest one.
+  const auto s = make_state(wf, 0, 1.0);
+  const EvacuationPlan plan = choose_evacuation_region(s, ec2(), est, 0);
+  EXPECT_TRUE(plan.moved);
+  EXPECT_EQ(plan.target, 1u);
+}
+
 TEST(FollowCostScenarioTest, StayPolicyRunsToCompletion) {
   util::Rng rng(8);
   const auto wf = workflow::make_pipeline(6, rng);
